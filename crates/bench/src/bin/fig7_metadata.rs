@@ -1,0 +1,176 @@
+//! Fig. 7 — Metadata throughput (FxMark file creation).
+//!
+//! "We compare three configurations of LabFS to various I/O systems
+//! (EXT4, XFS, F2FS) on workloads which stress file creation using
+//! FxMark. We vary the number of client threads to be between 1 and 24.
+//! The LabStor Runtime is configured with 16 workers."
+//!
+//! Expected shape: all LabFS configs beat the kernel filesystems by up to
+//! 3× single-threaded; removing permissions adds ~7%; going decentralized
+//! adds another ~20%. LabFS scales with threads (sharded hashmap,
+//! per-worker allocators); the kernel filesystems collapse on their
+//! journal locks.
+
+use labstor_bench::{labfs_stack_spec, print_table, runtime_with_mods, LabVariant};
+use labstor_kernel::fs::{FsProfile, KernelFs};
+use labstor_kernel::vfs::Vfs;
+use labstor_kernel::BlockLayer;
+use labstor_mods::DeviceRegistry;
+use labstor_sim::{DeviceKind, SimDevice};
+use labstor_workloads::fxmark::{run_create, CreateMode, FxmarkJob};
+use labstor_workloads::targets::FsTarget;
+use labstor_workloads::stats::Recorder;
+use labstor_workloads::targets::{KernelFsTarget, LabStorFsTarget};
+
+const FILES_PER_THREAD: usize = 1500;
+const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 24];
+
+/// Kernel filesystems: virtual-time contention comes from the reservation
+/// algebra, so one driver thread can interleave per-thread operations —
+/// round-robin one create per simulated thread keeps every thread's
+/// requests arriving concurrently on the journal/directory Resources,
+/// exactly like FxMark's parallel phase.
+fn kernel_fs_throughput(profile: FsProfile, threads: usize) -> f64 {
+    let vfs = Vfs::new();
+    let dev = SimDevice::preset(DeviceKind::Nvme);
+    let label = profile.name;
+    vfs.mount("/mnt", KernelFs::new(profile, BlockLayer::new(dev), 64 << 20));
+    let mut targets: Vec<KernelFsTarget> = (0..threads)
+        .map(|t| KernelFsTarget::new(vfs.clone(), "/mnt", label, t as u32 + 1, t))
+        .collect();
+    for (t, target) in targets.iter_mut().enumerate() {
+        let _ = target.mkdir("/shared");
+        let _ = t;
+    }
+    let mut recorders: Vec<Recorder> =
+        targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
+    for i in 0..FILES_PER_THREAD {
+        for (t, target) in targets.iter_mut().enumerate() {
+            let path = format!("/shared/t{t}f{i}");
+            let t0 = target.ctx.now();
+            let fd = target.open(&path, true, false).expect("create");
+            target.close(fd).expect("close");
+            recorders[t].record(target.ctx.now() - t0, 0);
+        }
+    }
+    for (t, target) in targets.iter().enumerate() {
+        recorders[t].end_vt = target.ctx.now();
+    }
+    Recorder::merge(recorders).ops_per_sec()
+}
+
+/// LabFS variants: async variants need live Runtime workers, so client
+/// threads are real.
+fn labfs_throughput(variant: LabVariant, threads: usize) -> f64 {
+    let devices = DeviceRegistry::new();
+    devices.add_preset("nvme0", DeviceKind::Nvme);
+    let rt = runtime_with_mods(&devices, 16, true); // paper: 16 workers
+    let spec = labfs_stack_spec(variant, "fs::/b", "nvme0", 16, 64 << 20);
+    rt.mount_stack(&spec).expect("stack mounts");
+
+    let recorders: Vec<Recorder> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let rt = rt.clone();
+                let label = variant.label("labfs");
+                s.spawn(move || {
+                    let mut client =
+                        rt.connect(labstor_ipc::Credentials::new(t as u32 + 1, 0, 0), 1);
+                    client.core = t;
+                    let mut target = LabStorFsTarget::new(client, "fs::/b", &label);
+                    let job = FxmarkJob {
+                        files: FILES_PER_THREAD,
+                        mode: CreateMode::SharedDir,
+                        thread: t,
+                    };
+                    let rec = run_create(&job, &mut target).expect("fxmark");
+                    let _ = target; // keep the connection alive to the end
+                    rec
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    rt.shutdown();
+    Recorder::merge(recorders).ops_per_sec()
+}
+
+/// Kernel FS throughput with per-thread private directories (FxMark's
+/// MWCL): XFS's allocation groups parallelize here while ext4/F2FS still
+/// serialize on their global journal/log.
+fn kernel_fs_private_dirs(profile: FsProfile, threads: usize) -> f64 {
+    let vfs = Vfs::new();
+    let dev = SimDevice::preset(DeviceKind::Nvme);
+    let label = profile.name;
+    vfs.mount("/mnt", KernelFs::new(profile, BlockLayer::new(dev), 64 << 20));
+    let mut targets: Vec<KernelFsTarget> = (0..threads)
+        .map(|t| KernelFsTarget::new(vfs.clone(), "/mnt", label, t as u32 + 1, t))
+        .collect();
+    for (t, target) in targets.iter_mut().enumerate() {
+        let _ = target.mkdir(&format!("/priv{t}"));
+    }
+    let mut recorders: Vec<Recorder> =
+        targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
+    for i in 0..FILES_PER_THREAD {
+        for (t, target) in targets.iter_mut().enumerate() {
+            let path = format!("/priv{t}/f{i}");
+            let t0 = target.ctx.now();
+            let fd = target.open(&path, true, false).expect("create");
+            target.close(fd).expect("close");
+            recorders[t].record(target.ctx.now() - t0, 0);
+        }
+    }
+    for (t, target) in targets.iter().enumerate() {
+        recorders[t].end_vt = target.ctx.now();
+    }
+    Recorder::merge(recorders).ops_per_sec()
+}
+
+fn main() {
+    let systems: Vec<String> = vec![
+        "ext4".into(),
+        "xfs".into(),
+        "f2fs".into(),
+        "labfs-all".into(),
+        "labfs-min".into(),
+        "labfs-d".into(),
+    ];
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut row = vec![threads.to_string()];
+        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::ext4_like(), threads) / 1000.0));
+        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::xfs_like(), threads) / 1000.0));
+        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::f2fs_like(), threads) / 1000.0));
+        for variant in LabVariant::all() {
+            row.push(format!("{:.0}", labfs_throughput(variant, threads) / 1000.0));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["threads"];
+    headers.extend(systems.iter().map(|s| s.as_str()));
+    print_table(
+        &format!("Fig 7: file-create throughput, kops/s ({FILES_PER_THREAD} creates/thread, shared dir)"),
+        &headers,
+        &rows,
+    );
+    println!("\npaper: LabFS ~3x kernel FSes @1 thread; -perms +7%; decentralized +20% more;");
+    println!("       LabFS scales with threads, kernel FSes flatten on journal locks");
+
+    // Companion table: private directories (MWCL) — the regime where
+    // XFS's per-allocation-group locks pay off against the global
+    // journals of ext4/F2FS.
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", kernel_fs_private_dirs(FsProfile::ext4_like(), threads) / 1000.0),
+            format!("{:.0}", kernel_fs_private_dirs(FsProfile::xfs_like(), threads) / 1000.0),
+            format!("{:.0}", kernel_fs_private_dirs(FsProfile::f2fs_like(), threads) / 1000.0),
+        ]);
+    }
+    print_table(
+        "Fig 7 companion: private-dir creates (MWCL), kops/s — XFS AGs parallelize",
+        &["threads", "ext4", "xfs", "f2fs"],
+        &rows,
+    );
+}

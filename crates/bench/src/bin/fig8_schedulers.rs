@@ -1,0 +1,200 @@
+//! Fig. 8 / Table II — Developing & customizing I/O policies
+//! (I/O schedulers).
+//!
+//! "We integrate the No-Op and blk-switch I/O schedulers into LabStor and
+//! compare against their in-kernel counterparts. We deploy two
+//! applications: throughput-bound (T-App, 64KB random writes, iodepth 32)
+//! and latency-bound (L-App, 4KB random writes, iodepth 1). Both … have 8
+//! threads. … We measure average and P99 latency when the L-Apps and
+//! T-Apps are isolated and colocated."
+//!
+//! Paper (Table II, L-App latency): isolated — Linux-NoOp 110 µs,
+//! Linux-Blk 120 µs, Lab-Blk 95 µs; colocated — Linux-NoOp 945 µs
+//! (head-of-line blocking behind T-App requests in shared hardware
+//! queues), Linux-Blk 106 µs, Lab-Blk 96 µs. LabStor beats the kernel
+//! blk-switch by ~20% by skipping the syscall + block layer.
+//!
+//! The Runtime runs one worker per queue here so the scheduler effect is
+//! isolated from worker scheduling (the paper's separate Fig. 5b topic).
+
+use std::sync::Arc;
+
+use labstor_bench::{fmt_ns, print_table, runtime_with_mods};
+use labstor_core::{RoundRobinPolicy, StackSpec, VertexSpec};
+use labstor_kernel::engines::{IoEngineKind, RawEngine};
+use labstor_kernel::sched::{BlkSwitchSched, IoClass, NoopSched};
+use labstor_kernel::{BlockLayer, KernelSched};
+use labstor_mods::DeviceRegistry;
+use labstor_sim::{DeviceKind, SimDevice};
+use labstor_workloads::fio::{run_fio_gated, EngineTarget, FioJob, RwMode, StackTarget};
+use labstor_workloads::stats::{Recorder, SkewGate};
+
+const APP_THREADS: usize = 8;
+const L_OPS: usize = 1200;
+const T_OPS: usize = 400;
+
+fn l_job(seed: u64) -> FioJob {
+    FioJob { mode: RwMode::RandWrite, bs: 4096, ops: L_OPS, iodepth: 1, span_bytes: 64 << 20, seed }
+}
+
+fn t_job(seed: u64) -> FioJob {
+    FioJob {
+        mode: RwMode::RandWrite,
+        bs: 64 * 1024,
+        ops: T_OPS,
+        iodepth: 32,
+        span_bytes: 512 << 20,
+        seed,
+    }
+}
+
+/// Kernel path: fio through libaio over a shared block layer with the
+/// given in-kernel scheduler. Returns the L-App recorder.
+fn kernel_run(sched: Arc<dyn KernelSched>, colocated: bool) -> Recorder {
+    let dev = SimDevice::preset(DeviceKind::Nvme);
+    let layer = BlockLayer::with_sched(dev, sched);
+    let n_actors = APP_THREADS * if colocated { 2 } else { 1 };
+    let gate = Arc::new(SkewGate::new(n_actors, 100_000));
+    std::thread::scope(|s| {
+        let t_handles: Vec<_> = if colocated {
+            (0..APP_THREADS)
+                .map(|t| {
+                    let layer = layer.clone();
+                    let gate = gate.clone();
+                    s.spawn(move || {
+                        let engine = RawEngine::new(IoEngineKind::Libaio, layer);
+                        let mut target = EngineTarget::new(engine, t, IoClass::Throughput);
+                        run_fio_gated(&t_job(100 + t as u64), &mut target, &gate, APP_THREADS + t)
+                            .expect("t-app")
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let l_handles: Vec<_> = (0..APP_THREADS)
+            .map(|t| {
+                let layer = layer.clone();
+                let gate = gate.clone();
+                s.spawn(move || {
+                    let engine = RawEngine::new(IoEngineKind::Posix, layer);
+                    // Colocated with the T-App on the same cores.
+                    let mut target = EngineTarget::new(engine, t, IoClass::Latency);
+                    run_fio_gated(&l_job(t as u64 + 1), &mut target, &gate, t).expect("l-app")
+                })
+            })
+            .collect();
+        let l = Recorder::merge(l_handles.into_iter().map(|h| h.join().expect("l thread")));
+        for h in t_handles {
+            let _ = h.join().expect("t thread");
+        }
+        l
+    })
+}
+
+/// LabStor path: fio through async LabStacks [scheduler → kernel_driver];
+/// one worker per queue so only hardware-queue policy differs.
+fn lab_run(sched_type: &str, colocated: bool) -> Recorder {
+    let devices = DeviceRegistry::new();
+    devices.add_preset("nvme0", DeviceKind::Nvme);
+    let workers = APP_THREADS * if colocated { 2 } else { 1 };
+    let rt = runtime_with_mods(&devices, workers, true);
+    rt.set_policy(Arc::new(RoundRobinPolicy));
+    let spec = StackSpec {
+        mount: "blk::/s".into(),
+        exec: "async".into(),
+        authorized_uids: vec![0],
+        labmods: vec![
+            VertexSpec {
+                uuid: format!("sched8_{sched_type}"),
+                type_name: sched_type.into(),
+                params: serde_json::json!({"device": "nvme0"}),
+                outputs: vec![format!("drv8_{sched_type}")],
+            },
+            VertexSpec {
+                uuid: format!("drv8_{sched_type}"),
+                type_name: "kernel_driver".into(),
+                params: serde_json::json!({"device": "nvme0"}),
+                outputs: vec![],
+            },
+        ],
+    };
+    let stack = rt.mount_stack(&spec).expect("stack mounts");
+    let n_actors = APP_THREADS * if colocated { 2 } else { 1 };
+    let gate = Arc::new(SkewGate::new(n_actors, 100_000));
+    let l = std::thread::scope(|s| {
+        let t_handles: Vec<_> = if colocated {
+            (0..APP_THREADS)
+                .map(|t| {
+                    let rt = rt.clone();
+                    let stack = stack.clone();
+                    let gate = gate.clone();
+                    s.spawn(move || {
+                        let client =
+                            rt.connect(labstor_ipc::Credentials::new(100 + t as u32, 0, 0), 1);
+                        let mut target = StackTarget::new(client, stack, t, "lab-t");
+                        run_fio_gated(&t_job(100 + t as u64), &mut target, &gate, APP_THREADS + t)
+                            .expect("t-app")
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let l_handles: Vec<_> = (0..APP_THREADS)
+            .map(|t| {
+                let rt = rt.clone();
+                let stack = stack.clone();
+                let gate = gate.clone();
+                s.spawn(move || {
+                    let client = rt.connect(labstor_ipc::Credentials::new(t as u32 + 1, 0, 0), 1);
+                    let mut target = StackTarget::new(client, stack, t, "lab-l");
+                    run_fio_gated(&l_job(t as u64 + 1), &mut target, &gate, t).expect("l-app")
+                })
+            })
+            .collect();
+        let l = Recorder::merge(l_handles.into_iter().map(|h| h.join().expect("l thread")));
+        for h in t_handles {
+            let _ = h.join().expect("t thread");
+        }
+        l
+    });
+    rt.shutdown();
+    l
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for colocated in [false, true] {
+        let place = if colocated { "colocated" } else { "isolated" };
+        let mut cases: Vec<(String, Recorder)> = Vec::new();
+        type Case<'c> = (&'static str, Box<dyn Fn() -> Recorder + 'c>);
+        let list: Vec<Case<'_>> = vec![
+            ("linux-noop", Box::new(move || kernel_run(Arc::new(NoopSched), colocated))),
+            ("linux-blk", Box::new(move || kernel_run(Arc::new(BlkSwitchSched::default()), colocated))),
+            ("lab-noop", Box::new(move || lab_run("noop_sched", colocated))),
+            ("lab-blk", Box::new(move || lab_run("blk_switch_sched", colocated))),
+        ];
+        for (name, f) in list {
+            eprintln!("[fig8] start {place}/{name}");
+            let rec = f();
+            eprintln!("[fig8] done  {place}/{name}");
+            cases.push((name.to_string(), rec));
+        }
+        for (name, rec) in cases {
+            rows.push(vec![
+                place.to_string(),
+                name,
+                fmt_ns(rec.mean_ns()),
+                fmt_ns(rec.percentile_ns(99.0)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 8 / Table II: L-App 4KB QD1 latency vs scheduler (T-App: 64KB QD32 x8 threads when colocated)",
+        &["placement", "scheduler", "avg", "p99"],
+        &rows,
+    );
+    println!("\npaper: isolated ~95-120µs everywhere; colocated linux-noop ~945µs (HoL),");
+    println!("       blk-switch fixes it (~106µs); Lab variants ~20% under Linux");
+}

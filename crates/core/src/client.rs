@@ -1,0 +1,310 @@
+//! The LabStor client library (paper §III-D "Application-Side").
+//!
+//! Applications link this to mount, modify, query and execute LabStacks.
+//! For **async** stacks the client packages a request, places it in a
+//! shared-memory queue pair and polls the completion queue (`Wait`),
+//! detecting Runtime crashes and waiting for restart. For **sync** stacks
+//! the DAG executes inline in the client thread — the paper's
+//! decentralized mode with no IPC at all.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use labstor_ipc::ClientConnection;
+use labstor_sim::Ctx;
+
+use crate::request::{Message, Payload, Request, RespPayload, Response};
+use crate::runtime::Runtime;
+use crate::stack::{ExecMode, LabStack};
+use crate::worker::process_request;
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The Runtime went offline and did not return within the timeout.
+    RuntimeDown,
+    /// No stack governs the given mount path.
+    NoStack(String),
+    /// Submission queue stayed full past the timeout.
+    Backpressure,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::RuntimeDown => write!(f, "runtime offline"),
+            ClientError::NoStack(p) => write!(f, "no LabStack governs {p}"),
+            ClientError::Backpressure => write!(f, "submission queue full"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected client. One per application thread — it owns that thread's
+/// virtual timeline.
+pub struct Client {
+    /// The IPC connection (domain + queue pairs).
+    pub conn: ClientConnection<Message>,
+    /// This client's virtual clock.
+    pub ctx: Ctx,
+    runtime: Arc<Runtime>,
+    next_id: u64,
+    rr: usize,
+    /// CPU core this client thread is pinned to (stamped on requests).
+    pub core: usize,
+    /// In-flight async requests: id → (submit virtual time, queue index).
+    pending: std::collections::HashMap<u64, (u64, usize)>,
+    /// Responses from inline (sync-stack) submissions awaiting reap.
+    inline_done: Vec<(Response, u64)>,
+    /// How long `wait` tolerates an offline Runtime before giving up
+    /// ("for a configurable period of time", §III-C3).
+    pub offline_timeout: Duration,
+}
+
+impl Client {
+    pub(crate) fn new(conn: ClientConnection<Message>, runtime: Arc<Runtime>) -> Client {
+        Client {
+            conn,
+            ctx: Ctx::new(),
+            runtime,
+            next_id: 0,
+            rr: 0,
+            core: 0,
+            pending: std::collections::HashMap::new(),
+            inline_done: Vec::new(),
+            offline_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// The runtime this client is connected to.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Resolve the stack governing `path` (GenericFS-style ancestor walk).
+    pub fn resolve(&self, path: &str) -> Result<(Arc<LabStack>, String), ClientError> {
+        self.runtime.ns.resolve(path).ok_or_else(|| ClientError::NoStack(path.to_string()))
+    }
+
+    /// Execute `payload` against a stack. Returns the response payload and
+    /// the request's virtual latency in ns.
+    pub fn execute(
+        &mut self,
+        stack: &Arc<LabStack>,
+        payload: Payload,
+    ) -> Result<(RespPayload, u64), ClientError> {
+        self.next_id += 1;
+        let req =
+            Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
+        let start = self.ctx.now();
+        match stack.exec {
+            ExecMode::Sync => {
+                // Decentralized: run the DAG inline, no IPC.
+                let resp = process_request(
+                    &mut self.ctx,
+                    req,
+                    &self.runtime.ns,
+                    &self.runtime.mm,
+                    self.conn.domain,
+                );
+                Ok((resp.payload, self.ctx.now() - start))
+            }
+            ExecMode::Async => {
+                let resp = self.roundtrip(req)?;
+                Ok((resp, self.ctx.now() - start))
+            }
+        }
+    }
+
+    /// Submit through a queue pair and wait for the matching completion.
+    fn roundtrip(&mut self, req: Request) -> Result<RespPayload, ClientError> {
+        let id = req.id;
+        // Estimate the request's processing cost for the orchestrator
+        // (the connector queries the shared registry, like GenericFS).
+        let est = self
+            .runtime
+            .ns
+            .get_id(req.stack)
+            .and_then(|s| s.vertices.first().cloned())
+            .and_then(|v| self.runtime.mm.get(&v.uuid))
+            .map(|m| m.est_processing_time(&req))
+            .unwrap_or(1_000);
+        self.rr = (self.rr + 1) % self.conn.queues.len();
+        let qp = self.conn.queues[self.rr].clone();
+        qp.note_item_est(est);
+        qp.add_load(est as i64);
+        // Submit with backpressure retry.
+        let mut msg = Message::Req(req);
+        let deadline = Instant::now() + self.offline_timeout;
+        loop {
+            match qp.submit(msg, self.ctx.now(), self.conn.domain) {
+                Ok(()) => break,
+                Err(back) => {
+                    msg = back;
+                    if Instant::now() > deadline {
+                        return Err(ClientError::Backpressure);
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Wait: poll the CQ; detect a crashed Runtime and wait for its
+        // restart, then repair state and resubmit the request (§III-C3).
+        loop {
+            if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
+                if let Message::Resp(resp) = env.payload {
+                    if resp.id == id {
+                        return Ok(resp.payload);
+                    }
+                    // A stale response from before a crash: drop it.
+                }
+                continue;
+            }
+            if !self.runtime.ipc.is_online() {
+                // The in-flight request may be lost with the crashed
+                // Runtime. Per §III-C3 the client library invokes
+                // StateRepair in each LabMod once the Runtime returns;
+                // resubmission happens in `execute_with_retry`.
+                if self.runtime.ipc.wait_online(self.offline_timeout) {
+                    self.runtime.mm.repair_all();
+                }
+                return Err(ClientError::RuntimeDown);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Execute with automatic resubmission across a Runtime crash: the
+    /// request is retried until the Runtime answers or the offline
+    /// timeout expires.
+    pub fn execute_with_retry(
+        &mut self,
+        stack: &Arc<LabStack>,
+        payload: Payload,
+    ) -> Result<(RespPayload, u64), ClientError> {
+        let deadline = Instant::now() + self.offline_timeout;
+        loop {
+            match self.execute(stack, payload.clone()) {
+                Ok(r) => return Ok(r),
+                Err(ClientError::RuntimeDown) if Instant::now() < deadline => {
+                    if !self.runtime.ipc.wait_online(self.offline_timeout) {
+                        return Err(ClientError::RuntimeDown);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Submit a request without waiting (queue-depth > 1 clients).
+    /// Returns the request id to pass to [`Client::reap_one`]. For
+    /// sync-mode stacks the request executes inline and its response is
+    /// buffered locally.
+    pub fn submit(
+        &mut self,
+        stack: &Arc<LabStack>,
+        payload: Payload,
+    ) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let req = Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
+        let id = req.id;
+        match stack.exec {
+            ExecMode::Sync => {
+                let resp = process_request(
+                    &mut self.ctx,
+                    req,
+                    &self.runtime.ns,
+                    &self.runtime.mm,
+                    self.conn.domain,
+                );
+                self.inline_done.push((resp, self.ctx.now()));
+                Ok(id)
+            }
+            ExecMode::Async => {
+                let est = self
+                    .runtime
+                    .ns
+                    .get_id(req.stack)
+                    .and_then(|s| s.vertices.first().cloned())
+                    .and_then(|v| self.runtime.mm.get(&v.uuid))
+                    .map(|m| m.est_processing_time(&req))
+                    .unwrap_or(1_000);
+                self.rr = (self.rr + 1) % self.conn.queues.len();
+                let qp = self.conn.queues[self.rr].clone();
+                qp.note_item_est(est);
+                qp.add_load(est as i64);
+                self.pending.insert(id, (self.ctx.now(), self.rr));
+                let mut msg = Message::Req(req);
+                let deadline = Instant::now() + self.offline_timeout;
+                loop {
+                    match qp.submit(msg, self.ctx.now(), self.conn.domain) {
+                        Ok(()) => return Ok(id),
+                        Err(back) => {
+                            msg = back;
+                            if Instant::now() > deadline {
+                                self.pending.remove(&id);
+                                return Err(ClientError::Backpressure);
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reap one completion from any of this client's queues (or the
+    /// inline buffer for sync stacks). Returns `(response, latency_ns)`.
+    /// Blocks (in real time) until something completes.
+    pub fn reap_one(&mut self) -> Result<(Response, u64), ClientError> {
+        if let Some((resp, done_vt)) = self.inline_done.pop() {
+            // Inline execution already advanced the clock.
+            let _ = done_vt;
+            return Ok((resp, 0));
+        }
+        let deadline = Instant::now() + self.offline_timeout;
+        loop {
+            for qi in 0..self.conn.queues.len() {
+                let qp = self.conn.queues[qi].clone();
+                if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
+                    if let Message::Resp(resp) = env.payload {
+                        let submit_vt =
+                            self.pending.remove(&resp.id).map(|(t, _)| t).unwrap_or(0);
+                        let latency = self.ctx.now().saturating_sub(submit_vt);
+                        return Ok((resp, latency));
+                    }
+                }
+            }
+            if self.pending.is_empty() {
+                return Err(ClientError::Backpressure);
+            }
+            if !self.runtime.ipc.is_online() {
+                if self.runtime.ipc.wait_online(self.offline_timeout) {
+                    self.runtime.mm.repair_all();
+                }
+                return Err(ClientError::RuntimeDown);
+            }
+            if Instant::now() > deadline {
+                return Err(ClientError::RuntimeDown);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Requests submitted via [`Client::submit`] not yet reaped
+    /// (including inline sync-stack completions awaiting reap).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.inline_done.len()
+    }
+
+    /// Convenience: execute against whatever stack governs `path`.
+    pub fn execute_path(
+        &mut self,
+        path: &str,
+        payload: Payload,
+    ) -> Result<(RespPayload, u64), ClientError> {
+        let (stack, _) = self.resolve(path)?;
+        self.execute(&stack, payload)
+    }
+}

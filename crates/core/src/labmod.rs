@@ -1,0 +1,251 @@
+//! The LabMod abstraction (paper §III-A).
+//!
+//! A LabMod is "an independent, self-contained code object implementing a
+//! well-defined, distinct, single-purpose functionality" comprised of four
+//! elements:
+//!
+//! * **type** — the API set it implements ([`ModType`]);
+//! * **operation** — [`LabMod::process`]: well-defined input → output;
+//! * **state** — whatever the implementation keeps internally;
+//! * **connector** — the client-side entry that packages requests (the
+//!   [`crate::client::Client`] and the Generic LabMods in `labstor-mods`).
+//!
+//! To be upgradable, stackable and monitorable, every LabMod implements
+//! the platform APIs: [`LabMod::state_update`] (live upgrade),
+//! [`LabMod::state_repair`] (crash recovery), and
+//! [`LabMod::est_processing_time`] / [`LabMod::est_total_time`]
+//! (performance counters consumed by the Work Orchestrator).
+
+use std::any::Any;
+
+use labstor_sim::Ctx;
+
+use crate::registry::ModuleManager;
+use crate::request::{Request, RespPayload};
+use crate::stack::LabStack;
+
+/// The API family a LabMod implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModType {
+    /// POSIX-style filesystem.
+    Filesystem,
+    /// Key-value store.
+    Kvs,
+    /// Page/content cache.
+    Cache,
+    /// I/O scheduler.
+    Scheduler,
+    /// Storage driver (Kernel MQ, SPDK, DAX).
+    Driver,
+    /// Request filter/transformer (permissions, compression, consistency).
+    Filter,
+    /// Interface multiplexer (GenericFS, GenericKVS).
+    Generic,
+    /// Test/benchmark module.
+    Dummy,
+}
+
+/// A LabStor module.
+///
+/// Implementations are shared (`&self`) because one instance serves many
+/// workers; interior state uses its own synchronization (the paper's mods
+/// do the same across Runtime threads).
+pub trait LabMod: Send + Sync {
+    /// The factory/type name this instance was built from (e.g. "labfs").
+    fn type_name(&self) -> &'static str;
+
+    /// The API family.
+    fn mod_type(&self) -> ModType;
+
+    /// Process one request, possibly forwarding derived requests to the
+    /// next DAG stage through `env`.
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload;
+
+    /// Estimated processing time of `req` in ns — the performance counter
+    /// the Work Orchestrator uses to classify queues as latency-sensitive
+    /// or computational.
+    fn est_processing_time(&self, req: &Request) -> u64;
+
+    /// Cumulative processing time this instance has spent, in ns.
+    fn est_total_time(&self) -> u64 {
+        0
+    }
+
+    /// Live upgrade: pull state out of the instance being replaced.
+    /// Implementations downcast `old` via [`LabMod::as_any`].
+    fn state_update(&self, _old: &dyn LabMod) {}
+
+    /// Crash recovery: re-derive volatile state after a Runtime restart
+    /// (e.g. LabFS replays its metadata log).
+    fn state_repair(&self) {}
+
+    /// Downcast support for `state_update`.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Execution environment handed to [`LabMod::process`]: the stack being
+/// executed, the current vertex, and the module registry — everything a
+/// mod needs to forward work to its DAG outputs.
+pub struct StackEnv<'a> {
+    /// The LabStack being executed.
+    pub stack: &'a LabStack,
+    /// Index of the vertex currently executing.
+    pub vertex: usize,
+    /// Module registry for resolving output vertices.
+    pub registry: &'a ModuleManager,
+    /// Domain (address space) executing this stage.
+    pub domain: u32,
+}
+
+impl StackEnv<'_> {
+    /// Forward a derived request to the current vertex's first output.
+    ///
+    /// This is the paper's asynchronous message-passing between stages,
+    /// executed inline on the worker: the hand-off cost is charged and the
+    /// next operator runs on the same timeline. Returns `Ok` if the vertex
+    /// has no outputs (end of chain).
+    pub fn forward(&self, ctx: &mut Ctx, req: Request) -> RespPayload {
+        let outputs = match self.stack.vertices.get(self.vertex) {
+            Some(v) => &v.outputs,
+            None => return RespPayload::Err(format!("no vertex {} in stack", self.vertex)),
+        };
+        let Some(&next) = outputs.first() else {
+            return RespPayload::Ok;
+        };
+        self.forward_to(ctx, next, req)
+    }
+
+    /// Forward a derived request to a specific output vertex.
+    pub fn forward_to(&self, ctx: &mut Ctx, next: usize, req: Request) -> RespPayload {
+        let Some(vertex) = self.stack.vertices.get(next) else {
+            return RespPayload::Err(format!("stack has no vertex {next}"));
+        };
+        let Some(mod_) = self.registry.get(&vertex.uuid) else {
+            return RespPayload::Err(format!("module {} not in registry", vertex.uuid));
+        };
+        labstor_ipc::cost::same_domain_hop(ctx);
+        let env = StackEnv {
+            stack: self.stack,
+            vertex: next,
+            registry: self.registry,
+            domain: self.domain,
+        };
+        let mut fwd = req;
+        fwd.vertex = next;
+        mod_.process(ctx, fwd, &env)
+    }
+
+    /// Forward a derived request to *every* output vertex (fan-out, e.g.
+    /// mirroring). Returns the last stage's response, or the first error.
+    pub fn forward_all(&self, ctx: &mut Ctx, req: Request) -> RespPayload {
+        let outputs = match self.stack.vertices.get(self.vertex) {
+            Some(v) => v.outputs.clone(),
+            None => return RespPayload::Err(format!("no vertex {} in stack", self.vertex)),
+        };
+        if outputs.is_empty() {
+            return RespPayload::Ok;
+        }
+        let mut last = RespPayload::Ok;
+        for next in outputs {
+            let resp = self.forward_to(ctx, next, req.clone());
+            if !resp.is_ok() {
+                return resp;
+            }
+            last = resp;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Payload;
+    use crate::stack::{ExecMode, LabStack, Vertex};
+    use labstor_ipc::Credentials;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A mod that counts invocations and forwards.
+    struct Probe {
+        hits: AtomicU64,
+        forward: bool,
+    }
+
+    impl LabMod for Probe {
+        fn type_name(&self) -> &'static str {
+            "probe"
+        }
+        fn mod_type(&self) -> ModType {
+            ModType::Dummy
+        }
+        fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            ctx.advance(100);
+            if self.forward {
+                env.forward(ctx, req)
+            } else {
+                RespPayload::Ok
+            }
+        }
+        fn est_processing_time(&self, _req: &Request) -> u64 {
+            100
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn chain_stack() -> (ModuleManager, LabStack, Arc<Probe>, Arc<Probe>) {
+        let mm = ModuleManager::new();
+        let a = Arc::new(Probe { hits: AtomicU64::new(0), forward: true });
+        let b = Arc::new(Probe { hits: AtomicU64::new(0), forward: false });
+        mm.insert_instance("a", a.clone());
+        mm.insert_instance("b", b.clone());
+        let stack = LabStack {
+            id: 1,
+            mount: "fs::/t".into(),
+            exec: ExecMode::Async,
+            vertices: vec![
+                Vertex { uuid: "a".into(), outputs: vec![1] },
+                Vertex { uuid: "b".into(), outputs: vec![] },
+            ],
+            authorized_uids: vec![0],
+        };
+        (mm, stack, a, b)
+    }
+
+    #[test]
+    fn forward_walks_the_chain() {
+        let (mm, stack, a, b) = chain_stack();
+        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let mut ctx = Ctx::new();
+        let req =
+            Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        let head = mm.get("a").unwrap();
+        let resp = head.process(&mut ctx, req, &env);
+        assert!(resp.is_ok());
+        assert_eq!(a.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(b.hits.load(Ordering::Relaxed), 1);
+        // Both stages' work plus the inter-stage hop are on the clock.
+        assert!(ctx.now() >= 200 + labstor_ipc::cost::SAME_DOMAIN_HOP_NS);
+    }
+
+    #[test]
+    fn forward_past_end_is_ok() {
+        let (mm, stack, _, _) = chain_stack();
+        let env = StackEnv { stack: &stack, vertex: 1, registry: &mm, domain: 0 };
+        let mut ctx = Ctx::new();
+        let req = Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        assert!(env.forward(&mut ctx, req).is_ok());
+    }
+
+    #[test]
+    fn forward_to_missing_vertex_errors() {
+        let (mm, stack, _, _) = chain_stack();
+        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let mut ctx = Ctx::new();
+        let req = Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        assert!(!env.forward_to(&mut ctx, 9, req).is_ok());
+    }
+}

@@ -1,0 +1,307 @@
+//! The request/response vocabulary flowing through LabStor queues.
+//!
+//! LabMods "take a well-defined input, process the input, and produce a
+//! well-defined output" (§III-A). The platform ships interface payloads
+//! for the I/O types it bundles — POSIX-style file operations, key-value
+//! operations, block I/O between stack stages — plus a `Custom` escape
+//! hatch so third-party LabMods can define their own interfaces without
+//! touching the platform.
+
+use labstor_ipc::Credentials;
+
+/// POSIX-flavoured file operations (the GenericFS/LabFS interface).
+#[derive(Debug, Clone)]
+pub enum FsOp {
+    /// Create a regular file; respond with its inode.
+    Create {
+        /// Stack-relative path.
+        path: String,
+        /// Permission bits.
+        mode: u16,
+    },
+    /// Resolve (and optionally create) a file; respond with its inode.
+    Open {
+        /// Stack-relative path.
+        path: String,
+        /// Create if missing.
+        create: bool,
+        /// Truncate to zero length.
+        truncate: bool,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Stack-relative path.
+        path: String,
+        /// Permission bits.
+        mode: u16,
+    },
+    /// Write `data` at `offset` of inode `ino`.
+    Write {
+        /// Target inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at `offset` of inode `ino`.
+    Read {
+        /// Source inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Remove a file or empty directory.
+    Unlink {
+        /// Stack-relative path.
+        path: String,
+    },
+    /// Rename a file or directory.
+    Rename {
+        /// Existing path.
+        from: String,
+        /// New path (replaced if it exists, POSIX-style).
+        to: String,
+    },
+    /// Stat a path.
+    Stat {
+        /// Stack-relative path.
+        path: String,
+    },
+    /// List a directory.
+    Readdir {
+        /// Stack-relative path.
+        path: String,
+    },
+    /// Set file size.
+    Truncate {
+        /// Target inode.
+        ino: u64,
+        /// New size.
+        size: u64,
+    },
+    /// Persist one file.
+    Fsync {
+        /// Target inode.
+        ino: u64,
+    },
+}
+
+/// Key-value operations (the GenericKVS/LabKVS interface).
+#[derive(Debug, Clone)]
+pub enum KvsOp {
+    /// Store a value under a key (single round trip — the paper's point
+    /// versus open-modify-close).
+    Put {
+        /// Key.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Fetch a value.
+    Get {
+        /// Key.
+        key: String,
+    },
+    /// Delete a key.
+    Remove {
+        /// Key.
+        key: String,
+    },
+}
+
+/// Block I/O between stack stages (filesystem → cache → scheduler →
+/// driver).
+#[derive(Debug, Clone)]
+pub enum BlockOp {
+    /// Write sectors.
+    Write {
+        /// Start LBA (512-byte sectors).
+        lba: u64,
+        /// Payload (sector multiple).
+        data: Vec<u8>,
+    },
+    /// Read sectors.
+    Read {
+        /// Start LBA.
+        lba: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Durability barrier.
+    Flush,
+}
+
+/// The operation a request carries.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// File operation.
+    Fs(FsOp),
+    /// Key-value operation.
+    Kvs(KvsOp),
+    /// Block operation.
+    Block(BlockOp),
+    /// No-op of a given simulated processing size (upgrade/orchestration
+    /// experiments message a "dummy module").
+    Dummy {
+        /// Modeled processing cost in ns.
+        work_ns: u64,
+    },
+    /// Third-party interface: an op name and opaque bytes.
+    Custom {
+        /// Operation name (dispatched by the receiving LabMod).
+        op: String,
+        /// Opaque payload.
+        data: Vec<u8>,
+    },
+}
+
+/// Stat data returned through responses (mirrors the kernel's, but owned
+/// by the platform vocabulary so mods need not depend on the kernel
+/// crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Permission bits.
+    pub mode: u16,
+}
+
+/// A request addressed to (the entry vertex of) a LabStack.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique request id (chosen by the submitting connector).
+    pub id: u64,
+    /// Target LabStack.
+    pub stack: u64,
+    /// Target vertex within the stack DAG (entry vertex = 0).
+    pub vertex: usize,
+    /// The operation.
+    pub payload: Payload,
+    /// Credentials of the originating process.
+    pub creds: Credentials,
+    /// CPU core the request originated on (NoOp scheduling keys off it).
+    pub core: usize,
+    /// Hardware-queue hint set by an I/O scheduler LabMod for the driver.
+    pub qid_hint: Option<usize>,
+}
+
+impl Request {
+    /// Build a request for a stack's entry vertex.
+    pub fn new(id: u64, stack: u64, payload: Payload, creds: Credentials) -> Self {
+        Request { id, stack, vertex: 0, payload, creds, core: 0, qid_hint: None }
+    }
+
+    /// Same, tagged with the originating CPU core.
+    pub fn on_core(id: u64, stack: u64, payload: Payload, creds: Credentials, core: usize) -> Self {
+        Request { id, stack, vertex: 0, payload, creds, core, qid_hint: None }
+    }
+
+    /// Approximate payload size in bytes (used for cost estimation).
+    pub fn payload_bytes(&self) -> usize {
+        match &self.payload {
+            Payload::Fs(FsOp::Write { data, .. }) => data.len(),
+            Payload::Fs(FsOp::Read { len, .. }) => *len,
+            Payload::Kvs(KvsOp::Put { value, .. }) => value.len(),
+            Payload::Block(BlockOp::Write { data, .. }) => data.len(),
+            Payload::Block(BlockOp::Read { len, .. }) => *len,
+            Payload::Custom { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// What a completed request returns.
+#[derive(Debug, Clone)]
+pub enum RespPayload {
+    /// Success with no data.
+    Ok,
+    /// An inode (create/open).
+    Ino(u64),
+    /// Bytes read / value fetched.
+    Data(Vec<u8>),
+    /// Bytes written.
+    Len(usize),
+    /// Stat result.
+    Stat(FileStat),
+    /// Directory listing.
+    Names(Vec<String>),
+    /// Failure with a message.
+    Err(String),
+}
+
+impl RespPayload {
+    /// True unless the payload is an error.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, RespPayload::Err(_))
+    }
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Id of the originating request.
+    pub id: u64,
+    /// Result payload.
+    pub payload: RespPayload,
+}
+
+impl Response {
+    /// Success response.
+    pub fn ok(id: u64, payload: RespPayload) -> Self {
+        Response { id, payload }
+    }
+
+    /// Error response.
+    pub fn err(id: u64, msg: impl Into<String>) -> Self {
+        Response { id, payload: RespPayload::Err(msg.into()) }
+    }
+}
+
+/// What flows through queue pairs: requests toward workers, responses
+/// back.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Client → Runtime.
+    Req(Request),
+    /// Runtime → client.
+    Resp(Response),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_bytes_reflect_data() {
+        let creds = Credentials::new(1, 0, 0);
+        let w = Request::new(
+            1,
+            0,
+            Payload::Fs(FsOp::Write { ino: 1, offset: 0, data: vec![0u8; 4096] }),
+            creds,
+        );
+        assert_eq!(w.payload_bytes(), 4096);
+        let r =
+            Request::new(2, 0, Payload::Fs(FsOp::Read { ino: 1, offset: 0, len: 512 }), creds);
+        assert_eq!(r.payload_bytes(), 512);
+        let d = Request::new(3, 0, Payload::Dummy { work_ns: 10 }, creds);
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert!(Response::ok(1, RespPayload::Ok).payload.is_ok());
+        assert!(!Response::err(1, "nope").payload.is_ok());
+    }
+}

@@ -1,0 +1,354 @@
+//! The LabStor Runtime: warehouse and execution engine of LabStacks
+//! (paper §III-C, Fig. 2).
+//!
+//! Owns the IPC Manager, Module Manager, LabStack Namespace, Workers and
+//! Work Orchestrator. An optional admin thread periodically polls for
+//! module upgrades (every `t` ms, §III-C2) and rebalances queues
+//! (§III-C4). The Runtime can be crashed and restarted while clients keep
+//! running — the crash-recovery path of §III-C3.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use labstor_ipc::{Credentials, IpcManager};
+use labstor_sim::{Ctx, Watermark};
+
+use crate::client::Client;
+use crate::orchestrator::{DynamicPolicy, OrchestratorPolicy, QueueLoad};
+use crate::registry::{ModuleManager, UpgradeRequest};
+use crate::request::Message;
+use crate::spec::StackSpec;
+use crate::stack::{LabStack, Namespace};
+use crate::worker::Worker;
+
+/// Runtime configuration (the trusted user's "Runtime configuration
+/// YAML": worker pool, queue depths, orchestration policy, admin cadence).
+pub struct RuntimeConfig {
+    /// Maximum worker threads.
+    pub max_workers: usize,
+    /// Queue-pair depth.
+    pub queue_depth: usize,
+    /// Work orchestration policy.
+    pub policy: Arc<dyn OrchestratorPolicy>,
+    /// Spawn the admin thread (upgrade polling + periodic rebalance).
+    pub auto_admin: bool,
+    /// Admin poll interval (the paper's configurable `t`).
+    pub admin_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_workers: 4,
+            queue_depth: 256,
+            policy: Arc::new(DynamicPolicy::default()),
+            auto_admin: true,
+            admin_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The Runtime.
+pub struct Runtime {
+    /// IPC manager (connections, queue pairs, liveness).
+    pub ipc: Arc<IpcManager<Message>>,
+    /// Module manager (registry, factories, upgrades).
+    pub mm: Arc<ModuleManager>,
+    /// LabStack namespace.
+    pub ns: Arc<Namespace>,
+    /// Virtual-time high watermark across workers.
+    pub watermark: Arc<Watermark>,
+    workers: Mutex<Vec<Worker>>,
+    policy: Mutex<Arc<dyn OrchestratorPolicy>>,
+    max_workers: usize,
+    admin_stop: Arc<AtomicBool>,
+    admin: Mutex<Option<JoinHandle<()>>>,
+    auto_admin: bool,
+    admin_interval: Duration,
+    /// Rebalance history: watermark and per-queue work-done at the last
+    /// rebalance, for demand estimation.
+    rebalance_state: Mutex<RebalanceState>,
+}
+
+#[derive(Default)]
+struct RebalanceState {
+    last_wm: u64,
+    last_work: std::collections::HashMap<u64, u64>,
+    /// Last applied assignment (per-worker sorted qid groups).
+    /// Reassigning queues between workers is disruptive (a moved queue
+    /// lands behind the new worker's timeline), so an assignment is only
+    /// re-applied when the grouping actually changes.
+    last_shape: Vec<Vec<u64>>,
+}
+
+impl Runtime {
+    /// Start the Runtime: spawn workers (and the admin thread when
+    /// configured).
+    pub fn start(config: RuntimeConfig) -> Arc<Runtime> {
+        let ipc = IpcManager::new(config.queue_depth);
+        let mm = Arc::new(ModuleManager::new());
+        let ns = Namespace::new();
+        let watermark = Arc::new(Watermark::new());
+        let workers = (0..config.max_workers.max(1))
+            .map(|i| Worker::spawn(i, ns.clone(), mm.clone(), watermark.clone()))
+            .collect();
+        let rt = Arc::new(Runtime {
+            ipc,
+            mm,
+            ns,
+            watermark,
+            workers: Mutex::new(workers),
+            policy: Mutex::new(config.policy),
+            max_workers: config.max_workers.max(1),
+            admin_stop: Arc::new(AtomicBool::new(false)),
+            admin: Mutex::new(None),
+            auto_admin: config.auto_admin,
+            admin_interval: config.admin_interval,
+            rebalance_state: Mutex::new(RebalanceState::default()),
+        });
+        if config.auto_admin {
+            rt.spawn_admin();
+        }
+        rt
+    }
+
+    fn spawn_admin(self: &Arc<Self>) {
+        let rt = self.clone();
+        let stop = self.admin_stop.clone();
+        let interval = self.admin_interval;
+        let handle = std::thread::Builder::new()
+            .name("labstor-admin".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    rt.admin_tick();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn admin thread");
+        *self.admin.lock() = Some(handle);
+    }
+
+    /// One admin iteration: process queued upgrades, then rebalance.
+    pub fn admin_tick(&self) {
+        if self.mm.pending_upgrades() > 0 {
+            let mut admin_ctx = Ctx::at(self.watermark.get());
+            self.mm.process_upgrades(&mut admin_ctx, &self.ipc, self.workers_running());
+            self.watermark.publish(admin_ctx.now());
+        }
+        self.rebalance();
+    }
+
+    fn workers_running(&self) -> bool {
+        !self.workers.lock().is_empty()
+    }
+
+    /// Swap the orchestration policy live.
+    pub fn set_policy(&self, policy: Arc<dyn OrchestratorPolicy>) {
+        *self.policy.lock() = policy;
+        self.rebalance();
+    }
+
+    /// Run the orchestrator's `rebalance` and apply the assignment.
+    ///
+    /// Demand per queue is estimated as (work processed since the last
+    /// rebalance + current backlog) / virtual time elapsed, in
+    /// milli-workers — "the total estimated processing time of the queue".
+    #[allow(clippy::manual_checked_ops)]
+    pub fn rebalance(&self) {
+        let queues = self.ipc.primary_queues();
+        let wm = self.watermark.get();
+        let mut state = self.rebalance_state.lock();
+        let dt = wm.saturating_sub(state.last_wm);
+        let loads: Vec<QueueLoad> = queues
+            .iter()
+            .map(|q| {
+                let work = q.work_done_ns();
+                let last = state.last_work.insert(q.id, work).unwrap_or(0);
+                let backlog = q.est_load_ns();
+                let mut demand_milli = if dt > 0 {
+                    ((work - last + backlog).saturating_mul(1000)) / dt
+                } else {
+                    // No virtual progress yet: a queue with backlog wants
+                    // a worker's attention.
+                    if backlog > 0 { 1000 } else { 0 }
+                };
+                // Latency pressure ("optimizing for latency-sensitive
+                // requests"): requests waiting much longer than their own
+                // processing time mean the worker pool is the bottleneck —
+                // inflate the queue's demand so the knapsack adds workers.
+                let item = q.max_item_ns().max(1);
+                let wait = q.wait_ema_ns();
+                if wait > 2 * item {
+                    demand_milli =
+                        demand_milli.saturating_mul((wait / item).min(8)).max(demand_milli);
+                }
+                QueueLoad {
+                    qid: q.id,
+                    est_load_ns: backlog,
+                    max_item_ns: q.max_item_ns(),
+                    demand_milli,
+                }
+            })
+            .collect();
+        state.last_wm = wm;
+        drop(state);
+        let assignment = {
+            let policy = self.policy.lock();
+            policy.rebalance(&loads, self.max_workers)
+        };
+        let mut shape: Vec<Vec<u64>> = assignment
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        {
+            let mut state = self.rebalance_state.lock();
+            if state.last_shape == shape {
+                return; // sticky: identical grouping
+            }
+            std::mem::swap(&mut state.last_shape, &mut shape);
+        }
+        let workers = self.workers.lock();
+        if workers.is_empty() {
+            return;
+        }
+        for (i, w) in workers.iter().enumerate() {
+            let qids = assignment.get(i).cloned().unwrap_or_default();
+            let qs = queues.iter().filter(|q| qids.contains(&q.id)).cloned().collect();
+            w.assign(qs);
+        }
+    }
+
+    /// Number of workers currently holding assignments (the "cores used"
+    /// metric of Fig. 5a).
+    pub fn active_workers(&self) -> usize {
+        self.workers.lock().iter().filter(|w| w.is_active()).count()
+    }
+
+    /// Snapshot of per-worker `(virtual now, virtual busy)`.
+    pub fn worker_clocks(&self) -> Vec<(u64, u64)> {
+        self.workers
+            .lock()
+            .iter()
+            .map(|w| (w.now_ns.load(Ordering::Relaxed), w.busy_ns.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total requests processed by all workers.
+    pub fn total_processed(&self) -> u64 {
+        self.workers.lock().iter().map(|w| w.processed.load(Ordering::Relaxed)).sum()
+    }
+
+    // ---- clients ------------------------------------------------------------
+
+    /// Connect a client (handshake + queue allocation + rebalance, as the
+    /// paper specifies rebalance runs "when a new client connects").
+    pub fn connect(self: &Arc<Self>, creds: Credentials, n_queues: usize) -> Client {
+        let conn = self.ipc.connect(creds, n_queues);
+        self.rebalance();
+        Client::new(conn, self.clone())
+    }
+
+    // ---- stacks -------------------------------------------------------------
+
+    /// Mount a stack from its spec: instantiate every LabMod (idempotent
+    /// per UUID), validate, and insert into the Namespace — the overloaded
+    /// `mount` command of §III-B.
+    pub fn mount_stack(&self, spec: &StackSpec) -> Result<Arc<LabStack>, String> {
+        let stack = spec.to_stack()?;
+        // §III-D: "the execution of [untrusted] LabMods must be in a
+        // separate address space from the Runtime" — an async stack runs
+        // on Runtime workers, so untrusted types are only mountable sync.
+        if stack.exec == crate::stack::ExecMode::Async {
+            for v in &spec.labmods {
+                if !self.mm.type_is_trusted(&v.type_name) {
+                    return Err(format!(
+                        "LabMod type '{}' comes from an untrusted repo and cannot execute in the Runtime's address space; mount the stack with exec=sync",
+                        v.type_name
+                    ));
+                }
+            }
+        }
+        for v in &spec.labmods {
+            self.mm.instantiate(&v.uuid, &v.type_name, &v.params)?;
+        }
+        self.ns.mount(stack)
+    }
+
+    /// Parse and mount a JSON spec.
+    pub fn mount_stack_json(&self, json: &str) -> Result<Arc<LabStack>, String> {
+        self.mount_stack(&StackSpec::parse(json)?)
+    }
+
+    /// Queue a module upgrade (`modify.mods`); the admin thread applies it
+    /// within one poll interval.
+    pub fn request_upgrade(&self, req: UpgradeRequest) {
+        self.mm.request_upgrade(req);
+    }
+
+    // ---- crash / restart -----------------------------------------------------
+
+    /// Simulate a Runtime crash: workers die, liveness drops. Clients
+    /// block in `wait` until restart (§III-C3).
+    pub fn crash(&self) {
+        self.ipc.set_offline();
+        let mut workers = self.workers.lock();
+        for w in workers.iter_mut() {
+            w.stop();
+        }
+        workers.clear();
+    }
+
+    /// Restart after a crash: respawn workers, repair module state, go
+    /// back online.
+    pub fn restart(&self) {
+        {
+            let mut workers = self.workers.lock();
+            if workers.is_empty() {
+                *workers = (0..self.max_workers)
+                    .map(|i| {
+                        Worker::spawn(i, self.ns.clone(), self.mm.clone(), self.watermark.clone())
+                    })
+                    .collect();
+            }
+        }
+        self.mm.repair_all();
+        self.rebalance();
+        self.ipc.set_online();
+    }
+
+    /// Stop everything.
+    pub fn shutdown(&self) {
+        self.admin_stop.store(true, Ordering::Release);
+        if let Some(h) = self.admin.lock().take() {
+            let _ = h.join();
+        }
+        let mut workers = self.workers.lock();
+        for w in workers.iter_mut() {
+            w.stop();
+        }
+        workers.clear();
+        self.ipc.set_offline();
+    }
+
+    /// Whether this runtime runs its own admin thread.
+    pub fn has_admin(&self) -> bool {
+        self.auto_admin
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.admin_stop.store(true, Ordering::Release);
+        if let Some(h) = self.admin.lock().take() {
+            let _ = h.join();
+        }
+    }
+}

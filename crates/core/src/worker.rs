@@ -1,0 +1,320 @@
+//! Runtime workers: threads that poll request queues and execute LabStack
+//! DAGs (paper §III-C "Workers").
+//!
+//! "Workers receive requests by polling request queues and process the
+//! requests by querying the LabStack Namespace and Module Manager for the
+//! required LabMods." Each worker owns a virtual-time [`Ctx`]; its
+//! busy/total split is the CPU-utilization signal Fig. 5a reports.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::utils::Backoff;
+use parking_lot::RwLock;
+
+use labstor_ipc::{QueuePair, UpgradeFlag};
+use labstor_sim::{Ctx, Watermark};
+
+use crate::registry::ModuleManager;
+use crate::request::{Message, Request, Response};
+use crate::stack::Namespace;
+use crate::labmod::StackEnv;
+
+/// The Runtime's domain id (address space 0).
+pub const RUNTIME_DOMAIN: u32 = 0;
+
+/// Execute one request against its stack's entry vertex. Shared by
+/// workers (async stacks) and clients (sync stacks).
+pub fn process_request(
+    ctx: &mut Ctx,
+    req: Request,
+    ns: &Namespace,
+    mm: &ModuleManager,
+    domain: u32,
+) -> Response {
+    let id = req.id;
+    let Some(stack) = ns.get_id(req.stack) else {
+        return Response::err(id, format!("no stack {}", req.stack));
+    };
+    let Some(vertex) = stack.vertices.get(req.vertex) else {
+        return Response::err(id, format!("stack {} has no vertex {}", req.stack, req.vertex));
+    };
+    let Some(mod_) = mm.get(&vertex.uuid) else {
+        return Response::err(id, format!("module {} not loaded", vertex.uuid));
+    };
+    let env = StackEnv { stack: &stack, vertex: req.vertex, registry: mm, domain };
+    let payload = mod_.process(ctx, req, &env);
+    Response { id, payload }
+}
+
+/// Handle to a spawned worker thread.
+pub struct Worker {
+    /// Worker index.
+    pub id: usize,
+    /// Queues this worker drains (swapped by the orchestrator).
+    pub assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>>,
+    /// Published snapshot of the worker's virtual clock.
+    pub now_ns: Arc<AtomicU64>,
+    /// Published snapshot of the worker's busy time.
+    pub busy_ns: Arc<AtomicU64>,
+    /// Requests processed.
+    pub processed: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Spawn a worker thread.
+    pub fn spawn(
+        id: usize,
+        ns: Arc<Namespace>,
+        mm: Arc<ModuleManager>,
+        watermark: Arc<Watermark>,
+    ) -> Worker {
+        let assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>> =
+            Arc::new(RwLock::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let now_ns = Arc::new(AtomicU64::new(0));
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        let processed = Arc::new(AtomicU64::new(0));
+
+        let t_assigned = assigned.clone();
+        let t_stop = stop.clone();
+        let t_now = now_ns.clone();
+        let t_busy = busy_ns.clone();
+        let t_processed = processed.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("labstor-worker-{id}"))
+            .spawn(move || {
+                worker_loop(
+                    &t_assigned,
+                    &ns,
+                    &mm,
+                    &watermark,
+                    &t_stop,
+                    &t_now,
+                    &t_busy,
+                    &t_processed,
+                );
+            })
+            .expect("spawn worker thread");
+
+        Worker { id, assigned, now_ns, busy_ns, processed, stop, join: Some(join) }
+    }
+
+    /// Replace this worker's queue assignment.
+    pub fn assign(&self, queues: Vec<Arc<QueuePair<Message>>>) {
+        *self.assigned.write() = queues;
+    }
+
+    /// True while the worker has queues assigned.
+    pub fn is_active(&self) -> bool {
+        !self.assigned.read().is_empty()
+    }
+
+    /// Stop and join the worker.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    assigned: &RwLock<Vec<Arc<QueuePair<Message>>>>,
+    ns: &Namespace,
+    mm: &ModuleManager,
+    watermark: &Watermark,
+    stop: &AtomicBool,
+    now_ns: &AtomicU64,
+    busy_ns: &AtomicU64,
+    processed: &AtomicU64,
+) {
+    let mut ctx = Ctx::new();
+    let backoff = Backoff::new();
+    /// Requests drained per queue per pass: bounds queue starvation.
+    const BATCH: usize = 8;
+    while !stop.load(Ordering::Acquire) {
+        // Fast-forward across any upgrade pause that completed.
+        ctx.idle_until(mm.resume_vt());
+        let queues = assigned.read().clone();
+        let mut did_work = false;
+        for q in &queues {
+            match q.upgrade_flag() {
+                UpgradeFlag::UpdatePending => {
+                    q.ack_update();
+                    continue;
+                }
+                UpgradeFlag::UpdateAcked => continue,
+                UpgradeFlag::None => {}
+            }
+            for _ in 0..BATCH {
+                let Some(env) = q.consume(&mut ctx, RUNTIME_DOMAIN) else {
+                    break;
+                };
+                did_work = true;
+                match env.payload {
+                    Message::Req(req) => {
+                        let before = ctx.busy();
+                        let resp = process_request(&mut ctx, req, ns, mm, RUNTIME_DOMAIN);
+                        let spent = ctx.busy() - before;
+                        q.add_load(-(spent as i64));
+                        q.record_work(spent);
+                        processed.fetch_add(1, Ordering::Relaxed);
+                        // Post the completion; if the CQ is full, retry —
+                        // the client is draining it.
+                        let mut msg = Message::Resp(resp);
+                        loop {
+                            match q.complete(msg, ctx.now(), RUNTIME_DOMAIN) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    msg = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    // Responses only flow runtime→client; ignore strays.
+                    Message::Resp(_) => {}
+                }
+            }
+        }
+        now_ns.store(ctx.now(), Ordering::Relaxed);
+        busy_ns.store(ctx.busy(), Ordering::Relaxed);
+        watermark.publish(ctx.now());
+        if did_work {
+            backoff.reset();
+        } else if queues.is_empty() {
+            // Decommissioned: park until reassigned.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        } else {
+            // Empty queues: snooze (spins, then yields the host core).
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labmod::{LabMod, ModType};
+    use crate::request::{Payload, RespPayload};
+    use crate::stack::{ExecMode, LabStack, Vertex};
+    use labstor_ipc::{Credentials, IpcManager};
+    use std::time::{Duration, Instant};
+
+    struct Echo;
+    impl LabMod for Echo {
+        fn type_name(&self) -> &'static str {
+            "echo"
+        }
+        fn mod_type(&self) -> ModType {
+            ModType::Dummy
+        }
+        fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
+            if let Payload::Dummy { work_ns } = req.payload {
+                ctx.advance(work_ns);
+            }
+            RespPayload::Ok
+        }
+        fn est_processing_time(&self, _req: &Request) -> u64 {
+            1_000
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn setup() -> (Arc<Namespace>, Arc<ModuleManager>, u64) {
+        let ns = Namespace::new();
+        let mm = Arc::new(ModuleManager::new());
+        mm.insert_instance("echo1", Arc::new(Echo));
+        let stack = ns
+            .mount(LabStack {
+                id: 0,
+                mount: "dummy::/".into(),
+                exec: ExecMode::Async,
+                vertices: vec![Vertex { uuid: "echo1".into(), outputs: vec![] }],
+                authorized_uids: vec![0],
+            })
+            .unwrap();
+        (ns, mm, stack.id)
+    }
+
+    #[test]
+    fn process_request_resolves_stack_and_mod() {
+        let (ns, mm, sid) = setup();
+        let mut ctx = Ctx::new();
+        let req = Request::new(7, sid, Payload::Dummy { work_ns: 500 }, Credentials::ROOT);
+        let resp = process_request(&mut ctx, req, &ns, &mm, RUNTIME_DOMAIN);
+        assert_eq!(resp.id, 7);
+        assert!(resp.payload.is_ok());
+        assert_eq!(ctx.now(), 500);
+    }
+
+    #[test]
+    fn unknown_stack_errors() {
+        let (ns, mm, _) = setup();
+        let mut ctx = Ctx::new();
+        let req = Request::new(1, 999, Payload::Dummy { work_ns: 0 }, Credentials::ROOT);
+        assert!(!process_request(&mut ctx, req, &ns, &mm, 0).payload.is_ok());
+    }
+
+    #[test]
+    fn worker_drains_assigned_queue() {
+        let (ns, mm, sid) = setup();
+        let ipc: Arc<IpcManager<Message>> = IpcManager::new(64);
+        let conn = ipc.connect(Credentials::new(1, 0, 0), 1);
+        let watermark = Arc::new(Watermark::new());
+        let mut worker = Worker::spawn(0, ns, mm, watermark);
+        worker.assign(vec![conn.queues[0].clone()]);
+
+        let q = &conn.queues[0];
+        for i in 0..10 {
+            let req = Request::new(i, sid, Payload::Dummy { work_ns: 100 }, Credentials::ROOT);
+            q.submit(Message::Req(req), 0, conn.domain).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = 0;
+        let mut client = Ctx::new();
+        while got < 10 && Instant::now() < deadline {
+            if let Some(env) = q.reap(&mut client, conn.domain) {
+                if let Message::Resp(r) = env.payload {
+                    assert!(r.payload.is_ok());
+                    got += 1;
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(got, 10, "worker must complete all requests");
+        assert!(worker.processed.load(Ordering::Relaxed) >= 10);
+        worker.stop();
+    }
+
+    #[test]
+    fn worker_acks_upgrade_and_pauses() {
+        let (ns, mm, _) = setup();
+        let ipc: Arc<IpcManager<Message>> = IpcManager::new(8);
+        let conn = ipc.connect(Credentials::new(1, 0, 0), 1);
+        let watermark = Arc::new(Watermark::new());
+        let mut worker = Worker::spawn(0, ns, mm, watermark);
+        worker.assign(vec![conn.queues[0].clone()]);
+        conn.queues[0].mark_update_pending();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while conn.queues[0].upgrade_flag() != UpgradeFlag::UpdateAcked {
+            assert!(Instant::now() < deadline, "worker must ack");
+            std::thread::yield_now();
+        }
+        worker.stop();
+    }
+}

@@ -1,0 +1,83 @@
+//! Process credentials, as exchanged over the connection handshake.
+//!
+//! The paper: "The LabStor client initially connects to the LabStor Runtime
+//! through a UNIX domain socket, providing process credentials to the
+//! LabStor Runtime, which can be used for authentication." Here the
+//! handshake is a method call, but the credential structure and the checks
+//! built on it (permissions LabMod, ShmManager grants, LabStack modify
+//! authority) are the same.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a client process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Credentials {
+    /// Process id (simulated; unique per client connection domain).
+    pub pid: u32,
+    /// User id.
+    pub uid: u32,
+    /// Primary group id.
+    pub gid: u32,
+}
+
+impl Credentials {
+    /// The superuser identity (uid 0), used by administrative tooling.
+    pub const ROOT: Credentials = Credentials { pid: 0, uid: 0, gid: 0 };
+
+    /// Construct credentials.
+    pub fn new(pid: u32, uid: u32, gid: u32) -> Self {
+        Credentials { pid, uid, gid }
+    }
+
+    /// True for the superuser.
+    pub fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+
+    /// Unix-style permission check against a `(owner_uid, owner_gid, mode)`
+    /// triple. `want` is a 3-bit rwx mask (4=r, 2=w, 1=x).
+    pub fn allows(&self, owner_uid: u32, owner_gid: u32, mode: u16, want: u16) -> bool {
+        if self.is_root() {
+            return true;
+        }
+        let perm_bits = if self.uid == owner_uid {
+            (mode >> 6) & 0o7
+        } else if self.gid == owner_gid {
+            (mode >> 3) & 0o7
+        } else {
+            mode & 0o7
+        };
+        perm_bits & want == want
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_always_allowed() {
+        assert!(Credentials::ROOT.allows(42, 42, 0o000, 0o7));
+    }
+
+    #[test]
+    fn owner_bits_apply() {
+        let c = Credentials::new(1, 100, 100);
+        assert!(c.allows(100, 0, 0o600, 0o6));
+        assert!(!c.allows(100, 0, 0o400, 0o2));
+    }
+
+    #[test]
+    fn group_bits_apply() {
+        let c = Credentials::new(1, 100, 50);
+        assert!(c.allows(7, 50, 0o060, 0o6));
+        assert!(!c.allows(7, 50, 0o600, 0o4));
+    }
+
+    #[test]
+    fn other_bits_apply() {
+        let c = Credentials::new(1, 100, 100);
+        assert!(c.allows(7, 7, 0o004, 0o4));
+        assert!(!c.allows(7, 7, 0o004, 0o2));
+    }
+}

@@ -1,0 +1,187 @@
+//! The IPC Manager: connection handshake, queue-pair registry, and the
+//! runtime-liveness signal used by crash recovery.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::credentials::Credentials;
+use crate::queue_pair::{QueueFlags, QueuePair, QueueRole};
+
+/// A client's connection to the Runtime: its domain id (address space) and
+/// the queue pairs allocated for it during the handshake.
+pub struct ClientConnection<T> {
+    /// Domain (address-space) id assigned by the manager. Domain 0 is the
+    /// Runtime itself.
+    pub domain: u32,
+    /// Credentials presented over the (simulated) UNIX domain socket.
+    pub creds: Credentials,
+    /// Primary queue pairs allocated for this client.
+    pub queues: Vec<Arc<QueuePair<T>>>,
+}
+
+/// The Runtime's IPC manager.
+///
+/// Tracks every queue pair (the Work Orchestrator iterates them), assigns
+/// domain ids, and exposes the liveness flag that client-side `wait`
+/// operations poll to detect a crashed Runtime (paper §III-C3).
+pub struct IpcManager<T> {
+    qps: RwLock<Vec<Arc<QueuePair<T>>>>,
+    connections: RwLock<Vec<(u32, Credentials)>>,
+    next_qid: AtomicU64,
+    next_domain: AtomicU32,
+    online: AtomicBool,
+    /// Depth of each allocated queue.
+    depth: usize,
+}
+
+impl<T> IpcManager<T> {
+    /// Create a manager whose queues hold `depth` in-flight requests each.
+    pub fn new(depth: usize) -> Arc<Self> {
+        Arc::new(IpcManager {
+            qps: RwLock::new(Vec::new()),
+            connections: RwLock::new(Vec::new()),
+            next_qid: AtomicU64::new(0),
+            next_domain: AtomicU32::new(1), // 0 is the Runtime
+            online: AtomicBool::new(true),
+            depth,
+        })
+    }
+
+    /// Handshake: register a client and allocate `n_queues` primary
+    /// ordered queue pairs for it.
+    pub fn connect(&self, creds: Credentials, n_queues: usize) -> ClientConnection<T> {
+        let domain = self.next_domain.fetch_add(1, Ordering::Relaxed);
+        let queues: Vec<_> = (0..n_queues.max(1))
+            .map(|_| self.alloc_queue(QueueFlags { ordered: true, role: QueueRole::Primary }))
+            .collect();
+        self.connections.write().push((domain, creds));
+        ClientConnection { domain, creds, queues }
+    }
+
+    /// Allocate an additional queue pair (e.g. an intermediate queue for
+    /// requests spawned inside the Runtime).
+    pub fn alloc_queue(&self, flags: QueueFlags) -> Arc<QueuePair<T>> {
+        let id = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let qp = Arc::new(QueuePair::new(id, self.depth, flags));
+        self.qps.write().push(qp.clone());
+        qp
+    }
+
+    /// All primary queues (the upgrade protocol and orchestrator operate
+    /// on these).
+    pub fn primary_queues(&self) -> Vec<Arc<QueuePair<T>>> {
+        self.qps
+            .read()
+            .iter()
+            .filter(|q| q.flags().role == QueueRole::Primary)
+            .cloned()
+            .collect()
+    }
+
+    /// All intermediate queues.
+    pub fn intermediate_queues(&self) -> Vec<Arc<QueuePair<T>>> {
+        self.qps
+            .read()
+            .iter()
+            .filter(|q| q.flags().role == QueueRole::Intermediate)
+            .cloned()
+            .collect()
+    }
+
+    /// Every queue pair.
+    pub fn all_queues(&self) -> Vec<Arc<QueuePair<T>>> {
+        self.qps.read().clone()
+    }
+
+    /// Connected clients (domain, credentials).
+    pub fn connections(&self) -> Vec<(u32, Credentials)> {
+        self.connections.read().clone()
+    }
+
+    // ---- runtime liveness (crash recovery) --------------------------------
+
+    /// True while the Runtime is serving requests.
+    pub fn is_online(&self) -> bool {
+        self.online.load(Ordering::Acquire)
+    }
+
+    /// Mark the Runtime crashed/offline. Client `wait` loops notice.
+    pub fn set_offline(&self) {
+        self.online.store(false, Ordering::Release);
+    }
+
+    /// Mark the Runtime restarted.
+    pub fn set_online(&self) {
+        self.online.store(true, Ordering::Release);
+    }
+
+    /// Block until the Runtime is online or `timeout` expires. Returns
+    /// whether it came back. This is the client half of the paper's
+    /// `Wait` crash-detection: "wait for it to be restarted by the
+    /// administrator (for a configurable period of time)".
+    pub fn wait_online(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_online() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_allocates_domains_and_queues() {
+        let m: Arc<IpcManager<u32>> = IpcManager::new(8);
+        let a = m.connect(Credentials::new(1, 100, 100), 2);
+        let b = m.connect(Credentials::new(2, 100, 100), 1);
+        assert_ne!(a.domain, b.domain);
+        assert_eq!(a.queues.len(), 2);
+        assert_eq!(m.primary_queues().len(), 3);
+        assert_eq!(m.connections().len(), 2);
+    }
+
+    #[test]
+    fn intermediate_queues_are_separate() {
+        let m: Arc<IpcManager<u32>> = IpcManager::new(8);
+        m.connect(Credentials::new(1, 0, 0), 1);
+        m.alloc_queue(QueueFlags { ordered: false, role: QueueRole::Intermediate });
+        assert_eq!(m.primary_queues().len(), 1);
+        assert_eq!(m.intermediate_queues().len(), 1);
+        assert_eq!(m.all_queues().len(), 2);
+    }
+
+    #[test]
+    fn liveness_toggle_and_wait() {
+        let m: Arc<IpcManager<u32>> = IpcManager::new(1);
+        assert!(m.is_online());
+        m.set_offline();
+        assert!(!m.wait_online(Duration::from_millis(10)));
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            m2.set_online();
+        });
+        assert!(m.wait_online(Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn queue_flow_through_manager() {
+        let m: Arc<IpcManager<&'static str>> = IpcManager::new(4);
+        let conn = m.connect(Credentials::new(1, 0, 0), 1);
+        conn.queues[0].submit("hello", 0, conn.domain).unwrap();
+        // The Runtime (domain 0) consumes.
+        let mut ctx = labstor_sim::Ctx::new();
+        let env = conn.queues[0].consume(&mut ctx, 0).unwrap();
+        assert_eq!(env.payload, "hello");
+    }
+}

@@ -1,0 +1,441 @@
+//! Queue Pairs: the request/completion conduits between clients, the
+//! Runtime, and LabMods (paper §III-C1).
+//!
+//! Properties reproduced from the paper:
+//!
+//! * **Primary vs intermediate**: primary queues carry client-initiated
+//!   requests (and live in shared memory); intermediate queues hold
+//!   requests spawned by other requests (private memory).
+//! * **Ordered vs unordered**: ordered queues must be drained in sequence
+//!   by a single worker; unordered queues may be drained by many.
+//! * **Upgrade flags**: the Module Manager marks primary queues
+//!   `UPDATE_PENDING`; workers acknowledge with `UPDATE_ACKED` before the
+//!   upgrade proceeds (§III-C2).
+//!
+//! ## Virtual-time causality
+//!
+//! Envelopes carry the producer's virtual timestamp. A consumer whose
+//! clock lags the envelope's submit time first idles forward to it — work
+//! cannot be processed before it exists. This is the conservative
+//! synchronization rule that makes the simulation's timing host-independent
+//! (see `labstor_sim::time`).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crossbeam::queue::ArrayQueue;
+use labstor_sim::Ctx;
+
+use crate::cost;
+
+/// Whether a queue carries client-initiated or spawned requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRole {
+    /// Client-initiated requests; participates in upgrade quiescence.
+    Primary,
+    /// Requests spawned by other requests; drains to completion during
+    /// upgrades.
+    Intermediate,
+}
+
+/// Static properties of a queue pair.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueFlags {
+    /// Ordered queues are processed in sequence on a single worker.
+    pub ordered: bool,
+    /// Primary or intermediate (see [`QueueRole`]).
+    pub role: QueueRole,
+}
+
+impl Default for QueueFlags {
+    fn default() -> Self {
+        QueueFlags { ordered: true, role: QueueRole::Primary }
+    }
+}
+
+/// Live-upgrade handshake state of a primary queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UpgradeFlag {
+    /// Normal operation.
+    None = 0,
+    /// The Module Manager requested quiescence.
+    UpdatePending = 1,
+    /// The owning worker acknowledged and paused the queue.
+    UpdateAcked = 2,
+}
+
+/// A request wrapped with provenance used for cost accounting, causality,
+/// and queueing-latency measurement.
+#[derive(Debug)]
+pub struct Envelope<T> {
+    /// The request itself.
+    pub payload: T,
+    /// Virtual time at which the envelope entered the queue.
+    pub submit_vt: u64,
+    /// Domain (address space) that produced the envelope.
+    pub origin_domain: u32,
+}
+
+/// A submission/completion queue pair.
+///
+/// Backed by bounded MPMC queues: FIFO per queue, safe under worker
+/// reassignment by the orchestrator. The *ordered* flag is an assignment
+/// constraint honored by the Work Orchestrator, which guarantees a single
+/// consumer for ordered queues.
+pub struct QueuePair<T> {
+    /// Unique queue id within the IPC manager.
+    pub id: u64,
+    flags: QueueFlags,
+    sq: ArrayQueue<Envelope<T>>,
+    cq: ArrayQueue<Envelope<T>>,
+    upgrade: AtomicU8,
+    submitted: AtomicU64,
+    consumed: AtomicU64,
+    completed: AtomicU64,
+    /// Estimated total processing cost (ns) of requests currently queued;
+    /// maintained by callers via [`QueuePair::add_load`] and consumed by
+    /// the Work Orchestrator's partitioner.
+    est_load_ns: AtomicU64,
+    /// Maximum estimated single-item cost seen (queue classification).
+    max_item_ns: AtomicU64,
+    /// Cumulative processing time workers spent on this queue's requests
+    /// (the orchestrator's demand signal).
+    work_done_ns: AtomicU64,
+    /// Exponential moving average of the queue wait requests observed
+    /// (worker pickup time minus submit time) — the orchestrator's
+    /// latency-pressure signal.
+    wait_ema_ns: AtomicU64,
+}
+
+impl<T> QueuePair<T> {
+    /// Create a queue pair with `depth` slots in each direction.
+    pub fn new(id: u64, depth: usize, flags: QueueFlags) -> Self {
+        QueuePair {
+            id,
+            flags,
+            sq: ArrayQueue::new(depth.max(1)),
+            cq: ArrayQueue::new(depth.max(1)),
+            upgrade: AtomicU8::new(UpgradeFlag::None as u8),
+            submitted: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            est_load_ns: AtomicU64::new(0),
+            max_item_ns: AtomicU64::new(0),
+            work_done_ns: AtomicU64::new(0),
+            wait_ema_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Static queue properties.
+    pub fn flags(&self) -> QueueFlags {
+        self.flags
+    }
+
+    /// Submit a request at virtual time `submit_vt` from `origin_domain`.
+    /// Fails (returning the payload) when the submission queue is full —
+    /// callers back off and retry, which is the paper's backpressure
+    /// behaviour.
+    pub fn submit(&self, payload: T, submit_vt: u64, origin_domain: u32) -> Result<(), T> {
+        let env = Envelope { payload, submit_vt, origin_domain };
+        match self.sq.push(env) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(env) => Err(env.payload),
+        }
+    }
+
+    /// Worker side: take the oldest submitted request. The consumer's
+    /// clock idles forward to the submit time (causality) and is charged
+    /// the transfer cost — cross-domain when the envelope came from
+    /// another address space.
+    pub fn consume(&self, ctx: &mut Ctx, consumer_domain: u32) -> Option<Envelope<T>> {
+        let env = self.sq.pop()?;
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+        // Queue wait: how long the request sat before this worker's
+        // timeline reached it (zero when the worker was waiting for it).
+        let wait = ctx.now().saturating_sub(env.submit_vt);
+        let ema = self.wait_ema_ns.load(Ordering::Relaxed);
+        self.wait_ema_ns.store(ema - ema / 8 + wait / 8, Ordering::Relaxed);
+        ctx.idle_until(env.submit_vt);
+        if env.origin_domain != consumer_domain {
+            cost::cross_domain_hop(ctx);
+        } else {
+            cost::same_domain_hop(ctx);
+        }
+        Some(env)
+    }
+
+    /// Worker side: post a completion produced at `complete_vt` back
+    /// toward the client.
+    pub fn complete(&self, payload: T, complete_vt: u64, origin_domain: u32) -> Result<(), T> {
+        let env = Envelope { payload, submit_vt: complete_vt, origin_domain };
+        match self.cq.push(env) {
+            Ok(()) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(env) => Err(env.payload),
+        }
+    }
+
+    /// Client side: reap one completion, idling forward to its production
+    /// time and paying the transfer cost when it was produced in another
+    /// domain.
+    pub fn reap(&self, ctx: &mut Ctx, consumer_domain: u32) -> Option<Envelope<T>> {
+        let env = self.cq.pop()?;
+        ctx.idle_until(env.submit_vt);
+        if env.origin_domain != consumer_domain {
+            cost::cross_domain_hop(ctx);
+        } else {
+            cost::same_domain_hop(ctx);
+        }
+        Some(env)
+    }
+
+    /// Number of submitted-but-unconsumed requests.
+    pub fn sq_depth(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Number of posted-but-unreaped completions.
+    pub fn cq_depth(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Total requests ever submitted.
+    pub fn total_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Total requests ever consumed by workers.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Total completions ever posted.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    // ---- upgrade handshake ------------------------------------------------
+
+    /// Current upgrade flag.
+    pub fn upgrade_flag(&self) -> UpgradeFlag {
+        match self.upgrade.load(Ordering::Acquire) {
+            1 => UpgradeFlag::UpdatePending,
+            2 => UpgradeFlag::UpdateAcked,
+            _ => UpgradeFlag::None,
+        }
+    }
+
+    /// Module Manager: request quiescence on this queue.
+    pub fn mark_update_pending(&self) {
+        self.upgrade.store(UpgradeFlag::UpdatePending as u8, Ordering::Release);
+    }
+
+    /// Worker: acknowledge the pending update (pauses the queue).
+    /// Returns false if no update was pending.
+    pub fn ack_update(&self) -> bool {
+        self.upgrade
+            .compare_exchange(
+                UpgradeFlag::UpdatePending as u8,
+                UpgradeFlag::UpdateAcked as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Module Manager: resume the queue after the upgrade completes.
+    pub fn clear_update(&self) {
+        self.upgrade.store(UpgradeFlag::None as u8, Ordering::Release);
+    }
+
+    /// True while the queue must not be drained (update acked, upgrade in
+    /// progress).
+    pub fn is_paused(&self) -> bool {
+        self.upgrade.load(Ordering::Acquire) == UpgradeFlag::UpdateAcked as u8
+    }
+
+    // ---- orchestrator load accounting --------------------------------------
+
+    /// Add (or with a negative value, remove) estimated processing cost.
+    pub fn add_load(&self, delta_ns: i64) {
+        if delta_ns >= 0 {
+            self.est_load_ns.fetch_add(delta_ns as u64, Ordering::Relaxed);
+        } else {
+            let sub = (-delta_ns) as u64;
+            let mut cur = self.est_load_ns.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(sub);
+                match self.est_load_ns.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+    }
+
+    /// Estimated processing cost of currently queued requests, in ns.
+    pub fn est_load_ns(&self) -> u64 {
+        self.est_load_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record the estimated cost of one submitted item; keeps the
+    /// maximum. The Work Orchestrator classifies queues as
+    /// latency-sensitive or computational from this (paper §III-C4).
+    pub fn note_item_est(&self, est_ns: u64) {
+        let mut cur = self.max_item_ns.load(Ordering::Relaxed);
+        while est_ns > cur {
+            match self.max_item_ns.compare_exchange_weak(
+                cur,
+                est_ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Maximum estimated single-item cost seen on this queue.
+    pub fn max_item_ns(&self) -> u64 {
+        self.max_item_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record `ns` of processing done for a request from this queue.
+    pub fn record_work(&self, ns: u64) {
+        self.work_done_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Cumulative processing time spent on this queue's requests.
+    pub fn work_done_ns(&self) -> u64 {
+        self.work_done_ns.load(Ordering::Relaxed)
+    }
+
+    /// Recent average queue wait in ns.
+    pub fn wait_ema_ns(&self) -> u64 {
+        self.wait_ema_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> QueuePair<u32> {
+        QueuePair::new(1, 8, QueueFlags::default())
+    }
+
+    #[test]
+    fn submit_consume_complete_reap() {
+        let q = qp();
+        q.submit(7, 100, 1).unwrap();
+        let mut worker = Ctx::new();
+        let env = q.consume(&mut worker, 0).unwrap();
+        assert_eq!(env.payload, 7);
+        assert_eq!(env.origin_domain, 1);
+        // Worker idled to submit time then paid the cross-domain hop.
+        assert_eq!(worker.now(), 100 + cost::CROSS_DOMAIN_HOP_NS);
+        q.complete(env.payload + 1, worker.now(), 0).unwrap();
+        let mut client = Ctx::at(50);
+        let done = q.reap(&mut client, 1).unwrap();
+        assert_eq!(done.payload, 8);
+        assert_eq!(client.now(), worker.now() + cost::CROSS_DOMAIN_HOP_NS);
+    }
+
+    #[test]
+    fn same_domain_hop_is_cheap() {
+        let q = qp();
+        q.submit(1, 0, 0).unwrap();
+        let mut ctx = Ctx::new();
+        q.consume(&mut ctx, 0).unwrap();
+        assert_eq!(ctx.now(), cost::SAME_DOMAIN_HOP_NS);
+    }
+
+    #[test]
+    fn consumer_ahead_of_submit_does_not_rewind() {
+        let q = qp();
+        q.submit(1, 100, 1).unwrap();
+        let mut worker = Ctx::at(500);
+        q.consume(&mut worker, 0).unwrap();
+        assert_eq!(worker.now(), 500 + cost::CROSS_DOMAIN_HOP_NS);
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let q = QueuePair::new(1, 2, QueueFlags::default());
+        q.submit(1, 0, 0).unwrap();
+        q.submit(2, 0, 0).unwrap();
+        assert_eq!(q.submit(3, 0, 0), Err(3));
+        let mut ctx = Ctx::new();
+        q.consume(&mut ctx, 0).unwrap();
+        q.submit(3, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn counters_track_flow() {
+        let q = qp();
+        q.submit(1, 0, 0).unwrap();
+        q.submit(2, 0, 0).unwrap();
+        assert_eq!(q.sq_depth(), 2);
+        let mut ctx = Ctx::new();
+        q.consume(&mut ctx, 0).unwrap();
+        assert_eq!((q.total_submitted(), q.total_consumed()), (2, 1));
+        q.complete(9, 0, 0).unwrap();
+        assert_eq!((q.cq_depth(), q.total_completed()), (1, 1));
+    }
+
+    #[test]
+    fn upgrade_handshake() {
+        let q = qp();
+        assert_eq!(q.upgrade_flag(), UpgradeFlag::None);
+        assert!(!q.ack_update()); // nothing pending
+        q.mark_update_pending();
+        assert_eq!(q.upgrade_flag(), UpgradeFlag::UpdatePending);
+        assert!(q.ack_update());
+        assert!(q.is_paused());
+        q.clear_update();
+        assert_eq!(q.upgrade_flag(), UpgradeFlag::None);
+        assert!(!q.is_paused());
+    }
+
+    #[test]
+    fn max_item_est_keeps_maximum() {
+        let q = qp();
+        q.note_item_est(500);
+        q.note_item_est(200);
+        q.note_item_est(900);
+        assert_eq!(q.max_item_ns(), 900);
+    }
+
+    #[test]
+    fn load_accounting_saturates_at_zero() {
+        let q = qp();
+        q.add_load(1000);
+        q.add_load(-250);
+        assert_eq!(q.est_load_ns(), 750);
+        q.add_load(-10_000);
+        assert_eq!(q.est_load_ns(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = QueuePair::new(1, 64, QueueFlags::default());
+        for i in 0..10 {
+            q.submit(i, 0, 0).unwrap();
+        }
+        let mut ctx = Ctx::new();
+        for i in 0..10 {
+            assert_eq!(q.consume(&mut ctx, 0).unwrap().payload, i);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Grant-based shared memory regions (the ShMemMod analog).
+//!
+//! The paper's ShMemMod allocates regions with `vmalloc` and maps them into
+//! a user's address space with `remap_pfn_range` — but *only* for processes
+//! the Runtime has granted access, "enabling both high-performance and
+//! security, even among processes launched by the same user."
+//!
+//! Here a region is a byte arena; the grant discipline is identical:
+//! [`ShmManager::attach`] fails unless the attaching pid has been granted,
+//! and revocation invalidates future attaches (existing handles model
+//! already-mapped pages, which in the real system also stay mapped).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Errors from the shared-memory manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmError {
+    /// The region id is unknown.
+    NoSuchRegion(u64),
+    /// The pid has not been granted access to the region.
+    NotGranted {
+        /// Region id the attach targeted.
+        region: u64,
+        /// The pid lacking a grant.
+        pid: u32,
+    },
+    /// Access beyond the region size.
+    OutOfBounds {
+        /// Region id.
+        region: u64,
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// The region's size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmError::NoSuchRegion(id) => write!(f, "no shared-memory region {id}"),
+            ShmError::NotGranted { region, pid } => {
+                write!(f, "pid {pid} has no grant for region {region}")
+            }
+            ShmError::OutOfBounds { region, offset, len, size } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) beyond region {region} size {size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+struct Region {
+    data: RwLock<Box<[u8]>>,
+    grants: RwLock<HashSet<u32>>,
+}
+
+/// A mapped view of a granted region.
+///
+/// Cloning is cheap (the mapping is shared); reads and writes go straight
+/// to the region bytes.
+#[derive(Clone)]
+pub struct ShmRegionHandle {
+    id: u64,
+    region: Arc<Region>,
+}
+
+impl ShmRegionHandle {
+    /// Region id this handle maps.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.region.data.read().len()
+    }
+
+    /// True for a zero-sized region.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy bytes out of the region.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), ShmError> {
+        let data = self.region.data.read();
+        let end = offset.checked_add(buf.len()).filter(|&e| e <= data.len()).ok_or(
+            ShmError::OutOfBounds { region: self.id, offset, len: buf.len(), size: data.len() },
+        )?;
+        buf.copy_from_slice(&data[offset..end]);
+        Ok(())
+    }
+
+    /// Copy bytes into the region.
+    pub fn write(&self, offset: usize, buf: &[u8]) -> Result<(), ShmError> {
+        let mut data = self.region.data.write();
+        let size = data.len();
+        let end = offset.checked_add(buf.len()).filter(|&e| e <= size).ok_or(
+            ShmError::OutOfBounds { region: self.id, offset, len: buf.len(), size },
+        )?;
+        data[offset..end].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// The Runtime-owned shared memory manager.
+#[derive(Default)]
+pub struct ShmManager {
+    regions: RwLock<HashMap<u64, Arc<Region>>>,
+    next_id: RwLock<u64>,
+}
+
+impl ShmManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a region of `size` bytes, owned by (and granted to)
+    /// `owner_pid`. Returns the region id.
+    pub fn create_region(&self, size: usize, owner_pid: u32) -> u64 {
+        let mut next = self.next_id.write();
+        let id = *next;
+        *next += 1;
+        let region = Arc::new(Region {
+            data: RwLock::new(vec![0u8; size].into_boxed_slice()),
+            grants: RwLock::new(HashSet::from([owner_pid])),
+        });
+        self.regions.write().insert(id, region);
+        id
+    }
+
+    /// Grant `pid` the right to attach `region`.
+    pub fn grant(&self, region: u64, pid: u32) -> Result<(), ShmError> {
+        let regions = self.regions.read();
+        let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
+        r.grants.write().insert(pid);
+        Ok(())
+    }
+
+    /// Revoke `pid`'s grant. Existing handles stay valid (pages already
+    /// mapped), future attaches fail.
+    pub fn revoke(&self, region: u64, pid: u32) -> Result<(), ShmError> {
+        let regions = self.regions.read();
+        let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
+        r.grants.write().remove(&pid);
+        Ok(())
+    }
+
+    /// Map the region into `pid`'s address space.
+    pub fn attach(&self, region: u64, pid: u32) -> Result<ShmRegionHandle, ShmError> {
+        let regions = self.regions.read();
+        let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
+        if !r.grants.read().contains(&pid) {
+            return Err(ShmError::NotGranted { region, pid });
+        }
+        Ok(ShmRegionHandle { id: region, region: r.clone() })
+    }
+
+    /// Destroy a region. Outstanding handles keep the memory alive but the
+    /// id becomes invalid.
+    pub fn destroy(&self, region: u64) -> Result<(), ShmError> {
+        self.regions
+            .write()
+            .remove(&region)
+            .map(|_| ())
+            .ok_or(ShmError::NoSuchRegion(region))
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_can_attach_and_rw() {
+        let m = ShmManager::new();
+        let id = m.create_region(64, 100);
+        let h = m.attach(id, 100).unwrap();
+        h.write(10, b"abc").unwrap();
+        let mut out = [0u8; 3];
+        h.read(10, &mut out).unwrap();
+        assert_eq!(&out, b"abc");
+    }
+
+    #[test]
+    fn ungranted_pid_rejected() {
+        let m = ShmManager::new();
+        let id = m.create_region(64, 100);
+        match m.attach(id, 200) {
+            Err(ShmError::NotGranted { region, pid }) => {
+                assert_eq!((region, pid), (id, 200));
+            }
+            other => panic!("expected NotGranted, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn grant_then_attach() {
+        let m = ShmManager::new();
+        let id = m.create_region(64, 100);
+        m.grant(id, 200).unwrap();
+        assert!(m.attach(id, 200).is_ok());
+    }
+
+    #[test]
+    fn revoke_blocks_future_attach_not_existing_handle() {
+        let m = ShmManager::new();
+        let id = m.create_region(64, 100);
+        m.grant(id, 200).unwrap();
+        let h = m.attach(id, 200).unwrap();
+        m.revoke(id, 200).unwrap();
+        assert!(m.attach(id, 200).is_err());
+        // Already-mapped handle still works.
+        h.write(0, &[1]).unwrap();
+    }
+
+    #[test]
+    fn oob_access_rejected() {
+        let m = ShmManager::new();
+        let id = m.create_region(16, 1);
+        let h = m.attach(id, 1).unwrap();
+        assert!(h.write(10, &[0u8; 10]).is_err());
+        let mut buf = [0u8; 20];
+        assert!(h.read(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn destroy_invalidates_id_keeps_memory() {
+        let m = ShmManager::new();
+        let id = m.create_region(16, 1);
+        let h = m.attach(id, 1).unwrap();
+        m.destroy(id).unwrap();
+        assert!(m.attach(id, 1).is_err());
+        assert_eq!(m.region_count(), 0);
+        h.write(0, &[7]).unwrap(); // handle-held memory survives
+    }
+
+    #[test]
+    fn handles_share_the_same_bytes() {
+        let m = ShmManager::new();
+        let id = m.create_region(8, 1);
+        m.grant(id, 2).unwrap();
+        let a = m.attach(id, 1).unwrap();
+        let b = m.attach(id, 2).unwrap();
+        a.write(0, &[42]).unwrap();
+        let mut out = [0u8; 1];
+        b.read(0, &mut out).unwrap();
+        assert_eq!(out[0], 42);
+    }
+}

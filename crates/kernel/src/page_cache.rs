@@ -1,0 +1,503 @@
+//! The kernel page cache model.
+//!
+//! Buffered I/O in Linux lands in the page cache: reads fill 4 KB pages
+//! from the device and copy them to user space; writes copy user data into
+//! pages and mark them dirty for later writeback. Fig. 4a of the paper
+//! charges 17% of a 4 KB write to "the page cache … due to data copying" —
+//! the copy and lookup costs here are calibrated to that.
+//!
+//! Concurrency: real data is protected by a real mutex; *modeled* lock
+//! contention (what multiple threads would pay on the testbed) is charged
+//! through a virtual [`Resource`], so scalability shapes survive the
+//! virtual-time design (see `labstor_sim::time`).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use labstor_sim::{Ctx, Resource};
+
+use crate::cost;
+
+/// Page size in bytes (x86-64).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Key of a cached page: (inode, page index).
+pub type PageKey = (u64, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU map with O(1) touch/insert/evict, built on a slab of doubly
+/// linked entries. Used by the page cache and reusable for other caches.
+pub struct LruMap<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> LruMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        LruMap { map: HashMap::new(), slab: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Get a value and mark it most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx].value.as_mut()
+    }
+
+    /// Peek without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).and_then(|&i| self.slab[i].value.as_ref())
+    }
+
+    /// Insert (or replace) a value as most-recently-used. Returns the
+    /// previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return self.slab[idx].value.replace(value);
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.slab[i] = Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+            i
+        } else {
+            self.slab.push(Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        None
+    }
+
+    /// Remove a key.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx].value.take()
+    }
+
+    /// Evict the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.slab[idx].key.clone();
+        self.map.remove(&key);
+        self.unlink(idx);
+        self.free.push(idx);
+        let value = self.slab[idx].value.take().expect("live entry has a value");
+        Some((key, value))
+    }
+
+    /// Iterate over `(key, &value)` pairs in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map
+            .iter()
+            .filter_map(|(k, &idx)| self.slab[idx].value.as_ref().map(|v| (k, v)))
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Default for LruMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cached page.
+pub struct Page {
+    /// Page contents.
+    pub data: Box<[u8]>,
+    /// Set when the page holds data not yet written back.
+    pub dirty: bool,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice(), dirty: false }
+    }
+}
+
+/// A dirty page handed back to the filesystem for writeback.
+pub struct Evicted {
+    /// (inode, page index) of the evicted page.
+    pub key: PageKey,
+    /// Page contents at eviction time.
+    pub data: Box<[u8]>,
+}
+
+/// The page cache: bounded LRU of 4 KB pages with dirty tracking.
+pub struct PageCache {
+    inner: Mutex<LruMap<PageKey, Page>>,
+    capacity_pages: usize,
+    /// Virtual-time serialization of tree/LRU manipulation (mapping lock).
+    lock: Resource,
+}
+
+impl PageCache {
+    /// Cache bounded at `capacity_bytes` (rounded down to whole pages,
+    /// minimum one page).
+    pub fn new(capacity_bytes: usize) -> Self {
+        PageCache {
+            inner: Mutex::new(LruMap::new()),
+            capacity_pages: (capacity_bytes / PAGE_SIZE).max(1),
+            lock: Resource::new(),
+        }
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Charge the per-page mapping-lock cost, serialized across threads.
+    fn charge_lock(&self, ctx: &mut Ctx) {
+        let (_, end) = self.lock.acquire(ctx.now(), cost::PAGE_LOOKUP_NS);
+        ctx.poll_until(end);
+    }
+
+    /// Copy `data` into the cache at byte `offset` of `ino`, marking pages
+    /// dirty. Returns dirty pages evicted to make room (for writeback);
+    /// clean victims are silently dropped.
+    pub fn write(&self, ctx: &mut Ctx, ino: u64, offset: u64, data: &[u8]) -> Vec<Evicted> {
+        let mut evicted = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let pgidx = abs / PAGE_SIZE as u64;
+            let pgoff = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - pgoff).min(data.len() - pos);
+            self.charge_lock(ctx);
+            cost::copy(ctx, n);
+            let mut inner = self.inner.lock();
+            let key = (ino, pgidx);
+            if inner.get(&key).is_none() {
+                inner.insert(key, Page::zeroed());
+            }
+            let page = inner.get(&key).expect("just inserted");
+            page.data[pgoff..pgoff + n].copy_from_slice(&data[pos..pos + n]);
+            page.dirty = true;
+            while inner.len() > self.capacity_pages {
+                match inner.pop_lru() {
+                    Some((k, p)) if p.dirty => evicted.push(Evicted { key: k, data: p.data }),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            drop(inner);
+            pos += n;
+        }
+        evicted
+    }
+
+    /// Read `buf.len()` bytes at byte `offset` of `ino`. For each page
+    /// miss, `fill` fetches the page from the device; returning `false`
+    /// aborts the read. On success returns the number of misses; `Err`
+    /// carries no payload because the filesystem owns the real error (it
+    /// is produced inside `fill`).
+    #[allow(clippy::result_unit_err)]
+    pub fn read(
+        &self,
+        ctx: &mut Ctx,
+        ino: u64,
+        offset: u64,
+        buf: &mut [u8],
+        mut fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
+    ) -> Result<usize, ()> {
+        let mut misses = 0usize;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let pgidx = abs / PAGE_SIZE as u64;
+            let pgoff = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - pgoff).min(buf.len() - pos);
+            self.charge_lock(ctx);
+            let key = (ino, pgidx);
+            let hit = {
+                let mut inner = self.inner.lock();
+                match inner.get(&key) {
+                    Some(page) => {
+                        buf[pos..pos + n].copy_from_slice(&page.data[pgoff..pgoff + n]);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !hit {
+                misses += 1;
+                let mut page = Page::zeroed();
+                if !fill(ctx, pgidx, &mut page.data) {
+                    return Err(());
+                }
+                buf[pos..pos + n].copy_from_slice(&page.data[pgoff..pgoff + n]);
+                let mut inner = self.inner.lock();
+                inner.insert(key, page);
+                while inner.len() > self.capacity_pages {
+                    // Dirty LRU victims must not be lost: push them back as
+                    // most-recent and stop (the cache temporarily exceeds
+                    // capacity until writeback — dirty-ratio throttling).
+                    match inner.pop_lru() {
+                        Some((k, p)) if p.dirty => {
+                            inner.insert(k, p);
+                            break;
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+            cost::copy(ctx, n);
+            pos += n;
+        }
+        Ok(misses)
+    }
+
+    /// Take every dirty page belonging to `ino` (fsync) or to all inodes
+    /// (`None`, sync). Pages are marked clean and returned in page order
+    /// for writeback.
+    pub fn take_dirty(&self, ctx: &mut Ctx, ino: Option<u64>) -> Vec<Evicted> {
+        self.charge_lock(ctx);
+        let mut inner = self.inner.lock();
+        let mut keys: Vec<PageKey> = inner
+            .iter()
+            .filter(|(k, p)| ino.is_none_or(|i| k.0 == i) && p.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        keys.iter()
+            .map(|k| {
+                let page = inner.get(k).expect("key just seen");
+                page.dirty = false;
+                Evicted { key: *k, data: page.data.clone() }
+            })
+            .collect()
+    }
+
+    /// Drop every cached page of `ino` at or beyond `from_page`
+    /// (truncate invalidation).
+    pub fn invalidate_from(&self, ino: u64, from_page: u64) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<PageKey> = inner
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| k.0 == ino && k.1 >= from_page)
+            .collect();
+        for k in keys {
+            inner.remove(&k);
+        }
+    }
+
+    /// Drop every page of `ino` (unlink / cache invalidation).
+    pub fn invalidate(&self, ino: u64) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<PageKey> = inner.iter().map(|(k, _)| *k).filter(|k| k.0 == ino).collect();
+        for k in keys {
+            inner.remove(&k);
+        }
+    }
+
+    /// Bytes of dirty data currently cached.
+    pub fn dirty_bytes(&self) -> usize {
+        self.inner.lock().iter().filter(|(_, p)| p.dirty).count() * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_insert_get_evict() {
+        let mut l: LruMap<u32, u32> = LruMap::new();
+        l.insert(1, 10);
+        l.insert(2, 20);
+        l.insert(3, 30);
+        assert_eq!(l.get(&1), Some(&mut 10)); // touch 1
+        let (k, v) = l.pop_lru().unwrap();
+        assert_eq!((k, v), (2, 20)); // 2 is now least-recent
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn lru_replace_returns_old() {
+        let mut l: LruMap<u32, u32> = LruMap::new();
+        l.insert(1, 10);
+        assert_eq!(l.insert(1, 11), Some(10));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn lru_remove_and_reuse_slot() {
+        let mut l: LruMap<u32, u32> = LruMap::new();
+        l.insert(1, 10);
+        l.insert(2, 20);
+        assert_eq!(l.remove(&1), Some(10));
+        assert_eq!(l.remove(&1), None);
+        l.insert(3, 30); // reuses the freed slot
+        assert_eq!(l.peek(&3), Some(&30));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn lru_pop_on_empty() {
+        let mut l: LruMap<u32, u32> = LruMap::new();
+        assert!(l.pop_lru().is_none());
+        l.insert(1, 1);
+        l.pop_lru().unwrap();
+        assert!(l.pop_lru().is_none());
+    }
+
+    #[test]
+    fn cache_write_then_read_hits() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 250) as u8).collect();
+        let ev = pc.write(&mut ctx, 1, 100, &data);
+        assert!(ev.is_empty());
+        let mut out = vec![0u8; 8192];
+        let misses = pc
+            .read(&mut ctx, 1, 100, &mut out, |_, _, _| panic!("must not miss"))
+            .unwrap();
+        assert_eq!(misses, 0);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cache_miss_calls_fill() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        let mut out = vec![0u8; 4096];
+        let misses = pc
+            .read(&mut ctx, 9, 0, &mut out, |_, pgidx, page| {
+                assert_eq!(pgidx, 0);
+                page.fill(7);
+                true
+            })
+            .unwrap();
+        assert_eq!(misses, 1);
+        assert!(out.iter().all(|&b| b == 7));
+        // Second read hits.
+        let misses = pc.read(&mut ctx, 9, 0, &mut out, |_, _, _| panic!("cached")).unwrap();
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn failed_fill_aborts_read() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        let mut out = vec![0u8; 4096];
+        assert!(pc.read(&mut ctx, 9, 0, &mut out, |_, _, _| false).is_err());
+    }
+
+    #[test]
+    fn eviction_returns_dirty_pages() {
+        let pc = PageCache::new(2 * PAGE_SIZE); // 2-page cache
+        let mut ctx = Ctx::new();
+        let page = vec![1u8; PAGE_SIZE];
+        assert!(pc.write(&mut ctx, 1, 0, &page).is_empty());
+        assert!(pc.write(&mut ctx, 1, PAGE_SIZE as u64, &page).is_empty());
+        let ev = pc.write(&mut ctx, 1, 2 * PAGE_SIZE as u64, &page);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, (1, 0)); // the oldest page went out
+    }
+
+    #[test]
+    fn take_dirty_per_inode() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        pc.write(&mut ctx, 1, 0, &[1u8; PAGE_SIZE]);
+        pc.write(&mut ctx, 2, 0, &[2u8; PAGE_SIZE]);
+        let d1 = pc.take_dirty(&mut ctx, Some(1));
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].key.0, 1);
+        // Pages are now clean: second take returns nothing.
+        assert!(pc.take_dirty(&mut ctx, Some(1)).is_empty());
+        // Inode 2 still dirty via the "all" path.
+        assert_eq!(pc.take_dirty(&mut ctx, None).len(), 1);
+    }
+
+    #[test]
+    fn invalidate_drops_pages() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        pc.write(&mut ctx, 5, 0, &[1u8; PAGE_SIZE]);
+        pc.invalidate(5);
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn write_charges_copy_cost() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        pc.write(&mut ctx, 1, 0, &[0u8; 4096]);
+        assert!(ctx.now() >= cost::copy_ns(4096));
+    }
+
+    #[test]
+    fn concurrent_lock_charges_serialize() {
+        // Two actors touching the cache at the same virtual instant: the
+        // second one's lock acquisition starts after the first's hold.
+        let pc = PageCache::new(1 << 20);
+        let mut a = Ctx::new();
+        let mut b = Ctx::new();
+        pc.write(&mut a, 1, 0, &[0u8; 512]);
+        pc.write(&mut b, 2, 0, &[0u8; 512]);
+        assert!(b.now() > a.now() - cost::copy_ns(512), "b queued behind a's lock hold");
+    }
+}

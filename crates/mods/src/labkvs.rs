@@ -1,0 +1,472 @@
+//! LabKVS: the key-value store LabMod (paper §III-E).
+//!
+//! "LabKVS is similarly designed to LabFS; however, LabKVS implements a
+//! put/get/remove API, which creates keys and stores data using a single
+//! syscall, as opposed to the three (open-modify-close) required by
+//! POSIX." It shares LabFS's architecture: sharded key map, per-worker
+//! block allocation, per-worker operation log, replay-based recovery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use labstor_core::{BlockOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_sim::{BlockDevice, Ctx, SimDevice};
+
+use crate::devices::{device_param, DeviceRegistry};
+use crate::labfs::BlockAllocator;
+
+const KV_BLOCK: usize = 4096;
+const BLOCK_SECTORS: u64 = (KV_BLOCK / labstor_sim::SECTOR_SIZE) as u64;
+const LOG_BLOCKS_PER_WORKER: u64 = 1024;
+
+/// CPU cost of one key-map operation.
+const KV_CPU_NS: u64 = 250;
+
+/// A stored value's location: its length and the device blocks holding it.
+#[derive(Debug, Clone)]
+struct ValueLoc {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+/// KVS log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum KvRecord {
+    Put { key: String, len: u64, blocks: Vec<u64> },
+    Remove { key: String },
+}
+
+impl KvRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvRecord::Put { key, len, blocks } => {
+                out.push(1);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for b in blocks {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            KvRecord::Remove { key } => {
+                out.push(2);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<KvRecord> {
+        fn take<'b>(buf: &'b [u8], pos: &mut usize, n: usize) -> Option<&'b [u8]> {
+            let s = &buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        }
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        match tag {
+            1 => {
+                let klen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                let key = String::from_utf8(take(buf, pos, klen)?.to_vec()).ok()?;
+                let len = u64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?);
+                let n = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push(u64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?));
+                }
+                Some(KvRecord::Put { key, len, blocks })
+            }
+            2 => {
+                let klen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                let key = String::from_utf8(take(buf, pos, klen)?.to_vec()).ok()?;
+                Some(KvRecord::Remove { key })
+            }
+            _ => None,
+        }
+    }
+}
+
+struct KvLog {
+    buffer: Vec<u8>,
+    region_start: u64,
+    next_block: u64,
+    region_blocks: u64,
+}
+
+/// The LabKVS LabMod.
+pub struct LabKvs {
+    shards: Vec<RwLock<HashMap<String, ValueLoc>>>,
+    allocator: BlockAllocator,
+    logs: Vec<Mutex<KvLog>>,
+    log_device: Arc<SimDevice>,
+    total_ns: AtomicU64,
+}
+
+impl LabKvs {
+    /// Build LabKVS over `device` with `workers` allocator/log shards.
+    pub fn new(device: Arc<SimDevice>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let total_blocks = device.model().capacity_sectors() / BLOCK_SECTORS;
+        let log_blocks = LOG_BLOCKS_PER_WORKER * workers as u64;
+        let n_shards = workers.next_power_of_two().max(16);
+        LabKvs {
+            shards: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            allocator: BlockAllocator::new(log_blocks, total_blocks, workers, 4096),
+            logs: (0..workers as u64)
+                .map(|w| {
+                    Mutex::new(KvLog {
+                        buffer: Vec::new(),
+                        region_start: w * LOG_BLOCKS_PER_WORKER,
+                        next_block: w * LOG_BLOCKS_PER_WORKER,
+                        region_blocks: LOG_BLOCKS_PER_WORKER,
+                    })
+                })
+                .collect(),
+            log_device: device,
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, ValueLoc>> {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in key.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    fn log(&self, ctx: &mut Ctx, core: usize, rec: &KvRecord) {
+        ctx.advance(80);
+        rec.encode(&mut self.logs[core % self.logs.len()].lock().buffer);
+    }
+
+    /// Persist buffered log records.
+    pub fn flush_logs(&self, ctx: &mut Ctx) -> Result<(), String> {
+        for log in &self.logs {
+            let mut log = log.lock();
+            if log.buffer.is_empty() {
+                continue;
+            }
+            let mut data = std::mem::take(&mut log.buffer);
+            let blocks = data.len().div_ceil(KV_BLOCK) as u64;
+            if log.next_block + blocks > log.region_start + log.region_blocks {
+                return Err("kvs log region full".into());
+            }
+            data.resize((blocks as usize) * KV_BLOCK, 0);
+            self.log_device
+                .write(ctx, log.next_block * BLOCK_SECTORS, &data)
+                .map_err(|e| e.to_string())?;
+            log.next_block += blocks;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the key map from the persisted logs.
+    pub fn replay_from_device(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        let mut ctx = Ctx::new();
+        for log in &self.logs {
+            let log = log.lock();
+            let blocks = log.next_block - log.region_start;
+            if blocks == 0 {
+                continue;
+            }
+            let mut buf = vec![0u8; (blocks as usize) * KV_BLOCK];
+            if self.log_device.read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf).is_err()
+            {
+                continue;
+            }
+            // Flush segments are block-padded with zeroes; a zero tag
+            // means "skip to the next block boundary", not end-of-log.
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                let Some(rec) = KvRecord::decode(&buf, &mut pos) else {
+                    pos = (pos / KV_BLOCK + 1) * KV_BLOCK;
+                    continue;
+                };
+                match rec {
+                    KvRecord::Put { key, len, blocks } => {
+                        self.shard(&key)
+                            .write()
+                            .insert(key, ValueLoc { len: len as usize, blocks });
+                    }
+                    KvRecord::Remove { key } => {
+                        self.shard(&key).write().remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of live keys.
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+impl LabMod for LabKvs {
+    fn type_name(&self) -> &'static str {
+        "labkvs"
+    }
+
+    fn mod_type(&self) -> ModType {
+        ModType::Kvs
+    }
+
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+        let before = ctx.busy();
+        let resp = match &req.payload {
+            Payload::Kvs(KvsOp::Put { key, value }) => {
+                ctx.advance(KV_CPU_NS);
+                let n_blocks = value.len().div_ceil(KV_BLOCK);
+                let mut blocks = Vec::with_capacity(n_blocks);
+                for _ in 0..n_blocks {
+                    ctx.advance(40);
+                    match self.allocator.alloc(req.core) {
+                        Some(b) => blocks.push(b),
+                        None => return RespPayload::Err("no space".into()),
+                    }
+                }
+                // One downstream write per contiguous block run.
+                let mut i = 0usize;
+                while i < blocks.len() {
+                    let mut j = i;
+                    while j + 1 < blocks.len() && blocks[j + 1] == blocks[j] + 1 {
+                        j += 1;
+                    }
+                    let byte_from = i * KV_BLOCK;
+                    let byte_to = ((j + 1) * KV_BLOCK).min(value.len().next_multiple_of(KV_BLOCK));
+                    let mut payload = vec![0u8; byte_to - byte_from];
+                    let copy_to = value.len().min(byte_to) - byte_from.min(value.len());
+                    if byte_from < value.len() {
+                        payload[..copy_to]
+                            .copy_from_slice(&value[byte_from..byte_from + copy_to]);
+                    }
+                    let mut fwd = Request::new(
+                        req.id,
+                        req.stack,
+                        Payload::Block(BlockOp::Write {
+                            lba: blocks[i] * BLOCK_SECTORS,
+                            data: payload,
+                        }),
+                        req.creds,
+                    );
+                    fwd.vertex = env.vertex;
+                    fwd.core = req.core;
+                    let r = env.forward(ctx, fwd);
+                    if !r.is_ok() {
+                        return r;
+                    }
+                    i = j + 1;
+                }
+                self.log(
+                    ctx,
+                    req.core,
+                    &KvRecord::Put { key: key.clone(), len: value.len() as u64, blocks: blocks.clone() },
+                );
+                self.shard(key)
+                    .write()
+                    .insert(key.clone(), ValueLoc { len: value.len(), blocks });
+                RespPayload::Len(value.len())
+            }
+            Payload::Kvs(KvsOp::Get { key }) => {
+                ctx.advance(KV_CPU_NS);
+                let loc = self.shard(key).read().get(key).cloned();
+                match loc {
+                    Some(loc) => {
+                        let mut out = Vec::with_capacity(loc.len);
+                        for (idx, b) in loc.blocks.iter().enumerate() {
+                            let want = (loc.len - idx * KV_BLOCK).min(KV_BLOCK);
+                            let mut fwd = Request::new(
+                                req.id,
+                                req.stack,
+                                Payload::Block(BlockOp::Read {
+                                    lba: b * BLOCK_SECTORS,
+                                    len: KV_BLOCK,
+                                }),
+                                req.creds,
+                            );
+                            fwd.vertex = env.vertex;
+                            fwd.core = req.core;
+                            match env.forward(ctx, fwd) {
+                                RespPayload::Data(d) => out.extend_from_slice(&d[..want]),
+                                other => return other,
+                            }
+                        }
+                        RespPayload::Data(out)
+                    }
+                    None => RespPayload::Err(format!("no key '{key}'")),
+                }
+            }
+            Payload::Kvs(KvsOp::Remove { key }) => {
+                ctx.advance(KV_CPU_NS);
+                let removed = self.shard(key).write().remove(key);
+                match removed {
+                    Some(_) => {
+                        self.log(ctx, req.core, &KvRecord::Remove { key: key.clone() });
+                        RespPayload::Ok
+                    }
+                    None => RespPayload::Err(format!("no key '{key}'")),
+                }
+            }
+            _ => env.forward(ctx, req),
+        };
+        self.total_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        resp
+    }
+
+    fn est_processing_time(&self, req: &Request) -> u64 {
+        KV_CPU_NS + req.payload_bytes() as u64
+    }
+
+    fn est_total_time(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<LabKvs>() {
+            for (mine, theirs) in self.shards.iter().zip(prev.shards.iter()) {
+                *mine.write() = theirs.read().clone();
+            }
+        }
+    }
+
+    fn state_repair(&self) {
+        self.replay_from_device();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Register the factory. Params: `{"device": "<name>", "workers": <n>}`.
+pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
+    let reg = devices.clone();
+    mm.register_factory(
+        "labkvs",
+        Arc::new(move |params| {
+            let name = device_param(params);
+            let dev = reg.block(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let workers = params.get("workers").and_then(|v| v.as_u64()).unwrap_or(8) as usize;
+            Arc::new(LabKvs::new(dev, workers)) as Arc<dyn LabMod>
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labstor_core::stack::{ExecMode, LabStack, Vertex};
+    use labstor_ipc::Credentials;
+    use labstor_sim::DeviceKind;
+
+    fn setup() -> (ModuleManager, LabStack) {
+        let devices = DeviceRegistry::new();
+        devices.add_preset("nvme0", DeviceKind::Nvme);
+        let mm = ModuleManager::new();
+        install(&mm, &devices);
+        crate::drivers::install(&mm, &devices);
+        mm.instantiate("kv", "labkvs", &serde_json::json!({"device": "nvme0", "workers": 4}))
+            .unwrap();
+        mm.instantiate("drv", "spdk", &serde_json::json!({"device": "nvme0"})).unwrap();
+        let stack = LabStack {
+            id: 1,
+            mount: "kv::/".into(),
+            exec: ExecMode::Sync,
+            vertices: vec![
+                Vertex { uuid: "kv".into(), outputs: vec![1] },
+                Vertex { uuid: "drv".into(), outputs: vec![] },
+            ],
+            authorized_uids: vec![],
+        };
+        (mm, stack)
+    }
+
+    fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, ctx: &mut Ctx) -> RespPayload {
+        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+        mm.get("kv").unwrap().process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        let value: Vec<u8> = (0..10_000).map(|i| (i % 249) as u8).collect();
+        let w = exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "a".into(), value: value.clone() }), &mut ctx);
+        assert!(matches!(w, RespPayload::Len(n) if n == value.len()));
+        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "a".into() }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(d) if d == value));
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "k".into(), value: vec![1u8; 100] }), &mut ctx);
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "k".into(), value: vec![2u8; 50] }), &mut ctx);
+        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "k".into() }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(d) if d == vec![2u8; 50]));
+    }
+
+    #[test]
+    fn remove_then_get_fails() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "x".into(), value: vec![1] }), &mut ctx);
+        assert!(exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "x".into() }), &mut ctx).is_ok());
+        assert!(!exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "x".into() }), &mut ctx).is_ok());
+        assert!(!exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "x".into() }), &mut ctx).is_ok());
+    }
+
+    #[test]
+    fn empty_value_roundtrips() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "empty".into(), value: vec![] }), &mut ctx);
+        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "empty".into() }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(d) if d.is_empty()));
+    }
+
+    #[test]
+    fn recovery_replays_puts_and_removes() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        let value: Vec<u8> = (0..5000).map(|i| (i % 241) as u8).collect();
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "keep".into(), value: value.clone() }), &mut ctx);
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "drop".into(), value: vec![9u8; 10] }), &mut ctx);
+        exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "drop".into() }), &mut ctx);
+        let kv_mod = mm.get("kv").unwrap();
+        let kv = kv_mod.as_any().downcast_ref::<LabKvs>().unwrap();
+        kv.flush_logs(&mut ctx).unwrap();
+        kv.replay_from_device();
+        assert_eq!(kv.key_count(), 1);
+        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "keep".into() }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(d) if d == value));
+    }
+
+    #[test]
+    fn kv_record_roundtrip() {
+        let records = vec![
+            KvRecord::Put { key: "alpha".into(), len: 777, blocks: vec![5, 6, 7] },
+            KvRecord::Remove { key: "alpha".into() },
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        buf.push(0);
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while let Some(r) = KvRecord::decode(&buf, &mut pos) {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, records);
+    }
+}

@@ -1,0 +1,412 @@
+//! The LRU page-cache LabMod (the paper's "page caching (LRU)" mod,
+//! Fig. 4a's 17% stage).
+//!
+//! A userspace block cache: write-through by default (data is copied into
+//! the cache and forwarded to the next stage), optional write-back
+//! (dirty blocks held until flush/eviction). Keys are block LBAs; the
+//! contract is block-aligned requests, which every bundled filesystem
+//! LabMod honors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_kernel::page_cache::LruMap;
+use labstor_sim::Ctx;
+
+/// Per-block lookup cost (userspace hashmap, cheaper than the kernel's
+/// locked tree).
+const LOOKUP_NS: u64 = 150;
+/// Copy cost per KB into/out of the cache (same memcpy as the kernel's —
+/// the savings come from lock-free access, not magic memory).
+const COPY_NS_PER_KB: u64 = 300;
+
+fn copy_cost(bytes: usize) -> u64 {
+    (bytes as u64 * COPY_NS_PER_KB) / 1024
+}
+
+struct CacheBlock {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// The LRU cache LabMod.
+pub struct LruCacheMod {
+    cache: Mutex<LruMap<u64, CacheBlock>>,
+    capacity_blocks: usize,
+    write_back: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    total_ns: AtomicU64,
+    /// Downstream busy time, subtracted so `est_total_time` is exclusive.
+    downstream_ns: AtomicU64,
+}
+
+impl LruCacheMod {
+    /// Cache of `capacity_bytes` (4 KB block granularity).
+    pub fn new(capacity_bytes: usize, write_back: bool) -> Self {
+        LruCacheMod {
+            cache: Mutex::new(LruMap::new()),
+            capacity_blocks: (capacity_bytes / 4096).max(1),
+            write_back,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            downstream_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Forward, attributing the downstream busy time to downstream.
+    fn fwd(&self, ctx: &mut Ctx, env: &StackEnv<'_>, req: Request) -> RespPayload {
+        let before = ctx.busy();
+        let r = env.forward(ctx, req);
+        self.downstream_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        r
+    }
+
+    /// (hits, misses) so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Drain all cached blocks oldest-first (cross-policy hot swaps pull
+    /// warm state out with this).
+    pub fn drain_blocks(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut cache = self.cache.lock();
+        let mut out = Vec::with_capacity(cache.len());
+        while let Some((lba, b)) = cache.pop_lru() {
+            out.push((lba, b.data));
+        }
+        out
+    }
+
+    /// Evict past capacity; returns dirty victims needing writeback.
+    fn evict(cache: &mut LruMap<u64, CacheBlock>, cap: usize) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        while cache.len() > cap {
+            match cache.pop_lru() {
+                Some((lba, b)) if b.dirty => out.push((lba, b.data)),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl LabMod for LruCacheMod {
+    fn type_name(&self) -> &'static str {
+        "lru_cache"
+    }
+
+    fn mod_type(&self) -> ModType {
+        ModType::Cache
+    }
+
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+        let before = ctx.busy();
+        let resp = match &req.payload {
+            Payload::Block(BlockOp::Write { lba, data }) => {
+                // One copy into the cache page, one into the DMA-safe
+                // buffer handed downstream — "the page cache takes 17% of
+                // time due to data copying" (Fig. 4a).
+                ctx.advance(LOOKUP_NS + 2 * copy_cost(data.len()));
+                let victims = {
+                    let mut cache = self.cache.lock();
+                    cache.insert(
+                        *lba,
+                        CacheBlock { data: data.clone(), dirty: self.write_back },
+                    );
+                    Self::evict(&mut cache, self.capacity_blocks)
+                };
+                // Write-back: flush evicted dirty blocks downstream.
+                for (vlba, vdata) in victims {
+                    let mut flush = req.clone();
+                    flush.payload = Payload::Block(BlockOp::Write { lba: vlba, data: vdata });
+                    let r = self.fwd(ctx, env, flush);
+                    if !r.is_ok() {
+                        return r;
+                    }
+                }
+                if self.write_back {
+                    RespPayload::Len(data.len())
+                } else {
+                    self.fwd(ctx, env, req)
+                }
+            }
+            Payload::Block(BlockOp::Read { lba, len }) => {
+                ctx.advance(LOOKUP_NS);
+                let cached: Option<Vec<u8>> = {
+                    let mut cache = self.cache.lock();
+                    cache.get(lba).filter(|b| b.data.len() >= *len).map(|b| b.data[..*len].to_vec())
+                };
+                match cached {
+                    Some(data) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        ctx.advance(copy_cost(data.len()));
+                        RespPayload::Data(data)
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let lba = *lba;
+                        let (id, stack, creds, core, vertex) =
+                            (req.id, req.stack, req.creds, req.core, env.vertex);
+                        let resp = self.fwd(ctx, env, req);
+                        if let RespPayload::Data(data) = &resp {
+                            ctx.advance(copy_cost(data.len()));
+                            let mut cache = self.cache.lock();
+                            cache.insert(lba, CacheBlock { data: data.clone(), dirty: false });
+                            let victims = Self::evict(&mut cache, self.capacity_blocks);
+                            // Read-path eviction of dirty blocks re-queues
+                            // them; dropping writes is not an option.
+                            drop(cache);
+                            for (vlba, vdata) in victims {
+                                let mut flush = Request::new(
+                                    id,
+                                    stack,
+                                    Payload::Block(BlockOp::Write { lba: vlba, data: vdata }),
+                                    creds,
+                                );
+                                flush.vertex = vertex;
+                                flush.core = core;
+                                let r = self.fwd(ctx, env, flush);
+                                if !r.is_ok() {
+                                    return r;
+                                }
+                            }
+                        }
+                        resp
+                    }
+                }
+            }
+            Payload::Block(BlockOp::Flush) => {
+                // Flush all dirty blocks, then pass the barrier down.
+                let dirty: Vec<(u64, Vec<u8>)> = {
+                    let mut cache = self.cache.lock();
+                    let lbas: Vec<u64> = cache
+                        .iter()
+                        .filter(|(_, b)| b.dirty)
+                        .map(|(lba, _)| *lba)
+                        .collect();
+                    lbas.into_iter()
+                        .filter_map(|lba| {
+                            cache.get(&lba).map(|b| {
+                                b.dirty = false;
+                                (lba, b.data.clone())
+                            })
+                        })
+                        .collect()
+                };
+                for (vlba, vdata) in dirty {
+                    let mut w = req.clone();
+                    w.payload = Payload::Block(BlockOp::Write { lba: vlba, data: vdata });
+                    let r = self.fwd(ctx, env, w);
+                    if !r.is_ok() {
+                        return r;
+                    }
+                }
+                self.fwd(ctx, env, req)
+            }
+            _ => self.fwd(ctx, env, req),
+        };
+        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add((ctx.busy() - before).saturating_sub(downstream), Ordering::Relaxed);
+        resp
+    }
+
+    fn est_processing_time(&self, req: &Request) -> u64 {
+        LOOKUP_NS + 2 * copy_cost(req.payload_bytes())
+    }
+
+    fn est_total_time(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        // Hot-swapping cache policies: warm state moves across.
+        if let Some(prev) = old.as_any().downcast_ref::<LruCacheMod>() {
+            let mut mine = self.cache.lock();
+            let mut theirs = prev.cache.lock();
+            // Drain oldest-first so recency order is preserved on insert.
+            let mut entries = Vec::new();
+            while let Some(e) = theirs.pop_lru() {
+                entries.push(e);
+            }
+            for (lba, block) in entries {
+                mine.insert(lba, block);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Register the factory. Params: `{"capacity_bytes": <n>, "write_back":
+/// <bool>}` (defaults: 64 MiB, write-through).
+pub fn install(mm: &ModuleManager) {
+    mm.register_factory(
+        "lru_cache",
+        Arc::new(|params| {
+            let cap = params
+                .get("capacity_bytes")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(64 << 20) as usize;
+            let wb = params.get("write_back").and_then(|v| v.as_bool()).unwrap_or(false);
+            Arc::new(LruCacheMod::new(cap, wb)) as Arc<dyn LabMod>
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labstor_core::stack::{ExecMode, LabStack, Vertex};
+    use labstor_ipc::Credentials;
+
+    /// Terminal "device" that stores blocks in a hashmap.
+    struct MemDev {
+        blocks: Mutex<std::collections::HashMap<u64, Vec<u8>>>,
+        writes: AtomicU64,
+        reads: AtomicU64,
+    }
+    impl MemDev {
+        fn new() -> Self {
+            MemDev {
+                blocks: Mutex::new(std::collections::HashMap::new()),
+                writes: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+            }
+        }
+    }
+    impl LabMod for MemDev {
+        fn type_name(&self) -> &'static str {
+            "memdev"
+        }
+        fn mod_type(&self) -> ModType {
+            ModType::Driver
+        }
+        fn process(&self, _ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
+            match req.payload {
+                Payload::Block(BlockOp::Write { lba, data }) => {
+                    self.writes.fetch_add(1, Ordering::Relaxed);
+                    let len = data.len();
+                    self.blocks.lock().insert(lba, data);
+                    RespPayload::Len(len)
+                }
+                Payload::Block(BlockOp::Read { lba, len }) => {
+                    self.reads.fetch_add(1, Ordering::Relaxed);
+                    match self.blocks.lock().get(&lba) {
+                        Some(d) => RespPayload::Data(d[..len.min(d.len())].to_vec()),
+                        None => RespPayload::Data(vec![0u8; len]),
+                    }
+                }
+                _ => RespPayload::Ok,
+            }
+        }
+        fn est_processing_time(&self, _req: &Request) -> u64 {
+            1
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn setup(cache_params: serde_json::Value) -> (ModuleManager, LabStack, Arc<MemDev>) {
+        let mm = ModuleManager::new();
+        install(&mm);
+        mm.instantiate("cache", "lru_cache", &cache_params).unwrap();
+        let dev = Arc::new(MemDev::new());
+        mm.insert_instance("dev", dev.clone());
+        let stack = LabStack {
+            id: 1,
+            mount: "x".into(),
+            exec: ExecMode::Sync,
+            vertices: vec![
+                Vertex { uuid: "cache".into(), outputs: vec![1] },
+                Vertex { uuid: "dev".into(), outputs: vec![] },
+            ],
+            authorized_uids: vec![],
+        };
+        (mm, stack, dev)
+    }
+
+    fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, ctx: &mut Ctx) -> RespPayload {
+        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+        let m = mm.get("cache").unwrap();
+        m.process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
+    }
+
+    #[test]
+    fn write_through_reaches_device_and_read_hits() {
+        let (mm, stack, dev) = setup(serde_json::json!({}));
+        let mut ctx = Ctx::new();
+        let data = vec![9u8; 4096];
+        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 8, data: data.clone() }), &mut ctx);
+        assert_eq!(dev.writes.load(Ordering::Relaxed), 1);
+        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 8, len: 4096 }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(d) if d == data));
+        assert_eq!(dev.reads.load(Ordering::Relaxed), 0, "read must be a cache hit");
+        let cache = mm.get("cache").unwrap();
+        let lru = cache.as_any().downcast_ref::<LruCacheMod>().unwrap();
+        assert_eq!(lru.hit_stats(), (1, 0));
+    }
+
+    #[test]
+    fn miss_fetches_and_caches() {
+        let (mm, stack, dev) = setup(serde_json::json!({}));
+        let mut ctx = Ctx::new();
+        // Prime the device directly (bypass cache).
+        dev.blocks.lock().insert(16, vec![3u8; 4096]);
+        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 16, len: 4096 }), &mut ctx);
+        assert!(matches!(r, RespPayload::Data(_)));
+        assert_eq!(dev.reads.load(Ordering::Relaxed), 1);
+        exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 16, len: 4096 }), &mut ctx);
+        assert_eq!(dev.reads.load(Ordering::Relaxed), 1, "second read hits");
+    }
+
+    #[test]
+    fn write_back_defers_until_flush() {
+        let (mm, stack, dev) =
+            setup(serde_json::json!({"write_back": true, "capacity_bytes": 1 << 20}));
+        let mut ctx = Ctx::new();
+        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 4096] }), &mut ctx);
+        assert_eq!(dev.writes.load(Ordering::Relaxed), 0, "write-back holds data");
+        exec(&mm, &stack, Payload::Block(BlockOp::Flush), &mut ctx);
+        assert_eq!(dev.writes.load(Ordering::Relaxed), 1, "flush writes it back");
+        assert!(dev.blocks.lock().contains_key(&0));
+    }
+
+    #[test]
+    fn write_back_eviction_writes_victims() {
+        // 2-block cache, 3 writes → first block must land on the device.
+        let (mm, stack, dev) =
+            setup(serde_json::json!({"write_back": true, "capacity_bytes": 8192}));
+        let mut ctx = Ctx::new();
+        for i in 0..3u64 {
+            exec(
+                &mm,
+                &stack,
+                Payload::Block(BlockOp::Write { lba: i * 8, data: vec![i as u8; 4096] }),
+                &mut ctx,
+            );
+        }
+        assert_eq!(dev.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(dev.blocks.lock().get(&0).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn state_update_moves_warm_blocks() {
+        let (mm, stack, _dev) = setup(serde_json::json!({}));
+        let mut ctx = Ctx::new();
+        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 8, data: vec![5u8; 4096] }), &mut ctx);
+        let old = mm.get("cache").unwrap();
+        let new_cache = LruCacheMod::new(64 << 20, false);
+        new_cache.state_update(old.as_ref());
+        assert_eq!(new_cache.cache.lock().len(), 1, "warm block migrated");
+    }
+}

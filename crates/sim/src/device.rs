@@ -1,0 +1,463 @@
+//! The RAM-backed simulated block device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{DeviceError, FaultConfig};
+use crate::model::DeviceModel;
+use crate::queue::{Completion, HwQueue, IoOp, IoRequest, PendingIo};
+use crate::stats::DeviceStats;
+use crate::time::{ChannelPool, Ctx};
+use crate::SECTOR_SIZE;
+
+/// Sectors per lazily-allocated backing chunk (128 KB chunks).
+const CHUNK_SECTORS: u64 = 256;
+const CHUNK_BYTES: usize = CHUNK_SECTORS as usize * SECTOR_SIZE;
+
+/// Object-safe interface to a block device, implemented by [`SimDevice`].
+///
+/// Kept minimal on purpose: higher layers (the simulated kernel block layer,
+/// Driver LabMods) build their submission paths on these primitives.
+pub trait BlockDevice: Send + Sync {
+    /// The device's performance model.
+    fn model(&self) -> &DeviceModel;
+    /// Cumulative statistics.
+    fn stats(&self) -> &DeviceStats;
+    /// Submit a command to hardware queue `qid` at virtual time `at`,
+    /// without waiting for it.
+    fn submit_at(&self, qid: usize, req: IoRequest, at: u64) -> Result<(), DeviceError>;
+    /// Reap up to `max` completions from queue `qid` that are due at or
+    /// before virtual time `now`.
+    fn poll(&self, qid: usize, now: u64, max: usize) -> Vec<Completion>;
+    /// Virtual deadline of the oldest in-flight command on `qid`, if any.
+    fn next_due(&self, qid: usize) -> Option<u64>;
+    /// Synchronously read `buf.len()` bytes at `lba`, advancing the
+    /// caller's clock to completion. Returns modeled service ns.
+    fn read(&self, ctx: &mut Ctx, lba: u64, buf: &mut [u8]) -> Result<u64, DeviceError>;
+    /// Synchronously write `buf` at `lba`, advancing the caller's clock to
+    /// completion. Returns modeled service ns.
+    fn write(&self, ctx: &mut Ctx, lba: u64, buf: &[u8]) -> Result<u64, DeviceError>;
+}
+
+/// A simulated storage device: sparse RAM-backed media plus the timing
+/// model described in [`crate::model`].
+///
+/// # Timing
+///
+/// Each command reserves the internal *channel* that frees up earliest
+/// ([`ChannelPool`]); its completion deadline is
+/// `max(now, channel_free) + service`. Synchronous callers advance their
+/// virtual clock to the deadline; asynchronous callers discover it via
+/// [`BlockDevice::poll`]. Channel occupancy creates genuine queueing when
+/// offered load exceeds the device's internal parallelism.
+///
+/// # Data visibility
+///
+/// Write payloads land in the backing store at submission. A read that is
+/// submitted after a write but polled before the write's virtual deadline
+/// can observe the new data "early" — the same window a real drive's
+/// volatile write cache exposes, so higher layers must not rely on
+/// completion order for durability (that is what flushes are for).
+pub struct SimDevice {
+    model: DeviceModel,
+    stats: DeviceStats,
+    faults: FaultConfig,
+    /// Sparse backing store, one slot per 128 KB chunk.
+    chunks: Vec<RwLock<Option<Box<[u8]>>>>,
+    /// Internal channel pool (virtual-time reservations).
+    channels: ChannelPool,
+    /// Hardware submission/completion queue pairs.
+    queues: Vec<HwQueue>,
+    /// Head position for the seek model (sector after last access).
+    head: AtomicU64,
+}
+
+impl SimDevice {
+    /// Create a device from a model.
+    pub fn new(model: DeviceModel) -> Arc<Self> {
+        let n_chunks = model.capacity_sectors().div_ceil(CHUNK_SECTORS) as usize;
+        Arc::new(SimDevice {
+            chunks: (0..n_chunks).map(|_| RwLock::new(None)).collect(),
+            channels: ChannelPool::new(model.channels),
+            queues: (0..model.hw_queues.max(1)).map(|_| HwQueue::default()).collect(),
+            head: AtomicU64::new(0),
+            stats: DeviceStats::default(),
+            faults: FaultConfig::default(),
+            model,
+        })
+    }
+
+    /// Create a device from a preset kind.
+    pub fn preset(kind: crate::DeviceKind) -> Arc<Self> {
+        Self::new(DeviceModel::preset(kind))
+    }
+
+    /// Fault injection controls.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// Number of hardware queues exposed.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Commands submitted but not yet reaped on queue `qid` (0 for an
+    /// unknown queue id). Load-aware schedulers key off this.
+    pub fn queue_depth(&self, qid: usize) -> usize {
+        self.queues.get(qid).map(|q| q.depth()).unwrap_or(0)
+    }
+
+    /// Latest channel reservation end: the virtual makespan of all media
+    /// work scheduled so far.
+    pub fn media_makespan(&self) -> u64 {
+        self.channels.makespan()
+    }
+
+    fn validate(&self, lba: u64, bytes: usize) -> Result<(), DeviceError> {
+        if bytes == 0 || !bytes.is_multiple_of(SECTOR_SIZE) {
+            return Err(DeviceError::BadTransfer { bytes });
+        }
+        let sectors = (bytes / SECTOR_SIZE) as u64;
+        let cap = self.model.capacity_sectors();
+        if lba + sectors > cap {
+            return Err(DeviceError::OutOfRange { lba, sectors, capacity_sectors: cap });
+        }
+        Ok(())
+    }
+
+    /// Compute the modeled service time and whether a seek was paid.
+    fn service_ns(&self, write: bool, lba: u64, bytes: usize) -> (u64, bool) {
+        let mut ns = self.model.transfer_ns(write, bytes);
+        let mut seeked = false;
+        if self.model.seek_ns > 0 {
+            let end = lba + (bytes / SECTOR_SIZE) as u64;
+            let prev = self.head.swap(end, Ordering::Relaxed);
+            let dist = prev.abs_diff(lba);
+            if dist > self.model.seek_threshold_sectors {
+                ns += self.model.seek_ns;
+                seeked = true;
+            }
+        }
+        (ns, seeked)
+    }
+
+    /// Copy data to/from the sparse backing store. Unwritten chunks read
+    /// as zeroes.
+    fn transfer(&self, write: bool, lba: u64, buf_w: Option<&[u8]>, buf_r: Option<&mut [u8]>) {
+        let bytes = buf_w.map(|b| b.len()).or(buf_r.as_ref().map(|b| b.len())).unwrap_or(0);
+        let mut off = lba as usize * SECTOR_SIZE;
+        let mut done = 0usize;
+        let mut rbuf = buf_r;
+        while done < bytes {
+            let chunk_idx = off / CHUNK_BYTES;
+            let chunk_off = off % CHUNK_BYTES;
+            let n = (CHUNK_BYTES - chunk_off).min(bytes - done);
+            if write {
+                let src = &buf_w.expect("write buffer")[done..done + n];
+                let mut slot = self.chunks[chunk_idx].write();
+                let chunk = slot.get_or_insert_with(|| vec![0u8; CHUNK_BYTES].into_boxed_slice());
+                chunk[chunk_off..chunk_off + n].copy_from_slice(src);
+            } else {
+                let dst = &mut rbuf.as_mut().expect("read buffer")[done..done + n];
+                let slot = self.chunks[chunk_idx].read();
+                match slot.as_ref() {
+                    Some(chunk) => dst.copy_from_slice(&chunk[chunk_off..chunk_off + n]),
+                    None => dst.fill(0),
+                }
+            }
+            off += n;
+            done += n;
+        }
+    }
+}
+
+impl BlockDevice for SimDevice {
+    fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn submit_at(&self, qid: usize, req: IoRequest, at: u64) -> Result<(), DeviceError> {
+        let queue = self
+            .queues
+            .get(qid)
+            .ok_or(DeviceError::NoSuchQueue { qid, hw_queues: self.queues.len() })?;
+        if self.faults.should_fail() {
+            self.stats.record_error();
+            queue.push(PendingIo {
+                due: at,
+                completion: Completion {
+                    tag: req.tag,
+                    result: Err(DeviceError::MediaError { lba: req.lba }),
+                    service_ns: 0,
+                    done_at: at,
+                },
+            });
+            return Ok(());
+        }
+        let (result, service_ns) = match req.op {
+            IoOp::Flush => {
+                // Barrier: due when everything queued ahead of it is due.
+                let due = queue.last_due().unwrap_or(at).max(at);
+                queue.push(PendingIo {
+                    due,
+                    completion: Completion {
+                        tag: req.tag,
+                        result: Ok(Vec::new()),
+                        service_ns: 0,
+                        done_at: due,
+                    },
+                });
+                return Ok(());
+            }
+            IoOp::Write => match self.validate(req.lba, req.data.len()) {
+                Ok(()) => {
+                    let (ns, seeked) = self.service_ns(true, req.lba, req.data.len());
+                    self.transfer(true, req.lba, Some(&req.data), None);
+                    self.stats.record(true, req.data.len(), ns, seeked);
+                    (Ok(Vec::new()), ns)
+                }
+                Err(e) => {
+                    self.stats.record_error();
+                    (Err(e), 0)
+                }
+            },
+            IoOp::Read => match self.validate(req.lba, req.len) {
+                Ok(()) => {
+                    let (ns, seeked) = self.service_ns(false, req.lba, req.len);
+                    let mut buf = vec![0u8; req.len];
+                    self.transfer(false, req.lba, None, Some(&mut buf));
+                    self.stats.record(false, req.len, ns, seeked);
+                    (Ok(buf), ns)
+                }
+                Err(e) => {
+                    self.stats.record_error();
+                    (Err(e), 0)
+                }
+            },
+        };
+        // Queue-affine channel: one queue's backlog does not block other
+        // queues' commands (NVMe round-robin SQ arbitration).
+        let due =
+            if result.is_ok() { self.channels.acquire_affine(qid, at, service_ns).1 } else { at };
+        queue.push(PendingIo {
+            due,
+            completion: Completion { tag: req.tag, result, service_ns, done_at: due },
+        });
+        Ok(())
+    }
+
+    fn poll(&self, qid: usize, now: u64, max: usize) -> Vec<Completion> {
+        self.queues.get(qid).map(|q| q.poll(now, max)).unwrap_or_default()
+    }
+
+    fn next_due(&self, qid: usize) -> Option<u64> {
+        self.queues.get(qid).and_then(|q| q.next_due())
+    }
+
+    fn read(&self, ctx: &mut Ctx, lba: u64, buf: &mut [u8]) -> Result<u64, DeviceError> {
+        self.validate(lba, buf.len())?;
+        if self.faults.should_fail() {
+            self.stats.record_error();
+            return Err(DeviceError::MediaError { lba });
+        }
+        let (ns, seeked) = self.service_ns(false, lba, buf.len());
+        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        self.transfer(false, lba, None, Some(buf));
+        self.stats.record(false, buf.len(), ns, seeked);
+        ctx.idle_until(end);
+        Ok(ns)
+    }
+
+    fn write(&self, ctx: &mut Ctx, lba: u64, buf: &[u8]) -> Result<u64, DeviceError> {
+        self.validate(lba, buf.len())?;
+        if self.faults.should_fail() {
+            self.stats.record_error();
+            return Err(DeviceError::MediaError { lba });
+        }
+        let (ns, seeked) = self.service_ns(true, lba, buf.len());
+        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        self.transfer(true, lba, Some(buf), None);
+        self.stats.record(true, buf.len(), ns, seeked);
+        ctx.idle_until(end);
+        Ok(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeviceKind, DeviceModel};
+
+    fn dev(kind: DeviceKind) -> Arc<SimDevice> {
+        SimDevice::new(DeviceModel::preset(kind))
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        d.write(&mut ctx, 100, &data).unwrap();
+        let mut out = vec![0u8; 4096];
+        d.read(&mut ctx, 100, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unwritten_reads_as_zero() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        let mut out = vec![0xFFu8; 512];
+        d.read(&mut ctx, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cross_chunk_transfer() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        // Straddle the 256-sector chunk boundary.
+        let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 255) as u8).collect();
+        d.write(&mut ctx, CHUNK_SECTORS - 8, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        d.read(&mut ctx, CHUNK_SECTORS - 8, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = dev(DeviceKind::Hdd);
+        let cap = d.model().capacity_sectors();
+        let mut buf = vec![0u8; 512];
+        let mut ctx = Ctx::new();
+        assert!(matches!(d.read(&mut ctx, cap, &mut buf), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn non_sector_transfer_rejected() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        assert!(matches!(d.write(&mut ctx, 0, &[1, 2, 3]), Err(DeviceError::BadTransfer { .. })));
+        let mut empty: [u8; 0] = [];
+        assert!(matches!(d.read(&mut ctx, 0, &mut empty), Err(DeviceError::BadTransfer { .. })));
+    }
+
+    #[test]
+    fn sync_io_advances_clock_by_model_time() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        let buf = vec![0u8; 4096];
+        let ns = d.write(&mut ctx, 0, &buf).unwrap();
+        assert_eq!(ns, d.model().transfer_ns(true, 4096));
+        assert_eq!(ctx.now(), ns);
+    }
+
+    #[test]
+    fn async_submit_poll_roundtrip() {
+        let d = dev(DeviceKind::Nvme);
+        d.submit_at(0, IoRequest::write(0, vec![7u8; 512], 42), 0).unwrap();
+        let due = d.next_due(0).expect("one in flight");
+        assert!(d.poll(0, due - 1, 16).is_empty(), "not due yet");
+        let c = d.poll(0, due, 16);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].tag, 42);
+        d.submit_at(0, IoRequest::read(0, 512, 43), due).unwrap();
+        let due2 = d.next_due(0).unwrap();
+        let c = d.poll(0, due2, 16);
+        assert_eq!(c[0].result.as_ref().unwrap(), &vec![7u8; 512]);
+    }
+
+    #[test]
+    fn bad_queue_id_rejected() {
+        let d = dev(DeviceKind::SataSsd); // 1 hw queue
+        assert!(matches!(
+            d.submit_at(5, IoRequest::flush(0), 0),
+            Err(DeviceError::NoSuchQueue { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_injection_fails_op() {
+        let d = dev(DeviceKind::Nvme);
+        d.faults().set_period(1); // fail everything
+        let mut buf = vec![0u8; 512];
+        let mut ctx = Ctx::new();
+        assert!(matches!(d.read(&mut ctx, 0, &mut buf), Err(DeviceError::MediaError { .. })));
+        assert_eq!(d.stats().snapshot().errors, 1);
+    }
+
+    #[test]
+    fn hdd_pays_seek_on_random_access() {
+        let d = dev(DeviceKind::Hdd);
+        let buf = vec![0u8; 4096];
+        let mut ctx = Ctx::new();
+        d.write(&mut ctx, 0, &buf).unwrap();
+        let before = ctx.now();
+        d.write(&mut ctx, 500_000, &buf).unwrap(); // far away: seek
+        let with_seek = ctx.now() - before;
+        let before = ctx.now();
+        d.write(&mut ctx, 500_008, &buf).unwrap(); // sequential: no seek
+        let without_seek = ctx.now() - before;
+        assert_eq!(d.stats().snapshot().seeks, 1);
+        assert!(with_seek > without_seek + d.model().seek_ns / 2);
+    }
+
+    #[test]
+    fn channels_limit_concurrency() {
+        // A 1-channel device serializes two overlapping sync writes.
+        let mut m = DeviceModel::preset(DeviceKind::Nvme);
+        m.channels = 1;
+        let d = SimDevice::new(m);
+        let service = d.model().transfer_ns(true, 512);
+        let mut a = Ctx::new();
+        let mut b = Ctx::new();
+        d.write(&mut a, 0, &[0u8; 512]).unwrap();
+        d.write(&mut b, 8, &[0u8; 512]).unwrap();
+        assert_eq!(a.now(), service);
+        assert_eq!(b.now(), 2 * service); // queued behind a
+    }
+
+    #[test]
+    fn wide_device_parallelizes() {
+        let mut m = DeviceModel::preset(DeviceKind::Nvme);
+        m.channels = 4;
+        let d = SimDevice::new(m);
+        let service = d.model().transfer_ns(true, 512);
+        let ends: Vec<u64> = (0..4)
+            .map(|i| {
+                let mut ctx = Ctx::new();
+                d.write(&mut ctx, i * 8, &[0u8; 512]).unwrap();
+                ctx.now()
+            })
+            .collect();
+        assert!(ends.iter().all(|&e| e == service), "all four run in parallel: {ends:?}");
+    }
+
+    #[test]
+    fn flush_is_barrier() {
+        let d = dev(DeviceKind::Nvme);
+        d.submit_at(0, IoRequest::write(0, vec![0u8; 512], 1), 0).unwrap();
+        let write_due = d.next_due(0).unwrap();
+        d.submit_at(0, IoRequest::flush(2), 0).unwrap();
+        // Flush is due no earlier than the write.
+        let c = d.poll(0, write_due, 16);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].tag, c[1].tag), (1, 2));
+        assert!(c[1].done_at >= c[0].done_at);
+    }
+
+    #[test]
+    fn makespan_tracks_media_work() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        d.write(&mut ctx, 0, &[0u8; 4096]).unwrap();
+        assert_eq!(d.media_makespan(), ctx.now());
+    }
+}

@@ -1,0 +1,114 @@
+//! Device error types and deterministic fault injection.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Errors a simulated device can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Access beyond the device capacity.
+    OutOfRange {
+        /// Requested start LBA.
+        lba: u64,
+        /// Requested transfer length in sectors.
+        sectors: u64,
+        /// The device's capacity in sectors.
+        capacity_sectors: u64,
+    },
+    /// Zero-length or non-sector-multiple transfer.
+    BadTransfer {
+        /// Offending transfer size in bytes.
+        bytes: usize,
+    },
+    /// Injected media failure (see [`FaultConfig`]).
+    MediaError {
+        /// LBA of the failed command.
+        lba: u64,
+    },
+    /// Submitted to a hardware queue id the device does not expose.
+    NoSuchQueue {
+        /// Requested queue id.
+        qid: usize,
+        /// Number of queues the device exposes.
+        hw_queues: usize,
+    },
+    /// Byte-addressed access on a device that is not byte-addressable.
+    NotByteAddressable,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { lba, sectors, capacity_sectors } => write!(
+                f,
+                "access at lba {lba} (+{sectors} sectors) beyond capacity {capacity_sectors}"
+            ),
+            DeviceError::BadTransfer { bytes } => {
+                write!(f, "transfer of {bytes} bytes is not a positive sector multiple")
+            }
+            DeviceError::MediaError { lba } => write!(f, "media error at lba {lba}"),
+            DeviceError::NoSuchQueue { qid, hw_queues } => {
+                write!(f, "hardware queue {qid} out of range (device has {hw_queues})")
+            }
+            DeviceError::NotByteAddressable => {
+                write!(f, "device is not byte-addressable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Deterministic fault injection: fail every `period`-th command.
+///
+/// A period of 0 (the default) disables injection. Determinism keeps
+/// failure-path tests reproducible without seeding RNGs through the device.
+#[derive(Debug, Default)]
+pub struct FaultConfig {
+    period: AtomicU64,
+    counter: AtomicU64,
+}
+
+impl FaultConfig {
+    /// Fail every `period`-th command from now on (0 disables).
+    pub fn set_period(&self, period: u64) {
+        self.period.store(period, Ordering::Relaxed);
+        self.counter.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns true if the current command should fail.
+    pub fn should_fail(&self) -> bool {
+        let period = self.period.load(Ordering::Relaxed);
+        if period == 0 {
+            return false;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let f = FaultConfig::default();
+        assert!((0..100).all(|_| !f.should_fail()));
+    }
+
+    #[test]
+    fn fails_every_nth() {
+        let f = FaultConfig::default();
+        f.set_period(3);
+        let fails: Vec<bool> = (0..9).map(|_| f.should_fail()).collect();
+        assert_eq!(fails, vec![false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = DeviceError::OutOfRange { lba: 10, sectors: 2, capacity_sectors: 8 };
+        assert!(e.to_string().contains("lba 10"));
+        assert!(DeviceError::NotByteAddressable.to_string().contains("byte-addressable"));
+    }
+}

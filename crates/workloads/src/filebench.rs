@@ -1,0 +1,250 @@
+//! Filebench-like personalities (Fig. 9c).
+//!
+//! The four default Filebench workloads the paper runs, scaled to
+//! simulator-friendly sizes but with the canonical operation mixes:
+//!
+//! * **varmail** — mail server: create/append/fsync/read/delete over many
+//!   small files (fsync-heavy; 16 KB files).
+//! * **webserver** — read-mostly: whole-file reads of small files plus an
+//!   append to a shared log.
+//! * **webproxy** — create/write/read mix over a flat namespace with
+//!   repeated re-reads (cache-friendly).
+//! * **fileserver** — large-file create/write/read/delete with 128 KB
+//!   appends (bandwidth-bound — the paper's exception where LabFS only
+//!   ties the kernel).
+
+use crate::fio::XorShift;
+use crate::stats::Recorder;
+use crate::targets::FsTarget;
+
+/// Which personality to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Personality {
+    /// Mail-server mix.
+    Varmail,
+    /// Static web serving.
+    Webserver,
+    /// Proxy cache.
+    Webproxy,
+    /// Large-file file server.
+    Fileserver,
+}
+
+impl Personality {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Personality::Varmail => "varmail",
+            Personality::Webserver => "webserver",
+            Personality::Webproxy => "webproxy",
+            Personality::Fileserver => "fileserver",
+        }
+    }
+
+    /// All four, in the paper's order.
+    pub fn all() -> [Personality; 4] {
+        [
+            Personality::Varmail,
+            Personality::Webserver,
+            Personality::Webproxy,
+            Personality::Fileserver,
+        ]
+    }
+
+    /// Mean file size for the personality (default Filebench configs:
+    /// varmail 16 KB, webserver 16 KB, webproxy 16 KB, fileserver 128 KB).
+    fn file_size(self) -> usize {
+        match self {
+            Personality::Fileserver => 128 * 1024,
+            _ => 16 * 1024,
+        }
+    }
+
+    /// Files in the working set per thread.
+    fn fileset(self) -> usize {
+        match self {
+            Personality::Fileserver => 16,
+            _ => 64,
+        }
+    }
+}
+
+/// One thread's filebench job.
+#[derive(Debug, Clone)]
+pub struct FilebenchJob {
+    /// Personality to run.
+    pub personality: Personality,
+    /// Loop iterations (each iteration is one personality "flow").
+    pub iterations: usize,
+    /// Thread index.
+    pub thread: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Run the job; each recorded operation is one flow iteration.
+pub fn run_filebench(job: &FilebenchJob, target: &mut dyn FsTarget) -> Result<Recorder, String> {
+    let p = job.personality;
+    let dir = format!("/fb{}", job.thread);
+    let _ = target.mkdir(&dir);
+    let fsize = p.file_size();
+    let fileset = p.fileset();
+    let chunk: Vec<u8> = (0..fsize).map(|i| (i % 253) as u8).collect();
+    let mut rng = XorShift::new(job.seed + job.thread as u64 * 7919);
+
+    // Preallocate the working set (Filebench "prealloc").
+    for f in 0..fileset {
+        let path = format!("{dir}/f{f}");
+        let fd = target.open(&path, true, false)?;
+        target.write(fd, &chunk)?;
+        target.close(fd)?;
+    }
+    // Shared append log for webserver.
+    let log_fd = if p == Personality::Webserver {
+        Some(target.open(&format!("{dir}/weblog"), true, false)?)
+    } else {
+        None
+    };
+
+    let mut rec = Recorder::new(target.now_ns());
+    for it in 0..job.iterations {
+        let t0 = target.now_ns();
+        let mut bytes = 0usize;
+        let pick = (rng.next() as usize) % fileset;
+        let path = format!("{dir}/f{pick}");
+        match p {
+            Personality::Varmail => {
+                // delete → create+append+fsync → open+append+fsync →
+                // open+read — the canonical varmail flow.
+                let _ = target.unlink(&path);
+                let fd = target.open(&path, true, false)?;
+                bytes += target.write(fd, &chunk[..fsize / 2])?;
+                target.fsync(fd)?;
+                target.close(fd)?;
+                let fd = target.open(&path, false, false)?;
+                target.seek(fd, (fsize / 2) as u64)?;
+                bytes += target.write(fd, &chunk[fsize / 2..])?;
+                target.fsync(fd)?;
+                target.close(fd)?;
+                let fd = target.open(&path, false, false)?;
+                bytes += target.read(fd, fsize)?.len();
+                target.close(fd)?;
+            }
+            Personality::Webserver => {
+                // Ten whole-file reads plus one log append.
+                for _ in 0..10 {
+                    let pick = (rng.next() as usize) % fileset;
+                    let rpath = format!("{dir}/f{pick}");
+                    let fd = target.open(&rpath, false, false)?;
+                    bytes += target.read(fd, fsize)?.len();
+                    target.close(fd)?;
+                }
+                if let Some(lfd) = log_fd {
+                    target.seek(lfd, (it * 512) as u64)?;
+                    bytes += target.write(lfd, &chunk[..512])?;
+                }
+            }
+            Personality::Webproxy => {
+                // create+write once, read it back five times.
+                let fresh = format!("{dir}/p{it}");
+                let fd = target.open(&fresh, true, false)?;
+                bytes += target.write(fd, &chunk)?;
+                target.close(fd)?;
+                for _ in 0..5 {
+                    let fd = target.open(&fresh, false, false)?;
+                    bytes += target.read(fd, fsize)?.len();
+                    target.close(fd)?;
+                }
+                let _ = target.unlink(&fresh);
+            }
+            Personality::Fileserver => {
+                // create+write whole file, append, read whole, delete.
+                let fresh = format!("{dir}/s{it}");
+                let fd = target.open(&fresh, true, false)?;
+                bytes += target.write(fd, &chunk)?;
+                bytes += target.write(fd, &chunk[..fsize / 2])?;
+                target.close(fd)?;
+                let fd = target.open(&fresh, false, false)?;
+                bytes += target.read(fd, fsize + fsize / 2)?.len();
+                target.close(fd)?;
+                target.unlink(&fresh)?;
+            }
+        }
+        rec.record(target.now_ns() - t0, bytes);
+    }
+    if let Some(lfd) = log_fd {
+        let _ = target.close(lfd);
+    }
+    rec.end_vt = target.now_ns();
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::KernelFsTarget;
+    use labstor_kernel::fs::{FsProfile, KernelFs};
+    use labstor_kernel::vfs::Vfs;
+    use labstor_kernel::BlockLayer;
+    use labstor_sim::{DeviceKind, SimDevice};
+
+    fn target() -> KernelFsTarget {
+        let vfs = Vfs::new();
+        let dev = SimDevice::preset(DeviceKind::Nvme);
+        vfs.mount("/mnt", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 64 << 20));
+        KernelFsTarget::new(vfs, "/mnt", "ext4", 1, 0)
+    }
+
+    #[test]
+    fn every_personality_completes() {
+        for p in Personality::all() {
+            let mut t = target();
+            let job = FilebenchJob { personality: p, iterations: 5, thread: 0, seed: 11 };
+            let rec = run_filebench(&job, &mut t).unwrap();
+            assert_eq!(rec.ops(), 5, "{}", p.label());
+            assert!(rec.bytes > 0, "{} moved no bytes", p.label());
+        }
+    }
+
+    #[test]
+    fn varmail_is_fsync_dominated() {
+        // varmail's fsyncs make its per-flow latency much higher than
+        // webproxy's cache-friendly flow at equal file size.
+        let mut t1 = target();
+        let varmail = FilebenchJob {
+            personality: Personality::Varmail,
+            iterations: 10,
+            thread: 0,
+            seed: 5,
+        };
+        let r1 = run_filebench(&varmail, &mut t1).unwrap();
+        let mut t2 = target();
+        let proxy = FilebenchJob {
+            personality: Personality::Webproxy,
+            iterations: 10,
+            thread: 0,
+            seed: 5,
+        };
+        let r2 = run_filebench(&proxy, &mut t2).unwrap();
+        assert!(
+            r1.mean_ns() > r2.mean_ns(),
+            "varmail {} vs webproxy {}",
+            r1.mean_ns(),
+            r2.mean_ns()
+        );
+    }
+
+    #[test]
+    fn fileserver_moves_most_bytes_per_flow() {
+        let mut t = target();
+        let job = FilebenchJob {
+            personality: Personality::Fileserver,
+            iterations: 4,
+            thread: 0,
+            seed: 2,
+        };
+        let rec = run_filebench(&job, &mut t).unwrap();
+        // Each flow: 128K + 64K written + 192K read = 384 KB.
+        assert!(rec.bytes >= 4 * 300 * 1024, "bytes {}", rec.bytes);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # labstor-workloads — the paper's workload generators and substrates
+//!
+//! Implementations of every workload §IV evaluates with:
+//!
+//! * [`fio`] — a FIO-like generator: read/write mix, sequential/random,
+//!   request size, queue depth, thread count (Figs. 5a, 6, 8).
+//! * [`fxmark`] — FxMark-like metadata stressors: per-thread file
+//!   creation in shared or private directories (Fig. 7).
+//! * [`filebench`] — Filebench-like personalities with the default
+//!   varmail/webserver/webproxy/fileserver mixes (Fig. 9c).
+//! * [`labios`] — the LABIOS worker: 8 KB "labels" stored either through
+//!   a POSIX file backend (fopen/fseek/fwrite/fclose) or a single KVS put
+//!   (Fig. 9b).
+//! * [`pfs`] — an OrangeFS-like parallel filesystem (64 KB striping,
+//!   dedicated metadata server) plus the VPIC particle writer and BD-CATS
+//!   reader that run over it (Fig. 9a).
+//! * [`targets`] — adapters giving every workload a uniform view of a
+//!   kernel filesystem (through the simulated VFS) or a LabStor stack
+//!   (through GenericFS/GenericKVS).
+//! * [`stats`] — virtual-time latency recorders and percentile math.
+
+pub mod filebench;
+pub mod fio;
+pub mod fxmark;
+pub mod labios;
+pub mod pfs;
+pub mod stats;
+pub mod targets;
+
+pub use stats::Recorder;
+pub use targets::{FsTarget, KernelFsTarget, LabStorFsTarget};

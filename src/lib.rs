@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # labstor — facade crate for the LabStor-RS platform
+//!
+//! Rust reproduction of *"LabStor: A Modular and Extensible Platform for
+//! Developing High-Performance, Customized I/O Stacks in Userspace"*
+//! (SC 2022). This crate re-exports the public API of every workspace
+//! member so examples and downstream users need a single dependency.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! Mount a LabStack from a spec and do POSIX I/O through GenericFS:
+//!
+//! ```
+//! use labstor::core::{Runtime, RuntimeConfig};
+//! use labstor::mods::{DeviceRegistry, GenericFs};
+//! use labstor::sim::DeviceKind;
+//!
+//! let devices = DeviceRegistry::new();
+//! devices.add_preset("nvme0", DeviceKind::Nvme);
+//! let rt = Runtime::start(RuntimeConfig::default());
+//! labstor::mods::install_all(&rt.mm, &devices);
+//!
+//! rt.mount_stack_json(r#"{
+//!     "mount": "fs::/b", "exec": "async", "authorized_uids": [0],
+//!     "labmods": [
+//!         { "uuid": "fs1",  "type": "labfs",
+//!           "params": {"device": "nvme0"}, "outputs": ["drv1"] },
+//!         { "uuid": "drv1", "type": "kernel_driver",
+//!           "params": {"device": "nvme0"} }
+//!     ]
+//! }"#).unwrap();
+//!
+//! let client = rt.connect(labstor::ipc::Credentials::new(1, 0, 0), 1);
+//! let mut fs = GenericFs::new(client);
+//! let fd = fs.open("fs::/b/hello", true, false).unwrap();
+//! fs.write(fd, b"hi").unwrap();
+//! fs.seek(fd, 0).unwrap();
+//! assert_eq!(fs.read(fd, 2).unwrap(), b"hi");
+//! rt.shutdown();
+//! ```
+
+pub use labstor_core as core;
+pub use labstor_ipc as ipc;
+pub use labstor_kernel as kernel;
+pub use labstor_mods as mods;
+pub use labstor_sim as sim;
+pub use labstor_workloads as workloads;

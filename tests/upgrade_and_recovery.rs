@@ -1,0 +1,223 @@
+//! Integration tests for live upgrades, crash recovery, and failure
+//! injection across the whole platform.
+
+use labstor::core::{FsOp, Payload, RespPayload, Runtime, RuntimeConfig, UpgradeKind, UpgradeRequest};
+use labstor::ipc::Credentials;
+use labstor::mods::dummy::DummyMod;
+use labstor::mods::DeviceRegistry;
+use labstor::sim::DeviceKind;
+use std::sync::Arc;
+
+fn platform() -> (Arc<Runtime>, Arc<DeviceRegistry>) {
+    let devices = DeviceRegistry::new();
+    devices.add_preset("nvme0", DeviceKind::Nvme);
+    let rt = Runtime::start(RuntimeConfig { max_workers: 2, ..Default::default() });
+    labstor::mods::install_all(&rt.mm, &devices);
+    (rt, devices)
+}
+
+const DUMMY_SPEC: &str = r#"{
+    "mount": "dummy::/",
+    "exec": "async",
+    "authorized_uids": [0],
+    "labmods": [ { "uuid": "ur_dummy", "type": "dummy", "params": {"work_ns": 2000} } ]
+}"#;
+
+#[test]
+fn centralized_upgrade_under_traffic_preserves_state() {
+    let (rt, d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+
+    const N: usize = 5000;
+    for i in 0..N {
+        if i == N / 2 {
+            rt.request_upgrade(UpgradeRequest {
+                uuid: "ur_dummy".into(),
+                type_name: "dummy".into(),
+                params: serde_json::json!({"work_ns": 2000}),
+                kind: UpgradeKind::Centralized,
+                code_bytes: 1 << 20,
+                code_device: Some(d.block("nvme0").unwrap()),
+            });
+        }
+        let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        assert!(matches!(resp, RespPayload::Ok), "message {i} failed after upgrade");
+    }
+    let m = rt.mm.get("ur_dummy").unwrap();
+    let dm = m.as_any().downcast_ref::<DummyMod>().unwrap();
+    assert!(dm.version >= 2, "new code installed");
+    assert_eq!(dm.count(), N as u64, "counter transferred and kept counting");
+    rt.shutdown();
+}
+
+#[test]
+fn decentralized_upgrade_also_works() {
+    let (rt, d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    for _ in 0..100 {
+        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    }
+    rt.request_upgrade(UpgradeRequest {
+        uuid: "ur_dummy".into(),
+        type_name: "dummy".into(),
+        params: serde_json::Value::Null,
+        kind: UpgradeKind::Decentralized,
+        code_bytes: 1 << 20,
+        code_device: Some(d.block("nvme0").unwrap()),
+    });
+    for _ in 0..200 {
+        let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        assert!(resp.is_ok());
+    }
+    let m = rt.mm.get("ur_dummy").unwrap();
+    assert_eq!(m.as_any().downcast_ref::<DummyMod>().unwrap().count(), 300);
+    rt.shutdown();
+}
+
+#[test]
+fn upgrade_pause_costs_virtual_time() {
+    let (rt, d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    for _ in 0..50 {
+        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    }
+    let before = client.ctx.now();
+    rt.request_upgrade(UpgradeRequest {
+        uuid: "ur_dummy".into(),
+        type_name: "dummy".into(),
+        params: serde_json::Value::Null,
+        kind: UpgradeKind::Centralized,
+        code_bytes: 1 << 20,
+        code_device: Some(d.block("nvme0").unwrap()),
+    });
+    // Let the admin thread pick the upgrade up (real-time wait), then the
+    // resumed timeline must reflect the pause.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while rt.mm.pending_upgrades() > 0 {
+        assert!(std::time::Instant::now() < deadline, "admin never processed the upgrade");
+        std::thread::yield_now();
+    }
+    for _ in 0..50 {
+        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    }
+    // The ~4 ms upgrade (1 MB code read + link) lands on the timeline.
+    assert!(
+        client.ctx.now() - before > 3_000_000,
+        "upgrade pause missing from virtual time: {} ns",
+        client.ctx.now() - before
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn crash_then_restart_recovers_labfs_state() {
+    let (rt, _d) = platform();
+    rt.mount_stack_json(
+        r#"{
+        "mount": "fs::/r",
+        "exec": "async",
+        "authorized_uids": [0],
+        "labmods": [
+            { "uuid": "ur_fs", "type": "labfs", "params": {"device": "nvme0"}, "outputs": ["ur_drv"] },
+            { "uuid": "ur_drv", "type": "kernel_driver", "params": {"device": "nvme0"} }
+        ]
+    }"#,
+    )
+    .unwrap();
+    let stack = rt.ns.get("fs::/r").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+
+    let ino = match client
+        .execute(&stack, Payload::Fs(FsOp::Create { path: "/kept".into(), mode: 0o644 }))
+        .unwrap()
+        .0
+    {
+        RespPayload::Ino(i) => i,
+        other => panic!("{other:?}"),
+    };
+    let data = vec![0xABu8; 12_288];
+    client
+        .execute(&stack, Payload::Fs(FsOp::Write { ino, offset: 0, data: data.clone() }))
+        .unwrap();
+    client.execute(&stack, Payload::Fs(FsOp::Fsync { ino })).unwrap();
+
+    rt.crash();
+    assert!(!rt.ipc.is_online());
+    rt.restart();
+
+    let (resp, _) = client
+        .execute_with_retry(&stack, Payload::Fs(FsOp::Read { ino, offset: 0, len: data.len() }))
+        .unwrap();
+    match resp {
+        RespPayload::Data(d) => assert_eq!(d, data, "log replay restored the mapping"),
+        other => panic!("read failed after recovery: {other:?}"),
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn client_sees_runtime_down_without_restart() {
+    let (rt, _d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    client.offline_timeout = std::time::Duration::from_millis(100);
+    client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    rt.crash();
+    let err = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap_err();
+    assert_eq!(err, labstor::core::client::ClientError::RuntimeDown);
+    rt.shutdown();
+}
+
+#[test]
+fn device_faults_surface_as_errors_not_hangs() {
+    let (rt, d) = platform();
+    rt.mount_stack_json(
+        r#"{
+        "mount": "blk::/f",
+        "exec": "sync",
+        "authorized_uids": [0],
+        "labmods": [ { "uuid": "ur_fdrv", "type": "kernel_driver", "params": {"device": "nvme0"} } ]
+    }"#,
+    )
+    .unwrap();
+    let stack = rt.ns.get("blk::/f").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    d.block("nvme0").unwrap().faults().set_period(2); // every 2nd op fails
+    let mut failures = 0;
+    for i in 0..10 {
+        let (resp, _) = client
+            .execute(
+                &stack,
+                Payload::Block(labstor::core::BlockOp::Write {
+                    lba: i * 8,
+                    data: vec![0u8; 512],
+                }),
+            )
+            .unwrap();
+        if !resp.is_ok() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 5, "deterministic injection: every 2nd command fails");
+    rt.shutdown();
+}
+
+#[test]
+fn repair_all_is_idempotent() {
+    let (rt, _d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    rt.mm.repair_all();
+    rt.mm.repair_all();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    assert!(resp.is_ok());
+    rt.shutdown();
+}
