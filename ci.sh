@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, clippy (workspace lint table), labcheck static
+# analysis + SPSC model check, then the test suite. Each step must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== labcheck (lints + interleaving model check)"
+cargo run -q -p labstor-labcheck
+
+echo "== cargo test"
+cargo test -q
+
+echo "ci: all gates passed"

@@ -15,9 +15,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use labstor_core::{ModuleManager, Payload, Request, RespPayload};
 use labstor_core::stack::{ExecMode, LabStack, Vertex};
 use labstor_core::StackEnv;
+use labstor_core::{ModuleManager, Payload, Request, RespPayload};
 use labstor_ipc::Credentials;
 use labstor_mods::labfs::BlockAllocator;
 use labstor_mods::DeviceRegistry;
@@ -38,7 +38,11 @@ fn stack_of(mm: &ModuleManager, mods: &[(&str, &str, serde_json::Value)]) -> Lab
             .enumerate()
             .map(|(i, (uuid, _, _))| Vertex {
                 uuid: uuid.to_string(),
-                outputs: if i + 1 < mods.len() { vec![i + 1] } else { vec![] },
+                outputs: if i + 1 < mods.len() {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                },
             })
             .collect(),
         authorized_uids: vec![0],
@@ -46,7 +50,12 @@ fn stack_of(mm: &ModuleManager, mods: &[(&str, &str, serde_json::Value)]) -> Lab
 }
 
 fn run_op(mm: &ModuleManager, stack: &LabStack, ctx: &mut Ctx, payload: Payload) -> RespPayload {
-    let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+    let env = StackEnv {
+        stack,
+        vertex: 0,
+        registry: mm,
+        domain: 0,
+    };
     let m = mm.get(&stack.vertices[0].uuid).unwrap();
     m.process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
 }
@@ -66,7 +75,11 @@ fn ablate_permissions(c: &mut Criterion) {
         &[
             ("ab_perm", "permissions", serde_json::Value::Null),
             ("ab_fs1", "labfs", serde_json::json!({"device": "nvme0"})),
-            ("ab_drv1", "kernel_driver", serde_json::json!({"device": "nvme0"})),
+            (
+                "ab_drv1",
+                "kernel_driver",
+                serde_json::json!({"device": "nvme0"}),
+            ),
         ],
     );
     let without = stack_of(
@@ -105,8 +118,16 @@ fn ablate_lru_cache(c: &mut Criterion) {
     let cached = stack_of(
         &mm,
         &[
-            ("ab_lru", "lru_cache", serde_json::json!({"capacity_bytes": 8388608})),
-            ("ab_drv2", "kernel_driver", serde_json::json!({"device": "nvme0"})),
+            (
+                "ab_lru",
+                "lru_cache",
+                serde_json::json!({"capacity_bytes": 8388608}),
+            ),
+            (
+                "ab_drv2",
+                "kernel_driver",
+                serde_json::json!({"device": "nvme0"}),
+            ),
         ],
     );
     let raw = stack_of(
@@ -117,7 +138,15 @@ fn ablate_lru_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_lru_reread");
     for (name, stack) in [("with_cache", &cached), ("without_cache", &raw)] {
         let mut ctx = Ctx::new();
-        run_op(&mm, stack, &mut ctx, Payload::Block(labstor_core::BlockOp::Write { lba: 0, data: vec![7u8; 4096] }));
+        run_op(
+            &mm,
+            stack,
+            &mut ctx,
+            Payload::Block(labstor_core::BlockOp::Write {
+                lba: 0,
+                data: vec![7u8; 4096],
+            }),
+        );
         let mut n = 0u64;
         let base = ctx.now();
         g.bench_function(name, |b| {
@@ -131,7 +160,10 @@ fn ablate_lru_cache(c: &mut Criterion) {
                 ));
             });
         });
-        println!("  [{name}] virtual cost/re-read ≈ {} ns", (ctx.now() - base) / n.max(1));
+        println!(
+            "  [{name}] virtual cost/re-read ≈ {} ns",
+            (ctx.now() - base) / n.max(1)
+        );
     }
     g.finish();
 }
@@ -142,18 +174,30 @@ fn ablate_compression(c: &mut Criterion) {
         &mm,
         &[
             ("ab_zip", "compress", serde_json::Value::Null),
-            ("ab_drv3", "kernel_driver", serde_json::json!({"device": "nvme0"})),
+            (
+                "ab_drv3",
+                "kernel_driver",
+                serde_json::json!({"device": "nvme0"}),
+            ),
         ],
     );
-    let plain = stack_of(&mm, &[("ab_drv3", "kernel_driver", serde_json::Value::Null)]);
-    let data: Vec<u8> =
-        std::iter::repeat_n(b"sensor=42.1,43.0,41.8;", 12000).flatten().copied().take(256 * 1024).collect();
+    let plain = stack_of(
+        &mm,
+        &[("ab_drv3", "kernel_driver", serde_json::Value::Null)],
+    );
+    let data: Vec<u8> = std::iter::repeat_n(b"sensor=42.1,43.0,41.8;", 12000)
+        .flatten()
+        .copied()
+        .take(256 * 1024)
+        .collect();
     let dev = d.block("nvme0").unwrap();
     let mut g = c.benchmark_group("ablate_compression_256k");
     for (name, stack) in [("with_compression", &compressed), ("without", &plain)] {
         let mut ctx = Ctx::new();
         let mut n = 0u64;
-        let bytes_before = labstor_sim::BlockDevice::stats(dev.as_ref()).snapshot().bytes_written;
+        let bytes_before = labstor_sim::BlockDevice::stats(dev.as_ref())
+            .snapshot()
+            .bytes_written;
         g.bench_function(name, |b| {
             b.iter(|| {
                 n += 1;
@@ -161,12 +205,17 @@ fn ablate_compression(c: &mut Criterion) {
                     &mm,
                     stack,
                     &mut ctx,
-                    Payload::Block(labstor_core::BlockOp::Write { lba: 0, data: data.clone() }),
+                    Payload::Block(labstor_core::BlockOp::Write {
+                        lba: 0,
+                        data: data.clone(),
+                    }),
                 ));
             });
         });
-        let written =
-            labstor_sim::BlockDevice::stats(dev.as_ref()).snapshot().bytes_written - bytes_before;
+        let written = labstor_sim::BlockDevice::stats(dev.as_ref())
+            .snapshot()
+            .bytes_written
+            - bytes_before;
         println!(
             "  [{name}] virtual cost/op ≈ {} ns, media bytes/op ≈ {}",
             ctx.now() / n.max(1),
@@ -229,11 +278,16 @@ fn ablate_exec_mode(c: &mut Criterion) {
         g.bench_function(mount, |b| {
             b.iter(|| {
                 n += 1;
-                let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+                let (resp, _) = client
+                    .execute(&stack, Payload::Dummy { work_ns: 0 })
+                    .unwrap();
                 std::hint::black_box(resp);
             });
         });
-        println!("  [{mount}] virtual latency/op ≈ {} ns", client.ctx.now() / n.max(1));
+        println!(
+            "  [{mount}] virtual latency/op ≈ {} ns",
+            client.ctx.now() / n.max(1)
+        );
     }
     rt.shutdown();
     g.finish();
@@ -247,14 +301,26 @@ fn ablate_cache_policy(c: &mut Criterion) {
     let lru = stack_of(
         &mm,
         &[
-            ("ab_lruc", "lru_cache", serde_json::json!({"capacity_bytes": 16 * 4096})),
-            ("ab_drv4", "kernel_driver", serde_json::json!({"device": "nvme0"})),
+            (
+                "ab_lruc",
+                "lru_cache",
+                serde_json::json!({"capacity_bytes": 16 * 4096}),
+            ),
+            (
+                "ab_drv4",
+                "kernel_driver",
+                serde_json::json!({"device": "nvme0"}),
+            ),
         ],
     );
     let arc = stack_of(
         &mm,
         &[
-            ("ab_arcc", "arc_cache", serde_json::json!({"capacity_bytes": 16 * 4096})),
+            (
+                "ab_arcc",
+                "arc_cache",
+                serde_json::json!({"capacity_bytes": 16 * 4096}),
+            ),
             ("ab_drv4", "kernel_driver", serde_json::Value::Null),
         ],
     );
@@ -263,11 +329,27 @@ fn ablate_cache_policy(c: &mut Criterion) {
         let mut ctx = Ctx::new();
         // Prime hot set.
         for lba in 0..8u64 {
-            run_op(&mm, stack, &mut ctx, Payload::Block(labstor_core::BlockOp::Write { lba: lba * 8, data: vec![1u8; 4096] }));
+            run_op(
+                &mm,
+                stack,
+                &mut ctx,
+                Payload::Block(labstor_core::BlockOp::Write {
+                    lba: lba * 8,
+                    data: vec![1u8; 4096],
+                }),
+            );
         }
         for _ in 0..3 {
             for lba in 0..8u64 {
-                run_op(&mm, stack, &mut ctx, Payload::Block(labstor_core::BlockOp::Read { lba: lba * 8, len: 4096 }));
+                run_op(
+                    &mm,
+                    stack,
+                    &mut ctx,
+                    Payload::Block(labstor_core::BlockOp::Read {
+                        lba: lba * 8,
+                        len: 4096,
+                    }),
+                );
             }
         }
         let mut n = 0u64;
@@ -281,17 +363,31 @@ fn ablate_cache_policy(c: &mut Criterion) {
                 // recency-only policy loses the hot set.
                 for k in 0..3 {
                     let cold = 1000 + ((n * 3 + k) % 512) * 8;
-                    run_op(&mm, stack, &mut ctx, Payload::Block(labstor_core::BlockOp::Read { lba: cold, len: 4096 }));
+                    run_op(
+                        &mm,
+                        stack,
+                        &mut ctx,
+                        Payload::Block(labstor_core::BlockOp::Read {
+                            lba: cold,
+                            len: 4096,
+                        }),
+                    );
                 }
                 std::hint::black_box(run_op(
                     &mm,
                     stack,
                     &mut ctx,
-                    Payload::Block(labstor_core::BlockOp::Read { lba: (n % 8) * 8, len: 4096 }),
+                    Payload::Block(labstor_core::BlockOp::Read {
+                        lba: (n % 8) * 8,
+                        len: 4096,
+                    }),
                 ));
             });
         });
-        println!("  [{name}] virtual cost/hot-reread-pair ≈ {} ns", (ctx.now() - base) / n.max(1));
+        println!(
+            "  [{name}] virtual cost/hot-reread-pair ≈ {} ns",
+            (ctx.now() - base) / n.max(1)
+        );
     }
     g.finish();
 }

@@ -47,7 +47,8 @@ fn bench_registry(c: &mut Criterion) {
     let mm = ModuleManager::new();
     labstor_mods::dummy::install(&mm);
     for i in 0..100 {
-        mm.instantiate(&format!("mod{i}"), "dummy", &serde_json::Value::Null).unwrap();
+        mm.instantiate(&format!("mod{i}"), "dummy", &serde_json::Value::Null)
+            .unwrap();
     }
     c.bench_function("registry_lookup_100_mods", |b| {
         b.iter(|| std::hint::black_box(mm.get("mod57")).is_some());
@@ -103,8 +104,11 @@ fn bench_block_allocator(c: &mut Criterion) {
 }
 
 fn bench_compression(c: &mut Criterion) {
-    let compressible: Vec<u8> =
-        std::iter::repeat_n(b"particle x=1.25 y=2.50 vz=9.9 ", 4369).flatten().copied().take(128 * 1024).collect();
+    let compressible: Vec<u8> = std::iter::repeat_n(b"particle x=1.25 y=2.50 vz=9.9 ", 4369)
+        .flatten()
+        .copied()
+        .take(128 * 1024)
+        .collect();
     let mut incompressible = vec![0u8; 128 * 1024];
     let mut x = 0x2545F4914F6CDD1Du64;
     for b in incompressible.iter_mut() {
@@ -164,26 +168,50 @@ fn bench_request_dispatch(c: &mut Criterion) {
     devices.add_preset("nvme0", labstor_sim::DeviceKind::Nvme);
     let mm = ModuleManager::new();
     labstor_mods::install_all(&mm, &devices);
-    mm.instantiate("b_fs", "labfs", &serde_json::json!({"device": "nvme0"})).unwrap();
-    mm.instantiate("b_drv", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
+    mm.instantiate("b_fs", "labfs", &serde_json::json!({"device": "nvme0"}))
+        .unwrap();
+    mm.instantiate(
+        "b_drv",
+        "kernel_driver",
+        &serde_json::json!({"device": "nvme0"}),
+    )
+    .unwrap();
     let stack = labstor_core::LabStack {
         id: 1,
         mount: "fs::/bench".into(),
         exec: labstor_core::ExecMode::Sync,
         vertices: vec![
-            labstor_core::stack::Vertex { uuid: "b_fs".into(), outputs: vec![1] },
-            labstor_core::stack::Vertex { uuid: "b_drv".into(), outputs: vec![] },
+            labstor_core::stack::Vertex {
+                uuid: "b_fs".into(),
+                outputs: vec![1],
+            },
+            labstor_core::stack::Vertex {
+                uuid: "b_drv".into(),
+                outputs: vec![],
+            },
         ],
         authorized_uids: vec![0],
     };
     let m = mm.get("b_fs").unwrap();
-    let env =
-        labstor_core::StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+    let env = labstor_core::StackEnv {
+        stack: &stack,
+        vertex: 0,
+        registry: &mm,
+        domain: 0,
+    };
     let mut ctx = Ctx::new();
     // Pre-create a file.
     let resp = m.process(
         &mut ctx,
-        Request::new(1, 1, Payload::Fs(labstor_core::FsOp::Create { path: "/b".into(), mode: 0o644 }), Credentials::ROOT),
+        Request::new(
+            1,
+            1,
+            Payload::Fs(labstor_core::FsOp::Create {
+                path: "/b".into(),
+                mode: 0o644,
+            }),
+            Credentials::ROOT,
+        ),
         &env,
     );
     let ino = match resp {
@@ -200,7 +228,11 @@ fn bench_request_dispatch(c: &mut Criterion) {
                 Request::new(
                     2,
                     1,
-                    Payload::Fs(labstor_core::FsOp::Write { ino, offset: 0, data: data.clone() }),
+                    Payload::Fs(labstor_core::FsOp::Write {
+                        ino,
+                        offset: 0,
+                        data: data.clone(),
+                    }),
                     Credentials::ROOT,
                 ),
                 &env,

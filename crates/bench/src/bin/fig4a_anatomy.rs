@@ -24,8 +24,8 @@ fn main() {
     let devices = DeviceRegistry::new();
     let dev = devices.add_preset("nvme0", DeviceKind::Nvme);
     let rt = runtime_with_mods(&devices, 1, true); // single worker
-    // A cache smaller than the working set: reads exercise the full path
-    // (the paper reports "results are similar for reads").
+                                                   // A cache smaller than the working set: reads exercise the full path
+                                                   // (the paper reports "results are similar for reads").
     let spec = labfs_stack_spec(LabVariant::All, "fs::/b", "nvme0", 1, 1 << 20);
     let stack = rt.mount_stack(&spec).expect("stack mounts");
     let mut client = rt.connect(labstor_ipc::Credentials::new(1, 0, 0), 1);
@@ -34,12 +34,30 @@ fn main() {
     let data = vec![0x5Au8; 4096];
 
     // The chain, entry first (uuids from labfs_stack_spec).
-    let uuids =
-        ["perm_nvme0_fs___b", "labfs_nvme0_fs___b", "lru_nvme0_fs___b", "sched_nvme0_fs___b", "drv_nvme0_fs___b"];
-    let names = ["permissions", "labfs (metadata)", "lru cache", "noop sched", "kernel driver"];
+    let uuids = [
+        "perm_nvme0_fs___b",
+        "labfs_nvme0_fs___b",
+        "lru_nvme0_fs___b",
+        "sched_nvme0_fs___b",
+        "drv_nvme0_fs___b",
+    ];
+    let names = [
+        "permissions",
+        "labfs (metadata)",
+        "lru cache",
+        "noop sched",
+        "kernel driver",
+    ];
 
     let ino = match client
-        .execute(&stack, Payload::Fs(FsOp::Open { path: "/file".into(), create: true, truncate: false }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Open {
+                path: "/file".into(),
+                create: true,
+                truncate: false,
+            }),
+        )
         .expect("open")
         .0
     {
@@ -50,17 +68,27 @@ fn main() {
     for direction in ["write", "read"] {
         // Instances persist across passes: snapshot counters instead of
         // remounting.
-        let before: Vec<u64> =
-            uuids.iter().map(|u| rt.mm.get(u).expect("mod loaded").est_total_time()).collect();
+        let before: Vec<u64> = uuids
+            .iter()
+            .map(|u| rt.mm.get(u).expect("mod loaded").est_total_time())
+            .collect();
         let dev_before = dev.stats().snapshot().busy_ns;
         let t0 = client.ctx.now();
 
         for i in 0..OPS {
             let off = (i % 1024) as u64 * 4096;
             let payload = if direction == "write" {
-                Payload::Fs(FsOp::Write { ino, offset: off, data: data.clone() })
+                Payload::Fs(FsOp::Write {
+                    ino,
+                    offset: off,
+                    data: data.clone(),
+                })
             } else {
-                Payload::Fs(FsOp::Read { ino, offset: off, len: 4096 })
+                Payload::Fs(FsOp::Read {
+                    ino,
+                    offset: off,
+                    len: 4096,
+                })
             };
             let (resp, _) = client.execute(&stack, payload).expect("op");
             assert!(resp.is_ok(), "{direction} failed: {resp:?}");
@@ -104,6 +132,8 @@ fn main() {
             &table,
         );
     }
-    println!("\npaper (write): io ~66%  cache 17%  ipc 8.4%  sched 5%  fs-meta 3%  perms 3%  driver ~1%");
+    println!(
+        "\npaper (write): io ~66%  cache 17%  ipc 8.4%  sched 5%  fs-meta 3%  perms 3%  driver ~1%"
+    );
     rt.shutdown();
 }

@@ -85,8 +85,8 @@ fn run(cfg: &WorkerCfg, clients: usize) -> (f64, f64) {
         let active_sum = active_sum.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Acquire) {
-                active_sum.fetch_add(rt.active_workers() as u64, Ordering::Relaxed);
-                samples.fetch_add(1, Ordering::Relaxed);
+                active_sum.fetch_add(rt.active_workers() as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                samples.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
         })
@@ -112,14 +112,20 @@ fn run(cfg: &WorkerCfg, clients: usize) -> (f64, f64) {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
     });
     stop.store(true, Ordering::Release);
     let _ = sampler.join();
 
     let merged = Recorder::merge(recorders);
+    // relaxed-ok: stat counter; readers tolerate lag
     let avg_active = if samples.load(Ordering::Relaxed) > 0 {
+        // relaxed-ok: stat counter; readers tolerate lag
         active_sum.load(Ordering::Relaxed) as f64 / samples.load(Ordering::Relaxed) as f64
+    // relaxed-ok: stat counter; readers tolerate lag
     } else {
         0.0
     };
@@ -133,7 +139,11 @@ fn run(cfg: &WorkerCfg, clients: usize) -> (f64, f64) {
 }
 
 fn main() {
-    let configs = [WorkerCfg::Static(1), WorkerCfg::Static(8), WorkerCfg::Dynamic(8)];
+    let configs = [
+        WorkerCfg::Static(1),
+        WorkerCfg::Static(8),
+        WorkerCfg::Dynamic(8),
+    ];
     let mut rows = Vec::new();
     for &clients in &CLIENT_COUNTS {
         for cfg in &configs {

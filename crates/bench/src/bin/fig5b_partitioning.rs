@@ -18,8 +18,8 @@
 use std::sync::Arc;
 
 use labstor_bench::{fmt_ns, print_table, runtime_with_mods};
-use labstor_core::{FsOp, Payload, RespPayload, RoundRobinPolicy, StackSpec, VertexSpec};
 use labstor_core::{BlockOp, OrchestratorPolicy};
+use labstor_core::{FsOp, Payload, RespPayload, RoundRobinPolicy, StackSpec, VertexSpec};
 use labstor_mods::DeviceRegistry;
 use labstor_sim::DeviceKind;
 use labstor_workloads::stats::Recorder;
@@ -135,7 +135,10 @@ fn run(policy: Arc<dyn OrchestratorPolicy>, workers: usize) -> (u64, f64) {
                                 }),
                             )
                             .expect("create");
-                        assert!(matches!(resp, RespPayload::Ino(_)), "create failed: {resp:?}");
+                        assert!(
+                            matches!(resp, RespPayload::Ino(_)),
+                            "create failed: {resp:?}"
+                        );
                         rec.record(latency, 0);
                         i += 1;
                     }
@@ -179,8 +182,14 @@ fn run(policy: Arc<dyn OrchestratorPolicy>, workers: usize) -> (u64, f64) {
             })
             .collect();
         (
-            l_handles.into_iter().map(|h| h.join().expect("l thread")).collect(),
-            c_handles.into_iter().map(|h| h.join().expect("c thread")).collect(),
+            l_handles
+                .into_iter()
+                .map(|h| h.join().expect("l thread"))
+                .collect(),
+            c_handles
+                .into_iter()
+                .map(|h| h.join().expect("c thread"))
+                .collect(),
         )
     });
     rt.shutdown();
@@ -193,7 +202,10 @@ fn main() {
     let mut rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         for (name, policy) in [
-            ("rr", Arc::new(RoundRobinPolicy) as Arc<dyn OrchestratorPolicy>),
+            (
+                "rr",
+                Arc::new(RoundRobinPolicy) as Arc<dyn OrchestratorPolicy>,
+            ),
             ("dynamic", Arc::new(labstor_core::DynamicPolicy::default())),
         ] {
             let (l_lat, c_bw) = run(policy, workers);

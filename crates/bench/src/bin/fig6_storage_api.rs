@@ -26,7 +26,14 @@ fn job_for(kind: DeviceKind, bs: usize) -> FioJob {
         DeviceKind::SataSsd => 400,
         _ => 1000,
     };
-    FioJob { mode: RwMode::RandWrite, bs, ops, iodepth: 1, span_bytes: 128 << 20, seed: 7 }
+    FioJob {
+        mode: RwMode::RandWrite,
+        bs,
+        ops,
+        iodepth: 1,
+        span_bytes: 128 << 20,
+        seed: 7,
+    }
 }
 
 /// One LabStor driver-only stack measurement.
@@ -56,22 +63,34 @@ fn lab_driver_iops(driver: &str, kind: DeviceKind, bs: usize) -> f64 {
 
 fn engine_iops(kind: IoEngineKind, device: DeviceKind, bs: usize) -> f64 {
     let dev = SimDevice::preset(device);
-    let mut target =
-        EngineTarget::new(RawEngine::new(kind, BlockLayer::new(dev)), 0, IoClass::Latency);
-    run_fio(&job_for(device, bs), &mut target).expect("fio over engine").ops_per_sec()
+    let mut target = EngineTarget::new(
+        RawEngine::new(kind, BlockLayer::new(dev)),
+        0,
+        IoClass::Latency,
+    );
+    run_fio(&job_for(device, bs), &mut target)
+        .expect("fio over engine")
+        .ops_per_sec()
 }
 
 fn main() {
     let _ = LabVariant::all(); // shared lib linkage sanity
     for bs in [4096usize, 128 * 1024] {
         let mut rows = Vec::new();
-        for device in [DeviceKind::Hdd, DeviceKind::SataSsd, DeviceKind::Nvme, DeviceKind::Pmem]
-        {
+        for device in [
+            DeviceKind::Hdd,
+            DeviceKind::SataSsd,
+            DeviceKind::Nvme,
+            DeviceKind::Pmem,
+        ] {
             let mut results: Vec<(String, f64)> = Vec::new();
             for kind in IoEngineKind::all() {
                 results.push((kind.label().to_string(), engine_iops(kind, device, bs)));
             }
-            results.push(("lab-kdrv".into(), lab_driver_iops("kernel_driver", device, bs)));
+            results.push((
+                "lab-kdrv".into(),
+                lab_driver_iops("kernel_driver", device, bs),
+            ));
             if device == DeviceKind::Nvme {
                 results.push(("lab-spdk".into(), lab_driver_iops("spdk", device, bs)));
             }
@@ -97,7 +116,10 @@ fn main() {
             }
         }
         print_table(
-            &format!("Fig 6: storage API performance, randwrite {}B QD1 (IOPS normalized to posix)", bs),
+            &format!(
+                "Fig 6: storage API performance, randwrite {}B QD1 (IOPS normalized to posix)",
+                bs
+            ),
             &["device", "api", "iops", "vs-posix"],
             &rows,
         );

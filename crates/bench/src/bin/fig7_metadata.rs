@@ -18,8 +18,8 @@ use labstor_kernel::BlockLayer;
 use labstor_mods::DeviceRegistry;
 use labstor_sim::{DeviceKind, SimDevice};
 use labstor_workloads::fxmark::{run_create, CreateMode, FxmarkJob};
-use labstor_workloads::targets::FsTarget;
 use labstor_workloads::stats::Recorder;
+use labstor_workloads::targets::FsTarget;
 use labstor_workloads::targets::{KernelFsTarget, LabStorFsTarget};
 
 const FILES_PER_THREAD: usize = 1500;
@@ -34,7 +34,10 @@ fn kernel_fs_throughput(profile: FsProfile, threads: usize) -> f64 {
     let vfs = Vfs::new();
     let dev = SimDevice::preset(DeviceKind::Nvme);
     let label = profile.name;
-    vfs.mount("/mnt", KernelFs::new(profile, BlockLayer::new(dev), 64 << 20));
+    vfs.mount(
+        "/mnt",
+        KernelFs::new(profile, BlockLayer::new(dev), 64 << 20),
+    );
     let mut targets: Vec<KernelFsTarget> = (0..threads)
         .map(|t| KernelFsTarget::new(vfs.clone(), "/mnt", label, t as u32 + 1, t))
         .collect();
@@ -42,8 +45,7 @@ fn kernel_fs_throughput(profile: FsProfile, threads: usize) -> f64 {
         let _ = target.mkdir("/shared");
         let _ = t;
     }
-    let mut recorders: Vec<Recorder> =
-        targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
+    let mut recorders: Vec<Recorder> = targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
     for i in 0..FILES_PER_THREAD {
         for (t, target) in targets.iter_mut().enumerate() {
             let path = format!("/shared/t{t}f{i}");
@@ -89,7 +91,10 @@ fn labfs_throughput(variant: LabVariant, threads: usize) -> f64 {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
     });
     rt.shutdown();
     Recorder::merge(recorders).ops_per_sec()
@@ -102,15 +107,17 @@ fn kernel_fs_private_dirs(profile: FsProfile, threads: usize) -> f64 {
     let vfs = Vfs::new();
     let dev = SimDevice::preset(DeviceKind::Nvme);
     let label = profile.name;
-    vfs.mount("/mnt", KernelFs::new(profile, BlockLayer::new(dev), 64 << 20));
+    vfs.mount(
+        "/mnt",
+        KernelFs::new(profile, BlockLayer::new(dev), 64 << 20),
+    );
     let mut targets: Vec<KernelFsTarget> = (0..threads)
         .map(|t| KernelFsTarget::new(vfs.clone(), "/mnt", label, t as u32 + 1, t))
         .collect();
     for (t, target) in targets.iter_mut().enumerate() {
         let _ = target.mkdir(&format!("/priv{t}"));
     }
-    let mut recorders: Vec<Recorder> =
-        targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
+    let mut recorders: Vec<Recorder> = targets.iter().map(|t| Recorder::new(t.ctx.now())).collect();
     for i in 0..FILES_PER_THREAD {
         for (t, target) in targets.iter_mut().enumerate() {
             let path = format!("/priv{t}/f{i}");
@@ -138,18 +145,32 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &THREAD_COUNTS {
         let mut row = vec![threads.to_string()];
-        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::ext4_like(), threads) / 1000.0));
-        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::xfs_like(), threads) / 1000.0));
-        row.push(format!("{:.0}", kernel_fs_throughput(FsProfile::f2fs_like(), threads) / 1000.0));
+        row.push(format!(
+            "{:.0}",
+            kernel_fs_throughput(FsProfile::ext4_like(), threads) / 1000.0
+        ));
+        row.push(format!(
+            "{:.0}",
+            kernel_fs_throughput(FsProfile::xfs_like(), threads) / 1000.0
+        ));
+        row.push(format!(
+            "{:.0}",
+            kernel_fs_throughput(FsProfile::f2fs_like(), threads) / 1000.0
+        ));
         for variant in LabVariant::all() {
-            row.push(format!("{:.0}", labfs_throughput(variant, threads) / 1000.0));
+            row.push(format!(
+                "{:.0}",
+                labfs_throughput(variant, threads) / 1000.0
+            ));
         }
         rows.push(row);
     }
     let mut headers: Vec<&str> = vec!["threads"];
     headers.extend(systems.iter().map(|s| s.as_str()));
     print_table(
-        &format!("Fig 7: file-create throughput, kops/s ({FILES_PER_THREAD} creates/thread, shared dir)"),
+        &format!(
+            "Fig 7: file-create throughput, kops/s ({FILES_PER_THREAD} creates/thread, shared dir)"
+        ),
         &headers,
         &rows,
     );
@@ -163,9 +184,18 @@ fn main() {
     for &threads in &THREAD_COUNTS {
         rows.push(vec![
             threads.to_string(),
-            format!("{:.0}", kernel_fs_private_dirs(FsProfile::ext4_like(), threads) / 1000.0),
-            format!("{:.0}", kernel_fs_private_dirs(FsProfile::xfs_like(), threads) / 1000.0),
-            format!("{:.0}", kernel_fs_private_dirs(FsProfile::f2fs_like(), threads) / 1000.0),
+            format!(
+                "{:.0}",
+                kernel_fs_private_dirs(FsProfile::ext4_like(), threads) / 1000.0
+            ),
+            format!(
+                "{:.0}",
+                kernel_fs_private_dirs(FsProfile::xfs_like(), threads) / 1000.0
+            ),
+            format!(
+                "{:.0}",
+                kernel_fs_private_dirs(FsProfile::f2fs_like(), threads) / 1000.0
+            ),
         ]);
     }
     print_table(

@@ -34,7 +34,14 @@ const L_OPS: usize = 1200;
 const T_OPS: usize = 400;
 
 fn l_job(seed: u64) -> FioJob {
-    FioJob { mode: RwMode::RandWrite, bs: 4096, ops: L_OPS, iodepth: 1, span_bytes: 64 << 20, seed }
+    FioJob {
+        mode: RwMode::RandWrite,
+        bs: 4096,
+        ops: L_OPS,
+        iodepth: 1,
+        span_bytes: 64 << 20,
+        seed,
+    }
 }
 
 fn t_job(seed: u64) -> FioJob {
@@ -170,10 +177,22 @@ fn main() {
         let mut cases: Vec<(String, Recorder)> = Vec::new();
         type Case<'c> = (&'static str, Box<dyn Fn() -> Recorder + 'c>);
         let list: Vec<Case<'_>> = vec![
-            ("linux-noop", Box::new(move || kernel_run(Arc::new(NoopSched), colocated))),
-            ("linux-blk", Box::new(move || kernel_run(Arc::new(BlkSwitchSched::default()), colocated))),
-            ("lab-noop", Box::new(move || lab_run("noop_sched", colocated))),
-            ("lab-blk", Box::new(move || lab_run("blk_switch_sched", colocated))),
+            (
+                "linux-noop",
+                Box::new(move || kernel_run(Arc::new(NoopSched), colocated)),
+            ),
+            (
+                "linux-blk",
+                Box::new(move || kernel_run(Arc::new(BlkSwitchSched::default()), colocated)),
+            ),
+            (
+                "lab-noop",
+                Box::new(move || lab_run("noop_sched", colocated)),
+            ),
+            (
+                "lab-blk",
+                Box::new(move || lab_run("blk_switch_sched", colocated)),
+            ),
         ];
         for (name, f) in list {
             eprintln!("[fig8] start {place}/{name}");

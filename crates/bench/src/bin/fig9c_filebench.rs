@@ -24,8 +24,10 @@ use labstor_workloads::targets::{FsTarget, KernelFsTarget, LabStorFsTarget};
 const THREADS: usize = 4;
 const ITERATIONS: usize = 60;
 
-fn run_threads(mut make_target: impl FnMut(usize) -> Box<dyn FsTarget + Send>, p: Personality)
-    -> f64 {
+fn run_threads(
+    mut make_target: impl FnMut(usize) -> Box<dyn FsTarget + Send>,
+    p: Personality,
+) -> f64 {
     // Interleave thread flows so shared-lock contention lands like the
     // concurrent original (one flow at a time per thread round-robin would
     // be too coarse; per-thread full runs too serial — run flows striped).
@@ -65,8 +67,13 @@ fn kernel_backend(profile: FsProfile, device: DeviceKind, p: Personality) -> f64
     );
     run_threads(
         move |t| {
-            Box::new(KernelFsTarget::new(vfs.clone(), "/mnt", label, t as u32 + 1, t))
-                as Box<dyn FsTarget + Send>
+            Box::new(KernelFsTarget::new(
+                vfs.clone(),
+                "/mnt",
+                label,
+                t as u32 + 1,
+                t,
+            )) as Box<dyn FsTarget + Send>
         },
         p,
     )
@@ -79,7 +86,7 @@ fn lab_backend(variant: LabVariant, device: DeviceKind, p: Personality) -> f64 {
     let spec = labfs_stack_spec(variant, "fs::/b", "dev0", 8, 128 << 20);
     rt.mount_stack(&spec).expect("stack mounts");
     let label = variant.label("labfs");
-    
+
     run_threads(
         move |t| {
             let mut client = rt.connect(labstor_ipc::Credentials::new(t as u32 + 1, 0, 0), 1);
@@ -116,7 +123,16 @@ fn main() {
                 "Fig 9c: Filebench flows/s on {} ({THREADS} threads x {ITERATIONS} flows)",
                 device.label()
             ),
-            &["workload", "ext4", "xfs", "f2fs", "labfs-all", "labfs-min", "labfs-d", "best/ext4"],
+            &[
+                "workload",
+                "ext4",
+                "xfs",
+                "f2fs",
+                "labfs-all",
+                "labfs-min",
+                "labfs-d",
+                "best/ext4",
+            ],
             &rows,
         );
     }

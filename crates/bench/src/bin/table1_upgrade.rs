@@ -58,15 +58,27 @@ fn run_once(upgrades: usize, kind: UpgradeKind) -> f64 {
             }
         }
         let (resp, _) = client
-            .execute(&stack, Payload::Dummy { work_ns: MSG_WORK_NS })
+            .execute(
+                &stack,
+                Payload::Dummy {
+                    work_ns: MSG_WORK_NS,
+                },
+            )
             .expect("message");
         assert!(matches!(resp, RespPayload::Ok), "message {i} failed");
     }
     let runtime_s = client.ctx.now() as f64 / 1e9;
     // The upgraded module must have inherited the message count.
     let m = rt.mm.get("dummy1").expect("module");
-    let d = m.as_any().downcast_ref::<labstor_mods::dummy::DummyMod>().expect("dummy");
-    assert!(d.count() >= MESSAGES as u64 / 2, "state lost across upgrade: {}", d.count());
+    let d = m
+        .as_any()
+        .downcast_ref::<labstor_mods::dummy::DummyMod>()
+        .expect("dummy");
+    assert!(
+        d.count() >= MESSAGES as u64 / 2,
+        "state lost across upgrade: {}",
+        d.count()
+    );
     rt.shutdown();
     runtime_s
 }

@@ -114,8 +114,12 @@ pub fn labfs_stack_spec(
 
 /// Build the KVS LabStack spec for a variant (permissions → labkvs → noop
 /// → kernel_driver).
-pub fn labkvs_stack_spec(variant: LabVariant, mount: &str, device: &str, workers: usize)
-    -> StackSpec {
+pub fn labkvs_stack_spec(
+    variant: LabVariant,
+    mount: &str,
+    device: &str,
+    workers: usize,
+) -> StackSpec {
     let key = mount_key(mount);
     let mut mods = Vec::new();
     if variant == LabVariant::All {
@@ -197,10 +201,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:>w$}", h, w = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

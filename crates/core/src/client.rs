@@ -84,7 +84,10 @@ impl Client {
 
     /// Resolve the stack governing `path` (GenericFS-style ancestor walk).
     pub fn resolve(&self, path: &str) -> Result<(Arc<LabStack>, String), ClientError> {
-        self.runtime.ns.resolve(path).ok_or_else(|| ClientError::NoStack(path.to_string()))
+        self.runtime
+            .ns
+            .resolve(path)
+            .ok_or_else(|| ClientError::NoStack(path.to_string()))
     }
 
     /// Execute `payload` against a stack. Returns the response payload and
@@ -95,8 +98,7 @@ impl Client {
         payload: Payload,
     ) -> Result<(RespPayload, u64), ClientError> {
         self.next_id += 1;
-        let req =
-            Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
+        let req = Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
         let start = self.ctx.now();
         match stack.exec {
             ExecMode::Sync => {
@@ -201,11 +203,7 @@ impl Client {
     /// Returns the request id to pass to [`Client::reap_one`]. For
     /// sync-mode stacks the request executes inline and its response is
     /// buffered locally.
-    pub fn submit(
-        &mut self,
-        stack: &Arc<LabStack>,
-        payload: Payload,
-    ) -> Result<u64, ClientError> {
+    pub fn submit(&mut self, stack: &Arc<LabStack>, payload: Payload) -> Result<u64, ClientError> {
         self.next_id += 1;
         let req = Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
         let id = req.id;
@@ -269,8 +267,7 @@ impl Client {
                 let qp = self.conn.queues[qi].clone();
                 if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
                     if let Message::Resp(resp) = env.payload {
-                        let submit_vt =
-                            self.pending.remove(&resp.id).map(|(t, _)| t).unwrap_or(0);
+                        let submit_vt = self.pending.remove(&resp.id).map(|(t, _)| t).unwrap_or(0);
                         let latency = self.ctx.now().saturating_sub(submit_vt);
                         return Ok((resp, latency));
                     }

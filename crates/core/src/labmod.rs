@@ -198,8 +198,14 @@ mod tests {
 
     fn chain_stack() -> (ModuleManager, LabStack, Arc<Probe>, Arc<Probe>) {
         let mm = ModuleManager::new();
-        let a = Arc::new(Probe { hits: AtomicU64::new(0), forward: true });
-        let b = Arc::new(Probe { hits: AtomicU64::new(0), forward: false });
+        let a = Arc::new(Probe {
+            hits: AtomicU64::new(0),
+            forward: true,
+        });
+        let b = Arc::new(Probe {
+            hits: AtomicU64::new(0),
+            forward: false,
+        });
         mm.insert_instance("a", a.clone());
         mm.insert_instance("b", b.clone());
         let stack = LabStack {
@@ -207,8 +213,14 @@ mod tests {
             mount: "fs::/t".into(),
             exec: ExecMode::Async,
             vertices: vec![
-                Vertex { uuid: "a".into(), outputs: vec![1] },
-                Vertex { uuid: "b".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "a".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "b".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![0],
         };
@@ -218,10 +230,19 @@ mod tests {
     #[test]
     fn forward_walks_the_chain() {
         let (mm, stack, a, b) = chain_stack();
-        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: &mm,
+            domain: 0,
+        };
         let mut ctx = Ctx::new();
-        let req =
-            Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        let req = Request::new(
+            1,
+            1,
+            Payload::Dummy { work_ns: 0 },
+            Credentials::new(1, 0, 0),
+        );
         let head = mm.get("a").unwrap();
         let resp = head.process(&mut ctx, req, &env);
         assert!(resp.is_ok());
@@ -234,18 +255,38 @@ mod tests {
     #[test]
     fn forward_past_end_is_ok() {
         let (mm, stack, _, _) = chain_stack();
-        let env = StackEnv { stack: &stack, vertex: 1, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 1,
+            registry: &mm,
+            domain: 0,
+        };
         let mut ctx = Ctx::new();
-        let req = Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        let req = Request::new(
+            1,
+            1,
+            Payload::Dummy { work_ns: 0 },
+            Credentials::new(1, 0, 0),
+        );
         assert!(env.forward(&mut ctx, req).is_ok());
     }
 
     #[test]
     fn forward_to_missing_vertex_errors() {
         let (mm, stack, _, _) = chain_stack();
-        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: &mm,
+            domain: 0,
+        };
         let mut ctx = Ctx::new();
-        let req = Request::new(1, 1, Payload::Dummy { work_ns: 0 }, Credentials::new(1, 0, 0));
+        let req = Request::new(
+            1,
+            1,
+            Payload::Dummy { work_ns: 0 },
+            Credentials::new(1, 0, 0),
+        );
         assert!(!env.forward_to(&mut ctx, 9, req).is_ok());
     }
 }

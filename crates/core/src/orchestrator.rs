@@ -14,8 +14,6 @@
 //!   (estimated processing time) using the fewest workers that keep the
 //!   per-worker load under a threshold.
 
-use serde::{Deserialize, Serialize};
-
 /// Load summary of one queue, fed to `rebalance`.
 #[derive(Debug, Clone, Copy)]
 pub struct QueueLoad {
@@ -64,7 +62,7 @@ impl OrchestratorPolicy for RoundRobinPolicy {
 }
 
 /// Configuration of the dynamic policy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DynamicConfig {
     /// A queue whose largest request exceeds this is computational.
     pub latency_threshold_ns: u64,
@@ -106,7 +104,9 @@ impl DynamicPolicy {
         let mut out: Assignment = vec![Vec::new(); bins];
         let mut weight = vec![0u64; bins];
         for q in sorted {
-            let min = (0..bins).min_by_key(|&b| (weight[b], b)).expect("bins >= 1");
+            let min = (0..bins)
+                .min_by_key(|&b| (weight[b], b))
+                .expect("bins >= 1");
             out[min].push(q.qid);
             weight[min] += bucket(q.demand_milli);
         }
@@ -179,7 +179,12 @@ mod tests {
     use super::*;
 
     fn q(qid: u64, demand_milli: u64, max_item: u64) -> QueueLoad {
-        QueueLoad { qid, est_load_ns: demand_milli, max_item_ns: max_item, demand_milli }
+        QueueLoad {
+            qid,
+            est_load_ns: demand_milli,
+            max_item_ns: max_item,
+            demand_milli,
+        }
     }
 
     #[test]
@@ -225,7 +230,12 @@ mod tests {
         let heavy: Vec<QueueLoad> = (0..8).map(|i| q(i, 700, 5_000)).collect();
         let a_light = policy.rebalance(&light, 8);
         let a_heavy = policy.rebalance(&heavy, 8);
-        assert!(a_light.len() < a_heavy.len(), "more load → more workers: {} vs {}", a_light.len(), a_heavy.len());
+        assert!(
+            a_light.len() < a_heavy.len(),
+            "more load → more workers: {} vs {}",
+            a_light.len(),
+            a_heavy.len()
+        );
         assert!(a_heavy.len() <= 8);
     }
 

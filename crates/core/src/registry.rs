@@ -138,7 +138,11 @@ impl ModuleManager {
         }
         repos.insert(
             name.to_string(),
-            ModRepo { name: name.to_string(), owner_uid, trusted: owner_uid == 0 },
+            ModRepo {
+                name: name.to_string(),
+                owner_uid,
+                trusted: owner_uid == 0,
+            },
         );
         Ok(())
     }
@@ -146,7 +150,9 @@ impl ModuleManager {
     /// Unmount a repo (`unmount.repo`): only the owner or root.
     pub fn unmount_repo(&self, name: &str, uid: u32) -> Result<(), String> {
         let mut repos = self.repos.write();
-        let repo = repos.get(name).ok_or_else(|| format!("repo '{name}' not mounted"))?;
+        let repo = repos
+            .get(name)
+            .ok_or_else(|| format!("repo '{name}' not mounted"))?;
         if uid != 0 && uid != repo.owner_uid {
             return Err(format!("uid {uid} may not unmount repo '{name}'"));
         }
@@ -169,8 +175,12 @@ impl ModuleManager {
         if !self.repos.read().contains_key(repo) {
             return Err(format!("repo '{repo}' not mounted"));
         }
-        self.factory_repo.write().insert(type_name.to_string(), repo.to_string());
-        self.factories.write().insert(type_name.to_string(), factory);
+        self.factory_repo
+            .write()
+            .insert(type_name.to_string(), repo.to_string());
+        self.factories
+            .write()
+            .insert(type_name.to_string(), factory);
         Ok(())
     }
 
@@ -179,7 +189,12 @@ impl ModuleManager {
     /// trusted).
     pub fn type_is_trusted(&self, type_name: &str) -> bool {
         match self.factory_repo.read().get(type_name) {
-            Some(repo) => self.repos.read().get(repo).map(|r| r.trusted).unwrap_or(false),
+            Some(repo) => self
+                .repos
+                .read()
+                .get(repo)
+                .map(|r| r.trusted)
+                .unwrap_or(false),
             None => true,
         }
     }
@@ -189,7 +204,9 @@ impl ModuleManager {
     /// Register a LabMod type ("installing a repo" makes its types
     /// available).
     pub fn register_factory(&self, type_name: &str, factory: ModFactory) {
-        self.factories.write().insert(type_name.to_string(), factory);
+        self.factories
+            .write()
+            .insert(type_name.to_string(), factory);
     }
 
     /// True if a factory for `type_name` exists.
@@ -216,7 +233,9 @@ impl ModuleManager {
             .cloned()
             .ok_or_else(|| format!("no LabMod type '{type_name}' installed"))?;
         let instance = factory(params);
-        self.registry.write().insert(uuid.to_string(), instance.clone());
+        self.registry
+            .write()
+            .insert(uuid.to_string(), instance.clone());
         Ok(instance)
     }
 
@@ -232,7 +251,11 @@ impl ModuleManager {
 
     /// All `(uuid, instance)` pairs.
     pub fn instances(&self) -> Vec<(String, Arc<dyn LabMod>)> {
-        self.registry.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.registry
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Invoke `state_repair` on every registered instance (client-side
@@ -284,7 +307,10 @@ impl ModuleManager {
         }
         if workers_running {
             let deadline = Instant::now() + Duration::from_secs(10);
-            while primaries.iter().any(|q| q.upgrade_flag() == UpgradeFlag::UpdatePending) {
+            while primaries
+                .iter()
+                .any(|q| q.upgrade_flag() == UpgradeFlag::UpdatePending)
+            {
                 if Instant::now() > deadline {
                     break; // worker died; proceed rather than deadlock
                 }
@@ -344,7 +370,8 @@ impl ModuleManager {
             }
         }
         // 4. Resume: publish the post-upgrade virtual time and unpause.
-        self.resume_vt.store(admin_ctx.now(), std::sync::atomic::Ordering::Release);
+        self.resume_vt
+            .store(admin_ctx.now(), std::sync::atomic::Ordering::Release);
         for q in &primaries {
             q.clear_update();
         }
@@ -382,7 +409,8 @@ mod tests {
         }
         fn state_update(&self, old: &dyn LabMod) {
             if let Some(prev) = old.as_any().downcast_ref::<Versioned>() {
-                self.counter.store(prev.counter.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.counter
+                    .store(prev.counter.load(Ordering::Relaxed), Ordering::Relaxed);
             }
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -409,24 +437,34 @@ mod tests {
     #[test]
     fn instantiate_is_idempotent_per_uuid() {
         let mm = manager_with_factory();
-        let a = mm.instantiate("u1", "versioned", &serde_json::Value::Null).unwrap();
-        let b = mm.instantiate("u1", "versioned", &serde_json::Value::Null).unwrap();
+        let a = mm
+            .instantiate("u1", "versioned", &serde_json::Value::Null)
+            .unwrap();
+        let b = mm
+            .instantiate("u1", "versioned", &serde_json::Value::Null)
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same uuid must reuse the instance");
-        let c = mm.instantiate("u2", "versioned", &serde_json::Value::Null).unwrap();
+        let c = mm
+            .instantiate("u2", "versioned", &serde_json::Value::Null)
+            .unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]
     fn unknown_type_rejected() {
         let mm = ModuleManager::new();
-        assert!(mm.instantiate("u", "ghost", &serde_json::Value::Null).is_err());
+        assert!(mm
+            .instantiate("u", "ghost", &serde_json::Value::Null)
+            .is_err());
     }
 
     #[test]
     fn centralized_upgrade_swaps_and_preserves_state() {
         let mm = manager_with_factory();
         let ipc: Arc<IpcManager<Message>> = IpcManager::new(8);
-        let old = mm.instantiate("u1", "versioned", &serde_json::Value::Null).unwrap();
+        let old = mm
+            .instantiate("u1", "versioned", &serde_json::Value::Null)
+            .unwrap();
         let old_v = old.as_any().downcast_ref::<Versioned>().unwrap();
         old_v.counter.store(42, Ordering::Relaxed);
         let before_version = old_v.version;
@@ -444,8 +482,15 @@ mod tests {
 
         let new = mm.get("u1").unwrap();
         let new_v = new.as_any().downcast_ref::<Versioned>().unwrap();
-        assert!(new_v.version > before_version, "a fresh instance was installed");
-        assert_eq!(new_v.counter.load(Ordering::Relaxed), 42, "state transferred");
+        assert!(
+            new_v.version > before_version,
+            "a fresh instance was installed"
+        );
+        assert_eq!(
+            new_v.counter.load(Ordering::Relaxed),
+            42,
+            "state transferred"
+        );
         // Cost: code read + link + state transfer — milliseconds, not µs.
         assert!(admin.now() > 3_000_000, "upgrade cost {} ns", admin.now());
         assert_eq!(mm.resume_vt(), admin.now());
@@ -456,7 +501,8 @@ mod tests {
         let mm = manager_with_factory();
         let ipc: Arc<IpcManager<Message>> = IpcManager::new(8);
         let conn = ipc.connect(labstor_ipc::Credentials::new(1, 0, 0), 1);
-        mm.instantiate("u1", "versioned", &serde_json::Value::Null).unwrap();
+        mm.instantiate("u1", "versioned", &serde_json::Value::Null)
+            .unwrap();
         mm.request_upgrade(UpgradeRequest {
             uuid: "u1".into(),
             type_name: "versioned".into(),
@@ -467,7 +513,11 @@ mod tests {
         });
         let mut admin = Ctx::new();
         mm.process_upgrades(&mut admin, &ipc, false);
-        assert_eq!(conn.queues[0].upgrade_flag(), UpgradeFlag::None, "queues resumed");
+        assert_eq!(
+            conn.queues[0].upgrade_flag(),
+            UpgradeFlag::None,
+            "queues resumed"
+        );
     }
 
     #[test]
@@ -477,7 +527,8 @@ mod tests {
         for pid in 0..4 {
             ipc.connect(labstor_ipc::Credentials::new(pid, 0, 0), 1);
         }
-        mm.instantiate("u1", "versioned", &serde_json::Value::Null).unwrap();
+        mm.instantiate("u1", "versioned", &serde_json::Value::Null)
+            .unwrap();
         let run = |kind: UpgradeKind| {
             mm.request_upgrade(UpgradeRequest {
                 uuid: "u1".into(),
@@ -493,7 +544,10 @@ mod tests {
         };
         let central = run(UpgradeKind::Centralized);
         let decentral = run(UpgradeKind::Decentralized);
-        assert!(decentral > central, "decentralized propagates to clients: {decentral} vs {central}");
+        assert!(
+            decentral > central,
+            "decentralized propagates to clients: {decentral} vs {central}"
+        );
     }
 
     #[test]
@@ -532,13 +586,23 @@ mod tests {
         mm.register_factory_in_repo(
             "system",
             "sys_mod",
-            Arc::new(|_p| Arc::new(Versioned { version: 1, counter: AtomicU64::new(0) }) as Arc<dyn LabMod>),
+            Arc::new(|_p| {
+                Arc::new(Versioned {
+                    version: 1,
+                    counter: AtomicU64::new(0),
+                }) as Arc<dyn LabMod>
+            }),
         )
         .unwrap();
         mm.register_factory_in_repo(
             "sketchy",
             "sketchy_mod",
-            Arc::new(|_p| Arc::new(Versioned { version: 1, counter: AtomicU64::new(0) }) as Arc<dyn LabMod>),
+            Arc::new(|_p| {
+                Arc::new(Versioned {
+                    version: 1,
+                    counter: AtomicU64::new(0),
+                }) as Arc<dyn LabMod>
+            }),
         )
         .unwrap();
         assert!(mm.type_is_trusted("sys_mod"));
@@ -556,8 +620,10 @@ mod tests {
         // state_repair is a no-op for Versioned; this just exercises the
         // call path over multiple instances.
         let mm = manager_with_factory();
-        mm.instantiate("a", "versioned", &serde_json::Value::Null).unwrap();
-        mm.instantiate("b", "versioned", &serde_json::Value::Null).unwrap();
+        mm.instantiate("a", "versioned", &serde_json::Value::Null)
+            .unwrap();
+        mm.instantiate("b", "versioned", &serde_json::Value::Null)
+            .unwrap();
         mm.repair_all();
         assert_eq!(mm.instances().len(), 2);
     }

@@ -199,12 +199,28 @@ pub struct Request {
 impl Request {
     /// Build a request for a stack's entry vertex.
     pub fn new(id: u64, stack: u64, payload: Payload, creds: Credentials) -> Self {
-        Request { id, stack, vertex: 0, payload, creds, core: 0, qid_hint: None }
+        Request {
+            id,
+            stack,
+            vertex: 0,
+            payload,
+            creds,
+            core: 0,
+            qid_hint: None,
+        }
     }
 
     /// Same, tagged with the originating CPU core.
     pub fn on_core(id: u64, stack: u64, payload: Payload, creds: Credentials, core: usize) -> Self {
-        Request { id, stack, vertex: 0, payload, creds, core, qid_hint: None }
+        Request {
+            id,
+            stack,
+            vertex: 0,
+            payload,
+            creds,
+            core,
+            qid_hint: None,
+        }
     }
 
     /// Approximate payload size in bytes (used for cost estimation).
@@ -264,7 +280,10 @@ impl Response {
 
     /// Error response.
     pub fn err(id: u64, msg: impl Into<String>) -> Self {
-        Response { id, payload: RespPayload::Err(msg.into()) }
+        Response {
+            id,
+            payload: RespPayload::Err(msg.into()),
+        }
     }
 }
 
@@ -288,12 +307,24 @@ mod tests {
         let w = Request::new(
             1,
             0,
-            Payload::Fs(FsOp::Write { ino: 1, offset: 0, data: vec![0u8; 4096] }),
+            Payload::Fs(FsOp::Write {
+                ino: 1,
+                offset: 0,
+                data: vec![0u8; 4096],
+            }),
             creds,
         );
         assert_eq!(w.payload_bytes(), 4096);
-        let r =
-            Request::new(2, 0, Payload::Fs(FsOp::Read { ino: 1, offset: 0, len: 512 }), creds);
+        let r = Request::new(
+            2,
+            0,
+            Payload::Fs(FsOp::Read {
+                ino: 1,
+                offset: 0,
+                len: 512,
+            }),
+            creds,
+        );
         assert_eq!(r.payload_bytes(), 512);
         let d = Request::new(3, 0, Payload::Dummy { work_ns: 10 }, creds);
         assert_eq!(d.payload_bytes(), 0);

@@ -136,7 +136,8 @@ impl Runtime {
     pub fn admin_tick(&self) {
         if self.mm.pending_upgrades() > 0 {
             let mut admin_ctx = Ctx::at(self.watermark.get());
-            self.mm.process_upgrades(&mut admin_ctx, &self.ipc, self.workers_running());
+            self.mm
+                .process_upgrades(&mut admin_ctx, &self.ipc, self.workers_running());
             self.watermark.publish(admin_ctx.now());
         }
         self.rebalance();
@@ -174,7 +175,11 @@ impl Runtime {
                 } else {
                     // No virtual progress yet: a queue with backlog wants
                     // a worker's attention.
-                    if backlog > 0 { 1000 } else { 0 }
+                    if backlog > 0 {
+                        1000
+                    } else {
+                        0
+                    }
                 };
                 // Latency pressure ("optimizing for latency-sensitive
                 // requests"): requests waiting much longer than their own
@@ -183,8 +188,9 @@ impl Runtime {
                 let item = q.max_item_ns().max(1);
                 let wait = q.wait_ema_ns();
                 if wait > 2 * item {
-                    demand_milli =
-                        demand_milli.saturating_mul((wait / item).min(8)).max(demand_milli);
+                    demand_milli = demand_milli
+                        .saturating_mul((wait / item).min(8))
+                        .max(demand_milli);
                 }
                 QueueLoad {
                     qid: q.id,
@@ -221,7 +227,11 @@ impl Runtime {
         }
         for (i, w) in workers.iter().enumerate() {
             let qids = assignment.get(i).cloned().unwrap_or_default();
-            let qs = queues.iter().filter(|q| qids.contains(&q.id)).cloned().collect();
+            let qs = queues
+                .iter()
+                .filter(|q| qids.contains(&q.id))
+                .cloned()
+                .collect();
             w.assign(qs);
         }
     }
@@ -237,13 +247,24 @@ impl Runtime {
         self.workers
             .lock()
             .iter()
-            .map(|w| (w.now_ns.load(Ordering::Relaxed), w.busy_ns.load(Ordering::Relaxed)))
+            .map(|w| {
+                // relaxed-ok: stat counter; readers tolerate lag
+                (
+                    w.now_ns.load(Ordering::Relaxed),
+                    w.busy_ns.load(Ordering::Relaxed),
+                )
+            })
             .collect()
     }
 
     /// Total requests processed by all workers.
     pub fn total_processed(&self) -> u64 {
-        self.workers.lock().iter().map(|w| w.processed.load(Ordering::Relaxed)).sum()
+        // relaxed-ok: stat counter; readers tolerate lag
+        self.workers
+            .lock()
+            .iter()
+            .map(|w| w.processed.load(Ordering::Relaxed))
+            .sum()
     }
 
     // ---- clients ------------------------------------------------------------

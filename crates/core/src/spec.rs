@@ -26,37 +26,34 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde_json::{Error as JsonError, FromValue, Map, ToValue, Value};
 
 use crate::stack::{ExecMode, LabStack, Vertex};
 
 /// One vertex of the spec DAG.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VertexSpec {
     /// Human-readable instance UUID ("a unique instance of a LabMod").
     pub uuid: String,
-    /// LabMod type name (resolved against installed factories).
-    #[serde(rename = "type")]
+    /// LabMod type name (resolved against installed factories; the JSON
+    /// field is `type`).
     pub type_name: String,
-    /// Initialization attributes, passed to the factory.
-    #[serde(default)]
+    /// Initialization attributes, passed to the factory. Defaults to
+    /// `null` when absent.
     pub params: serde_json::Value,
-    /// UUIDs of downstream vertices.
-    #[serde(default)]
+    /// UUIDs of downstream vertices. Defaults to empty when absent.
     pub outputs: Vec<String>,
 }
 
 /// A LabStack specification file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StackSpec {
     /// Mount point.
     pub mount: String,
     /// Execution method: "async" (Runtime workers) or "sync" (client
     /// inline). Defaults to async.
-    #[serde(default = "default_exec")]
     pub exec: String,
-    /// Users allowed to modify the stack.
-    #[serde(default)]
+    /// Users allowed to modify the stack. Defaults to empty when absent.
     pub authorized_uids: Vec<u32>,
     /// The DAG; the first entry is the stack's entry vertex.
     pub labmods: Vec<VertexSpec>,
@@ -64,6 +61,122 @@ pub struct StackSpec {
 
 fn default_exec() -> String {
     "async".to_string()
+}
+
+// Hand-written JSON conversions (the offline serde_json shim has no
+// derive machinery; see shims/serde_json). Field names and defaulting
+// match the previous serde attributes: `type_name` maps to "type", and
+// `exec` / `params` / `outputs` / `authorized_uids` are optional.
+
+fn field<'v>(v: &'v Value, ctx: &str, key: &str) -> Result<&'v Value, JsonError> {
+    v.get(key)
+        .ok_or_else(|| JsonError(format!("{ctx}: missing field `{key}`")))
+}
+
+fn string_field(v: &Value, ctx: &str, key: &str) -> Result<String, JsonError> {
+    field(v, ctx, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| JsonError(format!("{ctx}: field `{key}` must be a string")))
+}
+
+impl FromValue for VertexSpec {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError("labmod entry must be an object".into()));
+        }
+        let uuid = string_field(v, "labmod", "uuid")?;
+        let ctx = format!("labmod '{uuid}'");
+        let type_name = string_field(v, &ctx, "type")?;
+        let params = v.get("params").cloned().unwrap_or(Value::Null);
+        let outputs = match v.get("outputs") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|o| {
+                    o.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| JsonError(format!("{ctx}: outputs must be strings")))
+                })
+                .collect::<Result<Vec<String>, JsonError>>()?,
+            Some(_) => return Err(JsonError(format!("{ctx}: `outputs` must be an array"))),
+        };
+        Ok(VertexSpec {
+            uuid,
+            type_name,
+            params,
+            outputs,
+        })
+    }
+}
+
+impl ToValue for VertexSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("uuid".into(), Value::from(self.uuid.clone()));
+        m.insert("type".into(), Value::from(self.type_name.clone()));
+        m.insert("params".into(), self.params.clone());
+        m.insert("outputs".into(), Value::from(self.outputs.clone()));
+        Value::Object(m)
+    }
+}
+
+impl FromValue for StackSpec {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError("stack spec must be an object".into()));
+        }
+        let mount = string_field(v, "spec", "mount")?;
+        let exec = match v.get("exec") {
+            None => default_exec(),
+            Some(e) => e
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| JsonError("spec: `exec` must be a string".into()))?,
+        };
+        let authorized_uids = match v.get("authorized_uids") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|u| {
+                    u.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| JsonError("spec: uids must be u32".into()))
+                })
+                .collect::<Result<Vec<u32>, JsonError>>()?,
+            Some(_) => return Err(JsonError("spec: `authorized_uids` must be an array".into())),
+        };
+        let labmods = match field(v, "spec", "labmods")? {
+            Value::Array(items) => items
+                .iter()
+                .map(VertexSpec::from_value)
+                .collect::<Result<Vec<VertexSpec>, JsonError>>()?,
+            _ => return Err(JsonError("spec: `labmods` must be an array".into())),
+        };
+        Ok(StackSpec {
+            mount,
+            exec,
+            authorized_uids,
+            labmods,
+        })
+    }
+}
+
+impl ToValue for StackSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("mount".into(), Value::from(self.mount.clone()));
+        m.insert("exec".into(), Value::from(self.exec.clone()));
+        m.insert(
+            "authorized_uids".into(),
+            Value::from(self.authorized_uids.clone()),
+        );
+        m.insert(
+            "labmods".into(),
+            Value::Array(self.labmods.iter().map(ToValue::to_value).collect()),
+        );
+        Value::Object(m)
+    }
 }
 
 impl StackSpec {
@@ -83,7 +196,9 @@ impl StackSpec {
         match self.exec.as_str() {
             "async" => Ok(ExecMode::Async),
             "sync" => Ok(ExecMode::Sync),
-            other => Err(format!("unknown exec mode '{other}' (use \"async\" or \"sync\")")),
+            other => Err(format!(
+                "unknown exec mode '{other}' (use \"async\" or \"sync\")"
+            )),
         }
     }
 
@@ -104,17 +219,19 @@ impl StackSpec {
             .labmods
             .iter()
             .map(|v| {
-                let outputs = v
-                    .outputs
-                    .iter()
-                    .map(|o| {
-                        index
-                            .get(o.as_str())
-                            .copied()
-                            .ok_or_else(|| format!("vertex '{}' outputs to unknown '{o}'", v.uuid))
-                    })
-                    .collect::<Result<Vec<usize>, String>>()?;
-                Ok(Vertex { uuid: v.uuid.clone(), outputs })
+                let outputs =
+                    v.outputs
+                        .iter()
+                        .map(|o| {
+                            index.get(o.as_str()).copied().ok_or_else(|| {
+                                format!("vertex '{}' outputs to unknown '{o}'", v.uuid)
+                            })
+                        })
+                        .collect::<Result<Vec<usize>, String>>()?;
+                Ok(Vertex {
+                    uuid: v.uuid.clone(),
+                    outputs,
+                })
             })
             .collect::<Result<Vec<Vertex>, String>>()?;
         let stack = LabStack {

@@ -61,7 +61,10 @@ impl LabStack {
         for (i, v) in self.vertices.iter().enumerate() {
             for &o in &v.outputs {
                 if o >= self.vertices.len() {
-                    return Err(format!("vertex {i} ({}) points to missing vertex {o}", v.uuid));
+                    return Err(format!(
+                        "vertex {i} ({}) points to missing vertex {o}",
+                        v.uuid
+                    ));
                 }
             }
         }
@@ -123,7 +126,7 @@ impl Namespace {
         if by_mount.contains_key(&stack.mount) {
             return Err(format!("mount point {} already in use", stack.mount));
         }
-        stack.id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        stack.id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let arc = Arc::new(stack);
         by_mount.insert(arc.mount.clone(), arc.clone());
         self.by_id.write().insert(arc.id, arc.clone());
@@ -133,7 +136,9 @@ impl Namespace {
     /// Unmount by mount point.
     pub fn unmount(&self, mount: &str, uid: u32) -> Result<(), String> {
         let mut by_mount = self.by_mount.write();
-        let stack = by_mount.get(mount).ok_or_else(|| format!("{mount} not mounted"))?;
+        let stack = by_mount
+            .get(mount)
+            .ok_or_else(|| format!("{mount} not mounted"))?;
         if !stack.authorizes(uid) {
             return Err(format!("uid {uid} may not modify {mount}"));
         }
@@ -162,7 +167,11 @@ impl Namespace {
         loop {
             if let Some(stack) = by_mount.get(probe) {
                 let rest = &path[probe.len()..];
-                let rel = if rest.is_empty() { "/".to_string() } else { rest.to_string() };
+                let rel = if rest.is_empty() {
+                    "/".to_string()
+                } else {
+                    rest.to_string()
+                };
                 return Some((stack.clone(), rel));
             }
             match probe.rfind('/') {
@@ -178,7 +187,9 @@ impl Namespace {
     /// DAG is validated; `uid` must be authorized.
     pub fn modify(&self, mount: &str, uid: u32, vertices: Vec<Vertex>) -> Result<(), String> {
         let mut by_mount = self.by_mount.write();
-        let old = by_mount.get(mount).ok_or_else(|| format!("{mount} not mounted"))?;
+        let old = by_mount
+            .get(mount)
+            .ok_or_else(|| format!("{mount} not mounted"))?;
         if !old.authorizes(uid) {
             return Err(format!("uid {uid} may not modify {mount}"));
         }
@@ -270,7 +281,10 @@ mod tests {
     fn modify_requires_authorization() {
         let ns = Namespace::new();
         ns.mount(stack("fs::/m", 2)).unwrap();
-        let new_vs = vec![Vertex { uuid: "solo".into(), outputs: vec![] }];
+        let new_vs = vec![Vertex {
+            uuid: "solo".into(),
+            outputs: vec![],
+        }];
         assert!(ns.modify("fs::/m", 999, new_vs.clone()).is_err());
         ns.modify("fs::/m", 100, new_vs).unwrap(); // authorized uid
         assert_eq!(ns.get("fs::/m").unwrap().vertices.len(), 1);

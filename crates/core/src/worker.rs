@@ -16,10 +16,10 @@ use parking_lot::RwLock;
 use labstor_ipc::{QueuePair, UpgradeFlag};
 use labstor_sim::{Ctx, Watermark};
 
+use crate::labmod::StackEnv;
 use crate::registry::ModuleManager;
 use crate::request::{Message, Request, Response};
 use crate::stack::Namespace;
-use crate::labmod::StackEnv;
 
 /// The Runtime's domain id (address space 0).
 pub const RUNTIME_DOMAIN: u32 = 0;
@@ -38,12 +38,20 @@ pub fn process_request(
         return Response::err(id, format!("no stack {}", req.stack));
     };
     let Some(vertex) = stack.vertices.get(req.vertex) else {
-        return Response::err(id, format!("stack {} has no vertex {}", req.stack, req.vertex));
+        return Response::err(
+            id,
+            format!("stack {} has no vertex {}", req.stack, req.vertex),
+        );
     };
     let Some(mod_) = mm.get(&vertex.uuid) else {
         return Response::err(id, format!("module {} not loaded", vertex.uuid));
     };
-    let env = StackEnv { stack: &stack, vertex: req.vertex, registry: mm, domain };
+    let env = StackEnv {
+        stack: &stack,
+        vertex: req.vertex,
+        registry: mm,
+        domain,
+    };
     let payload = mod_.process(ctx, req, &env);
     Response { id, payload }
 }
@@ -72,8 +80,7 @@ impl Worker {
         mm: Arc<ModuleManager>,
         watermark: Arc<Watermark>,
     ) -> Worker {
-        let assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>> =
-            Arc::new(RwLock::new(Vec::new()));
+        let assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>> = Arc::new(RwLock::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let now_ns = Arc::new(AtomicU64::new(0));
         let busy_ns = Arc::new(AtomicU64::new(0));
@@ -100,7 +107,15 @@ impl Worker {
             })
             .expect("spawn worker thread");
 
-        Worker { id, assigned, now_ns, busy_ns, processed, stop, join: Some(join) }
+        Worker {
+            id,
+            assigned,
+            now_ns,
+            busy_ns,
+            processed,
+            stop,
+            join: Some(join),
+        }
     }
 
     /// Replace this worker's queue assignment.
@@ -169,9 +184,9 @@ fn worker_loop(
                         let spent = ctx.busy() - before;
                         q.add_load(-(spent as i64));
                         q.record_work(spent);
-                        processed.fetch_add(1, Ordering::Relaxed);
-                        // Post the completion; if the CQ is full, retry —
-                        // the client is draining it.
+                        processed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                   // Post the completion; if the CQ is full, retry —
+                                                                   // the client is draining it.
                         let mut msg = Message::Resp(resp);
                         loop {
                             match q.complete(msg, ctx.now(), RUNTIME_DOMAIN) {
@@ -188,8 +203,8 @@ fn worker_loop(
                 }
             }
         }
-        now_ns.store(ctx.now(), Ordering::Relaxed);
-        busy_ns.store(ctx.busy(), Ordering::Relaxed);
+        now_ns.store(ctx.now(), Ordering::Relaxed); // relaxed-ok: published metric snapshot; staleness is acceptable
+        busy_ns.store(ctx.busy(), Ordering::Relaxed); // relaxed-ok: published metric snapshot; staleness is acceptable
         watermark.publish(ctx.now());
         if did_work {
             backoff.reset();
@@ -243,7 +258,10 @@ mod tests {
                 id: 0,
                 mount: "dummy::/".into(),
                 exec: ExecMode::Async,
-                vertices: vec![Vertex { uuid: "echo1".into(), outputs: vec![] }],
+                vertices: vec![Vertex {
+                    uuid: "echo1".into(),
+                    outputs: vec![],
+                }],
                 authorized_uids: vec![0],
             })
             .unwrap();

@@ -43,6 +43,6 @@ mod tests {
 
     #[test]
     fn cross_domain_costs_more() {
-        assert!(CROSS_DOMAIN_HOP_NS > SAME_DOMAIN_HOP_NS);
+        const _: () = assert!(CROSS_DOMAIN_HOP_NS > SAME_DOMAIN_HOP_NS);
     }
 }

@@ -7,10 +7,8 @@
 //! built on it (permissions LabMod, ShmManager grants, LabStack modify
 //! authority) are the same.
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of a client process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Credentials {
     /// Process id (simulated; unique per client connection domain).
     pub pid: u32,
@@ -22,7 +20,11 @@ pub struct Credentials {
 
 impl Credentials {
     /// The superuser identity (uid 0), used by administrative tooling.
-    pub const ROOT: Credentials = Credentials { pid: 0, uid: 0, gid: 0 };
+    pub const ROOT: Credentials = Credentials {
+        pid: 0,
+        uid: 0,
+        gid: 0,
+    };
 
     /// Construct credentials.
     pub fn new(pid: u32, uid: u32, gid: u32) -> Self {

@@ -53,18 +53,27 @@ impl<T> IpcManager<T> {
     /// Handshake: register a client and allocate `n_queues` primary
     /// ordered queue pairs for it.
     pub fn connect(&self, creds: Credentials, n_queues: usize) -> ClientConnection<T> {
-        let domain = self.next_domain.fetch_add(1, Ordering::Relaxed);
+        let domain = self.next_domain.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let queues: Vec<_> = (0..n_queues.max(1))
-            .map(|_| self.alloc_queue(QueueFlags { ordered: true, role: QueueRole::Primary }))
+            .map(|_| {
+                self.alloc_queue(QueueFlags {
+                    ordered: true,
+                    role: QueueRole::Primary,
+                })
+            })
             .collect();
         self.connections.write().push((domain, creds));
-        ClientConnection { domain, creds, queues }
+        ClientConnection {
+            domain,
+            creds,
+            queues,
+        }
     }
 
     /// Allocate an additional queue pair (e.g. an intermediate queue for
     /// requests spawned inside the Runtime).
     pub fn alloc_queue(&self, flags: QueueFlags) -> Arc<QueuePair<T>> {
-        let id = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_qid.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let qp = Arc::new(QueuePair::new(id, self.depth, flags));
         self.qps.write().push(qp.clone());
         qp
@@ -153,7 +162,10 @@ mod tests {
     fn intermediate_queues_are_separate() {
         let m: Arc<IpcManager<u32>> = IpcManager::new(8);
         m.connect(Credentials::new(1, 0, 0), 1);
-        m.alloc_queue(QueueFlags { ordered: false, role: QueueRole::Intermediate });
+        m.alloc_queue(QueueFlags {
+            ordered: false,
+            role: QueueRole::Intermediate,
+        });
         assert_eq!(m.primary_queues().len(), 1);
         assert_eq!(m.intermediate_queues().len(), 1);
         assert_eq!(m.all_queues().len(), 2);

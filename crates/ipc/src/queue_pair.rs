@@ -48,7 +48,10 @@ pub struct QueueFlags {
 
 impl Default for QueueFlags {
     fn default() -> Self {
-        QueueFlags { ordered: true, role: QueueRole::Primary }
+        QueueFlags {
+            ordered: true,
+            role: QueueRole::Primary,
+        }
     }
 }
 
@@ -136,10 +139,14 @@ impl<T> QueuePair<T> {
     /// callers back off and retry, which is the paper's backpressure
     /// behaviour.
     pub fn submit(&self, payload: T, submit_vt: u64, origin_domain: u32) -> Result<(), T> {
-        let env = Envelope { payload, submit_vt, origin_domain };
+        let env = Envelope {
+            payload,
+            submit_vt,
+            origin_domain,
+        };
         match self.sq.push(env) {
             Ok(()) => {
-                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.submitted.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                 Ok(())
             }
             Err(env) => Err(env.payload),
@@ -152,12 +159,13 @@ impl<T> QueuePair<T> {
     /// another address space.
     pub fn consume(&self, ctx: &mut Ctx, consumer_domain: u32) -> Option<Envelope<T>> {
         let env = self.sq.pop()?;
-        self.consumed.fetch_add(1, Ordering::Relaxed);
-        // Queue wait: how long the request sat before this worker's
-        // timeline reached it (zero when the worker was waiting for it).
+        self.consumed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                       // Queue wait: how long the request sat before this worker's
+                                                       // timeline reached it (zero when the worker was waiting for it).
         let wait = ctx.now().saturating_sub(env.submit_vt);
-        let ema = self.wait_ema_ns.load(Ordering::Relaxed);
-        self.wait_ema_ns.store(ema - ema / 8 + wait / 8, Ordering::Relaxed);
+        let ema = self.wait_ema_ns.load(Ordering::Relaxed); // relaxed-ok: single-writer EMA, approximate by design
+        self.wait_ema_ns
+            .store(ema - ema / 8 + wait / 8, Ordering::Relaxed); // relaxed-ok: single-writer EMA, approximate by design
         ctx.idle_until(env.submit_vt);
         if env.origin_domain != consumer_domain {
             cost::cross_domain_hop(ctx);
@@ -170,10 +178,14 @@ impl<T> QueuePair<T> {
     /// Worker side: post a completion produced at `complete_vt` back
     /// toward the client.
     pub fn complete(&self, payload: T, complete_vt: u64, origin_domain: u32) -> Result<(), T> {
-        let env = Envelope { payload, submit_vt: complete_vt, origin_domain };
+        let env = Envelope {
+            payload,
+            submit_vt: complete_vt,
+            origin_domain,
+        };
         match self.cq.push(env) {
             Ok(()) => {
-                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                 Ok(())
             }
             Err(env) => Err(env.payload),
@@ -206,17 +218,17 @@ impl<T> QueuePair<T> {
 
     /// Total requests ever submitted.
     pub fn total_submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     /// Total requests ever consumed by workers.
     pub fn total_consumed(&self) -> u64 {
-        self.consumed.load(Ordering::Relaxed)
+        self.consumed.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     /// Total completions ever posted.
     pub fn total_completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.completed.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     // ---- upgrade handshake ------------------------------------------------
@@ -232,7 +244,8 @@ impl<T> QueuePair<T> {
 
     /// Module Manager: request quiescence on this queue.
     pub fn mark_update_pending(&self) {
-        self.upgrade.store(UpgradeFlag::UpdatePending as u8, Ordering::Release);
+        self.upgrade
+            .store(UpgradeFlag::UpdatePending as u8, Ordering::Release);
     }
 
     /// Worker: acknowledge the pending update (pauses the queue).
@@ -250,7 +263,8 @@ impl<T> QueuePair<T> {
 
     /// Module Manager: resume the queue after the upgrade completes.
     pub fn clear_update(&self) {
-        self.upgrade.store(UpgradeFlag::None as u8, Ordering::Release);
+        self.upgrade
+            .store(UpgradeFlag::None as u8, Ordering::Release);
     }
 
     /// True while the queue must not be drained (update acked, upgrade in
@@ -264,17 +278,18 @@ impl<T> QueuePair<T> {
     /// Add (or with a negative value, remove) estimated processing cost.
     pub fn add_load(&self, delta_ns: i64) {
         if delta_ns >= 0 {
-            self.est_load_ns.fetch_add(delta_ns as u64, Ordering::Relaxed);
+            self.est_load_ns
+                .fetch_add(delta_ns as u64, Ordering::Relaxed); // relaxed-ok: self-contained stat counter; CAS guards no other memory
         } else {
             let sub = (-delta_ns) as u64;
-            let mut cur = self.est_load_ns.load(Ordering::Relaxed);
+            let mut cur = self.est_load_ns.load(Ordering::Relaxed); // relaxed-ok: self-contained stat counter; CAS guards no other memory
             loop {
                 let next = cur.saturating_sub(sub);
                 match self.est_load_ns.compare_exchange_weak(
                     cur,
                     next,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // relaxed-ok: ticket CAS orders nothing else; slot seq carries the ordering
+                    Ordering::Relaxed, // relaxed-ok: ticket CAS orders nothing else; slot seq carries the ordering
                 ) {
                     Ok(_) => break,
                     Err(c) => cur = c,
@@ -285,20 +300,20 @@ impl<T> QueuePair<T> {
 
     /// Estimated processing cost of currently queued requests, in ns.
     pub fn est_load_ns(&self) -> u64 {
-        self.est_load_ns.load(Ordering::Relaxed)
+        self.est_load_ns.load(Ordering::Relaxed) // relaxed-ok: self-contained stat counter; CAS guards no other memory
     }
 
     /// Record the estimated cost of one submitted item; keeps the
     /// maximum. The Work Orchestrator classifies queues as
     /// latency-sensitive or computational from this (paper §III-C4).
     pub fn note_item_est(&self, est_ns: u64) {
-        let mut cur = self.max_item_ns.load(Ordering::Relaxed);
+        let mut cur = self.max_item_ns.load(Ordering::Relaxed); // relaxed-ok: self-contained stat counter; CAS guards no other memory
         while est_ns > cur {
             match self.max_item_ns.compare_exchange_weak(
                 cur,
                 est_ns,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: ticket CAS orders nothing else; slot seq carries the ordering
+                Ordering::Relaxed, // relaxed-ok: ticket CAS orders nothing else; slot seq carries the ordering
             ) {
                 Ok(_) => break,
                 Err(c) => cur = c,
@@ -308,22 +323,22 @@ impl<T> QueuePair<T> {
 
     /// Maximum estimated single-item cost seen on this queue.
     pub fn max_item_ns(&self) -> u64 {
-        self.max_item_ns.load(Ordering::Relaxed)
+        self.max_item_ns.load(Ordering::Relaxed) // relaxed-ok: self-contained stat counter; CAS guards no other memory
     }
 
     /// Record `ns` of processing done for a request from this queue.
     pub fn record_work(&self, ns: u64) {
-        self.work_done_ns.fetch_add(ns, Ordering::Relaxed);
+        self.work_done_ns.fetch_add(ns, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
     }
 
     /// Cumulative processing time spent on this queue's requests.
     pub fn work_done_ns(&self) -> u64 {
-        self.work_done_ns.load(Ordering::Relaxed)
+        self.work_done_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     /// Recent average queue wait in ns.
     pub fn wait_ema_ns(&self) -> u64 {
-        self.wait_ema_ns.load(Ordering::Relaxed)
+        self.wait_ema_ns.load(Ordering::Relaxed) // relaxed-ok: single-writer EMA, approximate by design
     }
 }
 

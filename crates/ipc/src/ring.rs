@@ -30,8 +30,12 @@ pub struct SpscRing<T> {
     tail: CachePadded<AtomicUsize>,
 }
 
-// The ring hands each `T` from exactly one thread to exactly one other.
+// SAFETY: the ring hands each `T` from exactly one thread to exactly one
+// other, so `T: Send` is all the transfer needs.
 unsafe impl<T: Send> Send for SpscRing<T> {}
+// SAFETY: shared access goes through the head/tail atomics; slot access
+// is serialized by the publication protocol (exhaustively checked by the
+// labcheck interleaving model checker).
 unsafe impl<T: Send> Sync for SpscRing<T> {}
 
 /// The producing half of an SPSC ring.
@@ -47,11 +51,20 @@ pub struct Consumer<T> {
 /// Create a ring with capacity for `cap` elements (rounded up to a power
 /// of two, minimum 2).
 pub fn spsc<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    spsc_from(cap, 0)
+}
+
+/// [`spsc`] with both counters pre-set to `start`. The counters are
+/// free-running, so any start value is legal; tests use values near
+/// `usize::MAX` to exercise the wraparound paths.
+fn spsc_from<T>(cap: usize, start: usize) -> (Producer<T>, Consumer<T>) {
     let cap = cap.max(2).next_power_of_two();
     let ring = Arc::new(SpscRing {
-        buf: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
-        head: CachePadded::new(AtomicUsize::new(0)),
-        tail: CachePadded::new(AtomicUsize::new(0)),
+        buf: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: CachePadded::new(AtomicUsize::new(start)),
+        tail: CachePadded::new(AtomicUsize::new(start)),
     });
     (Producer { ring: ring.clone() }, Consumer { ring })
 }
@@ -78,11 +91,14 @@ impl<T> Producer<T> {
     /// Push an element; returns it back if the ring is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
         let ring = &*self.ring;
-        let tail = ring.tail.load(Ordering::Relaxed); // we own tail
+        // relaxed-ok: tail is producer-owned; we are its only writer.
+        let tail = ring.tail.load(Ordering::Relaxed);
         let head = ring.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) == ring.cap() {
             return Err(value);
         }
+        // panic-ok: index is masked by cap-1 (cap is a power of two), so
+        // it is always in bounds.
         let slot = &ring.buf[tail & (ring.cap() - 1)];
         // SAFETY: slot is outside [head, tail), so the consumer will not
         // touch it until the release store below publishes it.
@@ -106,11 +122,14 @@ impl<T> Consumer<T> {
     /// Pop the oldest element, if any.
     pub fn pop(&mut self) -> Option<T> {
         let ring = &*self.ring;
-        let head = ring.head.load(Ordering::Relaxed); // we own head
+        // relaxed-ok: head is consumer-owned; we are its only writer.
+        let head = ring.head.load(Ordering::Relaxed);
         let tail = ring.tail.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
+        // panic-ok: index is masked by cap-1 (cap is a power of two), so
+        // it is always in bounds.
         let slot = &ring.buf[head & (ring.cap() - 1)];
         // SAFETY: slot is inside [head, tail), fully written and published
         // by the producer's release store; we are the only consumer.
@@ -132,14 +151,23 @@ impl<T> Consumer<T> {
 
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
-        // Drain any elements never consumed so their drops run.
-        let head = self.head.load(Ordering::Relaxed);
+        // Drain any elements never consumed so their drops run. This must
+        // be `while head != tail` with `wrapping_add`, not `for i in
+        // head..tail`: the counters are free-running and a `Range` where
+        // the indices wrapped past `usize::MAX` (tail numerically below
+        // head) is empty, which would silently leak every queued element.
+        // relaxed-ok: &mut self during drop; no other thread can observe
+        // or advance the counters.
+        let mut head = self.head.load(Ordering::Relaxed);
+        // relaxed-ok: same — exclusive owner during drop.
         let tail = self.tail.load(Ordering::Relaxed);
-        for i in head..tail {
-            let slot = &self.buf[i & (self.cap() - 1)];
+        while head != tail {
+            // panic-ok: index is masked by cap-1, always in bounds.
+            let slot = &self.buf[head & (self.cap() - 1)];
             // SAFETY: sole owner during drop; [head, tail) slots are
             // initialized.
             unsafe { (*slot.get()).assume_init_drop() };
+            head = head.wrapping_add(1);
         }
     }
 }
@@ -215,6 +243,43 @@ mod tests {
             assert!(p.push(D).is_ok());
         }
         assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unconsumed_elements_are_dropped_after_counter_wrap() {
+        // Regression: Drop used `for i in head..tail`, an empty range
+        // once the counters wrap past usize::MAX, leaking every queued
+        // element. Start the counters just below the wrap so the queued
+        // elements straddle it.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut p, _c) = spsc_from(4, usize::MAX - 1);
+            for _ in 0..3 {
+                assert!(p.push(D).is_ok());
+            }
+            // head = MAX-1, tail = MAX+2 (wrapped to 1): tail < head.
+        }
+        assert_eq!(
+            DROPS.load(Ordering::Relaxed),
+            3,
+            "drain must survive counter wrap"
+        );
+    }
+
+    #[test]
+    fn push_pop_across_counter_wrap() {
+        let (mut p, mut c) = spsc_from(4, usize::MAX - 2);
+        for i in 0..10u32 {
+            p.push(i).unwrap();
+            assert_eq!(c.pop(), Some(i));
+        }
     }
 
     #[test]

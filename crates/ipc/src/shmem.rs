@@ -48,7 +48,12 @@ impl fmt::Display for ShmError {
             ShmError::NotGranted { region, pid } => {
                 write!(f, "pid {pid} has no grant for region {region}")
             }
-            ShmError::OutOfBounds { region, offset, len, size } => write!(
+            ShmError::OutOfBounds {
+                region,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "access [{offset}, {offset}+{len}) beyond region {region} size {size}"
             ),
@@ -92,9 +97,15 @@ impl ShmRegionHandle {
     /// Copy bytes out of the region.
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), ShmError> {
         let data = self.region.data.read();
-        let end = offset.checked_add(buf.len()).filter(|&e| e <= data.len()).ok_or(
-            ShmError::OutOfBounds { region: self.id, offset, len: buf.len(), size: data.len() },
-        )?;
+        let end = offset
+            .checked_add(buf.len())
+            .filter(|&e| e <= data.len())
+            .ok_or(ShmError::OutOfBounds {
+                region: self.id,
+                offset,
+                len: buf.len(),
+                size: data.len(),
+            })?;
         buf.copy_from_slice(&data[offset..end]);
         Ok(())
     }
@@ -103,9 +114,16 @@ impl ShmRegionHandle {
     pub fn write(&self, offset: usize, buf: &[u8]) -> Result<(), ShmError> {
         let mut data = self.region.data.write();
         let size = data.len();
-        let end = offset.checked_add(buf.len()).filter(|&e| e <= size).ok_or(
-            ShmError::OutOfBounds { region: self.id, offset, len: buf.len(), size },
-        )?;
+        let end =
+            offset
+                .checked_add(buf.len())
+                .filter(|&e| e <= size)
+                .ok_or(ShmError::OutOfBounds {
+                    region: self.id,
+                    offset,
+                    len: buf.len(),
+                    size,
+                })?;
         data[offset..end].copy_from_slice(buf);
         Ok(())
     }
@@ -162,7 +180,10 @@ impl ShmManager {
         if !r.grants.read().contains(&pid) {
             return Err(ShmError::NotGranted { region, pid });
         }
-        Ok(ShmRegionHandle { id: region, region: r.clone() })
+        Ok(ShmRegionHandle {
+            id: region,
+            region: r.clone(),
+        })
     }
 
     /// Destroy a region. Outstanding handles keep the memory alive but the

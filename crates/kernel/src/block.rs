@@ -85,7 +85,7 @@ impl BlockLayer {
 
     /// Allocate a unique request tag.
     pub fn alloc_tag(&self) -> u64 {
-        self.next_tag.fetch_add(1, Ordering::Relaxed)
+        self.next_tag.fetch_add(1, Ordering::Relaxed) // relaxed-ok: fresh-id allocation; atomicity alone suffices
     }
 
     /// Full block-layer submission (`submit_io_to_blk`): bio allocation,
@@ -99,7 +99,10 @@ impl BlockLayer {
         req: IoRequest,
     ) -> Result<usize, DeviceError> {
         ctx.advance(cost::BIO_ALLOC_NS + cost::BLOCK_LAYER_NS + cost::SCHED_DECIDE_NS);
-        let qid = self.sched.read().select_queue(&self.dev, core, req.len, class);
+        let qid = self
+            .sched
+            .read()
+            .select_queue(&self.dev, core, req.len, class);
         ctx.advance(cost::DRIVER_SUBMIT_NS);
         self.dev.submit_at(qid, req, ctx.now())?;
         Ok(qid)
@@ -149,9 +152,7 @@ impl BlockLayer {
                     // Advance to the deadline of the CQ head, then reap.
                     match mode {
                         CompletionMode::Block => ctx.idle_until(due),
-                        CompletionMode::PollCq | CompletionMode::DriverPoll => {
-                            ctx.poll_until(due)
-                        }
+                        CompletionMode::PollCq | CompletionMode::DriverPoll => ctx.poll_until(due),
                     };
                     let batch = self.dev.poll(qid, ctx.now(), 64);
                     let mut found = None;
@@ -227,8 +228,7 @@ impl BlockLayer {
     /// Flush barrier on the queue the scheduler picks for `core`.
     pub fn sync_flush(&self, ctx: &mut Ctx, core: usize) -> Result<(), DeviceError> {
         let tag = self.alloc_tag();
-        let qid =
-            self.submit_io_to_blk(ctx, core, IoClass::Throughput, IoRequest::flush(tag))?;
+        let qid = self.submit_io_to_blk(ctx, core, IoClass::Throughput, IoRequest::flush(tag))?;
         self.wait_for_tag(ctx, qid, tag, CompletionMode::Block);
         Ok(())
     }
@@ -248,9 +248,13 @@ mod tests {
         let b = layer();
         let mut ctx = Ctx::new();
         let data: Vec<u8> = (0..4096).map(|i| (i % 241) as u8).collect();
-        let c = b.sync_write(&mut ctx, 0, IoClass::Throughput, 64, data.clone()).unwrap();
+        let c = b
+            .sync_write(&mut ctx, 0, IoClass::Throughput, 64, data.clone())
+            .unwrap();
         assert!(c.is_ok());
-        let c = b.sync_read(&mut ctx, 0, IoClass::Throughput, 64, 4096).unwrap();
+        let c = b
+            .sync_read(&mut ctx, 0, IoClass::Throughput, 64, 4096)
+            .unwrap();
         assert_eq!(c.result.unwrap(), data);
     }
 
@@ -258,7 +262,8 @@ mod tests {
     fn blocked_wait_charges_interrupt_path() {
         let b = layer();
         let mut ctx = Ctx::new();
-        b.sync_write(&mut ctx, 0, IoClass::Latency, 0, vec![0u8; 4096]).unwrap();
+        b.sync_write(&mut ctx, 0, IoClass::Latency, 0, vec![0u8; 4096])
+            .unwrap();
         let sw_cost = cost::BIO_ALLOC_NS
             + cost::BLOCK_LAYER_NS
             + cost::SCHED_DECIDE_NS
@@ -278,10 +283,16 @@ mod tests {
         let mut full = Ctx::new();
         let mut direct = Ctx::new();
         let t1 = b.alloc_tag();
-        b.submit_io_to_blk(&mut full, 0, IoClass::Latency, IoRequest::write(0, vec![0u8; 512], t1))
-            .unwrap();
+        b.submit_io_to_blk(
+            &mut full,
+            0,
+            IoClass::Latency,
+            IoRequest::write(0, vec![0u8; 512], t1),
+        )
+        .unwrap();
         let t2 = b.alloc_tag();
-        b.submit_io_to_hctx(&mut direct, 1, IoRequest::write(8, vec![0u8; 512], t2)).unwrap();
+        b.submit_io_to_hctx(&mut direct, 1, IoRequest::write(8, vec![0u8; 512], t2))
+            .unwrap();
         assert!(direct.now() < full.now());
         assert_eq!(direct.now(), cost::DRIVER_SUBMIT_NS);
     }
@@ -291,7 +302,8 @@ mod tests {
         let b = layer();
         let mut ctx = Ctx::new();
         let tag = b.alloc_tag();
-        b.submit_io_to_hctx(&mut ctx, 0, IoRequest::write(0, vec![0u8; 4096], tag)).unwrap();
+        b.submit_io_to_hctx(&mut ctx, 0, IoRequest::write(0, vec![0u8; 4096], tag))
+            .unwrap();
         let c = b.wait_for_tag(&mut ctx, 0, tag, CompletionMode::DriverPoll);
         assert!(c.is_ok());
         let media = b.device().model().transfer_ns(true, 4096);
@@ -308,8 +320,10 @@ mod tests {
         let t2 = b.alloc_tag();
         // Submit two commands on the same queue, then wait for the SECOND
         // first: the first gets stashed, and a later wait finds it.
-        b.submit_io_to_hctx(&mut a, 0, IoRequest::write(0, vec![0u8; 512], t1)).unwrap();
-        b.submit_io_to_hctx(&mut a, 0, IoRequest::write(8, vec![0u8; 512], t2)).unwrap();
+        b.submit_io_to_hctx(&mut a, 0, IoRequest::write(0, vec![0u8; 512], t1))
+            .unwrap();
+        b.submit_io_to_hctx(&mut a, 0, IoRequest::write(8, vec![0u8; 512], t2))
+            .unwrap();
         let c2 = b.wait_for_tag(&mut a, 0, t2, CompletionMode::DriverPoll);
         assert_eq!(c2.tag, t2);
         let c1 = b.wait_for_tag(&mut a, 0, t1, CompletionMode::DriverPoll);
@@ -328,7 +342,8 @@ mod tests {
     fn flush_completes() {
         let b = layer();
         let mut ctx = Ctx::new();
-        b.sync_write(&mut ctx, 0, IoClass::Throughput, 0, vec![1u8; 512]).unwrap();
+        b.sync_write(&mut ctx, 0, IoClass::Throughput, 0, vec![1u8; 512])
+            .unwrap();
         b.sync_flush(&mut ctx, 0).unwrap();
     }
 }

@@ -112,8 +112,8 @@ mod tests {
     fn relative_magnitudes_match_linux() {
         // A context switch costs more than a bare syscall; an interrupt
         // round trip sits in between.
-        assert!(CONTEXT_SWITCH_NS > SYSCALL_NS);
-        assert!(INTERRUPT_NS > SYSCALL_NS);
+        const _: () = assert!(CONTEXT_SWITCH_NS > SYSCALL_NS);
+        const _: () = assert!(INTERRUPT_NS > SYSCALL_NS);
         // The block layer path (bio + bookkeeping + sched + driver) is
         // over a microsecond — the overhead Fig. 6 shows SPDK avoiding.
         let blk = BIO_ALLOC_NS + BLOCK_LAYER_NS + SCHED_DECIDE_NS + DRIVER_SUBMIT_NS;

@@ -51,7 +51,12 @@ impl IoEngineKind {
 
     /// All baseline engines, in the paper's presentation order.
     pub fn all() -> [IoEngineKind; 4] {
-        [IoEngineKind::Posix, IoEngineKind::PosixAio, IoEngineKind::Libaio, IoEngineKind::IoUring]
+        [
+            IoEngineKind::Posix,
+            IoEngineKind::PosixAio,
+            IoEngineKind::Libaio,
+            IoEngineKind::IoUring,
+        ]
     }
 }
 
@@ -80,7 +85,11 @@ pub struct RawEngine {
 impl RawEngine {
     /// Create an engine over a block layer.
     pub fn new(kind: IoEngineKind, block: Arc<BlockLayer>) -> Self {
-        RawEngine { kind, block, staged: parking_lot::Mutex::new(Vec::new()) }
+        RawEngine {
+            kind,
+            block,
+            staged: parking_lot::Mutex::new(Vec::new()),
+        }
     }
 
     /// Engine kind.
@@ -137,7 +146,10 @@ impl RawEngine {
                 self.staged.lock().push((req, class, core));
                 // qid resolved at kick time; report the scheduler's static
                 // choice so wait() knows where to look.
-                Ok(Token { tag, qid: usize::MAX })
+                Ok(Token {
+                    tag,
+                    qid: usize::MAX,
+                })
             }
         }
     }
@@ -168,13 +180,16 @@ impl RawEngine {
     pub fn wait(&self, ctx: &mut Ctx, token: Token) -> Completion {
         match self.kind {
             IoEngineKind::Posix => {
-                self.block.wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block)
+                self.block
+                    .wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block)
             }
             IoEngineKind::PosixAio => {
                 // aio_suspend syscall; the AIO worker takes the completion
                 // wakeup, then signals and switches back to the caller.
                 cost::syscall(ctx);
-                let c = self.block.wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block);
+                let c = self
+                    .block
+                    .wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block);
                 cost::context_switch(ctx);
                 cost::context_switch(ctx);
                 ctx.advance(cost::WAKEUP_NS);
@@ -182,11 +197,13 @@ impl RawEngine {
             }
             IoEngineKind::Libaio => {
                 cost::syscall(ctx); // io_getevents
-                self.block.wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block)
+                self.block
+                    .wait_for_tag(ctx, token.qid, token.tag, CompletionMode::Block)
             }
             IoEngineKind::IoUring => {
                 ctx.advance(CQE_READ_NS);
-                self.block.wait_for_tag(ctx, token.qid, token.tag, CompletionMode::PollCq)
+                self.block
+                    .wait_for_tag(ctx, token.qid, token.tag, CompletionMode::PollCq)
             }
         }
     }
@@ -222,7 +239,12 @@ mod tests {
         let e = engine(kind);
         let mut ctx = Ctx::new();
         let c = e
-            .rw_sync(&mut ctx, 0, IoClass::Latency, IoRequest::write(0, vec![0u8; bytes], 1))
+            .rw_sync(
+                &mut ctx,
+                0,
+                IoClass::Latency,
+                IoRequest::write(0, vec![0u8; bytes], 1),
+            )
             .unwrap();
         assert!(c.is_ok());
         ctx.now()
@@ -234,8 +256,13 @@ mod tests {
             let e = engine(kind);
             let mut ctx = Ctx::new();
             let data: Vec<u8> = (0..4096).map(|i| (i % 239) as u8).collect();
-            e.rw_sync(&mut ctx, 0, IoClass::Latency, IoRequest::write(64, data.clone(), 1))
-                .unwrap();
+            e.rw_sync(
+                &mut ctx,
+                0,
+                IoClass::Latency,
+                IoRequest::write(64, data.clone(), 1),
+            )
+            .unwrap();
             let c = e
                 .rw_sync(&mut ctx, 0, IoClass::Latency, IoRequest::read(64, 4096, 2))
                 .unwrap();
@@ -251,8 +278,14 @@ mod tests {
         let libaio = one_write(IoEngineKind::Libaio, 4096);
         let uring = one_write(IoEngineKind::IoUring, 4096);
         assert!(aio > posix, "aio {aio} vs posix {posix}");
-        assert!(posix > libaio || posix > uring, "posix must beat at most one async engine");
-        assert!(uring < libaio, "io_uring avoids the getevents syscall: {uring} vs {libaio}");
+        assert!(
+            posix > libaio || posix > uring,
+            "posix must beat at most one async engine"
+        );
+        assert!(
+            uring < libaio,
+            "io_uring avoids the getevents syscall: {uring} vs {libaio}"
+        );
     }
 
     #[test]
@@ -272,15 +305,22 @@ mod tests {
         let e = engine(IoEngineKind::IoUring);
         let mut ctx = Ctx::new();
         for i in 0..8 {
-            e.submit(&mut ctx, 0, IoClass::Throughput, IoRequest::write(i * 8, vec![0u8; 512], i))
-                .unwrap();
+            e.submit(
+                &mut ctx,
+                0,
+                IoClass::Throughput,
+                IoRequest::write(i * 8, vec![0u8; 512], i),
+            )
+            .unwrap();
         }
         let before = ctx.now();
         let tokens = e.kick(&mut ctx).unwrap();
         assert_eq!(tokens.len(), 8);
         // Exactly one syscall was charged in the kick (plus per-req block
         // layer work).
-        let per_req = cost::BIO_ALLOC_NS + cost::BLOCK_LAYER_NS + cost::SCHED_DECIDE_NS
+        let per_req = cost::BIO_ALLOC_NS
+            + cost::BLOCK_LAYER_NS
+            + cost::SCHED_DECIDE_NS
             + cost::DRIVER_SUBMIT_NS;
         assert_eq!(ctx.now() - before, cost::SYSCALL_NS + 8 * per_req);
         for t in tokens {
@@ -296,9 +336,18 @@ mod tests {
             let e = RawEngine::new(kind, BlockLayer::new(dev));
             let mut ctx = Ctx::new();
             let c = e
-                .rw_sync(&mut ctx, 0, IoClass::Latency, IoRequest::write(0, vec![0u8; 512], 1))
+                .rw_sync(
+                    &mut ctx,
+                    0,
+                    IoClass::Latency,
+                    IoRequest::write(0, vec![0u8; 512], 1),
+                )
                 .unwrap();
-            assert!(c.result.is_err(), "{} must surface the media error", kind.label());
+            assert!(
+                c.result.is_err(),
+                "{} must surface the media error",
+                kind.label()
+            );
         }
     }
 

@@ -157,7 +157,16 @@ struct Inode {
 
 impl Inode {
     fn new(kind: FileKind, uid: u32, gid: u32, mode: u16) -> Self {
-        Inode { kind, size: 0, uid, gid, mode, blocks: HashMap::new(), children: HashMap::new(), nlink: 1 }
+        Inode {
+            kind,
+            size: 0,
+            uid,
+            gid,
+            mode,
+            blocks: HashMap::new(),
+            children: HashMap::new(),
+            nlink: 1,
+        }
     }
 }
 
@@ -201,8 +210,7 @@ impl KernelFs {
         cache_bytes: usize,
         dirty_threshold: usize,
     ) -> Arc<Self> {
-        let total_blocks =
-            block.device().model().capacity_sectors() / BLOCK_SECTORS;
+        let total_blocks = block.device().model().capacity_sectors() / BLOCK_SECTORS;
         let data_blocks = total_blocks.saturating_sub(JOURNAL_BLOCKS);
         let domains = profile.lock_domains.max(1);
         let per_domain = data_blocks / domains as u64;
@@ -221,7 +229,10 @@ impl KernelFs {
             meta_locks: (0..domains).map(|_| Resource::new()).collect(),
             dir_locks: (0..64).map(|_| Resource::new()).collect(),
             alloc_locks: (0..domains).map(|_| Resource::new()).collect(),
-            journal: Mutex::new(JournalState { pending_bytes: 0, next_block: 0 }),
+            journal: Mutex::new(JournalState {
+                pending_bytes: 0,
+                next_block: 0,
+            }),
             dirty_threshold,
             profile,
             block,
@@ -276,8 +287,12 @@ impl KernelFs {
         ctx.poll_until(end);
         // Log-structured FSes allocate strictly sequentially from a single
         // head; in-place FSes allocate inside the inode's group.
-        let d = if self.profile.log_structured { 0 } else { domain };
-        let b = self.alloc_next[d].fetch_add(1, Ordering::Relaxed);
+        let d = if self.profile.log_structured {
+            0
+        } else {
+            domain
+        };
+        let b = self.alloc_next[d].fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         if b >= self.alloc_end[d] {
             return Err(FsError::NoSpace);
         }
@@ -337,7 +352,7 @@ impl KernelFs {
         if pnode.children.contains_key(name) {
             return Err(FsError::Exists);
         }
-        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         inodes.insert(ino, Inode::new(kind, cred.uid, cred.gid, mode));
         inodes
             .get_mut(&parent)
@@ -353,8 +368,12 @@ impl KernelFs {
     /// pages that map to contiguous device blocks into single requests —
     /// the block layer's plug/merge behavior (its cost is part of
     /// `BLOCK_LAYER_NS`).
-    fn writeback(&self, ctx: &mut Ctx, core: usize, pages: Vec<crate::page_cache::Evicted>)
-        -> Result<(), FsError> {
+    fn writeback(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        pages: Vec<crate::page_cache::Evicted>,
+    ) -> Result<(), FsError> {
         // Resolve block numbers, dropping pages of unlinked inodes.
         let mut runs: Vec<(u64, Vec<u8>)> = Vec::new();
         {
@@ -372,9 +391,7 @@ impl KernelFs {
             resolved.sort_by_key(|(b, _)| *b);
             for (b, data) in resolved {
                 match runs.last_mut() {
-                    Some((start, buf))
-                        if *start + (buf.len() / PAGE_SIZE) as u64 == b =>
-                    {
+                    Some((start, buf)) if *start + (buf.len() / PAGE_SIZE) as u64 == b => {
                         buf.extend_from_slice(&data);
                     }
                     _ => runs.push((b, data.into_vec())),
@@ -428,13 +445,25 @@ impl Filesystem for KernelFs {
         self.profile.name
     }
 
-    fn create(&self, ctx: &mut Ctx, _core: usize, path: &str, mode: u16, cred: Cred)
-        -> Result<u64, FsError> {
+    fn create(
+        &self,
+        ctx: &mut Ctx,
+        _core: usize,
+        path: &str,
+        mode: u16,
+        cred: Cred,
+    ) -> Result<u64, FsError> {
         self.make_node(ctx, path, FileKind::File, mode, cred)
     }
 
-    fn mkdir(&self, ctx: &mut Ctx, _core: usize, path: &str, mode: u16, cred: Cred)
-        -> Result<u64, FsError> {
+    fn mkdir(
+        &self,
+        ctx: &mut Ctx,
+        _core: usize,
+        path: &str,
+        mode: u16,
+        cred: Cred,
+    ) -> Result<u64, FsError> {
         self.make_node(ctx, path, FileKind::Dir, mode, cred)
     }
 
@@ -462,7 +491,9 @@ impl Filesystem for KernelFs {
                 if node.kind == FileKind::Dir {
                     return Err(FsError::IsDir);
                 }
-                (first_pg..last_pg).filter(|p| !node.blocks.contains_key(p)).collect()
+                (first_pg..last_pg)
+                    .filter(|p| !node.blocks.contains_key(p))
+                    .collect()
             };
             if !missing.is_empty() {
                 let mut allocated = Vec::with_capacity(missing.len());
@@ -516,33 +547,40 @@ impl Filesystem for KernelFs {
         let block = &self.block;
         let inodes = &self.inodes;
         let mut io_err = None;
-        let res = self.cache.read(ctx, ino, offset, &mut buf[..n], |ctx, pgidx, page| {
-            let blockno = {
-                let map = inodes.read();
-                map.get(&ino).and_then(|nd| nd.blocks.get(&pgidx)).copied()
-            };
-            match blockno {
-                Some(b) => match block.sync_read(ctx, core, IoClass::Latency, b * BLOCK_SECTORS, PAGE_SIZE)
-                {
-                    Ok(c) => match c.result {
-                        Ok(data) => {
-                            page.copy_from_slice(&data);
-                            true
-                        }
+        let res = self
+            .cache
+            .read(ctx, ino, offset, &mut buf[..n], |ctx, pgidx, page| {
+                let blockno = {
+                    let map = inodes.read();
+                    map.get(&ino).and_then(|nd| nd.blocks.get(&pgidx)).copied()
+                };
+                match blockno {
+                    Some(b) => match block.sync_read(
+                        ctx,
+                        core,
+                        IoClass::Latency,
+                        b * BLOCK_SECTORS,
+                        PAGE_SIZE,
+                    ) {
+                        Ok(c) => match c.result {
+                            Ok(data) => {
+                                page.copy_from_slice(&data);
+                                true
+                            }
+                            Err(e) => {
+                                io_err = Some(FsError::Io(e.to_string()));
+                                false
+                            }
+                        },
                         Err(e) => {
                             io_err = Some(FsError::Io(e.to_string()));
                             false
                         }
                     },
-                    Err(e) => {
-                        io_err = Some(FsError::Io(e.to_string()));
-                        false
-                    }
-                },
-                // Hole: reads as zeroes.
-                None => true,
-            }
-        });
+                    // Hole: reads as zeroes.
+                    None => true,
+                }
+            });
         match res {
             Ok(_) => Ok(n),
             Err(()) => Err(io_err.unwrap_or(FsError::Io("page fill failed".into()))),
@@ -565,7 +603,11 @@ impl Filesystem for KernelFs {
                 return Err(FsError::NotEmpty);
             }
         }
-        inodes.get_mut(&parent).expect("parent present").children.remove(name);
+        inodes
+            .get_mut(&parent)
+            .expect("parent present")
+            .children
+            .remove(name);
         inodes.remove(&ino);
         drop(inodes);
         self.cache.invalidate(ino);
@@ -573,8 +615,14 @@ impl Filesystem for KernelFs {
         Ok(())
     }
 
-    fn rename(&self, ctx: &mut Ctx, _core: usize, from: &str, to: &str, cred: Cred)
-        -> Result<(), FsError> {
+    fn rename(
+        &self,
+        ctx: &mut Ctx,
+        _core: usize,
+        from: &str,
+        to: &str,
+        cred: Cred,
+    ) -> Result<(), FsError> {
         let (fparent, fname) = self.resolve_parent(ctx, from)?;
         let (tparent, tname) = self.resolve_parent(ctx, to)?;
         self.take_dir_lock(ctx, fparent.min(tparent));
@@ -599,9 +647,16 @@ impl Filesystem for KernelFs {
             return Ok(());
         }
         // Replace any existing target (dropping its inode), then move.
-        let replaced =
-            inodes.get_mut(&tparent).expect("checked").children.insert(tname.to_string(), ino);
-        inodes.get_mut(&fparent).expect("checked").children.remove(fname);
+        let replaced = inodes
+            .get_mut(&tparent)
+            .expect("checked")
+            .children
+            .insert(tname.to_string(), ino);
+        inodes
+            .get_mut(&fparent)
+            .expect("checked")
+            .children
+            .remove(fname);
         if let Some(old) = replaced {
             if old != ino {
                 inodes.remove(&old);
@@ -618,7 +673,15 @@ impl Filesystem for KernelFs {
         ctx.advance(200);
         let inodes = self.inodes.read();
         let node = inodes.get(&ino).ok_or(FsError::NotFound)?;
-        Ok(Stat { ino, kind: node.kind, size: node.size, uid: node.uid, gid: node.gid, mode: node.mode, nlink: node.nlink })
+        Ok(Stat {
+            ino,
+            kind: node.kind,
+            size: node.size,
+            uid: node.uid,
+            gid: node.gid,
+            mode: node.mode,
+            nlink: node.nlink,
+        })
     }
 
     fn readdir(&self, ctx: &mut Ctx, path: &str) -> Result<Vec<String>, FsError> {
@@ -668,14 +731,18 @@ impl Filesystem for KernelFs {
         let dirty = self.cache.take_dirty(ctx, Some(ino));
         self.writeback(ctx, core, dirty)?;
         self.journal_commit(ctx, core)?;
-        self.block.sync_flush(ctx, core).map_err(|e| FsError::Io(e.to_string()))
+        self.block
+            .sync_flush(ctx, core)
+            .map_err(|e| FsError::Io(e.to_string()))
     }
 
     fn sync(&self, ctx: &mut Ctx, core: usize) -> Result<(), FsError> {
         let dirty = self.cache.take_dirty(ctx, None);
         self.writeback(ctx, core, dirty)?;
         self.journal_commit(ctx, core)?;
-        self.block.sync_flush(ctx, core).map_err(|e| FsError::Io(e.to_string()))
+        self.block
+            .sync_flush(ctx, core)
+            .map_err(|e| FsError::Io(e.to_string()))
     }
 }
 
@@ -736,7 +803,10 @@ mod tests {
         let f = fs(FsProfile::ext4_like());
         let mut ctx = Ctx::new();
         f.create(&mut ctx, 0, "/x", 0o644, root()).unwrap();
-        assert_eq!(f.create(&mut ctx, 0, "/x", 0o644, root()), Err(FsError::Exists));
+        assert_eq!(
+            f.create(&mut ctx, 0, "/x", 0o644, root()),
+            Err(FsError::Exists)
+        );
     }
 
     #[test]
@@ -744,7 +814,10 @@ mod tests {
         let f = fs(FsProfile::ext4_like());
         let mut ctx = Ctx::new();
         assert_eq!(f.lookup(&mut ctx, "/nope"), Err(FsError::NotFound));
-        assert_eq!(f.create(&mut ctx, 0, "/no/dir/file", 0o644, root()), Err(FsError::NotFound));
+        assert_eq!(
+            f.create(&mut ctx, 0, "/no/dir/file", 0o644, root()),
+            Err(FsError::NotFound)
+        );
     }
 
     #[test]
@@ -773,8 +846,14 @@ mod tests {
         let f = fs(FsProfile::ext4_like());
         let mut ctx = Ctx::new();
         // Root dir is 0755 owned by root: a non-root user cannot create.
-        let user = Cred { uid: 1000, gid: 1000 };
-        assert_eq!(f.create(&mut ctx, 0, "/denied", 0o644, user), Err(FsError::Perm));
+        let user = Cred {
+            uid: 1000,
+            gid: 1000,
+        };
+        assert_eq!(
+            f.create(&mut ctx, 0, "/denied", 0o644, user),
+            Err(FsError::Perm)
+        );
     }
 
     #[test]
@@ -782,7 +861,8 @@ mod tests {
         let f = fs(FsProfile::ext4_like());
         let mut ctx = Ctx::new();
         let ino = f.create(&mut ctx, 0, "/t", 0o644, root()).unwrap();
-        f.write(&mut ctx, 0, ino, 0, &vec![9u8; 3 * PAGE_SIZE]).unwrap();
+        f.write(&mut ctx, 0, ino, 0, &vec![9u8; 3 * PAGE_SIZE])
+            .unwrap();
         f.truncate(&mut ctx, 0, ino, 10).unwrap();
         assert_eq!(f.stat(&mut ctx, "/t").unwrap().size, 10);
         let mut out = vec![0u8; 100];
@@ -795,7 +875,8 @@ mod tests {
         let mut ctx = Ctx::new();
         let ino = f.create(&mut ctx, 0, "/s", 0o644, root()).unwrap();
         // Write only the third page; pages 0-1 are holes.
-        f.write(&mut ctx, 0, ino, 2 * PAGE_SIZE as u64, &[5u8; PAGE_SIZE]).unwrap();
+        f.write(&mut ctx, 0, ino, 2 * PAGE_SIZE as u64, &[5u8; PAGE_SIZE])
+            .unwrap();
         let mut out = vec![0xFFu8; PAGE_SIZE];
         f.read(&mut ctx, 0, ino, 0, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
@@ -844,7 +925,8 @@ mod tests {
         let i2 = f.create(&mut ctx, 0, "/b", 0o644, root()).unwrap();
         f.write(&mut ctx, 0, i1, 0, &[1u8; PAGE_SIZE]).unwrap();
         f.write(&mut ctx, 0, i2, 0, &[2u8; PAGE_SIZE]).unwrap();
-        f.write(&mut ctx, 0, i1, PAGE_SIZE as u64, &[3u8; PAGE_SIZE]).unwrap();
+        f.write(&mut ctx, 0, i1, PAGE_SIZE as u64, &[3u8; PAGE_SIZE])
+            .unwrap();
         let inodes = f.inodes.read();
         let b1: Vec<u64> = {
             let n = inodes.get(&i1).unwrap();

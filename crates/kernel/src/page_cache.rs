@@ -47,7 +47,13 @@ pub struct LruMap<K, V> {
 impl<K: std::hash::Hash + Eq + Clone, V> LruMap<K, V> {
     /// Empty map.
     pub fn new() -> Self {
-        LruMap { map: HashMap::new(), slab: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+        LruMap {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// Number of entries.
@@ -108,10 +114,20 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruMap<K, V> {
             return self.slab[idx].value.replace(value);
         }
         let idx = if let Some(i) = self.free.pop() {
-            self.slab[i] = Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+            self.slab[i] = Entry {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            };
             i
         } else {
-            self.slab.push(Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+            self.slab.push(Entry {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            });
             self.slab.len() - 1
         };
         self.map.insert(key, idx);
@@ -165,7 +181,10 @@ pub struct Page {
 
 impl Page {
     fn zeroed() -> Self {
-        Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice(), dirty: false }
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            dirty: false,
+        }
     }
 }
 
@@ -235,7 +254,10 @@ impl PageCache {
             page.dirty = true;
             while inner.len() > self.capacity_pages {
                 match inner.pop_lru() {
-                    Some((k, p)) if p.dirty => evicted.push(Evicted { key: k, data: p.data }),
+                    Some((k, p)) if p.dirty => evicted.push(Evicted {
+                        key: k,
+                        data: p.data,
+                    }),
                     Some(_) => {}
                     None => break,
                 }
@@ -324,7 +346,10 @@ impl PageCache {
             .map(|k| {
                 let page = inner.get(k).expect("key just seen");
                 page.dirty = false;
-                Evicted { key: *k, data: page.data.clone() }
+                Evicted {
+                    key: *k,
+                    data: page.data.clone(),
+                }
             })
             .collect()
     }
@@ -346,7 +371,11 @@ impl PageCache {
     /// Drop every page of `ino` (unlink / cache invalidation).
     pub fn invalidate(&self, ino: u64) {
         let mut inner = self.inner.lock();
-        let keys: Vec<PageKey> = inner.iter().map(|(k, _)| *k).filter(|k| k.0 == ino).collect();
+        let keys: Vec<PageKey> = inner
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| k.0 == ino)
+            .collect();
         for k in keys {
             inner.remove(&k);
         }
@@ -412,7 +441,9 @@ mod tests {
         assert!(ev.is_empty());
         let mut out = vec![0u8; 8192];
         let misses = pc
-            .read(&mut ctx, 1, 100, &mut out, |_, _, _| panic!("must not miss"))
+            .read(&mut ctx, 1, 100, &mut out, |_, _, _| {
+                panic!("must not miss")
+            })
             .unwrap();
         assert_eq!(misses, 0);
         assert_eq!(out, data);
@@ -433,7 +464,9 @@ mod tests {
         assert_eq!(misses, 1);
         assert!(out.iter().all(|&b| b == 7));
         // Second read hits.
-        let misses = pc.read(&mut ctx, 9, 0, &mut out, |_, _, _| panic!("cached")).unwrap();
+        let misses = pc
+            .read(&mut ctx, 9, 0, &mut out, |_, _, _| panic!("cached"))
+            .unwrap();
         assert_eq!(misses, 0);
     }
 
@@ -498,6 +531,9 @@ mod tests {
         let mut b = Ctx::new();
         pc.write(&mut a, 1, 0, &[0u8; 512]);
         pc.write(&mut b, 2, 0, &[0u8; 512]);
-        assert!(b.now() > a.now() - cost::copy_ns(512), "b queued behind a's lock hold");
+        assert!(
+            b.now() > a.now() - cost::copy_ns(512),
+            "b queued behind a's lock hold"
+        );
     }
 }

@@ -36,8 +36,13 @@ pub trait KernelSched: Send + Sync {
 
     /// Pick the hardware queue for a request of `bytes` issued from
     /// `core` with class `class`.
-    fn select_queue(&self, dev: &Arc<SimDevice>, core: usize, bytes: usize, class: IoClass)
-        -> usize;
+    fn select_queue(
+        &self,
+        dev: &Arc<SimDevice>,
+        core: usize,
+        bytes: usize,
+        class: IoClass,
+    ) -> usize;
 }
 
 /// NoOp: static core→queue mapping, no load awareness.
@@ -49,8 +54,13 @@ impl KernelSched for NoopSched {
         "noop"
     }
 
-    fn select_queue(&self, dev: &Arc<SimDevice>, core: usize, _bytes: usize, _class: IoClass)
-        -> usize {
+    fn select_queue(
+        &self,
+        dev: &Arc<SimDevice>,
+        core: usize,
+        _bytes: usize,
+        _class: IoClass,
+    ) -> usize {
         core % dev.num_queues()
     }
 }
@@ -87,7 +97,8 @@ impl BlkSwitchSched {
         least_loaded_queue(
             dev,
             &self.history,
-            self.cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            self.cursor
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed), // relaxed-ok: fresh-id allocation; atomicity alone suffices
         )
     }
 }
@@ -105,7 +116,9 @@ impl BulkHistory {
     /// History over `queues` queues.
     pub fn new(queues: usize) -> Self {
         BulkHistory {
-            per_queue: (0..queues.max(1)).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
+            per_queue: (0..queues.max(1))
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -113,12 +126,17 @@ impl BulkHistory {
     pub fn record(&self, qid: usize, bytes: usize) {
         let slot = &self.per_queue[qid % self.per_queue.len()];
         // EMA-ish: decay an eighth, add the new sample.
-        let cur = slot.load(std::sync::atomic::Ordering::Relaxed);
-        slot.store(cur - cur / 8 + bytes as u64, std::sync::atomic::Ordering::Relaxed);
+        let cur = slot.load(std::sync::atomic::Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                   // relaxed-ok: single-writer EMA, approximate by design
+        slot.store(
+            cur - cur / 8 + bytes as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
     }
 
     /// Recent bulk pressure on `qid`.
     pub fn pressure(&self, qid: usize) -> u64 {
+        // relaxed-ok: stat counter; readers tolerate lag
         self.per_queue[qid % self.per_queue.len()].load(std::sync::atomic::Ordering::Relaxed)
     }
 }
@@ -146,8 +164,13 @@ impl KernelSched for BlkSwitchSched {
         "blk-switch"
     }
 
-    fn select_queue(&self, dev: &Arc<SimDevice>, core: usize, bytes: usize, class: IoClass)
-        -> usize {
+    fn select_queue(
+        &self,
+        dev: &Arc<SimDevice>,
+        core: usize,
+        bytes: usize,
+        class: IoClass,
+    ) -> usize {
         match class {
             IoClass::Latency => self.least_loaded(dev),
             IoClass::Throughput => {
@@ -189,7 +212,8 @@ mod tests {
         let s = BlkSwitchSched::default();
         // Congest queue 0 with a pile of writes.
         for i in 0..8 {
-            d.submit_at(0, IoRequest::write(i * 8, vec![0u8; 512], i), 0).unwrap();
+            d.submit_at(0, IoRequest::write(i * 8, vec![0u8; 512], i), 0)
+                .unwrap();
         }
         let q = s.select_queue(&d, 0, 4096, IoClass::Latency);
         assert_ne!(q, 0, "latency request must avoid the congested queue");
@@ -199,15 +223,22 @@ mod tests {
     fn blk_switch_keeps_throughput_affinity_when_uncongested() {
         let d = nvme();
         let s = BlkSwitchSched::default();
-        assert_eq!(s.select_queue(&d, 5, 65536, IoClass::Throughput), 5 % d.num_queues());
+        assert_eq!(
+            s.select_queue(&d, 5, 65536, IoClass::Throughput),
+            5 % d.num_queues()
+        );
     }
 
     #[test]
     fn blk_switch_spills_throughput_past_threshold() {
         let d = nvme();
-        let s = BlkSwitchSched { congestion_threshold: 4, ..Default::default() };
+        let s = BlkSwitchSched {
+            congestion_threshold: 4,
+            ..Default::default()
+        };
         for i in 0..6 {
-            d.submit_at(2, IoRequest::write(i * 8, vec![0u8; 512], i), 0).unwrap();
+            d.submit_at(2, IoRequest::write(i * 8, vec![0u8; 512], i), 0)
+                .unwrap();
         }
         let q = s.select_queue(&d, 2, 65536, IoClass::Throughput);
         assert_ne!(q, 2, "congested home queue must spill");

@@ -82,24 +82,54 @@ pub trait Filesystem: Send + Sync {
     /// Filesystem name (for reports).
     fn name(&self) -> &str;
     /// Create a regular file. Returns its inode.
-    fn create(&self, ctx: &mut Ctx, core: usize, path: &str, mode: u16, cred: Cred)
-        -> Result<u64, FsError>;
+    fn create(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        path: &str,
+        mode: u16,
+        cred: Cred,
+    ) -> Result<u64, FsError>;
     /// Create a directory.
-    fn mkdir(&self, ctx: &mut Ctx, core: usize, path: &str, mode: u16, cred: Cred)
-        -> Result<u64, FsError>;
+    fn mkdir(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        path: &str,
+        mode: u16,
+        cred: Cred,
+    ) -> Result<u64, FsError>;
     /// Resolve a path to an inode.
     fn lookup(&self, ctx: &mut Ctx, path: &str) -> Result<u64, FsError>;
     /// Write at an offset. Returns bytes written.
-    fn write(&self, ctx: &mut Ctx, core: usize, ino: u64, offset: u64, data: &[u8])
-        -> Result<usize, FsError>;
+    fn write(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<usize, FsError>;
     /// Read at an offset. Returns bytes read (short at EOF).
-    fn read(&self, ctx: &mut Ctx, core: usize, ino: u64, offset: u64, buf: &mut [u8])
-        -> Result<usize, FsError>;
+    fn read(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        ino: u64,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize, FsError>;
     /// Remove a file or empty directory.
     fn unlink(&self, ctx: &mut Ctx, core: usize, path: &str, cred: Cred) -> Result<(), FsError>;
     /// Rename a file or directory (replaces an existing target).
-    fn rename(&self, ctx: &mut Ctx, core: usize, from: &str, to: &str, cred: Cred)
-        -> Result<(), FsError>;
+    fn rename(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        from: &str,
+        to: &str,
+        cred: Cred,
+    ) -> Result<(), FsError>;
     /// Stat a path.
     fn stat(&self, ctx: &mut Ctx, path: &str) -> Result<Stat, FsError>;
     /// List a directory.
@@ -235,12 +265,24 @@ impl Vfs {
         }
         // O_APPEND starts the cursor at EOF; each write then re-lands at
         // the position this fd's own writes advanced to.
-        let pos = if flags.append { fs.stat(ctx, rel)?.size } else { 0 };
+        let pos = if flags.append {
+            fs.stat(ctx, rel)?.size
+        } else {
+            0
+        };
         let mut tables = self.tables.write();
         let table = tables.entry(pid).or_default();
         table.next_fd += 1;
         let fd = table.next_fd;
-        table.open.insert(fd, OpenFile { fs, ino, pos, append: flags.append });
+        table.open.insert(
+            fd,
+            OpenFile {
+                fs,
+                ino,
+                pos,
+                append: flags.append,
+            },
+        );
         Ok(fd)
     }
 
@@ -249,7 +291,11 @@ impl Vfs {
         cost::syscall(ctx);
         let mut tables = self.tables.write();
         let table = tables.get_mut(&pid).ok_or(VfsError::BadFd(fd))?;
-        table.open.remove(&fd).map(|_| ()).ok_or(VfsError::BadFd(fd))
+        table
+            .open
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(VfsError::BadFd(fd))
     }
 
     /// `write(2)` at the current position (or EOF with O_APPEND).
@@ -342,8 +388,13 @@ impl Vfs {
     }
 
     /// `unlink(2)`.
-    pub fn unlink(&self, ctx: &mut Ctx, core: usize, cred: Cred, path: &str)
-        -> Result<(), VfsError> {
+    pub fn unlink(
+        &self,
+        ctx: &mut Ctx,
+        core: usize,
+        cred: Cred,
+        path: &str,
+    ) -> Result<(), VfsError> {
         cost::syscall(ctx);
         let (fs, rel) = self.route(path)?;
         Ok(fs.unlink(ctx, core, rel, cred)?)
@@ -364,7 +415,9 @@ impl Vfs {
         let (fs_b, rel_to) = self.route(to)?;
         let rel_to = rel_to.to_string();
         if !Arc::ptr_eq(&fs_a, &fs_b) {
-            return Err(VfsError::Fs(FsError::Io("cross-mount rename (EXDEV)".into())));
+            return Err(VfsError::Fs(FsError::Io(
+                "cross-mount rename (EXDEV)".into(),
+            )));
         }
         Ok(fs_a.rename(ctx, core, &rel_from, &rel_to, cred)?)
     }
@@ -408,7 +461,15 @@ impl Vfs {
                 .open
                 .iter()
                 .map(|(fd, f)| {
-                    (*fd, OpenFile { fs: f.fs.clone(), ino: f.ino, pos: f.pos, append: f.append })
+                    (
+                        *fd,
+                        OpenFile {
+                            fs: f.fs.clone(),
+                            ino: f.ino,
+                            pos: f.pos,
+                            append: f.append,
+                        },
+                    )
                 })
                 .collect(),
         });
@@ -419,7 +480,11 @@ impl Vfs {
 
     /// Open fd count for a process.
     pub fn open_fds(&self, pid: u32) -> usize {
-        self.tables.read().get(&pid).map(|t| t.open.len()).unwrap_or(0)
+        self.tables
+            .read()
+            .get(&pid)
+            .map(|t| t.open.len())
+            .unwrap_or(0)
     }
 }
 
@@ -443,7 +508,18 @@ mod tests {
         let v = vfs();
         let mut ctx = Ctx::new();
         let fd = v
-            .open(&mut ctx, 0, 1, Cred::ROOT, "/mnt/hello", OpenFlags { create: true, ..Default::default() }, 0o644)
+            .open(
+                &mut ctx,
+                0,
+                1,
+                Cred::ROOT,
+                "/mnt/hello",
+                OpenFlags {
+                    create: true,
+                    ..Default::default()
+                },
+                0o644,
+            )
             .unwrap();
         v.write(&mut ctx, 0, 1, fd, b"hello world").unwrap();
         v.seek(&mut ctx, 1, fd, 0).unwrap();
@@ -459,7 +535,15 @@ mod tests {
         let v = vfs();
         let mut ctx = Ctx::new();
         assert!(matches!(
-            v.open(&mut ctx, 0, 1, Cred::ROOT, "/other/x", OpenFlags::default(), 0),
+            v.open(
+                &mut ctx,
+                0,
+                1,
+                Cred::ROOT,
+                "/other/x",
+                OpenFlags::default(),
+                0
+            ),
             Err(VfsError::NoMount(_))
         ));
     }
@@ -470,7 +554,10 @@ mod tests {
         let mut ctx = Ctx::new();
         assert_eq!(v.close(&mut ctx, 1, 42), Err(VfsError::BadFd(42)));
         let mut b = [0u8; 1];
-        assert!(matches!(v.read(&mut ctx, 0, 1, 42, &mut b), Err(VfsError::BadFd(42))));
+        assert!(matches!(
+            v.read(&mut ctx, 0, 1, 42, &mut b),
+            Err(VfsError::BadFd(42))
+        ));
     }
 
     #[test]
@@ -478,7 +565,18 @@ mod tests {
         let v = vfs();
         let mut ctx = Ctx::new();
         let fd = v
-            .open(&mut ctx, 0, 1, Cred::ROOT, "/mnt/p", OpenFlags { create: true, ..Default::default() }, 0o644)
+            .open(
+                &mut ctx,
+                0,
+                1,
+                Cred::ROOT,
+                "/mnt/p",
+                OpenFlags {
+                    create: true,
+                    ..Default::default()
+                },
+                0o644,
+            )
             .unwrap();
         v.pwrite(&mut ctx, 0, 1, fd, 100, b"xyz").unwrap();
         let mut out = [0u8; 3];
@@ -495,7 +593,18 @@ mod tests {
         let v = vfs();
         let mut ctx = Ctx::new();
         let fd = v
-            .open(&mut ctx, 0, 1, Cred::ROOT, "/mnt/f", OpenFlags { create: true, ..Default::default() }, 0o644)
+            .open(
+                &mut ctx,
+                0,
+                1,
+                Cred::ROOT,
+                "/mnt/f",
+                OpenFlags {
+                    create: true,
+                    ..Default::default()
+                },
+                0o644,
+            )
             .unwrap();
         v.fork_fds(1, 2);
         assert_eq!(v.open_fds(2), 1);

@@ -1,0 +1,115 @@
+//! labcheck: LabStor-RS's workspace-native static-analysis pass and
+//! concurrency model-checking harness.
+//!
+//! Two halves (DESIGN.md §"Static analysis & concurrency checking"):
+//!
+//! 1. [`lint`] — four source lints enforcing LabStor-specific invariants
+//!    over every workspace `.rs` file: justified `Ordering::Relaxed`,
+//!    panic-freedom in the IPC hot paths, `SAFETY:` comments on `unsafe`,
+//!    and explicit opt-out from the LabMod platform contract defaults.
+//! 2. [`mc`] — a deterministic interleaving model checker that decomposes
+//!    the SPSC ring's push/pop into atomic steps and exhaustively explores
+//!    every reachable schedule, checking FIFO order, no lost elements, and
+//!    no uninitialized reads.
+//!
+//! Run as `cargo run -p labstor-labcheck` (add `--json` for machine
+//! output); `cargo test -p labstor-labcheck` plus the root-level
+//! `tests/labcheck_gate.rs` wire both halves into tier-1.
+
+pub mod lint;
+pub mod mc;
+pub mod scan;
+
+pub use lint::{lint_source, lint_workspace, render_json, render_text, Config, Diagnostic, Lint};
+pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
+
+use std::path::PathBuf;
+
+/// Locate the workspace root: walk up from `CARGO_MANIFEST_DIR` (runtime
+/// if set, else the compile-time location of this crate) to the first
+/// `Cargo.toml` declaring `[workspace]`.
+pub fn workspace_root() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            // Fall back to where we started; the caller's walk will
+            // produce a clear io error if this is wrong.
+            return start;
+        }
+    }
+}
+
+/// The model-checker configurations the binary and the tier-1 gate run:
+/// depth 6 per side at cap 2 and 4, a wraparound run, a partial-drain run
+/// (Drop contract), and depth 7 to exceed the acceptance floor.
+pub fn gate_mc_configs() -> Vec<McConfig> {
+    vec![
+        McConfig::correct(2, 6),
+        McConfig::correct(4, 6),
+        McConfig {
+            cap: 4,
+            pushes: 7,
+            pops: 7,
+            start: 253,
+            stale_reads: true,
+            variant: Variant::Correct,
+        },
+        McConfig {
+            cap: 4,
+            pushes: 6,
+            pops: 4,
+            start: 254,
+            stale_reads: true,
+            variant: Variant::Correct,
+        },
+        McConfig {
+            cap: 2,
+            pushes: 7,
+            pops: 7,
+            start: 0,
+            stale_reads: true,
+            variant: Variant::Correct,
+        },
+    ]
+}
+
+/// The buggy-variant configurations the gate uses to prove the checker
+/// still detects each bug class (a checker that stops failing on known
+/// bugs is itself broken).
+pub fn gate_mc_bug_configs() -> Vec<McConfig> {
+    vec![
+        McConfig {
+            cap: 2,
+            pushes: 4,
+            pops: 4,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::FullCheckOffByOne,
+        },
+        McConfig {
+            cap: 2,
+            pushes: 3,
+            pops: 3,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::AdvanceHeadBeforeRead,
+        },
+        McConfig {
+            cap: 2,
+            pushes: 1,
+            pops: 1,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::MissingPublish,
+        },
+    ]
+}

@@ -1,0 +1,385 @@
+//! The four LabStor-specific lints (see DESIGN.md §"Static analysis").
+//!
+//! Each lint is a pure function over a preprocessed [`SourceFile`], which
+//! makes them trivially testable on in-memory fixture snippets; the
+//! workspace walk in [`lint_workspace`] is just plumbing around them.
+//!
+//! Annotation grammar (all checked on the same line or the contiguous
+//! comment block directly above the flagged line):
+//!
+//! - `// relaxed-ok: <reason>`        — permits `Ordering::Relaxed`
+//! - `// panic-ok: <reason>`          — permits a panicking construct in a
+//!   hot path
+//! - `// SAFETY: <argument>`          — required before `unsafe`
+//! - `// labmod-default-ok: <reason>` — permits an `impl LabMod` to keep
+//!   the default no-op `state_update`/`state_repair`
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan::SourceFile;
+
+/// Lint identifiers, stable across text and JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// `Ordering::Relaxed` without a `relaxed-ok` annotation.
+    RelaxedOrdering,
+    /// Panicking construct in a designated hot path.
+    HotPathPanic,
+    /// `unsafe` without a preceding `SAFETY:` comment.
+    UnsafeHygiene,
+    /// `impl LabMod` silently inheriting contract defaults.
+    LabModContract,
+}
+
+impl Lint {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::RelaxedOrdering => "relaxed-ordering",
+            Lint::HotPathPanic => "hot-path-panic",
+            Lint::UnsafeHygiene => "unsafe-hygiene",
+            Lint::LabModContract => "labmod-contract",
+        }
+    }
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (or fixture name).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// A hot-path region governed by the panic-freedom lint.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// Path suffix selecting the file (workspace-relative, `/` separators).
+    pub file_suffix: &'static str,
+    /// Restrict to one function's body; `None` covers the whole file.
+    pub function: Option<&'static str>,
+}
+
+/// Lint configuration. [`Config::labstor`] is the workspace policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Regions where panicking constructs are forbidden.
+    pub hot_paths: Vec<HotPath>,
+    /// Path substrings exempt from the relaxed-ordering lint.
+    pub relaxed_allowlist: Vec<&'static str>,
+}
+
+impl Config {
+    /// The LabStor-RS workspace policy: the IPC ring and queue pair are
+    /// hot end to end; in `core::worker` only the poll loop is hot (spawn
+    /// and teardown may panic).
+    pub fn labstor() -> Config {
+        Config {
+            hot_paths: vec![
+                HotPath {
+                    file_suffix: "crates/ipc/src/ring.rs",
+                    function: None,
+                },
+                HotPath {
+                    file_suffix: "crates/ipc/src/queue_pair.rs",
+                    function: None,
+                },
+                HotPath {
+                    file_suffix: "crates/core/src/worker.rs",
+                    function: Some("worker_loop"),
+                },
+            ],
+            // The simulator's virtual-clock counters are single-threaded
+            // bookkeeping behind &mut self; auditing them adds noise, not
+            // signal. Everything else must justify each Relaxed.
+            relaxed_allowlist: vec!["crates/sim/src/stats.rs"],
+        }
+    }
+}
+
+/// Run every lint over one preprocessed file.
+pub fn lint_file(cfg: &Config, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    lint_relaxed_ordering(cfg, file, &mut diags);
+    lint_hot_path_panic(cfg, file, &mut diags);
+    lint_unsafe_hygiene(file, &mut diags);
+    lint_labmod_contract(file, &mut diags);
+    diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
+    diags
+}
+
+/// Convenience: preprocess + lint an in-memory snippet (fixture tests).
+pub fn lint_source(cfg: &Config, name: &str, text: &str) -> Vec<Diagnostic> {
+    lint_file(cfg, &SourceFile::parse(name, text))
+}
+
+/// Lint 1: every `Ordering::Relaxed` outside the allowlist and outside
+/// test code needs a `relaxed-ok` justification.
+fn lint_relaxed_ordering(cfg: &Config, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if cfg.relaxed_allowlist.iter().any(|p| file.name.contains(p)) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if !file.annotated(idx, "relaxed-ok:") {
+            diags.push(Diagnostic {
+                file: file.name.clone(),
+                line: idx + 1,
+                lint: Lint::RelaxedOrdering,
+                message: "Ordering::Relaxed without `// relaxed-ok: <reason>` \
+                          (justify why no synchronization is needed, or use \
+                          Acquire/Release)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Panicking constructs searched for by lint 2, as code substrings.
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Lint 2: no panicking constructs (including `buf[i]` indexing, which
+/// panics out of bounds) in hot-path regions, unless annotated `panic-ok`.
+fn lint_hot_path_panic(cfg: &Config, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for hp in &cfg.hot_paths {
+        if !file.name.ends_with(hp.file_suffix) {
+            continue;
+        }
+        let (start, end) = match hp.function {
+            Some(name) => match file.fn_extent(name) {
+                Some(extent) => extent,
+                None => continue,
+            },
+            None => (0, file.lines.len().saturating_sub(1)),
+        };
+        for idx in start..=end {
+            let line = &file.lines[idx];
+            let trimmed = line.code.trim_start();
+            if line.in_test || trimmed.starts_with('#') {
+                continue; // test code; attributes like #[allow(...)]
+            }
+            let mut hits: Vec<&str> = PANIC_PATTERNS
+                .iter()
+                .copied()
+                .filter(|pat| line.code.contains(pat))
+                .collect();
+            if has_index_expression(&line.code) {
+                hits.push("indexing");
+            }
+            if hits.is_empty() || file.annotated(idx, "panic-ok:") {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.name.clone(),
+                line: idx + 1,
+                lint: Lint::HotPathPanic,
+                message: format!(
+                    "{} in hot path without `// panic-ok: <reason>`",
+                    hits.join(" and ")
+                ),
+            });
+        }
+    }
+}
+
+/// True if the line contains an index/slice expression `expr[…]`: a `[`
+/// whose previous non-space character ends an expression. Array literals,
+/// types, and attributes all have a non-expression character (or nothing)
+/// before their `[`.
+fn has_index_expression(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
+        if matches!(prev, Some(&p) if p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint 3: every `unsafe` keyword needs a `SAFETY:` comment on the same
+/// line or in the comment block directly above. Applies everywhere,
+/// including tests — unsafety does not become self-evident in test code.
+fn lint_unsafe_hygiene(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !file.annotated(idx, "SAFETY:") {
+            diags.push(Diagnostic {
+                file: file.name.clone(),
+                line: idx + 1,
+                lint: Lint::UnsafeHygiene,
+                message: "`unsafe` without a preceding `// SAFETY: <argument>` comment".into(),
+            });
+        }
+    }
+}
+
+/// True if `word` appears in `code` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let abs = from + pos;
+        let before = code[..abs].chars().next_back();
+        let after = code[abs + word.len()..].chars().next();
+        let ident = |c: Option<char>| matches!(c, Some(c) if c.is_alphanumeric() || c == '_');
+        if !ident(before) && !ident(after) {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
+}
+
+/// Lint 4: an `impl LabMod for` block outside tests that leaves either
+/// `state_update` or `state_repair` to the trait's no-op default must say
+/// so with `labmod-default-ok` — crash-recovery and live-upgrade coverage
+/// is an explicit per-module decision (paper §III-C platform contract).
+fn lint_labmod_contract(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for idx in 0..file.lines.len() {
+        let line = &file.lines[idx];
+        if line.in_test || !line.code.contains("impl LabMod for") {
+            continue;
+        }
+        let Some((start, end)) = file.item_extent(idx) else {
+            continue;
+        };
+        let body = &file.lines[start..=end];
+        let missing: Vec<&str> = ["state_update", "state_repair"]
+            .into_iter()
+            .filter(|f| !body.iter().any(|l| l.code.contains(&format!("fn {f}"))))
+            .collect();
+        if missing.is_empty() || file.annotated(idx, "labmod-default-ok:") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.name.clone(),
+            line: idx + 1,
+            lint: Lint::LabModContract,
+            message: format!(
+                "impl LabMod inherits default no-op {} — implement or annotate \
+                 `// labmod-default-ok: <reason>`",
+                missing.join(" and ")
+            ),
+        });
+    }
+}
+
+/// Collect all workspace `.rs` files under `root` (skipping `target/` and
+/// dot-directories) and lint them. Paths in diagnostics are
+/// workspace-relative with `/` separators.
+pub fn lint_workspace(cfg: &Config, root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diags.extend(lint_file(cfg, &SourceFile::parse(&rel, &text)));
+    }
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render diagnostics as `file:line: [lint] message`, one per line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array (machine-readable mode).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.lint.name(),
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out.push('\n');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,105 @@
+//! `labcheck` binary: lint the workspace, then model-check the SPSC ring.
+//!
+//! Usage: `cargo run -p labstor-labcheck [--json] [--lints-only | --mc-only]`
+//!
+//! Exit status 0 means the workspace is clean and every model-checker run
+//! behaved (correct variants pass exhaustively, planted bugs are caught);
+//! anything else exits 1 with `file:line` diagnostics (or a JSON array
+//! with `--json`) and/or a counterexample schedule.
+
+use std::process::ExitCode;
+
+use labstor_labcheck::{
+    explore, gate_mc_bug_configs, gate_mc_configs, lint_workspace, render_json, render_text,
+    workspace_root, Config,
+};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut lints_only = false;
+    let mut mc_only = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--lints-only" => lints_only = true,
+            "--mc-only" => mc_only = true,
+            other => {
+                eprintln!("labcheck: unknown argument `{other}`");
+                eprintln!("usage: labcheck [--json] [--lints-only | --mc-only]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if lints_only && mc_only {
+        eprintln!("labcheck: --lints-only and --mc-only are mutually exclusive");
+        eprintln!("usage: labcheck [--json] [--lints-only | --mc-only]");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+
+    if !mc_only {
+        let root = workspace_root();
+        match lint_workspace(&Config::labstor(), &root) {
+            Ok(diags) => {
+                if json {
+                    print!("{}", render_json(&diags));
+                } else if diags.is_empty() {
+                    println!("labcheck: lints clean ({})", root.display());
+                } else {
+                    print!("{}", render_text(&diags));
+                    println!("labcheck: {} violation(s)", diags.len());
+                }
+                failed |= !diags.is_empty();
+            }
+            Err(e) => {
+                eprintln!("labcheck: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !lints_only {
+        for cfg in gate_mc_configs() {
+            match explore(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: mc ok  cap={} ops={}/{} start={} stale={} \
+                             ({} states, {} transitions, {} terminals)",
+                            cfg.cap,
+                            cfg.pushes,
+                            cfg.pops,
+                            cfg.start,
+                            cfg.stale_reads,
+                            report.states,
+                            report.transitions,
+                            report.terminals
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: mc FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        // The planted-bug variants must *fail*: they prove the checker
+        // still has teeth.
+        for cfg in gate_mc_bug_configs() {
+            if explore(&cfg).is_ok() {
+                eprintln!("labcheck: mc MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: mc caught planted bug {:?}", cfg.variant);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,559 @@
+//! Deterministic interleaving model checker for the SPSC ring hot path.
+//!
+//! `Producer::push` and `Consumer::pop` (crates/ipc/src/ring.rs) are
+//! decomposed into their atomic steps — counter loads, the occupancy
+//! check, the slot access, the publishing store — and a scheduler explores
+//! *every* reachable interleaving of the two threads by exhaustive search
+//! over the joint state space with a visited set. This is equivalent to
+//! enumerating all schedules up to the configured operation bound (two
+//! schedules that reach the same joint state have identical futures) while
+//! staying tractable: depth 6/6 is a few thousand states, not C(48,24)
+//! sequences.
+//!
+//! Modeled faithfully from the implementation:
+//! - counters are fixed-width and wrap (modeled as `u8` so wraparound is
+//!   actually exercised — see [`McConfig::start`]);
+//! - slot index = counter masked by capacity (a power of two);
+//! - the producer re-reads `head`, the consumer re-reads `tail`, and with
+//!   [`McConfig::stale_reads`] those loads may return *any* value the
+//!   other side ever published since the reader's last observation —
+//!   the coherence-permitted weakness of an Acquire load of a counter the
+//!   other thread bumps with Release stores. (Store/store reordering is
+//!   *not* modeled; the release fences in the implementation are what
+//!   forbid it.)
+//!
+//! Invariants checked on every step / terminal state:
+//! - a push never overwrites a slot still holding an unconsumed element
+//!   (no lost elements);
+//! - a pop never reads an empty/unpublished slot (no use of uninitialized
+//!   memory, no double-consume);
+//! - pops observe values in FIFO order (no reordering, no duplication);
+//! - when both sides finish, occupancy and residual slot contents match
+//!   exactly what `Drop` will drain;
+//! - completion is reachable (a livelocked algorithm fails the run).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Maximum modeled capacity (slots array is fixed-size to keep the state
+/// hashable and cheap to clone).
+pub const MAX_CAP: usize = 8;
+
+/// Algorithm variant to explore. The buggy variants exist so tests can
+/// prove the checker actually detects the bug classes it claims to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The shipped algorithm.
+    Correct,
+    /// Full check uses `> cap` instead of `== cap`: admits one push too
+    /// many, clobbering the oldest unconsumed slot.
+    FullCheckOffByOne,
+    /// Consumer publishes `head + 1` *before* reading the slot: the
+    /// producer may reuse the slot while the pop is still in flight.
+    AdvanceHeadBeforeRead,
+    /// Producer forgets the publishing store of `tail`: elements are
+    /// written but never become visible, so the run cannot complete.
+    MissingPublish,
+}
+
+/// Model-checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Ring capacity; must be a power of two `<= MAX_CAP`.
+    pub cap: u8,
+    /// Number of push operations on the producer side.
+    pub pushes: u8,
+    /// Number of pop operations on the consumer side (`<= pushes`).
+    pub pops: u8,
+    /// Initial value of both counters. Set near `u8::MAX` to drive the
+    /// counters across the wrap during the run.
+    pub start: u8,
+    /// Model stale counter reads (see module docs).
+    pub stale_reads: bool,
+    /// Algorithm variant under test.
+    pub variant: Variant,
+}
+
+impl McConfig {
+    /// A correct-algorithm exploration at the given depth.
+    pub fn correct(cap: u8, ops: u8) -> McConfig {
+        McConfig {
+            cap,
+            pushes: ops,
+            pops: ops,
+            start: 0,
+            stale_reads: true,
+            variant: Variant::Correct,
+        }
+    }
+}
+
+/// Safety violation detected mid-exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Push wrote over a slot still holding an unconsumed value.
+    Overwrite { slot: usize, lost: u8 },
+    /// Pop read a slot with no published value.
+    ReadUninit { slot: usize },
+    /// Pop observed a value out of FIFO order.
+    OutOfOrder { expected: u8, got: u8 },
+    /// Both sides finished but occupancy/slot residue is inconsistent
+    /// with the counters (what `Drop` relies on).
+    Terminal(String),
+    /// Exploration exhausted the state space without ever reaching a
+    /// state where both sides completed (livelock / lost wakeup).
+    NoCompletion,
+}
+
+/// A violation plus the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct McFailure {
+    /// What went wrong.
+    pub violation: Violation,
+    /// Step labels from the initial state to the violating step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for McFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {:?}", self.violation)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct joint states reached.
+    pub states: usize,
+    /// Scheduler transitions taken.
+    pub transitions: usize,
+    /// Number of distinct terminal (both-sides-done) states.
+    pub terminals: usize,
+}
+
+/// Joint state of the two-thread system. Program counters encode where
+/// inside push/pop each side is; locals mirror the implementation's stack
+/// variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    // Shared memory.
+    head: u8,
+    tail: u8,
+    slots: [Option<u8>; MAX_CAP],
+    // Producer: pc 0 = idle/start, 1 = read head, 2 = check full,
+    // 3 = write slot, 4 = publish tail.
+    p_pc: u8,
+    p_tail: u8,
+    p_head: u8,
+    p_seen_head: u8,
+    pushed: u8,
+    // Consumer: pc 0 = idle/start, 1 = read tail, 2 = check empty,
+    // 3 = read slot, 4 = publish head.
+    c_pc: u8,
+    c_head: u8,
+    c_tail: u8,
+    c_seen_tail: u8,
+    popped: u8,
+}
+
+/// Exhaustively explore all interleavings. `Ok` carries statistics; `Err`
+/// carries the first violation found plus its schedule.
+pub fn explore(cfg: &McConfig) -> Result<Report, McFailure> {
+    assert!(
+        cfg.cap.is_power_of_two() && (cfg.cap as usize) <= MAX_CAP,
+        "cap must be 2/4/8"
+    );
+    assert!(cfg.pops <= cfg.pushes, "cannot pop more than is pushed");
+
+    let init = State {
+        head: cfg.start,
+        tail: cfg.start,
+        slots: [None; MAX_CAP],
+        p_pc: 0,
+        p_tail: 0,
+        p_head: 0,
+        p_seen_head: cfg.start,
+        pushed: 0,
+        c_pc: 0,
+        c_head: 0,
+        c_tail: 0,
+        c_seen_tail: cfg.start,
+        popped: 0,
+    };
+
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut parent: HashMap<State, (State, String)> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    visited.insert(init);
+    queue.push_back(init);
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    while let Some(state) = queue.pop_front() {
+        let p_done = state.p_pc == 0 && state.pushed == cfg.pushes;
+        let c_done = state.c_pc == 0 && state.popped == cfg.pops;
+        if p_done && c_done {
+            terminals += 1;
+            if let Err(violation) = check_terminal(cfg, &state) {
+                return Err(fail(violation, &state, None, &parent));
+            }
+            continue;
+        }
+        let mut successors: Vec<(State, String)> = Vec::new();
+        if !p_done {
+            match producer_step(cfg, &state) {
+                Ok(mut next) => successors.append(&mut next),
+                Err((violation, label)) => {
+                    return Err(fail(violation, &state, Some(label), &parent));
+                }
+            }
+        }
+        if !c_done {
+            match consumer_step(cfg, &state) {
+                Ok(mut next) => successors.append(&mut next),
+                Err((violation, label)) => {
+                    return Err(fail(violation, &state, Some(label), &parent));
+                }
+            }
+        }
+        for (next, label) in successors {
+            transitions += 1;
+            if visited.insert(next) {
+                parent.insert(next, (state, label));
+                queue.push_back(next);
+            }
+        }
+    }
+
+    if terminals == 0 {
+        return Err(McFailure {
+            violation: Violation::NoCompletion,
+            trace: Vec::new(),
+        });
+    }
+    Ok(Report {
+        states: visited.len(),
+        transitions,
+        terminals,
+    })
+}
+
+/// All successor states of one producer step, or a violation.
+#[allow(clippy::type_complexity)]
+fn producer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Violation, String)> {
+    let mut out = Vec::new();
+    match s.p_pc {
+        // load own tail (exact: only this thread stores it)
+        0 => {
+            let mut n = *s;
+            n.p_tail = s.tail;
+            n.p_pc = 1;
+            out.push((n, format!("producer: read tail={}", n.p_tail)));
+        }
+        // load head, possibly stale
+        1 => {
+            for h in observable(cfg, s.p_seen_head, s.head) {
+                let mut n = *s;
+                n.p_head = h;
+                n.p_seen_head = h;
+                n.p_pc = 2;
+                out.push((n, format!("producer: read head={h}")));
+            }
+        }
+        // occupancy check
+        2 => {
+            let occupancy = s.p_tail.wrapping_sub(s.p_head);
+            let full = match cfg.variant {
+                Variant::FullCheckOffByOne => occupancy > cfg.cap,
+                _ => occupancy == cfg.cap,
+            };
+            let mut n = *s;
+            n.p_pc = if full { 0 } else { 3 };
+            let what = if full { "full, retry" } else { "has space" };
+            out.push((n, format!("producer: check occupancy={occupancy} ({what})")));
+        }
+        // write the slot
+        3 => {
+            let slot = (s.p_tail % cfg.cap) as usize;
+            let value = s.pushed;
+            if let Some(lost) = s.slots[slot] {
+                return Err((
+                    Violation::Overwrite { slot, lost },
+                    format!("producer: write slot[{slot}]={value} OVER {lost}"),
+                ));
+            }
+            let mut n = *s;
+            n.slots[slot] = Some(value);
+            n.p_pc = 4;
+            out.push((n, format!("producer: write slot[{slot}]={value}")));
+        }
+        // publish tail
+        _ => {
+            let mut n = *s;
+            if cfg.variant != Variant::MissingPublish {
+                n.tail = s.p_tail.wrapping_add(1);
+            }
+            n.pushed = s.pushed + 1;
+            n.p_pc = 0;
+            out.push((n, format!("producer: publish tail={}", n.tail)));
+        }
+    }
+    Ok(out)
+}
+
+/// All successor states of one consumer step, or a violation.
+#[allow(clippy::type_complexity)]
+fn consumer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Violation, String)> {
+    let mut out = Vec::new();
+    match s.c_pc {
+        // load own head (exact)
+        0 => {
+            let mut n = *s;
+            n.c_head = s.head;
+            n.c_pc = 1;
+            out.push((n, format!("consumer: read head={}", n.c_head)));
+        }
+        // load tail, possibly stale
+        1 => {
+            for t in observable(cfg, s.c_seen_tail, s.tail) {
+                let mut n = *s;
+                n.c_tail = t;
+                n.c_seen_tail = t;
+                n.c_pc = 2;
+                out.push((n, format!("consumer: read tail={t}")));
+            }
+        }
+        // empty check
+        2 => {
+            let empty = s.c_head == s.c_tail;
+            let mut n = *s;
+            n.c_pc = if empty { 0 } else { 3 };
+            let what = if empty { "empty, retry" } else { "has element" };
+            out.push((n, format!("consumer: check ({what})")));
+        }
+        // read the slot (move the value out); in the buggy variant the
+        // head is published first and the slot read happens at pc 4.
+        3 => {
+            if cfg.variant == Variant::AdvanceHeadBeforeRead {
+                let mut n = *s;
+                n.head = s.c_head.wrapping_add(1);
+                n.c_pc = 4;
+                out.push((n, format!("consumer: publish head={} (EARLY)", n.head)));
+            } else {
+                let (n, label) = read_slot(cfg, s)?;
+                out.push((n, label));
+            }
+        }
+        // publish head (or, in the buggy variant, the late slot read)
+        _ => {
+            if cfg.variant == Variant::AdvanceHeadBeforeRead {
+                let (n, label) = read_slot(cfg, s)?;
+                out.push((n, label));
+            } else {
+                let mut n = *s;
+                n.head = s.c_head.wrapping_add(1);
+                n.popped = s.popped + 1;
+                n.c_pc = 0;
+                out.push((n, format!("consumer: publish head={}", n.head)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The consumer's slot read + FIFO assertion, shared by both orderings.
+fn read_slot(cfg: &McConfig, s: &State) -> Result<(State, String), (Violation, String)> {
+    let slot = (s.c_head % cfg.cap) as usize;
+    let label = format!("consumer: read slot[{slot}]");
+    let Some(value) = s.slots[slot] else {
+        return Err((Violation::ReadUninit { slot }, label));
+    };
+    if value != s.popped {
+        return Err((
+            Violation::OutOfOrder {
+                expected: s.popped,
+                got: value,
+            },
+            label,
+        ));
+    }
+    let mut n = *s;
+    n.slots[slot] = None;
+    if cfg.variant == Variant::AdvanceHeadBeforeRead {
+        n.popped = s.popped + 1;
+        n.c_pc = 0;
+    } else {
+        n.c_pc = 4;
+    }
+    Ok((n, format!("consumer: read slot[{slot}]={value}")))
+}
+
+/// Values a load of the other side's counter may return: just the current
+/// value, or — with stale reads modeled — anything the counter passed
+/// through since this thread last observed it (counters advance by 1).
+fn observable(cfg: &McConfig, last_seen: u8, current: u8) -> Vec<u8> {
+    if !cfg.stale_reads {
+        return vec![current];
+    }
+    let span = current.wrapping_sub(last_seen);
+    (0..=span).map(|d| last_seen.wrapping_add(d)).collect()
+}
+
+/// Invariants of a both-sides-done state: counters account for exactly
+/// the unconsumed elements, residual slots hold exactly the FIFO suffix
+/// (this is what `SpscRing::drop` walks), and nothing else survives.
+fn check_terminal(cfg: &McConfig, s: &State) -> Result<(), Violation> {
+    let remaining = s.tail.wrapping_sub(s.head);
+    if remaining != cfg.pushes - cfg.pops {
+        return Err(Violation::Terminal(format!(
+            "occupancy {} != expected {}",
+            remaining,
+            cfg.pushes - cfg.pops
+        )));
+    }
+    let mut expected_slots = [None; MAX_CAP];
+    for k in 0..remaining {
+        let idx = (s.head.wrapping_add(k) % cfg.cap) as usize;
+        expected_slots[idx] = Some(cfg.pops + k);
+    }
+    if s.slots != expected_slots {
+        return Err(Violation::Terminal(format!(
+            "residual slots {:?} != expected {:?}",
+            s.slots, expected_slots
+        )));
+    }
+    Ok(())
+}
+
+/// Reconstruct the schedule from the parent map and build a failure.
+fn fail(
+    violation: Violation,
+    at: &State,
+    last_label: Option<String>,
+    parent: &HashMap<State, (State, String)>,
+) -> McFailure {
+    let mut trace = Vec::new();
+    if let Some(label) = last_label {
+        trace.push(label);
+    }
+    let mut cur = *at;
+    while let Some((prev, label)) = parent.get(&cur) {
+        trace.push(label.clone());
+        cur = *prev;
+    }
+    trace.reverse();
+    McFailure { violation, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_algorithm_depth_6_no_staleness() {
+        let mut cfg = McConfig::correct(2, 6);
+        cfg.stale_reads = false;
+        let report = explore(&cfg).expect("no violations");
+        assert!(report.terminals >= 1);
+        assert!(report.states > 100, "exploration should be nontrivial");
+    }
+
+    #[test]
+    fn correct_algorithm_depth_6_with_staleness() {
+        let report = explore(&McConfig::correct(2, 6)).expect("no violations");
+        assert!(report.terminals >= 1);
+    }
+
+    #[test]
+    fn correct_algorithm_across_counter_wrap() {
+        // Counters start at 253 and wrap past 255 mid-run: the masked
+        // indexing and wrapping occupancy math must hold throughout.
+        let cfg = McConfig {
+            cap: 4,
+            pushes: 7,
+            pops: 7,
+            start: 253,
+            stale_reads: true,
+            variant: Variant::Correct,
+        };
+        explore(&cfg).expect("wraparound is safe");
+    }
+
+    #[test]
+    fn leftover_elements_match_drop_contract() {
+        // Push 6, pop 4: the terminal invariant proves the [head, tail)
+        // residue is exactly what Drop drains.
+        let cfg = McConfig {
+            cap: 4,
+            pushes: 6,
+            pops: 4,
+            start: 254,
+            stale_reads: true,
+            variant: Variant::Correct,
+        };
+        explore(&cfg).expect("residue consistent");
+    }
+
+    #[test]
+    fn detects_off_by_one_full_check() {
+        let cfg = McConfig {
+            cap: 2,
+            pushes: 4,
+            pops: 4,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::FullCheckOffByOne,
+        };
+        let failure = explore(&cfg).expect_err("must catch the overwrite");
+        assert!(matches!(failure.violation, Violation::Overwrite { .. }));
+        assert!(!failure.trace.is_empty(), "counterexample has a schedule");
+    }
+
+    #[test]
+    fn detects_early_head_publish() {
+        let cfg = McConfig {
+            cap: 2,
+            pushes: 3,
+            pops: 3,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::AdvanceHeadBeforeRead,
+        };
+        let failure = explore(&cfg).expect_err("must catch the race");
+        assert!(matches!(
+            failure.violation,
+            Violation::Overwrite { .. } | Violation::ReadUninit { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_missing_publish_as_livelock() {
+        // One push: the element is written but never published, so the
+        // consumer spins on empty forever. (With more pushes the stale
+        // tail makes the producer clobber slot 0 first, which the
+        // overwrite check reports instead.)
+        let cfg = McConfig {
+            cap: 2,
+            pushes: 1,
+            pops: 1,
+            start: 0,
+            stale_reads: false,
+            variant: Variant::MissingPublish,
+        };
+        let failure = explore(&cfg).expect_err("must detect no completion");
+        assert_eq!(failure.violation, Violation::NoCompletion);
+    }
+
+    #[test]
+    fn stale_reads_enlarge_the_state_space() {
+        let mut cfg = McConfig::correct(2, 4);
+        cfg.stale_reads = false;
+        let exact = explore(&cfg).expect("ok");
+        cfg.stale_reads = true;
+        let stale = explore(&cfg).expect("ok");
+        assert!(stale.states > exact.states);
+    }
+}

@@ -1,0 +1,43 @@
+//! The real gate: lint the actual workspace tree and exhaustively run the
+//! model checker. `cargo test -p labstor-labcheck` therefore fails on any
+//! unannotated violation anywhere in the workspace.
+
+use labstor_labcheck::{
+    explore, gate_mc_bug_configs, gate_mc_configs, lint_workspace, render_text, workspace_root,
+    Config,
+};
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("crates/ipc/src/ring.rs").exists(),
+        "workspace root discovery failed: {}",
+        root.display()
+    );
+    let diags = lint_workspace(&Config::labstor(), &root).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "labcheck violations in the workspace:\n{}",
+        render_text(&diags)
+    );
+}
+
+#[test]
+fn spsc_ring_model_checks_exhaustively() {
+    for cfg in gate_mc_configs() {
+        let report = explore(&cfg).unwrap_or_else(|f| panic!("mc failed on {cfg:?}:\n{f}"));
+        assert!(report.terminals > 0, "no terminal state for {cfg:?}");
+    }
+}
+
+#[test]
+fn model_checker_catches_planted_bugs() {
+    for cfg in gate_mc_bug_configs() {
+        assert!(
+            explore(&cfg).is_err(),
+            "planted bug {:?} went undetected",
+            cfg.variant
+        );
+    }
+}

@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
 
@@ -76,13 +78,18 @@ impl ArcCacheMod {
 
     /// (hits, misses) so far.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        // relaxed-ok: stat counter; readers tolerate lag
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     fn fwd(&self, ctx: &mut Ctx, env: &StackEnv<'_>, req: Request) -> RespPayload {
         let before = ctx.busy();
         let r = env.forward(ctx, req);
-        self.downstream_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.downstream_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         r
     }
 
@@ -167,6 +174,7 @@ impl ArcCacheMod {
     }
 }
 
+// labmod-default-ok: write-through cache: contents are clean and re-warm from misses after a crash; state_update migrates them across upgrades
 impl LabMod for ArcCacheMod {
     fn type_name(&self) -> &'static str {
         "arc_cache"
@@ -188,12 +196,12 @@ impl LabMod for ArcCacheMod {
                 ctx.advance(LOOKUP_NS);
                 match self.lookup(*lba, *len) {
                     Some(data) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                         ctx.advance(copy_cost(data.len()));
                         RespPayload::Data(data)
                     }
                     None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                         let lba = *lba;
                         let resp = self.fwd(ctx, env, req);
                         if let RespPayload::Data(data) = &resp {
@@ -206,9 +214,12 @@ impl LabMod for ArcCacheMod {
             }
             _ => self.fwd(ctx, env, req),
         };
-        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed);
-        self.total_ns
-            .fetch_add((ctx.busy() - before).saturating_sub(downstream), Ordering::Relaxed);
+        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                        // relaxed-ok: stat counter; readers tolerate lag
+        self.total_ns.fetch_add(
+            (ctx.busy() - before).saturating_sub(downstream),
+            Ordering::Relaxed,
+        );
         resp
     }
 
@@ -217,7 +228,7 @@ impl LabMod for ArcCacheMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -313,15 +324,24 @@ mod tests {
             &serde_json::json!({"capacity_bytes": cap_blocks * 4096}),
         )
         .unwrap();
-        let dev = Arc::new(MemDev { blocks: Mutex::new(HashMap::new()), reads: AtomicU64::new(0) });
+        let dev = Arc::new(MemDev {
+            blocks: Mutex::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+        });
         mm.insert_instance("dev", dev.clone());
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "arc".into(), outputs: vec![1] },
-                Vertex { uuid: "dev".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "arc".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "dev".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
@@ -329,22 +349,40 @@ mod tests {
     }
 
     fn read(mm: &ModuleManager, stack: &LabStack, ctx: &mut Ctx, lba: u64) -> RespPayload {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         mm.get("arc").unwrap().process(
             ctx,
-            Request::new(1, 1, Payload::Block(BlockOp::Read { lba, len: 4096 }), Credentials::ROOT),
+            Request::new(
+                1,
+                1,
+                Payload::Block(BlockOp::Read { lba, len: 4096 }),
+                Credentials::ROOT,
+            ),
             &env,
         )
     }
 
     fn write(mm: &ModuleManager, stack: &LabStack, ctx: &mut Ctx, lba: u64, fill: u8) {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         let r = mm.get("arc").unwrap().process(
             ctx,
             Request::new(
                 1,
                 1,
-                Payload::Block(BlockOp::Write { lba, data: vec![fill; 4096] }),
+                Payload::Block(BlockOp::Write {
+                    lba,
+                    data: vec![fill; 4096],
+                }),
                 Credentials::ROOT,
             ),
             &env,
@@ -398,7 +436,10 @@ mod tests {
         let lru = crate::lru::LruCacheMod::new(cap * 4096, false);
         let mm2 = ModuleManager::new();
         mm2.insert_instance("arc", Arc::new(lru)); // same uuid slot
-        let dev2 = Arc::new(MemDev { blocks: Mutex::new(HashMap::new()), reads: AtomicU64::new(0) });
+        let dev2 = Arc::new(MemDev {
+            blocks: Mutex::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+        });
         mm2.insert_instance("dev", dev2.clone());
         let mut ctx2 = Ctx::new();
         for &h in &hot {
@@ -430,7 +471,11 @@ mod tests {
         let m = mm.get("arc").unwrap();
         let arc = m.as_any().downcast_ref::<ArcCacheMod>().unwrap();
         let s = arc.state.lock();
-        assert!(s.t1.len() + s.t2.len() <= 8, "resident {} > capacity", s.t1.len() + s.t2.len());
+        assert!(
+            s.t1.len() + s.t2.len() <= 8,
+            "resident {} > capacity",
+            s.t1.len() + s.t2.len()
+        );
         assert!(s.b1.len() + s.b2.len() <= 2 * 8 + 2, "ghost lists bounded");
     }
 
@@ -440,15 +485,24 @@ mod tests {
         // Warm the LRU directly through its own stack processing path.
         let mm = ModuleManager::new();
         mm.insert_instance("arc", Arc::new(lru));
-        let dev = Arc::new(MemDev { blocks: Mutex::new(HashMap::new()), reads: AtomicU64::new(0) });
+        let dev = Arc::new(MemDev {
+            blocks: Mutex::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+        });
         mm.insert_instance("dev", dev.clone());
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "arc".into(), outputs: vec![1] },
-                Vertex { uuid: "dev".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "arc".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "dev".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
@@ -462,6 +516,10 @@ mod tests {
         let before = dev.reads.load(Ordering::Relaxed);
         let r = read(&mm, &stack, &mut ctx, 1);
         assert!(matches!(r, RespPayload::Data(d) if d == vec![11u8; 4096]));
-        assert_eq!(dev.reads.load(Ordering::Relaxed), before, "served from migrated state");
+        assert_eq!(
+            dev.reads.load(Ordering::Relaxed),
+            before,
+            "served from migrated state"
+        );
     }
 }

@@ -13,12 +13,12 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_sim::Ctx;
 
-use crate::compress_algo::{
-    compress, compress_cost_ns, decompress, decompress_cost_ns,
-};
+use crate::compress_algo::{compress, compress_cost_ns, decompress, decompress_cost_ns};
 
 /// Compressed-extent bookkeeping: original and stored lengths per LBA.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +53,11 @@ impl CompressMod {
 
     /// Cumulative (input bytes, stored bytes) — the achieved ratio.
     pub fn ratio_stats(&self) -> (u64, u64) {
-        (self.bytes_in.load(Ordering::Relaxed), self.bytes_out.load(Ordering::Relaxed))
+        // relaxed-ok: stat counter; readers tolerate lag
+        (
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -70,6 +74,7 @@ fn pad_to_sectors(mut data: Vec<u8>) -> Vec<u8> {
     data
 }
 
+// labmod-default-ok: extent map and stats migrate in state_update; after a crash the stack re-reads extents from the device, so no repair pass is needed
 impl LabMod for CompressMod {
     fn type_name(&self) -> &'static str {
         "compress"
@@ -94,11 +99,18 @@ impl LabMod for CompressMod {
                 };
                 let comp_len = stored.len();
                 let stored = pad_to_sectors(stored);
-                self.bytes_in.fetch_add(orig_len as u64, Ordering::Relaxed);
-                self.bytes_out.fetch_add(stored.len() as u64, Ordering::Relaxed);
-                self.extents
-                    .write()
-                    .insert(lba, Extent { orig_len, comp_len, stored_len: stored.len(), raw });
+                self.bytes_in.fetch_add(orig_len as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                self.bytes_out
+                    .fetch_add(stored.len() as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                self.extents.write().insert(
+                    lba,
+                    Extent {
+                        orig_len,
+                        comp_len,
+                        stored_len: stored.len(),
+                        raw,
+                    },
+                );
                 let mut fwd = req.clone();
                 fwd.payload = Payload::Block(BlockOp::Write { lba, data: stored });
                 match env.forward(ctx, fwd) {
@@ -112,8 +124,10 @@ impl LabMod for CompressMod {
                 match extent {
                     Some(e) => {
                         let mut fwd = req.clone();
-                        fwd.payload =
-                            Payload::Block(BlockOp::Read { lba, len: e.stored_len });
+                        fwd.payload = Payload::Block(BlockOp::Read {
+                            lba,
+                            len: e.stored_len,
+                        });
                         match env.forward(ctx, fwd) {
                             RespPayload::Data(stored) => {
                                 let data = if e.raw {
@@ -140,7 +154,8 @@ impl LabMod for CompressMod {
             }
             _ => env.forward(ctx, req),
         };
-        self.total_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         resp
     }
 
@@ -149,7 +164,7 @@ impl LabMod for CompressMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -192,17 +207,16 @@ mod tests {
         fn process(&self, _ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
             match req.payload {
                 Payload::Block(BlockOp::Write { lba, data }) => {
-                    self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+                    self.bytes_written
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
                     let n = data.len();
                     self.blocks.lock().insert(lba, data);
                     RespPayload::Len(n)
                 }
-                Payload::Block(BlockOp::Read { lba, len }) => {
-                    match self.blocks.lock().get(&lba) {
-                        Some(d) => RespPayload::Data(d[..len.min(d.len())].to_vec()),
-                        None => RespPayload::Data(vec![0u8; len]),
-                    }
-                }
+                Payload::Block(BlockOp::Read { lba, len }) => match self.blocks.lock().get(&lba) {
+                    Some(d) => RespPayload::Data(d[..len.min(d.len())].to_vec()),
+                    None => RespPayload::Data(vec![0u8; len]),
+                },
                 _ => RespPayload::Ok,
             }
         }
@@ -217,16 +231,26 @@ mod tests {
     fn setup() -> (ModuleManager, LabStack, Arc<MemDev>) {
         let mm = ModuleManager::new();
         install(&mm);
-        mm.instantiate("cz", "compress", &serde_json::Value::Null).unwrap();
-        let dev = Arc::new(MemDev { blocks: Mutex::new(HashMap::new()), bytes_written: AtomicU64::new(0) });
+        mm.instantiate("cz", "compress", &serde_json::Value::Null)
+            .unwrap();
+        let dev = Arc::new(MemDev {
+            blocks: Mutex::new(HashMap::new()),
+            bytes_written: AtomicU64::new(0),
+        });
         mm.insert_instance("dev", dev.clone());
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "cz".into(), outputs: vec![1] },
-                Vertex { uuid: "dev".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "cz".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "dev".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
@@ -234,25 +258,50 @@ mod tests {
     }
 
     fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, ctx: &mut Ctx) -> RespPayload {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
-        mm.get("cz").unwrap().process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
+        mm.get("cz")
+            .unwrap()
+            .process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
     }
 
     #[test]
     fn compressible_writes_shrink_on_device() {
         let (mm, stack, dev) = setup();
         let mut ctx = Ctx::new();
-        let data: Vec<u8> =
-            std::iter::repeat_n(b"particle:0042 vx=1.0 vy=2.0 ", 4096).flatten().copied().collect();
+        let data: Vec<u8> = std::iter::repeat_n(b"particle:0042 vx=1.0 vy=2.0 ", 4096)
+            .flatten()
+            .copied()
+            .collect();
         let orig = data.len();
-        let w = exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 0, data: data.clone() }), &mut ctx);
+        let w = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(w, RespPayload::Len(n) if n == orig));
         assert!(
             dev.bytes_written.load(Ordering::Relaxed) < orig as u64 / 2,
             "device received compressed bytes"
         );
-        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 0, len: orig }), &mut ctx);
-        assert!(matches!(r, RespPayload::Data(d) if d == data), "transparent decompression");
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Read { lba: 0, len: orig }),
+            &mut ctx,
+        );
+        assert!(
+            matches!(r, RespPayload::Data(d) if d == data),
+            "transparent decompression"
+        );
     }
 
     #[test]
@@ -268,8 +317,24 @@ mod tests {
                 x as u8
             })
             .collect();
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 8, data: data.clone() }), &mut ctx);
-        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 8, len: data.len() }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 8,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Read {
+                lba: 8,
+                len: data.len(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == data));
     }
 
@@ -278,15 +343,32 @@ mod tests {
         let (mm, stack, _dev) = setup();
         let mut ctx = Ctx::new();
         let data = vec![7u8; 32 << 20]; // the paper's 32 MB request
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 0, data }), &mut ctx);
-        assert!(ctx.now() >= 15_000_000, "32 MB ≈ 20 ms of compression, got {} ns", ctx.now());
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write { lba: 0, data }),
+            &mut ctx,
+        );
+        assert!(
+            ctx.now() >= 15_000_000,
+            "32 MB ≈ 20 ms of compression, got {} ns",
+            ctx.now()
+        );
     }
 
     #[test]
     fn extent_map_survives_upgrade() {
         let (mm, stack, _dev) = setup();
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 4096] }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![1u8; 4096],
+            }),
+            &mut ctx,
+        );
         let old = mm.get("cz").unwrap();
         let newer = CompressMod::new();
         newer.state_update(old.as_ref());

@@ -16,7 +16,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_sim::Ctx;
 
 /// Durability policy.
@@ -51,10 +53,15 @@ impl ConsistencyMod {
 
     /// (writes seen, barriers issued).
     pub fn stats(&self) -> (u64, u64) {
-        (self.writes.load(Ordering::Relaxed), self.flushes.load(Ordering::Relaxed))
+        // relaxed-ok: stat counter; readers tolerate lag
+        (
+            self.writes.load(Ordering::Relaxed),
+            self.flushes.load(Ordering::Relaxed),
+        )
     }
 }
 
+// labmod-default-ok: counters migrate in state_update; barrier policy is config-derived, so the repair default is safe
 impl LabMod for ConsistencyMod {
     fn type_name(&self) -> &'static str {
         "consistency"
@@ -81,7 +88,7 @@ impl LabMod for ConsistencyMod {
         };
         let resp = env.forward(ctx, req);
         if resp.is_ok() && is_write {
-            let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+            let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: stat counter; readers tolerate lag
             let flush_now = match self.policy {
                 Policy::Relaxed => false,
                 Policy::FlushEach => true,
@@ -89,7 +96,7 @@ impl LabMod for ConsistencyMod {
             };
             if flush_now {
                 if let Some(f) = template {
-                    self.flushes.fetch_add(1, Ordering::Relaxed);
+                    self.flushes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                     let r = env.forward(ctx, f);
                     if !r.is_ok() {
                         return r;
@@ -97,7 +104,8 @@ impl LabMod for ConsistencyMod {
                 }
             }
         }
-        self.total_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         resp
     }
 
@@ -106,13 +114,16 @@ impl LabMod for ConsistencyMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<ConsistencyMod>() {
-            self.writes.store(prev.writes.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.flushes.store(prev.flushes.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.writes
+                .store(prev.writes.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                                // relaxed-ok: stat counter; readers tolerate lag
+            self.flushes
+                .store(prev.flushes.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
@@ -130,7 +141,10 @@ pub fn install(mm: &ModuleManager) {
             let policy = match params.get("policy").and_then(|v| v.as_str()) {
                 Some("flush_each") => Policy::FlushEach,
                 Some("flush_every_n") => Policy::FlushEveryN(
-                    params.get("flush_every").and_then(|v| v.as_u64()).unwrap_or(8),
+                    params
+                        .get("flush_every")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(8),
                 ),
                 _ => Policy::Relaxed,
             };
@@ -181,41 +195,67 @@ mod tests {
         let mm = ModuleManager::new();
         install(&mm);
         mm.instantiate("c", "consistency", &params).unwrap();
-        let counter = Arc::new(FlushCounter { writes: AtomicU64::new(0), flushes: AtomicU64::new(0) });
+        let counter = Arc::new(FlushCounter {
+            writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        });
         mm.insert_instance("dev", counter.clone());
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "c".into(), outputs: vec![1] },
-                Vertex { uuid: "dev".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "c".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "dev".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
-        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: &mm,
+            domain: 0,
+        };
         let m = mm.get("c").unwrap();
         let mut ctx = Ctx::new();
         for i in 0..writes {
             let req = Request::new(
                 i,
                 1,
-                Payload::Block(BlockOp::Write { lba: i * 8, data: vec![0u8; 512] }),
+                Payload::Block(BlockOp::Write {
+                    lba: i * 8,
+                    data: vec![0u8; 512],
+                }),
                 Credentials::ROOT,
             );
             assert!(m.process(&mut ctx, req, &env).is_ok());
         }
-        (counter.writes.load(Ordering::Relaxed), counter.flushes.load(Ordering::Relaxed))
+        (
+            counter.writes.load(Ordering::Relaxed),
+            counter.flushes.load(Ordering::Relaxed),
+        )
     }
 
     #[test]
     fn relaxed_never_flushes() {
-        assert_eq!(run_policy(serde_json::json!({"policy": "relaxed"}), 10), (10, 0));
+        assert_eq!(
+            run_policy(serde_json::json!({"policy": "relaxed"}), 10),
+            (10, 0)
+        );
     }
 
     #[test]
     fn flush_each_barriers_every_write() {
-        assert_eq!(run_policy(serde_json::json!({"policy": "flush_each"}), 10), (10, 10));
+        assert_eq!(
+            run_policy(serde_json::json!({"policy": "flush_each"}), 10),
+            (10, 10)
+        );
     }
 
     #[test]

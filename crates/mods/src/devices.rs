@@ -31,7 +31,9 @@ impl DeviceRegistry {
     /// Register a block device under `name`. A kernel block layer is
     /// created for it as well (the Kernel Driver LabMod path needs one).
     pub fn add_block(&self, name: &str, dev: Arc<SimDevice>) {
-        self.layers.write().insert(name.to_string(), BlockLayer::new(dev.clone()));
+        self.layers
+            .write()
+            .insert(name.to_string(), BlockLayer::new(dev.clone()));
         self.blocks.write().insert(name.to_string(), dev);
     }
 

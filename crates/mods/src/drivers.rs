@@ -16,7 +16,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_kernel::block::CompletionMode;
 use labstor_kernel::BlockLayer;
 use labstor_sim::{BlockDevice, Ctx, IoRequest, PmemDevice, SimDevice};
@@ -47,10 +49,14 @@ pub struct KernelDriverMod {
 impl KernelDriverMod {
     /// Wrap a kernel block layer (the KO Manager hands this out).
     pub fn new(layer: Arc<BlockLayer>) -> Self {
-        KernelDriverMod { layer, total_ns: AtomicU64::new(0) }
+        KernelDriverMod {
+            layer,
+            total_ns: AtomicU64::new(0),
+        }
     }
 }
 
+// labmod-default-ok: device drivers are stateless shims over the (simulated) device; device state outlives the module instance, so there is nothing to migrate or repair
 impl LabMod for KernelDriverMod {
     fn type_name(&self) -> &'static str {
         "kernel_driver"
@@ -63,21 +69,31 @@ impl LabMod for KernelDriverMod {
     fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
         // Software-exclusive accounting: the media wait is visible in the
         // device's own busy counter, not here.
-        let alloc_ns = if req.qid_hint.is_some() { KDRV_PREKEYED_NS } else { KDRV_ALLOC_NS };
-        self.total_ns.fetch_add(alloc_ns + DRIVER_SW_NS, Ordering::Relaxed);
+        let alloc_ns = if req.qid_hint.is_some() {
+            KDRV_PREKEYED_NS
+        } else {
+            KDRV_ALLOC_NS
+        };
+        self.total_ns
+            .fetch_add(alloc_ns + DRIVER_SW_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         let dev = self.layer.device();
         // Clamp to the device's queue count: schedulers upstream may be
         // configured for wider devices.
         let qid = req.qid_hint.unwrap_or(req.core) % dev.num_queues();
-        
+
         match req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(alloc_ns);
                 let len = data.len();
                 let tag = self.layer.alloc_tag();
-                match self.layer.submit_io_to_hctx(ctx, qid, IoRequest::write(lba, data, tag)) {
+                match self
+                    .layer
+                    .submit_io_to_hctx(ctx, qid, IoRequest::write(lba, data, tag))
+                {
                     Ok(()) => {
-                        let c = self.layer.wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        let c = self
+                            .layer
+                            .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
                         match c.result {
                             Ok(_) => RespPayload::Len(len),
                             Err(e) => RespPayload::Err(e.to_string()),
@@ -89,9 +105,14 @@ impl LabMod for KernelDriverMod {
             Payload::Block(BlockOp::Read { lba, len }) => {
                 ctx.advance(alloc_ns);
                 let tag = self.layer.alloc_tag();
-                match self.layer.submit_io_to_hctx(ctx, qid, IoRequest::read(lba, len, tag)) {
+                match self
+                    .layer
+                    .submit_io_to_hctx(ctx, qid, IoRequest::read(lba, len, tag))
+                {
                     Ok(()) => {
-                        let c = self.layer.wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        let c = self
+                            .layer
+                            .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
                         match c.result {
                             Ok(data) => RespPayload::Data(data),
                             Err(e) => RespPayload::Err(e.to_string()),
@@ -102,9 +123,13 @@ impl LabMod for KernelDriverMod {
             }
             Payload::Block(BlockOp::Flush) => {
                 let tag = self.layer.alloc_tag();
-                match self.layer.submit_io_to_hctx(ctx, qid, IoRequest::flush(tag)) {
+                match self
+                    .layer
+                    .submit_io_to_hctx(ctx, qid, IoRequest::flush(tag))
+                {
                     Ok(()) => {
-                        self.layer.wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        self.layer
+                            .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
                         RespPayload::Ok
                     }
                     Err(e) => RespPayload::Err(e.to_string()),
@@ -124,7 +149,7 @@ impl LabMod for KernelDriverMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -156,10 +181,11 @@ impl SpdkMod {
     }
 
     fn cid(&self) -> u64 {
-        self.next_cid.fetch_add(1, Ordering::Relaxed)
+        self.next_cid.fetch_add(1, Ordering::Relaxed) // relaxed-ok: fresh-id allocation; atomicity alone suffices
     }
 }
 
+// labmod-default-ok: device drivers are stateless shims over the (simulated) device; device state outlives the module instance, so there is nothing to migrate or repair
 impl LabMod for SpdkMod {
     fn type_name(&self) -> &'static str {
         "spdk"
@@ -170,15 +196,18 @@ impl LabMod for SpdkMod {
     }
 
     fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
-        self.total_ns.fetch_add(SPDK_SUBMIT_NS, Ordering::Relaxed);
+        self.total_ns.fetch_add(SPDK_SUBMIT_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         let qid = req.qid_hint.unwrap_or(req.core) % self.dev.num_queues();
-        
+
         match req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(SPDK_SUBMIT_NS);
                 let len = data.len();
                 let cid = self.cid();
-                match self.dev.submit_at(qid, IoRequest::write(lba, data, cid), ctx.now()) {
+                match self
+                    .dev
+                    .submit_at(qid, IoRequest::write(lba, data, cid), ctx.now())
+                {
                     Ok(()) => {
                         let done = self.wait(ctx, qid, cid);
                         match done {
@@ -192,7 +221,10 @@ impl LabMod for SpdkMod {
             Payload::Block(BlockOp::Read { lba, len }) => {
                 ctx.advance(SPDK_SUBMIT_NS);
                 let cid = self.cid();
-                match self.dev.submit_at(qid, IoRequest::read(lba, len, cid), ctx.now()) {
+                match self
+                    .dev
+                    .submit_at(qid, IoRequest::read(lba, len, cid), ctx.now())
+                {
                     Ok(()) => match self.wait(ctx, qid, cid) {
                         Ok(data) => RespPayload::Data(data),
                         Err(e) => RespPayload::Err(e),
@@ -223,7 +255,7 @@ impl LabMod for SpdkMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -271,10 +303,14 @@ pub struct DaxMod {
 impl DaxMod {
     /// Map a PMEM device.
     pub fn new(dev: Arc<PmemDevice>) -> Self {
-        DaxMod { dev, total_ns: AtomicU64::new(0) }
+        DaxMod {
+            dev,
+            total_ns: AtomicU64::new(0),
+        }
     }
 }
 
+// labmod-default-ok: device drivers are stateless shims over the (simulated) device; device state outlives the module instance, so there is nothing to migrate or repair
 impl LabMod for DaxMod {
     fn type_name(&self) -> &'static str {
         "dax"
@@ -311,7 +347,7 @@ impl LabMod for DaxMod {
             _ => RespPayload::Err("dax handles block ops only".into()),
         };
         // DAX has no driver software layer; the access *is* the device.
-        self.total_ns.fetch_add(0, Ordering::Relaxed);
+        self.total_ns.fetch_add(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         resp
     }
 
@@ -323,7 +359,7 @@ impl LabMod for DaxMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -356,6 +392,7 @@ impl IoUringDriverMod {
     }
 }
 
+// labmod-default-ok: device drivers are stateless shims over the (simulated) device; device state outlives the module instance, so there is nothing to migrate or repair
 impl LabMod for IoUringDriverMod {
     fn type_name(&self) -> &'static str {
         "iouring_driver"
@@ -374,9 +411,7 @@ impl LabMod for IoUringDriverMod {
             IoClass::Throughput
         };
         let io = match &req.payload {
-            Payload::Block(BlockOp::Write { lba, data }) => {
-                IoRequest::write(*lba, data.clone(), 0)
-            }
+            Payload::Block(BlockOp::Write { lba, data }) => IoRequest::write(*lba, data.clone(), 0),
             Payload::Block(BlockOp::Read { lba, len }) => IoRequest::read(*lba, *len, 0),
             Payload::Block(BlockOp::Flush) => IoRequest::flush(0),
             _ => return RespPayload::Err("iouring_driver handles block ops only".into()),
@@ -394,7 +429,8 @@ impl LabMod for IoUringDriverMod {
             },
             Err(e) => RespPayload::Err(e.to_string()),
         };
-        self.total_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         resp
     }
 
@@ -407,7 +443,7 @@ impl LabMod for IoUringDriverMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -417,7 +453,11 @@ impl LabMod for IoUringDriverMod {
 
 impl IoUringDriverMod {
     fn engine_device_transfer(&self, write: bool, bytes: usize) -> u64 {
-        self.engine.block_layer().device().model().transfer_ns(write, bytes)
+        self.engine
+            .block_layer()
+            .device()
+            .model()
+            .transfer_ns(write, bytes)
     }
 }
 
@@ -428,7 +468,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "kernel_driver",
         Arc::new(move |params| {
             let name = device_param(params);
-            let layer = reg.layer(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let layer = reg
+                .layer(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             Arc::new(KernelDriverMod::new(layer)) as Arc<dyn LabMod>
         }),
     );
@@ -437,7 +479,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "spdk",
         Arc::new(move |params| {
             let name = device_param(params);
-            let dev = reg.block(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let dev = reg
+                .block(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             Arc::new(SpdkMod::new(dev)) as Arc<dyn LabMod>
         }),
     );
@@ -446,7 +490,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "iouring_driver",
         Arc::new(move |params| {
             let name = device_param(params);
-            let layer = reg.layer(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let layer = reg
+                .layer(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             Arc::new(IoUringDriverMod::new(layer)) as Arc<dyn LabMod>
         }),
     );
@@ -455,7 +501,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "dax",
         Arc::new(move |params| {
             let name = device_param(params);
-            let dev = reg.pmem(&name).unwrap_or_else(|| panic!("no pmem device '{name}'"));
+            let dev = reg
+                .pmem(&name)
+                .unwrap_or_else(|| panic!("no pmem device '{name}'"));
             Arc::new(DaxMod::new(dev)) as Arc<dyn LabMod>
         }),
     );
@@ -473,14 +521,22 @@ mod tests {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
-            vertices: vec![Vertex { uuid: uuid.into(), outputs: vec![] }],
+            vertices: vec![Vertex {
+                uuid: uuid.into(),
+                outputs: vec![],
+            }],
             authorized_uids: vec![],
         }
     }
 
     fn run(mm: &ModuleManager, uuid: &str, payload: Payload, ctx: &mut Ctx) -> RespPayload {
         let stack = single_stack(uuid);
-        let env = StackEnv { stack: &stack, vertex: 0, registry: mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         let m = mm.get(uuid).unwrap();
         m.process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
     }
@@ -497,12 +553,30 @@ mod tests {
     #[test]
     fn kernel_driver_roundtrip() {
         let (mm, _d) = setup();
-        mm.instantiate("kd", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
+        mm.instantiate(
+            "kd",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         let mut ctx = Ctx::new();
         let data = vec![7u8; 4096];
-        let w = run(&mm, "kd", Payload::Block(BlockOp::Write { lba: 8, data: data.clone() }), &mut ctx);
+        let w = run(
+            &mm,
+            "kd",
+            Payload::Block(BlockOp::Write {
+                lba: 8,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(w, RespPayload::Len(4096)));
-        let r = run(&mm, "kd", Payload::Block(BlockOp::Read { lba: 8, len: 4096 }), &mut ctx);
+        let r = run(
+            &mm,
+            "kd",
+            Payload::Block(BlockOp::Read { lba: 8, len: 4096 }),
+            &mut ctx,
+        );
         match r {
             RespPayload::Data(d) => assert_eq!(d, data),
             other => panic!("unexpected {other:?}"),
@@ -514,36 +588,72 @@ mod tests {
         // Separate devices: both paths must start from idle channels.
         let (mm, d) = setup();
         d.add_preset("nvme1", DeviceKind::Nvme);
-        mm.instantiate("kd", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
-        mm.instantiate("sp", "spdk", &serde_json::json!({"device": "nvme1"})).unwrap();
+        mm.instantiate(
+            "kd",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
+        mm.instantiate("sp", "spdk", &serde_json::json!({"device": "nvme1"}))
+            .unwrap();
         let mut kd_ctx = Ctx::new();
-        run(&mm, "kd", Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 4096] }), &mut kd_ctx);
+        run(
+            &mm,
+            "kd",
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![1u8; 4096],
+            }),
+            &mut kd_ctx,
+        );
         let mut sp_ctx = Ctx::new();
-        run(&mm, "sp", Payload::Block(BlockOp::Write { lba: 64, data: vec![1u8; 4096] }), &mut sp_ctx);
+        run(
+            &mm,
+            "sp",
+            Payload::Block(BlockOp::Write {
+                lba: 64,
+                data: vec![1u8; 4096],
+            }),
+            &mut sp_ctx,
+        );
         assert!(
             sp_ctx.now() < kd_ctx.now(),
             "spdk {} must beat kernel driver {}",
             sp_ctx.now(),
             kd_ctx.now()
         );
-        let r = run(&mm, "sp", Payload::Block(BlockOp::Read { lba: 64, len: 4096 }), &mut sp_ctx);
+        let r = run(
+            &mm,
+            "sp",
+            Payload::Block(BlockOp::Read { lba: 64, len: 4096 }),
+            &mut sp_ctx,
+        );
         assert!(matches!(r, RespPayload::Data(_)));
     }
 
     #[test]
     fn dax_roundtrip_with_unaligned_length() {
         let (mm, _d) = setup();
-        mm.instantiate("dx", "dax", &serde_json::json!({"device": "pmem0"})).unwrap();
+        mm.instantiate("dx", "dax", &serde_json::json!({"device": "pmem0"}))
+            .unwrap();
         let mut ctx = Ctx::new();
         // Arbitrary length: DAX does not care about sector multiples.
         let w = run(
             &mm,
             "dx",
-            Payload::Block(BlockOp::Write { lba: 1234, data: b"dax bytes".to_vec() }),
+            Payload::Block(BlockOp::Write {
+                lba: 1234,
+                data: b"dax bytes".to_vec(),
+            }),
             &mut ctx,
         );
         assert!(matches!(w, RespPayload::Len(9)));
-        let r = run(&mm, "dx", Payload::Block(BlockOp::Read { lba: 1234, len: 9 }), &mut ctx);
+        let r = run(
+            &mm,
+            "dx",
+            Payload::Block(BlockOp::Read { lba: 1234, len: 9 }),
+            &mut ctx,
+        );
         match r {
             RespPayload::Data(d) => assert_eq!(&d, b"dax bytes"),
             other => panic!("unexpected {other:?}"),
@@ -553,7 +663,12 @@ mod tests {
     #[test]
     fn drivers_reject_non_block_payloads() {
         let (mm, _d) = setup();
-        mm.instantiate("kd", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
+        mm.instantiate(
+            "kd",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         let mut ctx = Ctx::new();
         let resp = run(&mm, "kd", Payload::Dummy { work_ns: 1 }, &mut ctx);
         assert!(!resp.is_ok());
@@ -562,16 +677,29 @@ mod tests {
     #[test]
     fn qid_hint_overrides_core_mapping() {
         let (mm, d) = setup();
-        mm.instantiate("kd", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
+        mm.instantiate(
+            "kd",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         let dev = d.block("nvme0").unwrap();
         let stack = single_stack("kd");
-        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: &mm,
+            domain: 0,
+        };
         let m = mm.get("kd").unwrap();
         let mut ctx = Ctx::new();
         let mut req = Request::new(
             1,
             1,
-            Payload::Block(BlockOp::Write { lba: 0, data: vec![0u8; 512] }),
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![0u8; 512],
+            }),
             Credentials::ROOT,
         );
         req.qid_hint = Some(5);
@@ -584,31 +712,83 @@ mod tests {
     fn iouring_driver_inherits_kernel_path() {
         let (mm, d) = setup();
         d.add_preset("nvme2", DeviceKind::Nvme);
-        mm.instantiate("iu", "iouring_driver", &serde_json::json!({"device": "nvme2"}))
-            .unwrap();
+        mm.instantiate(
+            "iu",
+            "iouring_driver",
+            &serde_json::json!({"device": "nvme2"}),
+        )
+        .unwrap();
         let mut ctx = Ctx::new();
         let data = vec![3u8; 4096];
-        let w = run(&mm, "iu", Payload::Block(BlockOp::Write { lba: 8, data: data.clone() }), &mut ctx);
+        let w = run(
+            &mm,
+            "iu",
+            Payload::Block(BlockOp::Write {
+                lba: 8,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(w, RespPayload::Len(4096)));
-        let r = run(&mm, "iu", Payload::Block(BlockOp::Read { lba: 8, len: 4096 }), &mut ctx);
+        let r = run(
+            &mm,
+            "iu",
+            Payload::Block(BlockOp::Read { lba: 8, len: 4096 }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(got) if got == data));
         // Inheriting the kernel block layer costs more than the direct
         // hctx path of the Kernel Driver LabMod.
-        mm.instantiate("kd2", "kernel_driver", &serde_json::json!({"device": "nvme0"})).unwrap();
+        mm.instantiate(
+            "kd2",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         let mut kd_ctx = Ctx::new();
-        run(&mm, "kd2", Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 4096] }), &mut kd_ctx);
+        run(
+            &mm,
+            "kd2",
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![1u8; 4096],
+            }),
+            &mut kd_ctx,
+        );
         let mut iu_ctx = Ctx::new();
-        run(&mm, "iu", Payload::Block(BlockOp::Write { lba: 64, data: vec![1u8; 4096] }), &mut iu_ctx);
-        assert!(iu_ctx.now() > kd_ctx.now(), "io_uring path {} vs hctx {}", iu_ctx.now(), kd_ctx.now());
+        run(
+            &mm,
+            "iu",
+            Payload::Block(BlockOp::Write {
+                lba: 64,
+                data: vec![1u8; 4096],
+            }),
+            &mut iu_ctx,
+        );
+        assert!(
+            iu_ctx.now() > kd_ctx.now(),
+            "io_uring path {} vs hctx {}",
+            iu_ctx.now(),
+            kd_ctx.now()
+        );
     }
 
     #[test]
     fn est_total_time_accumulates() {
         let (mm, _d) = setup();
-        let m =
-            mm.instantiate("sp", "spdk", &serde_json::json!({"device": "nvme0"})).unwrap();
+        let m = mm
+            .instantiate("sp", "spdk", &serde_json::json!({"device": "nvme0"}))
+            .unwrap();
         let mut ctx = Ctx::new();
-        run(&mm, "sp", Payload::Block(BlockOp::Write { lba: 0, data: vec![0u8; 512] }), &mut ctx);
+        run(
+            &mm,
+            "sp",
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![0u8; 512],
+            }),
+            &mut ctx,
+        );
         assert!(m.est_total_time() > 0);
     }
 }

@@ -33,10 +33,11 @@ impl DummyMod {
 
     /// Messages processed (survives upgrades via `state_update`).
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 }
 
+// labmod-default-ok: migrates its counters in state_update; no durable state exists, so the repair default is safe
 impl LabMod for DummyMod {
     fn type_name(&self) -> &'static str {
         "dummy"
@@ -52,9 +53,9 @@ impl LabMod for DummyMod {
             _ => self.default_work_ns,
         };
         ctx.advance(work);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(work, Ordering::Relaxed);
-        // Dummies are usually terminal but forward if stacked.
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.total_ns.fetch_add(work, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                          // Dummies are usually terminal but forward if stacked.
         if env.stack.vertices[env.vertex].outputs.is_empty() {
             RespPayload::Ok
         } else {
@@ -70,13 +71,15 @@ impl LabMod for DummyMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<DummyMod>() {
-            self.count.store(prev.count(), Ordering::Relaxed);
-            self.total_ns.store(prev.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.count.store(prev.count(), Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                               // relaxed-ok: stat counter; readers tolerate lag
+            self.total_ns
+                .store(prev.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
@@ -93,7 +96,7 @@ pub fn install(mm: &ModuleManager) {
         "dummy",
         Arc::new(move |params| {
             let work = params.get("work_ns").and_then(|v| v.as_u64()).unwrap_or(0);
-            Arc::new(DummyMod::new(version.fetch_add(1, Ordering::Relaxed) + 1, work))
+            Arc::new(DummyMod::new(version.fetch_add(1, Ordering::Relaxed) + 1, work)) // relaxed-ok: fresh-id allocation; atomicity alone suffices
                 as Arc<dyn LabMod>
         }),
     );
@@ -121,10 +124,18 @@ mod tests {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Async,
-            vertices: vec![Vertex { uuid: "d1".into(), outputs: vec![] }],
+            vertices: vec![Vertex {
+                uuid: "d1".into(),
+                outputs: vec![],
+            }],
             authorized_uids: vec![],
         };
-        let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: &mm,
+            domain: 0,
+        };
         let mut ctx = Ctx::new();
         let req = env_for(&mm, &stack);
         assert!(m.process(&mut ctx, req, &env).is_ok());
@@ -136,7 +147,9 @@ mod tests {
     fn request_work_overrides_default() {
         let mm = ModuleManager::new();
         install(&mm);
-        let m = mm.instantiate("d1", "dummy", &serde_json::json!({"work_ns": 10})).unwrap();
+        let m = mm
+            .instantiate("d1", "dummy", &serde_json::json!({"work_ns": 10}))
+            .unwrap();
         let req = Request::new(1, 1, Payload::Dummy { work_ns: 777 }, Credentials::ROOT);
         assert_eq!(m.est_processing_time(&req), 777);
     }
@@ -145,7 +158,9 @@ mod tests {
     fn state_survives_upgrade() {
         let mm = ModuleManager::new();
         install(&mm);
-        let old = mm.instantiate("d1", "dummy", &serde_json::Value::Null).unwrap();
+        let old = mm
+            .instantiate("d1", "dummy", &serde_json::Value::Null)
+            .unwrap();
         let old_dummy = old.as_any().downcast_ref::<DummyMod>().unwrap();
         old_dummy.count.store(123, Ordering::Relaxed);
         let newer = DummyMod::new(99, 0);

@@ -64,7 +64,11 @@ pub struct GenericFs {
 impl GenericFs {
     /// Wrap a connected client.
     pub fn new(client: Client) -> Self {
-        GenericFs { client, fds: HashMap::new(), next_fd: 0 }
+        GenericFs {
+            client,
+            fds: HashMap::new(),
+            next_fd: 0,
+        }
     }
 
     /// The wrapped client (e.g. to read its virtual clock).
@@ -86,15 +90,32 @@ impl GenericFs {
 
     /// `open(2)`: resolve the governing stack (path, then ancestors — the
     /// §III-E walk), send an Open, allocate an fd.
-    pub fn open(&mut self, path: &str, create: bool, truncate: bool) -> Result<i32, GenericFsError> {
+    pub fn open(
+        &mut self,
+        path: &str,
+        create: bool,
+        truncate: bool,
+    ) -> Result<i32, GenericFsError> {
         let (stack, rel) = self.client.resolve(path)?;
-        let (resp, _) = self
-            .client
-            .execute(&stack, Payload::Fs(FsOp::Open { path: rel, create, truncate }))?;
+        let (resp, _) = self.client.execute(
+            &stack,
+            Payload::Fs(FsOp::Open {
+                path: rel,
+                create,
+                truncate,
+            }),
+        )?;
         match resp {
             RespPayload::Ino(ino) => {
                 self.next_fd += 1;
-                self.fds.insert(self.next_fd, OpenEntry { stack_id: stack.id, ino, pos: 0 });
+                self.fds.insert(
+                    self.next_fd,
+                    OpenEntry {
+                        stack_id: stack.id,
+                        ino,
+                        pos: 0,
+                    },
+                );
                 Ok(self.next_fd)
             }
             other => Err(Self::fs_err(other)),
@@ -108,7 +129,10 @@ impl GenericFs {
             .ok_or(GenericFsError::BadFd(fd))
     }
 
-    fn stack_of(&self, stack_id: u64) -> Result<std::sync::Arc<labstor_core::LabStack>, GenericFsError> {
+    fn stack_of(
+        &self,
+        stack_id: u64,
+    ) -> Result<std::sync::Arc<labstor_core::LabStack>, GenericFsError> {
         self.client
             .runtime()
             .ns
@@ -122,7 +146,11 @@ impl GenericFs {
         let stack = self.stack_of(sid)?;
         let (resp, _) = self.client.execute(
             &stack,
-            Payload::Fs(FsOp::Write { ino, offset: pos, data: data.to_vec() }),
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: pos,
+                data: data.to_vec(),
+            }),
         )?;
         match resp {
             RespPayload::Len(n) => {
@@ -137,8 +165,14 @@ impl GenericFs {
     pub fn read(&mut self, fd: i32, len: usize) -> Result<Vec<u8>, GenericFsError> {
         let (sid, ino, pos) = self.entry(fd)?;
         let stack = self.stack_of(sid)?;
-        let (resp, _) =
-            self.client.execute(&stack, Payload::Fs(FsOp::Read { ino, offset: pos, len }))?;
+        let (resp, _) = self.client.execute(
+            &stack,
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: pos,
+                len,
+            }),
+        )?;
         match resp {
             RespPayload::Data(d) => {
                 self.fds.get_mut(&fd).expect("entry checked").pos = pos + d.len() as u64;
@@ -150,15 +184,19 @@ impl GenericFs {
 
     /// `lseek(2)` (SEEK_SET).
     pub fn seek(&mut self, fd: i32, pos: u64) -> Result<(), GenericFsError> {
-        self.fds.get_mut(&fd).map(|e| e.pos = pos).ok_or(GenericFsError::BadFd(fd))
+        self.fds
+            .get_mut(&fd)
+            .map(|e| e.pos = pos)
+            .ok_or(GenericFsError::BadFd(fd))
     }
 
     /// `ftruncate(2)`.
     pub fn ftruncate(&mut self, fd: i32, size: u64) -> Result<(), GenericFsError> {
         let (sid, ino, _) = self.entry(fd)?;
         let stack = self.stack_of(sid)?;
-        let (resp, _) =
-            self.client.execute(&stack, Payload::Fs(FsOp::Truncate { ino, size }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Truncate { ino, size }))?;
         if resp.is_ok() {
             Ok(())
         } else {
@@ -170,7 +208,9 @@ impl GenericFs {
     pub fn fsync(&mut self, fd: i32) -> Result<(), GenericFsError> {
         let (sid, ino, _) = self.entry(fd)?;
         let stack = self.stack_of(sid)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Fs(FsOp::Fsync { ino }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Fsync { ino }))?;
         if resp.is_ok() {
             Ok(())
         } else {
@@ -180,7 +220,10 @@ impl GenericFs {
 
     /// `close(2)`.
     pub fn close(&mut self, fd: i32) -> Result<(), GenericFsError> {
-        self.fds.remove(&fd).map(|_| ()).ok_or(GenericFsError::BadFd(fd))
+        self.fds
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(GenericFsError::BadFd(fd))
     }
 
     /// `rename(2)` — both paths must resolve to the same stack.
@@ -190,9 +233,13 @@ impl GenericFs {
         if stack_a.id != stack_b.id {
             return Err(GenericFsError::Fs("cross-stack rename (EXDEV)".into()));
         }
-        let (resp, _) = self
-            .client
-            .execute(&stack_a, Payload::Fs(FsOp::Rename { from: rel_from, to: rel_to }))?;
+        let (resp, _) = self.client.execute(
+            &stack_a,
+            Payload::Fs(FsOp::Rename {
+                from: rel_from,
+                to: rel_to,
+            }),
+        )?;
         if resp.is_ok() {
             Ok(())
         } else {
@@ -203,7 +250,9 @@ impl GenericFs {
     /// `unlink(2)`.
     pub fn unlink(&mut self, path: &str) -> Result<(), GenericFsError> {
         let (stack, rel) = self.client.resolve(path)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Fs(FsOp::Unlink { path: rel }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Unlink { path: rel }))?;
         if resp.is_ok() {
             Ok(())
         } else {
@@ -214,8 +263,9 @@ impl GenericFs {
     /// `mkdir(2)`.
     pub fn mkdir(&mut self, path: &str, mode: u16) -> Result<(), GenericFsError> {
         let (stack, rel) = self.client.resolve(path)?;
-        let (resp, _) =
-            self.client.execute(&stack, Payload::Fs(FsOp::Mkdir { path: rel, mode }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Mkdir { path: rel, mode }))?;
         if resp.is_ok() {
             Ok(())
         } else {
@@ -226,7 +276,9 @@ impl GenericFs {
     /// `stat(2)`.
     pub fn stat(&mut self, path: &str) -> Result<FileStat, GenericFsError> {
         let (stack, rel) = self.client.resolve(path)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Fs(FsOp::Stat { path: rel }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Stat { path: rel }))?;
         match resp {
             RespPayload::Stat(st) => Ok(st),
             other => Err(Self::fs_err(other)),
@@ -236,7 +288,9 @@ impl GenericFs {
     /// `readdir(3)`.
     pub fn readdir(&mut self, path: &str) -> Result<Vec<String>, GenericFsError> {
         let (stack, rel) = self.client.resolve(path)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Fs(FsOp::Readdir { path: rel }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Fs(FsOp::Readdir { path: rel }))?;
         match resp {
             RespPayload::Names(n) => Ok(n),
             other => Err(Self::fs_err(other)),
@@ -257,7 +311,14 @@ impl GenericFs {
                 .fds
                 .iter()
                 .map(|(fd, e)| {
-                    (*fd, OpenEntry { stack_id: e.stack_id, ino: e.ino, pos: e.pos })
+                    (
+                        *fd,
+                        OpenEntry {
+                            stack_id: e.stack_id,
+                            ino: e.ino,
+                            pos: e.pos,
+                        },
+                    )
                 })
                 .collect(),
             next_fd: self.next_fd,
@@ -301,9 +362,20 @@ impl GenericFs {
             let stack_id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
             let ino = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
             let fpos = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-            fds.insert(fd, OpenEntry { stack_id, ino, pos: fpos });
+            fds.insert(
+                fd,
+                OpenEntry {
+                    stack_id,
+                    ino,
+                    pos: fpos,
+                },
+            );
         }
-        Ok(GenericFs { client, fds, next_fd })
+        Ok(GenericFs {
+            client,
+            fds,
+            next_fd,
+        })
     }
 }
 
@@ -328,15 +400,19 @@ impl GenericKvs {
         &mut self.client
     }
 
-    fn route(&self, key: &str) -> Result<(std::sync::Arc<labstor_core::LabStack>, String), ClientError> {
+    fn route(
+        &self,
+        key: &str,
+    ) -> Result<(std::sync::Arc<labstor_core::LabStack>, String), ClientError> {
         self.client.resolve(key)
     }
 
     /// Store a value. One request, one round trip — the paper's point.
     pub fn put(&mut self, key: &str, value: Vec<u8>) -> Result<usize, GenericFsError> {
         let (stack, rel) = self.route(key)?;
-        let (resp, _) =
-            self.client.execute(&stack, Payload::Kvs(KvsOp::Put { key: rel, value }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::Put { key: rel, value }))?;
         match resp {
             RespPayload::Len(n) => Ok(n),
             other => Err(GenericFs::fs_err(other)),
@@ -346,7 +422,9 @@ impl GenericKvs {
     /// Fetch a value.
     pub fn get(&mut self, key: &str) -> Result<Vec<u8>, GenericFsError> {
         let (stack, rel) = self.route(key)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
         match resp {
             RespPayload::Data(d) => Ok(d),
             other => Err(GenericFs::fs_err(other)),
@@ -356,7 +434,9 @@ impl GenericKvs {
     /// Delete a key.
     pub fn remove(&mut self, key: &str) -> Result<(), GenericFsError> {
         let (stack, rel) = self.route(key)?;
-        let (resp, _) = self.client.execute(&stack, Payload::Kvs(KvsOp::Remove { key: rel }))?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::Remove { key: rel }))?;
         if resp.is_ok() {
             Ok(())
         } else {

@@ -111,7 +111,14 @@ impl LogRecord {
     /// Serialize into `out` (length-prefixed strings, little endian).
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            LogRecord::Create { path, ino, mode, uid, gid, is_dir } => {
+            LogRecord::Create {
+                path,
+                ino,
+                mode,
+                uid,
+                gid,
+                is_dir,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&(path.len() as u32).to_le_bytes());
                 out.extend_from_slice(path.as_bytes());
@@ -166,7 +173,14 @@ impl LogRecord {
                 let uid = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?);
                 let gid = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?);
                 let is_dir = *take(buf, pos, 1)?.first()? != 0;
-                Some(LogRecord::Create { path, ino, mode, uid, gid, is_dir })
+                Some(LogRecord::Create {
+                    path,
+                    ino,
+                    mode,
+                    uid,
+                    gid,
+                    is_dir,
+                })
             }
             2 => {
                 let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
@@ -241,7 +255,11 @@ impl BlockAllocator {
                 .map(|w| {
                     Mutex::new(AllocShard {
                         next: start + w * per,
-                        end: if w == workers as u64 - 1 { end } else { start + (w + 1) * per },
+                        end: if w == workers as u64 - 1 {
+                            end
+                        } else {
+                            start + (w + 1) * per
+                        },
                     })
                 })
                 .collect(),
@@ -288,10 +306,13 @@ impl BlockAllocator {
 
     /// Total free blocks.
     pub fn free_blocks(&self) -> u64 {
-        self.shards.iter().map(|s| {
-            let s = s.lock();
-            s.end - s.next
-        }).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.end - s.next
+            })
+            .sum()
     }
 
     /// Decommission worker `w`: its remaining blocks are reassigned to
@@ -404,7 +425,8 @@ impl LabFs {
     fn fwd(&self, ctx: &mut Ctx, env: &StackEnv<'_>, req: Request) -> RespPayload {
         let before = ctx.busy();
         let r = env.forward(ctx, req);
-        self.downstream_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.downstream_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         r
     }
 
@@ -455,7 +477,14 @@ impl LabFs {
     /// Apply one log record to the in-memory maps (used by replay).
     fn apply(&self, rec: LogRecord) {
         match rec {
-            LogRecord::Create { path, ino, mode, uid, gid, is_dir } => {
+            LogRecord::Create {
+                path,
+                ino,
+                mode,
+                uid,
+                gid,
+                is_dir,
+            } => {
                 self.name_shard(&path).write().insert(path, ino);
                 self.node_shard(ino).write().insert(
                     ino,
@@ -472,7 +501,7 @@ impl LabFs {
                     },
                 );
                 // Keep ino allocation ahead of everything replayed.
-                self.next_ino.fetch_max(ino + 1, Ordering::Relaxed);
+                self.next_ino.fetch_max(ino + 1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
             }
             LogRecord::Unlink { path } => {
                 if let Some(ino) = self.name_shard(&path).write().remove(&path) {
@@ -504,7 +533,9 @@ impl LabFs {
         let ti = self.name_shard_idx(to);
         if fi == ti {
             let mut shard = self.names[fi].write();
-            let Some(ino) = shard.remove(from) else { return false };
+            let Some(ino) = shard.remove(from) else {
+                return false;
+            };
             if let Some(old) = shard.insert(to.to_string(), ino) {
                 self.node_shard(old).write().remove(&old);
             }
@@ -513,9 +544,14 @@ impl LabFs {
             let (lo, hi) = (fi.min(ti), fi.max(ti));
             let mut lo_guard = self.names[lo].write();
             let mut hi_guard = self.names[hi].write();
-            let (from_shard, to_shard) =
-                if fi == lo { (&mut lo_guard, &mut hi_guard) } else { (&mut hi_guard, &mut lo_guard) };
-            let Some(ino) = from_shard.remove(from) else { return false };
+            let (from_shard, to_shard) = if fi == lo {
+                (&mut lo_guard, &mut hi_guard)
+            } else {
+                (&mut hi_guard, &mut lo_guard)
+            };
+            let Some(ino) = from_shard.remove(from) else {
+                return false;
+            };
             if let Some(old) = to_shard.insert(to.to_string(), ino) {
                 self.node_shard(old).write().remove(&old);
             }
@@ -540,7 +576,10 @@ impl LabFs {
                 continue;
             }
             let mut buf = vec![0u8; (blocks as usize) * FS_BLOCK];
-            if self.log_device.read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf).is_err()
+            if self
+                .log_device
+                .read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf)
+                .is_err()
             {
                 continue;
             }
@@ -565,7 +604,10 @@ impl LabFs {
 
     /// Provenance query: (ops, last_writer) for an inode.
     pub fn provenance(&self, ino: u64) -> Option<(u64, u32)> {
-        self.node_shard(ino).read().get(&ino).map(|n| (n.ops, n.last_writer))
+        self.node_shard(ino)
+            .read()
+            .get(&ino)
+            .map(|n| (n.ops, n.last_writer))
     }
 
     // ---- operations ----------------------------------------------------
@@ -584,7 +626,7 @@ impl LabFs {
             if names.contains_key(path) {
                 return RespPayload::Err(format!("{path}: file exists"));
             }
-            let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+            let ino = self.next_ino.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
             names.insert(path.to_string(), ino);
             ino
         };
@@ -662,17 +704,31 @@ impl LabFs {
         }
         // Log only what changed: new mappings and growth.
         for &(pg, b) in &fresh {
-            self.log(ctx, req.core, &LogRecord::MapBlock { ino, page: pg, block: b });
+            self.log(
+                ctx,
+                req.core,
+                &LogRecord::MapBlock {
+                    ino,
+                    page: pg,
+                    block: b,
+                },
+            );
         }
         if grew {
-            self.log(ctx, req.core, &LogRecord::SetSize { ino, size: offset + data.len() as u64 });
+            self.log(
+                ctx,
+                req.core,
+                &LogRecord::SetSize {
+                    ino,
+                    size: offset + data.len() as u64,
+                },
+            );
         }
         // Emit block writes downstream. Partially-covered pages that were
         // already mapped (and not freshly allocated) need read-modify-write
         // so neighbouring bytes survive; full pages and fresh pages are
         // written directly, coalescing contiguous full blocks.
-        let fresh_pages: std::collections::HashSet<u64> =
-            fresh.iter().map(|&(pg, _)| pg).collect();
+        let fresh_pages: std::collections::HashSet<u64> = fresh.iter().map(|&(pg, _)| pg).collect();
         let block_write = |this: &Self,
                            ctx: &mut Ctx,
                            env: &StackEnv<'_>,
@@ -702,7 +758,10 @@ impl LabFs {
                 let mut rd = Request::new(
                     req.id,
                     req.stack,
-                    Payload::Block(BlockOp::Read { lba: block * BLOCK_SECTORS, len: FS_BLOCK }),
+                    Payload::Block(BlockOp::Read {
+                        lba: block * BLOCK_SECTORS,
+                        len: FS_BLOCK,
+                    }),
                     req.creds,
                 );
                 rd.vertex = env.vertex;
@@ -738,8 +797,7 @@ impl LabFs {
             }
             let run_pages = (j - i + 1) as u64;
             let run_start = (page * FS_BLOCK as u64).max(offset);
-            let run_end =
-                ((page + run_pages) * FS_BLOCK as u64).min(offset + data.len() as u64);
+            let run_end = ((page + run_pages) * FS_BLOCK as u64).min(offset + data.len() as u64);
             let mut payload = vec![0u8; (run_pages as usize) * FS_BLOCK];
             let src_from = (run_start - offset) as usize;
             let src_to = (run_end - offset) as usize;
@@ -777,7 +835,9 @@ impl LabFs {
             let last_pg = (offset + len as u64).div_ceil(FS_BLOCK as u64);
             (
                 node.size,
-                (first_pg..last_pg).map(|pg| node.blocks.get(&pg).copied()).collect(),
+                (first_pg..last_pg)
+                    .map(|pg| node.blocks.get(&pg).copied())
+                    .collect(),
             )
         };
         if offset >= size {
@@ -839,7 +899,11 @@ impl LabMod for LabFs {
                 self.op_create(ctx, &req, path, *mode, false)
             }
             Payload::Fs(FsOp::Mkdir { path, mode }) => self.op_create(ctx, &req, path, *mode, true),
-            Payload::Fs(FsOp::Open { path, create, truncate }) => {
+            Payload::Fs(FsOp::Open {
+                path,
+                create,
+                truncate,
+            }) => {
                 ctx.advance(META_CPU_NS);
                 let existing = self.name_shard(path).read().get(path).copied();
                 match existing {
@@ -870,7 +934,10 @@ impl LabMod for LabFs {
                     self.log(
                         ctx,
                         req.core,
-                        &LogRecord::Rename { from: from.clone(), to: to.clone() },
+                        &LogRecord::Rename {
+                            from: from.clone(),
+                            to: to.clone(),
+                        },
                     );
                     RespPayload::Ok
                 } else {
@@ -936,7 +1003,14 @@ impl LabMod for LabFs {
                         n.blocks.retain(|&pg, _| pg < keep);
                         n.ops += 1;
                         drop(shard);
-                        self.log(ctx, req.core, &LogRecord::SetSize { ino: *ino, size: *size });
+                        self.log(
+                            ctx,
+                            req.core,
+                            &LogRecord::SetSize {
+                                ino: *ino,
+                                size: *size,
+                            },
+                        );
                         RespPayload::Ok
                     }
                     None => RespPayload::Err(format!("no inode {ino}")),
@@ -947,12 +1021,8 @@ impl LabMod for LabFs {
                 if let Err(e) = self.flush_logs(ctx) {
                     return RespPayload::Err(e);
                 }
-                let mut fwd = Request::new(
-                    req.id,
-                    req.stack,
-                    Payload::Block(BlockOp::Flush),
-                    req.creds,
-                );
+                let mut fwd =
+                    Request::new(req.id, req.stack, Payload::Block(BlockOp::Flush), req.creds);
                 fwd.vertex = env.vertex;
                 fwd.core = req.core;
                 self.fwd(ctx, env, fwd)
@@ -961,9 +1031,12 @@ impl LabMod for LabFs {
             // stack).
             _ => self.fwd(ctx, env, req),
         };
-        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed);
-        self.total_ns
-            .fetch_add((ctx.busy() - before).saturating_sub(downstream), Ordering::Relaxed);
+        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                        // relaxed-ok: stat counter; readers tolerate lag
+        self.total_ns.fetch_add(
+            (ctx.busy() - before).saturating_sub(downstream),
+            Ordering::Relaxed,
+        );
         resp
     }
 
@@ -976,7 +1049,7 @@ impl LabMod for LabFs {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -1006,7 +1079,9 @@ impl LabMod for LabFs {
                     );
                 }
             }
-            self.next_ino.store(prev.next_ino.load(Ordering::Relaxed), Ordering::Relaxed);
+            // relaxed-ok: fresh-id allocation; atomicity alone suffices
+            self.next_ino
+                .store(prev.next_ino.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
@@ -1026,7 +1101,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "labfs",
         Arc::new(move |params| {
             let name = device_param(params);
-            let dev = reg.block(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let dev = reg
+                .block(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             let workers = params.get("workers").and_then(|v| v.as_u64()).unwrap_or(8) as usize;
             Arc::new(LabFs::new(dev, workers)) as Arc<dyn LabMod>
         }),
@@ -1052,17 +1129,31 @@ mod tests {
             let mm = ModuleManager::new();
             install(&mm, &devices);
             crate::drivers::install(&mm, &devices);
-            mm.instantiate("fs", "labfs", &serde_json::json!({"device": "nvme0", "workers": 4}))
-                .unwrap();
-            mm.instantiate("drv", "kernel_driver", &serde_json::json!({"device": "nvme0"}))
-                .unwrap();
+            mm.instantiate(
+                "fs",
+                "labfs",
+                &serde_json::json!({"device": "nvme0", "workers": 4}),
+            )
+            .unwrap();
+            mm.instantiate(
+                "drv",
+                "kernel_driver",
+                &serde_json::json!({"device": "nvme0"}),
+            )
+            .unwrap();
             let stack = LabStack {
                 id: 1,
                 mount: "fs::/t".into(),
                 exec: ExecMode::Sync,
                 vertices: vec![
-                    Vertex { uuid: "fs".into(), outputs: vec![1] },
-                    Vertex { uuid: "drv".into(), outputs: vec![] },
+                    Vertex {
+                        uuid: "fs".into(),
+                        outputs: vec![1],
+                    },
+                    Vertex {
+                        uuid: "drv".into(),
+                        outputs: vec![],
+                    },
                 ],
                 authorized_uids: vec![],
             };
@@ -1070,11 +1161,17 @@ mod tests {
         }
 
         fn exec(&self, payload: Payload, ctx: &mut Ctx) -> RespPayload {
-            let env = StackEnv { stack: &self.stack, vertex: 0, registry: &self.mm, domain: 0 };
-            self.mm
-                .get("fs")
-                .unwrap()
-                .process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
+            let env = StackEnv {
+                stack: &self.stack,
+                vertex: 0,
+                registry: &self.mm,
+                domain: 0,
+            };
+            self.mm.get("fs").unwrap().process(
+                ctx,
+                Request::new(1, 1, payload, Credentials::ROOT),
+                &env,
+            )
         }
 
         fn labfs(&self) -> Arc<dyn LabMod> {
@@ -1093,11 +1190,31 @@ mod tests {
     fn create_write_read_roundtrip() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        let ino = ino_of(h.exec(Payload::Fs(FsOp::Create { path: "/a".into(), mode: 0o644 }), &mut ctx));
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/a".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
         let data: Vec<u8> = (0..10_000).map(|i| (i % 247) as u8).collect();
-        let w = h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: data.clone() }), &mut ctx);
+        let w = h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(w, RespPayload::Len(n) if n == data.len()));
-        let r = h.exec(Payload::Fs(FsOp::Read { ino, offset: 0, len: data.len() }), &mut ctx);
+        let r = h.exec(
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: data.len(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == data));
     }
 
@@ -1106,12 +1223,27 @@ mod tests {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
         let ino = ino_of(h.exec(
-            Payload::Fs(FsOp::Open { path: "/o".into(), create: true, truncate: false }),
+            Payload::Fs(FsOp::Open {
+                path: "/o".into(),
+                create: true,
+                truncate: false,
+            }),
             &mut ctx,
         ));
-        h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: vec![1u8; 100] }), &mut ctx);
+        h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: vec![1u8; 100],
+            }),
+            &mut ctx,
+        );
         let again = ino_of(h.exec(
-            Payload::Fs(FsOp::Open { path: "/o".into(), create: false, truncate: true }),
+            Payload::Fs(FsOp::Open {
+                path: "/o".into(),
+                create: false,
+                truncate: true,
+            }),
             &mut ctx,
         ));
         assert_eq!(ino, again);
@@ -1123,43 +1255,127 @@ mod tests {
     fn readdir_lists_children_only() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        h.exec(Payload::Fs(FsOp::Mkdir { path: "/d".into(), mode: 0o755 }), &mut ctx);
-        h.exec(Payload::Fs(FsOp::Create { path: "/d/x".into(), mode: 0o644 }), &mut ctx);
-        h.exec(Payload::Fs(FsOp::Create { path: "/d/y".into(), mode: 0o644 }), &mut ctx);
-        h.exec(Payload::Fs(FsOp::Create { path: "/d/sub/z".into(), mode: 0o644 }), &mut ctx);
+        h.exec(
+            Payload::Fs(FsOp::Mkdir {
+                path: "/d".into(),
+                mode: 0o755,
+            }),
+            &mut ctx,
+        );
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/d/x".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/d/y".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/d/sub/z".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
         let names = h.exec(Payload::Fs(FsOp::Readdir { path: "/d".into() }), &mut ctx);
-        assert!(matches!(names, RespPayload::Names(n) if n == vec!["x".to_string(), "y".to_string()]));
+        assert!(
+            matches!(names, RespPayload::Names(n) if n == vec!["x".to_string(), "y".to_string()])
+        );
     }
 
     #[test]
     fn unlink_then_stat_fails() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        h.exec(Payload::Fs(FsOp::Create { path: "/gone".into(), mode: 0o644 }), &mut ctx);
-        assert!(h.exec(Payload::Fs(FsOp::Unlink { path: "/gone".into() }), &mut ctx).is_ok());
-        assert!(!h.exec(Payload::Fs(FsOp::Stat { path: "/gone".into() }), &mut ctx).is_ok());
-        assert!(!h.exec(Payload::Fs(FsOp::Unlink { path: "/gone".into() }), &mut ctx).is_ok());
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/gone".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
+        assert!(h
+            .exec(
+                Payload::Fs(FsOp::Unlink {
+                    path: "/gone".into()
+                }),
+                &mut ctx
+            )
+            .is_ok());
+        assert!(!h
+            .exec(
+                Payload::Fs(FsOp::Stat {
+                    path: "/gone".into()
+                }),
+                &mut ctx
+            )
+            .is_ok());
+        assert!(!h
+            .exec(
+                Payload::Fs(FsOp::Unlink {
+                    path: "/gone".into()
+                }),
+                &mut ctx
+            )
+            .is_ok());
     }
 
     #[test]
     fn duplicate_create_rejected() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        h.exec(Payload::Fs(FsOp::Create { path: "/dup".into(), mode: 0o644 }), &mut ctx);
-        assert!(!h.exec(Payload::Fs(FsOp::Create { path: "/dup".into(), mode: 0o644 }), &mut ctx).is_ok());
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/dup".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
+        assert!(!h
+            .exec(
+                Payload::Fs(FsOp::Create {
+                    path: "/dup".into(),
+                    mode: 0o644
+                }),
+                &mut ctx
+            )
+            .is_ok());
     }
 
     #[test]
     fn sparse_read_returns_zeroes() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        let ino = ino_of(h.exec(Payload::Fs(FsOp::Create { path: "/s".into(), mode: 0o644 }), &mut ctx));
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/s".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
         // Write page 2 only.
         h.exec(
-            Payload::Fs(FsOp::Write { ino, offset: 2 * FS_BLOCK as u64, data: vec![7u8; FS_BLOCK] }),
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 2 * FS_BLOCK as u64,
+                data: vec![7u8; FS_BLOCK],
+            }),
             &mut ctx,
         );
-        let r = h.exec(Payload::Fs(FsOp::Read { ino, offset: 0, len: FS_BLOCK }), &mut ctx);
+        let r = h.exec(
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: FS_BLOCK,
+            }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d.iter().all(|&b| b == 0)));
     }
 
@@ -1167,9 +1383,29 @@ mod tests {
     fn unaligned_overwrite_roundtrips() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        let ino = ino_of(h.exec(Payload::Fs(FsOp::Create { path: "/u".into(), mode: 0o644 }), &mut ctx));
-        h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: vec![1u8; 8192] }), &mut ctx);
-        let r = h.exec(Payload::Fs(FsOp::Read { ino, offset: 100, len: 500 }), &mut ctx);
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/u".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: vec![1u8; 8192],
+            }),
+            &mut ctx,
+        );
+        let r = h.exec(
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 100,
+                len: 500,
+            }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d.len() == 500 && d.iter().all(|&b| b == 1)));
     }
 
@@ -1177,9 +1413,22 @@ mod tests {
     fn crash_recovery_replays_log() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        let ino = ino_of(h.exec(Payload::Fs(FsOp::Create { path: "/p".into(), mode: 0o600 }), &mut ctx));
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/p".into(),
+                mode: 0o600,
+            }),
+            &mut ctx,
+        ));
         let data: Vec<u8> = (0..FS_BLOCK * 2).map(|i| (i % 251) as u8).collect();
-        h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: data.clone() }), &mut ctx);
+        h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         // Persist the log (fsync), then wipe all in-memory state and
         // replay from the device: everything must come back.
         assert!(h.exec(Payload::Fs(FsOp::Fsync { ino }), &mut ctx).is_ok());
@@ -1188,9 +1437,21 @@ mod tests {
         fs.state_repair();
         assert_eq!(fs.file_count(), 1);
         let st = h.exec(Payload::Fs(FsOp::Stat { path: "/p".into() }), &mut ctx);
-        assert!(matches!(st, RespPayload::Stat(s) if s.size == data.len() as u64 && s.mode == 0o600));
-        let r = h.exec(Payload::Fs(FsOp::Read { ino, offset: 0, len: data.len() }), &mut ctx);
-        assert!(matches!(r, RespPayload::Data(d) if d == data), "data blocks survive via replayed mappings");
+        assert!(
+            matches!(st, RespPayload::Stat(s) if s.size == data.len() as u64 && s.mode == 0o600)
+        );
+        let r = h.exec(
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: data.len(),
+            }),
+            &mut ctx,
+        );
+        assert!(
+            matches!(r, RespPayload::Data(d) if d == data),
+            "data blocks survive via replayed mappings"
+        );
     }
 
     #[test]
@@ -1199,7 +1460,13 @@ mod tests {
         // the file — honest log-structured semantics.
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        h.exec(Payload::Fs(FsOp::Create { path: "/volatile".into(), mode: 0o644 }), &mut ctx);
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/volatile".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
         let labfs = h.labfs();
         let fs = labfs.as_any().downcast_ref::<LabFs>().unwrap();
         fs.state_repair();
@@ -1210,7 +1477,13 @@ mod tests {
     fn state_update_preserves_files() {
         let (h, dev) = Harness::new();
         let mut ctx = Ctx::new();
-        h.exec(Payload::Fs(FsOp::Create { path: "/keep".into(), mode: 0o644 }), &mut ctx);
+        h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/keep".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        );
         let old = h.labfs();
         let newer = LabFs::new(dev, 4);
         newer.state_update(old.as_ref());
@@ -1221,9 +1494,29 @@ mod tests {
     fn provenance_tracks_ops_and_writer() {
         let (h, _) = Harness::new();
         let mut ctx = Ctx::new();
-        let ino = ino_of(h.exec(Payload::Fs(FsOp::Create { path: "/prov".into(), mode: 0o644 }), &mut ctx));
-        h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: vec![0u8; 10] }), &mut ctx);
-        h.exec(Payload::Fs(FsOp::Write { ino, offset: 0, data: vec![0u8; 10] }), &mut ctx);
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/prov".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: vec![0u8; 10],
+            }),
+            &mut ctx,
+        );
+        h.exec(
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: vec![0u8; 10],
+            }),
+            &mut ctx,
+        );
         let labfs = h.labfs();
         let fs = labfs.as_any().downcast_ref::<LabFs>().unwrap();
         let (ops, writer) = fs.provenance(ino).unwrap();
@@ -1280,9 +1573,18 @@ mod tests {
                 gid: 8,
                 is_dir: true,
             },
-            LogRecord::MapBlock { ino: 42, page: 3, block: 999 },
-            LogRecord::SetSize { ino: 42, size: 12345 },
-            LogRecord::Unlink { path: "/x/y".into() },
+            LogRecord::MapBlock {
+                ino: 42,
+                page: 3,
+                block: 999,
+            },
+            LogRecord::SetSize {
+                ino: 42,
+                size: 12345,
+            },
+            LogRecord::Unlink {
+                path: "/x/y".into(),
+            },
         ];
         let mut buf = Vec::new();
         for r in &records {

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use labstor_core::{BlockOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_sim::{BlockDevice, Ctx, SimDevice};
 
 use crate::devices::{device_param, DeviceRegistry};
@@ -35,8 +37,14 @@ struct ValueLoc {
 /// KVS log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum KvRecord {
-    Put { key: String, len: u64, blocks: Vec<u64> },
-    Remove { key: String },
+    Put {
+        key: String,
+        len: u64,
+        blocks: Vec<u64>,
+    },
+    Remove {
+        key: String,
+    },
 }
 
 impl KvRecord {
@@ -178,7 +186,10 @@ impl LabKvs {
                 continue;
             }
             let mut buf = vec![0u8; (blocks as usize) * KV_BLOCK];
-            if self.log_device.read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf).is_err()
+            if self
+                .log_device
+                .read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf)
+                .is_err()
             {
                 continue;
             }
@@ -192,9 +203,13 @@ impl LabKvs {
                 };
                 match rec {
                     KvRecord::Put { key, len, blocks } => {
-                        self.shard(&key)
-                            .write()
-                            .insert(key, ValueLoc { len: len as usize, blocks });
+                        self.shard(&key).write().insert(
+                            key,
+                            ValueLoc {
+                                len: len as usize,
+                                blocks,
+                            },
+                        );
                     }
                     KvRecord::Remove { key } => {
                         self.shard(&key).write().remove(&key);
@@ -245,8 +260,7 @@ impl LabMod for LabKvs {
                     let mut payload = vec![0u8; byte_to - byte_from];
                     let copy_to = value.len().min(byte_to) - byte_from.min(value.len());
                     if byte_from < value.len() {
-                        payload[..copy_to]
-                            .copy_from_slice(&value[byte_from..byte_from + copy_to]);
+                        payload[..copy_to].copy_from_slice(&value[byte_from..byte_from + copy_to]);
                     }
                     let mut fwd = Request::new(
                         req.id,
@@ -268,11 +282,19 @@ impl LabMod for LabKvs {
                 self.log(
                     ctx,
                     req.core,
-                    &KvRecord::Put { key: key.clone(), len: value.len() as u64, blocks: blocks.clone() },
+                    &KvRecord::Put {
+                        key: key.clone(),
+                        len: value.len() as u64,
+                        blocks: blocks.clone(),
+                    },
                 );
-                self.shard(key)
-                    .write()
-                    .insert(key.clone(), ValueLoc { len: value.len(), blocks });
+                self.shard(key).write().insert(
+                    key.clone(),
+                    ValueLoc {
+                        len: value.len(),
+                        blocks,
+                    },
+                );
                 RespPayload::Len(value.len())
             }
             Payload::Kvs(KvsOp::Get { key }) => {
@@ -317,7 +339,8 @@ impl LabMod for LabKvs {
             }
             _ => env.forward(ctx, req),
         };
-        self.total_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         resp
     }
 
@@ -326,7 +349,7 @@ impl LabMod for LabKvs {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -353,7 +376,9 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "labkvs",
         Arc::new(move |params| {
             let name = device_param(params);
-            let dev = reg.block(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let dev = reg
+                .block(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             let workers = params.get("workers").and_then(|v| v.as_u64()).unwrap_or(8) as usize;
             Arc::new(LabKvs::new(dev, workers)) as Arc<dyn LabMod>
         }),
@@ -373,16 +398,27 @@ mod tests {
         let mm = ModuleManager::new();
         install(&mm, &devices);
         crate::drivers::install(&mm, &devices);
-        mm.instantiate("kv", "labkvs", &serde_json::json!({"device": "nvme0", "workers": 4}))
+        mm.instantiate(
+            "kv",
+            "labkvs",
+            &serde_json::json!({"device": "nvme0", "workers": 4}),
+        )
+        .unwrap();
+        mm.instantiate("drv", "spdk", &serde_json::json!({"device": "nvme0"}))
             .unwrap();
-        mm.instantiate("drv", "spdk", &serde_json::json!({"device": "nvme0"})).unwrap();
         let stack = LabStack {
             id: 1,
             mount: "kv::/".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "kv".into(), outputs: vec![1] },
-                Vertex { uuid: "drv".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "kv".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "drv".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
@@ -390,8 +426,15 @@ mod tests {
     }
 
     fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, ctx: &mut Ctx) -> RespPayload {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
-        mm.get("kv").unwrap().process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
+        mm.get("kv")
+            .unwrap()
+            .process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
     }
 
     #[test]
@@ -399,9 +442,22 @@ mod tests {
         let (mm, stack) = setup();
         let mut ctx = Ctx::new();
         let value: Vec<u8> = (0..10_000).map(|i| (i % 249) as u8).collect();
-        let w = exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "a".into(), value: value.clone() }), &mut ctx);
+        let w = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "a".into(),
+                value: value.clone(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(w, RespPayload::Len(n) if n == value.len()));
-        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "a".into() }), &mut ctx);
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "a".into() }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == value));
     }
 
@@ -409,9 +465,30 @@ mod tests {
     fn overwrite_replaces_value() {
         let (mm, stack) = setup();
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "k".into(), value: vec![1u8; 100] }), &mut ctx);
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "k".into(), value: vec![2u8; 50] }), &mut ctx);
-        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "k".into() }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "k".into(),
+                value: vec![1u8; 100],
+            }),
+            &mut ctx,
+        );
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "k".into(),
+                value: vec![2u8; 50],
+            }),
+            &mut ctx,
+        );
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "k".into() }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == vec![2u8; 50]));
     }
 
@@ -419,18 +496,59 @@ mod tests {
     fn remove_then_get_fails() {
         let (mm, stack) = setup();
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "x".into(), value: vec![1] }), &mut ctx);
-        assert!(exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "x".into() }), &mut ctx).is_ok());
-        assert!(!exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "x".into() }), &mut ctx).is_ok());
-        assert!(!exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "x".into() }), &mut ctx).is_ok());
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "x".into(),
+                value: vec![1],
+            }),
+            &mut ctx,
+        );
+        assert!(exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Remove { key: "x".into() }),
+            &mut ctx
+        )
+        .is_ok());
+        assert!(!exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "x".into() }),
+            &mut ctx
+        )
+        .is_ok());
+        assert!(!exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Remove { key: "x".into() }),
+            &mut ctx
+        )
+        .is_ok());
     }
 
     #[test]
     fn empty_value_roundtrips() {
         let (mm, stack) = setup();
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "empty".into(), value: vec![] }), &mut ctx);
-        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "empty".into() }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "empty".into(),
+                value: vec![],
+            }),
+            &mut ctx,
+        );
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get {
+                key: "empty".into(),
+            }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d.is_empty()));
     }
 
@@ -439,23 +557,55 @@ mod tests {
         let (mm, stack) = setup();
         let mut ctx = Ctx::new();
         let value: Vec<u8> = (0..5000).map(|i| (i % 241) as u8).collect();
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "keep".into(), value: value.clone() }), &mut ctx);
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Put { key: "drop".into(), value: vec![9u8; 10] }), &mut ctx);
-        exec(&mm, &stack, Payload::Kvs(KvsOp::Remove { key: "drop".into() }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "keep".into(),
+                value: value.clone(),
+            }),
+            &mut ctx,
+        );
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "drop".into(),
+                value: vec![9u8; 10],
+            }),
+            &mut ctx,
+        );
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Remove { key: "drop".into() }),
+            &mut ctx,
+        );
         let kv_mod = mm.get("kv").unwrap();
         let kv = kv_mod.as_any().downcast_ref::<LabKvs>().unwrap();
         kv.flush_logs(&mut ctx).unwrap();
         kv.replay_from_device();
         assert_eq!(kv.key_count(), 1);
-        let r = exec(&mm, &stack, Payload::Kvs(KvsOp::Get { key: "keep".into() }), &mut ctx);
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "keep".into() }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == value));
     }
 
     #[test]
     fn kv_record_roundtrip() {
         let records = vec![
-            KvRecord::Put { key: "alpha".into(), len: 777, blocks: vec![5, 6, 7] },
-            KvRecord::Remove { key: "alpha".into() },
+            KvRecord::Put {
+                key: "alpha".into(),
+                len: 777,
+                blocks: vec![5, 6, 7],
+            },
+            KvRecord::Remove {
+                key: "alpha".into(),
+            },
         ];
         let mut buf = Vec::new();
         for r in &records {

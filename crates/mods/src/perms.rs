@@ -14,7 +14,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use labstor_core::{FsOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    FsOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_sim::Ctx;
 
 /// Per-operation check cost (ACL lookup + uid compare).
@@ -39,7 +41,11 @@ pub struct PermsMod {
 impl PermsMod {
     /// New checker; entries created through it get `default_mode`.
     pub fn new(default_mode: u16) -> Self {
-        PermsMod { owners: RwLock::new(HashMap::new()), default_mode, total_ns: AtomicU64::new(0) }
+        PermsMod {
+            owners: RwLock::new(HashMap::new()),
+            default_mode,
+            total_ns: AtomicU64::new(0),
+        }
     }
 
     fn check(&self, req: &Request, name: &str, want: u16) -> bool {
@@ -55,11 +61,16 @@ impl PermsMod {
     fn record(&self, req: &Request, name: &str, mode: u16) {
         self.owners.write().insert(
             name.to_string(),
-            Owner { uid: req.creds.uid, gid: req.creds.gid, mode },
+            Owner {
+                uid: req.creds.uid,
+                gid: req.creds.gid,
+                mode,
+            },
         );
     }
 }
 
+// labmod-default-ok: ACL table migrates in state_update; policy is spec-derived with no durable state, so the repair default is safe
 impl LabMod for PermsMod {
     fn type_name(&self) -> &'static str {
         "permissions"
@@ -71,7 +82,7 @@ impl LabMod for PermsMod {
 
     fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(PERM_CHECK_NS);
-        self.total_ns.fetch_add(PERM_CHECK_NS, Ordering::Relaxed);
+        self.total_ns.fetch_add(PERM_CHECK_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         let denied = |what: &str| RespPayload::Err(format!("permission denied: {what}"));
         match &req.payload {
             Payload::Fs(FsOp::Create { path, mode }) => {
@@ -96,19 +107,19 @@ impl LabMod for PermsMod {
                 self.owners.write().remove(path);
             }
             Payload::Fs(FsOp::Stat { path } | FsOp::Readdir { path })
-                if !self.check(&req, path, 0o4) => {
-                    return denied(path);
-                }
+                if !self.check(&req, path, 0o4) =>
+            {
+                return denied(path);
+            }
             Payload::Kvs(KvsOp::Put { key, .. }) => {
                 if !self.check(&req, key, 0o2) {
                     return denied(key);
                 }
                 self.record(&req, key, self.default_mode);
             }
-            Payload::Kvs(KvsOp::Get { key })
-                if !self.check(&req, key, 0o4) => {
-                    return denied(key);
-                }
+            Payload::Kvs(KvsOp::Get { key }) if !self.check(&req, key, 0o4) => {
+                return denied(key);
+            }
             Payload::Kvs(KvsOp::Remove { key }) => {
                 if !self.check(&req, key, 0o2) {
                     return denied(key);
@@ -127,7 +138,7 @@ impl LabMod for PermsMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn state_update(&self, old: &dyn LabMod) {
@@ -147,8 +158,10 @@ pub fn install(mm: &ModuleManager) {
     mm.register_factory(
         "permissions",
         Arc::new(|params| {
-            let mode =
-                params.get("default_mode").and_then(|v| v.as_u64()).unwrap_or(0o644) as u16;
+            let mode = params
+                .get("default_mode")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0o644) as u16;
             Arc::new(PermsMod::new(mode)) as Arc<dyn LabMod>
         }),
     );
@@ -182,24 +195,44 @@ mod tests {
     fn setup() -> (ModuleManager, LabStack) {
         let mm = ModuleManager::new();
         install(&mm);
-        mm.instantiate("p", "permissions", &serde_json::json!({"default_mode": 0o600}))
-            .unwrap();
+        mm.instantiate(
+            "p",
+            "permissions",
+            &serde_json::json!({"default_mode": 0o600}),
+        )
+        .unwrap();
         mm.insert_instance("sink", Arc::new(Sink));
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: "p".into(), outputs: vec![1] },
-                Vertex { uuid: "sink".into(), outputs: vec![] },
+                Vertex {
+                    uuid: "p".into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "sink".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
         (mm, stack)
     }
 
-    fn exec(mm: &ModuleManager, stack: &LabStack, payload: Payload, creds: Credentials) -> RespPayload {
-        let env = StackEnv { stack, vertex: 0, registry: mm, domain: 0 };
+    fn exec(
+        mm: &ModuleManager,
+        stack: &LabStack,
+        payload: Payload,
+        creds: Credentials,
+    ) -> RespPayload {
+        let env = StackEnv {
+            stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         let m = mm.get("p").unwrap();
         let mut ctx = Ctx::new();
         m.process(&mut ctx, Request::new(1, 1, payload, creds), &env)
@@ -210,13 +243,22 @@ mod tests {
         let (mm, stack) = setup();
         let alice = Credentials::new(1, 100, 100);
         let bob = Credentials::new(2, 200, 200);
-        let create = Payload::Fs(FsOp::Create { path: "/secret".into(), mode: 0o600 });
+        let create = Payload::Fs(FsOp::Create {
+            path: "/secret".into(),
+            mode: 0o600,
+        });
         assert!(exec(&mm, &stack, create, alice).is_ok());
         // Bob cannot open or unlink Alice's 0600 file.
-        let open = Payload::Fs(FsOp::Open { path: "/secret".into(), create: false, truncate: false });
+        let open = Payload::Fs(FsOp::Open {
+            path: "/secret".into(),
+            create: false,
+            truncate: false,
+        });
         assert!(!exec(&mm, &stack, open.clone(), bob).is_ok());
         assert!(exec(&mm, &stack, open, alice).is_ok());
-        let unlink = Payload::Fs(FsOp::Unlink { path: "/secret".into() });
+        let unlink = Payload::Fs(FsOp::Unlink {
+            path: "/secret".into(),
+        });
         assert!(!exec(&mm, &stack, unlink.clone(), bob).is_ok());
         assert!(exec(&mm, &stack, unlink, alice).is_ok());
     }
@@ -225,7 +267,10 @@ mod tests {
     fn root_bypasses_everything() {
         let (mm, stack) = setup();
         let alice = Credentials::new(1, 100, 100);
-        let create = Payload::Fs(FsOp::Create { path: "/f".into(), mode: 0o000 });
+        let create = Payload::Fs(FsOp::Create {
+            path: "/f".into(),
+            mode: 0o000,
+        });
         assert!(exec(&mm, &stack, create, alice).is_ok());
         let stat = Payload::Fs(FsOp::Stat { path: "/f".into() });
         assert!(exec(&mm, &stack, stat, Credentials::ROOT).is_ok());
@@ -236,7 +281,10 @@ mod tests {
         let (mm, stack) = setup();
         let alice = Credentials::new(1, 100, 100);
         let bob = Credentials::new(2, 200, 200);
-        let put = Payload::Kvs(KvsOp::Put { key: "k1".into(), value: vec![1] });
+        let put = Payload::Kvs(KvsOp::Put {
+            key: "k1".into(),
+            value: vec![1],
+        });
         assert!(exec(&mm, &stack, put, alice).is_ok());
         let get = Payload::Kvs(KvsOp::Get { key: "k1".into() });
         assert!(!exec(&mm, &stack, get.clone(), bob).is_ok());
@@ -247,7 +295,10 @@ mod tests {
     fn state_survives_upgrade() {
         let (mm, stack) = setup();
         let alice = Credentials::new(1, 100, 100);
-        let create = Payload::Fs(FsOp::Create { path: "/owned".into(), mode: 0o600 });
+        let create = Payload::Fs(FsOp::Create {
+            path: "/owned".into(),
+            mode: 0o600,
+        });
         exec(&mm, &stack, create, alice);
         let old = mm.get("p").unwrap();
         let newer = PermsMod::new(0o644);

@@ -10,7 +10,9 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use labstor_core::{BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
+use labstor_core::{
+    BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
+};
 use labstor_sim::{Ctx, SimDevice};
 
 use crate::devices::{device_param, DeviceRegistry};
@@ -33,10 +35,14 @@ pub struct NoopSchedMod {
 impl NoopSchedMod {
     /// Schedule across `queues` hardware queues.
     pub fn new(queues: usize) -> Self {
-        NoopSchedMod { queues: queues.max(1), total_ns: AtomicU64::new(0) }
+        NoopSchedMod {
+            queues: queues.max(1),
+            total_ns: AtomicU64::new(0),
+        }
     }
 }
 
+// labmod-default-ok: scheduling decisions are per-request and the queue-pressure history is advisory; a fresh instance re-learns it, so defaults are safe
 impl LabMod for NoopSchedMod {
     fn type_name(&self) -> &'static str {
         "noop_sched"
@@ -48,7 +54,7 @@ impl LabMod for NoopSchedMod {
 
     fn process(&self, ctx: &mut Ctx, mut req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(LAB_SCHED_NS);
-        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed);
+        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         req.qid_hint = Some(req.core % self.queues);
         env.forward(ctx, req)
     }
@@ -58,7 +64,7 @@ impl LabMod for NoopSchedMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -95,11 +101,12 @@ impl BlkSwitchSchedMod {
         labstor_kernel::sched::least_loaded_queue(
             &self.dev,
             &self.history,
-            self.cursor.fetch_add(1, Ordering::Relaxed),
+            self.cursor.fetch_add(1, Ordering::Relaxed), // relaxed-ok: fresh-id allocation; atomicity alone suffices
         )
     }
 }
 
+// labmod-default-ok: scheduling decisions are per-request and the queue-pressure history is advisory; a fresh instance re-learns it, so defaults are safe
 impl LabMod for BlkSwitchSchedMod {
     fn type_name(&self) -> &'static str {
         "blk_switch_sched"
@@ -111,7 +118,7 @@ impl LabMod for BlkSwitchSchedMod {
 
     fn process(&self, ctx: &mut Ctx, mut req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(LAB_SCHED_NS);
-        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed);
+        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         let is_latency = matches!(
             &req.payload,
             Payload::Block(BlockOp::Read { len, .. }) if *len <= LATENCY_SIZE_BYTES
@@ -142,7 +149,7 @@ impl LabMod for BlkSwitchSchedMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -173,7 +180,9 @@ pub fn install_blk_switch(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
         "blk_switch_sched",
         Arc::new(move |params| {
             let name = device_param(params);
-            let dev = reg.block(&name).unwrap_or_else(|| panic!("no block device '{name}'"));
+            let dev = reg
+                .block(&name)
+                .unwrap_or_else(|| panic!("no block device '{name}'"));
             let threshold = params
                 .get("congestion_threshold")
                 .and_then(|v| v.as_u64())
@@ -202,7 +211,8 @@ mod tests {
             ModType::Driver
         }
         fn process(&self, _ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
-            self.seen.store(req.qid_hint.unwrap_or(usize::MAX), Ordering::Relaxed);
+            self.seen
+                .store(req.qid_hint.unwrap_or(usize::MAX), Ordering::Relaxed);
             RespPayload::Ok
         }
         fn est_processing_time(&self, _req: &Request) -> u64 {
@@ -214,19 +224,32 @@ mod tests {
     }
 
     fn run_sched(mm: &ModuleManager, sched_uuid: &str, req: Request) -> usize {
-        let probe = Arc::new(HintProbe { seen: AtomicUsize::new(usize::MAX) });
+        let probe = Arc::new(HintProbe {
+            seen: AtomicUsize::new(usize::MAX),
+        });
         mm.insert_instance("probe", probe.clone());
         let stack = LabStack {
             id: 1,
             mount: "x".into(),
             exec: ExecMode::Sync,
             vertices: vec![
-                Vertex { uuid: sched_uuid.into(), outputs: vec![1] },
-                Vertex { uuid: "probe".into(), outputs: vec![] },
+                Vertex {
+                    uuid: sched_uuid.into(),
+                    outputs: vec![1],
+                },
+                Vertex {
+                    uuid: "probe".into(),
+                    outputs: vec![],
+                },
             ],
             authorized_uids: vec![],
         };
-        let env = StackEnv { stack: &stack, vertex: 0, registry: mm, domain: 0 };
+        let env = StackEnv {
+            stack: &stack,
+            vertex: 0,
+            registry: mm,
+            domain: 0,
+        };
         let m = mm.get(sched_uuid).unwrap();
         let mut ctx = Ctx::new();
         assert!(m.process(&mut ctx, req, &env).is_ok());
@@ -237,11 +260,15 @@ mod tests {
     fn noop_maps_by_core() {
         let mm = ModuleManager::new();
         install(&mm);
-        mm.instantiate("n", "noop_sched", &serde_json::json!({"queues": 8})).unwrap();
+        mm.instantiate("n", "noop_sched", &serde_json::json!({"queues": 8}))
+            .unwrap();
         let mut req = Request::new(
             1,
             1,
-            Payload::Block(BlockOp::Write { lba: 0, data: vec![0u8; 512] }),
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![0u8; 512],
+            }),
             Credentials::ROOT,
         );
         req.core = 11;
@@ -254,16 +281,24 @@ mod tests {
         let dev = devices.add_preset("nvme0", DeviceKind::Nvme);
         let mm = ModuleManager::new();
         install_blk_switch(&mm, &devices);
-        mm.instantiate("b", "blk_switch_sched", &serde_json::json!({"device": "nvme0"}))
-            .unwrap();
+        mm.instantiate(
+            "b",
+            "blk_switch_sched",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         // Congest queue 3.
         for i in 0..10 {
-            dev.submit_at(3, IoRequest::write(i * 8, vec![0u8; 512], i), 0).unwrap();
+            dev.submit_at(3, IoRequest::write(i * 8, vec![0u8; 512], i), 0)
+                .unwrap();
         }
         let mut req = Request::new(
             1,
             1,
-            Payload::Block(BlockOp::Write { lba: 0, data: vec![0u8; 4096] }),
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![0u8; 4096],
+            }),
             Credentials::ROOT,
         );
         req.core = 3; // home queue is the congested one
@@ -277,16 +312,23 @@ mod tests {
         devices.add_preset("nvme0", DeviceKind::Nvme);
         let mm = ModuleManager::new();
         install_blk_switch(&mm, &devices);
-        mm.instantiate("b", "blk_switch_sched", &serde_json::json!({"device": "nvme0"}))
-            .unwrap();
+        mm.instantiate(
+            "b",
+            "blk_switch_sched",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
         let mut req = Request::new(
             1,
             1,
-            Payload::Block(BlockOp::Write { lba: 0, data: vec![0u8; 64 * 1024] }),
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![0u8; 64 * 1024],
+            }),
             Credentials::ROOT,
         );
         req.core = 7;
         let qid = run_sched(&mm, "b", req);
-        assert_eq!(qid, 7 % 32);
+        assert_eq!(qid, 7);
     }
 }

@@ -81,7 +81,9 @@ impl SimDevice {
         Arc::new(SimDevice {
             chunks: (0..n_chunks).map(|_| RwLock::new(None)).collect(),
             channels: ChannelPool::new(model.channels),
-            queues: (0..model.hw_queues.max(1)).map(|_| HwQueue::default()).collect(),
+            queues: (0..model.hw_queues.max(1))
+                .map(|_| HwQueue::default())
+                .collect(),
             head: AtomicU64::new(0),
             stats: DeviceStats::default(),
             faults: FaultConfig::default(),
@@ -123,7 +125,11 @@ impl SimDevice {
         let sectors = (bytes / SECTOR_SIZE) as u64;
         let cap = self.model.capacity_sectors();
         if lba + sectors > cap {
-            return Err(DeviceError::OutOfRange { lba, sectors, capacity_sectors: cap });
+            return Err(DeviceError::OutOfRange {
+                lba,
+                sectors,
+                capacity_sectors: cap,
+            });
         }
         Ok(())
     }
@@ -134,7 +140,7 @@ impl SimDevice {
         let mut seeked = false;
         if self.model.seek_ns > 0 {
             let end = lba + (bytes / SECTOR_SIZE) as u64;
-            let prev = self.head.swap(end, Ordering::Relaxed);
+            let prev = self.head.swap(end, Ordering::Relaxed); // relaxed-ok: seek-model bookkeeping for the simulated head position
             let dist = prev.abs_diff(lba);
             if dist > self.model.seek_threshold_sectors {
                 ns += self.model.seek_ns;
@@ -147,7 +153,10 @@ impl SimDevice {
     /// Copy data to/from the sparse backing store. Unwritten chunks read
     /// as zeroes.
     fn transfer(&self, write: bool, lba: u64, buf_w: Option<&[u8]>, buf_r: Option<&mut [u8]>) {
-        let bytes = buf_w.map(|b| b.len()).or(buf_r.as_ref().map(|b| b.len())).unwrap_or(0);
+        let bytes = buf_w
+            .map(|b| b.len())
+            .or(buf_r.as_ref().map(|b| b.len()))
+            .unwrap_or(0);
         let mut off = lba as usize * SECTOR_SIZE;
         let mut done = 0usize;
         let mut rbuf = buf_r;
@@ -184,10 +193,10 @@ impl BlockDevice for SimDevice {
     }
 
     fn submit_at(&self, qid: usize, req: IoRequest, at: u64) -> Result<(), DeviceError> {
-        let queue = self
-            .queues
-            .get(qid)
-            .ok_or(DeviceError::NoSuchQueue { qid, hw_queues: self.queues.len() })?;
+        let queue = self.queues.get(qid).ok_or(DeviceError::NoSuchQueue {
+            qid,
+            hw_queues: self.queues.len(),
+        })?;
         if self.faults.should_fail() {
             self.stats.record_error();
             queue.push(PendingIo {
@@ -244,17 +253,28 @@ impl BlockDevice for SimDevice {
         };
         // Queue-affine channel: one queue's backlog does not block other
         // queues' commands (NVMe round-robin SQ arbitration).
-        let due =
-            if result.is_ok() { self.channels.acquire_affine(qid, at, service_ns).1 } else { at };
+        let due = if result.is_ok() {
+            self.channels.acquire_affine(qid, at, service_ns).1
+        } else {
+            at
+        };
         queue.push(PendingIo {
             due,
-            completion: Completion { tag: req.tag, result, service_ns, done_at: due },
+            completion: Completion {
+                tag: req.tag,
+                result,
+                service_ns,
+                done_at: due,
+            },
         });
         Ok(())
     }
 
     fn poll(&self, qid: usize, now: u64, max: usize) -> Vec<Completion> {
-        self.queues.get(qid).map(|q| q.poll(now, max)).unwrap_or_default()
+        self.queues
+            .get(qid)
+            .map(|q| q.poll(now, max))
+            .unwrap_or_default()
     }
 
     fn next_due(&self, qid: usize) -> Option<u64> {
@@ -337,16 +357,25 @@ mod tests {
         let cap = d.model().capacity_sectors();
         let mut buf = vec![0u8; 512];
         let mut ctx = Ctx::new();
-        assert!(matches!(d.read(&mut ctx, cap, &mut buf), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(
+            d.read(&mut ctx, cap, &mut buf),
+            Err(DeviceError::OutOfRange { .. })
+        ));
     }
 
     #[test]
     fn non_sector_transfer_rejected() {
         let d = dev(DeviceKind::Nvme);
         let mut ctx = Ctx::new();
-        assert!(matches!(d.write(&mut ctx, 0, &[1, 2, 3]), Err(DeviceError::BadTransfer { .. })));
+        assert!(matches!(
+            d.write(&mut ctx, 0, &[1, 2, 3]),
+            Err(DeviceError::BadTransfer { .. })
+        ));
         let mut empty: [u8; 0] = [];
-        assert!(matches!(d.read(&mut ctx, 0, &mut empty), Err(DeviceError::BadTransfer { .. })));
+        assert!(matches!(
+            d.read(&mut ctx, 0, &mut empty),
+            Err(DeviceError::BadTransfer { .. })
+        ));
     }
 
     #[test]
@@ -362,7 +391,8 @@ mod tests {
     #[test]
     fn async_submit_poll_roundtrip() {
         let d = dev(DeviceKind::Nvme);
-        d.submit_at(0, IoRequest::write(0, vec![7u8; 512], 42), 0).unwrap();
+        d.submit_at(0, IoRequest::write(0, vec![7u8; 512], 42), 0)
+            .unwrap();
         let due = d.next_due(0).expect("one in flight");
         assert!(d.poll(0, due - 1, 16).is_empty(), "not due yet");
         let c = d.poll(0, due, 16);
@@ -389,7 +419,10 @@ mod tests {
         d.faults().set_period(1); // fail everything
         let mut buf = vec![0u8; 512];
         let mut ctx = Ctx::new();
-        assert!(matches!(d.read(&mut ctx, 0, &mut buf), Err(DeviceError::MediaError { .. })));
+        assert!(matches!(
+            d.read(&mut ctx, 0, &mut buf),
+            Err(DeviceError::MediaError { .. })
+        ));
         assert_eq!(d.stats().snapshot().errors, 1);
     }
 
@@ -437,13 +470,17 @@ mod tests {
                 ctx.now()
             })
             .collect();
-        assert!(ends.iter().all(|&e| e == service), "all four run in parallel: {ends:?}");
+        assert!(
+            ends.iter().all(|&e| e == service),
+            "all four run in parallel: {ends:?}"
+        );
     }
 
     #[test]
     fn flush_is_barrier() {
         let d = dev(DeviceKind::Nvme);
-        d.submit_at(0, IoRequest::write(0, vec![0u8; 512], 1), 0).unwrap();
+        d.submit_at(0, IoRequest::write(0, vec![0u8; 512], 1), 0)
+            .unwrap();
         let write_due = d.next_due(0).unwrap();
         d.submit_at(0, IoRequest::flush(2), 0).unwrap();
         // Flush is due no earlier than the write.

@@ -39,16 +39,26 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::OutOfRange { lba, sectors, capacity_sectors } => write!(
+            DeviceError::OutOfRange {
+                lba,
+                sectors,
+                capacity_sectors,
+            } => write!(
                 f,
                 "access at lba {lba} (+{sectors} sectors) beyond capacity {capacity_sectors}"
             ),
             DeviceError::BadTransfer { bytes } => {
-                write!(f, "transfer of {bytes} bytes is not a positive sector multiple")
+                write!(
+                    f,
+                    "transfer of {bytes} bytes is not a positive sector multiple"
+                )
             }
             DeviceError::MediaError { lba } => write!(f, "media error at lba {lba}"),
             DeviceError::NoSuchQueue { qid, hw_queues } => {
-                write!(f, "hardware queue {qid} out of range (device has {hw_queues})")
+                write!(
+                    f,
+                    "hardware queue {qid} out of range (device has {hw_queues})"
+                )
             }
             DeviceError::NotByteAddressable => {
                 write!(f, "device is not byte-addressable")
@@ -72,17 +82,17 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// Fail every `period`-th command from now on (0 disables).
     pub fn set_period(&self, period: u64) {
-        self.period.store(period, Ordering::Relaxed);
-        self.counter.store(0, Ordering::Relaxed);
+        self.period.store(period, Ordering::Relaxed); // relaxed-ok: fault-injection knob; guards no other memory
+        self.counter.store(0, Ordering::Relaxed); // relaxed-ok: fault-injection knob; guards no other memory
     }
 
     /// Returns true if the current command should fail.
     pub fn should_fail(&self) -> bool {
-        let period = self.period.load(Ordering::Relaxed);
+        let period = self.period.load(Ordering::Relaxed); // relaxed-ok: fault-injection knob; guards no other memory
         if period == 0 {
             return false;
         }
-        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: fault-injection knob; guards no other memory
         n.is_multiple_of(period)
     }
 }
@@ -102,13 +112,22 @@ mod tests {
         let f = FaultConfig::default();
         f.set_period(3);
         let fails: Vec<bool> = (0..9).map(|_| f.should_fail()).collect();
-        assert_eq!(fails, vec![false, false, true, false, false, true, false, false, true]);
+        assert_eq!(
+            fails,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
     }
 
     #[test]
     fn display_messages() {
-        let e = DeviceError::OutOfRange { lba: 10, sectors: 2, capacity_sectors: 8 };
+        let e = DeviceError::OutOfRange {
+            lba: 10,
+            sectors: 2,
+            capacity_sectors: 8,
+        };
         assert!(e.to_string().contains("lba 10"));
-        assert!(DeviceError::NotByteAddressable.to_string().contains("byte-addressable"));
+        assert!(DeviceError::NotByteAddressable
+            .to_string()
+            .contains("byte-addressable"));
     }
 }

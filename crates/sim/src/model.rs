@@ -5,10 +5,8 @@
 //! ST600MP0005 SAS HDD (600 GB) and bootloader-emulated PMEM. The presets
 //! below use the published datasheet characteristics of those parts.
 
-use serde::{Deserialize, Serialize};
-
 /// Which class of storage hardware a model describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Rotational disk: single actuator, seek + rotational penalties.
     Hdd,
@@ -39,7 +37,7 @@ impl DeviceKind {
 /// executed on one of `channels` internal channels (concurrent transfers
 /// beyond that queue up), submitted through one of `hw_queues` hardware
 /// queues.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceModel {
     /// Hardware class.
     pub kind: DeviceKind,

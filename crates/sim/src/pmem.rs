@@ -112,7 +112,10 @@ impl PmemDevice {
     }
 
     fn copy(&self, write: bool, offset: u64, src: Option<&[u8]>, dst: Option<&mut [u8]>) {
-        let bytes = src.map(|b| b.len()).or(dst.as_ref().map(|b| b.len())).unwrap_or(0);
+        let bytes = src
+            .map(|b| b.len())
+            .or(dst.as_ref().map(|b| b.len()))
+            .unwrap_or(0);
         let mut off = offset as usize;
         let mut done = 0usize;
         let mut dst = dst;
@@ -177,7 +180,10 @@ mod tests {
     #[test]
     fn non_byte_addressable_model_rejected() {
         let m = DeviceModel::preset(crate::DeviceKind::Nvme);
-        assert!(matches!(PmemDevice::new(m), Err(DeviceError::NotByteAddressable)));
+        assert!(matches!(
+            PmemDevice::new(m),
+            Err(DeviceError::NotByteAddressable)
+        ));
     }
 
     #[test]

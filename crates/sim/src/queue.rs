@@ -45,18 +45,36 @@ pub struct IoRequest {
 impl IoRequest {
     /// Build a read request.
     pub fn read(lba: u64, len: usize, tag: u64) -> Self {
-        IoRequest { op: IoOp::Read, lba, len, data: Vec::new(), tag }
+        IoRequest {
+            op: IoOp::Read,
+            lba,
+            len,
+            data: Vec::new(),
+            tag,
+        }
     }
 
     /// Build a write request.
     pub fn write(lba: u64, data: Vec<u8>, tag: u64) -> Self {
         let len = data.len();
-        IoRequest { op: IoOp::Write, lba, len, data, tag }
+        IoRequest {
+            op: IoOp::Write,
+            lba,
+            len,
+            data,
+            tag,
+        }
     }
 
     /// Build a flush barrier.
     pub fn flush(tag: u64) -> Self {
-        IoRequest { op: IoOp::Flush, lba: 0, len: 0, data: Vec::new(), tag }
+        IoRequest {
+            op: IoOp::Flush,
+            lba: 0,
+            len: 0,
+            data: Vec::new(),
+            tag,
+        }
     }
 }
 
@@ -146,7 +164,12 @@ mod tests {
     fn done(tag: u64, due: u64) -> PendingIo {
         PendingIo {
             due,
-            completion: Completion { tag, result: Ok(Vec::new()), service_ns: 0, done_at: due },
+            completion: Completion {
+                tag,
+                result: Ok(Vec::new()),
+                service_ns: 0,
+                done_at: due,
+            },
         }
     }
 

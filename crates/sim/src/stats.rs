@@ -48,7 +48,8 @@ impl DeviceStats {
     pub fn record(&self, write: bool, bytes: usize, service_ns: u64, seeked: bool) {
         if write {
             self.writes.fetch_add(1, Ordering::Relaxed);
-            self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+            self.bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed);
         } else {
             self.reads.fetch_add(1, Ordering::Relaxed);
             self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);

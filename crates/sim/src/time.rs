@@ -40,7 +40,10 @@ pub struct Ctx {
 impl Ctx {
     /// A context starting at virtual time zero.
     pub fn new() -> Self {
-        Ctx { now_ns: 0, busy_ns: 0 }
+        Ctx {
+            now_ns: 0,
+            busy_ns: 0,
+        }
     }
 
     /// A context starting at `now_ns`.
@@ -106,7 +109,9 @@ pub struct Resource {
 impl Resource {
     /// New resource, free from time zero.
     pub fn new() -> Self {
-        Resource { free_at: AtomicU64::new(0) }
+        Resource {
+            free_at: AtomicU64::new(0),
+        }
     }
 
     /// Reserve the resource for `service_ns` starting no earlier than
@@ -117,16 +122,14 @@ impl Resource {
     /// queues, exactly like a thread spinning on a held lock or a command
     /// waiting for a device channel.
     pub fn acquire(&self, at: u64, service_ns: u64) -> (u64, u64) {
-        let mut free = self.free_at.load(Ordering::Relaxed);
+        let mut free = self.free_at.load(Ordering::Relaxed); // relaxed-ok: virtual-time arbitration; the counter is the only shared state
         loop {
             let start = free.max(at);
             let end = start + service_ns;
-            match self.free_at.compare_exchange_weak(
-                free,
-                end,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .free_at
+                .compare_exchange_weak(free, end, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return (start, end),
                 Err(f) => free = f,
             }
@@ -135,12 +138,12 @@ impl Resource {
 
     /// When the resource next becomes free.
     pub fn free_at(&self) -> u64 {
-        self.free_at.load(Ordering::Relaxed)
+        self.free_at.load(Ordering::Relaxed) // relaxed-ok: virtual-time arbitration; the counter is the only shared state
     }
 
     /// Reset to free-from-zero (between experiment phases).
     pub fn reset(&self) {
-        self.free_at.store(0, Ordering::Relaxed);
+        self.free_at.store(0, Ordering::Relaxed); // relaxed-ok: virtual-time arbitration; the counter is the only shared state
     }
 }
 
@@ -154,7 +157,9 @@ pub struct ChannelPool {
 impl ChannelPool {
     /// Pool of `n` channels (minimum 1).
     pub fn new(n: usize) -> Self {
-        ChannelPool { channels: (0..n.max(1)).map(|_| Resource::new()).collect() }
+        ChannelPool {
+            channels: (0..n.max(1)).map(|_| Resource::new()).collect(),
+        }
     }
 
     /// Number of channels.
@@ -232,9 +237,9 @@ impl Watermark {
 
     /// Publish a timestamp; keeps the max.
     pub fn publish(&self, t: u64) {
-        let mut cur = self.max_ns.load(Ordering::Relaxed);
+        let mut cur = self.max_ns.load(Ordering::Relaxed); // relaxed-ok: watermark CAS; the counter is the only shared state
         while t > cur {
-            match self.max_ns.compare_exchange_weak(cur, t, Ordering::Relaxed, Ordering::Relaxed)
+            match self.max_ns.compare_exchange_weak(cur, t, Ordering::Relaxed, Ordering::Relaxed) // relaxed-ok: watermark CAS; the counter is the only shared state
             {
                 Ok(_) => break,
                 Err(c) => cur = c,
@@ -244,7 +249,7 @@ impl Watermark {
 
     /// Current high watermark.
     pub fn get(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
+        self.max_ns.load(Ordering::Relaxed) // relaxed-ok: watermark CAS; the counter is the only shared state
     }
 }
 
@@ -309,7 +314,10 @@ mod tests {
                 slots
             }));
         }
-        let mut all: Vec<(u64, u64)> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<(u64, u64)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         // Slots must tile [0, 7*4000) with no overlap and no gap.
         for (i, &(s, e)) in all.iter().enumerate() {

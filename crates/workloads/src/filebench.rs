@@ -191,7 +191,10 @@ mod tests {
     fn target() -> KernelFsTarget {
         let vfs = Vfs::new();
         let dev = SimDevice::preset(DeviceKind::Nvme);
-        vfs.mount("/mnt", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 64 << 20));
+        vfs.mount(
+            "/mnt",
+            KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 64 << 20),
+        );
         KernelFsTarget::new(vfs, "/mnt", "ext4", 1, 0)
     }
 
@@ -199,7 +202,12 @@ mod tests {
     fn every_personality_completes() {
         for p in Personality::all() {
             let mut t = target();
-            let job = FilebenchJob { personality: p, iterations: 5, thread: 0, seed: 11 };
+            let job = FilebenchJob {
+                personality: p,
+                iterations: 5,
+                thread: 0,
+                seed: 11,
+            };
             let rec = run_filebench(&job, &mut t).unwrap();
             assert_eq!(rec.ops(), 5, "{}", p.label());
             assert!(rec.bytes > 0, "{} moved no bytes", p.label());

@@ -42,7 +42,10 @@ impl RwMode {
 
     /// True for the random variants.
     pub fn is_random(self) -> bool {
-        matches!(self, RwMode::RandWrite | RwMode::RandRead | RwMode::RandMix { .. })
+        matches!(
+            self,
+            RwMode::RandWrite | RwMode::RandRead | RwMode::RandMix { .. }
+        )
     }
 
     /// Decide whether operation drawing `roll` (an RNG sample) writes.
@@ -257,8 +260,10 @@ impl BlockTarget for EngineTarget {
     }
 
     fn wait_one(&mut self) -> Result<u64, String> {
-        let (token, vt) =
-            self.outstanding.pop_front().ok_or_else(|| "nothing in flight".to_string())?;
+        let (token, vt) = self
+            .outstanding
+            .pop_front()
+            .ok_or_else(|| "nothing in flight".to_string())?;
         let c = self.engine.wait(&mut self.ctx, token);
         if let Err(e) = c.result {
             return Err(e.to_string());
@@ -293,7 +298,11 @@ impl StackTarget {
     /// scheduling.
     pub fn new(mut client: Client, stack: Arc<LabStack>, core: usize, label: &str) -> Self {
         client.core = core;
-        StackTarget { client, stack, label: label.to_string() }
+        StackTarget {
+            client,
+            stack,
+            label: label.to_string(),
+        }
     }
 
     /// The wrapped client.
@@ -308,7 +317,10 @@ impl BlockTarget for StackTarget {
             Some(d) => Payload::Block(BlockOp::Write { lba, data: d }),
             None => Payload::Block(BlockOp::Read { lba, len }),
         };
-        self.client.submit(&self.stack, payload).map(|_| ()).map_err(|e| e.to_string())
+        self.client
+            .submit(&self.stack, payload)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     }
 
     fn kick(&mut self) -> Result<(), String> {
@@ -348,7 +360,11 @@ pub struct DaxTarget {
 impl DaxTarget {
     /// Wrap a PMEM device.
     pub fn new(dev: Arc<PmemDevice>) -> Self {
-        DaxTarget { dev, ctx: Ctx::new(), done: VecDeque::new() }
+        DaxTarget {
+            dev,
+            ctx: Ctx::new(),
+            done: VecDeque::new(),
+        }
     }
 }
 
@@ -358,11 +374,15 @@ impl BlockTarget for DaxTarget {
         let t0 = self.ctx.now();
         match data {
             Some(d) => {
-                self.dev.store(&mut self.ctx, offset, &d).map_err(|e| e.to_string())?;
+                self.dev
+                    .store(&mut self.ctx, offset, &d)
+                    .map_err(|e| e.to_string())?;
             }
             None => {
                 let mut buf = vec![0u8; len];
-                self.dev.load(&mut self.ctx, offset, &mut buf).map_err(|e| e.to_string())?;
+                self.dev
+                    .load(&mut self.ctx, offset, &mut buf)
+                    .map_err(|e| e.to_string())?;
             }
         }
         self.done.push_back(self.ctx.now() - t0);
@@ -374,7 +394,9 @@ impl BlockTarget for DaxTarget {
     }
 
     fn wait_one(&mut self) -> Result<u64, String> {
-        self.done.pop_front().ok_or_else(|| "nothing in flight".to_string())
+        self.done
+            .pop_front()
+            .ok_or_else(|| "nothing in flight".to_string())
     }
 
     fn in_flight(&self) -> usize {
@@ -398,7 +420,11 @@ mod tests {
 
     fn engine_target(kind: IoEngineKind) -> EngineTarget {
         let dev = SimDevice::preset(DeviceKind::Nvme);
-        EngineTarget::new(RawEngine::new(kind, BlockLayer::new(dev)), 0, IoClass::Latency)
+        EngineTarget::new(
+            RawEngine::new(kind, BlockLayer::new(dev)),
+            0,
+            IoClass::Latency,
+        )
     }
 
     #[test]
@@ -407,7 +433,10 @@ mod tests {
         let rec = run_fio(&FioJob::rand_write_4k(50), &mut t).unwrap();
         assert_eq!(rec.ops(), 50);
         assert!(rec.mean_ns() > 0);
-        assert!(rec.span_ns() >= 50 * 10_000, "50 NVMe writes take 500+ µs of virtual time");
+        assert!(
+            rec.span_ns() >= 50 * 10_000,
+            "50 NVMe writes take 500+ µs of virtual time"
+        );
     }
 
     #[test]
@@ -417,8 +446,14 @@ mod tests {
         // so QD only overlaps *software* cost with media time. Spreading
         // the same QD32 across queues (as multi-queue apps do) is what
         // buys device parallelism.
-        let job1 = FioJob { iodepth: 1, ..FioJob::rand_write_4k(200) };
-        let job32 = FioJob { iodepth: 32, ..FioJob::rand_write_4k(200) };
+        let job1 = FioJob {
+            iodepth: 1,
+            ..FioJob::rand_write_4k(200)
+        };
+        let job32 = FioJob {
+            iodepth: 32,
+            ..FioJob::rand_write_4k(200)
+        };
         let mut t1 = engine_target(IoEngineKind::IoUring);
         let mut t32 = engine_target(IoEngineKind::IoUring);
         let r1 = run_fio(&job1, &mut t1).unwrap();
@@ -446,7 +481,10 @@ mod tests {
         }
         let makespan = spans.iter().max().copied().unwrap();
         let serial: u64 = spans.iter().sum();
-        assert!(makespan * 4 < serial, "queues overlap: makespan {makespan} serial {serial}");
+        assert!(
+            makespan * 4 < serial,
+            "queues overlap: makespan {makespan} serial {serial}"
+        );
     }
 
     #[test]
@@ -454,7 +492,10 @@ mod tests {
         for kind in IoEngineKind::all() {
             for mode in [RwMode::RandWrite, RwMode::SeqRead] {
                 let mut t = engine_target(kind);
-                let job = FioJob { mode, ..FioJob::rand_write_4k(20) };
+                let job = FioJob {
+                    mode,
+                    ..FioJob::rand_write_4k(20)
+                };
                 let rec = run_fio(&job, &mut t).unwrap();
                 assert_eq!(rec.ops(), 20, "{} {:?}", kind.label(), mode);
             }
@@ -464,7 +505,10 @@ mod tests {
     #[test]
     fn dax_target_runs() {
         let mut t = DaxTarget::new(PmemDevice::preset());
-        let job = FioJob { bs: 4096, ..FioJob::rand_write_4k(30) };
+        let job = FioJob {
+            bs: 4096,
+            ..FioJob::rand_write_4k(30)
+        };
         let rec = run_fio(&job, &mut t).unwrap();
         assert_eq!(rec.ops(), 30);
         // PMEM 4 KB ≈ 1.2 µs: far faster than NVMe's 12 µs.
@@ -503,7 +547,12 @@ mod tests {
         assert_eq!(rec.ops(), 300);
         let s = labstor_sim::BlockDevice::stats(dev.as_ref()).snapshot();
         // ~70/30 split within generous tolerance.
-        assert!(s.reads > 150 && s.writes > 40, "reads {} writes {}", s.reads, s.writes);
+        assert!(
+            s.reads > 150 && s.writes > 40,
+            "reads {} writes {}",
+            s.reads,
+            s.writes
+        );
         assert_eq!(s.reads + s.writes, 300);
     }
 

@@ -74,14 +74,21 @@ mod tests {
     fn target() -> KernelFsTarget {
         let vfs = Vfs::new();
         let dev = SimDevice::preset(DeviceKind::Nvme);
-        vfs.mount("/mnt", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20));
+        vfs.mount(
+            "/mnt",
+            KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20),
+        );
         KernelFsTarget::new(vfs, "/mnt", "ext4", 1, 0)
     }
 
     #[test]
     fn creates_the_requested_files() {
         let mut t = target();
-        let job = FxmarkJob { files: 25, mode: CreateMode::SharedDir, thread: 0 };
+        let job = FxmarkJob {
+            files: 25,
+            mode: CreateMode::SharedDir,
+            thread: 0,
+        };
         let rec = run_create(&job, &mut t).unwrap();
         assert_eq!(rec.ops(), 25);
         assert!(rec.mean_ns() > 0);
@@ -94,12 +101,19 @@ mod tests {
         let vfs = {
             let vfs = Vfs::new();
             let dev = SimDevice::preset(DeviceKind::Nvme);
-            vfs.mount("/mnt", KernelFs::new(FsProfile::xfs_like(), BlockLayer::new(dev), 8 << 20));
+            vfs.mount(
+                "/mnt",
+                KernelFs::new(FsProfile::xfs_like(), BlockLayer::new(dev), 8 << 20),
+            );
             vfs
         };
         for thread in 0..3 {
             let mut t = KernelFsTarget::new(vfs.clone(), "/mnt", "xfs", thread as u32 + 1, thread);
-            let job = FxmarkJob { files: 5, mode: CreateMode::PrivateDir, thread };
+            let job = FxmarkJob {
+                files: 5,
+                mode: CreateMode::PrivateDir,
+                thread,
+            };
             assert_eq!(run_create(&job, &mut t).unwrap().ops(), 5);
         }
     }
@@ -107,7 +121,11 @@ mod tests {
     #[test]
     fn cleanup_removes_files() {
         let mut t = target();
-        let job = FxmarkJob { files: 5, mode: CreateMode::SharedDir, thread: 0 };
+        let job = FxmarkJob {
+            files: 5,
+            mode: CreateMode::SharedDir,
+            thread: 0,
+        };
         run_create(&job, &mut t).unwrap();
         cleanup(&job, &mut t);
         assert!(t.stat_size("/shared/t0f0").is_err());

@@ -50,7 +50,11 @@ pub fn run_file_backend(job: &LabiosJob, target: &mut dyn FsTarget) -> Result<Re
     let payload: Vec<u8> = (0..job.label_bytes).map(|i| (i % 251) as u8).collect();
     let mut rec = Recorder::new(target.now_ns());
     for i in 0..job.labels {
-        let id = if job.random { rng.next() % job.id_space } else { i as u64 % job.id_space };
+        let id = if job.random {
+            rng.next() % job.id_space
+        } else {
+            i as u64 % job.id_space
+        };
         let path = format!("/label_{id}");
         let t0 = target.now_ns();
         // fopen / fseek / fwrite / fclose — the four-call sequence.
@@ -70,7 +74,11 @@ pub fn run_kvs_backend(job: &LabiosJob, kvs: &mut GenericKvs) -> Result<Recorder
     let payload: Vec<u8> = (0..job.label_bytes).map(|i| (i % 251) as u8).collect();
     let mut rec = Recorder::new(kvs.client().ctx.now());
     for i in 0..job.labels {
-        let id = if job.random { rng.next() % job.id_space } else { i as u64 % job.id_space };
+        let id = if job.random {
+            rng.next() % job.id_space
+        } else {
+            i as u64 % job.id_space
+        };
         let key = format!("/label_{id}");
         let t0 = kvs.client().ctx.now();
         let n = kvs.put(&key, payload.clone()).map_err(|e| e.to_string())?;
@@ -95,9 +103,18 @@ mod tests {
     fn file_backend_stores_labels() {
         let vfs = Vfs::new();
         let dev = SimDevice::preset(DeviceKind::Nvme);
-        vfs.mount("/mnt", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20));
+        vfs.mount(
+            "/mnt",
+            KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20),
+        );
         let mut t = KernelFsTarget::new(vfs, "/mnt", "ext4", 1, 0);
-        let job = LabiosJob { labels: 10, label_bytes: 8192, random: false, id_space: 10, seed: 1 };
+        let job = LabiosJob {
+            labels: 10,
+            label_bytes: 8192,
+            random: false,
+            id_space: 10,
+            seed: 1,
+        };
         let rec = run_file_backend(&job, &mut t).unwrap();
         assert_eq!(rec.ops(), 10);
         assert_eq!(rec.bytes, 10 * 8192);
@@ -109,7 +126,10 @@ mod tests {
         // Same device model; KVS needs 1 op per label vs 4 syscalls.
         let devices = DeviceRegistry::new();
         devices.add_preset("nvme0", DeviceKind::Nvme);
-        let rt = Runtime::start(RuntimeConfig { auto_admin: false, ..Default::default() });
+        let rt = Runtime::start(RuntimeConfig {
+            auto_admin: false,
+            ..Default::default()
+        });
         labstor_mods::install_all(&rt.mm, &devices);
         let spec = StackSpec {
             mount: "/".into(),

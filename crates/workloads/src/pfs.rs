@@ -35,7 +35,11 @@ pub struct PfsConfig {
 
 impl Default for PfsConfig {
     fn default() -> Self {
-        PfsConfig { stripe: 64 * 1024, net_ns: 8_000, net_bw_bps: 10_000_000_000 }
+        PfsConfig {
+            stripe: 64 * 1024,
+            net_ns: 8_000,
+            net_bw_bps: 10_000_000_000,
+        }
     }
 }
 
@@ -78,7 +82,7 @@ impl Pfs {
 
     /// Metadata operations served so far.
     pub fn mds_ops(&self) -> u64 {
-        self.mds_ops.load(std::sync::atomic::Ordering::Relaxed)
+        self.mds_ops.load(std::sync::atomic::Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
     }
 
     /// One metadata RPC: the client's clock travels to the MDS, one of the
@@ -91,10 +95,11 @@ impl Pfs {
         client: &mut Ctx,
         op: impl FnOnce(&mut dyn FsTarget) -> Result<(), String>,
     ) -> Result<(), String> {
-        let idx = self.mds_rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        let idx = self.mds_rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed) // relaxed-ok: fresh-id allocation; atomicity alone suffices
             % self.mds_pool.len();
         let mut mds = self.mds_pool[idx].lock();
-        self.mds_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.mds_ops
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
         let arrive = client.now() + self.cfg.net_ns;
         mds.sync_to(arrive);
         op(mds.as_mut())?;
@@ -106,7 +111,12 @@ impl Pfs {
     /// Register a file's stripe `idx` with the MDS (create-on-first-touch
     /// semantics: a dfile metadata object is created on the MDS's local
     /// stack, a pure metadata operation).
-    fn ensure_stripe(&self, client: &mut Ctx, file: &str, idx: u64) -> Result<(usize, u64), String> {
+    fn ensure_stripe(
+        &self,
+        client: &mut Ctx,
+        file: &str,
+        idx: u64,
+    ) -> Result<(usize, u64), String> {
         if let Some(&loc) = self.layout.lock().get(&(file.to_string(), idx)) {
             // Known stripe: still a lookup RPC (stripe location query).
             let path = format!("{}_s{idx}", meta_path(file));
@@ -131,7 +141,9 @@ impl Pfs {
             *cur += sectors;
             lba
         };
-        self.layout.lock().insert((file.to_string(), idx), (server, lba));
+        self.layout
+            .lock()
+            .insert((file.to_string(), idx), (server, lba));
         Ok((server, lba))
     }
 
@@ -169,7 +181,13 @@ impl Pfs {
     }
 
     /// Read `len` bytes of `file` at `offset`.
-    pub fn read(&self, ctx: &mut Ctx, file: &str, offset: u64, len: usize) -> Result<Vec<u8>, String> {
+    pub fn read(
+        &self,
+        ctx: &mut Ctx,
+        file: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, String> {
         let stripe = self.cfg.stripe as u64;
         let mut out = vec![0u8; len];
         let mut pos = 0usize;
@@ -286,14 +304,24 @@ mod tests {
     fn pfs(n_data: usize) -> Pfs {
         let vfs = Vfs::new();
         let mdev = SimDevice::preset(DeviceKind::Nvme);
-        vfs.mount("/m", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(mdev), 8 << 20));
+        vfs.mount(
+            "/m",
+            KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(mdev), 8 << 20),
+        );
         let pool: Vec<Box<dyn FsTarget + Send>> = (0..4)
             .map(|i| {
-                Box::new(KernelFsTarget::new(vfs.clone(), "/m", "ext4", i + 1, i as usize))
-                    as Box<dyn FsTarget + Send>
+                Box::new(KernelFsTarget::new(
+                    vfs.clone(),
+                    "/m",
+                    "ext4",
+                    i + 1,
+                    i as usize,
+                )) as Box<dyn FsTarget + Send>
             })
             .collect();
-        let data = (0..n_data).map(|_| SimDevice::preset(DeviceKind::Nvme)).collect();
+        let data = (0..n_data)
+            .map(|_| SimDevice::preset(DeviceKind::Nvme))
+            .collect();
         Pfs::new(pool, data, PfsConfig::default())
     }
 
@@ -315,15 +343,21 @@ mod tests {
         let mut ctx = Ctx::new();
         let data = vec![7u8; 4 * 64 * 1024];
         p.write(&mut ctx, "f", 0, &data).unwrap();
-        let writes: Vec<u64> =
-            p.data.iter().map(|d| d.stats().snapshot().writes).collect();
-        assert!(writes.iter().all(|&w| w == 1), "one stripe per server: {writes:?}");
+        let writes: Vec<u64> = p.data.iter().map(|d| d.stats().snapshot().writes).collect();
+        assert!(
+            writes.iter().all(|&w| w == 1),
+            "one stripe per server: {writes:?}"
+        );
     }
 
     #[test]
     fn vpic_then_bdcats() {
         let p = pfs(2);
-        let cfg = VpicConfig { processes: 3, particles: 4096, steps: 2 };
+        let cfg = VpicConfig {
+            processes: 3,
+            particles: 4096,
+            steps: 2,
+        };
         let w = run_vpic(&p, &cfg).unwrap();
         assert_eq!(w.ops(), 6);
         assert_eq!(w.bytes, (3 * 2 * cfg.bytes_per_step()) as u64);

@@ -20,7 +20,10 @@ pub struct SkewGate {
 impl SkewGate {
     /// Gate for `n` actors with the given window.
     pub fn new(n: usize, max_skew_ns: u64) -> Self {
-        SkewGate { clocks: (0..n).map(|_| AtomicU64::new(0)).collect(), max_skew_ns }
+        SkewGate {
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            max_skew_ns,
+        }
     }
 
     /// Publish actor `idx`'s clock and wait (yielding) until the slowest
@@ -63,7 +66,12 @@ pub struct Recorder {
 impl Recorder {
     /// Empty recorder starting at `start_vt`.
     pub fn new(start_vt: u64) -> Self {
-        Recorder { latencies: Vec::new(), start_vt, end_vt: start_vt, bytes: 0 }
+        Recorder {
+            latencies: Vec::new(),
+            start_vt,
+            end_vt: start_vt,
+            bytes: 0,
+        }
     }
 
     /// Record one operation.
@@ -102,8 +110,8 @@ impl Recorder {
         if self.latencies.is_empty() {
             return 0;
         }
-        (self.latencies.iter().map(|&l| l as u128).sum::<u128>()
-            / self.latencies.len() as u128) as u64
+        (self.latencies.iter().map(|&l| l as u128).sum::<u128>() / self.latencies.len() as u128)
+            as u64
     }
 
     /// Latency percentile (`p` in [0, 100]).
@@ -120,7 +128,10 @@ impl Recorder {
     /// Merge multiple per-thread recorders: latencies concatenate, the
     /// span covers the earliest start to the latest end, bytes add up.
     pub fn merge(recorders: impl IntoIterator<Item = Recorder>) -> Recorder {
-        let mut out = Recorder { start_vt: u64::MAX, ..Default::default() };
+        let mut out = Recorder {
+            start_vt: u64::MAX,
+            ..Default::default()
+        };
         for r in recorders {
             out.start_vt = out.start_vt.min(r.start_vt);
             out.end_vt = out.end_vt.max(r.end_vt);

@@ -90,14 +90,20 @@ impl FsTarget for KernelFsTarget {
                 self.pid,
                 self.cred,
                 &full,
-                OpenFlags { create, truncate, append: false },
+                OpenFlags {
+                    create,
+                    truncate,
+                    append: false,
+                },
                 0o644,
             )
             .map_err(|e| e.to_string())
     }
 
     fn write(&mut self, fd: i32, data: &[u8]) -> Result<usize, String> {
-        self.vfs.write(&mut self.ctx, self.core, self.pid, fd, data).map_err(|e| e.to_string())
+        self.vfs
+            .write(&mut self.ctx, self.core, self.pid, fd, data)
+            .map_err(|e| e.to_string())
     }
 
     fn read(&mut self, fd: i32, len: usize) -> Result<Vec<u8>, String> {
@@ -111,7 +117,9 @@ impl FsTarget for KernelFsTarget {
     }
 
     fn seek(&mut self, fd: i32, pos: u64) -> Result<(), String> {
-        self.vfs.seek(&mut self.ctx, self.pid, fd, pos).map_err(|e| e.to_string())
+        self.vfs
+            .seek(&mut self.ctx, self.pid, fd, pos)
+            .map_err(|e| e.to_string())
     }
 
     fn ftruncate(&mut self, fd: i32, size: u64) -> Result<(), String> {
@@ -121,11 +129,15 @@ impl FsTarget for KernelFsTarget {
     }
 
     fn fsync(&mut self, fd: i32) -> Result<(), String> {
-        self.vfs.fsync(&mut self.ctx, self.core, self.pid, fd).map_err(|e| e.to_string())
+        self.vfs
+            .fsync(&mut self.ctx, self.core, self.pid, fd)
+            .map_err(|e| e.to_string())
     }
 
     fn close(&mut self, fd: i32) -> Result<(), String> {
-        self.vfs.close(&mut self.ctx, self.pid, fd).map_err(|e| e.to_string())
+        self.vfs
+            .close(&mut self.ctx, self.pid, fd)
+            .map_err(|e| e.to_string())
     }
 
     fn unlink(&mut self, path: &str) -> Result<(), String> {
@@ -151,7 +163,10 @@ impl FsTarget for KernelFsTarget {
 
     fn stat_size(&mut self, path: &str) -> Result<u64, String> {
         let full = self.full(path);
-        self.vfs.stat(&mut self.ctx, &full).map(|s| s.size).map_err(|e| e.to_string())
+        self.vfs
+            .stat(&mut self.ctx, &full)
+            .map(|s| s.size)
+            .map_err(|e| e.to_string())
     }
 
     fn now_ns(&self) -> u64 {
@@ -271,14 +286,20 @@ mod tests {
     fn kernel_target() -> KernelFsTarget {
         let vfs = Vfs::new();
         let dev = SimDevice::preset(DeviceKind::Nvme);
-        vfs.mount("/mnt", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20));
+        vfs.mount(
+            "/mnt",
+            KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 8 << 20),
+        );
         KernelFsTarget::new(vfs, "/mnt", "ext4", 1, 0)
     }
 
     fn labstor_target() -> LabStorFsTarget {
         let devices = DeviceRegistry::new();
         devices.add_preset("nvme0", DeviceKind::Nvme);
-        let rt = Runtime::start(RuntimeConfig { auto_admin: false, ..Default::default() });
+        let rt = Runtime::start(RuntimeConfig {
+            auto_admin: false,
+            ..Default::default()
+        });
         labstor_mods::install_all(&rt.mm, &devices);
         let spec = StackSpec {
             mount: "fs::/b".into(),

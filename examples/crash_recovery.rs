@@ -40,7 +40,13 @@ fn main() {
 
     // Write a file and fsync it: the metadata log reaches the device.
     let ino = match client
-        .execute(&stack, Payload::Fs(FsOp::Create { path: "/journal.dat".into(), mode: 0o600 }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Create {
+                path: "/journal.dat".into(),
+                mode: 0o600,
+            }),
+        )
         .expect("create")
         .0
     {
@@ -49,13 +55,28 @@ fn main() {
     };
     let payload: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
     client
-        .execute(&stack, Payload::Fs(FsOp::Write { ino, offset: 0, data: payload.clone() }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: payload.clone(),
+            }),
+        )
         .expect("write");
-    client.execute(&stack, Payload::Fs(FsOp::Fsync { ino })).expect("fsync");
+    client
+        .execute(&stack, Payload::Fs(FsOp::Fsync { ino }))
+        .expect("fsync");
     // A second file, created but *not* fsync'd: honest log-structured
     // semantics say a crash loses it.
     client
-        .execute(&stack, Payload::Fs(FsOp::Create { path: "/volatile.tmp".into(), mode: 0o600 }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Create {
+                path: "/volatile.tmp".into(),
+                mode: 0o600,
+            }),
+        )
         .expect("create volatile");
     println!("wrote /journal.dat (fsync'd) and /volatile.tmp (not fsync'd)");
 
@@ -73,17 +94,32 @@ fn main() {
 
     // The fsync'd file survives, with its data.
     let (resp, _) = client
-        .execute_with_retry(&stack, Payload::Fs(FsOp::Stat { path: "/journal.dat".into() }))
+        .execute_with_retry(
+            &stack,
+            Payload::Fs(FsOp::Stat {
+                path: "/journal.dat".into(),
+            }),
+        )
         .expect("stat after recovery");
     match resp {
         RespPayload::Stat(st) => {
-            println!("/journal.dat recovered: size {} mode {:o}", st.size, st.mode);
+            println!(
+                "/journal.dat recovered: size {} mode {:o}",
+                st.size, st.mode
+            );
             assert_eq!(st.size, payload.len() as u64);
         }
         other => panic!("stat failed: {other:?}"),
     }
     let (resp, _) = client
-        .execute(&stack, Payload::Fs(FsOp::Read { ino, offset: 0, len: payload.len() }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: payload.len(),
+            }),
+        )
         .expect("read after recovery");
     match resp {
         RespPayload::Data(d) => {
@@ -95,7 +131,12 @@ fn main() {
 
     // The unsynced file is gone — the log never reached the device.
     let (resp, _) = client
-        .execute(&stack, Payload::Fs(FsOp::Stat { path: "/volatile.tmp".into() }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Stat {
+                path: "/volatile.tmp".into(),
+            }),
+        )
         .expect("stat volatile");
     assert!(!resp.is_ok(), "unsynced create must not survive: {resp:?}");
     println!("/volatile.tmp lost, as log-structured semantics dictate ✓");

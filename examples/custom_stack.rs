@@ -34,14 +34,24 @@ fn main() {
             { "uuid": "zdrv1", "type": "kernel_driver", "params": {"device": "nvme0"} }
         ]
     }"#;
-    let zstack = rt.mount_stack_json(compress_spec).expect("compression stack");
+    let zstack = rt
+        .mount_stack_json(compress_spec)
+        .expect("compression stack");
     let mut client = rt.connect(labstor::ipc::Credentials::new(1, 0, 0), 1);
 
-    let compressible: Vec<u8> =
-        std::iter::repeat_n(b"temperature=23.4 pressure=1013 ", 4096).flatten().copied().collect();
+    let compressible: Vec<u8> = std::iter::repeat_n(b"temperature=23.4 pressure=1013 ", 4096)
+        .flatten()
+        .copied()
+        .collect();
     let before = nvme.stats().snapshot().bytes_written;
     let (resp, latency) = client
-        .execute(&zstack, Payload::Block(BlockOp::Write { lba: 0, data: compressible.clone() }))
+        .execute(
+            &zstack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: compressible.clone(),
+            }),
+        )
         .expect("compressed write");
     assert!(resp.is_ok());
     let stored = nvme.stats().snapshot().bytes_written - before;
@@ -53,7 +63,13 @@ fn main() {
         latency as f64 / 1e3
     );
     let (resp, _) = client
-        .execute(&zstack, Payload::Block(BlockOp::Read { lba: 0, len: compressible.len() }))
+        .execute(
+            &zstack,
+            Payload::Block(BlockOp::Read {
+                lba: 0,
+                len: compressible.len(),
+            }),
+        )
         .expect("read back");
     match resp {
         labstor::core::RespPayload::Data(d) => assert_eq!(d, compressible),
@@ -94,7 +110,8 @@ fn main() {
     fs.close(fd).expect("close");
 
     let mut kvs = GenericKvs::new(rt.connect(labstor::ipc::Credentials::new(3, 0, 0), 1));
-    kvs.put("kv::/data/report-meta", b"author=alice".to_vec()).expect("put");
+    kvs.put("kv::/data/report-meta", b"author=alice".to_vec())
+        .expect("put");
     println!(
         "interface convergence: POSIX file ({} bytes) and KV pair ({:?}) on one device",
         fs.stat("fs::/data/report.txt").expect("stat").size,
@@ -109,7 +126,10 @@ fn main() {
     let mut vertices = old.vertices.clone();
     // zip1 → fsync1 → zdrv1
     let drv_idx = 1;
-    vertices.push(Vertex { uuid: "fsync1".into(), outputs: vec![drv_idx] });
+    vertices.push(Vertex {
+        uuid: "fsync1".into(),
+        outputs: vec![drv_idx],
+    });
     let fsync_idx = vertices.len() - 1;
     vertices[0].outputs = vec![fsync_idx];
     rt.ns.modify("blk::/z", 0, vertices).expect("modify_stack");
@@ -118,7 +138,13 @@ fn main() {
     let zstack = rt.ns.get("blk::/z").expect("still mounted");
     let flushes_before = nvme.stats().snapshot().ops();
     let (resp, _) = client
-        .execute(&zstack, Payload::Block(BlockOp::Write { lba: 4096, data: vec![7u8; 4096] }))
+        .execute(
+            &zstack,
+            Payload::Block(BlockOp::Write {
+                lba: 4096,
+                data: vec![7u8; 4096],
+            }),
+        )
         .expect("durable write");
     assert!(resp.is_ok());
     println!(

@@ -59,7 +59,13 @@ fn main() {
     // 1. Metadata op through the secure async path.
     let t0 = client.ctx.now();
     let ino = match client
-        .execute(&meta, Payload::Fs(FsOp::Create { path: "/big.dat".into(), mode: 0o644 }))
+        .execute(
+            &meta,
+            Payload::Fs(FsOp::Create {
+                path: "/big.dat".into(),
+                mode: 0o644,
+            }),
+        )
         .expect("create")
         .0
     {
@@ -73,7 +79,14 @@ fn main() {
     let payload = vec![0x42u8; 64 * 1024];
     let t0 = client.ctx.now();
     let (resp, _) = client
-        .execute(&data_stack, Payload::Fs(FsOp::Write { ino, offset: 0, data: payload.clone() }))
+        .execute(
+            &data_stack,
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: payload.clone(),
+            }),
+        )
         .expect("data write");
     assert!(resp.is_ok());
     let data_latency = client.ctx.now() - t0;
@@ -81,15 +94,28 @@ fn main() {
     // 3. Read back through the *metadata* view to prove both stacks see
     //    one filesystem.
     let (resp, _) = client
-        .execute(&meta, Payload::Fs(FsOp::Read { ino, offset: 0, len: payload.len() }))
+        .execute(
+            &meta,
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: payload.len(),
+            }),
+        )
         .expect("read via meta view");
     match resp {
         RespPayload::Data(d) => assert_eq!(d, payload),
         other => panic!("read failed: {other:?}"),
     }
 
-    println!("metadata create via secure async path: {:.2} µs", meta_latency as f64 / 1e3);
-    println!("64KB data write via client-side path:  {:.2} µs", data_latency as f64 / 1e3);
+    println!(
+        "metadata create via secure async path: {:.2} µs",
+        meta_latency as f64 / 1e3
+    );
+    println!(
+        "64KB data write via client-side path:  {:.2} µs",
+        data_latency as f64 / 1e3
+    );
     println!("both views agree on file content ✓");
 
     // The same create through the data-path-style sync stack (for
@@ -98,7 +124,13 @@ fn main() {
     // cost to security)".
     let t0 = client.ctx.now();
     client
-        .execute(&data_stack, Payload::Fs(FsOp::Create { path: "/fast.dat".into(), mode: 0o644 }))
+        .execute(
+            &data_stack,
+            Payload::Fs(FsOp::Create {
+                path: "/fast.dat".into(),
+                mode: 0o644,
+            }),
+        )
         .expect("decentralized create");
     println!(
         "decentralized create (no perms, no IPC):  {:.2} µs",

@@ -16,7 +16,10 @@ use labstor::sim::DeviceKind;
 fn main() {
     let devices = DeviceRegistry::new();
     let nvme = devices.add_preset("nvme0", DeviceKind::Nvme);
-    let rt = Runtime::start(RuntimeConfig { max_workers: 1, ..Default::default() });
+    let rt = Runtime::start(RuntimeConfig {
+        max_workers: 1,
+        ..Default::default()
+    });
     labstor::mods::install_all(&rt.mm, &devices);
 
     let stack = rt
@@ -53,14 +56,19 @@ fn main() {
                 code_device: Some(nvme.clone()),
             });
         }
-        let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).expect("message");
+        let (resp, _) = client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .expect("message");
         assert!(resp.is_ok());
     }
 
     let (v, c) = version(&rt);
     println!("after {MESSAGES} messages: module is v{v}, counter = {c}");
     assert!(v >= 2, "the upgrade must have installed a fresh instance");
-    assert_eq!(c, MESSAGES as u64, "no message lost, state transferred across the swap");
+    assert_eq!(
+        c, MESSAGES as u64,
+        "no message lost, state transferred across the swap"
+    );
     println!(
         "virtual app time: {:.2} ms (upgrade pause included)",
         client.ctx.now() as f64 / 1e6

@@ -40,19 +40,29 @@ fn main() {
         ]
     }"#;
     let stack = rt.mount_stack_json(spec).expect("mount LabStack");
-    println!("mounted LabStack '{}' (id {}, {} LabMods)", stack.mount, stack.id, stack.vertices.len());
+    println!(
+        "mounted LabStack '{}' (id {}, {} LabMods)",
+        stack.mount,
+        stack.id,
+        stack.vertices.len()
+    );
 
     // 4. A client app doing POSIX through GenericFS (the LD_PRELOAD shim).
     let client = rt.connect(labstor::ipc::Credentials::new(1, 1000, 1000), 1);
     let mut fs = GenericFs::new(client);
 
     let fd = fs.open("fs::/b/hello.txt", true, false).expect("open");
-    let n = fs.write(fd, b"Hello from a userspace I/O stack!").expect("write");
+    let n = fs
+        .write(fd, b"Hello from a userspace I/O stack!")
+        .expect("write");
     fs.fsync(fd).expect("fsync");
     fs.seek(fd, 0).expect("seek");
     let back = fs.read(fd, n).expect("read");
     fs.close(fd).expect("close");
-    println!("wrote and read back {n} bytes: {:?}", String::from_utf8_lossy(&back));
+    println!(
+        "wrote and read back {n} bytes: {:?}",
+        String::from_utf8_lossy(&back)
+    );
 
     let st = fs.stat("fs::/b/hello.txt").expect("stat");
     println!("stat: ino={} size={} mode={:o}", st.ino, st.size, st.mode);

@@ -1,0 +1,277 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature benchmark harness with criterion's API shape:
+//! [`Criterion`], benchmark groups, `bench_function`, `iter` /
+//! `iter_batched`, `criterion_group!` / `criterion_main!`. Measurement is
+//! intentionally simple — a calibrated repetition loop around
+//! `Instant::now()` printing mean ns/iter — because the workspace's
+//! benchmarks report *virtual* (simulated) time; the harness only needs
+//! repetition and readable output, not criterion's statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// How throughput is reported for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; the shim treats all variants
+/// alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, None, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let throughput = self.throughput;
+        let id = format!("{}/{id}", self.group);
+        run_bench(self.criterion, throughput, &id, f);
+        self
+    }
+
+    /// End the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Measure `routine` over inputs built by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample costs ~1/20 of
+    // the measurement budget, then take `sample_size` samples.
+    let target = c.measurement_time.as_nanos().max(1) / 20;
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_nanos() >= target || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut total_ns = 0u128;
+    let mut total_iters = 0u128;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_ns += b.elapsed.as_nanos();
+        total_iters += iters as u128;
+    }
+    let per_iter = total_ns.checked_div(total_iters).unwrap_or(0);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            format!(" ({:.1} Melem/s)", n as f64 * 1e3 / per_iter as f64)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0 => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 * 1e9 / (per_iter as f64 * 1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id}: {per_iter} ns/iter{rate}  [{total_iters} iters]");
+}
+
+/// Declare a benchmark group: plain `criterion_group!(name, fns..)` or
+/// the `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut hits = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    hits += 1;
+                    hits
+                })
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(hits > 0);
+    }
+
+    criterion_group!(shim_group, noop_target);
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("target", |b| b.iter(|| 0u8));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        // Re-point the group at a tiny budget by calling the target
+        // directly; the macro-generated fn uses defaults.
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        noop_target(&mut c);
+        let _ = shim_group; // named fn exists
+    }
+}

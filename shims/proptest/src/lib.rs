@@ -1,0 +1,557 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature randomized-property-testing harness exposing the
+//! proptest surface its tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`prelude::any`], ranges and tuples
+//! as strategies, `collection::vec`, [`prelude::Just`], `prop_oneof!`,
+//! `.prop_map`, and a character-class string strategy (`"[a-z/]{1,24}"`).
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! full generated input instead of a minimal counterexample) and regex
+//! string strategies support only the `[class]{m,n}` shape. Runs are
+//! deterministic per test name; set `LABSTOR_PROPTEST_SEED` to explore a
+//! different universe.
+
+pub mod strategy {
+    /// Deterministic splitmix64 RNG driving all generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded RNG; same seed → same sequence.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for
+            // test-input sizes.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// A generator of test inputs — the shim's take on
+    /// `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// `.prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` arms; weights must not all be
+        /// zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            // below(total) < total, so an arm above always matched.
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Always-the-same-value strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a natural full-range strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps failure output readable.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    /// Strategy producing any value of `T` (`any::<u8>()` style).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Full-range strategy for an [`Arbitrary`] type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    lo + rng.below(span.saturating_add(1).max(1)) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G) (A, B, C, D, E, F, G, H)
+    }
+
+    /// Character-class string strategy: `"[a-z/]{1,24}"`. Any other
+    /// pattern shape generates the pattern text literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_class_pattern(self) {
+                Some((chars, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let mut chars = Vec::new();
+        let cs: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                let (a, b) = (cs[i] as u32, cs[i + 2] as u32);
+                for c in a..=b {
+                    chars.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                chars.push(cs[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((chars, lo, hi))
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector strategy: random length from `len`, elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-case failure carried by `prop_assert!` early returns.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build from a rendered assertion message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Seed for a named test: stable per name, overridable via
+/// `LABSTOR_PROPTEST_SEED`.
+pub fn seed_for(test_name: &str) -> u64 {
+    let base = match std::env::var("LABSTOR_PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or(0),
+        Err(_) => 0,
+    };
+    // FNV-1a over the name keeps different tests on different streams.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ base
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fail the
+/// current case (early-return `Err`) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` — equality check that fails the case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                        l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(left, right)` — inequality check that fails the case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left != right`\n  both: `{:?}`",
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The main harness macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies, running each body over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_for(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::strategy::TestRng::new(
+                    seed.wrapping_add(case as u64).wrapping_mul(0x2545F4914F6CDD1D),
+                );
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        case + 1,
+                        config.cases,
+                        seed,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10u16..3000).generate(&mut rng);
+            assert!((10..3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = collection::vec(any::<u8>(), 1..32).generate(&mut rng);
+            assert!((1..32).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn class_pattern_strategy() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z/]{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.chars().all(|c| c == '/' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight_exclusion() {
+        let mut rng = TestRng::new(4);
+        let s = prop_oneof![5 => Just(1u8), 1 => Just(2u8)];
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            saw[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(saw[1] && saw[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_passes(xs in collection::vec(any::<u16>(), 0..50), k in 1usize..10) {
+            let doubled: Vec<u32> = xs.iter().map(|&x| x as u32 * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!((1..10).contains(&k), "k out of range: {}", k);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (any::<u8>(), 1u16..100).prop_map(|(a, b)| (a as u32, b as u32))) {
+            prop_assert!(pair.1 >= 1 && pair.1 < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

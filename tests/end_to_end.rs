@@ -10,7 +10,10 @@ use std::sync::Arc;
 fn platform(workers: usize) -> (Arc<Runtime>, Arc<DeviceRegistry>) {
     let devices = DeviceRegistry::new();
     devices.add_preset("nvme0", DeviceKind::Nvme);
-    let rt = Runtime::start(RuntimeConfig { max_workers: workers, ..Default::default() });
+    let rt = Runtime::start(RuntimeConfig {
+        max_workers: workers,
+        ..Default::default()
+    });
     labstor::mods::install_all(&rt.mm, &devices);
     (rt, devices)
 }
@@ -67,7 +70,10 @@ fn permissions_enforced_through_stack() {
     // permissions mod default mode (0644); exercise through Stat denial
     // by making a directory read-protected instead.
     let mut root = GenericFs::new(rt.connect(Credentials::new(3, 0, 0), 1));
-    assert!(root.open("fs::/b/private", false, false).is_ok(), "root always passes");
+    assert!(
+        root.open("fs::/b/private", false, false).is_ok(),
+        "root always passes"
+    );
     rt.shutdown();
 }
 
@@ -181,7 +187,10 @@ fn unordered_queue_drained_by_multiple_workers() {
     let qp: std::sync::Arc<QueuePair<u64>> = std::sync::Arc::new(QueuePair::new(
         1,
         4096,
-        QueueFlags { ordered: false, role: QueueRole::Intermediate },
+        QueueFlags {
+            ordered: false,
+            role: QueueRole::Intermediate,
+        },
     ));
     const N: u64 = 4000;
     for i in 0..N {
@@ -201,11 +210,18 @@ fn unordered_queue_drained_by_multiple_workers() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     let mut sorted = seen;
     sorted.sort_unstable();
-    assert_eq!(sorted, (0..N).collect::<Vec<_>>(), "every element exactly once");
+    assert_eq!(
+        sorted,
+        (0..N).collect::<Vec<_>>(),
+        "every element exactly once"
+    );
     let _ = IpcManager::<u64>::new(1);
 }
 
@@ -229,7 +245,9 @@ fn many_clients_no_loss() {
             s.spawn(move || {
                 let mut client = rt.connect(Credentials::new(c + 10, 0, 0), 1);
                 for _ in 0..500 {
-                    let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+                    let (resp, _) = client
+                        .execute(&stack, Payload::Dummy { work_ns: 0 })
+                        .unwrap();
                     assert!(matches!(resp, RespPayload::Ok));
                 }
             });
@@ -254,7 +272,9 @@ fn client_async_window_completes_out_of_order_submissions() {
     let stack = rt.ns.get("dummy::/").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     for _ in 0..16 {
-        client.submit(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        client
+            .submit(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
     }
     let mut done = 0;
     while client.in_flight() > 0 {
@@ -275,7 +295,13 @@ fn fs_and_kvs_payload_costs_show_in_virtual_time() {
     let stack = rt.ns.get("fs::/b").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     let ino = match client
-        .execute(&stack, Payload::Fs(FsOp::Create { path: "/c.bin".into(), mode: 0o644 }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Create {
+                path: "/c.bin".into(),
+                mode: 0o644,
+            }),
+        )
         .unwrap()
         .0
     {
@@ -283,10 +309,24 @@ fn fs_and_kvs_payload_costs_show_in_virtual_time() {
         other => panic!("{other:?}"),
     };
     let (_, small) = client
-        .execute(&stack, Payload::Fs(FsOp::Write { ino, offset: 0, data: vec![0u8; 4096] }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: vec![0u8; 4096],
+            }),
+        )
         .unwrap();
     let (_, large) = client
-        .execute(&stack, Payload::Fs(FsOp::Write { ino, offset: 4096, data: vec![0u8; 1 << 20] }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 4096,
+                data: vec![0u8; 1 << 20],
+            }),
+        )
         .unwrap();
     assert!(large > small * 10, "1MB {large} ns vs 4KB {small} ns");
     // And a KVS op flows too.
@@ -304,7 +344,13 @@ fn fs_and_kvs_payload_costs_show_in_virtual_time() {
     .unwrap();
     let kstack = rt.ns.get("kv::/t").unwrap();
     let (resp, _) = client
-        .execute(&kstack, Payload::Kvs(KvsOp::Put { key: "k".into(), value: vec![1u8; 100] }))
+        .execute(
+            &kstack,
+            Payload::Kvs(KvsOp::Put {
+                key: "k".into(),
+                value: vec![1u8; 100],
+            }),
+        )
         .unwrap();
     assert!(resp.is_ok());
     rt.shutdown();

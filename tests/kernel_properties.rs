@@ -11,17 +11,31 @@ use labstor::sim::{Ctx, DeviceKind, SimDevice};
 use labstor::workloads::pfs::{Pfs, PfsConfig};
 use labstor::workloads::targets::{FsTarget, KernelFsTarget};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum KfsAction {
     Create(u8),
-    Write { file: u8, offset: u16, len: u16, fill: u8 },
-    Read { file: u8, offset: u16, len: u16 },
-    Truncate { file: u8, size: u16 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
+    Truncate {
+        file: u8,
+        size: u16,
+    },
     Fsync(u8),
     Unlink(u8),
-    Rename { from: u8, to: u8 },
+    Rename {
+        from: u8,
+        to: u8,
+    },
 }
 
 fn kfs_action() -> impl Strategy<Value = KfsAction> {
@@ -62,9 +76,16 @@ fn check_kernel_fs(profile: FsProfile, actions: Vec<KfsAction>) -> Result<(), Te
                     model.insert(path, (ino, Vec::new()));
                 }
             }
-            KfsAction::Write { file, offset, len, fill } => {
+            KfsAction::Write {
+                file,
+                offset,
+                len,
+                fill,
+            } => {
                 let path = format!("/f{file}");
-                let Some(&(ino, _)) = model.get(&path).map(|v| v) else { continue };
+                let Some(&(ino, _)) = model.get(&path) else {
+                    continue;
+                };
                 let data = vec![fill; len as usize];
                 let n = fs.write(&mut ctx, 0, ino, offset as u64, &data).unwrap();
                 prop_assert_eq!(n, len as usize);
@@ -77,7 +98,9 @@ fn check_kernel_fs(profile: FsProfile, actions: Vec<KfsAction>) -> Result<(), Te
             }
             KfsAction::Read { file, offset, len } => {
                 let path = format!("/f{file}");
-                let Some((ino, content)) = model.get(&path) else { continue };
+                let Some((ino, content)) = model.get(&path) else {
+                    continue;
+                };
                 let mut buf = vec![0u8; len as usize];
                 let n = fs.read(&mut ctx, 0, *ino, offset as u64, &mut buf).unwrap();
                 let start = (offset as usize).min(content.len());
@@ -87,14 +110,18 @@ fn check_kernel_fs(profile: FsProfile, actions: Vec<KfsAction>) -> Result<(), Te
             }
             KfsAction::Truncate { file, size } => {
                 let path = format!("/f{file}");
-                let Some(&(ino, _)) = model.get(&path).map(|v| v) else { continue };
+                let Some(&(ino, _)) = model.get(&path) else {
+                    continue;
+                };
                 fs.truncate(&mut ctx, 0, ino, size as u64).unwrap();
                 let content = &mut model.get_mut(&path).unwrap().1;
                 content.resize(size as usize, 0);
             }
             KfsAction::Fsync(f) => {
                 let path = format!("/f{f}");
-                let Some(&(ino, _)) = model.get(&path).map(|v| v) else { continue };
+                let Some(&(ino, _)) = model.get(&path) else {
+                    continue;
+                };
                 fs.fsync(&mut ctx, 0, ino).unwrap();
             }
             KfsAction::Unlink(f) => {
@@ -173,10 +200,24 @@ proptest! {
 fn vfs_fd_positions_are_per_process() {
     let vfs = Vfs::new();
     let dev = SimDevice::preset(DeviceKind::Nvme);
-    vfs.mount("/m", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 1 << 20));
+    vfs.mount(
+        "/m",
+        KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 1 << 20),
+    );
     let mut ctx = Ctx::new();
     let fd_a = vfs
-        .open(&mut ctx, 0, 1, Cred::ROOT, "/m/x", OpenFlags { create: true, ..Default::default() }, 0o644)
+        .open(
+            &mut ctx,
+            0,
+            1,
+            Cred::ROOT,
+            "/m/x",
+            OpenFlags {
+                create: true,
+                ..Default::default()
+            },
+            0o644,
+        )
         .unwrap();
     vfs.write(&mut ctx, 0, 1, fd_a, b"0123456789").unwrap();
     // Process 2 opens the same file: independent cursor.
@@ -197,10 +238,14 @@ fn kernel_fs_virtual_contention_is_monotone_in_threads() {
     // beyond the journal pipeline bound — the Fig. 7 plateau.
     let vfs = Vfs::new();
     let dev = SimDevice::preset(DeviceKind::Nvme);
-    vfs.mount("/m", KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 1 << 20));
+    vfs.mount(
+        "/m",
+        KernelFs::new(FsProfile::ext4_like(), BlockLayer::new(dev), 1 << 20),
+    );
     let hold = FsProfile::ext4_like().meta_hold_ns;
-    let mut targets: Vec<KernelFsTarget> =
-        (0..4).map(|t| KernelFsTarget::new(vfs.clone(), "/m", "ext4", t + 1, t as usize)).collect();
+    let mut targets: Vec<KernelFsTarget> = (0..4)
+        .map(|t| KernelFsTarget::new(vfs.clone(), "/m", "ext4", t + 1, t as usize))
+        .collect();
     const FILES: usize = 200;
     for i in 0..FILES {
         for (t, target) in targets.iter_mut().enumerate() {

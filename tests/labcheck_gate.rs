@@ -1,0 +1,37 @@
+//! Tier-1 wiring for labcheck (ROADMAP: `cargo test -q` at the root is
+//! the tier-1 gate, and root-package tests are what it runs): the
+//! static-analysis pass must be clean on the whole tree and the SPSC ring
+//! must survive exhaustive interleaving exploration.
+//!
+//! The full fixture suite lives in `crates/labcheck/tests/`; this file is
+//! only the gate.
+
+use labstor_labcheck::{
+    explore, gate_mc_bug_configs, gate_mc_configs, lint_workspace, render_text, workspace_root,
+    Config,
+};
+
+#[test]
+fn workspace_passes_labcheck_lints() {
+    let root = workspace_root();
+    let diags = lint_workspace(&Config::labstor(), &root).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "labcheck violations (fix or annotate — see DESIGN.md §static analysis):\n{}",
+        render_text(&diags)
+    );
+}
+
+#[test]
+fn spsc_ring_passes_interleaving_model_check() {
+    for cfg in gate_mc_configs() {
+        explore(&cfg).unwrap_or_else(|f| panic!("mc failed on {cfg:?}:\n{f}"));
+    }
+    for cfg in gate_mc_bug_configs() {
+        assert!(
+            explore(&cfg).is_err(),
+            "planted bug {:?} went undetected",
+            cfg.variant
+        );
+    }
+}

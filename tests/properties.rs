@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
-use labstor::core::{FsOp, Payload, RespPayload};
-use labstor::core::{ModuleManager, Request};
 use labstor::core::labmod::{LabMod, StackEnv};
 use labstor::core::stack::{ExecMode, LabStack, Vertex};
+use labstor::core::{FsOp, Payload, RespPayload};
+use labstor::core::{ModuleManager, Request};
 use labstor::ipc::Credentials;
 use labstor::kernel::page_cache::LruMap;
 use labstor::mods::compress_algo::{compress, decompress};
@@ -159,7 +159,14 @@ proptest! {
 
 fn log_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![
-        ("[a-z/]{1,24}", any::<u64>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<bool>())
+        (
+            "[a-z/]{1,24}",
+            any::<u64>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>()
+        )
             .prop_map(|(path, ino, mode, uid, gid, is_dir)| LogRecord::Create {
                 path,
                 ino,
@@ -211,10 +218,22 @@ proptest! {
 #[derive(Debug, Clone)]
 enum FsAction {
     Create(u8),
-    Write { file: u8, offset: u16, len: u16, fill: u8 },
-    Read { file: u8, offset: u16, len: u16 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
     Unlink(u8),
-    Rename { from: u8, to: u8 },
+    Rename {
+        from: u8,
+        to: u8,
+    },
     FsyncAndCrash,
 }
 
@@ -245,17 +264,31 @@ fn labfs_harness() -> (ModuleManager, LabStack, Arc<SimDevice>) {
     let dev = devices.add_preset("nvme0", DeviceKind::Nvme);
     let mm = ModuleManager::new();
     labstor::mods::install_all(&mm, &devices);
-    mm.instantiate("prop_fs", "labfs", &serde_json::json!({"device": "nvme0", "workers": 4}))
-        .unwrap();
-    mm.instantiate("prop_drv", "kernel_driver", &serde_json::json!({"device": "nvme0"}))
-        .unwrap();
+    mm.instantiate(
+        "prop_fs",
+        "labfs",
+        &serde_json::json!({"device": "nvme0", "workers": 4}),
+    )
+    .unwrap();
+    mm.instantiate(
+        "prop_drv",
+        "kernel_driver",
+        &serde_json::json!({"device": "nvme0"}),
+    )
+    .unwrap();
     let stack = LabStack {
         id: 1,
         mount: "fs::/prop".into(),
         exec: ExecMode::Sync,
         vertices: vec![
-            Vertex { uuid: "prop_fs".into(), outputs: vec![1] },
-            Vertex { uuid: "prop_drv".into(), outputs: vec![] },
+            Vertex {
+                uuid: "prop_fs".into(),
+                outputs: vec![1],
+            },
+            Vertex {
+                uuid: "prop_drv".into(),
+                outputs: vec![],
+            },
         ],
         authorized_uids: vec![0],
     };
@@ -271,7 +304,7 @@ proptest! {
         let env = StackEnv { stack: &stack, vertex: 0, registry: &mm, domain: 0 };
         let fs_mod = mm.get("prop_fs").unwrap();
         let mut ctx = Ctx::new();
-        let mut exec = |payload: Payload, ctx: &mut Ctx| {
+        let exec = |payload: Payload, ctx: &mut Ctx| {
             fs_mod.process(ctx, Request::new(1, 1, payload, Credentials::ROOT), &env)
         };
 
@@ -296,7 +329,7 @@ proptest! {
                 }
                 FsAction::Write { file, offset, len, fill } => {
                     let path = format!("/f{file}");
-                    let Some(&(ino, _)) = model.get(&path).map(|v| v) else { continue };
+                    let Some(&(ino, _)) = model.get(&path) else { continue };
                     let data = vec![fill; len as usize];
                     let resp = exec(
                         Payload::Fs(FsOp::Write { ino, offset: offset as u64, data: data.clone() }),

@@ -12,7 +12,10 @@ fn platform() -> (Arc<Runtime>, Arc<DeviceRegistry>) {
     let devices = DeviceRegistry::new();
     devices.add_preset("nvme0", DeviceKind::Nvme);
     devices.add_pmem("pmemdax0", labstor::sim::PmemDevice::preset());
-    let rt = Runtime::start(RuntimeConfig { max_workers: 2, ..Default::default() });
+    let rt = Runtime::start(RuntimeConfig {
+        max_workers: 2,
+        ..Default::default()
+    });
     labstor::mods::install_all(&rt.mm, &devices);
     (rt, devices)
 }
@@ -32,16 +35,34 @@ fn compression_stack_shrinks_device_traffic() {
     .unwrap();
     let stack = rt.ns.get("blk::/z").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
-    let data: Vec<u8> = std::iter::repeat_n(b"AAAABBBB", 8192).flatten().copied().collect();
+    let data: Vec<u8> = std::iter::repeat_n(b"AAAABBBB", 8192)
+        .flatten()
+        .copied()
+        .collect();
     let before = d.block("nvme0").unwrap().stats().snapshot().bytes_written;
     let (resp, _) = client
-        .execute(&stack, Payload::Block(BlockOp::Write { lba: 0, data: data.clone() }))
+        .execute(
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: data.clone(),
+            }),
+        )
         .unwrap();
     assert!(resp.is_ok());
     let written = d.block("nvme0").unwrap().stats().snapshot().bytes_written - before;
-    assert!(written < data.len() as u64 / 4, "compression reduced traffic: {written}");
+    assert!(
+        written < data.len() as u64 / 4,
+        "compression reduced traffic: {written}"
+    );
     let (resp, _) = client
-        .execute(&stack, Payload::Block(BlockOp::Read { lba: 0, len: data.len() }))
+        .execute(
+            &stack,
+            Payload::Block(BlockOp::Read {
+                lba: 0,
+                len: data.len(),
+            }),
+        )
         .unwrap();
     assert!(matches!(resp, RespPayload::Data(d2) if d2 == data));
     rt.shutdown();
@@ -61,11 +82,18 @@ fn dax_stack_serves_byte_addressable_pmem() {
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     // Arbitrary length — no sector alignment needed on DAX.
     let (resp, _) = client
-        .execute(&stack, Payload::Block(BlockOp::Write { lba: 3, data: b"bytes".to_vec() }))
+        .execute(
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 3,
+                data: b"bytes".to_vec(),
+            }),
+        )
         .unwrap();
     assert!(resp.is_ok());
-    let (resp, _) =
-        client.execute(&stack, Payload::Block(BlockOp::Read { lba: 3, len: 5 })).unwrap();
+    let (resp, _) = client
+        .execute(&stack, Payload::Block(BlockOp::Read { lba: 3, len: 5 }))
+        .unwrap();
     assert!(matches!(resp, RespPayload::Data(d) if d == b"bytes"));
     rt.shutdown();
 }
@@ -85,11 +113,18 @@ fn modify_stack_inserts_and_removes_vertices_live() {
     .unwrap();
     // Insert a consistency stage live (authorized uid).
     rt.mm
-        .instantiate("sc_cons", "consistency", &serde_json::json!({"policy": "flush_each"}))
+        .instantiate(
+            "sc_cons",
+            "consistency",
+            &serde_json::json!({"policy": "flush_each"}),
+        )
         .unwrap();
     let old = rt.ns.get("blk::/m").unwrap();
     let mut vs = old.vertices.clone();
-    vs.push(Vertex { uuid: "sc_cons".into(), outputs: vec![1] });
+    vs.push(Vertex {
+        uuid: "sc_cons".into(),
+        outputs: vec![1],
+    });
     let cons = vs.len() - 1;
     vs[0].outputs = vec![cons];
     rt.ns.modify("blk::/m", 500, vs).unwrap();
@@ -100,11 +135,17 @@ fn modify_stack_inserts_and_removes_vertices_live() {
     let dev = d.block("nvme0").unwrap();
     let ops_before = dev.stats().snapshot().ops();
     let (resp, _) = client
-        .execute(&stack, Payload::Block(BlockOp::Write { lba: 0, data: vec![1u8; 512] }))
+        .execute(
+            &stack,
+            Payload::Block(BlockOp::Write {
+                lba: 0,
+                data: vec![1u8; 512],
+            }),
+        )
         .unwrap();
     assert!(resp.is_ok());
     // flush_each adds a barrier after the write (two queue entries).
-    assert!(dev.stats().snapshot().ops() >= ops_before + 1);
+    assert!(dev.stats().snapshot().ops() > ops_before);
 
     // Remove the stage again.
     let mut vs = stack.vertices.clone();
@@ -126,8 +167,14 @@ fn unauthorized_modification_rejected() {
     )
     .unwrap();
     let vs = rt.ns.get("blk::/sec").unwrap().vertices.clone();
-    assert!(rt.ns.modify("blk::/sec", 777, vs.clone()).is_err(), "stranger rejected");
-    assert!(rt.ns.modify("blk::/sec", 500, vs.clone()).is_ok(), "authorized user allowed");
+    assert!(
+        rt.ns.modify("blk::/sec", 777, vs.clone()).is_err(),
+        "stranger rejected"
+    );
+    assert!(
+        rt.ns.modify("blk::/sec", 500, vs.clone()).is_ok(),
+        "authorized user allowed"
+    );
     assert!(rt.ns.modify("blk::/sec", 0, vs).is_ok(), "root allowed");
     assert!(rt.ns.unmount("blk::/sec", 777).is_err());
     assert!(rt.ns.unmount("blk::/sec", 500).is_ok());
@@ -174,7 +221,10 @@ fn uuid_reuse_shares_instances_across_stacks() {
     client.execute(&a, Payload::Dummy { work_ns: 10 }).unwrap();
     client.execute(&b, Payload::Dummy { work_ns: 10 }).unwrap();
     let m = rt.mm.get("shared_dummy").unwrap();
-    let dm = m.as_any().downcast_ref::<labstor::mods::dummy::DummyMod>().unwrap();
+    let dm = m
+        .as_any()
+        .downcast_ref::<labstor::mods::dummy::DummyMod>()
+        .unwrap();
     assert_eq!(dm.count(), 2, "one instance served both mounts");
     rt.shutdown();
 }
@@ -198,7 +248,13 @@ fn cache_policy_hot_swap_through_upgrade_protocol() {
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     for lba in 0..8u64 {
         let (resp, _) = client
-            .execute(&stack, Payload::Block(BlockOp::Write { lba: lba * 8, data: vec![lba as u8; 4096] }))
+            .execute(
+                &stack,
+                Payload::Block(BlockOp::Write {
+                    lba: lba * 8,
+                    data: vec![lba as u8; 4096],
+                }),
+            )
             .unwrap();
         assert!(resp.is_ok());
     }
@@ -213,7 +269,13 @@ fn cache_policy_hot_swap_through_upgrade_protocol() {
     // Keep the app running through the swap.
     for lba in 0..8u64 {
         let (resp, _) = client
-            .execute(&stack, Payload::Block(BlockOp::Read { lba: lba * 8, len: 4096 }))
+            .execute(
+                &stack,
+                Payload::Block(BlockOp::Read {
+                    lba: lba * 8,
+                    len: 4096,
+                }),
+            )
             .unwrap();
         assert!(matches!(resp, RespPayload::Data(dta) if dta == vec![lba as u8; 4096]));
     }
@@ -235,7 +297,13 @@ fn cache_policy_hot_swap_through_upgrade_protocol() {
     let dev_reads_before = d.block("nvme0").unwrap().stats().snapshot().reads;
     for lba in 0..8u64 {
         let (resp, _) = client
-            .execute(&stack, Payload::Block(BlockOp::Read { lba: lba * 8, len: 4096 }))
+            .execute(
+                &stack,
+                Payload::Block(BlockOp::Read {
+                    lba: lba * 8,
+                    len: 4096,
+                }),
+            )
             .unwrap();
         assert!(resp.is_ok());
     }
@@ -283,7 +351,9 @@ fn untrusted_mods_cannot_run_in_runtime_address_space() {
     .unwrap();
     let stack = rt.ns.get("u::/a").unwrap();
     let mut client = rt.connect(Credentials::new(1, 1000, 1000), 1);
-    let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 10 }).unwrap();
+    let (resp, _) = client
+        .execute(&stack, Payload::Dummy { work_ns: 10 })
+        .unwrap();
     assert!(resp.is_ok());
     rt.shutdown();
 }
@@ -293,7 +363,11 @@ fn spec_roundtrips_through_json() {
     let spec = StackSpec::chain(
         "fs::/rt",
         labstor::core::ExecMode::Async,
-        &[("p1", "permissions"), ("f1", "labfs"), ("d1", "kernel_driver")],
+        &[
+            ("p1", "permissions"),
+            ("f1", "labfs"),
+            ("d1", "kernel_driver"),
+        ],
     );
     let json = spec.to_json();
     let again = StackSpec::parse(&json).unwrap();

@@ -1,7 +1,9 @@
 //! Integration tests for live upgrades, crash recovery, and failure
 //! injection across the whole platform.
 
-use labstor::core::{FsOp, Payload, RespPayload, Runtime, RuntimeConfig, UpgradeKind, UpgradeRequest};
+use labstor::core::{
+    FsOp, Payload, RespPayload, Runtime, RuntimeConfig, UpgradeKind, UpgradeRequest,
+};
 use labstor::ipc::Credentials;
 use labstor::mods::dummy::DummyMod;
 use labstor::mods::DeviceRegistry;
@@ -11,7 +13,10 @@ use std::sync::Arc;
 fn platform() -> (Arc<Runtime>, Arc<DeviceRegistry>) {
     let devices = DeviceRegistry::new();
     devices.add_preset("nvme0", DeviceKind::Nvme);
-    let rt = Runtime::start(RuntimeConfig { max_workers: 2, ..Default::default() });
+    let rt = Runtime::start(RuntimeConfig {
+        max_workers: 2,
+        ..Default::default()
+    });
     labstor::mods::install_all(&rt.mm, &devices);
     (rt, devices)
 }
@@ -42,13 +47,22 @@ fn centralized_upgrade_under_traffic_preserves_state() {
                 code_device: Some(d.block("nvme0").unwrap()),
             });
         }
-        let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
-        assert!(matches!(resp, RespPayload::Ok), "message {i} failed after upgrade");
+        let (resp, _) = client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
+        assert!(
+            matches!(resp, RespPayload::Ok),
+            "message {i} failed after upgrade"
+        );
     }
     let m = rt.mm.get("ur_dummy").unwrap();
     let dm = m.as_any().downcast_ref::<DummyMod>().unwrap();
     assert!(dm.version >= 2, "new code installed");
-    assert_eq!(dm.count(), N as u64, "counter transferred and kept counting");
+    assert_eq!(
+        dm.count(),
+        N as u64,
+        "counter transferred and kept counting"
+    );
     rt.shutdown();
 }
 
@@ -59,7 +73,9 @@ fn decentralized_upgrade_also_works() {
     let stack = rt.ns.get("dummy::/").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     for _ in 0..100 {
-        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
     }
     rt.request_upgrade(UpgradeRequest {
         uuid: "ur_dummy".into(),
@@ -70,7 +86,9 @@ fn decentralized_upgrade_also_works() {
         code_device: Some(d.block("nvme0").unwrap()),
     });
     for _ in 0..200 {
-        let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        let (resp, _) = client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
         assert!(resp.is_ok());
     }
     let m = rt.mm.get("ur_dummy").unwrap();
@@ -85,7 +103,9 @@ fn upgrade_pause_costs_virtual_time() {
     let stack = rt.ns.get("dummy::/").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     for _ in 0..50 {
-        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
     }
     let before = client.ctx.now();
     rt.request_upgrade(UpgradeRequest {
@@ -100,11 +120,16 @@ fn upgrade_pause_costs_virtual_time() {
     // resumed timeline must reflect the pause.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     while rt.mm.pending_upgrades() > 0 {
-        assert!(std::time::Instant::now() < deadline, "admin never processed the upgrade");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "admin never processed the upgrade"
+        );
         std::thread::yield_now();
     }
     for _ in 0..50 {
-        client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+        client
+            .execute(&stack, Payload::Dummy { work_ns: 0 })
+            .unwrap();
     }
     // The ~4 ms upgrade (1 MB code read + link) lands on the timeline.
     assert!(
@@ -134,7 +159,13 @@ fn crash_then_restart_recovers_labfs_state() {
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
 
     let ino = match client
-        .execute(&stack, Payload::Fs(FsOp::Create { path: "/kept".into(), mode: 0o644 }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Create {
+                path: "/kept".into(),
+                mode: 0o644,
+            }),
+        )
         .unwrap()
         .0
     {
@@ -143,16 +174,32 @@ fn crash_then_restart_recovers_labfs_state() {
     };
     let data = vec![0xABu8; 12_288];
     client
-        .execute(&stack, Payload::Fs(FsOp::Write { ino, offset: 0, data: data.clone() }))
+        .execute(
+            &stack,
+            Payload::Fs(FsOp::Write {
+                ino,
+                offset: 0,
+                data: data.clone(),
+            }),
+        )
         .unwrap();
-    client.execute(&stack, Payload::Fs(FsOp::Fsync { ino })).unwrap();
+    client
+        .execute(&stack, Payload::Fs(FsOp::Fsync { ino }))
+        .unwrap();
 
     rt.crash();
     assert!(!rt.ipc.is_online());
     rt.restart();
 
     let (resp, _) = client
-        .execute_with_retry(&stack, Payload::Fs(FsOp::Read { ino, offset: 0, len: data.len() }))
+        .execute_with_retry(
+            &stack,
+            Payload::Fs(FsOp::Read {
+                ino,
+                offset: 0,
+                len: data.len(),
+            }),
+        )
         .unwrap();
     match resp {
         RespPayload::Data(d) => assert_eq!(d, data, "log replay restored the mapping"),
@@ -168,9 +215,13 @@ fn client_sees_runtime_down_without_restart() {
     let stack = rt.ns.get("dummy::/").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
     client.offline_timeout = std::time::Duration::from_millis(100);
-    client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    client
+        .execute(&stack, Payload::Dummy { work_ns: 0 })
+        .unwrap();
     rt.crash();
-    let err = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap_err();
+    let err = client
+        .execute(&stack, Payload::Dummy { work_ns: 0 })
+        .unwrap_err();
     assert_eq!(err, labstor::core::client::ClientError::RuntimeDown);
     rt.shutdown();
 }
@@ -205,7 +256,10 @@ fn device_faults_surface_as_errors_not_hangs() {
             failures += 1;
         }
     }
-    assert_eq!(failures, 5, "deterministic injection: every 2nd command fails");
+    assert_eq!(
+        failures, 5,
+        "deterministic injection: every 2nd command fails"
+    );
     rt.shutdown();
 }
 
@@ -217,7 +271,9 @@ fn repair_all_is_idempotent() {
     rt.mm.repair_all();
     let stack = rt.ns.get("dummy::/").unwrap();
     let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
-    let (resp, _) = client.execute(&stack, Payload::Dummy { work_ns: 0 }).unwrap();
+    let (resp, _) = client
+        .execute(&stack, Payload::Dummy { work_ns: 0 })
+        .unwrap();
     assert!(resp.is_ok());
     rt.shutdown();
 }
