@@ -16,4 +16,9 @@ cargo run -q -p labstor-labcheck
 echo "== cargo test"
 cargo test -q
 
+echo "== labtelem tests + sample Chrome trace"
+cargo test -q -p labstor-telemetry
+cargo run -q --release --example telemetry
+test -s results/telemetry_trace.json
+
 echo "ci: all gates passed"

@@ -12,6 +12,7 @@ use labstor_kernel::page_cache::LruMap;
 use labstor_mods::compress_algo::{compress, decompress};
 use labstor_mods::labfs::{BlockAllocator, LogRecord};
 use labstor_sim::Ctx;
+use labstor_telemetry::{FlightRecorder, LogHistogram, Stage};
 
 fn bench_spsc_ring(c: &mut Criterion) {
     let mut g = c.benchmark_group("spsc_ring");
@@ -243,6 +244,40 @@ fn bench_request_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ISSUE's disabled-mode cost contract: `record` on a disabled
+/// recorder must be one relaxed load + branch, measured against the
+/// enabled path on the same 4 KB-write-shaped span stream.
+fn bench_span_recorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span_recorder");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record_disabled", |b| {
+        let rec = FlightRecorder::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 12_150;
+            rec.record(Stage::Vertex, std::hint::black_box(t), 1, 2, t, t + 450);
+        });
+    });
+    g.bench_function("record_enabled", |b| {
+        let rec = FlightRecorder::default();
+        rec.enable();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 12_150;
+            rec.record(Stage::Vertex, std::hint::black_box(t), 1, 2, t, t + 450);
+        });
+    });
+    g.bench_function("hist_record", |b| {
+        let h = LogHistogram::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 4_096) % 1_000_000;
+            h.record(std::hint::black_box(t));
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_spsc_ring,
@@ -252,6 +287,7 @@ criterion_group!(
     bench_block_allocator,
     bench_compression,
     bench_log_encoding,
-    bench_request_dispatch
+    bench_request_dispatch,
+    bench_span_recorder
 );
 criterion_main!(benches);

@@ -11,18 +11,22 @@
 //! NoOp scheduler 5%, FS metadata 3%, permissions 3%, driver ~1%.
 //! (*) "I/O takes the most time as expected. Software amounts to 34%."
 //!
-//! Each LabMod's `est_total_time` counter measures its *exclusive*
-//! software time; the device's busy counter provides the media share, and
-//! IPC is whatever part of client-observed latency neither accounts for.
+//! The stage times come from the labtelem flight recorder: every request
+//! leaves Submit/HopReq/Vertex/Device/HopResp spans in virtual time, and
+//! `labstor_telemetry::anatomy` computes per-stage *exclusive* time by
+//! subtracting each nested span from its parent — the vertex spans are
+//! inclusive, the Device span sits inside the driver's, and whatever no
+//! stage accounts for lands in the hop (IPC) categories.
 
 use labstor_bench::{fmt_ns, labfs_stack_spec, print_table, runtime_with_mods, LabVariant};
 use labstor_core::{FsOp, Payload, RespPayload};
 use labstor_mods::DeviceRegistry;
-use labstor_sim::{BlockDevice, DeviceKind};
+use labstor_sim::DeviceKind;
+use labstor_telemetry::{anatomy, SpanEvent, Stage};
 
 fn main() {
     let devices = DeviceRegistry::new();
-    let dev = devices.add_preset("nvme0", DeviceKind::Nvme);
+    devices.add_preset("nvme0", DeviceKind::Nvme);
     let rt = runtime_with_mods(&devices, 1, true); // single worker
                                                    // A cache smaller than the working set: reads exercise the full path
                                                    // (the paper reports "results are similar for reads").
@@ -33,14 +37,7 @@ fn main() {
     const OPS: usize = 2000;
     let data = vec![0x5Au8; 4096];
 
-    // The chain, entry first (uuids from labfs_stack_spec).
-    let uuids = [
-        "perm_nvme0_fs___b",
-        "labfs_nvme0_fs___b",
-        "lru_nvme0_fs___b",
-        "sched_nvme0_fs___b",
-        "drv_nvme0_fs___b",
-    ];
+    // Stage names per vertex index (order from labfs_stack_spec).
     let names = [
         "permissions",
         "labfs (metadata)",
@@ -48,6 +45,19 @@ fn main() {
         "noop sched",
         "kernel driver",
     ];
+    let label = |s: &SpanEvent| match s.stage {
+        Stage::Vertex => names
+            .get(s.vertex as usize)
+            .copied()
+            .unwrap_or("vertex?")
+            .to_string(),
+        Stage::Device => "device i/o".to_string(),
+        _ => "ipc (shm queues)".to_string(),
+    };
+
+    let rec = rt.mm.telemetry().clone();
+    rec.set_ring_capacity(1 << 16); // one pass is ~24k spans
+    rec.enable();
 
     let ino = match client
         .execute(
@@ -66,13 +76,6 @@ fn main() {
     };
 
     for direction in ["write", "read"] {
-        // Instances persist across passes: snapshot counters instead of
-        // remounting.
-        let before: Vec<u64> = uuids
-            .iter()
-            .map(|u| rt.mm.get(u).expect("mod loaded").est_total_time())
-            .collect();
-        let dev_before = dev.stats().snapshot().busy_ns;
         let t0 = client.ctx.now();
 
         for i in 0..OPS {
@@ -94,34 +97,33 @@ fn main() {
             assert!(resp.is_ok(), "{direction} failed: {resp:?}");
         }
 
-        let total_latency = client.ctx.now() - t0;
-        let exclusive: Vec<u64> = uuids
-            .iter()
-            .zip(&before)
-            .map(|(u, b)| rt.mm.get(u).expect("mod loaded").est_total_time() - b)
+        // Rings persist across passes: keep only this pass's spans.
+        let spans: Vec<SpanEvent> = rec
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.t_start_vns >= t0)
             .collect();
-        let io_ns = dev.stats().snapshot().busy_ns - dev_before;
+        assert_eq!(rec.dropped(), 0, "ring too small, spans lost");
+        let a = anatomy(&spans, label);
+        let total_latency = a.total_ns;
 
-        let mut rows = Vec::new();
-        let mut software_total = 0u64;
-        for (i, &ns) in exclusive.iter().enumerate() {
-            software_total += ns;
-            rows.push((names[i].to_string(), ns));
-        }
-        // IPC: everything the client saw that no stage or the device
-        // accounts for (queue hops, cross-core transfer).
-        let accounted: u64 = software_total + io_ns;
-        let ipc = total_latency.saturating_sub(accounted);
-        rows.push(("ipc (shm queues)".into(), ipc));
-        rows.push(("device i/o".into(), io_ns));
-
-        let table: Vec<Vec<String>> = rows
+        let order = [
+            names[0],
+            names[1],
+            names[2],
+            names[3],
+            names[4],
+            "ipc (shm queues)",
+            "device i/o",
+        ];
+        let table: Vec<Vec<String>> = order
             .iter()
-            .map(|(name, ns)| {
+            .map(|name| {
+                let ns = a.ns(name);
                 vec![
-                    name.clone(),
+                    name.to_string(),
                     fmt_ns(ns / OPS as u64),
-                    format!("{:.1}%", *ns as f64 * 100.0 / total_latency as f64),
+                    format!("{:.1}%", ns as f64 * 100.0 / total_latency as f64),
                 ]
             })
             .collect();

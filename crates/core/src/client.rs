@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use labstor_ipc::ClientConnection;
 use labstor_sim::Ctx;
+use labstor_telemetry::Stage;
 
 use crate::request::{Message, Payload, Request, RespPayload, Response};
 use crate::runtime::Runtime;
@@ -53,8 +54,9 @@ pub struct Client {
     rr: usize,
     /// CPU core this client thread is pinned to (stamped on requests).
     pub core: usize,
-    /// In-flight async requests: id → (submit virtual time, queue index).
-    pending: std::collections::HashMap<u64, (u64, usize)>,
+    /// In-flight async requests: id → (submit virtual time, queue index,
+    /// stack id).
+    pending: std::collections::HashMap<u64, (u64, usize, u64)>,
     /// Responses from inline (sync-stack) submissions awaiting reap.
     inline_done: Vec<(Response, u64)>,
     /// How long `wait` tolerates an offline Runtime before giving up
@@ -122,6 +124,8 @@ impl Client {
     /// Submit through a queue pair and wait for the matching completion.
     fn roundtrip(&mut self, req: Request) -> Result<RespPayload, ClientError> {
         let id = req.id;
+        let stack_id = req.stack;
+        let rec = self.runtime.mm.telemetry().clone();
         // Estimate the request's processing cost for the orchestrator
         // (the connector queries the shared registry, like GenericFS).
         let est = self
@@ -151,12 +155,28 @@ impl Client {
                 }
             }
         }
+        if rec.enabled() {
+            let now = self.ctx.now();
+            rec.record(Stage::Submit, id, stack_id, 0, now, now);
+        }
         // Wait: poll the CQ; detect a crashed Runtime and wait for its
         // restart, then repair state and resubmit the request (§III-C3).
         loop {
             if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
                 if let Message::Resp(resp) = env.payload {
                     if resp.id == id {
+                        if rec.enabled() {
+                            // Completion-queue crossing: from the
+                            // worker's completion post to this reap.
+                            rec.record(
+                                Stage::HopResp,
+                                id,
+                                stack_id,
+                                0,
+                                env.submit_vt,
+                                self.ctx.now(),
+                            );
+                        }
                         return Ok(resp.payload);
                     }
                     // A stale response from before a crash: drop it.
@@ -232,12 +252,19 @@ impl Client {
                 let qp = self.conn.queues[self.rr].clone();
                 qp.note_item_est(est);
                 qp.add_load(est as i64);
-                self.pending.insert(id, (self.ctx.now(), self.rr));
+                self.pending.insert(id, (self.ctx.now(), self.rr, stack.id));
                 let mut msg = Message::Req(req);
                 let deadline = Instant::now() + self.offline_timeout;
                 loop {
                     match qp.submit(msg, self.ctx.now(), self.conn.domain) {
-                        Ok(()) => return Ok(id),
+                        Ok(()) => {
+                            let rec = self.runtime.mm.telemetry();
+                            if rec.enabled() {
+                                let now = self.ctx.now();
+                                rec.record(Stage::Submit, id, stack.id, 0, now, now);
+                            }
+                            return Ok(id);
+                        }
                         Err(back) => {
                             msg = back;
                             if Instant::now() > deadline {
@@ -267,8 +294,20 @@ impl Client {
                 let qp = self.conn.queues[qi].clone();
                 if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
                     if let Message::Resp(resp) = env.payload {
-                        let submit_vt = self.pending.remove(&resp.id).map(|(t, _)| t).unwrap_or(0);
+                        let (submit_vt, _, stack_id) =
+                            self.pending.remove(&resp.id).unwrap_or((0, 0, 0));
                         let latency = self.ctx.now().saturating_sub(submit_vt);
+                        let rec = self.runtime.mm.telemetry();
+                        if rec.enabled() {
+                            rec.record(
+                                Stage::HopResp,
+                                resp.id,
+                                stack_id,
+                                0,
+                                env.submit_vt,
+                                self.ctx.now(),
+                            );
+                        }
                         return Ok((resp, latency));
                     }
                 }

@@ -19,6 +19,7 @@
 use std::any::Any;
 
 use labstor_sim::Ctx;
+use labstor_telemetry::Stage;
 
 use crate::registry::ModuleManager;
 use crate::request::{Request, RespPayload};
@@ -123,7 +124,16 @@ impl StackEnv<'_> {
         let Some(mod_) = self.registry.get(&vertex.uuid) else {
             return RespPayload::Err(format!("module {} not in registry", vertex.uuid));
         };
+        let rec = self.registry.telemetry();
+        let recording = rec.enabled();
+        let (req_id, stack_id) = (req.id, self.stack.id);
+        let hop_t0 = ctx.now();
         labstor_ipc::cost::same_domain_hop(ctx);
+        if recording {
+            // The inter-stage hand-off is IPC cost, not the parent
+            // vertex's — record it so the anatomy attributes it right.
+            rec.record(Stage::Hop, req_id, stack_id, next, hop_t0, ctx.now());
+        }
         let env = StackEnv {
             stack: self.stack,
             vertex: next,
@@ -132,7 +142,22 @@ impl StackEnv<'_> {
         };
         let mut fwd = req;
         fwd.vertex = next;
-        mod_.process(ctx, fwd, &env)
+        let t0 = ctx.now();
+        let resp = mod_.process(ctx, fwd, &env);
+        if recording {
+            rec.record(Stage::Vertex, req_id, stack_id, next, t0, ctx.now());
+        }
+        resp
+    }
+
+    /// Record a device service window (`[t0, t1]` in virtual ns) observed
+    /// by this vertex — driver LabMods call this with the completion's
+    /// `done_at - service_ns .. done_at`. No-op while the recorder is
+    /// disabled.
+    pub fn stamp_device(&self, req_id: u64, t0: u64, t1: u64) {
+        self.registry
+            .telemetry()
+            .record(Stage::Device, req_id, self.stack.id, self.vertex, t0, t1);
     }
 
     /// Forward a derived request to *every* output vertex (fan-out, e.g.

@@ -27,6 +27,28 @@ pub struct QueueLoad {
     /// per unit of virtual time since the last rebalance. 1000 means the
     /// queue keeps exactly one worker busy.
     pub demand_milli: u64,
+    /// Median *measured* per-item processing cost from the queue's
+    /// labtelem histogram (0 until work has been recorded).
+    pub p50_item_ns: u64,
+    /// P99 *measured* per-item processing cost from the queue's labtelem
+    /// histogram (0 until work has been recorded). When present, the
+    /// dynamic policy classifies by this instead of the estimate-derived
+    /// `max_item_ns` — one mis-estimated request can no longer pin a
+    /// queue in the computational class forever.
+    pub p99_item_ns: u64,
+}
+
+impl QueueLoad {
+    /// The per-item cost the dynamic policy classifies by: the measured
+    /// P99 when the queue's histogram has data, else the estimate-derived
+    /// maximum (a fresh queue has processed nothing yet).
+    pub fn classify_item_ns(&self) -> u64 {
+        if self.p99_item_ns > 0 {
+            self.p99_item_ns
+        } else {
+            self.max_item_ns
+        }
+    }
 }
 
 /// A queue→worker assignment: `assignment[w]` lists the qids worker `w`
@@ -130,7 +152,7 @@ impl OrchestratorPolicy for DynamicPolicy {
     fn rebalance(&self, queues: &[QueueLoad], max_workers: usize) -> Assignment {
         let (lqs, cqs): (Vec<QueueLoad>, Vec<QueueLoad>) = queues
             .iter()
-            .partition(|q| q.max_item_ns <= self.config.latency_threshold_ns);
+            .partition(|q| q.classify_item_ns() <= self.config.latency_threshold_ns);
         let lq_demand: u64 = lqs.iter().map(|q| q.demand_milli).sum();
         let cq_demand: u64 = cqs.iter().map(|q| q.demand_milli).sum();
 
@@ -184,6 +206,8 @@ mod tests {
             est_load_ns: demand_milli,
             max_item_ns: max_item,
             demand_milli,
+            p50_item_ns: 0,
+            p99_item_ns: 0,
         }
     }
 
@@ -220,6 +244,29 @@ mod tests {
         assert!(
             !lq_worker.contains(&2) && !lq_worker.contains(&3),
             "LQs must not share a worker with CQs: {a:?}"
+        );
+    }
+
+    #[test]
+    fn measured_p99_overrides_estimated_max_item() {
+        let policy = DynamicPolicy::default();
+        // Queue 0 once saw a wildly over-estimated request (est 20 ms),
+        // but its *measured* P99 is 3 µs — the histogram wins and it
+        // classifies as latency-sensitive next to queue 1.
+        let mut fast_measured = q(0, 100, 20_000_000);
+        fast_measured.p50_item_ns = 2_000;
+        fast_measured.p99_item_ns = 3_000;
+        let queues = vec![
+            fast_measured,
+            q(1, 100, 3_000),
+            q(2, 950, 20_000_000),
+            q(3, 950, 20_000_000),
+        ];
+        let a = policy.rebalance(&queues, 8);
+        let w0 = a.iter().find(|w| w.contains(&0)).expect("queue 0 assigned");
+        assert!(
+            !w0.contains(&2) && !w0.contains(&3),
+            "measured-fast queue must not share a worker with CQs: {a:?}"
         );
     }
 

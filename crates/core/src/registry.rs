@@ -94,6 +94,11 @@ pub struct ModuleManager {
     /// Virtual time at which the last upgrade window ended; resuming
     /// workers fast-forward to it so the pause costs virtual time.
     resume_vt: std::sync::atomic::AtomicU64,
+    /// The Runtime's span flight recorder (disabled by default). Owned
+    /// here so every component that can reach the registry — workers,
+    /// clients, LabMods via `StackEnv` — records into the same recorder,
+    /// and separate Runtimes never share spans.
+    telemetry: Arc<labstor_telemetry::FlightRecorder>,
 }
 
 impl Default for ModuleManager {
@@ -113,7 +118,15 @@ impl ModuleManager {
             max_repos_per_user: 8,
             upgrades: Mutex::new(Vec::new()),
             resume_vt: std::sync::atomic::AtomicU64::new(0),
+            telemetry: Arc::new(labstor_telemetry::FlightRecorder::default()),
         }
+    }
+
+    /// The span flight recorder shared by everything attached to this
+    /// Runtime. Disabled by default; `FlightRecorder::enable` turns
+    /// recording on.
+    pub fn telemetry(&self) -> &Arc<labstor_telemetry::FlightRecorder> {
+        &self.telemetry
     }
 
     // ---- repos --------------------------------------------------------

@@ -197,6 +197,8 @@ impl Runtime {
                     est_load_ns: backlog,
                     max_item_ns: q.max_item_ns(),
                     demand_milli,
+                    p50_item_ns: q.p50_item_ns(),
+                    p99_item_ns: q.p99_item_ns(),
                 }
             })
             .collect();
@@ -247,13 +249,7 @@ impl Runtime {
         self.workers
             .lock()
             .iter()
-            .map(|w| {
-                // relaxed-ok: stat counter; readers tolerate lag
-                (
-                    w.now_ns.load(Ordering::Relaxed),
-                    w.busy_ns.load(Ordering::Relaxed),
-                )
-            })
+            .map(|w| (w.clock.now(), w.clock.busy()))
             .collect()
     }
 

@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 
 use labstor_ipc::{QueuePair, UpgradeFlag};
 use labstor_sim::{Ctx, Watermark};
+use labstor_telemetry::{ClockCell, Stage};
 
 use crate::labmod::StackEnv;
 use crate::registry::ModuleManager;
@@ -52,7 +53,17 @@ pub fn process_request(
         registry: mm,
         domain,
     };
+    let rec = mm.telemetry();
+    let recording = rec.enabled();
+    let (stack_id, vertex_idx) = (req.stack, req.vertex);
+    let t0 = ctx.now();
     let payload = mod_.process(ctx, req, &env);
+    if recording {
+        // The entry vertex's span is inclusive: downstream vertices,
+        // hops and device windows recorded inside `process` nest under
+        // it in the trace.
+        rec.record(Stage::Vertex, id, stack_id, vertex_idx, t0, ctx.now());
+    }
     Response { id, payload }
 }
 
@@ -62,10 +73,9 @@ pub struct Worker {
     pub id: usize,
     /// Queues this worker drains (swapped by the orchestrator).
     pub assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>>,
-    /// Published snapshot of the worker's virtual clock.
-    pub now_ns: Arc<AtomicU64>,
-    /// Published snapshot of the worker's busy time.
-    pub busy_ns: Arc<AtomicU64>,
+    /// Published `(now, busy)` snapshot of the worker's virtual clock —
+    /// the single publication path for worker-visible time.
+    pub clock: Arc<ClockCell>,
     /// Requests processed.
     pub processed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
@@ -82,14 +92,12 @@ impl Worker {
     ) -> Worker {
         let assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>> = Arc::new(RwLock::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
-        let now_ns = Arc::new(AtomicU64::new(0));
-        let busy_ns = Arc::new(AtomicU64::new(0));
+        let clock = Arc::new(ClockCell::new());
         let processed = Arc::new(AtomicU64::new(0));
 
         let t_assigned = assigned.clone();
         let t_stop = stop.clone();
-        let t_now = now_ns.clone();
-        let t_busy = busy_ns.clone();
+        let t_clock = clock.clone();
         let t_processed = processed.clone();
         let join = std::thread::Builder::new()
             .name(format!("labstor-worker-{id}"))
@@ -100,8 +108,7 @@ impl Worker {
                     &mm,
                     &watermark,
                     &t_stop,
-                    &t_now,
-                    &t_busy,
+                    &t_clock,
                     &t_processed,
                 );
             })
@@ -110,8 +117,7 @@ impl Worker {
         Worker {
             id,
             assigned,
-            now_ns,
-            busy_ns,
+            clock,
             processed,
             stop,
             join: Some(join),
@@ -143,19 +149,18 @@ impl Drop for Worker {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     assigned: &RwLock<Vec<Arc<QueuePair<Message>>>>,
     ns: &Namespace,
     mm: &ModuleManager,
     watermark: &Watermark,
     stop: &AtomicBool,
-    now_ns: &AtomicU64,
-    busy_ns: &AtomicU64,
+    clock: &ClockCell,
     processed: &AtomicU64,
 ) {
     let mut ctx = Ctx::new();
     let backoff = Backoff::new();
+    let rec = mm.telemetry().clone();
     /// Requests drained per queue per pass: bounds queue starvation.
     const BATCH: usize = 8;
     while !stop.load(Ordering::Acquire) {
@@ -179,6 +184,18 @@ fn worker_loop(
                 did_work = true;
                 match env.payload {
                     Message::Req(req) => {
+                        if rec.enabled() {
+                            // Submission-queue crossing: from client
+                            // submit to this dequeue (queue wait + hop).
+                            rec.record(
+                                Stage::HopReq,
+                                req.id,
+                                req.stack,
+                                req.vertex,
+                                env.submit_vt,
+                                ctx.now(),
+                            );
+                        }
                         let before = ctx.busy();
                         let resp = process_request(&mut ctx, req, ns, mm, RUNTIME_DOMAIN);
                         let spent = ctx.busy() - before;
@@ -203,8 +220,9 @@ fn worker_loop(
                 }
             }
         }
-        now_ns.store(ctx.now(), Ordering::Relaxed); // relaxed-ok: published metric snapshot; staleness is acceptable
-        busy_ns.store(ctx.busy(), Ordering::Relaxed); // relaxed-ok: published metric snapshot; staleness is acceptable
+        // Single publication path for worker-visible time (labtelem's
+        // ClockCell carries its own relaxed-ok justification).
+        clock.publish(ctx.now(), ctx.busy());
         watermark.publish(ctx.now());
         if did_work {
             backoff.reset();

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crossbeam::queue::ArrayQueue;
 use labstor_sim::Ctx;
+use labstor_telemetry::LogHistogram;
 
 use crate::cost;
 
@@ -108,6 +109,11 @@ pub struct QueuePair<T> {
     /// (worker pickup time minus submit time) — the orchestrator's
     /// latency-pressure signal.
     wait_ema_ns: AtomicU64,
+    /// Histogram of measured per-item processing cost (everything passed
+    /// to [`QueuePair::record_work`]). The Work Orchestrator classifies
+    /// queues by its quantiles, falling back to [`QueuePair::max_item_ns`]
+    /// while the histogram is still empty.
+    item_hist: LogHistogram,
 }
 
 impl<T> QueuePair<T> {
@@ -126,6 +132,7 @@ impl<T> QueuePair<T> {
             max_item_ns: AtomicU64::new(0),
             work_done_ns: AtomicU64::new(0),
             wait_ema_ns: AtomicU64::new(0),
+            item_hist: LogHistogram::new(),
         }
     }
 
@@ -329,6 +336,7 @@ impl<T> QueuePair<T> {
     /// Record `ns` of processing done for a request from this queue.
     pub fn record_work(&self, ns: u64) {
         self.work_done_ns.fetch_add(ns, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.item_hist.record(ns);
     }
 
     /// Cumulative processing time spent on this queue's requests.
@@ -339,6 +347,18 @@ impl<T> QueuePair<T> {
     /// Recent average queue wait in ns.
     pub fn wait_ema_ns(&self) -> u64 {
         self.wait_ema_ns.load(Ordering::Relaxed) // relaxed-ok: single-writer EMA, approximate by design
+    }
+
+    /// Median measured per-item processing cost (0 until work is
+    /// recorded).
+    pub fn p50_item_ns(&self) -> u64 {
+        self.item_hist.p50()
+    }
+
+    /// Tail (P99) measured per-item processing cost (0 until work is
+    /// recorded).
+    pub fn p99_item_ns(&self) -> u64 {
+        self.item_hist.p99()
     }
 }
 
@@ -440,6 +460,20 @@ mod tests {
         assert_eq!(q.est_load_ns(), 750);
         q.add_load(-10_000);
         assert_eq!(q.est_load_ns(), 0);
+    }
+
+    #[test]
+    fn record_work_feeds_item_quantiles() {
+        let q = qp();
+        assert_eq!((q.p50_item_ns(), q.p99_item_ns()), (0, 0));
+        for _ in 0..9 {
+            q.record_work(1_000);
+        }
+        q.record_work(1_000_000);
+        let p50 = q.p50_item_ns();
+        assert!((1_000..1_100).contains(&p50), "p50 {p50}");
+        assert!(q.p99_item_ns() >= 1_000_000);
+        assert_eq!(q.work_done_ns(), 9_000 + 1_000_000);
     }
 
     #[test]

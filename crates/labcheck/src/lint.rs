@@ -92,8 +92,9 @@ pub struct Config {
 
 impl Config {
     /// The LabStor-RS workspace policy: the IPC ring and queue pair are
-    /// hot end to end; in `core::worker` only the poll loop is hot (spawn
-    /// and teardown may panic).
+    /// hot end to end, and so is the telemetry span ring (`record` runs
+    /// inside the IPC hot path on every request); in `core::worker` only
+    /// the poll loop is hot (spawn and teardown may panic).
     pub fn labstor() -> Config {
         Config {
             hot_paths: vec![
@@ -108,6 +109,10 @@ impl Config {
                 HotPath {
                     file_suffix: "crates/core/src/worker.rs",
                     function: Some("worker_loop"),
+                },
+                HotPath {
+                    file_suffix: "crates/telemetry/src/span.rs",
+                    function: None,
                 },
             ],
             // The simulator's virtual-clock counters are single-threaded

@@ -24,6 +24,7 @@ use labstor_core::{
 };
 use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 /// Per-block lookup cost (two-list bookkeeping is slightly heavier than a
 /// plain LRU's).
@@ -53,7 +54,7 @@ pub struct ArcCacheMod {
     capacity_blocks: usize,
     hits: AtomicU64,
     misses: AtomicU64,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
     downstream_ns: AtomicU64,
 }
 
@@ -71,7 +72,7 @@ impl ArcCacheMod {
             capacity_blocks: (capacity_bytes / 4096).max(2),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
         }
     }
@@ -215,25 +216,24 @@ impl LabMod for ArcCacheMod {
             _ => self.fwd(ctx, env, req),
         };
         let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                                        // relaxed-ok: stat counter; readers tolerate lag
-        self.total_ns.fetch_add(
-            (ctx.busy() - before).saturating_sub(downstream),
-            Ordering::Relaxed,
-        );
+        self.perf
+            .observe((ctx.busy() - before).saturating_sub(downstream));
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        LOOKUP_NS + 2 * copy_cost(req.payload_bytes())
+        self.perf
+            .est_ns(LOOKUP_NS + 2 * copy_cost(req.payload_bytes()))
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         // Swap-in from either cache flavor: warm blocks migrate.
         if let Some(prev) = old.as_any().downcast_ref::<ArcCacheMod>() {
+            self.perf.absorb(&prev.perf);
             let mut theirs = prev.state.lock();
             let mut drained: Vec<(u64, Vec<u8>)> = Vec::new();
             while let Some(e) = theirs.t1.pop_lru() {

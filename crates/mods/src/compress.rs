@@ -17,6 +17,7 @@ use labstor_core::{
     BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
 };
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 use crate::compress_algo::{compress, compress_cost_ns, decompress, decompress_cost_ns};
 
@@ -35,7 +36,7 @@ struct Extent {
 /// The compression LabMod.
 pub struct CompressMod {
     extents: RwLock<HashMap<u64, Extent>>,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
 }
@@ -45,7 +46,7 @@ impl CompressMod {
     pub fn new() -> Self {
         CompressMod {
             extents: RwLock::new(HashMap::new()),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
         }
@@ -154,21 +155,24 @@ impl LabMod for CompressMod {
             }
             _ => env.forward(ctx, req),
         };
-        self.total_ns
-            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(ctx.busy() - before);
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
+        // Deliberately size-scaled and never EWMA-overridden: the
+        // orchestrator's CQ/LQ split keys off this model, and an average
+        // over mixed request sizes would misclassify small requests.
         compress_cost_ns(req.payload_bytes())
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<CompressMod>() {
+            self.perf.absorb(&prev.perf);
             *self.extents.write() = prev.extents.read().clone();
         }
     }

@@ -20,6 +20,7 @@ use labstor_core::{
     BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
 };
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 /// Durability policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +38,7 @@ pub struct ConsistencyMod {
     policy: Policy,
     writes: AtomicU64,
     flushes: AtomicU64,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl ConsistencyMod {
@@ -47,7 +48,7 @@ impl ConsistencyMod {
             policy,
             writes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -104,21 +105,24 @@ impl LabMod for ConsistencyMod {
                 }
             }
         }
-        self.total_ns
-            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(ctx.busy() - before);
         resp
     }
 
     fn est_processing_time(&self, _req: &Request) -> u64 {
+        // Stays the bare barrier-check cost (never EWMA-overridden): the
+        // observed busy delta includes the downstream write + flush, which
+        // would wildly overstate this stage's own work.
         50
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<ConsistencyMod>() {
+            self.perf.absorb(&prev.perf);
             self.writes
                 .store(prev.writes.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                                                                                 // relaxed-ok: stat counter; readers tolerate lag

@@ -21,7 +21,8 @@ use labstor_core::{
 };
 use labstor_kernel::block::CompletionMode;
 use labstor_kernel::BlockLayer;
-use labstor_sim::{BlockDevice, Ctx, IoRequest, PmemDevice, SimDevice};
+use labstor_sim::{BlockDevice, Completion, Ctx, IoRequest, PmemDevice, SimDevice};
+use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
 
@@ -40,10 +41,16 @@ const SPDK_SUBMIT_NS: u64 = 200;
 /// write, modeled in the block layer as `DRIVER_SUBMIT_NS`).
 pub(crate) const DRIVER_SW_NS: u64 = 150;
 
+/// Record the media service window of a completion as a Device span (the
+/// labtelem recorder no-ops while disabled).
+fn stamp_completion(env: &StackEnv<'_>, req_id: u64, c: &Completion) {
+    env.stamp_device(req_id, c.done_at.saturating_sub(c.service_ns), c.done_at);
+}
+
 /// Kernel MQ Driver LabMod.
 pub struct KernelDriverMod {
     layer: Arc<BlockLayer>,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl KernelDriverMod {
@@ -51,7 +58,7 @@ impl KernelDriverMod {
     pub fn new(layer: Arc<BlockLayer>) -> Self {
         KernelDriverMod {
             layer,
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 }
@@ -66,22 +73,20 @@ impl LabMod for KernelDriverMod {
         ModType::Driver
     }
 
-    fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
-        // Software-exclusive accounting: the media wait is visible in the
-        // device's own busy counter, not here.
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
         let alloc_ns = if req.qid_hint.is_some() {
             KDRV_PREKEYED_NS
         } else {
             KDRV_ALLOC_NS
         };
-        self.total_ns
-            .fetch_add(alloc_ns + DRIVER_SW_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        let req_id = req.id;
+        let busy0 = ctx.busy();
         let dev = self.layer.device();
         // Clamp to the device's queue count: schedulers upstream may be
         // configured for wider devices.
         let qid = req.qid_hint.unwrap_or(req.core) % dev.num_queues();
 
-        match req.payload {
+        let resp = match req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(alloc_ns);
                 let len = data.len();
@@ -94,6 +99,7 @@ impl LabMod for KernelDriverMod {
                         let c = self
                             .layer
                             .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        stamp_completion(env, req_id, &c);
                         match c.result {
                             Ok(_) => RespPayload::Len(len),
                             Err(e) => RespPayload::Err(e.to_string()),
@@ -113,6 +119,7 @@ impl LabMod for KernelDriverMod {
                         let c = self
                             .layer
                             .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        stamp_completion(env, req_id, &c);
                         match c.result {
                             Ok(data) => RespPayload::Data(data),
                             Err(e) => RespPayload::Err(e.to_string()),
@@ -128,28 +135,45 @@ impl LabMod for KernelDriverMod {
                     .submit_io_to_hctx(ctx, qid, IoRequest::flush(tag))
                 {
                     Ok(()) => {
-                        self.layer
+                        let c = self
+                            .layer
                             .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
+                        stamp_completion(env, req_id, &c);
                         RespPayload::Ok
                     }
                     Err(e) => RespPayload::Err(e.to_string()),
                 }
             }
-            _ => RespPayload::Err("kernel_driver handles block ops only".into()),
-        }
+            _ => return RespPayload::Err("kernel_driver handles block ops only".into()),
+        };
+        // Split accounting: `est_total_time` stays software-exclusive (the
+        // media wait is visible in the device's own busy counter), while
+        // the estimator learns the device-inclusive cost — the same
+        // quantity the analytic model (`alloc + transfer`) predicts.
+        self.perf
+            .observe_split(alloc_ns + DRIVER_SW_NS, ctx.busy() - busy0);
+        resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
         let dev = self.layer.device();
-        KDRV_ALLOC_NS
-            + dev.model().transfer_ns(
-                matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
-                req.payload_bytes(),
-            )
+        self.perf.est_ns(
+            KDRV_ALLOC_NS
+                + dev.model().transfer_ns(
+                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    req.payload_bytes(),
+                ),
+        )
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<KernelDriverMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -160,13 +184,15 @@ impl LabMod for KernelDriverMod {
 /// SPDK Driver LabMod: direct userspace NVMe queue pairs.
 pub struct SpdkMod {
     dev: Arc<SimDevice>,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
     /// Command identifiers must be unique per device, not per request
     /// stream — concurrent streams on shared queues would otherwise reap
     /// each other's completions.
     next_cid: AtomicU64,
-    /// Completions reaped on behalf of other pollers sharing a queue.
-    stash: parking_lot::Mutex<std::collections::HashMap<u64, Result<Vec<u8>, String>>>,
+    /// Completions reaped on behalf of other pollers sharing a queue,
+    /// with the media service window for Device-span stamping.
+    #[allow(clippy::type_complexity)]
+    stash: parking_lot::Mutex<std::collections::HashMap<u64, (Result<Vec<u8>, String>, u64, u64)>>,
 }
 
 impl SpdkMod {
@@ -174,7 +200,7 @@ impl SpdkMod {
     pub fn new(dev: Arc<SimDevice>) -> Self {
         SpdkMod {
             dev,
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
             next_cid: AtomicU64::new(1),
             stash: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
@@ -195,11 +221,12 @@ impl LabMod for SpdkMod {
         ModType::Driver
     }
 
-    fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
-        self.total_ns.fetch_add(SPDK_SUBMIT_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+        let req_id = req.id;
+        let busy0 = ctx.busy();
         let qid = req.qid_hint.unwrap_or(req.core) % self.dev.num_queues();
 
-        match req.payload {
+        let resp = match req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(SPDK_SUBMIT_NS);
                 let len = data.len();
@@ -209,7 +236,7 @@ impl LabMod for SpdkMod {
                     .submit_at(qid, IoRequest::write(lba, data, cid), ctx.now())
                 {
                     Ok(()) => {
-                        let done = self.wait(ctx, qid, cid);
+                        let done = self.wait(ctx, env, req_id, qid, cid);
                         match done {
                             Ok(_) => RespPayload::Len(len),
                             Err(e) => RespPayload::Err(e),
@@ -225,7 +252,7 @@ impl LabMod for SpdkMod {
                     .dev
                     .submit_at(qid, IoRequest::read(lba, len, cid), ctx.now())
                 {
-                    Ok(()) => match self.wait(ctx, qid, cid) {
+                    Ok(()) => match self.wait(ctx, env, req_id, qid, cid) {
                         Ok(data) => RespPayload::Data(data),
                         Err(e) => RespPayload::Err(e),
                     },
@@ -236,26 +263,39 @@ impl LabMod for SpdkMod {
                 let cid = self.cid();
                 match self.dev.submit_at(qid, IoRequest::flush(cid), ctx.now()) {
                     Ok(()) => {
-                        let _ = self.wait(ctx, qid, cid);
+                        let _ = self.wait(ctx, env, req_id, qid, cid);
                         RespPayload::Ok
                     }
                     Err(e) => RespPayload::Err(e.to_string()),
                 }
             }
-            _ => RespPayload::Err("spdk handles block ops only".into()),
-        }
+            _ => return RespPayload::Err("spdk handles block ops only".into()),
+        };
+        // Totals stay at the submit cost (software-exclusive — the spin
+        // poll is charged as device wait); the estimator learns the
+        // device-inclusive cost the `submit + transfer` model predicts.
+        self.perf.observe_split(SPDK_SUBMIT_NS, ctx.busy() - busy0);
+        resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        SPDK_SUBMIT_NS
-            + self.dev.model().transfer_ns(
-                matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
-                req.payload_bytes(),
-            )
+        self.perf.est_ns(
+            SPDK_SUBMIT_NS
+                + self.dev.model().transfer_ns(
+                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    req.payload_bytes(),
+                ),
+        )
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<SpdkMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -266,10 +306,19 @@ impl LabMod for SpdkMod {
 impl SpdkMod {
     /// Spin-poll the queue pair for one tag (pure userspace polling).
     /// Foreign completions on a shared queue are stashed for their
-    /// waiters, never dropped.
-    fn wait(&self, ctx: &mut Ctx, qid: usize, tag: u64) -> Result<Vec<u8>, String> {
+    /// waiters, never dropped; each carries its media service window so
+    /// the eventual waiter can stamp the Device span.
+    fn wait(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req_id: u64,
+        qid: usize,
+        tag: u64,
+    ) -> Result<Vec<u8>, String> {
         loop {
-            if let Some(r) = self.stash.lock().remove(&tag) {
+            if let Some((r, t0, t1)) = self.stash.lock().remove(&tag) {
+                env.stamp_device(req_id, t0, t1);
                 return r;
             }
             if let Some(due) = self.dev.next_due(qid) {
@@ -277,14 +326,19 @@ impl SpdkMod {
                 let mut found = None;
                 let mut stash = self.stash.lock();
                 for c in self.dev.poll(qid, ctx.now(), 32) {
+                    let window = (c.done_at.saturating_sub(c.service_ns), c.done_at);
                     if c.tag == tag {
-                        found = Some(c.result.map_err(|e| e.to_string()));
+                        found = Some((c.result.map_err(|e| e.to_string()), window));
                     } else {
-                        stash.insert(c.tag, c.result.map_err(|e| e.to_string()));
+                        stash.insert(
+                            c.tag,
+                            (c.result.map_err(|e| e.to_string()), window.0, window.1),
+                        );
                     }
                 }
                 drop(stash);
-                if let Some(r) = found {
+                if let Some((r, (t0, t1))) = found {
+                    env.stamp_device(req_id, t0, t1);
                     return r;
                 }
             } else {
@@ -297,7 +351,7 @@ impl SpdkMod {
 /// DAX Driver LabMod: byte-addressable persistent memory.
 pub struct DaxMod {
     dev: Arc<PmemDevice>,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl DaxMod {
@@ -305,7 +359,7 @@ impl DaxMod {
     pub fn new(dev: Arc<PmemDevice>) -> Self {
         DaxMod {
             dev,
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 }
@@ -320,7 +374,10 @@ impl LabMod for DaxMod {
         ModType::Driver
     }
 
-    fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+        let req_id = req.id;
+        let busy0 = ctx.busy();
+        let t0 = ctx.now();
         let resp = match req.payload {
             // LBAs keep block-op sector units for stackability; DAX's
             // byte-addressability means transfers need no alignment and
@@ -344,22 +401,32 @@ impl LabMod for DaxMod {
                 self.dev.drain(ctx);
                 RespPayload::Ok
             }
-            _ => RespPayload::Err("dax handles block ops only".into()),
+            _ => return RespPayload::Err("dax handles block ops only".into()),
         };
-        // DAX has no driver software layer; the access *is* the device.
-        self.total_ns.fetch_add(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        // The whole synchronous load/store window is media time.
+        env.stamp_device(req_id, t0, ctx.now());
+        // DAX has no driver software layer; the access *is* the device,
+        // so totals stay at zero while the estimator learns the access
+        // cost.
+        self.perf.observe_split(0, ctx.busy() - busy0);
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        self.dev.model().transfer_ns(
+        self.perf.est_ns(self.dev.model().transfer_ns(
             matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
             req.payload_bytes(),
-        )
+        ))
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<DaxMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -376,7 +443,7 @@ impl LabMod for DaxMod {
 /// reuses kernel policy wholesale.
 pub struct IoUringDriverMod {
     engine: labstor_kernel::engines::RawEngine,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl IoUringDriverMod {
@@ -387,7 +454,7 @@ impl IoUringDriverMod {
                 labstor_kernel::engines::IoEngineKind::IoUring,
                 layer,
             ),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 }
@@ -402,8 +469,9 @@ impl LabMod for IoUringDriverMod {
         ModType::Driver
     }
 
-    fn process(&self, ctx: &mut Ctx, req: Request, _env: &StackEnv<'_>) -> RespPayload {
+    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
         use labstor_kernel::sched::IoClass;
+        let req_id = req.id;
         let before = ctx.busy();
         let class = if req.payload_bytes() <= 16 * 1024 {
             IoClass::Latency
@@ -421,29 +489,42 @@ impl LabMod for IoUringDriverMod {
             _ => None,
         };
         let resp = match self.engine.rw_sync(ctx, req.core, class, io) {
-            Ok(c) => match (c.result, want_len) {
-                (Ok(_), Some(n)) => RespPayload::Len(n),
-                (Ok(data), None) if !data.is_empty() => RespPayload::Data(data),
-                (Ok(_), None) => RespPayload::Ok,
-                (Err(e), _) => RespPayload::Err(e.to_string()),
-            },
+            Ok(c) => {
+                stamp_completion(env, req_id, &c);
+                match (c.result, want_len) {
+                    (Ok(_), Some(n)) => RespPayload::Len(n),
+                    (Ok(data), None) if !data.is_empty() => RespPayload::Data(data),
+                    (Ok(_), None) => RespPayload::Ok,
+                    (Err(e), _) => RespPayload::Err(e.to_string()),
+                }
+            }
             Err(e) => RespPayload::Err(e.to_string()),
         };
-        self.total_ns
-            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        // The kernel path's totals were always device-inclusive (the
+        // whole syscall round trip); keep that and let the estimator
+        // track the same quantity.
+        self.perf.observe(ctx.busy() - before);
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        2_000
-            + self.engine_device_transfer(
-                matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
-                req.payload_bytes(),
-            )
+        self.perf.est_ns(
+            2_000
+                + self.engine_device_transfer(
+                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    req.payload_bytes(),
+                ),
+        )
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<IoUringDriverMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

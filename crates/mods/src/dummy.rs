@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use labstor_core::{LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv};
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 /// A module that spends a configurable amount of virtual work per message
 /// and counts how many messages it has seen.
@@ -17,7 +18,7 @@ pub struct DummyMod {
     /// Default per-message work when the request does not carry one.
     pub default_work_ns: u64,
     count: AtomicU64,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl DummyMod {
@@ -27,7 +28,7 @@ impl DummyMod {
             version,
             default_work_ns,
             count: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -54,8 +55,8 @@ impl LabMod for DummyMod {
         };
         ctx.advance(work);
         self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-        self.total_ns.fetch_add(work, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                          // Dummies are usually terminal but forward if stacked.
+        self.perf.observe(work);
+        // Dummies are usually terminal but forward if stacked.
         if env.stack.vertices[env.vertex].outputs.is_empty() {
             RespPayload::Ok
         } else {
@@ -64,6 +65,7 @@ impl LabMod for DummyMod {
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
+        // The request carries its own cost: stay exact, never estimated.
         match req.payload {
             Payload::Dummy { work_ns } if work_ns > 0 => work_ns,
             _ => self.default_work_ns,
@@ -71,15 +73,13 @@ impl LabMod for DummyMod {
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<DummyMod>() {
             self.count.store(prev.count(), Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                               // relaxed-ok: stat counter; readers tolerate lag
-            self.total_ns
-                .store(prev.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.perf.absorb(&prev.perf);
         }
     }
 

@@ -34,6 +34,7 @@ use labstor_core::{
     StackEnv,
 };
 use labstor_sim::{BlockDevice, Ctx, SimDevice};
+use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
 
@@ -387,7 +388,7 @@ pub struct LabFs {
     /// Direct handle for log persistence and replay.
     log_device: Arc<SimDevice>,
     next_ino: AtomicU64,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
     /// Busy time spent in downstream stages (subtracted so
     /// `est_total_time` reports LabFS-exclusive work).
     downstream_ns: AtomicU64,
@@ -416,7 +417,7 @@ impl LabFs {
                 .collect(),
             log_device: device,
             next_ino: AtomicU64::new(1),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
         }
     }
@@ -1032,29 +1033,27 @@ impl LabMod for LabFs {
             _ => self.fwd(ctx, env, req),
         };
         let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                                        // relaxed-ok: stat counter; readers tolerate lag
-        self.total_ns.fetch_add(
-            (ctx.busy() - before).saturating_sub(downstream),
-            Ordering::Relaxed,
-        );
+        self.perf
+            .observe((ctx.busy() - before).saturating_sub(downstream));
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        match &req.payload {
+        self.perf.est_ns(match &req.payload {
             Payload::Fs(FsOp::Write { data, .. }) => 2_000 + data.len() as u64,
             Payload::Fs(FsOp::Read { len, .. }) => 2_000 + *len as u64,
             _ => META_CPU_NS + LOG_APPEND_NS,
-        }
+        })
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         // Upgrades move the whole in-memory state across instances.
         if let Some(prev) = old.as_any().downcast_ref::<LabFs>() {
+            self.perf.absorb(&prev.perf);
             for (mine, theirs) in self.names.iter().zip(prev.names.iter()) {
                 *mine.write() = theirs.read().clone();
             }

@@ -7,7 +7,6 @@
 //! block allocation, per-worker operation log, replay-based recovery.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -16,6 +15,7 @@ use labstor_core::{
     BlockOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
 };
 use labstor_sim::{BlockDevice, Ctx, SimDevice};
+use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
 use crate::labfs::BlockAllocator;
@@ -111,7 +111,7 @@ pub struct LabKvs {
     allocator: BlockAllocator,
     logs: Vec<Mutex<KvLog>>,
     log_device: Arc<SimDevice>,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl LabKvs {
@@ -135,7 +135,7 @@ impl LabKvs {
                 })
                 .collect(),
             log_device: device,
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -339,21 +339,21 @@ impl LabMod for LabKvs {
             }
             _ => env.forward(ctx, req),
         };
-        self.total_ns
-            .fetch_add(ctx.busy() - before, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(ctx.busy() - before);
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        KV_CPU_NS + req.payload_bytes() as u64
+        self.perf.est_ns(KV_CPU_NS + req.payload_bytes() as u64)
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<LabKvs>() {
+            self.perf.absorb(&prev.perf);
             for (mine, theirs) in self.shards.iter().zip(prev.shards.iter()) {
                 *mine.write() = theirs.read().clone();
             }

@@ -17,6 +17,7 @@ use labstor_core::{
 };
 use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 /// Per-block lookup cost (userspace hashmap, cheaper than the kernel's
 /// locked tree).
@@ -41,7 +42,7 @@ pub struct LruCacheMod {
     write_back: bool,
     hits: AtomicU64,
     misses: AtomicU64,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
     /// Downstream busy time, subtracted so `est_total_time` is exclusive.
     downstream_ns: AtomicU64,
 }
@@ -55,7 +56,7 @@ impl LruCacheMod {
             write_back,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
         }
     }
@@ -241,25 +242,24 @@ impl LabMod for LruCacheMod {
             _ => self.fwd(ctx, env, req),
         };
         let downstream = self.downstream_ns.swap(0, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                                        // relaxed-ok: stat counter; readers tolerate lag
-        self.total_ns.fetch_add(
-            (ctx.busy() - before).saturating_sub(downstream),
-            Ordering::Relaxed,
-        );
+        self.perf
+            .observe((ctx.busy() - before).saturating_sub(downstream));
         resp
     }
 
     fn est_processing_time(&self, req: &Request) -> u64 {
-        LOOKUP_NS + 2 * copy_cost(req.payload_bytes())
+        self.perf
+            .est_ns(LOOKUP_NS + 2 * copy_cost(req.payload_bytes()))
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         // Hot-swapping cache policies: warm state moves across.
         if let Some(prev) = old.as_any().downcast_ref::<LruCacheMod>() {
+            self.perf.absorb(&prev.perf);
             let mut mine = self.cache.lock();
             let mut theirs = prev.cache.lock();
             // Drain oldest-first so recency order is preserved on insert.

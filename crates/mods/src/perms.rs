@@ -9,7 +9,6 @@
 //! access control.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -18,6 +17,7 @@ use labstor_core::{
     FsOp, KvsOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
 };
 use labstor_sim::Ctx;
+use labstor_telemetry::PerfCounters;
 
 /// Per-operation check cost (ACL lookup + uid compare).
 const PERM_CHECK_NS: u64 = 450;
@@ -35,7 +35,7 @@ pub struct PermsMod {
     owners: RwLock<HashMap<String, Owner>>,
     /// Mode given to new entries.
     default_mode: u16,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl PermsMod {
@@ -44,7 +44,7 @@ impl PermsMod {
         PermsMod {
             owners: RwLock::new(HashMap::new()),
             default_mode,
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -82,7 +82,7 @@ impl LabMod for PermsMod {
 
     fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(PERM_CHECK_NS);
-        self.total_ns.fetch_add(PERM_CHECK_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(PERM_CHECK_NS);
         let denied = |what: &str| RespPayload::Err(format!("permission denied: {what}"));
         match &req.payload {
             Payload::Fs(FsOp::Create { path, mode }) => {
@@ -134,16 +134,17 @@ impl LabMod for PermsMod {
     }
 
     fn est_processing_time(&self, _req: &Request) -> u64 {
-        PERM_CHECK_NS
+        self.perf.est_ns(PERM_CHECK_NS)
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
     }
 
     fn state_update(&self, old: &dyn LabMod) {
         if let Some(prev) = old.as_any().downcast_ref::<PermsMod>() {
             *self.owners.write() = prev.owners.read().clone();
+            self.perf.absorb(&prev.perf);
         }
     }
 

@@ -7,13 +7,14 @@
 //! there is no block-layer bookkeeping around it — the ~20% latency
 //! reduction the paper reports over the in-kernel versions.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use labstor_core::{
     BlockOp, LabMod, ModType, ModuleManager, Payload, Request, RespPayload, StackEnv,
 };
 use labstor_sim::{Ctx, SimDevice};
+use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
 
@@ -29,7 +30,7 @@ const LATENCY_SIZE_BYTES: usize = 16 * 1024;
 /// Lab-NoOp: map to a hardware queue by originating core.
 pub struct NoopSchedMod {
     queues: usize,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl NoopSchedMod {
@@ -37,7 +38,7 @@ impl NoopSchedMod {
     pub fn new(queues: usize) -> Self {
         NoopSchedMod {
             queues: queues.max(1),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 }
@@ -54,17 +55,23 @@ impl LabMod for NoopSchedMod {
 
     fn process(&self, ctx: &mut Ctx, mut req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(LAB_SCHED_NS);
-        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(LAB_SCHED_NS);
         req.qid_hint = Some(req.core % self.queues);
         env.forward(ctx, req)
     }
 
     fn est_processing_time(&self, _req: &Request) -> u64 {
-        LAB_SCHED_NS
+        self.perf.est_ns(LAB_SCHED_NS)
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<NoopSchedMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -82,7 +89,7 @@ pub struct BlkSwitchSchedMod {
     cursor: AtomicUsize,
     /// Bulk-traffic history (app steering).
     history: labstor_kernel::sched::BulkHistory,
-    total_ns: AtomicU64,
+    perf: PerfCounters,
 }
 
 impl BlkSwitchSchedMod {
@@ -93,7 +100,7 @@ impl BlkSwitchSchedMod {
             dev,
             congestion_threshold,
             cursor: AtomicUsize::new(0),
-            total_ns: AtomicU64::new(0),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -118,7 +125,7 @@ impl LabMod for BlkSwitchSchedMod {
 
     fn process(&self, ctx: &mut Ctx, mut req: Request, env: &StackEnv<'_>) -> RespPayload {
         ctx.advance(LAB_SCHED_NS);
-        self.total_ns.fetch_add(LAB_SCHED_NS, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.observe(LAB_SCHED_NS);
         let is_latency = matches!(
             &req.payload,
             Payload::Block(BlockOp::Read { len, .. }) if *len <= LATENCY_SIZE_BYTES
@@ -145,11 +152,17 @@ impl LabMod for BlkSwitchSchedMod {
     }
 
     fn est_processing_time(&self, _req: &Request) -> u64 {
-        LAB_SCHED_NS
+        self.perf.est_ns(LAB_SCHED_NS)
     }
 
     fn est_total_time(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
+        self.perf.total_ns()
+    }
+
+    fn state_update(&self, old: &dyn LabMod) {
+        if let Some(prev) = old.as_any().downcast_ref::<BlkSwitchSchedMod>() {
+            self.perf.absorb(&prev.perf);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -1,0 +1,267 @@
+//! Span exporters: Chrome trace-event JSON and the Fig. 4a-style text
+//! anatomy.
+//!
+//! Both consume a flat `&[SpanEvent]` (usually
+//! `FlightRecorder::snapshot()`); callers supply a labeling closure that
+//! maps a span to a display/category name, so the exporters stay ignorant
+//! of LabStack layouts.
+//!
+//! The anatomy assigns each span its **exclusive** time — duration minus
+//! the durations of directly nested spans of the same request — so the
+//! per-category totals of one request sum exactly (in ns) to its
+//! end-to-end span extent. The Chrome export rounds to µs with three
+//! decimals, preserving full ns precision.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::{SpanEvent, Stage};
+
+/// Escape a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Virtual ns → Chrome's µs timestamps, keeping ns precision as three
+/// decimals.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render spans as Chrome trace-event JSON (open in `chrome://tracing`
+/// or [Perfetto](https://ui.perfetto.dev)). `label` names each span;
+/// the stage name becomes the category, the recording ring the Chrome
+/// `tid`, so per-worker timelines render as separate tracks. `Submit`
+/// spans become instant markers; everything else a complete (`"X"`)
+/// event.
+pub fn chrome_trace(spans: &[SpanEvent], label: impl Fn(&SpanEvent) -> String) -> String {
+    let mut out = String::with_capacity(spans.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = json_escape(&label(e));
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\
+             \"args\":{{\"req\":{},\"stack\":{},\"vertex\":{}}}",
+            name,
+            e.stage.name(),
+            e.ring,
+            us(e.t_start_vns),
+            e.req_id,
+            e.stack,
+            e.vertex
+        );
+        if e.stage == Stage::Submit {
+            let _ = write!(out, "{{\"ph\":\"i\",\"s\":\"t\",{common}}}");
+        } else {
+            let _ = write!(out, "{{\"ph\":\"X\",\"dur\":{},{common}}}", us(e.dur_vns()));
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// A per-category breakdown of exclusive virtual time, built by
+/// [`anatomy`].
+#[derive(Debug, Clone)]
+pub struct Anatomy {
+    /// `(category, exclusive virtual ns)`, sorted descending by time.
+    pub categories: Vec<(String, u64)>,
+    /// Sum of all exclusive times — equals the summed end-to-end span
+    /// extents of the covered requests.
+    pub total_ns: u64,
+    /// Distinct requests covered.
+    pub requests: u64,
+}
+
+impl Anatomy {
+    /// Exclusive ns attributed to `category` (0 when absent).
+    pub fn ns(&self, category: &str) -> u64 {
+        self.categories
+            .iter()
+            .find(|(c, _)| c == category)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Share of the total attributed to `category`, in percent.
+    pub fn pct(&self, category: &str) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.ns(category) as f64 * 100.0 / self.total_ns as f64
+        }
+    }
+}
+
+/// Compute the per-category anatomy of the given spans. Each span's
+/// *exclusive* time (duration minus directly nested spans of the same
+/// request) is credited to `label(span)`; per request, the exclusive
+/// times tile its end-to-end extent exactly, so `total_ns` is the summed
+/// end-to-end virtual latency of all covered requests (assuming each
+/// request's spans abut, which the recorder's stages guarantee).
+pub fn anatomy(spans: &[SpanEvent], label: impl Fn(&SpanEvent) -> String) -> Anatomy {
+    let mut sorted: Vec<&SpanEvent> = spans.iter().collect();
+    sorted.sort_by_key(|e| {
+        (
+            e.req_id,
+            e.t_start_vns,
+            std::cmp::Reverse(e.t_end_vns),
+            e.stage as u8,
+        )
+    });
+
+    let mut per_cat: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    let mut requests = 0u64;
+    // (t_end, exclusive-so-far, category) of currently open ancestors.
+    let mut stack: Vec<(u64, u64, String)> = Vec::new();
+    let mut cur_req = None;
+
+    let flush = |stack: &mut Vec<(u64, u64, String)>,
+                 per_cat: &mut BTreeMap<String, u64>,
+                 total: &mut u64| {
+        while let Some((_, excl, cat)) = stack.pop() {
+            *per_cat.entry(cat).or_insert(0) += excl;
+            *total += excl;
+        }
+    };
+
+    for e in sorted {
+        if cur_req != Some(e.req_id) {
+            flush(&mut stack, &mut per_cat, &mut total);
+            cur_req = Some(e.req_id);
+            requests += 1;
+        }
+        // Close ancestors that ended at or before this span's start.
+        while stack
+            .last()
+            .is_some_and(|(end, _, _)| *end <= e.t_start_vns)
+        {
+            let (_, excl, cat) = stack.pop().unwrap_or_default(); // panic-ok: guarded by is_some_and above
+            *per_cat.entry(cat).or_insert(0) += excl;
+            total += excl;
+        }
+        let dur = e.dur_vns();
+        // This span's full duration is carved out of its parent's
+        // exclusive time.
+        if let Some((_, excl, _)) = stack.last_mut() {
+            *excl = excl.saturating_sub(dur);
+        }
+        stack.push((e.t_end_vns, dur, label(e)));
+    }
+    flush(&mut stack, &mut per_cat, &mut total);
+
+    let mut categories: Vec<(String, u64)> = per_cat.into_iter().collect();
+    categories.sort_by_key(|(_, ns)| std::cmp::Reverse(*ns));
+    Anatomy {
+        categories,
+        total_ns: total,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(req: u64, stage: Stage, vertex: u16, t0: u64, t1: u64) -> SpanEvent {
+        SpanEvent {
+            req_id: req,
+            stage,
+            stack: 1,
+            vertex,
+            ring: 0,
+            t_start_vns: t0,
+            t_end_vns: t1,
+        }
+    }
+
+    /// One request tiled the way the recorder's stages are: hop-req,
+    /// entry vertex nesting a hop, a child vertex and a device window,
+    /// hop-resp.
+    fn request_spans() -> Vec<SpanEvent> {
+        vec![
+            span(7, Stage::Submit, 0, 0, 0),
+            span(7, Stage::HopReq, 0, 0, 600),
+            span(7, Stage::Vertex, 0, 600, 2000),
+            span(7, Stage::Hop, 1, 1000, 1020),
+            span(7, Stage::Vertex, 1, 1020, 1900),
+            span(7, Stage::Device, 1, 1400, 1900),
+            span(7, Stage::HopResp, 0, 2000, 2600),
+        ]
+    }
+
+    #[test]
+    fn anatomy_exclusive_times_tile_the_request() {
+        let a = anatomy(&request_spans(), |e| match e.stage {
+            Stage::Vertex => format!("vertex{}", e.vertex),
+            s => s.name().to_string(),
+        });
+        assert_eq!(a.requests, 1);
+        // Exclusives: hop-req 600, vertex0 1400-(20+880)=500, hop 20,
+        // vertex1 880-500=380, device 500, hop-resp 600. Sum = 2600 =
+        // end-to-end extent, exactly.
+        assert_eq!(a.ns("hop-req"), 600);
+        assert_eq!(a.ns("vertex0"), 500);
+        assert_eq!(a.ns("hop"), 20);
+        assert_eq!(a.ns("vertex1"), 380);
+        assert_eq!(a.ns("device"), 500);
+        assert_eq!(a.ns("hop-resp"), 600);
+        assert_eq!(a.total_ns, 2600);
+        assert!((a.pct("device") - 500.0 * 100.0 / 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anatomy_sums_across_requests() {
+        let mut spans = request_spans();
+        spans.extend(request_spans().into_iter().map(|mut e| {
+            e.req_id = 8;
+            e.t_start_vns += 10_000;
+            if e.t_end_vns > 0 {
+                e.t_end_vns += 10_000;
+            } else {
+                e.t_end_vns = e.t_start_vns;
+            }
+            e
+        }));
+        let a = anatomy(&spans, |e| e.stage.name().to_string());
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.total_ns, 5200);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let spans = request_spans();
+        let json = chrome_trace(&spans, |e| format!("{}#{}", e.stage.name(), e.vertex));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}"));
+        // One instant (Submit) + six complete events.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 6);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        // ns precision survives as µs decimals: 2600 ns -> "2.600".
+        assert!(json.contains("\"ts\":2.000"));
+        assert!(json.contains("\"dur\":0.600"));
+    }
+
+    #[test]
+    fn json_labels_are_escaped() {
+        let spans = vec![span(1, Stage::Vertex, 0, 0, 5)];
+        let json = chrome_trace(&spans, |_| "a\"b\\c".to_string());
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}
