@@ -21,4 +21,8 @@ cargo test -q -p labstor-telemetry
 cargo run -q --release --example telemetry
 test -s results/telemetry_trace.json
 
+echo "== bench_ipc smoke (SPSC fast-path regression gate)"
+cargo run -q --release -p labstor-bench --bin bench_ipc -- --smoke
+test -s BENCH_ipc.json
+
 echo "ci: all gates passed"

@@ -1,0 +1,308 @@
+//! IPC hot-path benchmark: lane (MPMC vs SPSC) × submit/consume batch
+//! size (1/8/32) × client threads (1/4), emitting `BENCH_ipc.json`.
+//!
+//! Measures the host-side cost of the queue-pair verb path — the thing
+//! the SPSC lane and the batched verbs (`submit_batch`/`consume_batch`/
+//! `complete_batch`/`reap_batch`) optimize. Virtual time is tracked too:
+//! p50/p99 per-request virtual latency (submit → reap, per-envelope
+//! `dequeue_vt`) proves batching does not distort the simulated cost
+//! model — batch verbs charge hops per envelope, so the virtual
+//! percentiles must stay flat across batch sizes while ops/s climbs.
+//!
+//! Also the CI regression gate for the fast path: the run fails (exit 1)
+//! if SPSC at batch 32 does not at least match the seed configuration
+//! (MPMC, batch 1) on single-thread ops/s. Target is ≥2×.
+//!
+//! Usage: `bench_ipc [--smoke]` — `--smoke` shrinks the op counts for CI.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use labstor_ipc::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole};
+use labstor_sim::Ctx;
+
+/// Request payload: `(request id, client submit virtual time)` — the
+/// worker echoes it back so the client can histogram submit→reap virtual
+/// latency without a side table.
+type Req = (u64, u64);
+
+const RUNTIME_DOMAIN: u32 = 0;
+const QUEUE_DEPTH: usize = 1024;
+
+fn queue(lane: LaneKind, id: u64) -> Arc<QueuePair<Req>> {
+    Arc::new(QueuePair::with_lane(
+        id,
+        QUEUE_DEPTH,
+        QueueFlags {
+            ordered: true,
+            role: QueueRole::Primary,
+        },
+        lane,
+    ))
+}
+
+/// One config's measurements.
+struct ConfigResult {
+    lane: LaneKind,
+    batch: usize,
+    threads: usize,
+    ops: usize,
+    ops_per_sec: f64,
+    p50_vns: u64,
+    p99_vns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Single-thread mode: client and worker halves interleaved in one
+/// thread, four batched verbs per pass. Deterministic (no scheduler
+/// noise), which is what the regression gate compares.
+fn run_single(lane: LaneKind, batch: usize, ops: usize) -> ConfigResult {
+    let qp = queue(lane, 0);
+    let mut client = Ctx::new();
+    let mut worker = Ctx::new();
+    let mut lat: Vec<u64> = Vec::with_capacity(ops);
+    let mut pend: Vec<Req> = Vec::with_capacity(batch);
+    let mut inbox: Vec<Envelope<Req>> = Vec::with_capacity(batch);
+    let mut done: Vec<(Req, u64)> = Vec::with_capacity(batch);
+    let mut outbox: Vec<Envelope<Req>> = Vec::with_capacity(batch);
+    let mut next: u64 = 0;
+    let t0 = Instant::now();
+    while lat.len() < ops {
+        if pend.is_empty() && (next as usize) < ops {
+            let n = batch.min(ops - next as usize);
+            let now = client.now();
+            for _ in 0..n {
+                pend.push((next, now));
+                next += 1;
+            }
+        }
+        if !pend.is_empty() {
+            qp.submit_batch(&mut pend, client.now(), 1);
+        }
+        inbox.clear();
+        qp.consume_batch(&mut worker, RUNTIME_DOMAIN, &mut inbox, batch);
+        for env in inbox.drain(..) {
+            done.push((env.payload, worker.now()));
+        }
+        while !done.is_empty() {
+            qp.complete_batch(&mut done, RUNTIME_DOMAIN);
+        }
+        outbox.clear();
+        qp.reap_batch(&mut client, 1, &mut outbox, batch);
+        for env in outbox.drain(..) {
+            lat.push(env.dequeue_vt.saturating_sub(env.payload.1));
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    ConfigResult {
+        lane,
+        batch,
+        threads: 1,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        p50_vns: percentile(&lat, 0.50),
+        p99_vns: percentile(&lat, 0.99),
+    }
+}
+
+/// Multi-thread mode: `clients` client threads (one queue pair each, so
+/// the SPSC per-direction contract holds) against one worker thread
+/// draining all queues with the batched verbs.
+fn run_multi(lane: LaneKind, batch: usize, clients: usize, ops_per_client: usize) -> ConfigResult {
+    let qps: Vec<Arc<QueuePair<Req>>> = (0..clients).map(|i| queue(lane, i as u64)).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let qps = qps.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut ctx = Ctx::new();
+            let mut inbox: Vec<Envelope<Req>> = Vec::with_capacity(batch);
+            let mut done: Vec<(Req, u64)> = Vec::with_capacity(batch);
+            while !stop.load(Ordering::Acquire) {
+                let mut idle = true;
+                for q in &qps {
+                    inbox.clear();
+                    if q.consume_batch(&mut ctx, RUNTIME_DOMAIN, &mut inbox, batch) == 0 {
+                        continue;
+                    }
+                    idle = false;
+                    for env in inbox.drain(..) {
+                        done.push((env.payload, ctx.now()));
+                    }
+                    while !done.is_empty() && !stop.load(Ordering::Acquire) {
+                        if q.complete_batch(&mut done, RUNTIME_DOMAIN) == 0 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    done.clear();
+                }
+                if idle {
+                    std::hint::spin_loop();
+                }
+            }
+        })
+    };
+    let t0 = Instant::now();
+    let handles: Vec<_> = qps
+        .iter()
+        .enumerate()
+        .map(|(i, qp)| {
+            let qp = qp.clone();
+            std::thread::spawn(move || {
+                let domain = i as u32 + 1;
+                let mut ctx = Ctx::new();
+                let mut lat: Vec<u64> = Vec::with_capacity(ops_per_client);
+                let mut pend: Vec<Req> = Vec::with_capacity(batch);
+                let mut outbox: Vec<Envelope<Req>> = Vec::with_capacity(batch);
+                let mut next: u64 = 0;
+                while lat.len() < ops_per_client {
+                    if pend.is_empty() && (next as usize) < ops_per_client {
+                        let n = batch.min(ops_per_client - next as usize);
+                        let now = ctx.now();
+                        for _ in 0..n {
+                            pend.push((next, now));
+                            next += 1;
+                        }
+                    }
+                    if !pend.is_empty() {
+                        qp.submit_batch(&mut pend, ctx.now(), domain);
+                    }
+                    outbox.clear();
+                    if qp.reap_batch(&mut ctx, domain, &mut outbox, batch) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    for env in outbox.drain(..) {
+                        lat.push(env.dequeue_vt.saturating_sub(env.payload.1));
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::with_capacity(clients * ops_per_client);
+    for h in handles {
+        lat.extend(h.join().expect("client thread"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    worker.join().expect("worker thread");
+    lat.sort_unstable();
+    let ops = clients * ops_per_client;
+    ConfigResult {
+        lane,
+        batch,
+        threads: clients,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        p50_vns: percentile(&lat, 0.50),
+        p99_vns: percentile(&lat, 0.99),
+    }
+}
+
+fn lane_name(lane: LaneKind) -> &'static str {
+    match lane {
+        LaneKind::Mpmc => "mpmc",
+        LaneKind::Spsc => "spsc",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ops_single, ops_per_client) = if smoke {
+        (2_000, 500)
+    } else {
+        (100_000, 25_000)
+    };
+
+    let lanes = [LaneKind::Mpmc, LaneKind::Spsc];
+    let batches = [1usize, 8, 32];
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for lane in lanes {
+        for batch in batches {
+            results.push(run_single(lane, batch, ops_single));
+            results.push(run_multi(lane, batch, 4, ops_per_client));
+        }
+    }
+
+    let find = |lane: LaneKind, batch: usize, threads: usize| {
+        results
+            .iter()
+            .find(|r| r.lane == lane && r.batch == batch && r.threads == threads)
+            .expect("config present")
+    };
+    let seed = find(LaneKind::Mpmc, 1, 1);
+    let fast = find(LaneKind::Spsc, 32, 1);
+    let speedup = fast.ops_per_sec / seed.ops_per_sec.max(1e-9);
+    // Gate: the fast path must never regress below the seed path. The
+    // tentpole target is 2x; the hard floor is 1x so host noise in CI
+    // cannot flake the build.
+    let required_min = 1.0;
+    let target = 2.0;
+    let pass = speedup >= required_min;
+
+    let configs: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "lane": lane_name(r.lane),
+                "batch": r.batch,
+                "threads": r.threads,
+                "ops": r.ops,
+                "ops_per_sec": r.ops_per_sec,
+                "p50_vns": r.p50_vns,
+                "p99_vns": r.p99_vns,
+            })
+        })
+        .collect();
+    let gate = serde_json::json!({
+        "compare": "spsc batch=32 threads=1 vs mpmc batch=1 threads=1 (ops/s)",
+        "speedup": speedup,
+        "required_min": required_min,
+        "target": target,
+        "pass": pass,
+    });
+    let doc = serde_json::json!({
+        "benchmark": "ipc_hotpath",
+        "smoke": smoke,
+        "queue_depth": QUEUE_DEPTH,
+        "configs": configs,
+        "gate": gate,
+    });
+    let out = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write("BENCH_ipc.json", format!("{out}\n")).expect("write BENCH_ipc.json");
+
+    println!(
+        "== ipc_hotpath ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:>5} {:>6} {:>8} {:>8} {:>14} {:>9} {:>9}",
+        "lane", "batch", "threads", "ops", "ops/s", "p50(vns)", "p99(vns)"
+    );
+    for r in &results {
+        println!(
+            "{:>5} {:>6} {:>8} {:>8} {:>14.0} {:>9} {:>9}",
+            lane_name(r.lane),
+            r.batch,
+            r.threads,
+            r.ops,
+            r.ops_per_sec,
+            r.p50_vns,
+            r.p99_vns
+        );
+    }
+    println!("speedup (spsc b32 t1 / mpmc b1 t1): {speedup:.2}x (target {target}x, floor {required_min}x)");
+    if !pass {
+        eprintln!("FAIL: SPSC fast path regressed below the seed MPMC path");
+        std::process::exit(1);
+    }
+}

@@ -10,9 +10,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use labstor_ipc::ClientConnection;
+use labstor_ipc::{ClientConnection, Envelope};
 use labstor_sim::Ctx;
-use labstor_telemetry::Stage;
+use labstor_telemetry::{SpanEvent, Stage};
 
 use crate::request::{Message, Payload, Request, RespPayload, Response};
 use crate::runtime::Runtime;
@@ -59,6 +59,9 @@ pub struct Client {
     pending: std::collections::HashMap<u64, (u64, usize, u64)>,
     /// Responses from inline (sync-stack) submissions awaiting reap.
     inline_done: Vec<(Response, u64)>,
+    /// Completions drained from a CQ burst but not yet handed to the
+    /// caller: `(response, latency_ns)` in reap order.
+    reaped: std::collections::VecDeque<(Response, u64)>,
     /// How long `wait` tolerates an offline Runtime before giving up
     /// ("for a configurable period of time", §III-C3).
     pub offline_timeout: Duration,
@@ -75,6 +78,7 @@ impl Client {
             core: 0,
             pending: std::collections::HashMap::new(),
             inline_done: Vec::new(),
+            reaped: std::collections::VecDeque::new(),
             offline_timeout: Duration::from_secs(5),
         }
     }
@@ -121,21 +125,24 @@ impl Client {
         }
     }
 
+    /// Estimate a request's processing cost for the orchestrator (the
+    /// connector queries the shared registry, like GenericFS).
+    fn estimate(&self, req: &Request) -> u64 {
+        self.runtime
+            .ns
+            .get_id(req.stack)
+            .and_then(|s| s.vertices.first().cloned())
+            .and_then(|v| self.runtime.mm.get(&v.uuid))
+            .map(|m| m.est_processing_time(req))
+            .unwrap_or(1_000)
+    }
+
     /// Submit through a queue pair and wait for the matching completion.
     fn roundtrip(&mut self, req: Request) -> Result<RespPayload, ClientError> {
         let id = req.id;
         let stack_id = req.stack;
         let rec = self.runtime.mm.telemetry().clone();
-        // Estimate the request's processing cost for the orchestrator
-        // (the connector queries the shared registry, like GenericFS).
-        let est = self
-            .runtime
-            .ns
-            .get_id(req.stack)
-            .and_then(|s| s.vertices.first().cloned())
-            .and_then(|v| self.runtime.mm.get(&v.uuid))
-            .map(|m| m.est_processing_time(&req))
-            .unwrap_or(1_000);
+        let est = self.estimate(&req);
         self.rr = (self.rr + 1) % self.conn.queues.len();
         let qp = self.conn.queues[self.rr].clone();
         qp.note_item_est(est);
@@ -240,14 +247,7 @@ impl Client {
                 Ok(id)
             }
             ExecMode::Async => {
-                let est = self
-                    .runtime
-                    .ns
-                    .get_id(req.stack)
-                    .and_then(|s| s.vertices.first().cloned())
-                    .and_then(|v| self.runtime.mm.get(&v.uuid))
-                    .map(|m| m.est_processing_time(&req))
-                    .unwrap_or(1_000);
+                let est = self.estimate(&req);
                 self.rr = (self.rr + 1) % self.conn.queues.len();
                 let qp = self.conn.queues[self.rr].clone();
                 qp.note_item_est(est);
@@ -279,6 +279,135 @@ impl Client {
         }
     }
 
+    /// Submit a burst of requests without waiting, returning their ids in
+    /// submission order. For an async stack the whole burst targets one
+    /// queue (round-robin advances per burst, not per request) and goes
+    /// through [`QueuePair::submit_batch`]: one SQ-counter publication and
+    /// one batched `Submit`-span flush for the burst, instead of one per
+    /// request — the client half of the batched IPC hot path.
+    ///
+    /// On backpressure timeout the not-yet-submitted tail is unregistered
+    /// and `Err(Backpressure)` is returned; requests of the burst that did
+    /// make it in stay in flight and remain reapable via
+    /// [`Client::reap_one`].
+    ///
+    /// [`QueuePair::submit_batch`]: labstor_ipc::QueuePair::submit_batch
+    pub fn submit_all(
+        &mut self,
+        stack: &Arc<LabStack>,
+        payloads: Vec<Payload>,
+    ) -> Result<Vec<u64>, ClientError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        if stack.exec == ExecMode::Sync {
+            let mut ids = Vec::with_capacity(payloads.len());
+            for p in payloads {
+                ids.push(self.submit(stack, p)?);
+            }
+            return Ok(ids);
+        }
+        self.rr = (self.rr + 1) % self.conn.queues.len();
+        let qi = self.rr;
+        let qp = self.conn.queues[qi].clone();
+        let mut ids = Vec::with_capacity(payloads.len());
+        let mut msgs: Vec<Message> = Vec::with_capacity(payloads.len());
+        for p in payloads {
+            self.next_id += 1;
+            let req = Request::on_core(self.next_id, stack.id, p, self.conn.creds, self.core);
+            let est = self.estimate(&req);
+            qp.note_item_est(est);
+            qp.add_load(est as i64);
+            self.pending.insert(req.id, (self.ctx.now(), qi, stack.id));
+            ids.push(req.id);
+            msgs.push(Message::Req(req));
+        }
+        let deadline = Instant::now() + self.offline_timeout;
+        while !msgs.is_empty() {
+            if qp.submit_batch(&mut msgs, self.ctx.now(), self.conn.domain) == 0
+                && Instant::now() > deadline
+            {
+                // Unregister the unsubmitted tail; keep ids that made it.
+                for m in &msgs {
+                    if let Message::Req(r) = m {
+                        self.pending.remove(&r.id);
+                    }
+                }
+                return Err(ClientError::Backpressure);
+            }
+            if !msgs.is_empty() {
+                std::thread::yield_now();
+            }
+        }
+        let rec = self.runtime.mm.telemetry();
+        if rec.enabled() {
+            let now = self.ctx.now();
+            let stack_bits = (stack.id & 0x00FF_FFFF) as u32;
+            rec.record_batch(ids.iter().map(|&id| SpanEvent {
+                req_id: id,
+                stage: Stage::Submit,
+                stack: stack_bits,
+                vertex: 0,
+                ring: 0, // stamped by the recorder
+                t_start_vns: now,
+                t_end_vns: now,
+            }));
+        }
+        Ok(ids)
+    }
+
+    /// Completions drained per CQ crossing in [`Client::reap_one`].
+    const REAP_BATCH: usize = 8;
+
+    /// Drain one burst of completions from each queue into the local
+    /// `reaped` buffer: one CQ crossing (and one batched telemetry flush)
+    /// per queue instead of one per completion. Per-envelope `dequeue_vt`
+    /// keeps each completion's reap time exact inside the burst.
+    fn drain_completions(&mut self) {
+        let rec = self.runtime.mm.telemetry().clone();
+        let recording = rec.enabled();
+        let mut burst: Vec<Envelope<Message>> = Vec::with_capacity(Self::REAP_BATCH);
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        for qi in 0..self.conn.queues.len() {
+            let qp = self.conn.queues[qi].clone();
+            if qp.reap_batch(
+                &mut self.ctx,
+                self.conn.domain,
+                &mut burst,
+                Self::REAP_BATCH,
+            ) == 0
+            {
+                continue;
+            }
+            for env in burst.drain(..) {
+                let (complete_vt, reap_vt) = (env.submit_vt, env.dequeue_vt);
+                if let Message::Resp(resp) = env.payload {
+                    let (submit_vt, _, stack_id) =
+                        self.pending.remove(&resp.id).unwrap_or((0, 0, 0));
+                    let latency = reap_vt.saturating_sub(submit_vt);
+                    if recording {
+                        // Completion-queue crossing: from the worker's
+                        // completion post to this envelope's reap.
+                        spans.push(SpanEvent {
+                            req_id: resp.id,
+                            stage: Stage::HopResp,
+                            stack: (stack_id & 0x00FF_FFFF) as u32,
+                            vertex: 0,
+                            ring: 0, // stamped by the recorder
+                            t_start_vns: complete_vt,
+                            t_end_vns: reap_vt,
+                        });
+                    }
+                    self.reaped.push_back((resp, latency));
+                }
+                // Stale requests bounced back after a crash: drop them.
+            }
+        }
+        if recording && !spans.is_empty() {
+            rec.record_batch(spans);
+        }
+    }
+
     /// Reap one completion from any of this client's queues (or the
     /// inline buffer for sync stacks). Returns `(response, latency_ns)`.
     /// Blocks (in real time) until something completes.
@@ -288,29 +417,14 @@ impl Client {
             let _ = done_vt;
             return Ok((resp, 0));
         }
+        if let Some(r) = self.reaped.pop_front() {
+            return Ok(r);
+        }
         let deadline = Instant::now() + self.offline_timeout;
         loop {
-            for qi in 0..self.conn.queues.len() {
-                let qp = self.conn.queues[qi].clone();
-                if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
-                    if let Message::Resp(resp) = env.payload {
-                        let (submit_vt, _, stack_id) =
-                            self.pending.remove(&resp.id).unwrap_or((0, 0, 0));
-                        let latency = self.ctx.now().saturating_sub(submit_vt);
-                        let rec = self.runtime.mm.telemetry();
-                        if rec.enabled() {
-                            rec.record(
-                                Stage::HopResp,
-                                resp.id,
-                                stack_id,
-                                0,
-                                env.submit_vt,
-                                self.ctx.now(),
-                            );
-                        }
-                        return Ok((resp, latency));
-                    }
-                }
+            self.drain_completions();
+            if let Some(r) = self.reaped.pop_front() {
+                return Ok(r);
             }
             if self.pending.is_empty() {
                 return Err(ClientError::Backpressure);
@@ -329,9 +443,10 @@ impl Client {
     }
 
     /// Requests submitted via [`Client::submit`] not yet reaped
-    /// (including inline sync-stack completions awaiting reap).
+    /// (including inline sync-stack completions and buffered CQ-burst
+    /// completions awaiting reap).
     pub fn in_flight(&self) -> usize {
-        self.pending.len() + self.inline_done.len()
+        self.pending.len() + self.inline_done.len() + self.reaped.len()
     }
 
     /// Convenience: execute against whatever stack governs `path`.

@@ -55,6 +55,33 @@ impl QueueLoad {
 /// drains. Its length is the number of *active* workers.
 pub type Assignment = Vec<Vec<u64>>;
 
+/// Qids whose worker changed between two assignment shapes (sorted
+/// per-worker qid groups), i.e. the queues whose ordered SPSC lane needs
+/// the drain-and-handoff protocol before the new worker may consume.
+///
+/// A queue present only in `new` is *not* moved — it has no previous
+/// consumer to quiesce. A queue present only in `old` *is* moved: its old
+/// consumer must stop even though nobody picks it up.
+pub fn moved_qids(old: &[Vec<u64>], new: &[Vec<u64>]) -> Vec<u64> {
+    use std::collections::HashMap;
+    fn index(shape: &[Vec<u64>]) -> HashMap<u64, usize> {
+        shape
+            .iter()
+            .enumerate()
+            .flat_map(|(w, group)| group.iter().map(move |&q| (q, w)))
+            .collect()
+    }
+    let old_ix = index(old);
+    let new_ix = index(new);
+    let mut moved: Vec<u64> = old_ix
+        .iter()
+        .filter(|(qid, w)| new_ix.get(qid) != Some(w))
+        .map(|(&qid, _)| qid)
+        .collect();
+    moved.sort_unstable();
+    moved
+}
+
 /// A pluggable rebalance policy.
 pub trait OrchestratorPolicy: Send + Sync {
     /// Policy name for reports.
@@ -209,6 +236,36 @@ mod tests {
             p50_item_ns: 0,
             p99_item_ns: 0,
         }
+    }
+
+    #[test]
+    fn moved_qids_detects_regrouping() {
+        let old = vec![vec![0, 1], vec![2]];
+        let new = vec![vec![0], vec![1, 2]];
+        // Queue 1 moved worker 0 → 1; queues 0 and 2 stayed put.
+        assert_eq!(moved_qids(&old, &new), vec![1]);
+    }
+
+    #[test]
+    fn moved_qids_new_queues_are_not_moved() {
+        let old = vec![vec![0]];
+        let new = vec![vec![0, 1], vec![2]];
+        // 1 and 2 are brand new: no previous consumer to quiesce.
+        assert!(moved_qids(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn moved_qids_dropped_queues_are_moved() {
+        let old = vec![vec![0, 1]];
+        let new = vec![vec![0]];
+        // 1 lost its worker: its old consumer must still stop.
+        assert_eq!(moved_qids(&old, &new), vec![1]);
+    }
+
+    #[test]
+    fn moved_qids_identical_shapes_move_nothing() {
+        let shape = vec![vec![3, 4], vec![5]];
+        assert!(moved_qids(&shape, &shape).is_empty());
     }
 
     #[test]

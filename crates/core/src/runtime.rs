@@ -10,11 +10,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use labstor_ipc::{Credentials, IpcManager};
+use labstor_ipc::{Credentials, IpcManager, QueuePair, UpgradeFlag};
 use labstor_sim::{Ctx, Watermark};
 
 use crate::client::Client;
@@ -72,7 +72,17 @@ pub struct Runtime {
     /// Rebalance history: watermark and per-queue work-done at the last
     /// rebalance, for demand estimation.
     rebalance_state: Mutex<RebalanceState>,
+    /// Serializes whole rebalance passes (admin tick, `connect`,
+    /// `set_policy` may race): the drain-and-handoff protocol toggles
+    /// per-queue pause flags and must not interleave with itself.
+    rebalance_coord: Mutex<()>,
 }
+
+/// Real-time bound on each wait of the drain-and-handoff protocol
+/// (old-consumer ack, new-snapshot pickup). Workers ack within one poll
+/// pass (microseconds); the bound only matters when a worker is wedged
+/// against a full CQ whose client stopped reaping.
+const HANDOFF_TIMEOUT: Duration = Duration::from_millis(200);
 
 #[derive(Default)]
 struct RebalanceState {
@@ -83,6 +93,12 @@ struct RebalanceState {
     /// lands behind the new worker's timeline), so an assignment is only
     /// re-applied when the grouping actually changes.
     last_shape: Vec<Vec<u64>>,
+    /// Moved queues still paused because a straggler worker had not yet
+    /// picked up the new assignment when the handoff wait timed out. The
+    /// next rebalance pass resumes them once every worker runs the
+    /// current snapshot — until then they stay paused (safe: idle, never
+    /// two consumers).
+    pending_resume: Vec<Arc<QueuePair<Message>>>,
 }
 
 impl Runtime {
@@ -109,6 +125,7 @@ impl Runtime {
             auto_admin: config.auto_admin,
             admin_interval: config.admin_interval,
             rebalance_state: Mutex::new(RebalanceState::default()),
+            rebalance_coord: Mutex::new(()),
         });
         if config.auto_admin {
             rt.spawn_admin();
@@ -158,8 +175,55 @@ impl Runtime {
     /// Demand per queue is estimated as (work processed since the last
     /// rebalance + current backlog) / virtual time elapsed, in
     /// milli-workers — "the total estimated processing time of the queue".
-    #[allow(clippy::manual_checked_ops)]
+    ///
+    /// Queues whose worker changes go through **drain-and-handoff**: the
+    /// ordered primary queues ride the SPSC lane, so exactly one consumer
+    /// may touch a queue at a time. The protocol: pause each moved queue
+    /// (`UPDATE_PENDING`), wait for its current consumer to ack (acks
+    /// happen between batches, so an acked queue has no envelope in
+    /// flight), publish the new assignment, wait until every worker runs
+    /// the new snapshot (generation counter), then un-pause. If the
+    /// old-consumer ack times out the move is aborted — shape uncommitted,
+    /// so the next admin tick retries. If the snapshot pickup times out
+    /// the moved queues stay paused (`pending_resume`) until a later pass
+    /// observes all workers current; paused means idle, never two
+    /// consumers.
     pub fn rebalance(&self) {
+        let _coord = self.rebalance_coord.lock();
+        self.rebalance_locked();
+    }
+
+    /// Resume queues left paused by a timed-out handoff, once safe.
+    /// Returns false while a straggler worker still runs an old snapshot
+    /// (callers must not start a new handoff underneath it).
+    fn finish_pending_resume(&self) -> bool {
+        let pending: Vec<Arc<QueuePair<Message>>> = {
+            let mut state = self.rebalance_state.lock();
+            std::mem::take(&mut state.pending_resume)
+        };
+        if pending.is_empty() {
+            return true;
+        }
+        let all_current = {
+            let workers = self.workers.lock();
+            workers.iter().all(|w| w.assignment_current())
+        };
+        if all_current {
+            for q in &pending {
+                q.clear_update();
+            }
+            true
+        } else {
+            self.rebalance_state.lock().pending_resume = pending;
+            false
+        }
+    }
+
+    #[allow(clippy::manual_checked_ops)]
+    fn rebalance_locked(&self) {
+        if !self.finish_pending_resume() {
+            return;
+        }
         let queues = self.ipc.primary_queues();
         let wm = self.watermark.get();
         let mut state = self.rebalance_state.lock();
@@ -208,7 +272,7 @@ impl Runtime {
             let policy = self.policy.lock();
             policy.rebalance(&loads, self.max_workers)
         };
-        let mut shape: Vec<Vec<u64>> = assignment
+        let shape: Vec<Vec<u64>> = assignment
             .iter()
             .map(|g| {
                 let mut g = g.clone();
@@ -216,25 +280,81 @@ impl Runtime {
                 g
             })
             .collect();
-        {
-            let mut state = self.rebalance_state.lock();
+        let old_shape = {
+            let state = self.rebalance_state.lock();
             if state.last_shape == shape {
                 return; // sticky: identical grouping
             }
-            std::mem::swap(&mut state.last_shape, &mut shape);
-        }
-        let workers = self.workers.lock();
-        if workers.is_empty() {
-            return;
-        }
-        for (i, w) in workers.iter().enumerate() {
-            let qids = assignment.get(i).cloned().unwrap_or_default();
-            let qs = queues
+            state.last_shape.clone()
+        };
+        let moved = crate::orchestrator::moved_qids(&old_shape, &shape);
+        let moved_qs: Vec<Arc<QueuePair<Message>>> = queues
+            .iter()
+            .filter(|q| moved.binary_search(&q.id).is_ok())
+            .cloned()
+            .collect();
+        let all_current = {
+            let workers = self.workers.lock();
+            if workers.is_empty() {
+                // Nobody to apply it: leave the shape uncommitted so the
+                // rebalance after `restart` re-derives the assignment.
+                return;
+            }
+            // 1. Pause moved queues and wait for their current consumers
+            //    to ack. Only the old consumer holds a moved queue in its
+            //    snapshot at this point, so the ack is its own.
+            for q in &moved_qs {
+                q.mark_update_pending();
+            }
+            let deadline = Instant::now() + HANDOFF_TIMEOUT;
+            while moved_qs
                 .iter()
-                .filter(|q| qids.contains(&q.id))
-                .cloned()
-                .collect();
-            w.assign(qs);
+                .any(|q| q.upgrade_flag() == UpgradeFlag::UpdatePending)
+            {
+                if Instant::now() > deadline {
+                    // Old consumer unresponsive: abort the move. Shape
+                    // stays uncommitted, so the next tick retries.
+                    for q in &moved_qs {
+                        q.clear_update();
+                    }
+                    return;
+                }
+                std::thread::yield_now();
+            }
+            // 2. Publish the new assignment (generation bump per worker).
+            for (i, w) in workers.iter().enumerate() {
+                let qids = assignment.get(i).cloned().unwrap_or_default();
+                let qs = queues
+                    .iter()
+                    .filter(|q| qids.contains(&q.id))
+                    .cloned()
+                    .collect();
+                w.assign(qs);
+            }
+            // 3. Wait until every worker runs the new snapshot — after
+            //    that no stale snapshot can consume a moved queue.
+            let deadline = Instant::now() + HANDOFF_TIMEOUT;
+            loop {
+                if workers.iter().all(|w| w.assignment_current()) {
+                    break true;
+                }
+                if Instant::now() > deadline {
+                    break false;
+                }
+                std::thread::yield_now();
+            }
+        };
+        // 4. Commit, then resume the moved queues for their new
+        //    consumers (or park them in `pending_resume` if a straggler
+        //    worker still holds an old snapshot).
+        let mut state = self.rebalance_state.lock();
+        state.last_shape = shape;
+        if all_current {
+            for q in &moved_qs {
+                q.clear_update();
+            }
+        } else {
+            state.pending_resume = moved_qs;
         }
     }
 
@@ -316,11 +436,22 @@ impl Runtime {
     /// block in `wait` until restart (§III-C3).
     pub fn crash(&self) {
         self.ipc.set_offline();
-        let mut workers = self.workers.lock();
-        for w in workers.iter_mut() {
-            w.stop();
+        {
+            let mut workers = self.workers.lock();
+            for w in workers.iter_mut() {
+                w.stop();
+            }
+            workers.clear();
         }
-        workers.clear();
+        // All consumers are gone: forget the applied shape so the
+        // post-restart rebalance reassigns from scratch (no handoff — a
+        // queue with no live consumer has nobody to quiesce), and
+        // un-pause anything a timed-out handoff left parked.
+        let mut state = self.rebalance_state.lock();
+        state.last_shape.clear();
+        for q in state.pending_resume.drain(..) {
+            q.clear_update();
+        }
     }
 
     /// Restart after a crash: respawn workers, repair module state, go

@@ -13,9 +13,9 @@ use std::thread::JoinHandle;
 use crossbeam::utils::Backoff;
 use parking_lot::RwLock;
 
-use labstor_ipc::{QueuePair, UpgradeFlag};
+use labstor_ipc::{Envelope, QueuePair, UpgradeFlag};
 use labstor_sim::{Ctx, Watermark};
-use labstor_telemetry::{ClockCell, Stage};
+use labstor_telemetry::{ClockCell, SpanEvent, Stage};
 
 use crate::labmod::StackEnv;
 use crate::registry::ModuleManager;
@@ -67,12 +67,86 @@ pub fn process_request(
     Response { id, payload }
 }
 
+/// A worker's queue assignment, published under a generation counter.
+///
+/// The poll loop keeps a **local snapshot** of its queue list and refreshes
+/// it only when the generation moved — instead of cloning the
+/// `Vec<Arc<QueuePair>>` (and bumping every Arc refcount) on every poll
+/// pass. After copying a new snapshot the worker publishes the generation
+/// it now runs on through `seen`; `Runtime::rebalance` waits for
+/// `seen == generation` before un-pausing moved queues, which closes the
+/// window where a worker still holding a stale snapshot could consume a
+/// queue that was handed to another worker (the SPSC lane's
+/// single-consumer contract).
+pub struct AssignmentCell {
+    queues: RwLock<Vec<Arc<QueuePair<Message>>>>,
+    generation: AtomicU64,
+    seen: AtomicU64,
+}
+
+impl AssignmentCell {
+    /// Empty assignment, generation 0 (already "seen").
+    pub fn new() -> AssignmentCell {
+        AssignmentCell {
+            queues: RwLock::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish a new assignment (orchestrator side) and bump the
+    /// generation so the owning worker picks it up on its next pass.
+    pub fn publish(&self, queues: Vec<Arc<QueuePair<Message>>>) {
+        *self.queues.write() = queues;
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Latest published generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Generation the owning worker has acknowledged running on.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Acquire)
+    }
+
+    /// True when no queues are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.queues.read().is_empty()
+    }
+
+    /// Worker side: if the generation moved past `seen_gen`, replace
+    /// `cache` with the current assignment, acknowledge via `seen`, and
+    /// return true. The acknowledgement is safe to publish here because
+    /// the worker calls `refresh` between passes, when it has no envelope
+    /// in flight on any queue of the old snapshot.
+    fn refresh(&self, cache: &mut Vec<Arc<QueuePair<Message>>>, seen_gen: &mut u64) -> bool {
+        let g = self.generation.load(Ordering::Acquire);
+        if g == *seen_gen {
+            return false;
+        }
+        cache.clear();
+        cache.extend_from_slice(&self.queues.read());
+        *seen_gen = g;
+        self.seen.store(g, Ordering::Release);
+        true
+    }
+}
+
+impl Default for AssignmentCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Handle to a spawned worker thread.
 pub struct Worker {
     /// Worker index.
     pub id: usize,
-    /// Queues this worker drains (swapped by the orchestrator).
-    pub assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>>,
+    /// Queues this worker drains (swapped by the orchestrator), published
+    /// under a generation counter so the poll loop snapshots lazily.
+    pub assigned: Arc<AssignmentCell>,
     /// Published `(now, busy)` snapshot of the worker's virtual clock —
     /// the single publication path for worker-visible time.
     pub clock: Arc<ClockCell>,
@@ -90,7 +164,7 @@ impl Worker {
         mm: Arc<ModuleManager>,
         watermark: Arc<Watermark>,
     ) -> Worker {
-        let assigned: Arc<RwLock<Vec<Arc<QueuePair<Message>>>>> = Arc::new(RwLock::new(Vec::new()));
+        let assigned = Arc::new(AssignmentCell::new());
         let stop = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(ClockCell::new());
         let processed = Arc::new(AtomicU64::new(0));
@@ -126,12 +200,18 @@ impl Worker {
 
     /// Replace this worker's queue assignment.
     pub fn assign(&self, queues: Vec<Arc<QueuePair<Message>>>) {
-        *self.assigned.write() = queues;
+        self.assigned.publish(queues);
     }
 
     /// True while the worker has queues assigned.
     pub fn is_active(&self) -> bool {
-        !self.assigned.read().is_empty()
+        !self.assigned.is_empty()
+    }
+
+    /// True once the worker thread has picked up the latest assignment
+    /// (its next consume can only touch queues of the current snapshot).
+    pub fn assignment_current(&self) -> bool {
+        self.assigned.seen() == self.assigned.generation()
     }
 
     /// Stop and join the worker.
@@ -150,7 +230,7 @@ impl Drop for Worker {
 }
 
 fn worker_loop(
-    assigned: &RwLock<Vec<Arc<QueuePair<Message>>>>,
+    assigned: &AssignmentCell,
     ns: &Namespace,
     mm: &ModuleManager,
     watermark: &Watermark,
@@ -163,10 +243,19 @@ fn worker_loop(
     let rec = mm.telemetry().clone();
     /// Requests drained per queue per pass: bounds queue starvation.
     const BATCH: usize = 8;
+    // Reused per-pass scratch: queue snapshot, drained envelopes, pending
+    // completions, per-request work times and telemetry spans. One
+    // allocation each for the life of the worker.
+    let mut queues: Vec<Arc<QueuePair<Message>>> = Vec::new();
+    let mut seen_gen: u64 = 0;
+    let mut inbox: Vec<Envelope<Message>> = Vec::with_capacity(BATCH);
+    let mut outbox: Vec<(Message, u64)> = Vec::with_capacity(BATCH);
+    let mut work_ns: Vec<u64> = Vec::with_capacity(BATCH);
+    let mut spans: Vec<SpanEvent> = Vec::with_capacity(BATCH);
     while !stop.load(Ordering::Acquire) {
         // Fast-forward across any upgrade pause that completed.
         ctx.idle_until(mm.resume_vt());
-        let queues = assigned.read().clone();
+        assigned.refresh(&mut queues, &mut seen_gen);
         let mut did_work = false;
         for q in &queues {
             match q.upgrade_flag() {
@@ -177,48 +266,62 @@ fn worker_loop(
                 UpgradeFlag::UpdateAcked => continue,
                 UpgradeFlag::None => {}
             }
-            for _ in 0..BATCH {
-                let Some(env) = q.consume(&mut ctx, RUNTIME_DOMAIN) else {
-                    break;
-                };
-                did_work = true;
+            // Drain up to BATCH envelopes in one SQ crossing: one
+            // consumer-counter publication, one wait-EMA fold, one
+            // consumed-counter bump for the whole burst.
+            inbox.clear();
+            if q.consume_batch(&mut ctx, RUNTIME_DOMAIN, &mut inbox, BATCH) == 0 {
+                continue;
+            }
+            did_work = true;
+            let recording = rec.enabled();
+            work_ns.clear();
+            for env in inbox.drain(..) {
                 match env.payload {
                     Message::Req(req) => {
-                        if rec.enabled() {
+                        if recording {
                             // Submission-queue crossing: from client
-                            // submit to this dequeue (queue wait + hop).
-                            rec.record(
-                                Stage::HopReq,
-                                req.id,
-                                req.stack,
-                                req.vertex,
-                                env.submit_vt,
-                                ctx.now(),
-                            );
+                            // submit to this envelope's dequeue (queue
+                            // wait + hop); per-envelope times survive the
+                            // batch via `dequeue_vt`.
+                            spans.push(SpanEvent {
+                                req_id: req.id,
+                                stage: Stage::HopReq,
+                                stack: (req.stack & 0x00FF_FFFF) as u32,
+                                vertex: (req.vertex & 0xFFFF) as u16,
+                                ring: 0, // stamped by the recorder
+                                t_start_vns: env.submit_vt,
+                                t_end_vns: env.dequeue_vt,
+                            });
                         }
                         let before = ctx.busy();
                         let resp = process_request(&mut ctx, req, ns, mm, RUNTIME_DOMAIN);
                         let spent = ctx.busy() - before;
                         q.add_load(-(spent as i64));
-                        q.record_work(spent);
-                        processed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                                                                   // Post the completion; if the CQ is full, retry —
-                                                                   // the client is draining it.
-                        let mut msg = Message::Resp(resp);
-                        loop {
-                            match q.complete(msg, ctx.now(), RUNTIME_DOMAIN) {
-                                Ok(()) => break,
-                                Err(back) => {
-                                    msg = back;
-                                    std::thread::yield_now();
-                                }
-                            }
-                        }
+                        work_ns.push(spent);
+                        outbox.push((Message::Resp(resp), ctx.now()));
                     }
                     // Responses only flow runtime→client; ignore strays.
                     Message::Resp(_) => {}
                 }
             }
+            q.record_work_batch(&work_ns);
+            processed.fetch_add(work_ns.len() as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            if recording && !spans.is_empty() {
+                // One enabled-check + one TLS ring lookup for the burst.
+                rec.record_batch(spans.drain(..));
+            }
+            // Post the completions; if the CQ fills, back off boundedly
+            // (spin, then yield the host core) — the client is draining
+            // it. Bail out on stop so a vanished client cannot wedge
+            // shutdown.
+            let cq_backoff = Backoff::new();
+            while !outbox.is_empty() && !stop.load(Ordering::Acquire) {
+                if q.complete_batch(&mut outbox, RUNTIME_DOMAIN) == 0 {
+                    cq_backoff.snooze();
+                }
+            }
+            outbox.clear();
         }
         // Single publication path for worker-visible time (labtelem's
         // ClockCell carries its own relaxed-ok justification).

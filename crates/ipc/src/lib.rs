@@ -35,6 +35,6 @@ pub mod shmem;
 
 pub use credentials::Credentials;
 pub use manager::{ClientConnection, IpcManager};
-pub use queue_pair::{Envelope, QueueFlags, QueuePair, QueueRole, UpgradeFlag};
+pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};
 pub use ring::SpscRing;
 pub use shmem::{ShmError, ShmManager, ShmRegionHandle};

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use crate::credentials::Credentials;
-use crate::queue_pair::{QueueFlags, QueuePair, QueueRole};
+use crate::queue_pair::{LaneKind, QueueFlags, QueuePair, QueueRole};
 
 /// A client's connection to the Runtime: its domain id (address space) and
 /// the queue pairs allocated for it during the handshake.
@@ -52,14 +52,23 @@ impl<T> IpcManager<T> {
 
     /// Handshake: register a client and allocate `n_queues` primary
     /// ordered queue pairs for it.
+    ///
+    /// Connect-allocated queues ride the zero-CAS SPSC lane: an ordered
+    /// primary queue has exactly one producer (this client connection) and
+    /// one consumer (the single worker the orchestrator assigns it to —
+    /// reassignment goes through the drain-and-handoff protocol in
+    /// `Runtime::rebalance`, so the contract holds across moves).
     pub fn connect(&self, creds: Credentials, n_queues: usize) -> ClientConnection<T> {
         let domain = self.next_domain.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let queues: Vec<_> = (0..n_queues.max(1))
             .map(|_| {
-                self.alloc_queue(QueueFlags {
-                    ordered: true,
-                    role: QueueRole::Primary,
-                })
+                self.alloc_queue_with_lane(
+                    QueueFlags {
+                        ordered: true,
+                        role: QueueRole::Primary,
+                    },
+                    LaneKind::Spsc,
+                )
             })
             .collect();
         self.connections.write().push((domain, creds));
@@ -71,10 +80,18 @@ impl<T> IpcManager<T> {
     }
 
     /// Allocate an additional queue pair (e.g. an intermediate queue for
-    /// requests spawned inside the Runtime).
+    /// requests spawned inside the Runtime). MPMC-backed: safe for any
+    /// number of producers and consumers.
     pub fn alloc_queue(&self, flags: QueueFlags) -> Arc<QueuePair<T>> {
+        self.alloc_queue_with_lane(flags, LaneKind::Mpmc)
+    }
+
+    /// Allocate a queue pair on an explicit lane. Callers choosing
+    /// [`LaneKind::Spsc`] own the single-producer/single-consumer contract
+    /// per direction (see `queue_pair` module docs).
+    pub fn alloc_queue_with_lane(&self, flags: QueueFlags, lane: LaneKind) -> Arc<QueuePair<T>> {
         let id = self.next_qid.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
-        let qp = Arc::new(QueuePair::new(id, self.depth, flags));
+        let qp = Arc::new(QueuePair::with_lane(id, self.depth, flags, lane));
         self.qps.write().push(qp.clone());
         qp
     }
@@ -184,6 +201,20 @@ mod tests {
         });
         assert!(m.wait_online(Duration::from_secs(5)));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn connect_selects_spsc_lane_and_alloc_stays_mpmc() {
+        let m: Arc<IpcManager<u32>> = IpcManager::new(8);
+        let conn = m.connect(Credentials::new(1, 0, 0), 2);
+        for q in &conn.queues {
+            assert_eq!(q.lane(), LaneKind::Spsc);
+        }
+        let inter = m.alloc_queue(QueueFlags {
+            ordered: false,
+            role: QueueRole::Intermediate,
+        });
+        assert_eq!(inter.lane(), LaneKind::Mpmc);
     }
 
     #[test]

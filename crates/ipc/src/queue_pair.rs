@@ -12,6 +12,30 @@
 //!   `UPDATE_PENDING`; workers acknowledge with `UPDATE_ACKED` before the
 //!   upgrade proceeds (§III-C2).
 //!
+//! ## Two-lane backend
+//!
+//! Each direction (SQ and CQ) is backed by one of two lanes:
+//!
+//! * [`LaneKind::Mpmc`] — crossbeam's CAS-based bounded MPMC queue. Safe
+//!   under any topology; the default for directly constructed pairs and
+//!   for intermediate queues.
+//! * [`LaneKind::Spsc`] — the zero-CAS [`SpscRing`]. Selected at connect
+//!   time for *ordered primary* queues, whose topology is fixed: one
+//!   client submitting/reaping, one worker consuming/completing. The
+//!   orchestrator's single-consumer assignment plus the
+//!   `UpdatePending`/`UpdateAcked` drain-and-handoff keep the contract
+//!   across reassignment (DESIGN.md §9). Debug builds additionally verify
+//!   it dynamically with per-role access claims.
+//!
+//! ## Batched verbs
+//!
+//! `submit_batch` / `consume_batch` / `complete_batch` / `reap_batch`
+//! process a burst per call: the ring publication, the flow counters, and
+//! the wait-EMA store happen once per batch, while the *virtual-time*
+//! accounting (causality idle, per-envelope hop cost) is charged per
+//! envelope, exactly as N single verbs would — batching is a host-side
+//! optimization and must not change simulated results.
+//!
 //! ## Virtual-time causality
 //!
 //! Envelopes carry the producer's virtual timestamp. A consumer whose
@@ -20,6 +44,8 @@
 //! synchronization rule that makes the simulation's timing host-independent
 //! (see `labstor_sim::time`).
 
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crossbeam::queue::ArrayQueue;
@@ -27,6 +53,7 @@ use labstor_sim::Ctx;
 use labstor_telemetry::LogHistogram;
 
 use crate::cost;
+use crate::ring::SpscRing;
 
 /// Whether a queue carries client-initiated or spawned requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +83,17 @@ impl Default for QueueFlags {
     }
 }
 
+/// Which backend a queue-pair direction runs on (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    /// CAS-based bounded MPMC queue — safe under any topology.
+    Mpmc,
+    /// Zero-CAS SPSC ring — requires the single-producer/single-consumer
+    /// contract held by connect-time selection plus orchestrator
+    /// assignment.
+    Spsc,
+}
+
 /// Live-upgrade handshake state of a primary queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -78,20 +116,145 @@ pub struct Envelope<T> {
     pub submit_vt: u64,
     /// Domain (address space) that produced the envelope.
     pub origin_domain: u32,
+    /// Virtual time at which the consumer finished the transfer hop for
+    /// this envelope; stamped by `consume`/`reap` (0 while queued). Batch
+    /// consumers use it to attribute per-envelope hop spans.
+    pub dequeue_vt: u64,
+}
+
+/// One direction of a queue pair (see [`LaneKind`]).
+enum Lane<T> {
+    Mpmc(ArrayQueue<Envelope<T>>),
+    Spsc(SpscRing<Envelope<T>>),
+}
+
+impl<T> Lane<T> {
+    fn new(kind: LaneKind, depth: usize) -> Lane<T> {
+        match kind {
+            LaneKind::Mpmc => Lane::Mpmc(ArrayQueue::new(depth.max(1))),
+            LaneKind::Spsc => Lane::Spsc(SpscRing::with_capacity(depth.max(1))),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Lane::Mpmc(q) => q.len(),
+            Lane::Spsc(r) => r.len(),
+        }
+    }
+
+    /// Push one envelope.
+    ///
+    /// # Safety
+    ///
+    /// For the SPSC lane the caller must be the direction's sole producer
+    /// for the duration of the call (the queue-pair role contract; debug
+    /// builds check it via [`LaneClaims`]). Always safe on the MPMC lane.
+    // SAFETY: contract — forwards the unique-producer obligation to SpscRing.
+    unsafe fn push(&self, env: Envelope<T>) -> Result<(), Envelope<T>> {
+        match self {
+            Lane::Mpmc(q) => q.push(env),
+            // SAFETY: the caller upholds the unique-producer contract.
+            Lane::Spsc(r) => unsafe { r.producer_push(env) },
+        }
+    }
+
+    /// Pop the oldest envelope.
+    ///
+    /// # Safety
+    ///
+    /// For the SPSC lane the caller must be the direction's sole consumer
+    /// for the duration of the call. Always safe on the MPMC lane.
+    // SAFETY: contract — forwards the unique-consumer obligation to SpscRing.
+    unsafe fn pop(&self) -> Option<Envelope<T>> {
+        match self {
+            Lane::Mpmc(q) => q.pop(),
+            // SAFETY: the caller upholds the unique-consumer contract.
+            Lane::Spsc(r) => unsafe { r.consumer_pop() },
+        }
+    }
+
+    /// Pop up to `max` envelopes into `out` (FIFO, appended), with one
+    /// counter publication per batch on the SPSC lane. Returns the count.
+    ///
+    /// # Safety
+    ///
+    /// Same unique-consumer contract as [`Lane::pop`].
+    // SAFETY: contract — forwards the unique-consumer obligation to SpscRing.
+    unsafe fn pop_batch(&self, out: &mut Vec<Envelope<T>>, max: usize) -> usize {
+        match self {
+            Lane::Mpmc(q) => {
+                let mut n = 0usize;
+                while n < max {
+                    match q.pop() {
+                        Some(env) => {
+                            out.push(env);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                n
+            }
+            // SAFETY: the caller upholds the unique-consumer contract.
+            Lane::Spsc(r) => unsafe { r.consumer_pop_batch(out, max) },
+        }
+    }
+}
+
+/// Debug-only dynamic enforcement of the SPSC lane contract: each of the
+/// four roles (SQ producer/consumer, CQ producer/consumer) may be held by
+/// at most one thread at a time. Release builds compile this away — the
+/// contract is held by construction (connect-time lane selection, the
+/// orchestrator's single-consumer assignment, and the drain-and-handoff
+/// protocol in `Runtime::rebalance`).
+#[cfg(debug_assertions)]
+#[derive(Default)]
+struct LaneClaims {
+    sq_producer: AtomicBool,
+    sq_consumer: AtomicBool,
+    cq_producer: AtomicBool,
+    cq_consumer: AtomicBool,
+}
+
+/// RAII holder of one lane role; see [`LaneClaims`].
+#[cfg(debug_assertions)]
+struct Claim<'a>(&'a AtomicBool);
+
+#[cfg(debug_assertions)]
+impl<'a> Claim<'a> {
+    fn acquire(flag: &'a AtomicBool, what: &'static str) -> Claim<'a> {
+        // panic-ok: debug-only contract check — a second concurrent holder
+        // of an SPSC-lane role is exactly the bug this guard exists to
+        // catch, and continuing would be UB on the ring.
+        assert!(
+            !flag.swap(true, Ordering::Acquire),
+            "SPSC lane contract violated: concurrent {what}"
+        );
+        Claim(flag)
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 /// A submission/completion queue pair.
 ///
-/// Backed by bounded MPMC queues: FIFO per queue, safe under worker
-/// reassignment by the orchestrator. The *ordered* flag is an assignment
-/// constraint honored by the Work Orchestrator, which guarantees a single
-/// consumer for ordered queues.
+/// Backed by bounded queues: FIFO per queue; see the module docs for the
+/// two lanes. The *ordered* flag is an assignment constraint honored by
+/// the Work Orchestrator, which guarantees a single consumer for ordered
+/// queues.
 pub struct QueuePair<T> {
     /// Unique queue id within the IPC manager.
     pub id: u64,
     flags: QueueFlags,
-    sq: ArrayQueue<Envelope<T>>,
-    cq: ArrayQueue<Envelope<T>>,
+    lane_kind: LaneKind,
+    sq: Lane<T>,
+    cq: Lane<T>,
     upgrade: AtomicU8,
     submitted: AtomicU64,
     consumed: AtomicU64,
@@ -114,16 +277,38 @@ pub struct QueuePair<T> {
     /// queues by its quantiles, falling back to [`QueuePair::max_item_ns`]
     /// while the histogram is still empty.
     item_hist: LogHistogram,
+    #[cfg(debug_assertions)]
+    claims: LaneClaims,
+}
+
+/// The four lane roles checked by the debug claims.
+#[cfg(debug_assertions)]
+#[derive(Clone, Copy)]
+enum LaneRole {
+    SqProducer,
+    SqConsumer,
+    CqProducer,
+    CqConsumer,
 }
 
 impl<T> QueuePair<T> {
-    /// Create a queue pair with `depth` slots in each direction.
+    /// Create an MPMC-backed queue pair with `depth` slots in each
+    /// direction — safe under any producer/consumer topology.
     pub fn new(id: u64, depth: usize, flags: QueueFlags) -> Self {
+        QueuePair::with_lane(id, depth, flags, LaneKind::Mpmc)
+    }
+
+    /// Create a queue pair on an explicit lane. [`LaneKind::Spsc`] rounds
+    /// `depth` up to a power of two and requires the single-producer/
+    /// single-consumer contract per direction (module docs); it is
+    /// selected by `IpcManager::connect` for ordered primary queues.
+    pub fn with_lane(id: u64, depth: usize, flags: QueueFlags, lane: LaneKind) -> Self {
         QueuePair {
             id,
             flags,
-            sq: ArrayQueue::new(depth.max(1)),
-            cq: ArrayQueue::new(depth.max(1)),
+            lane_kind: lane,
+            sq: Lane::new(lane, depth),
+            cq: Lane::new(lane, depth),
             upgrade: AtomicU8::new(UpgradeFlag::None as u8),
             submitted: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
@@ -133,6 +318,8 @@ impl<T> QueuePair<T> {
             work_done_ns: AtomicU64::new(0),
             wait_ema_ns: AtomicU64::new(0),
             item_hist: LogHistogram::new(),
+            #[cfg(debug_assertions)]
+            claims: LaneClaims::default(),
         }
     }
 
@@ -141,17 +328,44 @@ impl<T> QueuePair<T> {
         self.flags
     }
 
+    /// Which backend this pair runs on.
+    pub fn lane(&self) -> LaneKind {
+        self.lane_kind
+    }
+
+    /// Claim a lane role for the duration of one verb (debug builds,
+    /// SPSC lane only — the MPMC lane allows any topology).
+    #[cfg(debug_assertions)]
+    fn claim(&self, role: LaneRole) -> Option<Claim<'_>> {
+        if self.lane_kind != LaneKind::Spsc {
+            return None;
+        }
+        let (flag, what) = match role {
+            LaneRole::SqProducer => (&self.claims.sq_producer, "SQ producer (submit)"),
+            LaneRole::SqConsumer => (&self.claims.sq_consumer, "SQ consumer (consume)"),
+            LaneRole::CqProducer => (&self.claims.cq_producer, "CQ producer (complete)"),
+            LaneRole::CqConsumer => (&self.claims.cq_consumer, "CQ consumer (reap)"),
+        };
+        Some(Claim::acquire(flag, what))
+    }
+
     /// Submit a request at virtual time `submit_vt` from `origin_domain`.
     /// Fails (returning the payload) when the submission queue is full —
     /// callers back off and retry, which is the paper's backpressure
     /// behaviour.
     pub fn submit(&self, payload: T, submit_vt: u64, origin_domain: u32) -> Result<(), T> {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::SqProducer);
         let env = Envelope {
             payload,
             submit_vt,
             origin_domain,
+            dequeue_vt: 0,
         };
-        match self.sq.push(env) {
+        // SAFETY: SPSC lanes exist only on connect-allocated ordered
+        // primary queues, whose sole SQ producer is the owning client
+        // connection (debug-checked by `_claim`).
+        match unsafe { self.sq.push(env) } {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                 Ok(())
@@ -160,12 +374,75 @@ impl<T> QueuePair<T> {
         }
     }
 
+    /// Batched [`QueuePair::submit`]: move requests from the front of
+    /// `payloads` into the SQ until it fills, publishing the burst with
+    /// one ring doorbell and one counter update. Returns how many were
+    /// queued; leftovers stay in `payloads` for the caller's backpressure
+    /// retry. Equivalent to N single submits at the same `submit_vt`.
+    pub fn submit_batch(&self, payloads: &mut Vec<T>, submit_vt: u64, origin_domain: u32) -> usize {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::SqProducer);
+        if payloads.is_empty() {
+            return 0;
+        }
+        let wrap = |payload: T| Envelope {
+            payload,
+            submit_vt,
+            origin_domain,
+            dequeue_vt: 0,
+        };
+        let n = match &self.sq {
+            Lane::Spsc(r) => {
+                // SAFETY: SPSC lanes exist only on connect-allocated
+                // ordered primary queues, whose sole SQ producer is the
+                // owning client connection (debug-checked by `_claim`); as
+                // sole producer, `free` cannot shrink before the push and
+                // the drain iterator is consumed in full.
+                let free = unsafe { r.producer_free() };
+                let k = payloads.len().min(free);
+                // SAFETY: same sole-SQ-producer contract as above.
+                unsafe { r.producer_push_iter(payloads.drain(..k).map(wrap)) }
+            }
+            Lane::Mpmc(q) => {
+                // Optimistic reservation; a racing MPMC producer can steal
+                // slots, so rejected payloads are spliced back in order.
+                let k = payloads.len().min(q.capacity().saturating_sub(q.len()));
+                let mut pushed = 0usize;
+                let mut rejected: Vec<T> = Vec::new();
+                for payload in payloads.drain(..k) {
+                    if !rejected.is_empty() {
+                        rejected.push(payload);
+                        continue;
+                    }
+                    match q.push(wrap(payload)) {
+                        Ok(()) => pushed += 1,
+                        Err(env) => rejected.push(env.payload),
+                    }
+                }
+                if !rejected.is_empty() {
+                    rejected.append(payloads);
+                    *payloads = rejected;
+                }
+                pushed
+            }
+        };
+        if n > 0 {
+            self.submitted.fetch_add(n as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        }
+        n
+    }
+
     /// Worker side: take the oldest submitted request. The consumer's
     /// clock idles forward to the submit time (causality) and is charged
     /// the transfer cost — cross-domain when the envelope came from
     /// another address space.
     pub fn consume(&self, ctx: &mut Ctx, consumer_domain: u32) -> Option<Envelope<T>> {
-        let env = self.sq.pop()?;
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::SqConsumer);
+        // SAFETY: ordered queues are drained by a single worker at a time —
+        // orchestrator assignment plus the drain-and-handoff protocol
+        // (debug-checked by `_claim`).
+        let mut env = unsafe { self.sq.pop() }?;
         self.consumed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                                                        // Queue wait: how long the request sat before this worker's
                                                        // timeline reached it (zero when the worker was waiting for it).
@@ -179,18 +456,64 @@ impl<T> QueuePair<T> {
         } else {
             cost::same_domain_hop(ctx);
         }
+        env.dequeue_vt = ctx.now();
         Some(env)
+    }
+
+    /// Batched [`QueuePair::consume`]: drain up to `max` requests into
+    /// `out` (appended, FIFO). The ring doorbell, the flow counter, and
+    /// the wait-EMA store happen once per batch; causality idling and the
+    /// per-envelope transfer hop are charged per envelope, in order, so
+    /// the virtual-time results are identical to N single consumes (the
+    /// EMA recurrence is folded locally — bit-identical, since the
+    /// consumer is the EMA's only writer). Returns the count drained.
+    pub fn consume_batch(
+        &self,
+        ctx: &mut Ctx,
+        consumer_domain: u32,
+        out: &mut Vec<Envelope<T>>,
+        max: usize,
+    ) -> usize {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::SqConsumer);
+        let start = out.len();
+        // SAFETY: same single-draining-worker contract as `consume`
+        // (debug-checked by `_claim`).
+        let n = unsafe { self.sq.pop_batch(out, max) };
+        if n == 0 {
+            return 0;
+        }
+        self.consumed.fetch_add(n as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        let mut ema = self.wait_ema_ns.load(Ordering::Relaxed); // relaxed-ok: single-writer EMA, approximate by design
+        for env in out.iter_mut().skip(start) {
+            let wait = ctx.now().saturating_sub(env.submit_vt);
+            ema = ema - ema / 8 + wait / 8;
+            ctx.idle_until(env.submit_vt);
+            if env.origin_domain != consumer_domain {
+                cost::cross_domain_hop(ctx);
+            } else {
+                cost::same_domain_hop(ctx);
+            }
+            env.dequeue_vt = ctx.now();
+        }
+        self.wait_ema_ns.store(ema, Ordering::Relaxed); // relaxed-ok: single-writer EMA, approximate by design
+        n
     }
 
     /// Worker side: post a completion produced at `complete_vt` back
     /// toward the client.
     pub fn complete(&self, payload: T, complete_vt: u64, origin_domain: u32) -> Result<(), T> {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::CqProducer);
         let env = Envelope {
             payload,
             submit_vt: complete_vt,
             origin_domain,
+            dequeue_vt: 0,
         };
-        match self.cq.push(env) {
+        // SAFETY: completions on an ordered queue are posted by its single
+        // assigned worker (debug-checked by `_claim`).
+        match unsafe { self.cq.push(env) } {
             Ok(()) => {
                 self.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
                 Ok(())
@@ -199,18 +522,109 @@ impl<T> QueuePair<T> {
         }
     }
 
+    /// Batched [`QueuePair::complete`]: post completions from the front of
+    /// `items` — each a `(payload, complete_vt)` pair, preserving
+    /// per-request production times — until the CQ fills. One doorbell and
+    /// one counter update per batch. Returns how many were posted;
+    /// leftovers stay in `items` for the caller's bounded-backoff retry.
+    pub fn complete_batch(&self, items: &mut Vec<(T, u64)>, origin_domain: u32) -> usize {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::CqProducer);
+        if items.is_empty() {
+            return 0;
+        }
+        let wrap = |(payload, complete_vt): (T, u64)| Envelope {
+            payload,
+            submit_vt: complete_vt,
+            origin_domain,
+            dequeue_vt: 0,
+        };
+        let n = match &self.cq {
+            Lane::Spsc(r) => {
+                // SAFETY: completions on an ordered queue are posted by
+                // its single assigned worker (debug-checked by `_claim`);
+                // as sole CQ producer, `free` cannot shrink before the
+                // push and the drain iterator is consumed in full.
+                let free = unsafe { r.producer_free() };
+                let k = items.len().min(free);
+                // SAFETY: same single-completing-worker contract as above.
+                unsafe { r.producer_push_iter(items.drain(..k).map(wrap)) }
+            }
+            Lane::Mpmc(q) => {
+                // Optimistic reservation; a racing MPMC producer can steal
+                // slots, so rejected completions are spliced back in order.
+                let k = items.len().min(q.capacity().saturating_sub(q.len()));
+                let mut pushed = 0usize;
+                let mut rejected: Vec<(T, u64)> = Vec::new();
+                for item in items.drain(..k) {
+                    if !rejected.is_empty() {
+                        rejected.push(item);
+                        continue;
+                    }
+                    match q.push(wrap(item)) {
+                        Ok(()) => pushed += 1,
+                        Err(env) => rejected.push((env.payload, env.submit_vt)),
+                    }
+                }
+                if !rejected.is_empty() {
+                    rejected.append(items);
+                    *items = rejected;
+                }
+                pushed
+            }
+        };
+        if n > 0 {
+            self.completed.fetch_add(n as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        }
+        n
+    }
+
     /// Client side: reap one completion, idling forward to its production
     /// time and paying the transfer cost when it was produced in another
     /// domain.
     pub fn reap(&self, ctx: &mut Ctx, consumer_domain: u32) -> Option<Envelope<T>> {
-        let env = self.cq.pop()?;
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::CqConsumer);
+        // SAFETY: completions are reaped only by the owning client
+        // connection (debug-checked by `_claim`).
+        let mut env = unsafe { self.cq.pop() }?;
         ctx.idle_until(env.submit_vt);
         if env.origin_domain != consumer_domain {
             cost::cross_domain_hop(ctx);
         } else {
             cost::same_domain_hop(ctx);
         }
+        env.dequeue_vt = ctx.now();
         Some(env)
+    }
+
+    /// Batched [`QueuePair::reap`]: drain up to `max` completions into
+    /// `out` (appended, FIFO), one doorbell per batch, virtual-time
+    /// charges per envelope — identical results to N single reaps.
+    /// Returns the count reaped.
+    pub fn reap_batch(
+        &self,
+        ctx: &mut Ctx,
+        consumer_domain: u32,
+        out: &mut Vec<Envelope<T>>,
+        max: usize,
+    ) -> usize {
+        #[cfg(debug_assertions)]
+        let _claim = self.claim(LaneRole::CqConsumer);
+        let start = out.len();
+        // SAFETY: same single-reaping-client contract as `reap`
+        // (debug-checked by `_claim`).
+        let n = unsafe { self.cq.pop_batch(out, max) };
+        for env in out.iter_mut().skip(start) {
+            ctx.idle_until(env.submit_vt);
+            if env.origin_domain != consumer_domain {
+                cost::cross_domain_hop(ctx);
+            } else {
+                cost::same_domain_hop(ctx);
+            }
+            env.dequeue_vt = ctx.now();
+        }
+        n
     }
 
     /// Number of submitted-but-unconsumed requests.
@@ -339,6 +753,19 @@ impl<T> QueuePair<T> {
         self.item_hist.record(ns);
     }
 
+    /// Batched [`QueuePair::record_work`]: one counter update for the
+    /// batch total; per-item histogram records (quantiles need the
+    /// individual values).
+    pub fn record_work_batch(&self, per_item_ns: &[u64]) {
+        let total: u64 = per_item_ns.iter().sum();
+        if total > 0 {
+            self.work_done_ns.fetch_add(total, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        }
+        for &ns in per_item_ns {
+            self.item_hist.record(ns);
+        }
+    }
+
     /// Cumulative processing time spent on this queue's requests.
     pub fn work_done_ns(&self) -> u64 {
         self.work_done_ns.load(Ordering::Relaxed) // relaxed-ok: stat counter; readers tolerate lag
@@ -370,21 +797,28 @@ mod tests {
         QueuePair::new(1, 8, QueueFlags::default())
     }
 
+    fn qp_spsc() -> QueuePair<u32> {
+        QueuePair::with_lane(1, 8, QueueFlags::default(), LaneKind::Spsc)
+    }
+
     #[test]
     fn submit_consume_complete_reap() {
-        let q = qp();
-        q.submit(7, 100, 1).unwrap();
-        let mut worker = Ctx::new();
-        let env = q.consume(&mut worker, 0).unwrap();
-        assert_eq!(env.payload, 7);
-        assert_eq!(env.origin_domain, 1);
-        // Worker idled to submit time then paid the cross-domain hop.
-        assert_eq!(worker.now(), 100 + cost::CROSS_DOMAIN_HOP_NS);
-        q.complete(env.payload + 1, worker.now(), 0).unwrap();
-        let mut client = Ctx::at(50);
-        let done = q.reap(&mut client, 1).unwrap();
-        assert_eq!(done.payload, 8);
-        assert_eq!(client.now(), worker.now() + cost::CROSS_DOMAIN_HOP_NS);
+        for q in [qp(), qp_spsc()] {
+            q.submit(7, 100, 1).unwrap();
+            let mut worker = Ctx::new();
+            let env = q.consume(&mut worker, 0).unwrap();
+            assert_eq!(env.payload, 7);
+            assert_eq!(env.origin_domain, 1);
+            // Worker idled to submit time then paid the cross-domain hop.
+            assert_eq!(worker.now(), 100 + cost::CROSS_DOMAIN_HOP_NS);
+            assert_eq!(env.dequeue_vt, worker.now());
+            q.complete(env.payload + 1, worker.now(), 0).unwrap();
+            let mut client = Ctx::at(50);
+            let done = q.reap(&mut client, 1).unwrap();
+            assert_eq!(done.payload, 8);
+            assert_eq!(client.now(), worker.now() + cost::CROSS_DOMAIN_HOP_NS);
+            assert_eq!(done.dequeue_vt, client.now());
+        }
     }
 
     #[test]
@@ -407,13 +841,17 @@ mod tests {
 
     #[test]
     fn backpressure_when_full() {
-        let q = QueuePair::new(1, 2, QueueFlags::default());
-        q.submit(1, 0, 0).unwrap();
-        q.submit(2, 0, 0).unwrap();
-        assert_eq!(q.submit(3, 0, 0), Err(3));
-        let mut ctx = Ctx::new();
-        q.consume(&mut ctx, 0).unwrap();
-        q.submit(3, 0, 0).unwrap();
+        for q in [
+            QueuePair::new(1, 2, QueueFlags::default()),
+            QueuePair::with_lane(1, 2, QueueFlags::default(), LaneKind::Spsc),
+        ] {
+            q.submit(1, 0, 0).unwrap();
+            q.submit(2, 0, 0).unwrap();
+            assert_eq!(q.submit(3, 0, 0), Err(3));
+            let mut ctx = Ctx::new();
+            q.consume(&mut ctx, 0).unwrap();
+            q.submit(3, 0, 0).unwrap();
+        }
     }
 
     #[test]
@@ -427,6 +865,89 @@ mod tests {
         assert_eq!((q.total_submitted(), q.total_consumed()), (2, 1));
         q.complete(9, 0, 0).unwrap();
         assert_eq!((q.cq_depth(), q.total_completed()), (1, 1));
+    }
+
+    #[test]
+    fn batch_verbs_roundtrip_both_lanes() {
+        for q in [qp(), qp_spsc()] {
+            let mut payloads: Vec<u32> = (0..5).collect();
+            assert_eq!(q.submit_batch(&mut payloads, 100, 1), 5);
+            assert!(payloads.is_empty());
+            assert_eq!((q.total_submitted(), q.sq_depth()), (5, 5));
+
+            let mut worker = Ctx::new();
+            let mut inbox = Vec::new();
+            assert_eq!(q.consume_batch(&mut worker, 0, &mut inbox, 8), 5);
+            assert_eq!(q.total_consumed(), 5);
+            let order: Vec<u32> = inbox.iter().map(|e| e.payload).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 4]);
+            // First envelope: idle to 100 then cross-domain hop; the rest
+            // pay one hop each (already past their submit time).
+            assert_eq!(worker.now(), 100 + 5 * cost::CROSS_DOMAIN_HOP_NS);
+            assert_eq!(inbox[0].dequeue_vt, 100 + cost::CROSS_DOMAIN_HOP_NS);
+            assert_eq!(inbox[4].dequeue_vt, worker.now());
+
+            let mut completions: Vec<(u32, u64)> = inbox
+                .iter()
+                .map(|e| (e.payload + 10, e.dequeue_vt))
+                .collect();
+            assert_eq!(q.complete_batch(&mut completions, 0), 5);
+            assert!(completions.is_empty());
+            assert_eq!(q.total_completed(), 5);
+
+            let mut client = Ctx::new();
+            let mut done = Vec::new();
+            assert_eq!(q.reap_batch(&mut client, 1, &mut done, 8), 5);
+            let order: Vec<u32> = done.iter().map(|e| e.payload).collect();
+            assert_eq!(order, vec![10, 11, 12, 13, 14]);
+            // Per-completion production times survive the batch.
+            assert_eq!(done[0].submit_vt, 100 + cost::CROSS_DOMAIN_HOP_NS);
+        }
+    }
+
+    #[test]
+    fn batch_submit_backpressure_keeps_leftovers_in_order() {
+        for q in [
+            QueuePair::new(1, 4, QueueFlags::default()),
+            QueuePair::with_lane(1, 4, QueueFlags::default(), LaneKind::Spsc),
+        ] {
+            let mut payloads: Vec<u32> = (0..7).collect();
+            assert_eq!(q.submit_batch(&mut payloads, 0, 0), 4);
+            assert_eq!(payloads, vec![4, 5, 6]);
+            let mut ctx = Ctx::new();
+            let mut inbox = Vec::new();
+            assert_eq!(q.consume_batch(&mut ctx, 0, &mut inbox, 2), 2);
+            assert_eq!(q.submit_batch(&mut payloads, 0, 0), 2);
+            assert_eq!(payloads, vec![6]);
+            // FIFO across the partial batches.
+            inbox.clear();
+            q.consume_batch(&mut ctx, 0, &mut inbox, 16);
+            let order: Vec<u32> = inbox.iter().map(|e| e.payload).collect();
+            assert_eq!(order, vec![2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn consume_batch_max_zero_is_noop() {
+        let q = qp_spsc();
+        q.submit(1, 0, 0).unwrap();
+        let mut ctx = Ctx::new();
+        let mut out = Vec::new();
+        assert_eq!(q.consume_batch(&mut ctx, 0, &mut out, 0), 0);
+        assert_eq!(ctx.now(), 0);
+        assert_eq!(q.sq_depth(), 1);
+    }
+
+    #[test]
+    fn spsc_lane_reports_kind_and_rounds_depth() {
+        let q = QueuePair::<u32>::with_lane(9, 5, QueueFlags::default(), LaneKind::Spsc);
+        assert_eq!(q.lane(), LaneKind::Spsc);
+        // 5 rounds to 8.
+        for i in 0..8 {
+            q.submit(i, 0, 0).unwrap();
+        }
+        assert!(q.submit(9, 0, 0).is_err());
+        assert_eq!(qp().lane(), LaneKind::Mpmc);
     }
 
     #[test]
@@ -477,14 +998,31 @@ mod tests {
     }
 
     #[test]
-    fn fifo_order_preserved() {
-        let q = QueuePair::new(1, 64, QueueFlags::default());
-        for i in 0..10 {
-            q.submit(i, 0, 0).unwrap();
+    fn record_work_batch_matches_singles() {
+        let a = qp();
+        let b = qp();
+        for ns in [1_000u64, 2_000, 4_000] {
+            a.record_work(ns);
         }
-        let mut ctx = Ctx::new();
-        for i in 0..10 {
-            assert_eq!(q.consume(&mut ctx, 0).unwrap().payload, i);
+        b.record_work_batch(&[1_000, 2_000, 4_000]);
+        assert_eq!(a.work_done_ns(), b.work_done_ns());
+        assert_eq!(a.p50_item_ns(), b.p50_item_ns());
+        assert_eq!(a.p99_item_ns(), b.p99_item_ns());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        for q in [
+            QueuePair::new(1, 64, QueueFlags::default()),
+            QueuePair::with_lane(1, 64, QueueFlags::default(), LaneKind::Spsc),
+        ] {
+            for i in 0..10 {
+                q.submit(i, 0, 0).unwrap();
+            }
+            let mut ctx = Ctx::new();
+            for i in 0..10 {
+                assert_eq!(q.consume(&mut ctx, 0).unwrap().payload, i);
+            }
         }
     }
 }

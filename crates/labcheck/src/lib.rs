@@ -50,7 +50,9 @@ pub fn workspace_root() -> PathBuf {
 
 /// The model-checker configurations the binary and the tier-1 gate run:
 /// depth 6 per side at cap 2 and 4, a wraparound run, a partial-drain run
-/// (Drop contract), and depth 7 to exceed the acceptance floor.
+/// (Drop contract), depth 7 to exceed the acceptance floor, and the
+/// batched-publication protocol (`push_batch`/`pop_batch`: one doorbell
+/// store per burst) at batch 2 and 3, including across the counter wrap.
 pub fn gate_mc_configs() -> Vec<McConfig> {
     vec![
         McConfig::correct(2, 6),
@@ -61,6 +63,7 @@ pub fn gate_mc_configs() -> Vec<McConfig> {
             pops: 7,
             start: 253,
             stale_reads: true,
+            batch: 1,
             variant: Variant::Correct,
         },
         McConfig {
@@ -69,6 +72,7 @@ pub fn gate_mc_configs() -> Vec<McConfig> {
             pops: 4,
             start: 254,
             stale_reads: true,
+            batch: 1,
             variant: Variant::Correct,
         },
         McConfig {
@@ -77,6 +81,27 @@ pub fn gate_mc_configs() -> Vec<McConfig> {
             pops: 7,
             start: 0,
             stale_reads: true,
+            batch: 1,
+            variant: Variant::Correct,
+        },
+        McConfig::correct_batched(2, 6, 2),
+        McConfig::correct_batched(4, 6, 3),
+        McConfig {
+            cap: 4,
+            pushes: 7,
+            pops: 7,
+            start: 253,
+            stale_reads: true,
+            batch: 3,
+            variant: Variant::Correct,
+        },
+        McConfig {
+            cap: 4,
+            pushes: 6,
+            pops: 4,
+            start: 254,
+            stale_reads: true,
+            batch: 2,
             variant: Variant::Correct,
         },
     ]
@@ -93,6 +118,7 @@ pub fn gate_mc_bug_configs() -> Vec<McConfig> {
             pops: 4,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::FullCheckOffByOne,
         },
         McConfig {
@@ -101,6 +127,7 @@ pub fn gate_mc_bug_configs() -> Vec<McConfig> {
             pops: 3,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::AdvanceHeadBeforeRead,
         },
         McConfig {
@@ -109,7 +136,17 @@ pub fn gate_mc_bug_configs() -> Vec<McConfig> {
             pops: 1,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::MissingPublish,
+        },
+        McConfig {
+            cap: 4,
+            pushes: 3,
+            pops: 3,
+            start: 0,
+            stale_reads: false,
+            batch: 3,
+            variant: Variant::BatchPublishEarly,
         },
     ]
 }

@@ -1,6 +1,7 @@
 //! Deterministic interleaving model checker for the SPSC ring hot path.
 //!
-//! `Producer::push` and `Consumer::pop` (crates/ipc/src/ring.rs) are
+//! `Producer::push`/`push_batch` and `Consumer::pop`/`pop_batch`
+//! (crates/ipc/src/ring.rs) are
 //! decomposed into their atomic steps — counter loads, the occupancy
 //! check, the slot access, the publishing store — and a scheduler explores
 //! *every* reachable interleaving of the two threads by exhaustive search
@@ -21,6 +22,14 @@
 //!   other thread bumps with Release stores. (Store/store reordering is
 //!   *not* modeled; the release fences in the implementation are what
 //!   forbid it.)
+//! - with [`McConfig::batch`] `> 1` each operation claims up to `batch`
+//!   slots from one counter observation, touches them one atomic step at
+//!   a time, and publishes the whole burst with **one** counter store —
+//!   exactly the batched-doorbell protocol of `push_batch`/`pop_batch`.
+//!   With batched publication a counter skips intermediate values; the
+//!   stale-read model still enumerates them, a safe-side
+//!   over-approximation (a skipped value only ever implies *fewer*
+//!   claimable slots than the published one).
 //!
 //! Invariants checked on every step / terminal state:
 //! - a push never overwrites a slot still holding an unconsumed element
@@ -53,6 +62,10 @@ pub enum Variant {
     /// Producer forgets the publishing store of `tail`: elements are
     /// written but never become visible, so the run cannot complete.
     MissingPublish,
+    /// Batched producer publishes the *full* batch tail after writing
+    /// only the first slot: the consumer may claim and read slots of the
+    /// burst that were never written. Requires `batch > 1` to manifest.
+    BatchPublishEarly,
 }
 
 /// Model-checker configuration.
@@ -69,6 +82,9 @@ pub struct McConfig {
     pub start: u8,
     /// Model stale counter reads (see module docs).
     pub stale_reads: bool,
+    /// Slots each operation may claim from one counter observation before
+    /// its single publishing store (1 = the classic per-element protocol).
+    pub batch: u8,
     /// Algorithm variant under test.
     pub variant: Variant,
 }
@@ -82,7 +98,16 @@ impl McConfig {
             pops: ops,
             start: 0,
             stale_reads: true,
+            batch: 1,
             variant: Variant::Correct,
+        }
+    }
+
+    /// A correct-algorithm exploration using batched publication.
+    pub fn correct_batched(cap: u8, ops: u8, batch: u8) -> McConfig {
+        McConfig {
+            batch,
+            ..McConfig::correct(cap, ops)
         }
     }
 }
@@ -143,19 +168,27 @@ struct State {
     head: u8,
     tail: u8,
     slots: [Option<u8>; MAX_CAP],
-    // Producer: pc 0 = idle/start, 1 = read head, 2 = check full,
-    // 3 = write slot, 4 = publish tail.
+    // Producer: pc 0 = idle/start, 1 = read head, 2 = claim (occupancy
+    // check), 3 = write slot (loops `p_todo` times), 4 = publish tail.
     p_pc: u8,
     p_tail: u8,
     p_head: u8,
     p_seen_head: u8,
+    /// Slots claimed for the current burst.
+    p_todo: u8,
+    /// Slots of the current burst already written.
+    p_written: u8,
     pushed: u8,
-    // Consumer: pc 0 = idle/start, 1 = read tail, 2 = check empty,
-    // 3 = read slot, 4 = publish head.
+    // Consumer: pc 0 = idle/start, 1 = read tail, 2 = claim (empty
+    // check), 3 = read slot (loops `c_todo` times), 4 = publish head.
     c_pc: u8,
     c_head: u8,
     c_tail: u8,
     c_seen_tail: u8,
+    /// Slots claimed for the current burst.
+    c_todo: u8,
+    /// Slots of the current burst already read.
+    c_read: u8,
     popped: u8,
 }
 
@@ -167,6 +200,7 @@ pub fn explore(cfg: &McConfig) -> Result<Report, McFailure> {
         "cap must be 2/4/8"
     );
     assert!(cfg.pops <= cfg.pushes, "cannot pop more than is pushed");
+    assert!(cfg.batch >= 1, "batch must be at least 1");
 
     let init = State {
         head: cfg.start,
@@ -176,11 +210,15 @@ pub fn explore(cfg: &McConfig) -> Result<Report, McFailure> {
         p_tail: 0,
         p_head: 0,
         p_seen_head: cfg.start,
+        p_todo: 0,
+        p_written: 0,
         pushed: 0,
         c_pc: 0,
         c_head: 0,
         c_tail: 0,
         c_seen_tail: cfg.start,
+        c_todo: 0,
+        c_read: 0,
         popped: 0,
     };
 
@@ -263,21 +301,37 @@ fn producer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Vio
                 out.push((n, format!("producer: read head={h}")));
             }
         }
-        // occupancy check
+        // claim: occupancy check, burst size = min(free, batch, left)
         2 => {
             let occupancy = s.p_tail.wrapping_sub(s.p_head);
-            let full = match cfg.variant {
-                Variant::FullCheckOffByOne => occupancy > cfg.cap,
-                _ => occupancy == cfg.cap,
+            // The off-by-one variant believes one more slot is free than
+            // the ring has (`> cap` instead of `== cap` in the classic
+            // per-element check).
+            let free = match cfg.variant {
+                Variant::FullCheckOffByOne => (cfg.cap + 1).saturating_sub(occupancy),
+                _ => cfg.cap.saturating_sub(occupancy),
             };
+            let burst = free.min(cfg.batch).min(cfg.pushes - s.pushed);
             let mut n = *s;
-            n.p_pc = if full { 0 } else { 3 };
-            let what = if full { "full, retry" } else { "has space" };
-            out.push((n, format!("producer: check occupancy={occupancy} ({what})")));
+            if burst == 0 {
+                n.p_pc = 0;
+                out.push((
+                    n,
+                    format!("producer: check occupancy={occupancy} (full, retry)"),
+                ));
+            } else {
+                n.p_todo = burst;
+                n.p_written = 0;
+                n.p_pc = 3;
+                out.push((
+                    n,
+                    format!("producer: check occupancy={occupancy} (claim {burst})"),
+                ));
+            }
         }
-        // write the slot
+        // write one slot of the burst
         3 => {
-            let slot = (s.p_tail % cfg.cap) as usize;
+            let slot = (s.p_tail.wrapping_add(s.p_written) % cfg.cap) as usize;
             let value = s.pushed;
             if let Some(lost) = s.slots[slot] {
                 return Err((
@@ -287,16 +341,33 @@ fn producer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Vio
             }
             let mut n = *s;
             n.slots[slot] = Some(value);
-            n.p_pc = 4;
-            out.push((n, format!("producer: write slot[{slot}]={value}")));
+            n.pushed = s.pushed + 1;
+            n.p_written = s.p_written + 1;
+            let mut label = format!("producer: write slot[{slot}]={value}");
+            if cfg.variant == Variant::BatchPublishEarly && s.p_written == 0 {
+                // Bug: doorbell rings for the whole burst after the first
+                // slot write.
+                n.tail = s.p_tail.wrapping_add(s.p_todo);
+                label = format!("{label}, publish tail={} (EARLY)", n.tail);
+            }
+            n.p_pc = if n.p_written == s.p_todo {
+                // Early-publish variant already rang the doorbell.
+                if cfg.variant == Variant::BatchPublishEarly {
+                    0
+                } else {
+                    4
+                }
+            } else {
+                3
+            };
+            out.push((n, label));
         }
-        // publish tail
+        // publish tail: one Release store for the whole burst
         _ => {
             let mut n = *s;
             if cfg.variant != Variant::MissingPublish {
-                n.tail = s.p_tail.wrapping_add(1);
+                n.tail = s.p_tail.wrapping_add(s.p_todo);
             }
-            n.pushed = s.pushed + 1;
             n.p_pc = 0;
             out.push((n, format!("producer: publish tail={}", n.tail)));
         }
@@ -326,20 +397,27 @@ fn consumer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Vio
                 out.push((n, format!("consumer: read tail={t}")));
             }
         }
-        // empty check
+        // claim: empty check, burst size = min(available, batch, left)
         2 => {
-            let empty = s.c_head == s.c_tail;
+            let avail = s.c_tail.wrapping_sub(s.c_head);
+            let burst = avail.min(cfg.batch).min(cfg.pops - s.popped);
             let mut n = *s;
-            n.c_pc = if empty { 0 } else { 3 };
-            let what = if empty { "empty, retry" } else { "has element" };
-            out.push((n, format!("consumer: check ({what})")));
+            if burst == 0 {
+                n.c_pc = 0;
+                out.push((n, "consumer: check (empty, retry)".to_string()));
+            } else {
+                n.c_todo = burst;
+                n.c_read = 0;
+                n.c_pc = 3;
+                out.push((n, format!("consumer: check (claim {burst})")));
+            }
         }
-        // read the slot (move the value out); in the buggy variant the
-        // head is published first and the slot read happens at pc 4.
+        // read one slot of the burst; in the buggy variant the head is
+        // published first and the slot reads happen at pc 4.
         3 => {
             if cfg.variant == Variant::AdvanceHeadBeforeRead {
                 let mut n = *s;
-                n.head = s.c_head.wrapping_add(1);
+                n.head = s.c_head.wrapping_add(s.c_todo);
                 n.c_pc = 4;
                 out.push((n, format!("consumer: publish head={} (EARLY)", n.head)));
             } else {
@@ -347,15 +425,15 @@ fn consumer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Vio
                 out.push((n, label));
             }
         }
-        // publish head (or, in the buggy variant, the late slot read)
+        // publish head: one Release store for the whole burst (or, in
+        // the buggy variant, the late slot reads)
         _ => {
             if cfg.variant == Variant::AdvanceHeadBeforeRead {
                 let (n, label) = read_slot(cfg, s)?;
                 out.push((n, label));
             } else {
                 let mut n = *s;
-                n.head = s.c_head.wrapping_add(1);
-                n.popped = s.popped + 1;
+                n.head = s.c_head.wrapping_add(s.c_todo);
                 n.c_pc = 0;
                 out.push((n, format!("consumer: publish head={}", n.head)));
             }
@@ -366,7 +444,7 @@ fn consumer_step(cfg: &McConfig, s: &State) -> Result<Vec<(State, String)>, (Vio
 
 /// The consumer's slot read + FIFO assertion, shared by both orderings.
 fn read_slot(cfg: &McConfig, s: &State) -> Result<(State, String), (Violation, String)> {
-    let slot = (s.c_head % cfg.cap) as usize;
+    let slot = (s.c_head.wrapping_add(s.c_read) % cfg.cap) as usize;
     let label = format!("consumer: read slot[{slot}]");
     let Some(value) = s.slots[slot] else {
         return Err((Violation::ReadUninit { slot }, label));
@@ -382,18 +460,24 @@ fn read_slot(cfg: &McConfig, s: &State) -> Result<(State, String), (Violation, S
     }
     let mut n = *s;
     n.slots[slot] = None;
-    if cfg.variant == Variant::AdvanceHeadBeforeRead {
-        n.popped = s.popped + 1;
-        n.c_pc = 0;
-    } else {
-        n.c_pc = 4;
-    }
+    n.popped = s.popped + 1;
+    n.c_read = s.c_read + 1;
+    let done = n.c_read == s.c_todo;
+    n.c_pc = match (cfg.variant == Variant::AdvanceHeadBeforeRead, done) {
+        // Early-publish variant already advanced head; burst ends here.
+        (true, true) => 0,
+        (true, false) => 4,
+        (false, true) => 4,
+        (false, false) => 3,
+    };
     Ok((n, format!("consumer: read slot[{slot}]={value}")))
 }
 
 /// Values a load of the other side's counter may return: just the current
-/// value, or — with stale reads modeled — anything the counter passed
-/// through since this thread last observed it (counters advance by 1).
+/// value, or — with stale reads modeled — anything in the window since
+/// this thread last observed it. With batched publication a counter skips
+/// intermediate values; enumerating them anyway over-approximates safely
+/// (a smaller counter only shrinks the burst the reader claims).
 fn observable(cfg: &McConfig, last_seen: u8, current: u8) -> Vec<u8> {
     if !cfg.stale_reads {
         return vec![current];
@@ -477,6 +561,7 @@ mod tests {
             pops: 7,
             start: 253,
             stale_reads: true,
+            batch: 1,
             variant: Variant::Correct,
         };
         explore(&cfg).expect("wraparound is safe");
@@ -492,6 +577,7 @@ mod tests {
             pops: 4,
             start: 254,
             stale_reads: true,
+            batch: 1,
             variant: Variant::Correct,
         };
         explore(&cfg).expect("residue consistent");
@@ -505,6 +591,7 @@ mod tests {
             pops: 4,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::FullCheckOffByOne,
         };
         let failure = explore(&cfg).expect_err("must catch the overwrite");
@@ -520,6 +607,7 @@ mod tests {
             pops: 3,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::AdvanceHeadBeforeRead,
         };
         let failure = explore(&cfg).expect_err("must catch the race");
@@ -541,10 +629,99 @@ mod tests {
             pops: 1,
             start: 0,
             stale_reads: false,
+            batch: 1,
             variant: Variant::MissingPublish,
         };
         let failure = explore(&cfg).expect_err("must detect no completion");
         assert_eq!(failure.violation, Violation::NoCompletion);
+    }
+
+    #[test]
+    fn batched_publication_is_safe() {
+        // The push_batch/pop_batch protocol: up to 3 slots per counter
+        // observation, one doorbell store per burst, stale reads on.
+        let report = explore(&McConfig::correct_batched(4, 6, 3)).expect("no violations");
+        assert!(report.terminals >= 1);
+        assert!(report.states > 100, "exploration should be nontrivial");
+    }
+
+    #[test]
+    fn batched_publication_across_counter_wrap() {
+        let cfg = McConfig {
+            cap: 4,
+            pushes: 7,
+            pops: 7,
+            start: 253,
+            stale_reads: true,
+            batch: 3,
+            variant: Variant::Correct,
+        };
+        explore(&cfg).expect("batched wraparound is safe");
+    }
+
+    #[test]
+    fn batched_partial_drain_matches_drop_contract() {
+        // Push 6 in bursts of 2, pop 4 in bursts of 2: residue must be
+        // exactly the FIFO suffix Drop drains.
+        let cfg = McConfig {
+            cap: 4,
+            pushes: 6,
+            pops: 4,
+            start: 254,
+            stale_reads: true,
+            batch: 2,
+            variant: Variant::Correct,
+        };
+        explore(&cfg).expect("batched residue consistent");
+    }
+
+    #[test]
+    fn batch_of_one_equals_classic_protocol() {
+        // batch=1 must explore the same algorithm as the per-element
+        // model (the claim step degenerates to the classic full check).
+        let classic = explore(&McConfig::correct(2, 5)).expect("ok");
+        let batched = explore(&McConfig::correct_batched(2, 5, 1)).expect("ok");
+        assert_eq!(classic.states, batched.states);
+        assert_eq!(classic.terminals, batched.terminals);
+    }
+
+    #[test]
+    fn detects_early_batch_publish() {
+        // The doorbell rings for the whole burst after only the first
+        // slot write: a consumer claiming the burst reads an unwritten
+        // slot.
+        let cfg = McConfig {
+            cap: 4,
+            pushes: 3,
+            pops: 3,
+            start: 0,
+            stale_reads: false,
+            batch: 3,
+            variant: Variant::BatchPublishEarly,
+        };
+        let failure = explore(&cfg).expect_err("must catch the early doorbell");
+        assert!(
+            matches!(failure.violation, Violation::ReadUninit { .. }),
+            "expected ReadUninit, got {:?}",
+            failure.violation
+        );
+        assert!(!failure.trace.is_empty(), "counterexample has a schedule");
+    }
+
+    #[test]
+    fn early_batch_publish_is_harmless_at_batch_one() {
+        // With batch=1 the "early" doorbell covers exactly the one slot
+        // already written — the planted bug needs a real burst to bite.
+        let cfg = McConfig {
+            cap: 2,
+            pushes: 4,
+            pops: 4,
+            start: 0,
+            stale_reads: true,
+            batch: 1,
+            variant: Variant::BatchPublishEarly,
+        };
+        explore(&cfg).expect("degenerate batch cannot misfire");
     }
 
     #[test]

@@ -319,6 +319,52 @@ impl FlightRecorder {
 
     #[cold]
     fn record_slow(&self, stage: Stage, req_id: u64, stack: u64, vertex: usize, t0: u64, t1: u64) {
+        self.with_thread_ring(|ring| {
+            ring.push(&SpanEvent {
+                req_id,
+                stage,
+                stack: (stack & 0x00FF_FFFF) as u32,
+                vertex: (vertex & 0xFFFF) as u16,
+                ring: ring.ring_id(),
+                t_start_vns: t0,
+                t_end_vns: t1,
+            });
+        });
+    }
+
+    /// Record a whole batch of spans on the calling thread's ring: one
+    /// enabled check and one thread-local ring lookup for the batch, one
+    /// seqlock push per span. The batched IPC hot path stamps its `HopReq`
+    /// spans through this. Each event's `ring` field is overwritten with
+    /// the calling thread's ring id and `stack` is truncated to 24 bits,
+    /// exactly as [`FlightRecorder::record`] does. No-op while disabled.
+    #[inline]
+    pub fn record_batch<I>(&self, spans: I)
+    where
+        I: IntoIterator<Item = SpanEvent>,
+    {
+        if !self.enabled() {
+            return;
+        }
+        self.record_batch_slow(spans.into_iter());
+    }
+
+    #[cold]
+    fn record_batch_slow(&self, spans: impl Iterator<Item = SpanEvent>) {
+        self.with_thread_ring(|ring| {
+            for ev in spans {
+                ring.push(&SpanEvent {
+                    stack: ev.stack & 0x00FF_FFFF,
+                    ring: ring.ring_id(),
+                    ..ev
+                });
+            }
+        });
+    }
+
+    /// Run `f` with the calling thread's ring for this recorder, creating
+    /// and registering it on first use.
+    fn with_thread_ring<R>(&self, f: impl FnOnce(&SpanRing) -> R) -> R {
         TLS_RINGS.with(|cell| {
             let mut rings = cell.borrow_mut();
             let ring = match rings.iter().find(|(id, _)| *id == self.id) {
@@ -333,16 +379,8 @@ impl FlightRecorder {
                     r
                 }
             };
-            ring.push(&SpanEvent {
-                req_id,
-                stage,
-                stack: (stack & 0x00FF_FFFF) as u32,
-                vertex: (vertex & 0xFFFF) as u16,
-                ring: ring.ring_id(),
-                t_start_vns: t0,
-                t_end_vns: t1,
-            });
-        });
+            f(&ring)
+        })
     }
 
     /// All captured spans across every thread's ring, sorted by start
@@ -495,6 +533,38 @@ mod tests {
         assert_eq!(b.snapshot().len(), 1);
         assert_eq!(a.snapshot()[0].req_id, 1);
         assert_eq!(b.snapshot()[0].req_id, 2);
+    }
+
+    #[test]
+    fn record_batch_matches_singles_and_stamps_ring() {
+        let rec = FlightRecorder::new(64);
+        rec.enable();
+        rec.record_batch((0..5u64).map(|i| SpanEvent {
+            req_id: i,
+            stage: Stage::HopReq,
+            stack: 0xFFFF_FFFF, // must be truncated to 24 bits
+            vertex: 2,
+            ring: 999, // must be overwritten with the real ring id
+            t_start_vns: 10 * i,
+            t_end_vns: 10 * i + 3,
+        }));
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.req_id, i as u64);
+            assert_eq!(e.stack, 0x00FF_FFFF);
+            assert_eq!(e.ring, 0);
+            assert_eq!(e.stage, Stage::HopReq);
+        }
+        assert_eq!(rec.rings(), 1);
+    }
+
+    #[test]
+    fn record_batch_disabled_is_noop() {
+        let rec = FlightRecorder::new(64);
+        rec.record_batch(std::iter::once(ev(1)));
+        assert_eq!(rec.snapshot().len(), 0);
+        assert_eq!(rec.rings(), 0);
     }
 
     #[test]
