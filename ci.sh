@@ -25,4 +25,8 @@ echo "== bench_ipc smoke (SPSC fast-path regression gate)"
 cargo run -q --release -p labstor-bench --bin bench_ipc -- --smoke
 test -s BENCH_ipc.json
 
+echo "== bench_datapath smoke (zero-copy + shard-scaling regression gate)"
+cargo run -q --release -p labstor-bench --bin bench_datapath -- --smoke
+test -s BENCH_datapath.json
+
 echo "ci: all gates passed"

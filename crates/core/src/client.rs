@@ -88,6 +88,20 @@ impl Client {
         &self.runtime
     }
 
+    /// Allocate a zero-copy payload buffer from the shared pool and fill
+    /// it in place — the application writes its bytes straight into
+    /// shared memory, then submits `FsOp::WriteBuf { buf, .. }` so no
+    /// stage ever copies them. Returns `None` when the pool is dry (fall
+    /// back to the legacy `Vec` payload).
+    pub fn alloc_buf(&self, len: usize) -> Option<labstor_ipc::BufHandle> {
+        labstor_ipc::default_pool().alloc(len)
+    }
+
+    /// The shared buffer pool this client allocates payload buffers from.
+    pub fn buf_pool(&self) -> &'static labstor_ipc::BufferPool {
+        labstor_ipc::default_pool()
+    }
+
     /// Resolve the stack governing `path` (GenericFS-style ancestor walk).
     pub fn resolve(&self, path: &str) -> Result<(Arc<LabStack>, String), ClientError> {
         self.runtime

@@ -7,7 +7,7 @@
 //! hatch so third-party LabMods can define their own interfaces without
 //! touching the platform.
 
-use labstor_ipc::Credentials;
+use labstor_ipc::{BufHandle, Credentials};
 
 /// POSIX-flavoured file operations (the GenericFS/LabFS interface).
 #[derive(Debug, Clone)]
@@ -46,6 +46,26 @@ pub enum FsOp {
     },
     /// Read `len` bytes at `offset` of inode `ino`.
     Read {
+        /// Source inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Zero-copy write: the payload lives in a pooled shared-memory
+    /// buffer; stages pass the handle by refcount bump, never by copy.
+    WriteBuf {
+        /// Target inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Shared-memory payload.
+        buf: BufHandle,
+    },
+    /// Zero-copy read: respond with [`RespPayload::DataBuf`] — a handle
+    /// into the page cache (hit) or a freshly filled pool buffer (miss).
+    ReadBuf {
         /// Source inode.
         ino: u64,
         /// Byte offset.
@@ -110,6 +130,13 @@ pub enum KvsOp {
         /// Key.
         key: String,
     },
+    /// Zero-copy put: the value lives in a pooled shared-memory buffer.
+    PutBuf {
+        /// Key.
+        key: String,
+        /// Shared-memory value bytes.
+        buf: BufHandle,
+    },
 }
 
 /// Block I/O between stack stages (filesystem → cache → scheduler →
@@ -125,6 +152,20 @@ pub enum BlockOp {
     },
     /// Read sectors.
     Read {
+        /// Start LBA.
+        lba: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Zero-copy sector write: payload passed by shared-memory handle.
+    WriteBuf {
+        /// Start LBA (512-byte sectors).
+        lba: u64,
+        /// Payload (sector multiple) in a pooled buffer.
+        buf: BufHandle,
+    },
+    /// Zero-copy sector read: respond with [`RespPayload::DataBuf`].
+    ReadBuf {
         /// Start LBA.
         lba: u64,
         /// Bytes to read.
@@ -227,10 +268,13 @@ impl Request {
     pub fn payload_bytes(&self) -> usize {
         match &self.payload {
             Payload::Fs(FsOp::Write { data, .. }) => data.len(),
-            Payload::Fs(FsOp::Read { len, .. }) => *len,
+            Payload::Fs(FsOp::Read { len, .. } | FsOp::ReadBuf { len, .. }) => *len,
+            Payload::Fs(FsOp::WriteBuf { buf, .. }) => buf.len(),
             Payload::Kvs(KvsOp::Put { value, .. }) => value.len(),
+            Payload::Kvs(KvsOp::PutBuf { buf, .. }) => buf.len(),
             Payload::Block(BlockOp::Write { data, .. }) => data.len(),
-            Payload::Block(BlockOp::Read { len, .. }) => *len,
+            Payload::Block(BlockOp::Read { len, .. } | BlockOp::ReadBuf { len, .. }) => *len,
+            Payload::Block(BlockOp::WriteBuf { buf, .. }) => buf.len(),
             Payload::Custom { data, .. } => data.len(),
             _ => 0,
         }
@@ -246,6 +290,9 @@ pub enum RespPayload {
     Ino(u64),
     /// Bytes read / value fetched.
     Data(Vec<u8>),
+    /// Zero-copy read result: a refcounted view of shared-memory bytes
+    /// (a page-cache hit is a refcount bump, not a copy).
+    DataBuf(BufHandle),
     /// Bytes written.
     Len(usize),
     /// Stat result.
@@ -260,6 +307,16 @@ impl RespPayload {
     /// True unless the payload is an error.
     pub fn is_ok(&self) -> bool {
         !matches!(self, RespPayload::Err(_))
+    }
+
+    /// The returned bytes regardless of representation (legacy `Vec` or
+    /// shared-memory handle); `None` for non-data payloads.
+    pub fn data_bytes(&self) -> Option<&[u8]> {
+        match self {
+            RespPayload::Data(v) => Some(v),
+            RespPayload::DataBuf(b) => Some(b.as_slice()),
+            _ => None,
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 //! (≈1.4 µs round trip) because the Runtime runs on a different core and
 //! requests travel through the cache hierarchy.
 
+pub mod buf;
 pub mod cost;
 pub mod credentials;
 pub mod manager;
@@ -33,6 +34,10 @@ pub mod queue_pair;
 pub mod ring;
 pub mod shmem;
 
+pub use buf::{
+    default_pool, note_payload_copy, payload_copies, payload_copy_bytes, BufHandle, BufferPool,
+    PoolConfig,
+};
 pub use credentials::Credentials;
 pub use manager::{ClientConnection, IpcManager};
 pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};

@@ -63,9 +63,35 @@ impl fmt::Display for ShmError {
 
 impl std::error::Error for ShmError {}
 
+/// Regions are split into independently locked chunks of this many bytes
+/// so concurrent buffer fills at different offsets don't serialize on one
+/// region-wide lock.
+const CHUNK_BYTES: usize = 4096;
+
 struct Region {
-    data: RwLock<Box<[u8]>>,
+    /// Independently locked fixed-size chunks; the last chunk may be
+    /// short. A region-spanning access locks only the chunks it touches,
+    /// in ascending order (consistent order ⇒ no lock cycles).
+    chunks: Box<[RwLock<Box<[u8]>>]>,
+    size: usize,
     grants: RwLock<HashSet<u32>>,
+}
+
+impl Region {
+    fn with_size(size: usize) -> Self {
+        let nchunks = size.div_ceil(CHUNK_BYTES).max(1);
+        let chunks: Box<[RwLock<Box<[u8]>>]> = (0..nchunks)
+            .map(|i| {
+                let len = (size - (i * CHUNK_BYTES).min(size)).min(CHUNK_BYTES);
+                RwLock::new(vec![0u8; len].into_boxed_slice())
+            })
+            .collect();
+        Region {
+            chunks,
+            size,
+            grants: RwLock::new(HashSet::new()),
+        }
+    }
 }
 
 /// A mapped view of a granted region.
@@ -86,7 +112,7 @@ impl ShmRegionHandle {
 
     /// Region size in bytes.
     pub fn len(&self) -> usize {
-        self.region.data.read().len()
+        self.region.size
     }
 
     /// True for a zero-sized region.
@@ -94,37 +120,51 @@ impl ShmRegionHandle {
         self.len() == 0
     }
 
-    /// Copy bytes out of the region.
-    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), ShmError> {
-        let data = self.region.data.read();
-        let end = offset
-            .checked_add(buf.len())
-            .filter(|&e| e <= data.len())
+    fn bounds_check(&self, offset: usize, len: usize) -> Result<(), ShmError> {
+        offset
+            .checked_add(len)
+            .filter(|&e| e <= self.region.size)
+            .map(|_| ())
             .ok_or(ShmError::OutOfBounds {
                 region: self.id,
                 offset,
-                len: buf.len(),
-                size: data.len(),
-            })?;
-        buf.copy_from_slice(&data[offset..end]);
+                len,
+                size: self.region.size,
+            })
+    }
+
+    /// Copy bytes out of the region. Locks only the chunks the span
+    /// touches, so fills of disjoint buffers proceed in parallel.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), ShmError> {
+        self.bounds_check(offset, buf.len())?;
+        let mut pos = offset;
+        let mut copied = 0;
+        while copied < buf.len() {
+            let chunk_idx = pos / CHUNK_BYTES;
+            let chunk_off = pos % CHUNK_BYTES;
+            let data = self.region.chunks[chunk_idx].read();
+            let n = (data.len() - chunk_off).min(buf.len() - copied);
+            buf[copied..copied + n].copy_from_slice(&data[chunk_off..chunk_off + n]);
+            pos += n;
+            copied += n;
+        }
         Ok(())
     }
 
-    /// Copy bytes into the region.
+    /// Copy bytes into the region, chunk by chunk in ascending order.
     pub fn write(&self, offset: usize, buf: &[u8]) -> Result<(), ShmError> {
-        let mut data = self.region.data.write();
-        let size = data.len();
-        let end =
-            offset
-                .checked_add(buf.len())
-                .filter(|&e| e <= size)
-                .ok_or(ShmError::OutOfBounds {
-                    region: self.id,
-                    offset,
-                    len: buf.len(),
-                    size,
-                })?;
-        data[offset..end].copy_from_slice(buf);
+        self.bounds_check(offset, buf.len())?;
+        let mut pos = offset;
+        let mut copied = 0;
+        while copied < buf.len() {
+            let chunk_idx = pos / CHUNK_BYTES;
+            let chunk_off = pos % CHUNK_BYTES;
+            let mut data = self.region.chunks[chunk_idx].write();
+            let n = (data.len() - chunk_off).min(buf.len() - copied);
+            data[chunk_off..chunk_off + n].copy_from_slice(&buf[copied..copied + n]);
+            pos += n;
+            copied += n;
+        }
         Ok(())
     }
 }
@@ -148,10 +188,8 @@ impl ShmManager {
         let mut next = self.next_id.write();
         let id = *next;
         *next += 1;
-        let region = Arc::new(Region {
-            data: RwLock::new(vec![0u8; size].into_boxed_slice()),
-            grants: RwLock::new(HashSet::from([owner_pid])),
-        });
+        let region = Arc::new(Region::with_size(size));
+        region.grants.write().insert(owner_pid);
         self.regions.write().insert(id, region);
         id
     }
@@ -268,6 +306,26 @@ mod tests {
         assert!(m.attach(id, 1).is_err());
         assert_eq!(m.region_count(), 0);
         h.write(0, &[7]).unwrap(); // handle-held memory survives
+    }
+
+    #[test]
+    fn rw_spans_chunk_boundaries() {
+        let m = ShmManager::new();
+        let id = m.create_region(3 * CHUNK_BYTES + 100, 1);
+        let h = m.attach(id, 1).unwrap();
+        assert_eq!(h.len(), 3 * CHUNK_BYTES + 100);
+        // A write straddling chunks 0..=3, ending in the short tail chunk.
+        let pattern: Vec<u8> = (0..(2 * CHUNK_BYTES + 150))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let start = CHUNK_BYTES - 50;
+        h.write(start, &pattern).unwrap();
+        let mut out = vec![0u8; pattern.len()];
+        h.read(start, &mut out).unwrap();
+        assert_eq!(out, pattern);
+        // Tail-exact write; one past it fails.
+        h.write(3 * CHUNK_BYTES + 99, &[7]).unwrap();
+        assert!(h.write(3 * CHUNK_BYTES + 100, &[7]).is_err());
     }
 
     #[test]

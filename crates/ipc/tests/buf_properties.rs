@@ -1,0 +1,172 @@
+//! Randomized property tests for the shared-memory buffer pool: random
+//! alloc/clone/slice/drop interleavings never leak a slot, never alias two
+//! live *allocations* onto overlapping bytes, and return each slot to the
+//! free list exactly once (the debug tracker panics on a double free).
+
+use proptest::prelude::*;
+
+use labstor_ipc::{BufHandle, BufferPool, PoolConfig};
+
+/// A scripted action over a growing set of live handles. Indices are taken
+/// modulo the live count so any byte script is a valid program.
+#[derive(Debug, Clone)]
+enum Action {
+    Alloc(usize),
+    CloneOf(usize),
+    SliceOf(usize, usize, usize),
+    Drop(usize),
+    Fill(usize, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1usize..300).prop_map(Action::Alloc),
+        (0usize..64).prop_map(Action::CloneOf),
+        (0usize..64, 0usize..300, 0usize..300).prop_map(|(i, o, l)| Action::SliceOf(i, o, l)),
+        (0usize..64).prop_map(Action::Drop),
+        (0usize..64, 0u8..255).prop_map(|(i, v)| Action::Fill(i, v)),
+    ]
+}
+
+fn pool() -> BufferPool {
+    BufferPool::new(PoolConfig {
+        classes: vec![(64, 6), (256, 3)],
+    })
+}
+
+/// Each live entry remembers which allocation (slot lineage) it came from
+/// so the aliasing check can tell slices (legal overlap) from distinct
+/// allocations (must never overlap).
+struct Live {
+    handle: BufHandle,
+    lineage: usize,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of alloc/clone/slice/fill/drop keeps the pool
+    /// consistent: live count matches our model, distinct allocations
+    /// never overlap, and after dropping everything the pool drains back
+    /// to zero live slots (no leak, and the debug tracker would have
+    /// panicked on any double free).
+    #[test]
+    fn interleavings_never_leak_or_alias(
+        script in proptest::collection::vec(action_strategy(), 1..120),
+    ) {
+        let pool = pool();
+        let mut live: Vec<Live> = Vec::new();
+        let mut next_lineage = 0usize;
+
+        for act in script {
+            match act {
+                Action::Alloc(len) => {
+                    if let Some(h) = pool.alloc(len) {
+                        prop_assert!(h.is_unique());
+                        live.push(Live { handle: h, lineage: next_lineage });
+                        next_lineage += 1;
+                    }
+                }
+                Action::CloneOf(i) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        let dup = live[i].handle.clone();
+                        let lineage = live[i].lineage;
+                        live.push(Live { handle: dup, lineage });
+                    }
+                }
+                Action::SliceOf(i, off, len) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        if let Some(s) = live[i].handle.slice(off, len) {
+                            prop_assert!(len == 0 || s.same_slot(&live[i].handle));
+                            let lineage = live[i].lineage;
+                            live.push(Live { handle: s, lineage });
+                        } else {
+                            prop_assert!(off + len > live[i].handle.len());
+                        }
+                    }
+                }
+                Action::Drop(i) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        live.swap_remove(i);
+                    }
+                }
+                Action::Fill(i, v) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        let unique = live[i].handle.is_unique();
+                        let len = live[i].handle.len();
+                        let wrote = live[i].handle.write_with(|b| b.fill(v));
+                        // Mutation succeeds iff the handle was unique.
+                        prop_assert_eq!(wrote, unique);
+                        if wrote && len > 0 {
+                            prop_assert!(live[i].handle.as_slice().iter().all(|&b| b == v));
+                        }
+                    }
+                }
+            }
+
+            // Distinct allocations must never alias overlapping bytes.
+            for (a_idx, a) in live.iter().enumerate() {
+                for b in &live[a_idx + 1..] {
+                    if a.lineage != b.lineage {
+                        prop_assert!(
+                            !a.handle.overlaps(&b.handle),
+                            "allocations {} and {} alias", a.lineage, b.lineage
+                        );
+                    }
+                }
+            }
+
+            // The pool's live-slot count matches the distinct slots we hold.
+            let mut slots: Vec<(u64, usize)> = Vec::new();
+            for l in &live {
+                let key = (l.handle.region(), l.handle.offset() - offset_in_view(&l.handle));
+                if !slots.contains(&key) {
+                    slots.push(key);
+                }
+            }
+            prop_assert_eq!(pool.live() as usize, slots.len());
+        }
+
+        let peak = pool.high_water();
+        live.clear();
+        prop_assert_eq!(pool.live(), 0);
+        prop_assert!(peak <= 9, "high water {} exceeds total slots", peak);
+    }
+}
+
+/// Offset of the view inside its slot (so two views of one slot map to the
+/// same slot key). Derived from the public API: a full-slot view of class
+/// c starts at a multiple of the class buffer size.
+fn offset_in_view(h: &BufHandle) -> usize {
+    let class_size = match h.region() {
+        0 => 64,
+        _ => 256,
+    };
+    h.offset() % class_size
+}
+
+/// Dropping the last of many clones frees the slot exactly once: the slot
+/// becomes reallocatable, and the debug tracker (which panics on a second
+/// free) stays silent.
+#[test]
+fn drop_to_zero_frees_exactly_once() {
+    let pool = BufferPool::new(PoolConfig {
+        classes: vec![(64, 1)],
+    });
+    let h = pool.alloc(64).unwrap();
+    let clones: Vec<_> = (0..10).map(|_| h.clone()).collect();
+    assert!(pool.alloc(64).is_none(), "sole slot is held");
+    drop(h);
+    assert_eq!(pool.live(), 1, "clones keep the slot live");
+    drop(clones);
+    assert_eq!(pool.live(), 0);
+    // Slot is back on the free list exactly once: one alloc succeeds, a
+    // second fails.
+    let again = pool.alloc(64).unwrap();
+    assert!(pool.alloc(64).is_none());
+    drop(again);
+}

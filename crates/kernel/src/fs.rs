@@ -378,7 +378,7 @@ impl KernelFs {
         let mut runs: Vec<(u64, Vec<u8>)> = Vec::new();
         {
             let inodes = self.inodes.read();
-            let mut resolved: Vec<(u64, Box<[u8]>)> = pages
+            let mut resolved: Vec<(u64, labstor_ipc::BufHandle)> = pages
                 .into_iter()
                 .filter_map(|p| {
                     let (ino, pgidx) = p.key;
@@ -392,9 +392,9 @@ impl KernelFs {
             for (b, data) in resolved {
                 match runs.last_mut() {
                     Some((start, buf)) if *start + (buf.len() / PAGE_SIZE) as u64 == b => {
-                        buf.extend_from_slice(&data);
+                        buf.extend_from_slice(data.as_slice());
                     }
-                    _ => runs.push((b, data.into_vec())),
+                    _ => runs.push((b, data.as_slice().to_vec())),
                 }
             }
         }

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
+use labstor_ipc::{BufHandle, BufferPool, PoolConfig};
 use labstor_sim::{Ctx, Resource};
 
 use crate::cost;
@@ -171,53 +172,103 @@ impl<K: std::hash::Hash + Eq + Clone, V> Default for LruMap<K, V> {
     }
 }
 
-/// A cached page.
+/// A cached page: a shared-memory pool buffer plus dirty state. The
+/// handle is what zero-copy readers clone — a hit is a refcount bump.
 pub struct Page {
-    /// Page contents.
-    pub data: Box<[u8]>,
+    /// Page contents (a full-page pool buffer).
+    pub data: BufHandle,
     /// Set when the page holds data not yet written back.
     pub dirty: bool,
 }
 
-impl Page {
-    fn zeroed() -> Self {
-        Page {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-            dirty: false,
-        }
-    }
-}
-
-/// A dirty page handed back to the filesystem for writeback.
+/// A dirty page handed back to the filesystem for writeback. `data` is a
+/// refcounted view of the page bytes (no deep copy at eviction); if the
+/// page is written again before writeback completes, copy-on-write in
+/// [`PageCache::write`] preserves this snapshot.
 pub struct Evicted {
     /// (inode, page index) of the evicted page.
     pub key: PageKey,
     /// Page contents at eviction time.
-    pub data: Box<[u8]>,
+    pub data: BufHandle,
 }
 
-/// The page cache: bounded LRU of 4 KB pages with dirty tracking.
-pub struct PageCache {
+/// One cache shard: its own LRU, real mutex and virtual mapping lock.
+struct Shard {
     inner: Mutex<LruMap<PageKey, Page>>,
-    capacity_pages: usize,
     /// Virtual-time serialization of tree/LRU manipulation (mapping lock).
     lock: Resource,
 }
 
+/// The page cache: 4 KB pages with dirty tracking, sharded by page-key
+/// hash into independent LRUs so the (zero-copy-cheap) hit path is not
+/// serialized on one global lock. [`PageCache::new`] keeps the historical
+/// single-shard shape; [`PageCache::with_shards`] spreads both the real
+/// mutex and the *modeled* lock contention (the per-shard [`Resource`])
+/// across N shards, which is what `bench_datapath`'s shard sweep measures.
+pub struct PageCache {
+    shards: Box<[Shard]>,
+    /// Per-shard page budget (total capacity / shard count).
+    per_shard_pages: usize,
+    /// Eviction batching: a shard may overshoot its budget by this many
+    /// pages before an insert triggers eviction, which then drains the
+    /// whole overshoot in one locked pass (amortized eviction). 0 =
+    /// evict-exactly-at-capacity (the single-shard historical behavior).
+    evict_slack: usize,
+    /// Backing store for page buffers.
+    pool: BufferPool,
+}
+
 impl PageCache {
     /// Cache bounded at `capacity_bytes` (rounded down to whole pages,
-    /// minimum one page).
+    /// minimum one page). Single shard, exact eviction — the historical
+    /// shape.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::build(capacity_bytes, 1, 0)
+    }
+
+    /// Sharded cache: `shards` independent LRUs keyed by page hash, with
+    /// batched eviction (a shard evicts only after overshooting its
+    /// budget by a small slack, then drains the overshoot in one pass).
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Self {
+        Self::build(capacity_bytes, shards.max(1), 8)
+    }
+
+    fn build(capacity_bytes: usize, shards: usize, evict_slack: usize) -> Self {
+        let capacity_pages = (capacity_bytes / PAGE_SIZE).max(1);
+        let per_shard_pages = capacity_pages.div_ceil(shards).max(1);
+        // Pool budget: every resident page, the eviction slack, plus
+        // headroom for pages pinned by in-flight reader handles and
+        // copy-on-write doubling.
+        let slots = capacity_pages + shards * evict_slack + 256;
+        let pool = BufferPool::new(PoolConfig {
+            classes: vec![(PAGE_SIZE, slots)],
+        });
         PageCache {
-            inner: Mutex::new(LruMap::new()),
-            capacity_pages: (capacity_bytes / PAGE_SIZE).max(1),
-            lock: Resource::new(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(LruMap::new()),
+                    lock: Resource::new(),
+                })
+                .collect(),
+            per_shard_pages,
+            evict_slack,
+            pool,
         }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The pool backing this cache's pages (stats/tests).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Pages currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.shards.iter().map(|s| s.inner.lock().len()).sum()
     }
 
     /// True when no pages are cached.
@@ -225,10 +276,91 @@ impl PageCache {
         self.len() == 0
     }
 
-    /// Charge the per-page mapping-lock cost, serialized across threads.
-    fn charge_lock(&self, ctx: &mut Ctx) {
-        let (_, end) = self.lock.acquire(ctx.now(), cost::PAGE_LOOKUP_NS);
+    /// The shard owning `key` (FNV-1a over the key bytes).
+    fn shard_of(&self, key: &PageKey) -> &Shard {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.0.to_le_bytes().into_iter().chain(key.1.to_le_bytes()) {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Charge the per-page mapping-lock cost, serialized across threads
+    /// *within a shard* (shards contend independently).
+    fn charge_lock(shard: &Shard, ctx: &mut Ctx) {
+        let (_, end) = shard.lock.acquire(ctx.now(), cost::PAGE_LOOKUP_NS);
         ctx.poll_until(end);
+    }
+
+    /// Allocate a zeroed full-page buffer from the pool, evicting clean
+    /// pages if the pool is pinned dry by in-flight reader handles.
+    fn alloc_page(&self, shard: &Shard) -> BufHandle {
+        if let Some(mut h) = self.pool.alloc(PAGE_SIZE) {
+            h.write_with(|b| b.fill(0));
+            return h;
+        }
+        // Pool dry: shed clean pages from this shard to unpin slots.
+        {
+            let mut inner = shard.inner.lock();
+            while !inner.is_empty() {
+                match inner.pop_lru() {
+                    Some((k, p)) if p.dirty => {
+                        inner.insert(k, p);
+                        break;
+                    }
+                    Some(_) => {
+                        if let Some(mut h) = self.pool.alloc(PAGE_SIZE) {
+                            h.write_with(|b| b.fill(0));
+                            return h;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.pool
+            .alloc(PAGE_SIZE)
+            .map(|mut h| {
+                h.write_with(|b| b.fill(0));
+                h
+            })
+            .expect("page-cache pool exhausted: too many pinned page handles")
+    }
+
+    /// Make `page` safely mutable: if readers share its buffer, swap in a
+    /// private copy first (copy-on-write) so their snapshots stay stable.
+    fn make_mut(&self, shard: &Shard, page: &mut Page) {
+        if page.data.is_unique() {
+            return;
+        }
+        let mut fresh = self.alloc_page(shard);
+        labstor_ipc::note_payload_copy(PAGE_SIZE);
+        // copy-ok: copy-on-write of a page pinned by reader handles; counted via note_payload_copy
+        let ok = fresh.fill(page.data.as_slice());
+        debug_assert!(ok, "fresh page is unique");
+        page.data = fresh;
+    }
+
+    /// Evict down to the shard budget once it overshoots budget + slack,
+    /// collecting dirty victims for writeback. One locked pass drains the
+    /// whole overshoot (batched eviction).
+    fn evict_overflow(&self, inner: &mut LruMap<PageKey, Page>, evicted: &mut Vec<Evicted>) {
+        if inner.len() <= self.per_shard_pages + self.evict_slack {
+            return;
+        }
+        while inner.len() > self.per_shard_pages {
+            match inner.pop_lru() {
+                Some((k, p)) if p.dirty => evicted.push(Evicted {
+                    key: k,
+                    data: p.data,
+                }),
+                Some(_) => {}
+                None => break,
+            }
+        }
     }
 
     /// Copy `data` into the cache at byte `offset` of `ino`, marking pages
@@ -242,29 +374,60 @@ impl PageCache {
             let pgidx = abs / PAGE_SIZE as u64;
             let pgoff = (abs % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - pgoff).min(data.len() - pos);
-            self.charge_lock(ctx);
-            cost::copy(ctx, n);
-            let mut inner = self.inner.lock();
             let key = (ino, pgidx);
+            let shard = self.shard_of(&key);
+            Self::charge_lock(shard, ctx);
+            cost::copy(ctx, n);
+            let mut inner = shard.inner.lock();
             if inner.get(&key).is_none() {
-                inner.insert(key, Page::zeroed());
+                let fresh = self.alloc_page(shard);
+                inner.insert(
+                    key,
+                    Page {
+                        data: fresh,
+                        dirty: false,
+                    },
+                );
             }
             let page = inner.get(&key).expect("just inserted");
-            page.data[pgoff..pgoff + n].copy_from_slice(&data[pos..pos + n]);
+            self.make_mut(shard, page);
+            let wrote = page
+                .data
+                .write_with(|b| b[pgoff..pgoff + n].copy_from_slice(&data[pos..pos + n]));
+            debug_assert!(wrote, "page unique after make_mut");
             page.dirty = true;
-            while inner.len() > self.capacity_pages {
-                match inner.pop_lru() {
-                    Some((k, p)) if p.dirty => evicted.push(Evicted {
-                        key: k,
-                        data: p.data,
-                    }),
-                    Some(_) => {}
-                    None => break,
-                }
-            }
+            self.evict_overflow(&mut inner, &mut evicted);
             drop(inner);
             pos += n;
         }
+        evicted
+    }
+
+    /// Store a whole, page-aligned pooled buffer as the new contents of a
+    /// page — the zero-copy write path: the cache takes a refcount on the
+    /// caller's buffer instead of copying it. Only the mapping-lock cost
+    /// is charged (no byte copy happens). `buf` must be exactly one page.
+    pub fn write_page_buf(
+        &self,
+        ctx: &mut Ctx,
+        ino: u64,
+        pgidx: u64,
+        buf: BufHandle,
+    ) -> Vec<Evicted> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut evicted = Vec::new();
+        let key = (ino, pgidx);
+        let shard = self.shard_of(&key);
+        Self::charge_lock(shard, ctx);
+        let mut inner = shard.inner.lock();
+        inner.insert(
+            key,
+            Page {
+                data: buf,
+                dirty: true,
+            },
+        );
+        self.evict_overflow(&mut inner, &mut evicted);
         evicted
     }
 
@@ -273,6 +436,9 @@ impl PageCache {
     /// aborts the read. On success returns the number of misses; `Err`
     /// carries no payload because the filesystem owns the real error (it
     /// is produced inside `fill`).
+    ///
+    /// This is the legacy *copying* read (bytes leave the cache through a
+    /// memcpy into `buf`); the zero-copy path is [`PageCache::read_page`].
     #[allow(clippy::result_unit_err)]
     pub fn read(
         &self,
@@ -289,13 +455,15 @@ impl PageCache {
             let pgidx = abs / PAGE_SIZE as u64;
             let pgoff = (abs % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - pgoff).min(buf.len() - pos);
-            self.charge_lock(ctx);
             let key = (ino, pgidx);
+            let shard = self.shard_of(&key);
+            Self::charge_lock(shard, ctx);
             let hit = {
-                let mut inner = self.inner.lock();
+                let mut inner = shard.inner.lock();
                 match inner.get(&key) {
                     Some(page) => {
-                        buf[pos..pos + n].copy_from_slice(&page.data[pgoff..pgoff + n]);
+                        labstor_ipc::note_payload_copy(n);
+                        buf[pos..pos + n].copy_from_slice(&page.data.as_slice()[pgoff..pgoff + n]);
                         true
                     }
                     None => false,
@@ -303,14 +471,16 @@ impl PageCache {
             };
             if !hit {
                 misses += 1;
-                let mut page = Page::zeroed();
-                if !fill(ctx, pgidx, &mut page.data) {
+                let mut data = self.alloc_page(shard);
+                let mut filled = true;
+                data.write_with(|b| filled = fill(ctx, pgidx, b));
+                if !filled {
                     return Err(());
                 }
-                buf[pos..pos + n].copy_from_slice(&page.data[pgoff..pgoff + n]);
-                let mut inner = self.inner.lock();
-                inner.insert(key, page);
-                while inner.len() > self.capacity_pages {
+                buf[pos..pos + n].copy_from_slice(&data.as_slice()[pgoff..pgoff + n]);
+                let mut inner = shard.inner.lock();
+                inner.insert(key, Page { data, dirty: false });
+                while inner.len() > self.per_shard_pages {
                     // Dirty LRU victims must not be lost: push them back as
                     // most-recent and stop (the cache temporarily exceeds
                     // capacity until writeback — dirty-ratio throttling).
@@ -330,60 +500,110 @@ impl PageCache {
         Ok(misses)
     }
 
+    /// Zero-copy read of one whole page: a hit clones the page's buffer
+    /// handle (a refcount bump — no byte copy, no copy cost charged); a
+    /// miss allocates a pool page, runs `fill` to fetch it, caches it and
+    /// returns a handle. Returns `(handle, was_hit)`; `Err` mirrors
+    /// [`PageCache::read`] (the fill callback owns the real error).
+    #[allow(clippy::result_unit_err)]
+    pub fn read_page(
+        &self,
+        ctx: &mut Ctx,
+        ino: u64,
+        pgidx: u64,
+        mut fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
+    ) -> Result<(BufHandle, bool), ()> {
+        let key = (ino, pgidx);
+        let shard = self.shard_of(&key);
+        Self::charge_lock(shard, ctx);
+        {
+            let mut inner = shard.inner.lock();
+            if let Some(page) = inner.get(&key) {
+                // copy-ok: BufHandle clone is a refcount bump, not a byte copy
+                return Ok((page.data.clone(), true));
+            }
+        }
+        let mut data = self.alloc_page(shard);
+        let mut filled = true;
+        data.write_with(|b| filled = fill(ctx, pgidx, b));
+        if !filled {
+            return Err(());
+        }
+        // copy-ok: BufHandle clone is a refcount bump, not a byte copy
+        let handle = data.clone();
+        let mut inner = shard.inner.lock();
+        inner.insert(key, Page { data, dirty: false });
+        while inner.len() > self.per_shard_pages {
+            match inner.pop_lru() {
+                Some((k, p)) if p.dirty => {
+                    inner.insert(k, p);
+                    break;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        drop(inner);
+        Ok((handle, false))
+    }
+
     /// Take every dirty page belonging to `ino` (fsync) or to all inodes
     /// (`None`, sync). Pages are marked clean and returned in page order
-    /// for writeback.
+    /// for writeback. Each snapshot is a refcount bump, not a deep copy —
+    /// a racing re-write of the page copy-on-writes, leaving the
+    /// writeback snapshot intact.
     pub fn take_dirty(&self, ctx: &mut Ctx, ino: Option<u64>) -> Vec<Evicted> {
-        self.charge_lock(ctx);
-        let mut inner = self.inner.lock();
-        let mut keys: Vec<PageKey> = inner
-            .iter()
-            .filter(|(k, p)| ino.is_none_or(|i| k.0 == i) && p.dirty)
-            .map(|(k, _)| *k)
-            .collect();
-        keys.sort_unstable();
-        keys.iter()
-            .map(|k| {
-                let page = inner.get(k).expect("key just seen");
+        let mut out: Vec<Evicted> = Vec::new();
+        for shard in &self.shards {
+            Self::charge_lock(shard, ctx);
+            let mut inner = shard.inner.lock();
+            let mut keys: Vec<PageKey> = inner
+                .iter()
+                .filter(|(k, p)| ino.is_none_or(|i| k.0 == i) && p.dirty)
+                .map(|(k, _)| *k)
+                .collect();
+            keys.sort_unstable();
+            for k in keys {
+                let page = inner.get(&k).expect("key just seen");
                 page.dirty = false;
-                Evicted {
-                    key: *k,
+                out.push(Evicted {
+                    key: k,
+                    // copy-ok: BufHandle clone is a refcount bump, not a byte copy
                     data: page.data.clone(),
-                }
-            })
-            .collect()
+                });
+            }
+        }
+        out.sort_unstable_by_key(|e| e.key);
+        out
     }
 
     /// Drop every cached page of `ino` at or beyond `from_page`
     /// (truncate invalidation).
     pub fn invalidate_from(&self, ino: u64, from_page: u64) {
-        let mut inner = self.inner.lock();
-        let keys: Vec<PageKey> = inner
-            .iter()
-            .map(|(k, _)| *k)
-            .filter(|k| k.0 == ino && k.1 >= from_page)
-            .collect();
-        for k in keys {
-            inner.remove(&k);
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let keys: Vec<PageKey> = inner
+                .iter()
+                .map(|(k, _)| *k)
+                .filter(|k| k.0 == ino && k.1 >= from_page)
+                .collect();
+            for k in keys {
+                inner.remove(&k);
+            }
         }
     }
 
     /// Drop every page of `ino` (unlink / cache invalidation).
     pub fn invalidate(&self, ino: u64) {
-        let mut inner = self.inner.lock();
-        let keys: Vec<PageKey> = inner
-            .iter()
-            .map(|(k, _)| *k)
-            .filter(|k| k.0 == ino)
-            .collect();
-        for k in keys {
-            inner.remove(&k);
-        }
+        self.invalidate_from(ino, 0);
     }
 
     /// Bytes of dirty data currently cached.
     pub fn dirty_bytes(&self) -> usize {
-        self.inner.lock().iter().filter(|(_, p)| p.dirty).count() * PAGE_SIZE
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().iter().filter(|(_, p)| p.dirty).count() * PAGE_SIZE)
+            .sum()
     }
 }
 
@@ -520,6 +740,81 @@ mod tests {
         let mut ctx = Ctx::new();
         pc.write(&mut ctx, 1, 0, &[0u8; 4096]);
         assert!(ctx.now() >= cost::copy_ns(4096));
+    }
+
+    #[test]
+    fn sharded_cache_preserves_contents_and_capacity() {
+        let pc = PageCache::with_shards(64 * PAGE_SIZE, 8);
+        assert_eq!(pc.shard_count(), 8);
+        let mut ctx = Ctx::new();
+        for i in 0..128u64 {
+            let page = vec![(i % 251) as u8; PAGE_SIZE];
+            pc.write(&mut ctx, 1, i * PAGE_SIZE as u64, &page);
+        }
+        // Batched eviction keeps residency near capacity: never more than
+        // capacity + total slack.
+        assert!(pc.len() <= 64 + 8 * 8, "len {} over budget", pc.len());
+        // Recently written pages still readable and correct.
+        let mut out = vec![0u8; PAGE_SIZE];
+        pc.read(&mut ctx, 1, 127 * PAGE_SIZE as u64, &mut out, |_, _, _| {
+            panic!("page 127 must be resident")
+        })
+        .unwrap();
+        assert!(out.iter().all(|&b| b == 127));
+    }
+
+    #[test]
+    fn read_page_hit_is_refcount_bump() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        let page = vec![9u8; PAGE_SIZE];
+        pc.write(&mut ctx, 3, 0, &page);
+        let copies_before = labstor_ipc::payload_copies();
+        let t0 = ctx.now();
+        let (h, hit) = pc
+            .read_page(&mut ctx, 3, 0, |_, _, _| panic!("hit"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(h.as_slice(), &page[..]);
+        // No payload copy, and no copy cost charged: only the lookup.
+        assert_eq!(labstor_ipc::payload_copies(), copies_before);
+        assert!(ctx.now() - t0 < cost::copy_ns(PAGE_SIZE));
+    }
+
+    #[test]
+    fn write_after_snapshot_copy_on_writes() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        pc.write(&mut ctx, 4, 0, &[1u8; PAGE_SIZE]);
+        let (snap, _) = pc
+            .read_page(&mut ctx, 4, 0, |_, _, _| panic!("hit"))
+            .unwrap();
+        // Re-write the page while the snapshot handle is live.
+        pc.write(&mut ctx, 4, 0, &[2u8; PAGE_SIZE]);
+        // The snapshot still sees the old bytes; the cache sees the new.
+        assert!(snap.as_slice().iter().all(|&b| b == 1));
+        let mut out = vec![0u8; PAGE_SIZE];
+        pc.read(&mut ctx, 4, 0, &mut out, |_, _, _| panic!("hit"))
+            .unwrap();
+        assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn write_page_buf_takes_ownership_without_copy() {
+        let pc = PageCache::new(1 << 20);
+        let mut ctx = Ctx::new();
+        let mut buf = pc.pool().alloc(PAGE_SIZE).unwrap();
+        assert!(buf.write_with(|b| b.fill(5)));
+        let copies_before = labstor_ipc::payload_copies();
+        pc.write_page_buf(&mut ctx, 6, 0, buf);
+        assert_eq!(labstor_ipc::payload_copies(), copies_before);
+        let (h, hit) = pc
+            .read_page(&mut ctx, 6, 0, |_, _, _| panic!("hit"))
+            .unwrap();
+        assert!(hit);
+        assert!(h.as_slice().iter().all(|&b| b == 5));
+        // The page is dirty and claimable for writeback.
+        assert_eq!(pc.take_dirty(&mut ctx, Some(6)).len(), 1);
     }
 
     #[test]

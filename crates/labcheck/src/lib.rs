@@ -10,7 +10,9 @@
 //! 2. [`mc`] — a deterministic interleaving model checker that decomposes
 //!    the SPSC ring's push/pop into atomic steps and exhaustively explores
 //!    every reachable schedule, checking FIFO order, no lost elements, and
-//!    no uninitialized reads.
+//!    no uninitialized reads. [`mc_rc`] applies the same technique to the
+//!    buffer pool's refcount-release protocol (no leak, no double free,
+//!    no use after free).
 //!
 //! Run as `cargo run -p labstor-labcheck` (add `--json` for machine
 //! output); `cargo test -p labstor-labcheck` plus the root-level
@@ -18,10 +20,12 @@
 
 pub mod lint;
 pub mod mc;
+pub mod mc_rc;
 pub mod scan;
 
 pub use lint::{lint_source, lint_workspace, render_json, render_text, Config, Diagnostic, Lint};
 pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
+pub use mc_rc::{explore_rc, RcConfig, RcFailure, RcReport, RcVariant, RcViolation};
 
 use std::path::PathBuf;
 
@@ -103,6 +107,37 @@ pub fn gate_mc_configs() -> Vec<McConfig> {
             stale_reads: true,
             batch: 2,
             variant: Variant::Correct,
+        },
+    ]
+}
+
+/// The refcount-release configurations the binary and the tier-1 gate
+/// run: the shipped fetch_sub protocol at increasing clone depth (0 =
+/// the bare two-thread drop race, 3 = twelve interleaved clone/use/drop
+/// steps per side).
+pub fn gate_rc_configs() -> Vec<RcConfig> {
+    vec![
+        RcConfig::correct(0),
+        RcConfig::correct(1),
+        RcConfig::correct(3),
+    ]
+}
+
+/// Planted-bug release protocols the gate must catch: the two wrong ways
+/// to split the free decision across separate atomic steps.
+pub fn gate_rc_bug_configs() -> Vec<RcConfig> {
+    vec![
+        RcConfig {
+            clones: 0,
+            variant: RcVariant::LoadThenSub,
+        },
+        RcConfig {
+            clones: 0,
+            variant: RcVariant::SubThenLoad,
+        },
+        RcConfig {
+            clones: 2,
+            variant: RcVariant::SubThenLoad,
         },
     ]
 }

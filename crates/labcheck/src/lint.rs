@@ -13,6 +13,8 @@
 //! - `// SAFETY: <argument>`          — required before `unsafe`
 //! - `// labmod-default-ok: <reason>` — permits an `impl LabMod` to keep
 //!   the default no-op `state_update`/`state_repair`
+//! - `// copy-ok: <reason>`           — permits a payload materialization
+//!   (`.to_vec()` / buffer `.clone()`) in a zero-copy data-path module
 
 use std::fmt;
 use std::fs;
@@ -32,6 +34,8 @@ pub enum Lint {
     UnsafeHygiene,
     /// `impl LabMod` silently inheriting contract defaults.
     LabModContract,
+    /// Payload materialization in a zero-copy data-path module.
+    PayloadCopy,
 }
 
 impl Lint {
@@ -42,6 +46,7 @@ impl Lint {
             Lint::HotPathPanic => "hot-path-panic",
             Lint::UnsafeHygiene => "unsafe-hygiene",
             Lint::LabModContract => "labmod-contract",
+            Lint::PayloadCopy => "payload-copy",
         }
     }
 }
@@ -88,6 +93,9 @@ pub struct Config {
     pub hot_paths: Vec<HotPath>,
     /// Path substrings exempt from the relaxed-ordering lint.
     pub relaxed_allowlist: Vec<&'static str>,
+    /// Zero-copy data-path modules governed by the payload-copy lint
+    /// (path suffixes, workspace-relative with `/` separators).
+    pub copy_hot_paths: Vec<&'static str>,
 }
 
 impl Config {
@@ -119,6 +127,19 @@ impl Config {
             // bookkeeping behind &mut self; auditing them adds noise, not
             // signal. Everything else must justify each Relaxed.
             relaxed_allowlist: vec!["crates/sim/src/stats.rs"],
+            // The zero-copy data path: every stage that handles payload
+            // bytes between the client's pool buffer and the device model.
+            copy_hot_paths: vec![
+                "crates/ipc/src/buf.rs",
+                "crates/kernel/src/page_cache.rs",
+                "crates/mods/src/lru.rs",
+                "crates/mods/src/arc_cache.rs",
+                "crates/mods/src/cache_common.rs",
+                "crates/mods/src/labfs.rs",
+                "crates/mods/src/labkvs.rs",
+                "crates/mods/src/compress.rs",
+                "crates/mods/src/drivers.rs",
+            ],
         }
     }
 }
@@ -130,6 +151,7 @@ pub fn lint_file(cfg: &Config, file: &SourceFile) -> Vec<Diagnostic> {
     lint_hot_path_panic(cfg, file, &mut diags);
     lint_unsafe_hygiene(file, &mut diags);
     lint_labmod_contract(file, &mut diags);
+    lint_payload_copy(cfg, file, &mut diags);
     diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
     diags
 }
@@ -302,6 +324,74 @@ fn lint_labmod_contract(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
             ),
         });
     }
+}
+
+/// Receivers whose `.clone()` duplicates payload bytes (by workspace
+/// convention these names hold `Vec<u8>` payloads; `BufHandle` bindings
+/// are named `buf`/`h` and clone by refcount bump).
+const PAYLOAD_RECEIVERS: [&str; 5] = ["data", "value", "bytes", "stored", "payload"];
+
+/// Lint 5: in the zero-copy data-path modules, every payload
+/// materialization — `.to_vec()`, or `.clone()` on a payload-named
+/// receiver — must carry a `copy-ok` justification. This is what keeps
+/// the read-hit path copy-free as the modules evolve: a new `Vec`
+/// round-trip cannot land without either a counted, annotated copy or a
+/// lint failure.
+fn lint_payload_copy(cfg: &Config, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !cfg.copy_hot_paths.iter().any(|p| file.name.ends_with(p)) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut hits: Vec<String> = Vec::new();
+        if line.code.contains(".to_vec()") {
+            hits.push(".to_vec()".to_string());
+        }
+        for recv in clone_receivers(&line.code) {
+            if PAYLOAD_RECEIVERS.contains(&recv.as_str()) {
+                hits.push(format!("{recv}.clone()"));
+            }
+        }
+        if hits.is_empty() || file.annotated(idx, "copy-ok:") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.name.clone(),
+            line: idx + 1,
+            lint: Lint::PayloadCopy,
+            message: format!(
+                "{} copies payload bytes in a zero-copy data-path module — \
+                 pass the BufHandle (or annotate `// copy-ok: <reason>` and \
+                 count it via note_payload_copy)",
+                hits.join(" and ")
+            ),
+        });
+    }
+}
+
+/// The identifiers that appear as the receiver of a `.clone()` call on
+/// this line (the identifier token directly before each `.clone()`).
+fn clone_receivers(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(".clone()") {
+        let abs = from + pos;
+        let recv: String = code[..abs]
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if !recv.is_empty() {
+            out.push(recv);
+        }
+        from = abs + ".clone()".len();
+    }
+    out
 }
 
 /// Collect all workspace `.rs` files under `root` (skipping `target/` and

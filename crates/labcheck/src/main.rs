@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use labstor_labcheck::{
-    explore, gate_mc_bug_configs, gate_mc_configs, lint_workspace, render_json, render_text,
-    workspace_root, Config,
+    explore, explore_rc, gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs,
+    gate_rc_configs, lint_workspace, render_json, render_text, workspace_root, Config,
 };
 
 fn main() -> ExitCode {
@@ -93,6 +93,31 @@ fn main() -> ExitCode {
                 failed = true;
             } else if !json {
                 println!("labcheck: mc caught planted bug {:?}", cfg.variant);
+            }
+        }
+        // Same for the buffer pool's refcount-release protocol.
+        for cfg in gate_rc_configs() {
+            match explore_rc(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: rc ok  clones={} ({} states, {} transitions, {} terminals)",
+                            cfg.clones, report.states, report.transitions, report.terminals
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: rc FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        for cfg in gate_rc_bug_configs() {
+            if explore_rc(&cfg).is_ok() {
+                eprintln!("labcheck: rc MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: rc caught planted bug {:?}", cfg.variant);
             }
         }
     }

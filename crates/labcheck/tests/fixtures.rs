@@ -283,6 +283,60 @@ mod tests {
     assert!(lint_source(&cfg(), "m.rs", src).is_empty());
 }
 
+// ---- lint 5: payload-copy -----------------------------------------------
+
+#[test]
+fn to_vec_in_copy_hot_path_is_flagged() {
+    let src = "\
+fn hit(&self) -> RespPayload {
+    RespPayload::Data(self.block.to_vec())
+}
+";
+    let diags = lint_source(&cfg(), "crates/mods/src/lru.rs", src);
+    assert_eq!(lines_with(&diags, Lint::PayloadCopy), vec![2]);
+    assert!(diags[0].message.contains("note_payload_copy"));
+}
+
+#[test]
+fn payload_clone_is_flagged_but_handle_clone_is_not() {
+    let src = "\
+fn f(&self) {
+    let a = data.clone();
+    let b = buf.clone();
+    let c = req.clone();
+}
+";
+    let diags = lint_source(&cfg(), "crates/mods/src/labfs.rs", src);
+    assert_eq!(lines_with(&diags, Lint::PayloadCopy), vec![2]);
+}
+
+#[test]
+fn copy_ok_annotation_escapes_payload_copy() {
+    let src = "\
+// copy-ok: legacy Vec fallback; counted via note_payload_copy
+let d = data.clone();
+let v = stored.to_vec(); // copy-ok: decoder needs owned bytes
+";
+    assert!(lint_source(&cfg(), "crates/mods/src/labkvs.rs", src).is_empty());
+}
+
+#[test]
+fn copies_outside_copy_hot_modules_are_allowed() {
+    let src = "let d = data.to_vec();\n";
+    assert!(lint_source(&cfg(), "crates/core/src/request.rs", src).is_empty());
+}
+
+#[test]
+fn copies_in_test_code_are_exempt_from_payload_copy() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { let d = data.to_vec(); }
+}
+";
+    assert!(lint_source(&cfg(), "crates/mods/src/lru.rs", src).is_empty());
+}
+
 // ---- output formats -----------------------------------------------------
 
 #[test]

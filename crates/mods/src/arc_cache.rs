@@ -13,6 +13,13 @@
 //! (B1/B2) remember recently evicted keys and steer the adaptive target
 //! `p` toward whichever list would have hit — which is what makes it
 //! resist one-shot scans that flush a plain LRU.
+//!
+//! Like [`crate::lru`], the mod shards its state (`shards` factory param,
+//! default 1 — each shard runs an independent ARC instance over its slice
+//! of the capacity), guards misses with an in-flight claim so racing
+//! misses fetch downstream exactly once, and serves `WriteBuf`/`ReadBuf`
+//! zero-copy by storing pool handles and answering hits with a refcount
+//! bump.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,6 +33,8 @@ use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
 use labstor_telemetry::PerfCounters;
 
+use crate::cache_common::{shard_of, CacheData, InflightSet};
+
 /// Per-block lookup cost (two-list bookkeeping is slightly heavier than a
 /// plain LRU's).
 const LOOKUP_NS: u64 = 190;
@@ -37,9 +46,9 @@ fn copy_cost(bytes: usize) -> u64 {
 
 struct ArcState {
     /// Recency list: blocks seen exactly once.
-    t1: LruMap<u64, Vec<u8>>,
+    t1: LruMap<u64, CacheData>,
     /// Frequency list: blocks seen more than once.
-    t2: LruMap<u64, Vec<u8>>,
+    t2: LruMap<u64, CacheData>,
     /// Ghosts of T1 evictions (keys only).
     b1: LruMap<u64, ()>,
     /// Ghosts of T2 evictions (keys only).
@@ -48,10 +57,24 @@ struct ArcState {
     p: usize,
 }
 
+impl ArcState {
+    fn new() -> Self {
+        ArcState {
+            t1: LruMap::new(),
+            t2: LruMap::new(),
+            b1: LruMap::new(),
+            b2: LruMap::new(),
+            p: 0,
+        }
+    }
+}
+
 /// The adaptive cache LabMod (write-through, like the default LRU mod).
 pub struct ArcCacheMod {
-    state: Mutex<ArcState>,
-    capacity_blocks: usize,
+    shards: Box<[Mutex<ArcState>]>,
+    inflight: InflightSet,
+    /// ARC capacity `c` per shard (in blocks).
+    per_shard_blocks: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     perf: PerfCounters,
@@ -59,22 +82,34 @@ pub struct ArcCacheMod {
 }
 
 impl ArcCacheMod {
-    /// Cache of `capacity_bytes` (4 KB block granularity).
+    /// Cache of `capacity_bytes` (4 KB block granularity), single shard.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_shards(capacity_bytes, 1)
+    }
+
+    /// Cache of `capacity_bytes` split over `shards` independent ARC
+    /// instances (capacity divides evenly; each shard adapts its own `p`).
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_blocks = (capacity_bytes / 4096).max(2);
         ArcCacheMod {
-            state: Mutex::new(ArcState {
-                t1: LruMap::new(),
-                t2: LruMap::new(),
-                b1: LruMap::new(),
-                b2: LruMap::new(),
-                p: 0,
-            }),
-            capacity_blocks: (capacity_bytes / 4096).max(2),
+            shards: (0..shards).map(|_| Mutex::new(ArcState::new())).collect(),
+            inflight: InflightSet::new(),
+            per_shard_blocks: capacity_blocks.div_ceil(shards).max(2),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards (independent ARC instances).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, lba: u64) -> &Mutex<ArcState> {
+        &self.shards[shard_of(lba, self.shards.len())]
     }
 
     /// (hits, misses) so far.
@@ -110,10 +145,10 @@ impl ArcCacheMod {
     }
 
     /// Insert or touch a block with its data; runs the full ARC state
-    /// machine.
-    fn admit(&self, lba: u64, data: Vec<u8>) {
-        let cap = self.capacity_blocks;
-        let mut s = self.state.lock();
+    /// machine on the block's shard.
+    fn admit(&self, lba: u64, data: CacheData) {
+        let cap = self.per_shard_blocks;
+        let mut s = self.shard(lba).lock();
         // Case 1: hit in T1 or T2 → promote to T2 MRU.
         if s.t1.remove(&lba).is_some() || s.t2.peek(&lba).is_some() {
             s.t2.insert(lba, data);
@@ -155,23 +190,80 @@ impl ArcCacheMod {
         s.t1.insert(lba, data);
     }
 
-    fn lookup(&self, lba: u64, len: usize) -> Option<Vec<u8>> {
-        let mut s = self.state.lock();
-        // A T2 hit refreshes recency; a T1 hit promotes to T2.
+    /// Build the hit response: a `ReadBuf` hit on a handle-backed block
+    /// is a refcount bump (no memcpy, no charge); everything else copies
+    /// (counted) and is charged the virtual memcpy.
+    fn answer(ctx: &mut Ctx, data: &CacheData, len: usize, zero_copy: bool) -> Option<RespPayload> {
+        if zero_copy {
+            if let CacheData::Buf(h) = data {
+                return Some(RespPayload::DataBuf(h.slice(0, len)?));
+            }
+        }
+        let out = match data {
+            CacheData::Vec(v) => {
+                labstor_ipc::note_payload_copy(len);
+                v[..len].to_vec() // copy-ok: legacy copying hit; counted above and charged below
+            }
+            CacheData::Buf(h) => h.slice(0, len)?.to_vec(), // copy-ok: legacy Read of a handle-backed block; to_vec self-counts
+        };
+        ctx.advance(copy_cost(len));
+        Some(RespPayload::Data(out))
+    }
+
+    /// Answer from the cache if resident. A T2 hit refreshes recency; a
+    /// T1 hit promotes to T2.
+    fn try_hit(&self, ctx: &mut Ctx, lba: u64, len: usize, zero_copy: bool) -> Option<RespPayload> {
+        let mut s = self.shard(lba).lock();
         if let Some(d) = s.t2.get(&lba) {
             if d.len() >= len {
-                return Some(d[..len].to_vec());
+                return Self::answer(ctx, d, len, zero_copy);
             }
         }
         if let Some(d) = s.t1.remove(&lba) {
             if d.len() >= len {
-                let out = d[..len].to_vec();
+                let resp = Self::answer(ctx, &d, len, zero_copy);
                 s.t2.insert(lba, d);
-                return Some(out);
+                return resp;
             }
             s.t1.insert(lba, d);
         }
         None
+    }
+
+    /// The shared read path with the in-flight miss guard (see
+    /// [`crate::lru::LruCacheMod`] — same double-fetch fix).
+    fn do_read(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: Request,
+        lba: u64,
+        len: usize,
+        zero_copy: bool,
+    ) -> RespPayload {
+        ctx.advance(LOOKUP_NS);
+        if let Some(resp) = self.try_hit(ctx, lba, len, zero_copy) {
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            return resp;
+        }
+        let guard = self.inflight.claim(lba);
+        if let Some(resp) = self.try_hit(ctx, lba, len, zero_copy) {
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            return resp;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        let resp = self.fwd(ctx, env, req);
+        match &resp {
+            RespPayload::DataBuf(h) => self.admit(lba, CacheData::Buf(h.clone())),
+            RespPayload::Data(data) => {
+                ctx.advance(copy_cost(data.len()));
+                labstor_ipc::note_payload_copy(data.len());
+                self.admit(lba, CacheData::Vec(data.clone())); // copy-ok: legacy miss fill copies the fetched block into the cache; counted above
+            }
+            _ => {}
+        }
+        drop(guard);
+        resp
     }
 }
 
@@ -190,28 +282,23 @@ impl LabMod for ArcCacheMod {
         let resp = match &req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(LOOKUP_NS + 2 * copy_cost(data.len()));
-                self.admit(*lba, data.clone());
+                labstor_ipc::note_payload_copy(data.len());
+                self.admit(*lba, CacheData::Vec(data.clone())); // copy-ok: legacy write path copies into the cache; counted above
+                self.fwd(ctx, env, req)
+            }
+            Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+                // Zero-copy write admission: refcount bump, lookup only.
+                ctx.advance(LOOKUP_NS);
+                self.admit(*lba, CacheData::Buf(buf.clone()));
                 self.fwd(ctx, env, req)
             }
             Payload::Block(BlockOp::Read { lba, len }) => {
-                ctx.advance(LOOKUP_NS);
-                match self.lookup(*lba, *len) {
-                    Some(data) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                        ctx.advance(copy_cost(data.len()));
-                        RespPayload::Data(data)
-                    }
-                    None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                        let lba = *lba;
-                        let resp = self.fwd(ctx, env, req);
-                        if let RespPayload::Data(data) = &resp {
-                            ctx.advance(copy_cost(data.len()));
-                            self.admit(lba, data.clone());
-                        }
-                        resp
-                    }
-                }
+                let (lba, len) = (*lba, *len);
+                self.do_read(ctx, env, req, lba, len, false)
+            }
+            Payload::Block(BlockOp::ReadBuf { lba, len }) => {
+                let (lba, len) = (*lba, *len);
+                self.do_read(ctx, env, req, lba, len, true)
             }
             _ => self.fwd(ctx, env, req),
         };
@@ -231,18 +318,20 @@ impl LabMod for ArcCacheMod {
     }
 
     fn state_update(&self, old: &dyn LabMod) {
-        // Swap-in from either cache flavor: warm blocks migrate.
+        // Swap-in from either cache flavor: warm blocks migrate (handles
+        // by refcount, vectors by move — no byte copies either way).
         if let Some(prev) = old.as_any().downcast_ref::<ArcCacheMod>() {
             self.perf.absorb(&prev.perf);
-            let mut theirs = prev.state.lock();
-            let mut drained: Vec<(u64, Vec<u8>)> = Vec::new();
-            while let Some(e) = theirs.t1.pop_lru() {
-                drained.push(e);
+            let mut drained: Vec<(u64, CacheData)> = Vec::new();
+            for shard in prev.shards.iter() {
+                let mut theirs = shard.lock();
+                while let Some(e) = theirs.t1.pop_lru() {
+                    drained.push(e);
+                }
+                while let Some(e) = theirs.t2.pop_lru() {
+                    drained.push(e);
+                }
             }
-            while let Some(e) = theirs.t2.pop_lru() {
-                drained.push(e);
-            }
-            drop(theirs);
             for (k, v) in drained {
                 self.admit(k, v);
             }
@@ -258,7 +347,8 @@ impl LabMod for ArcCacheMod {
     }
 }
 
-/// Register the factory. Params: `{"capacity_bytes": <n>}` (default 64 MiB).
+/// Register the factory. Params: `{"capacity_bytes": <n>, "shards": <n>}`
+/// (defaults: 64 MiB, 1 shard).
 pub fn install(mm: &ModuleManager) {
     mm.register_factory(
         "arc_cache",
@@ -267,7 +357,8 @@ pub fn install(mm: &ModuleManager) {
                 .get("capacity_bytes")
                 .and_then(|v| v.as_u64())
                 .unwrap_or(64 << 20) as usize;
-            Arc::new(ArcCacheMod::new(cap)) as Arc<dyn LabMod>
+            let shards = params.get("shards").and_then(|v| v.as_u64()).unwrap_or(1) as usize;
+            Arc::new(ArcCacheMod::with_shards(cap, shards)) as Arc<dyn LabMod>
         }),
     );
 }
@@ -297,7 +388,13 @@ mod tests {
                     self.blocks.lock().insert(lba, data);
                     RespPayload::Len(n)
                 }
-                Payload::Block(BlockOp::Read { lba, len }) => {
+                Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+                    let n = buf.len();
+                    self.blocks.lock().insert(lba, buf.to_vec());
+                    RespPayload::Len(n)
+                }
+                Payload::Block(BlockOp::Read { lba, len })
+                | Payload::Block(BlockOp::ReadBuf { lba, len }) => {
                     self.reads.fetch_add(1, Ordering::Relaxed);
                     match self.blocks.lock().get(&lba) {
                         Some(d) => RespPayload::Data(d[..len.min(d.len())].to_vec()),
@@ -470,13 +567,30 @@ mod tests {
         }
         let m = mm.get("arc").unwrap();
         let arc = m.as_any().downcast_ref::<ArcCacheMod>().unwrap();
-        let s = arc.state.lock();
+        let s = arc.shards[0].lock();
         assert!(
             s.t1.len() + s.t2.len() <= 8,
             "resident {} > capacity",
             s.t1.len() + s.t2.len()
         );
         assert!(s.b1.len() + s.b2.len() <= 2 * 8 + 2, "ghost lists bounded");
+    }
+
+    #[test]
+    fn sharded_capacity_is_respected_per_shard() {
+        let arc = ArcCacheMod::with_shards(16 * 4096, 4);
+        for lba in 0..400u64 {
+            arc.admit(lba, CacheData::Vec(vec![lba as u8; 4096]));
+        }
+        for shard in arc.shards.iter() {
+            let s = shard.lock();
+            assert!(
+                s.t1.len() + s.t2.len() <= arc.per_shard_blocks,
+                "shard resident {} > per-shard capacity {}",
+                s.t1.len() + s.t2.len(),
+                arc.per_shard_blocks
+            );
+        }
     }
 
     #[test]

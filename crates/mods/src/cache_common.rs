@@ -1,0 +1,158 @@
+//! Shared plumbing for the block-cache LabMods ([`crate::lru`],
+//! [`crate::arc_cache`]): dual-representation cached bytes (legacy `Vec`
+//! or zero-copy pool handle), lba shard hashing, and the per-entry
+//! in-flight miss guard that replaces the old drop-and-relock pattern.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+
+use labstor_ipc::{note_payload_copy, BufHandle};
+
+/// Bytes held by a cache entry: whatever representation flowed through.
+/// Legacy `Vec` traffic is stored as owned vectors; zero-copy traffic
+/// (`WriteBuf`/`ReadBuf`) is stored as pool handles, so a hit hands the
+/// bytes back by refcount bump.
+pub enum CacheData {
+    /// Owned bytes (legacy copying path).
+    Vec(Vec<u8>),
+    /// Shared-memory pool handle (zero-copy path).
+    Buf(BufHandle),
+}
+
+impl CacheData {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            CacheData::Vec(v) => v.len(),
+            CacheData::Buf(b) => b.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read view of the bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            CacheData::Vec(v) => v,
+            CacheData::Buf(b) => b.as_slice(),
+        }
+    }
+
+    /// Clone the representation: a `Vec` deep-copies (counted as a
+    /// payload copy), a handle bumps its refcount.
+    pub fn clone_counted(&self) -> CacheData {
+        match self {
+            CacheData::Vec(v) => {
+                note_payload_copy(v.len());
+                // copy-ok: legacy Vec-held block duplicated for the caller; counted via note_payload_copy
+                CacheData::Vec(v.clone())
+            }
+            CacheData::Buf(b) => CacheData::Buf(b.clone()),
+        }
+    }
+
+    /// A `len`-byte prefix view without copying when possible: a handle
+    /// slices (refcount bump); a `Vec` deep-copies (counted).
+    pub fn prefix(&self, len: usize) -> Option<CacheData> {
+        match self {
+            CacheData::Vec(v) => {
+                if v.len() < len {
+                    return None;
+                }
+                note_payload_copy(len);
+                // copy-ok: legacy Vec-held block copied out for the caller; counted via note_payload_copy
+                Some(CacheData::Vec(v[..len].to_vec()))
+            }
+            CacheData::Buf(b) => b.slice(0, len).map(CacheData::Buf),
+        }
+    }
+
+    /// Bytes the prefix hands back cost a memcpy only for the `Vec`
+    /// representation; handles are free. Used for cost accounting.
+    pub fn prefix_copies(&self) -> bool {
+        matches!(self, CacheData::Vec(_))
+    }
+}
+
+/// The per-entry in-flight miss guard. A miss claims its lba before
+/// releasing the cache lock and fetching downstream; a second miss on the
+/// same lba waits for the claim to clear and re-checks the cache instead
+/// of double-fetching (and double-inserting) the block.
+#[derive(Default)]
+pub struct InflightSet {
+    claimed: Mutex<HashSet<u64>>,
+}
+
+impl InflightSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim `lba`, waiting (yield-spin) while another miss holds it.
+    /// The returned guard releases the claim on drop.
+    pub fn claim(&self, lba: u64) -> InflightGuard<'_> {
+        loop {
+            if self.claimed.lock().insert(lba) {
+                return InflightGuard { set: self, lba };
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// RAII claim on an lba being miss-fetched; dropping releases it.
+pub struct InflightGuard<'a> {
+    set: &'a InflightSet,
+    lba: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.set.claimed.lock().remove(&self.lba);
+    }
+}
+
+/// Shard index for an lba (splitmix-style avalanche so sequential lbas
+/// spread evenly).
+pub fn shard_of(lba: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = lba.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((x ^ (x >> 31)) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_guard_releases_on_drop() {
+        let set = InflightSet::new();
+        {
+            let _g = set.claim(7);
+            assert!(!set.claimed.lock().contains(&8));
+            assert!(set.claimed.lock().contains(&7));
+        }
+        assert!(!set.claimed.lock().contains(&7));
+        let _g2 = set.claim(7); // reclaimable after release
+    }
+
+    #[test]
+    fn shard_spread_is_even_enough() {
+        let mut counts = [0usize; 8];
+        for lba in 0..8000u64 {
+            counts[shard_of(lba, 8)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "shard starved: {counts:?}");
+        }
+    }
+}

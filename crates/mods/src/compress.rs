@@ -60,6 +60,93 @@ impl CompressMod {
             self.bytes_out.load(Ordering::Relaxed),
         )
     }
+
+    /// Compress `data`, record the extent, and forward the stored bytes.
+    /// Compression is a transform, not a copy: the stored stream is new
+    /// bytes either way, so `Write` and `WriteBuf` share this path.
+    fn do_write(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        lba: u64,
+        data: &[u8],
+    ) -> RespPayload {
+        let orig_len = data.len();
+        ctx.advance(compress_cost_ns(orig_len));
+        let compressed = compress(data);
+        let (stored, raw) = if compressed.len() < orig_len {
+            (compressed, false)
+        } else {
+            labstor_ipc::note_payload_copy(orig_len);
+            // copy-ok: incompressible payloads are stored verbatim; counted just above
+            (data.to_vec(), true)
+        };
+        let comp_len = stored.len();
+        let stored = pad_to_sectors(stored);
+        self.bytes_in.fetch_add(orig_len as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.bytes_out
+            .fetch_add(stored.len() as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        self.extents.write().insert(
+            lba,
+            Extent {
+                orig_len,
+                comp_len,
+                stored_len: stored.len(),
+                raw,
+            },
+        );
+        let mut fwd = Request::new(
+            req.id,
+            req.stack,
+            Payload::Block(BlockOp::Write { lba, data: stored }),
+            req.creds,
+        );
+        fwd.vertex = req.vertex;
+        fwd.core = req.core;
+        fwd.qid_hint = req.qid_hint;
+        match env.forward(ctx, fwd) {
+            r if r.is_ok() => RespPayload::Len(orig_len),
+            err => err,
+        }
+    }
+
+    /// Fetch an extent's stored bytes and decode them to the original.
+    fn fetch_decoded(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        lba: u64,
+        e: Extent,
+    ) -> Result<Vec<u8>, RespPayload> {
+        let mut fwd = Request::new(
+            req.id,
+            req.stack,
+            Payload::Block(BlockOp::Read {
+                lba,
+                len: e.stored_len,
+            }),
+            req.creds,
+        );
+        fwd.vertex = req.vertex;
+        fwd.core = req.core;
+        fwd.qid_hint = req.qid_hint;
+        let stored = match env.forward(ctx, fwd) {
+            RespPayload::Data(stored) => stored,
+            RespPayload::DataBuf(h) => h.to_vec(), // copy-ok: decoder needs owned bytes; to_vec self-counts
+            other => return Err(other),
+        };
+        if e.raw {
+            let mut d = stored;
+            d.truncate(e.orig_len);
+            Ok(d)
+        } else {
+            ctx.advance(decompress_cost_ns(e.orig_len));
+            decompress(&stored[..e.comp_len.min(stored.len())])
+                .map_err(|err| RespPayload::Err(format!("decompression failed: {err}")))
+        }
+    }
 }
 
 impl Default for CompressMod {
@@ -89,67 +176,48 @@ impl LabMod for CompressMod {
         let before = ctx.busy();
         let resp = match &req.payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
-                let (lba, data) = (*lba, data.clone());
-                let orig_len = data.len();
-                ctx.advance(compress_cost_ns(orig_len));
-                let compressed = compress(&data);
-                let (stored, raw) = if compressed.len() < orig_len {
-                    (compressed, false)
-                } else {
-                    (data, true)
-                };
-                let comp_len = stored.len();
-                let stored = pad_to_sectors(stored);
-                self.bytes_in.fetch_add(orig_len as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                self.bytes_out
-                    .fetch_add(stored.len() as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                self.extents.write().insert(
-                    lba,
-                    Extent {
-                        orig_len,
-                        comp_len,
-                        stored_len: stored.len(),
-                        raw,
-                    },
-                );
-                let mut fwd = req.clone();
-                fwd.payload = Payload::Block(BlockOp::Write { lba, data: stored });
-                match env.forward(ctx, fwd) {
-                    r if r.is_ok() => RespPayload::Len(orig_len),
-                    err => err,
-                }
+                // Legacy Vec ingress: compress borrows the payload in
+                // place, so even this path copies nothing extra.
+                self.do_write(ctx, env, &req, *lba, data)
+            }
+            Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+                // Zero-copy ingress: compress straight out of the shared
+                // buffer — no `Vec` materialization of the input.
+                let (lba, buf) = (*lba, buf.clone());
+                self.do_write(ctx, env, &req, lba, buf.as_slice())
             }
             Payload::Block(BlockOp::Read { lba, len }) => {
                 let (lba, len) = (*lba, *len);
                 let extent = self.extents.read().get(&lba).copied();
                 match extent {
-                    Some(e) => {
-                        let mut fwd = req.clone();
-                        fwd.payload = Payload::Block(BlockOp::Read {
-                            lba,
-                            len: e.stored_len,
-                        });
-                        match env.forward(ctx, fwd) {
-                            RespPayload::Data(stored) => {
-                                let data = if e.raw {
-                                    stored[..e.orig_len].to_vec()
-                                } else {
-                                    ctx.advance(decompress_cost_ns(e.orig_len));
-                                    match decompress(&stored[..e.comp_len.min(stored.len())]) {
-                                        Ok(d) => d,
-                                        Err(err) => {
-                                            return RespPayload::Err(format!(
-                                                "decompression failed: {err}"
-                                            ))
-                                        }
-                                    }
-                                };
-                                RespPayload::Data(data[..len.min(data.len())].to_vec())
-                            }
-                            other => other,
+                    Some(e) => match self.fetch_decoded(ctx, env, &req, lba, e) {
+                        Ok(mut data) => {
+                            data.truncate(len.min(data.len()));
+                            RespPayload::Data(data)
                         }
-                    }
+                        Err(resp) => resp,
+                    },
                     // Unknown extent: pass through untouched.
+                    None => env.forward(ctx, req),
+                }
+            }
+            Payload::Block(BlockOp::ReadBuf { lba, len }) => {
+                let (lba, len) = (*lba, *len);
+                let extent = self.extents.read().get(&lba).copied();
+                match extent {
+                    Some(e) => match self.fetch_decoded(ctx, env, &req, lba, e) {
+                        Ok(mut data) => {
+                            data.truncate(len.min(data.len()));
+                            // The decoder's output lands in a pool buffer so
+                            // upstream stages share it by refcount.
+                            match labstor_ipc::default_pool().alloc_from(&data) {
+                                Some(h) => RespPayload::DataBuf(h),
+                                None => RespPayload::Data(data), // pool dry: legacy Vec fallback
+                            }
+                        }
+                        Err(resp) => resp,
+                    },
+                    // Unknown extent: downstream answers zero-copy directly.
                     None => env.forward(ctx, req),
                 }
             }
@@ -340,6 +408,44 @@ mod tests {
             &mut ctx,
         );
         assert!(matches!(r, RespPayload::Data(d) if d == data));
+    }
+
+    #[test]
+    fn zero_copy_write_read_roundtrip() {
+        let (mm, stack, dev) = setup();
+        let mut ctx = Ctx::new();
+        let data: Vec<u8> = std::iter::repeat_n(b"sensor:17 t=300K p=1.0atm he=4 ", 2048)
+            .flatten()
+            .copied()
+            .collect();
+        let mut h = labstor_ipc::default_pool()
+            .alloc(data.len())
+            .expect("pool has a big-enough class");
+        h.write_with(|b| b.copy_from_slice(&data));
+        let w = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::WriteBuf { lba: 4, buf: h }),
+            &mut ctx,
+        );
+        assert!(matches!(w, RespPayload::Len(n) if n == data.len()));
+        assert!(
+            dev.bytes_written.load(Ordering::Relaxed) < data.len() as u64 / 2,
+            "device received compressed bytes"
+        );
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::ReadBuf {
+                lba: 4,
+                len: data.len(),
+            }),
+            &mut ctx,
+        );
+        match r {
+            RespPayload::DataBuf(h) => assert_eq!(h.as_slice(), &data[..]),
+            other => panic!("expected a zero-copy DataBuf, got {other:?}"),
+        }
     }
 
     #[test]

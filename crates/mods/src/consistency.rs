@@ -75,7 +75,10 @@ impl LabMod for ConsistencyMod {
     fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
         let before = ctx.busy();
         ctx.advance(50);
-        let is_write = matches!(req.payload, Payload::Block(BlockOp::Write { .. }));
+        let is_write = matches!(
+            req.payload,
+            Payload::Block(BlockOp::Write { .. } | BlockOp::WriteBuf { .. })
+        );
         // Pre-build the barrier (avoiding a clone of the write payload).
         let template = if is_write {
             let mut flush =

@@ -47,6 +47,39 @@ fn stamp_completion(env: &StackEnv<'_>, req_id: u64, c: &Completion) {
     env.stamp_device(req_id, c.done_at.saturating_sub(c.service_ns), c.done_at);
 }
 
+/// Normalize the zero-copy block ops into the legacy shapes the device
+/// models consume: `WriteBuf` becomes `Write` (the byte move below models
+/// the device DMA-ing from the pinned shared buffer — not a CPU payload
+/// copy, so it is not counted), `ReadBuf` becomes `Read` plus a flag
+/// telling the caller to land the completion in a pool buffer.
+fn normalize_block_payload(payload: Payload) -> (Payload, bool) {
+    match payload {
+        Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+            let data = buf.as_slice().to_vec(); // copy-ok: modeled device DMA from the shared buffer, not a CPU copy
+            (Payload::Block(BlockOp::Write { lba, data }), false)
+        }
+        Payload::Block(BlockOp::ReadBuf { lba, len }) => {
+            (Payload::Block(BlockOp::Read { lba, len }), true)
+        }
+        p => (p, false),
+    }
+}
+
+/// Land device-returned read bytes in a pool buffer — the modeled DMA
+/// target — and answer zero-copy. Falls back to the legacy owned `Vec`
+/// when the pool is dry (upstream stages treat `Data` and `DataBuf`
+/// uniformly).
+fn dma_response(data: Vec<u8>) -> RespPayload {
+    match labstor_ipc::default_pool().alloc(data.len()) {
+        Some(mut h) => {
+            // DMA into the shared buffer: not a CPU payload copy.
+            h.write_with(|b| b.copy_from_slice(&data));
+            RespPayload::DataBuf(h)
+        }
+        None => RespPayload::Data(data),
+    }
+}
+
 /// Kernel MQ Driver LabMod.
 pub struct KernelDriverMod {
     layer: Arc<BlockLayer>,
@@ -85,8 +118,9 @@ impl LabMod for KernelDriverMod {
         // Clamp to the device's queue count: schedulers upstream may be
         // configured for wider devices.
         let qid = req.qid_hint.unwrap_or(req.core) % dev.num_queues();
+        let (payload, want_buf) = normalize_block_payload(req.payload);
 
-        let resp = match req.payload {
+        let resp = match payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(alloc_ns);
                 let len = data.len();
@@ -121,6 +155,7 @@ impl LabMod for KernelDriverMod {
                             .wait_for_tag(ctx, qid, tag, CompletionMode::DriverPoll);
                         stamp_completion(env, req_id, &c);
                         match c.result {
+                            Ok(data) if want_buf => dma_response(data),
                             Ok(data) => RespPayload::Data(data),
                             Err(e) => RespPayload::Err(e.to_string()),
                         }
@@ -160,7 +195,10 @@ impl LabMod for KernelDriverMod {
         self.perf.est_ns(
             KDRV_ALLOC_NS
                 + dev.model().transfer_ns(
-                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    matches!(
+                        req.payload,
+                        Payload::Block(BlockOp::Write { .. } | BlockOp::WriteBuf { .. })
+                    ),
                     req.payload_bytes(),
                 ),
         )
@@ -225,8 +263,9 @@ impl LabMod for SpdkMod {
         let req_id = req.id;
         let busy0 = ctx.busy();
         let qid = req.qid_hint.unwrap_or(req.core) % self.dev.num_queues();
+        let (payload, want_buf) = normalize_block_payload(req.payload);
 
-        let resp = match req.payload {
+        let resp = match payload {
             Payload::Block(BlockOp::Write { lba, data }) => {
                 ctx.advance(SPDK_SUBMIT_NS);
                 let len = data.len();
@@ -253,6 +292,7 @@ impl LabMod for SpdkMod {
                     .submit_at(qid, IoRequest::read(lba, len, cid), ctx.now())
                 {
                     Ok(()) => match self.wait(ctx, env, req_id, qid, cid) {
+                        Ok(data) if want_buf => dma_response(data),
                         Ok(data) => RespPayload::Data(data),
                         Err(e) => RespPayload::Err(e),
                     },
@@ -282,7 +322,10 @@ impl LabMod for SpdkMod {
         self.perf.est_ns(
             SPDK_SUBMIT_NS
                 + self.dev.model().transfer_ns(
-                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    matches!(
+                        req.payload,
+                        Payload::Block(BlockOp::Write { .. } | BlockOp::WriteBuf { .. })
+                    ),
                     req.payload_bytes(),
                 ),
         )
@@ -378,7 +421,8 @@ impl LabMod for DaxMod {
         let req_id = req.id;
         let busy0 = ctx.busy();
         let t0 = ctx.now();
-        let resp = match req.payload {
+        let (payload, want_buf) = normalize_block_payload(req.payload);
+        let resp = match payload {
             // LBAs keep block-op sector units for stackability; DAX's
             // byte-addressability means transfers need no alignment and
             // lengths are arbitrary.
@@ -393,6 +437,7 @@ impl LabMod for DaxMod {
                 let offset = lba * labstor_sim::SECTOR_SIZE as u64;
                 let mut buf = vec![0u8; len];
                 match self.dev.load(ctx, offset, &mut buf) {
+                    Ok(_) if want_buf => dma_response(buf),
                     Ok(_) => RespPayload::Data(buf),
                     Err(e) => RespPayload::Err(e.to_string()),
                 }
@@ -414,7 +459,10 @@ impl LabMod for DaxMod {
 
     fn est_processing_time(&self, req: &Request) -> u64 {
         self.perf.est_ns(self.dev.model().transfer_ns(
-            matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+            matches!(
+                req.payload,
+                Payload::Block(BlockOp::Write { .. } | BlockOp::WriteBuf { .. })
+            ),
             req.payload_bytes(),
         ))
     }
@@ -469,30 +517,37 @@ impl LabMod for IoUringDriverMod {
         ModType::Driver
     }
 
-    fn process(&self, ctx: &mut Ctx, req: Request, env: &StackEnv<'_>) -> RespPayload {
+    fn process(&self, ctx: &mut Ctx, mut req: Request, env: &StackEnv<'_>) -> RespPayload {
         use labstor_kernel::sched::IoClass;
         let req_id = req.id;
         let before = ctx.busy();
+        let (payload, want_buf) = normalize_block_payload(req.payload);
+        req.payload = payload;
         let class = if req.payload_bytes() <= 16 * 1024 {
             IoClass::Latency
         } else {
             IoClass::Throughput
         };
-        let io = match &req.payload {
-            Payload::Block(BlockOp::Write { lba, data }) => IoRequest::write(*lba, data.clone(), 0),
-            Payload::Block(BlockOp::Read { lba, len }) => IoRequest::read(*lba, *len, 0),
-            Payload::Block(BlockOp::Flush) => IoRequest::flush(0),
-            _ => return RespPayload::Err("iouring_driver handles block ops only".into()),
-        };
         let want_len = match &req.payload {
             Payload::Block(BlockOp::Write { data, .. }) => Some(data.len()),
             _ => None,
+        };
+        let io = match &mut req.payload {
+            // Hand the payload Vec to the submission queue by value — the
+            // request is answered from `want_len`, so nothing reads it back.
+            Payload::Block(BlockOp::Write { lba, data }) => {
+                IoRequest::write(*lba, std::mem::take(data), 0)
+            }
+            Payload::Block(BlockOp::Read { lba, len }) => IoRequest::read(*lba, *len, 0),
+            Payload::Block(BlockOp::Flush) => IoRequest::flush(0),
+            _ => return RespPayload::Err("iouring_driver handles block ops only".into()),
         };
         let resp = match self.engine.rw_sync(ctx, req.core, class, io) {
             Ok(c) => {
                 stamp_completion(env, req_id, &c);
                 match (c.result, want_len) {
                     (Ok(_), Some(n)) => RespPayload::Len(n),
+                    (Ok(data), None) if !data.is_empty() && want_buf => dma_response(data),
                     (Ok(data), None) if !data.is_empty() => RespPayload::Data(data),
                     (Ok(_), None) => RespPayload::Ok,
                     (Err(e), _) => RespPayload::Err(e.to_string()),
@@ -511,7 +566,10 @@ impl LabMod for IoUringDriverMod {
         self.perf.est_ns(
             2_000
                 + self.engine_device_transfer(
-                    matches!(req.payload, Payload::Block(BlockOp::Write { .. })),
+                    matches!(
+                        req.payload,
+                        Payload::Block(BlockOp::Write { .. } | BlockOp::WriteBuf { .. })
+                    ),
                     req.payload_bytes(),
                 ),
         )
@@ -738,6 +796,40 @@ mod tests {
         match r {
             RespPayload::Data(d) => assert_eq!(&d, b"dax bytes"),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_driver_zero_copy_roundtrip() {
+        let (mm, _d) = setup();
+        mm.instantiate(
+            "kd",
+            "kernel_driver",
+            &serde_json::json!({"device": "nvme0"}),
+        )
+        .unwrap();
+        let mut ctx = Ctx::new();
+        let mut buf = labstor_ipc::default_pool().alloc(4096).unwrap();
+        assert!(buf.write_with(|b| b.fill(0xab)));
+        let w = run(
+            &mm,
+            "kd",
+            Payload::Block(BlockOp::WriteBuf { lba: 8, buf }),
+            &mut ctx,
+        );
+        assert!(matches!(w, RespPayload::Len(4096)));
+        let r = run(
+            &mm,
+            "kd",
+            Payload::Block(BlockOp::ReadBuf { lba: 8, len: 4096 }),
+            &mut ctx,
+        );
+        match r {
+            RespPayload::DataBuf(h) => {
+                assert_eq!(h.len(), 4096);
+                assert!(h.as_slice().iter().all(|&b| b == 0xab));
+            }
+            other => panic!("expected DataBuf, got {other:?}"),
         }
     }
 

@@ -178,8 +178,71 @@ impl GenericFs {
                 self.fds.get_mut(&fd).expect("entry checked").pos = pos + d.len() as u64;
                 Ok(d)
             }
+            RespPayload::DataBuf(h) => {
+                let d = h.to_vec(); // copy-ok: read(2) returns owned bytes; to_vec self-counts
+                self.fds.get_mut(&fd).expect("entry checked").pos = pos + d.len() as u64;
+                Ok(d)
+            }
             other => Err(Self::fs_err(other)),
         }
+    }
+
+    /// Zero-copy `write(2)`: the caller filled a pool buffer in place
+    /// (see [`Client::alloc_buf`]) and every stage below passes the
+    /// handle by refcount bump, never by copy.
+    ///
+    /// [`Client::alloc_buf`]: labstor_core::Client::alloc_buf
+    pub fn write_buf(
+        &mut self,
+        fd: i32,
+        buf: labstor_ipc::BufHandle,
+    ) -> Result<usize, GenericFsError> {
+        let (sid, ino, pos) = self.entry(fd)?;
+        let stack = self.stack_of(sid)?;
+        let (resp, _) = self.client.execute(
+            &stack,
+            Payload::Fs(FsOp::WriteBuf {
+                ino,
+                offset: pos,
+                buf,
+            }),
+        )?;
+        match resp {
+            RespPayload::Len(n) => {
+                self.fds.get_mut(&fd).expect("entry checked").pos = pos + n as u64;
+                Ok(n)
+            }
+            other => Err(Self::fs_err(other)),
+        }
+    }
+
+    /// Zero-copy `read(2)`: returns a refcounted view of shared memory —
+    /// a page-cache hit costs a refcount bump, not a copy. Falls back to
+    /// pooling a legacy `Vec` response (counted) when a stage downgraded.
+    pub fn read_buf(
+        &mut self,
+        fd: i32,
+        len: usize,
+    ) -> Result<labstor_ipc::BufHandle, GenericFsError> {
+        let (sid, ino, pos) = self.entry(fd)?;
+        let stack = self.stack_of(sid)?;
+        let (resp, _) = self.client.execute(
+            &stack,
+            Payload::Fs(FsOp::ReadBuf {
+                ino,
+                offset: pos,
+                len,
+            }),
+        )?;
+        let h = match resp {
+            RespPayload::DataBuf(h) => h,
+            RespPayload::Data(d) => labstor_ipc::default_pool()
+                .alloc_from(&d)
+                .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into()))?,
+            other => return Err(Self::fs_err(other)),
+        };
+        self.fds.get_mut(&fd).expect("entry checked").pos = pos + h.len() as u64;
+        Ok(h)
     }
 
     /// `lseek(2)` (SEEK_SET).
@@ -419,6 +482,23 @@ impl GenericKvs {
         }
     }
 
+    /// Zero-copy put: the caller filled a pool buffer in place and the
+    /// KVS forwards full blocks as refcounted slices of it.
+    pub fn put_buf(
+        &mut self,
+        key: &str,
+        buf: labstor_ipc::BufHandle,
+    ) -> Result<usize, GenericFsError> {
+        let (stack, rel) = self.route(key)?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::PutBuf { key: rel, buf }))?;
+        match resp {
+            RespPayload::Len(n) => Ok(n),
+            other => Err(GenericFs::fs_err(other)),
+        }
+    }
+
     /// Fetch a value.
     pub fn get(&mut self, key: &str) -> Result<Vec<u8>, GenericFsError> {
         let (stack, rel) = self.route(key)?;
@@ -427,6 +507,24 @@ impl GenericKvs {
             .execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
         match resp {
             RespPayload::Data(d) => Ok(d),
+            RespPayload::DataBuf(h) => Ok(h.to_vec()), // copy-ok: owned-Vec API; to_vec self-counts
+            other => Err(GenericFs::fs_err(other)),
+        }
+    }
+
+    /// Zero-copy fetch: single-block values arrive as a refcounted view
+    /// of the driver's DMA buffer. Legacy `Vec` responses are pooled
+    /// (one counted copy) so the return type stays uniform.
+    pub fn get_buf(&mut self, key: &str) -> Result<labstor_ipc::BufHandle, GenericFsError> {
+        let (stack, rel) = self.route(key)?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
+        match resp {
+            RespPayload::DataBuf(h) => Ok(h),
+            RespPayload::Data(d) => labstor_ipc::default_pool()
+                .alloc_from(&d)
+                .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into())),
             other => Err(GenericFs::fs_err(other)),
         }
     }

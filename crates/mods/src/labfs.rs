@@ -168,6 +168,7 @@ impl LogRecord {
         match tag {
             1 => {
                 let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a path string — metadata, not payload bytes
                 let path = String::from_utf8(take(buf, pos, len)?.to_vec()).ok()?;
                 let ino = u64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?);
                 let mode = u16::from_le_bytes(take(buf, pos, 2)?.try_into().ok()?);
@@ -185,6 +186,7 @@ impl LogRecord {
             }
             2 => {
                 let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a path string — metadata, not payload bytes
                 let path = String::from_utf8(take(buf, pos, len)?.to_vec()).ok()?;
                 Some(LogRecord::Unlink { path })
             }
@@ -201,8 +203,10 @@ impl LogRecord {
             }
             5 => {
                 let flen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a path string — metadata, not payload bytes
                 let from = String::from_utf8(take(buf, pos, flen)?.to_vec()).ok()?;
                 let tlen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a path string — metadata, not payload bytes
                 let to = String::from_utf8(take(buf, pos, tlen)?.to_vec()).ok()?;
                 Some(LogRecord::Rename { from, to })
             }
@@ -660,29 +664,31 @@ impl LabFs {
         RespPayload::Ino(ino)
     }
 
-    fn op_write(
+    /// Map `[offset, offset+len)` of `ino` to device blocks, allocating
+    /// and logging as needed (the metadata half shared by the copying and
+    /// zero-copy write paths). Returns the (page, block) extents and the
+    /// set of freshly mapped pages.
+    #[allow(clippy::type_complexity)]
+    fn map_range(
         &self,
         ctx: &mut Ctx,
-        env: &StackEnv<'_>,
         req: &Request,
         ino: u64,
         offset: u64,
-        data: &[u8],
-    ) -> RespPayload {
-        // Map every touched page to a block, allocating as needed.
-        ctx.advance(META_CPU_NS); // inode + mapping lookup
+        len: usize,
+    ) -> Result<(Vec<(u64, u64)>, std::collections::HashSet<u64>), RespPayload> {
         let first_pg = offset / FS_BLOCK as u64;
-        let last_pg = (offset + data.len() as u64).div_ceil(FS_BLOCK as u64);
+        let last_pg = (offset + len as u64).div_ceil(FS_BLOCK as u64);
         let mut extents: Vec<(u64, u64)> = Vec::new(); // (page, block)
         let mut fresh: Vec<(u64, u64)> = Vec::new(); // newly mapped
         let grew;
         {
             let mut shard = self.node_shard(ino).write();
             let Some(node) = shard.get_mut(&ino) else {
-                return RespPayload::Err(format!("no inode {ino}"));
+                return Err(RespPayload::Err(format!("no inode {ino}")));
             };
             if node.is_dir {
-                return RespPayload::Err("is a directory".into());
+                return Err(RespPayload::Err("is a directory".into()));
             }
             for pg in first_pg..last_pg {
                 match node.blocks.get(&pg) {
@@ -690,7 +696,7 @@ impl LabFs {
                     None => {
                         ctx.advance(ALLOC_NS);
                         let Some(b) = self.allocator.alloc(req.core) else {
-                            return RespPayload::Err("no space".into());
+                            return Err(RespPayload::Err("no space".into()));
                         };
                         node.blocks.insert(pg, b);
                         extents.push((pg, b));
@@ -698,8 +704,8 @@ impl LabFs {
                     }
                 }
             }
-            grew = offset + data.len() as u64 > node.size;
-            node.size = node.size.max(offset + data.len() as u64);
+            grew = offset + len as u64 > node.size;
+            node.size = node.size.max(offset + len as u64);
             node.ops += 1;
             node.last_writer = req.creds.uid;
         }
@@ -721,15 +727,32 @@ impl LabFs {
                 req.core,
                 &LogRecord::SetSize {
                     ino,
-                    size: offset + data.len() as u64,
+                    size: offset + len as u64,
                 },
             );
         }
+        Ok((extents, fresh.iter().map(|&(pg, _)| pg).collect()))
+    }
+
+    fn op_write(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> RespPayload {
+        // Map every touched page to a block, allocating as needed.
+        ctx.advance(META_CPU_NS); // inode + mapping lookup
+        let (extents, fresh_pages) = match self.map_range(ctx, req, ino, offset, data.len()) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
         // Emit block writes downstream. Partially-covered pages that were
         // already mapped (and not freshly allocated) need read-modify-write
         // so neighbouring bytes survive; full pages and fresh pages are
         // written directly, coalescing contiguous full blocks.
-        let fresh_pages: std::collections::HashSet<u64> = fresh.iter().map(|&(pg, _)| pg).collect();
         let block_write = |this: &Self,
                            ctx: &mut Ctx,
                            env: &StackEnv<'_>,
@@ -882,6 +905,239 @@ impl LabFs {
         }
         RespPayload::Data(out)
     }
+
+    /// Forward one block op downstream with the request's routing intact.
+    fn fwd_block(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        op: BlockOp,
+    ) -> RespPayload {
+        let mut fwd = Request::new(req.id, req.stack, Payload::Block(op), req.creds);
+        fwd.vertex = env.vertex;
+        fwd.core = req.core;
+        fwd.qid_hint = req.qid_hint;
+        self.fwd(ctx, env, fwd)
+    }
+
+    /// Zero-copy write: fully covered pages are forwarded as `WriteBuf`
+    /// slices of the caller's pool buffer (refcount bumps — no memcpy all
+    /// the way to the driver, which DMAs from the shared buffer). Partial
+    /// pages fall back to the copying path: fresh ones are zero-padded,
+    /// existing ones read-modify-write; both copies are counted.
+    fn op_write_buf(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        ino: u64,
+        offset: u64,
+        buf: &labstor_ipc::BufHandle,
+    ) -> RespPayload {
+        ctx.advance(META_CPU_NS); // inode + mapping lookup
+        let data_len = buf.len();
+        let (extents, fresh_pages) = match self.map_range(ctx, req, ino, offset, data_len) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let end = offset + data_len as u64;
+        let mut i = 0usize;
+        while i < extents.len() {
+            let (page, block) = extents[i];
+            let pg_start = page * FS_BLOCK as u64;
+            let cover_from = pg_start.max(offset);
+            let cover_to = (pg_start + FS_BLOCK as u64).min(end);
+            let full = cover_from == pg_start && cover_to == pg_start + FS_BLOCK as u64;
+            if full {
+                // Coalesce contiguous fully covered blocks into one slice.
+                let mut j = i;
+                while j + 1 < extents.len() && extents[j + 1].1 == extents[j].1 + 1 {
+                    let n_start = extents[j + 1].0 * FS_BLOCK as u64;
+                    if !(offset <= n_start && n_start + FS_BLOCK as u64 <= end) {
+                        break;
+                    }
+                    j += 1;
+                }
+                let run_pages = j - i + 1;
+                let Some(slice) = buf.slice((pg_start - offset) as usize, run_pages * FS_BLOCK)
+                else {
+                    return RespPayload::Err("write buffer shorter than its extent".into());
+                };
+                let r = self.fwd_block(
+                    ctx,
+                    env,
+                    req,
+                    BlockOp::WriteBuf {
+                        lba: block * BLOCK_SECTORS,
+                        buf: slice,
+                    },
+                );
+                if !r.is_ok() {
+                    return r;
+                }
+                i = j + 1;
+                continue;
+            }
+            // Partial page: copying fallback.
+            let dst = (cover_from - pg_start) as usize;
+            let src = (cover_from - offset) as usize;
+            let cnt = (cover_to - cover_from) as usize;
+            let mut payload = if fresh_pages.contains(&page) {
+                vec![0u8; FS_BLOCK] // fresh block: pad with zeroes
+            } else {
+                // Read-modify-write so neighbouring bytes survive.
+                let mut p = match self.fwd_block(
+                    ctx,
+                    env,
+                    req,
+                    BlockOp::Read {
+                        lba: block * BLOCK_SECTORS,
+                        len: FS_BLOCK,
+                    },
+                ) {
+                    RespPayload::Data(d) => d,
+                    RespPayload::DataBuf(h) => h.to_vec(), // copy-ok: RMW needs owned bytes; to_vec self-counts
+                    other => return other,
+                };
+                p.resize(FS_BLOCK, 0);
+                p
+            };
+            labstor_ipc::note_payload_copy(cnt);
+            payload[dst..dst + cnt].copy_from_slice(&buf.as_slice()[src..src + cnt]); // copy-ok: partial-page patch; counted above
+            let r = self.fwd_block(
+                ctx,
+                env,
+                req,
+                BlockOp::Write {
+                    lba: block * BLOCK_SECTORS,
+                    data: payload,
+                },
+            );
+            if !r.is_ok() {
+                return r;
+            }
+            i += 1;
+        }
+        RespPayload::Len(data_len)
+    }
+
+    /// Zero-copy read: a read confined to one page forwards `ReadBuf` and
+    /// answers with a slice of the returned handle — a cache hit
+    /// downstream is refcount bumps end to end. Multi-page reads assemble
+    /// into one pool buffer (each block lands with one counted copy),
+    /// falling back to the legacy copying path when the pool is dry.
+    fn op_read_buf(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        ino: u64,
+        offset: u64,
+        len: usize,
+    ) -> RespPayload {
+        ctx.advance(META_CPU_NS); // inode + mapping lookup
+        let (size, mappings): (u64, Vec<Option<u64>>) = {
+            let shard = self.node_shard(ino).read();
+            let Some(node) = shard.get(&ino) else {
+                return RespPayload::Err(format!("no inode {ino}"));
+            };
+            if node.is_dir {
+                return RespPayload::Err("is a directory".into());
+            }
+            let first_pg = offset / FS_BLOCK as u64;
+            let last_pg = (offset + len as u64).div_ceil(FS_BLOCK as u64);
+            (
+                node.size,
+                (first_pg..last_pg)
+                    .map(|pg| node.blocks.get(&pg).copied())
+                    .collect(),
+            )
+        };
+        if offset >= size {
+            return RespPayload::Data(Vec::new());
+        }
+        let n = len.min((size - offset) as usize);
+        let first_pg = offset / FS_BLOCK as u64;
+        let single_page = (offset + n as u64 - 1) / FS_BLOCK as u64 == first_pg;
+        if single_page {
+            let pg_start = first_pg * FS_BLOCK as u64;
+            let Some(Some(block)) = mappings.first() else {
+                // Hole: hand back zeroes without touching the stack.
+                return match labstor_ipc::default_pool().alloc(n) {
+                    Some(mut h) => {
+                        h.write_with(|b| b.fill(0));
+                        RespPayload::DataBuf(h)
+                    }
+                    None => RespPayload::Data(vec![0u8; n]),
+                };
+            };
+            let resp = self.fwd_block(
+                ctx,
+                env,
+                req,
+                BlockOp::ReadBuf {
+                    lba: block * BLOCK_SECTORS,
+                    len: FS_BLOCK,
+                },
+            );
+            let src = (offset - pg_start) as usize;
+            return match resp {
+                // The zero-copy path: slice the cached/DMA'd block.
+                RespPayload::DataBuf(h) => match h.slice(src, n) {
+                    Some(s) => RespPayload::DataBuf(s),
+                    None => RespPayload::Err("short block read".into()),
+                },
+                RespPayload::Data(d) if d.len() >= src + n => {
+                    labstor_ipc::note_payload_copy(n);
+                    RespPayload::Data(d[src..src + n].to_vec()) // copy-ok: legacy downstream answered with owned bytes; counted above
+                }
+                RespPayload::Data(_) => RespPayload::Err("short block read".into()),
+                other => other,
+            };
+        }
+        // Multi-page: assemble into one pool buffer.
+        let Some(mut out) = labstor_ipc::default_pool().alloc(n) else {
+            return self.op_read(ctx, env, req, ino, offset, len);
+        };
+        out.write_with(|b| b.fill(0));
+        for (idx, mapping) in mappings.iter().enumerate() {
+            let pg = first_pg + idx as u64;
+            let pg_start = pg * FS_BLOCK as u64;
+            let copy_from = pg_start.max(offset);
+            let copy_to = (pg_start + FS_BLOCK as u64).min(offset + n as u64);
+            if copy_from >= copy_to {
+                continue;
+            }
+            let Some(block) = mapping else {
+                continue; // hole: already zero
+            };
+            let resp = self.fwd_block(
+                ctx,
+                env,
+                req,
+                BlockOp::ReadBuf {
+                    lba: block * BLOCK_SECTORS,
+                    len: FS_BLOCK,
+                },
+            );
+            let src = (copy_from - pg_start) as usize;
+            let dst = (copy_from - offset) as usize;
+            let cnt = (copy_to - copy_from) as usize;
+            let block_bytes = match &resp {
+                RespPayload::DataBuf(h) => h.as_slice(),
+                RespPayload::Data(d) => d.as_slice(),
+                _ => return resp,
+            };
+            if block_bytes.len() < src + cnt {
+                return RespPayload::Err("short block read".into());
+            }
+            labstor_ipc::note_payload_copy(cnt);
+            // copy-ok: multi-page assembly into the result buffer; counted above
+            out.write_with(|b| b[dst..dst + cnt].copy_from_slice(&block_bytes[src..src + cnt]));
+        }
+        RespPayload::DataBuf(out)
+    }
 }
 
 impl LabMod for LabFs {
@@ -926,8 +1182,14 @@ impl LabMod for LabFs {
             Payload::Fs(FsOp::Write { ino, offset, data }) => {
                 self.op_write(ctx, env, &req, *ino, *offset, data)
             }
+            Payload::Fs(FsOp::WriteBuf { ino, offset, buf }) => {
+                self.op_write_buf(ctx, env, &req, *ino, *offset, buf)
+            }
             Payload::Fs(FsOp::Read { ino, offset, len }) => {
                 self.op_read(ctx, env, &req, *ino, *offset, *len)
+            }
+            Payload::Fs(FsOp::ReadBuf { ino, offset, len }) => {
+                self.op_read_buf(ctx, env, &req, *ino, *offset, *len)
             }
             Payload::Fs(FsOp::Rename { from, to }) => {
                 ctx.advance(META_CPU_NS);
@@ -1041,7 +1303,8 @@ impl LabMod for LabFs {
     fn est_processing_time(&self, req: &Request) -> u64 {
         self.perf.est_ns(match &req.payload {
             Payload::Fs(FsOp::Write { data, .. }) => 2_000 + data.len() as u64,
-            Payload::Fs(FsOp::Read { len, .. }) => 2_000 + *len as u64,
+            Payload::Fs(FsOp::WriteBuf { buf, .. }) => 2_000 + buf.len() as u64,
+            Payload::Fs(FsOp::Read { len, .. } | FsOp::ReadBuf { len, .. }) => 2_000 + *len as u64,
             _ => META_CPU_NS + LOG_APPEND_NS,
         })
     }
@@ -1406,6 +1669,63 @@ mod tests {
             &mut ctx,
         );
         assert!(matches!(r, RespPayload::Data(d) if d.len() == 500 && d.iter().all(|&b| b == 1)));
+    }
+
+    #[test]
+    fn zero_copy_write_read_roundtrip() {
+        let (h, _) = Harness::new();
+        let mut ctx = Ctx::new();
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/z".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        let mut buf = labstor_ipc::default_pool().alloc(2 * FS_BLOCK).unwrap();
+        buf.write_with(|b| {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (i % 249) as u8;
+            }
+        });
+        let expect = buf.to_vec();
+        let w = h.exec(
+            Payload::Fs(FsOp::WriteBuf {
+                ino,
+                offset: 0,
+                buf,
+            }),
+            &mut ctx,
+        );
+        assert!(matches!(w, RespPayload::Len(n) if n == 2 * FS_BLOCK));
+        // A single-page read answers with a refcounted DataBuf slice.
+        let r = h.exec(
+            Payload::Fs(FsOp::ReadBuf {
+                ino,
+                offset: 0,
+                len: FS_BLOCK,
+            }),
+            &mut ctx,
+        );
+        match r {
+            RespPayload::DataBuf(hdl) => assert_eq!(hdl.as_slice(), &expect[..FS_BLOCK]),
+            other => panic!("expected DataBuf, got {other:?}"),
+        }
+        // An unaligned multi-page read assembles byte-identically.
+        let r = h.exec(
+            Payload::Fs(FsOp::ReadBuf {
+                ino,
+                offset: 100,
+                len: FS_BLOCK + 500,
+            }),
+            &mut ctx,
+        );
+        let got = match &r {
+            RespPayload::DataBuf(h2) => h2.as_slice().to_vec(),
+            RespPayload::Data(d) => d.clone(),
+            other => panic!("expected data, got {other:?}"),
+        };
+        assert_eq!(&got[..], &expect[100..100 + FS_BLOCK + 500]);
     }
 
     #[test]

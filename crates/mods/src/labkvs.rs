@@ -79,6 +79,7 @@ impl KvRecord {
         match tag {
             1 => {
                 let klen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a key string — metadata, not payload bytes
                 let key = String::from_utf8(take(buf, pos, klen)?.to_vec()).ok()?;
                 let len = u64::from_le_bytes(take(buf, pos, 8)?.try_into().ok()?);
                 let n = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
@@ -90,6 +91,7 @@ impl KvRecord {
             }
             2 => {
                 let klen = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                // copy-ok: log-record decode of a key string — metadata, not payload bytes
                 let key = String::from_utf8(take(buf, pos, klen)?.to_vec()).ok()?;
                 Some(KvRecord::Remove { key })
             }
@@ -223,6 +225,166 @@ impl LabKvs {
     pub fn key_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
+
+    /// Allocate blocks for a `len`-byte value on `core`.
+    fn alloc_blocks(&self, ctx: &mut Ctx, core: usize, len: usize) -> Option<Vec<u64>> {
+        let n_blocks = len.div_ceil(KV_BLOCK);
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            ctx.advance(40);
+            blocks.push(self.allocator.alloc(core)?);
+        }
+        Some(blocks)
+    }
+
+    /// Record a completed put in the log and key map.
+    fn commit_put(&self, ctx: &mut Ctx, core: usize, key: &str, len: usize, blocks: Vec<u64>) {
+        self.log(
+            ctx,
+            core,
+            &KvRecord::Put {
+                key: key.to_string(),
+                len: len as u64,
+                blocks: blocks.clone(),
+            },
+        );
+        self.shard(key)
+            .write()
+            .insert(key.to_string(), ValueLoc { len, blocks });
+    }
+
+    /// Zero-copy put: full blocks of the caller's pool buffer travel
+    /// downstream as refcounted [`labstor_ipc::BufHandle`] slices; only
+    /// the zero-padded tail block is materialized as a `Vec`.
+    fn do_put_buf(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        key: &str,
+        buf: &labstor_ipc::BufHandle,
+    ) -> RespPayload {
+        ctx.advance(KV_CPU_NS);
+        let Some(blocks) = self.alloc_blocks(ctx, req.core, buf.len()) else {
+            return RespPayload::Err("no space".into());
+        };
+        let full_bytes = (buf.len() / KV_BLOCK) * KV_BLOCK;
+        let mut ops = Vec::new();
+        let mut i = 0usize;
+        while i < blocks.len() {
+            let mut j = i;
+            while j + 1 < blocks.len() && blocks[j + 1] == blocks[j] + 1 {
+                j += 1;
+            }
+            let byte_from = i * KV_BLOCK;
+            let byte_to = ((j + 1) * KV_BLOCK).min(buf.len().next_multiple_of(KV_BLOCK));
+            let zc_to = byte_to.min(full_bytes);
+            let mut copy_from = byte_from;
+            if byte_from < zc_to {
+                if let Some(s) = buf.slice(byte_from, zc_to - byte_from) {
+                    ops.push(BlockOp::WriteBuf {
+                        lba: blocks[i] * BLOCK_SECTORS,
+                        buf: s,
+                    });
+                    copy_from = zc_to;
+                }
+            }
+            if copy_from < byte_to {
+                let mut payload = vec![0u8; byte_to - copy_from];
+                let n = buf.len().saturating_sub(copy_from).min(payload.len());
+                labstor_ipc::note_payload_copy(n);
+                // copy-ok: the zero-padded tail block cannot alias the pool buffer; counted via note_payload_copy
+                payload[..n].copy_from_slice(&buf.as_slice()[copy_from..copy_from + n]);
+                let block = blocks[i] + ((copy_from - byte_from) / KV_BLOCK) as u64;
+                ops.push(BlockOp::Write {
+                    lba: block * BLOCK_SECTORS,
+                    data: payload,
+                });
+            }
+            i = j + 1;
+        }
+        for op in ops {
+            let mut fwd = Request::new(req.id, req.stack, Payload::Block(op), req.creds);
+            fwd.vertex = env.vertex;
+            fwd.core = req.core;
+            let r = env.forward(ctx, fwd);
+            if !r.is_ok() {
+                return r;
+            }
+        }
+        self.commit_put(ctx, req.core, key, buf.len(), blocks);
+        RespPayload::Len(buf.len())
+    }
+
+    /// Fetch a stored value. Single-block values ride the zero-copy path
+    /// end to end: the driver lands the DMA in a pool buffer and we hand
+    /// back a refcounted slice of it as [`RespPayload::DataBuf`].
+    fn read_value(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        loc: &ValueLoc,
+    ) -> RespPayload {
+        if loc.blocks.len() == 1 && loc.len > 0 {
+            let mut fwd = Request::new(
+                req.id,
+                req.stack,
+                Payload::Block(BlockOp::ReadBuf {
+                    lba: loc.blocks[0] * BLOCK_SECTORS,
+                    len: KV_BLOCK,
+                }),
+                req.creds,
+            );
+            fwd.vertex = env.vertex;
+            fwd.core = req.core;
+            return match env.forward(ctx, fwd) {
+                RespPayload::DataBuf(h) => {
+                    let want = loc.len.min(h.len());
+                    match h.slice(0, want) {
+                        Some(s) => RespPayload::DataBuf(s),
+                        None => RespPayload::Data(h.to_vec()), // copy-ok: unreachable slice failure; to_vec self-counts
+                    }
+                }
+                // copy-ok: legacy Vec from a pool-dry driver; truncation copy counted below
+                RespPayload::Data(d) => {
+                    let want = loc.len.min(d.len());
+                    labstor_ipc::note_payload_copy(want);
+                    RespPayload::Data(d[..want].to_vec()) // copy-ok: counted just above
+                }
+                other => other,
+            };
+        }
+        let mut out = Vec::with_capacity(loc.len);
+        for (idx, b) in loc.blocks.iter().enumerate() {
+            let want = (loc.len - idx * KV_BLOCK).min(KV_BLOCK);
+            let mut fwd = Request::new(
+                req.id,
+                req.stack,
+                Payload::Block(BlockOp::Read {
+                    lba: b * BLOCK_SECTORS,
+                    len: KV_BLOCK,
+                }),
+                req.creds,
+            );
+            fwd.vertex = env.vertex;
+            fwd.core = req.core;
+            match env.forward(ctx, fwd) {
+                RespPayload::Data(d) => {
+                    labstor_ipc::note_payload_copy(want);
+                    // copy-ok: multi-block reassembly into one contiguous value; counted just above
+                    out.extend_from_slice(&d[..want]);
+                }
+                RespPayload::DataBuf(h) => {
+                    labstor_ipc::note_payload_copy(want);
+                    // copy-ok: multi-block reassembly into one contiguous value; counted just above
+                    out.extend_from_slice(&h.as_slice()[..want]);
+                }
+                other => return other,
+            }
+        }
+        RespPayload::Data(out)
+    }
 }
 
 impl LabMod for LabKvs {
@@ -239,15 +401,9 @@ impl LabMod for LabKvs {
         let resp = match &req.payload {
             Payload::Kvs(KvsOp::Put { key, value }) => {
                 ctx.advance(KV_CPU_NS);
-                let n_blocks = value.len().div_ceil(KV_BLOCK);
-                let mut blocks = Vec::with_capacity(n_blocks);
-                for _ in 0..n_blocks {
-                    ctx.advance(40);
-                    match self.allocator.alloc(req.core) {
-                        Some(b) => blocks.push(b),
-                        None => return RespPayload::Err("no space".into()),
-                    }
-                }
+                let Some(blocks) = self.alloc_blocks(ctx, req.core, value.len()) else {
+                    return RespPayload::Err("no space".into());
+                };
                 // One downstream write per contiguous block run.
                 let mut i = 0usize;
                 while i < blocks.len() {
@@ -260,6 +416,8 @@ impl LabMod for LabKvs {
                     let mut payload = vec![0u8; byte_to - byte_from];
                     let copy_to = value.len().min(byte_to) - byte_from.min(value.len());
                     if byte_from < value.len() {
+                        labstor_ipc::note_payload_copy(copy_to);
+                        // copy-ok: legacy Vec put path; counted just above (PutBuf avoids this)
                         payload[..copy_to].copy_from_slice(&value[byte_from..byte_from + copy_to]);
                     }
                     let mut fwd = Request::new(
@@ -279,50 +437,15 @@ impl LabMod for LabKvs {
                     }
                     i = j + 1;
                 }
-                self.log(
-                    ctx,
-                    req.core,
-                    &KvRecord::Put {
-                        key: key.clone(),
-                        len: value.len() as u64,
-                        blocks: blocks.clone(),
-                    },
-                );
-                self.shard(key).write().insert(
-                    key.clone(),
-                    ValueLoc {
-                        len: value.len(),
-                        blocks,
-                    },
-                );
+                self.commit_put(ctx, req.core, key, value.len(), blocks);
                 RespPayload::Len(value.len())
             }
+            Payload::Kvs(KvsOp::PutBuf { key, buf }) => self.do_put_buf(ctx, env, &req, key, buf),
             Payload::Kvs(KvsOp::Get { key }) => {
                 ctx.advance(KV_CPU_NS);
                 let loc = self.shard(key).read().get(key).cloned();
                 match loc {
-                    Some(loc) => {
-                        let mut out = Vec::with_capacity(loc.len);
-                        for (idx, b) in loc.blocks.iter().enumerate() {
-                            let want = (loc.len - idx * KV_BLOCK).min(KV_BLOCK);
-                            let mut fwd = Request::new(
-                                req.id,
-                                req.stack,
-                                Payload::Block(BlockOp::Read {
-                                    lba: b * BLOCK_SECTORS,
-                                    len: KV_BLOCK,
-                                }),
-                                req.creds,
-                            );
-                            fwd.vertex = env.vertex;
-                            fwd.core = req.core;
-                            match env.forward(ctx, fwd) {
-                                RespPayload::Data(d) => out.extend_from_slice(&d[..want]),
-                                other => return other,
-                            }
-                        }
-                        RespPayload::Data(out)
-                    }
+                    Some(loc) => self.read_value(ctx, env, &req, &loc),
                     None => RespPayload::Err(format!("no key '{key}'")),
                 }
             }
@@ -489,7 +612,68 @@ mod tests {
             Payload::Kvs(KvsOp::Get { key: "k".into() }),
             &mut ctx,
         );
-        assert!(matches!(r, RespPayload::Data(d) if d == vec![2u8; 50]));
+        assert_eq!(r.data_bytes(), Some(&[2u8; 50][..]));
+    }
+
+    #[test]
+    fn put_buf_roundtrips_with_zero_copy_full_blocks() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        // Not a block multiple: two full blocks ride as refcounted
+        // slices, the 777-byte tail is zero-padded and copied.
+        let n = KV_BLOCK * 2 + 777;
+        let mut h = labstor_ipc::default_pool()
+            .alloc(n)
+            .expect("pool has a big-enough class");
+        h.write_with(|b| {
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (i % 251) as u8;
+            }
+        });
+        let expect = h.to_vec();
+        let w = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::PutBuf {
+                key: "zc".into(),
+                buf: h,
+            }),
+            &mut ctx,
+        );
+        assert!(matches!(w, RespPayload::Len(m) if m == n));
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "zc".into() }),
+            &mut ctx,
+        );
+        assert_eq!(r.data_bytes(), Some(&expect[..]));
+    }
+
+    #[test]
+    fn single_block_get_answers_with_pool_buffer() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        let value = vec![0x5au8; 500];
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "s".into(),
+                value: value.clone(),
+            }),
+            &mut ctx,
+        );
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Get { key: "s".into() }),
+            &mut ctx,
+        );
+        match r {
+            RespPayload::DataBuf(h) => assert_eq!(h.as_slice(), &value[..]),
+            other => panic!("expected a zero-copy DataBuf, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! "LabMod repo" of §III-D).
 
 pub mod arc_cache;
+pub mod cache_common;
 pub mod compress;
 pub mod compress_algo;
 pub mod consistency;

@@ -6,6 +6,19 @@
 //! (dirty blocks held until flush/eviction). Keys are block LBAs; the
 //! contract is block-aligned requests, which every bundled filesystem
 //! LabMod honors.
+//!
+//! Two perf features ride on top of the classic design:
+//!
+//! * **Zero-copy arms** — `WriteBuf` inserts the pool handle by refcount
+//!   bump, `ReadBuf` hits hand back a [`BufHandle`] slice with no memcpy
+//!   (and no virtual copy charge). Legacy `Write`/`Read` keep the copying
+//!   cost model and are counted via the payload-copy counter.
+//! * **Sharding + in-flight miss guard** — the map splits into N
+//!   independently locked shards (`shards` factory param, default 1), and
+//!   a miss claims its lba in an [`InflightSet`] before fetching, so two
+//!   racing misses on the same block fetch it downstream exactly once.
+//!
+//! [`BufHandle`]: labstor_ipc::BufHandle
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,6 +32,8 @@ use labstor_kernel::page_cache::LruMap;
 use labstor_sim::Ctx;
 use labstor_telemetry::PerfCounters;
 
+use crate::cache_common::{shard_of, CacheData, InflightSet};
+
 /// Per-block lookup cost (userspace hashmap, cheaper than the kernel's
 /// locked tree).
 const LOOKUP_NS: u64 = 150;
@@ -31,14 +46,15 @@ fn copy_cost(bytes: usize) -> u64 {
 }
 
 struct CacheBlock {
-    data: Vec<u8>,
+    data: CacheData,
     dirty: bool,
 }
 
 /// The LRU cache LabMod.
 pub struct LruCacheMod {
-    cache: Mutex<LruMap<u64, CacheBlock>>,
-    capacity_blocks: usize,
+    shards: Box<[Mutex<LruMap<u64, CacheBlock>>]>,
+    inflight: InflightSet,
+    per_shard_blocks: usize,
     write_back: bool,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -48,17 +64,36 @@ pub struct LruCacheMod {
 }
 
 impl LruCacheMod {
-    /// Cache of `capacity_bytes` (4 KB block granularity).
+    /// Cache of `capacity_bytes` (4 KB block granularity), single shard —
+    /// the historical layout, with exact global LRU eviction order.
     pub fn new(capacity_bytes: usize, write_back: bool) -> Self {
+        Self::with_shards(capacity_bytes, write_back, 1)
+    }
+
+    /// Cache of `capacity_bytes` split over `shards` independently locked
+    /// LRU maps (capacity divides evenly; eviction is per shard).
+    pub fn with_shards(capacity_bytes: usize, write_back: bool, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_blocks = (capacity_bytes / 4096).max(1);
         LruCacheMod {
-            cache: Mutex::new(LruMap::new()),
-            capacity_blocks: (capacity_bytes / 4096).max(1),
+            shards: (0..shards).map(|_| Mutex::new(LruMap::new())).collect(),
+            inflight: InflightSet::new(),
+            per_shard_blocks: capacity_blocks.div_ceil(shards).max(1),
             write_back,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards the map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, lba: u64) -> &Mutex<LruMap<u64, CacheBlock>> {
+        &self.shards[shard_of(lba, self.shards.len())]
     }
 
     /// Forward, attributing the downstream busy time to downstream.
@@ -79,19 +114,22 @@ impl LruCacheMod {
         )
     }
 
-    /// Drain all cached blocks oldest-first (cross-policy hot swaps pull
-    /// warm state out with this).
-    pub fn drain_blocks(&self) -> Vec<(u64, Vec<u8>)> {
-        let mut cache = self.cache.lock();
-        let mut out = Vec::with_capacity(cache.len());
-        while let Some((lba, b)) = cache.pop_lru() {
-            out.push((lba, b.data));
+    /// Drain all cached blocks oldest-first per shard (cross-policy hot
+    /// swaps pull warm state out with this). Handles move out without a
+    /// copy; legacy vectors move as-is.
+    pub fn drain_blocks(&self) -> Vec<(u64, CacheData)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let mut cache = shard.lock();
+            while let Some((lba, b)) = cache.pop_lru() {
+                out.push((lba, b.data));
+            }
         }
         out
     }
 
     /// Evict past capacity; returns dirty victims needing writeback.
-    fn evict(cache: &mut LruMap<u64, CacheBlock>, cap: usize) -> Vec<(u64, Vec<u8>)> {
+    fn evict(cache: &mut LruMap<u64, CacheBlock>, cap: usize) -> Vec<(u64, CacheData)> {
         let mut out = Vec::new();
         while cache.len() > cap {
             match cache.pop_lru() {
@@ -101,6 +139,120 @@ impl LruCacheMod {
             }
         }
         out
+    }
+
+    /// Turn an evicted dirty victim into the downstream write-back
+    /// request: handles flush zero-copy via `WriteBuf`, vectors via the
+    /// legacy `Write` (the vector moves — no extra copy).
+    fn victim_payload(lba: u64, data: CacheData) -> Payload {
+        match data {
+            CacheData::Buf(buf) => Payload::Block(BlockOp::WriteBuf { lba, buf }),
+            CacheData::Vec(data) => Payload::Block(BlockOp::Write { lba, data }),
+        }
+    }
+
+    /// Insert a block, evict, and flush dirty victims downstream.
+    fn insert_and_flush(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        lba: u64,
+        data: CacheData,
+        dirty: bool,
+    ) -> Result<(), RespPayload> {
+        let victims = {
+            let mut cache = self.shard(lba).lock();
+            cache.insert(lba, CacheBlock { data, dirty });
+            Self::evict(&mut cache, self.per_shard_blocks)
+        };
+        for (vlba, vdata) in victims {
+            let mut flush = Request::new(
+                req.id,
+                req.stack,
+                Self::victim_payload(vlba, vdata),
+                req.creds,
+            );
+            flush.vertex = env.vertex;
+            flush.core = req.core;
+            let r = self.fwd(ctx, env, flush);
+            if !r.is_ok() {
+                return Err(r);
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared read path. `zero_copy` selects the response shape: a
+    /// `ReadBuf` hit on a handle-backed block answers with a refcounted
+    /// `DataBuf` slice (no memcpy, no copy charge); everything else copies
+    /// and is charged + counted.
+    fn do_read(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: Request,
+        lba: u64,
+        len: usize,
+        zero_copy: bool,
+    ) -> RespPayload {
+        ctx.advance(LOOKUP_NS);
+        if let Some(resp) = self.try_hit(ctx, lba, len, zero_copy) {
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            return resp;
+        }
+        // Miss: claim the lba so concurrent misses on the same block wait
+        // here instead of each fetching downstream, then re-check — the
+        // winner's insert turns the losers' misses into hits. (The old
+        // code dropped the lock, fetched, and re-locked: the classic
+        // double-fetch.)
+        let guard = self.inflight.claim(lba);
+        if let Some(resp) = self.try_hit(ctx, lba, len, zero_copy) {
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            return resp;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+        let resp = self.fwd(ctx, env, req.clone());
+        let entry = match &resp {
+            // Zero-copy downstream: cache the handle by refcount bump.
+            RespPayload::DataBuf(h) => Some(CacheData::Buf(h.clone())),
+            RespPayload::Data(d) => {
+                ctx.advance(copy_cost(d.len()));
+                labstor_ipc::note_payload_copy(d.len());
+                Some(CacheData::Vec(d.clone())) // copy-ok: legacy miss fill copies the fetched block into the cache; counted above
+            }
+            _ => None,
+        };
+        if let Some(data) = entry {
+            if let Err(e) = self.insert_and_flush(ctx, env, &req, lba, data, false) {
+                return e;
+            }
+        }
+        drop(guard);
+        resp
+    }
+
+    /// Answer from the cache if the block is resident and long enough.
+    fn try_hit(&self, ctx: &mut Ctx, lba: u64, len: usize, zero_copy: bool) -> Option<RespPayload> {
+        let mut cache = self.shard(lba).lock();
+        let block = cache.get(&lba).filter(|b| b.data.len() >= len)?;
+        if zero_copy {
+            if let CacheData::Buf(h) = &block.data {
+                // The zero-copy hit: a refcount bump, no bytes move.
+                let slice = h.slice(0, len)?;
+                return Some(RespPayload::DataBuf(slice));
+            }
+        }
+        let out = match &block.data {
+            CacheData::Vec(v) => {
+                labstor_ipc::note_payload_copy(len);
+                v[..len].to_vec() // copy-ok: legacy copying hit; counted above and charged below
+            }
+            CacheData::Buf(h) => h.slice(0, len)?.to_vec(), // copy-ok: legacy Read of a handle-backed block; to_vec self-counts
+        };
+        drop(cache);
+        ctx.advance(copy_cost(len));
+        Some(RespPayload::Data(out))
     }
 }
 
@@ -122,116 +274,65 @@ impl LabMod for LruCacheMod {
                 // buffer handed downstream — "the page cache takes 17% of
                 // time due to data copying" (Fig. 4a).
                 ctx.advance(LOOKUP_NS + 2 * copy_cost(data.len()));
-                let victims = {
-                    let mut cache = self.cache.lock();
-                    cache.insert(
-                        *lba,
-                        CacheBlock {
-                            data: data.clone(),
-                            dirty: self.write_back,
-                        },
-                    );
-                    Self::evict(&mut cache, self.capacity_blocks)
-                };
-                // Write-back: flush evicted dirty blocks downstream.
-                for (vlba, vdata) in victims {
-                    let mut flush = req.clone();
-                    flush.payload = Payload::Block(BlockOp::Write {
-                        lba: vlba,
-                        data: vdata,
-                    });
-                    let r = self.fwd(ctx, env, flush);
-                    if !r.is_ok() {
-                        return r;
-                    }
+                labstor_ipc::note_payload_copy(data.len());
+                let lba = *lba;
+                let cached = CacheData::Vec(data.clone()); // copy-ok: legacy write path copies into the cache; counted above
+                let held = data.len();
+                if let Err(e) = self.insert_and_flush(ctx, env, &req, lba, cached, self.write_back)
+                {
+                    return e;
                 }
                 if self.write_back {
-                    RespPayload::Len(data.len())
+                    RespPayload::Len(held)
+                } else {
+                    self.fwd(ctx, env, req)
+                }
+            }
+            Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+                // Zero-copy write: the cache keeps a refcount on the pool
+                // buffer — no memcpy, so only the lookup is charged.
+                ctx.advance(LOOKUP_NS);
+                let lba = *lba;
+                let cached = CacheData::Buf(buf.clone());
+                let held = buf.len();
+                if let Err(e) = self.insert_and_flush(ctx, env, &req, lba, cached, self.write_back)
+                {
+                    return e;
+                }
+                if self.write_back {
+                    RespPayload::Len(held)
                 } else {
                     self.fwd(ctx, env, req)
                 }
             }
             Payload::Block(BlockOp::Read { lba, len }) => {
-                ctx.advance(LOOKUP_NS);
-                let cached: Option<Vec<u8>> = {
-                    let mut cache = self.cache.lock();
-                    cache
-                        .get(lba)
-                        .filter(|b| b.data.len() >= *len)
-                        .map(|b| b.data[..*len].to_vec())
-                };
-                match cached {
-                    Some(data) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                        ctx.advance(copy_cost(data.len()));
-                        RespPayload::Data(data)
-                    }
-                    None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
-                        let lba = *lba;
-                        let (id, stack, creds, core, vertex) =
-                            (req.id, req.stack, req.creds, req.core, env.vertex);
-                        let resp = self.fwd(ctx, env, req);
-                        if let RespPayload::Data(data) = &resp {
-                            ctx.advance(copy_cost(data.len()));
-                            let mut cache = self.cache.lock();
-                            cache.insert(
-                                lba,
-                                CacheBlock {
-                                    data: data.clone(),
-                                    dirty: false,
-                                },
-                            );
-                            let victims = Self::evict(&mut cache, self.capacity_blocks);
-                            // Read-path eviction of dirty blocks re-queues
-                            // them; dropping writes is not an option.
-                            drop(cache);
-                            for (vlba, vdata) in victims {
-                                let mut flush = Request::new(
-                                    id,
-                                    stack,
-                                    Payload::Block(BlockOp::Write {
-                                        lba: vlba,
-                                        data: vdata,
-                                    }),
-                                    creds,
-                                );
-                                flush.vertex = vertex;
-                                flush.core = core;
-                                let r = self.fwd(ctx, env, flush);
-                                if !r.is_ok() {
-                                    return r;
-                                }
-                            }
-                        }
-                        resp
-                    }
-                }
+                let (lba, len) = (*lba, *len);
+                self.do_read(ctx, env, req, lba, len, false)
+            }
+            Payload::Block(BlockOp::ReadBuf { lba, len }) => {
+                let (lba, len) = (*lba, *len);
+                self.do_read(ctx, env, req, lba, len, true)
             }
             Payload::Block(BlockOp::Flush) => {
                 // Flush all dirty blocks, then pass the barrier down.
-                let dirty: Vec<(u64, Vec<u8>)> = {
-                    let mut cache = self.cache.lock();
+                let mut dirty: Vec<(u64, CacheData)> = Vec::new();
+                for shard in self.shards.iter() {
+                    let mut cache = shard.lock();
                     let lbas: Vec<u64> = cache
                         .iter()
                         .filter(|(_, b)| b.dirty)
                         .map(|(lba, _)| *lba)
                         .collect();
-                    lbas.into_iter()
-                        .filter_map(|lba| {
-                            cache.get(&lba).map(|b| {
-                                b.dirty = false;
-                                (lba, b.data.clone())
-                            })
-                        })
-                        .collect()
-                };
+                    for lba in lbas {
+                        if let Some(b) = cache.get(&lba) {
+                            b.dirty = false;
+                            dirty.push((lba, b.data.clone_counted()));
+                        }
+                    }
+                }
                 for (vlba, vdata) in dirty {
                     let mut w = req.clone();
-                    w.payload = Payload::Block(BlockOp::Write {
-                        lba: vlba,
-                        data: vdata,
-                    });
+                    w.payload = Self::victim_payload(vlba, vdata);
                     let r = self.fwd(ctx, env, w);
                     if !r.is_ok() {
                         return r;
@@ -260,15 +361,16 @@ impl LabMod for LruCacheMod {
         // Hot-swapping cache policies: warm state moves across.
         if let Some(prev) = old.as_any().downcast_ref::<LruCacheMod>() {
             self.perf.absorb(&prev.perf);
-            let mut mine = self.cache.lock();
-            let mut theirs = prev.cache.lock();
-            // Drain oldest-first so recency order is preserved on insert.
-            let mut entries = Vec::new();
-            while let Some(e) = theirs.pop_lru() {
-                entries.push(e);
-            }
-            for (lba, block) in entries {
-                mine.insert(lba, block);
+            // Drain oldest-first per shard so recency order is preserved
+            // on insert; handles migrate by refcount, vectors move.
+            for (lba, block) in prev.drain_blocks() {
+                self.shard(lba).lock().insert(
+                    lba,
+                    CacheBlock {
+                        data: block,
+                        dirty: false,
+                    },
+                );
             }
         }
     }
@@ -279,7 +381,7 @@ impl LabMod for LruCacheMod {
 }
 
 /// Register the factory. Params: `{"capacity_bytes": <n>, "write_back":
-/// <bool>}` (defaults: 64 MiB, write-through).
+/// <bool>, "shards": <n>}` (defaults: 64 MiB, write-through, 1 shard).
 pub fn install(mm: &ModuleManager) {
     mm.register_factory(
         "lru_cache",
@@ -292,7 +394,8 @@ pub fn install(mm: &ModuleManager) {
                 .get("write_back")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false);
-            Arc::new(LruCacheMod::new(cap, wb)) as Arc<dyn LabMod>
+            let shards = params.get("shards").and_then(|v| v.as_u64()).unwrap_or(1) as usize;
+            Arc::new(LruCacheMod::with_shards(cap, wb, shards)) as Arc<dyn LabMod>
         }),
     );
 }
@@ -308,6 +411,8 @@ mod tests {
         blocks: Mutex<std::collections::HashMap<u64, Vec<u8>>>,
         writes: AtomicU64,
         reads: AtomicU64,
+        /// Real-time stall per read, to widen race windows in tests.
+        read_stall: std::time::Duration,
     }
     impl MemDev {
         fn new() -> Self {
@@ -315,6 +420,7 @@ mod tests {
                 blocks: Mutex::new(std::collections::HashMap::new()),
                 writes: AtomicU64::new(0),
                 reads: AtomicU64::new(0),
+                read_stall: std::time::Duration::ZERO,
             }
         }
     }
@@ -333,8 +439,18 @@ mod tests {
                     self.blocks.lock().insert(lba, data);
                     RespPayload::Len(len)
                 }
-                Payload::Block(BlockOp::Read { lba, len }) => {
+                Payload::Block(BlockOp::WriteBuf { lba, buf }) => {
+                    self.writes.fetch_add(1, Ordering::Relaxed);
+                    let len = buf.len();
+                    self.blocks.lock().insert(lba, buf.to_vec());
+                    RespPayload::Len(len)
+                }
+                Payload::Block(BlockOp::Read { lba, len })
+                | Payload::Block(BlockOp::ReadBuf { lba, len }) => {
                     self.reads.fetch_add(1, Ordering::Relaxed);
+                    if !self.read_stall.is_zero() {
+                        std::thread::sleep(self.read_stall);
+                    }
                     match self.blocks.lock().get(&lba) {
                         Some(d) => RespPayload::Data(d[..len.min(d.len())].to_vec()),
                         None => RespPayload::Data(vec![0u8; len]),
@@ -352,10 +468,17 @@ mod tests {
     }
 
     fn setup(cache_params: serde_json::Value) -> (ModuleManager, LabStack, Arc<MemDev>) {
+        setup_with_dev(cache_params, MemDev::new())
+    }
+
+    fn setup_with_dev(
+        cache_params: serde_json::Value,
+        dev: MemDev,
+    ) -> (ModuleManager, LabStack, Arc<MemDev>) {
         let mm = ModuleManager::new();
         install(&mm);
         mm.instantiate("cache", "lru_cache", &cache_params).unwrap();
-        let dev = Arc::new(MemDev::new());
+        let dev = Arc::new(dev);
         mm.insert_instance("dev", dev.clone());
         let stack = LabStack {
             id: 1,
@@ -507,6 +630,74 @@ mod tests {
         let old = mm.get("cache").unwrap();
         let new_cache = LruCacheMod::new(64 << 20, false);
         new_cache.state_update(old.as_ref());
-        assert_eq!(new_cache.cache.lock().len(), 1, "warm block migrated");
+        assert_eq!(new_cache.shards[0].lock().len(), 1, "warm block migrated");
+    }
+
+    #[test]
+    fn writebuf_hit_answers_with_refcounted_slice() {
+        let (mm, stack, dev) = setup(serde_json::json!({}));
+        let mut ctx = Ctx::new();
+        let pool = labstor_ipc::BufferPool::new(labstor_ipc::PoolConfig {
+            classes: vec![(4096, 4)],
+        });
+        let mut buf = pool.alloc(4096).unwrap();
+        assert!(buf.fill(&[7u8; 4096]));
+        exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::WriteBuf { lba: 8, buf }),
+            &mut ctx,
+        );
+        assert_eq!(dev.writes.load(Ordering::Relaxed), 1, "write-through");
+        let r = exec(
+            &mm,
+            &stack,
+            Payload::Block(BlockOp::ReadBuf { lba: 8, len: 4096 }),
+            &mut ctx,
+        );
+        // A `DataBuf` response is structurally zero-copy: the handle is a
+        // refcounted view of the cached block. (Copy-counter deltas are
+        // asserted in the dedicated e2e integration test, which owns its
+        // process — the global counter races across parallel unit tests.)
+        match r {
+            RespPayload::DataBuf(h) => assert_eq!(h.as_slice(), &[7u8; 4096]),
+            other => panic!("expected DataBuf, got {other:?}"),
+        }
+        assert_eq!(dev.reads.load(Ordering::Relaxed), 0, "hit");
+    }
+
+    #[test]
+    fn racing_misses_fetch_downstream_exactly_once() {
+        // Regression for the drop-and-relock double-fetch: two threads
+        // miss on the same lba; the in-flight guard must hold the loser
+        // until the winner inserts, so the device sees ONE read.
+        let mut dev = MemDev::new();
+        dev.read_stall = std::time::Duration::from_millis(40);
+        dev.blocks.lock().insert(16, vec![3u8; 4096]);
+        let (mm, stack, dev) = setup_with_dev(serde_json::json!({"shards": 4}), dev);
+        std::thread::scope(|s| {
+            for delay_ms in [0u64, 10] {
+                let (mm, stack) = (&mm, &stack);
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    let mut ctx = Ctx::new();
+                    let r = exec(
+                        mm,
+                        stack,
+                        Payload::Block(BlockOp::Read { lba: 16, len: 4096 }),
+                        &mut ctx,
+                    );
+                    assert!(matches!(r, RespPayload::Data(d) if d == vec![3u8; 4096]));
+                });
+            }
+        });
+        assert_eq!(
+            dev.reads.load(Ordering::Relaxed),
+            1,
+            "in-flight guard must collapse racing misses into one fetch"
+        );
+        let cache = mm.get("cache").unwrap();
+        let lru = cache.as_any().downcast_ref::<LruCacheMod>().unwrap();
+        assert_eq!(lru.hit_stats(), (1, 1), "loser re-checks and hits");
     }
 }

@@ -111,7 +111,9 @@ impl LabMod for PermsMod {
             {
                 return denied(path);
             }
-            Payload::Kvs(KvsOp::Put { key, .. }) => {
+            // PutBuf is access-checked exactly like Put: the zero-copy
+            // payload representation must not bypass the ACL.
+            Payload::Kvs(KvsOp::Put { key, .. } | KvsOp::PutBuf { key, .. }) => {
                 if !self.check(&req, key, 0o2) {
                     return denied(key);
                 }

@@ -128,10 +128,14 @@ impl LabMod for BlkSwitchSchedMod {
         self.perf.observe(LAB_SCHED_NS);
         let is_latency = matches!(
             &req.payload,
-            Payload::Block(BlockOp::Read { len, .. }) if *len <= LATENCY_SIZE_BYTES
+            Payload::Block(BlockOp::Read { len, .. } | BlockOp::ReadBuf { len, .. })
+                if *len <= LATENCY_SIZE_BYTES
         ) || matches!(
             &req.payload,
             Payload::Block(BlockOp::Write { data, .. }) if data.len() <= LATENCY_SIZE_BYTES
+        ) || matches!(
+            &req.payload,
+            Payload::Block(BlockOp::WriteBuf { buf, .. }) if buf.len() <= LATENCY_SIZE_BYTES
         );
         let n = self.dev.num_queues();
         let qid = if is_latency {

@@ -7,8 +7,8 @@
 //! only the gate.
 
 use labstor_labcheck::{
-    explore, gate_mc_bug_configs, gate_mc_configs, lint_workspace, render_text, workspace_root,
-    Config,
+    explore, explore_rc, gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs,
+    gate_rc_configs, lint_workspace, render_text, workspace_root, Config,
 };
 
 #[test]
@@ -31,6 +31,20 @@ fn spsc_ring_passes_interleaving_model_check() {
         assert!(
             explore(&cfg).is_err(),
             "planted bug {:?} went undetected",
+            cfg.variant
+        );
+    }
+}
+
+#[test]
+fn buffer_pool_release_protocol_passes_model_check() {
+    for cfg in gate_rc_configs() {
+        explore_rc(&cfg).unwrap_or_else(|f| panic!("rc mc failed on {cfg:?}:\n{f}"));
+    }
+    for cfg in gate_rc_bug_configs() {
+        assert!(
+            explore_rc(&cfg).is_err(),
+            "planted refcount bug {:?} went undetected",
             cfg.variant
         );
     }

@@ -1,0 +1,87 @@
+//! End-to-end zero-copy proof: a LabFS `WriteBuf` → `ReadBuf` round trip
+//! through the full platform (client → IPC → worker → perms → LabFS →
+//! LRU cache) is byte-identical AND performs zero intermediate payload
+//! copies on the read-hit path, asserted via the global copy-counter
+//! hook (`labstor::ipc::payload_copies`).
+//!
+//! This file intentionally holds a single test: the counter is
+//! process-global, and rust integration-test files are separate
+//! processes, so the delta assertion cannot race with unrelated suites.
+
+use labstor::core::{Runtime, RuntimeConfig};
+use labstor::ipc::Credentials;
+use labstor::mods::{DeviceRegistry, GenericFs};
+use labstor::sim::DeviceKind;
+use std::sync::Arc;
+
+const SPEC: &str = r#"{
+    "mount": "fs::/zc",
+    "exec": "async",
+    "authorized_uids": [0],
+    "labmods": [
+        { "uuid": "zc_perm", "type": "permissions", "outputs": ["zc_fs"] },
+        { "uuid": "zc_fs", "type": "labfs", "params": {"device": "nvme0", "workers": 2}, "outputs": ["zc_lru"] },
+        { "uuid": "zc_lru", "type": "lru_cache", "params": {"capacity_bytes": 4194304}, "outputs": ["zc_drv"] },
+        { "uuid": "zc_drv", "type": "kernel_driver", "params": {"device": "nvme0"} }
+    ]
+}"#;
+
+const PAGE: usize = 4096;
+
+#[test]
+fn labfs_readbuf_round_trip_is_byte_identical_and_copy_free() {
+    let devices = DeviceRegistry::new();
+    devices.add_preset("nvme0", DeviceKind::Nvme);
+    let rt: Arc<Runtime> = Runtime::start(RuntimeConfig {
+        max_workers: 2,
+        ..Default::default()
+    });
+    labstor::mods::install_all(&rt.mm, &devices);
+    rt.mount_stack_json(SPEC).unwrap();
+    let mut fs = GenericFs::new(rt.connect(Credentials::new(1, 0, 0), 1));
+
+    // Fill a full page in place inside a pool buffer — the client-side
+    // half of the zero-copy contract — and write it through the stack.
+    let fd = fs.open("fs::/zc/hot.bin", true, false).unwrap();
+    let mut buf = labstor::ipc::default_pool()
+        .alloc(PAGE)
+        .expect("pool has a 4 KiB slot");
+    assert!(buf.write_with(|b| {
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = (i % 251) as u8;
+        }
+    }));
+    let expect: Vec<u8> = (0..PAGE).map(|i| (i % 251) as u8).collect();
+    assert_eq!(fs.write_buf(fd, buf).unwrap(), PAGE);
+    fs.fsync(fd).unwrap();
+
+    // The write-through cache now holds the block as a pool handle. A
+    // page-aligned single-page read must come back as refcount bumps end
+    // to end: LRU hit → DataBuf slice → LabFS slice → client handle.
+    fs.seek(fd, 0).unwrap();
+    let before = labstor::ipc::payload_copies();
+    let h = fs.read_buf(fd, PAGE).unwrap();
+    let after = labstor::ipc::payload_copies();
+    assert_eq!(h.len(), PAGE);
+    assert_eq!(h.as_slice(), &expect[..], "round trip is byte-identical");
+    assert_eq!(
+        after - before,
+        0,
+        "read-hit path must not copy payload bytes"
+    );
+
+    // Re-reading through a second handle shares the same cached page.
+    fs.seek(fd, 0).unwrap();
+    let before = labstor::ipc::payload_copies();
+    let h2 = fs.read_buf(fd, PAGE).unwrap();
+    assert_eq!(labstor::ipc::payload_copies() - before, 0);
+    assert_eq!(h2.as_slice(), h.as_slice());
+
+    // The legacy copying API still agrees on content (and is *allowed*
+    // to copy — no delta assertion here).
+    fs.seek(fd, 0).unwrap();
+    assert_eq!(fs.read(fd, PAGE).unwrap(), expect);
+
+    fs.close(fd).unwrap();
+    rt.shutdown();
+}
