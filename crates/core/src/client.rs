@@ -93,8 +93,15 @@ impl Client {
     /// shared memory, then submits `FsOp::WriteBuf { buf, .. }` so no
     /// stage ever copies them. Returns `None` when the pool is dry (fall
     /// back to the legacy `Vec` payload).
+    ///
+    /// The buffer comes back zeroed: pool slots are recycled process-wide
+    /// across clients and domains, so a partially filled buffer must not
+    /// leak another domain's stale payload bytes into storage.
     pub fn alloc_buf(&self, len: usize) -> Option<labstor_ipc::BufHandle> {
-        labstor_ipc::default_pool().alloc(len)
+        let mut h = labstor_ipc::default_pool().alloc(len)?;
+        let zeroed = h.write_with(|b| b.fill(0));
+        debug_assert!(zeroed, "fresh handle is unique");
+        Some(h)
     }
 
     /// The shared buffer pool this client allocates payload buffers from.

@@ -70,8 +70,12 @@ const CHUNK_BYTES: usize = 4096;
 
 struct Region {
     /// Independently locked fixed-size chunks; the last chunk may be
-    /// short. A region-spanning access locks only the chunks it touches,
-    /// in ascending order (consistent order ⇒ no lock cycles).
+    /// short. A region-spanning access acquires every chunk it touches up
+    /// front, in ascending index order (consistent order ⇒ no lock
+    /// cycles), and holds them all for the duration of the copy so a
+    /// multi-chunk write stays atomic with respect to a concurrent read
+    /// of the same span — the same guarantee the old region-wide RwLock
+    /// gave, without serializing accesses to disjoint chunks.
     chunks: Box<[RwLock<Box<[u8]>>]>,
     size: usize,
     grants: RwLock<HashSet<u32>>,
@@ -133,16 +137,30 @@ impl ShmRegionHandle {
             })
     }
 
+    /// Indices of the chunks a `[offset, offset+len)` span touches.
+    /// Caller guarantees `len > 0` and the span is in bounds.
+    fn chunk_range(offset: usize, len: usize) -> std::ops::RangeInclusive<usize> {
+        (offset / CHUNK_BYTES)..=((offset + len - 1) / CHUNK_BYTES)
+    }
+
     /// Copy bytes out of the region. Locks only the chunks the span
-    /// touches, so fills of disjoint buffers proceed in parallel.
+    /// touches (all up front, ascending, held for the whole copy), so
+    /// fills of disjoint buffers proceed in parallel while a read of a
+    /// multi-chunk span never observes a torn concurrent write.
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), ShmError> {
         self.bounds_check(offset, buf.len())?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let range = Self::chunk_range(offset, buf.len());
+        let first = *range.start();
+        let guards: Vec<_> = range.map(|i| self.region.chunks[i].read()).collect();
         let mut pos = offset;
         let mut copied = 0;
         while copied < buf.len() {
             let chunk_idx = pos / CHUNK_BYTES;
             let chunk_off = pos % CHUNK_BYTES;
-            let data = self.region.chunks[chunk_idx].read();
+            let data = &guards[chunk_idx - first];
             let n = (data.len() - chunk_off).min(buf.len() - copied);
             buf[copied..copied + n].copy_from_slice(&data[chunk_off..chunk_off + n]);
             pos += n;
@@ -151,15 +169,24 @@ impl ShmRegionHandle {
         Ok(())
     }
 
-    /// Copy bytes into the region, chunk by chunk in ascending order.
+    /// Copy bytes into the region. Same locking discipline as
+    /// [`ShmRegionHandle::read`]: every touched chunk is write-locked up
+    /// front in ascending order and held until the whole span is copied,
+    /// so the write is atomic with respect to concurrent readers.
     pub fn write(&self, offset: usize, buf: &[u8]) -> Result<(), ShmError> {
         self.bounds_check(offset, buf.len())?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let range = Self::chunk_range(offset, buf.len());
+        let first = *range.start();
+        let mut guards: Vec<_> = range.map(|i| self.region.chunks[i].write()).collect();
         let mut pos = offset;
         let mut copied = 0;
         while copied < buf.len() {
             let chunk_idx = pos / CHUNK_BYTES;
             let chunk_off = pos % CHUNK_BYTES;
-            let mut data = self.region.chunks[chunk_idx].write();
+            let data = &mut guards[chunk_idx - first];
             let n = (data.len() - chunk_off).min(buf.len() - copied);
             data[chunk_off..chunk_off + n].copy_from_slice(&buf[copied..copied + n]);
             pos += n;
@@ -326,6 +353,38 @@ mod tests {
         // Tail-exact write; one past it fails.
         h.write(3 * CHUNK_BYTES + 99, &[7]).unwrap();
         assert!(h.write(3 * CHUNK_BYTES + 100, &[7]).is_err());
+    }
+
+    #[test]
+    fn multi_chunk_write_is_atomic_wrt_concurrent_read() {
+        // Regression: chunk locks used to be taken and released one chunk
+        // at a time, so a reader could see half-old, half-new bytes of a
+        // write spanning the chunk boundary.
+        let m = ShmManager::new();
+        let id = m.create_region(2 * CHUNK_BYTES, 1);
+        let writer = m.attach(id, 1).unwrap();
+        let reader = m.attach(id, 1).unwrap();
+        let off = CHUNK_BYTES / 2; // span straddles chunks 0 and 1
+        let span = CHUNK_BYTES;
+        writer.write(off, &vec![0u8; span]).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..400u32 {
+                    writer.write(off, &vec![(i % 2) as u8; span]).unwrap();
+                }
+            });
+            s.spawn(move || {
+                let mut buf = vec![0u8; span];
+                for _ in 0..400 {
+                    reader.read(off, &mut buf).unwrap();
+                    let first = buf[0];
+                    assert!(
+                        buf.iter().all(|&b| b == first),
+                        "torn read across the chunk boundary"
+                    );
+                }
+            });
+        });
     }
 
     #[test]

@@ -295,53 +295,68 @@ impl PageCache {
         ctx.poll_until(end);
     }
 
+    /// Pop a zeroed full-page buffer straight off the pool, or `None`
+    /// when the pool is dry.
+    fn pool_page(&self) -> Option<BufHandle> {
+        let mut h = self.pool.alloc(PAGE_SIZE)?;
+        h.write_with(|b| b.fill(0));
+        Some(h)
+    }
+
+    /// Evict clean LRU pages from `inner` until a pool slot frees up.
+    /// Stops at the first dirty victim (pushed back as most-recent so it
+    /// is not lost) or when the shard runs out of pages.
+    fn shed_clean(&self, inner: &mut LruMap<PageKey, Page>) -> Option<BufHandle> {
+        while !inner.is_empty() {
+            match inner.pop_lru() {
+                Some((k, p)) if p.dirty => {
+                    inner.insert(k, p);
+                    return None;
+                }
+                Some(_) => {
+                    if let Some(h) = self.pool_page() {
+                        return Some(h);
+                    }
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
     /// Allocate a zeroed full-page buffer from the pool, evicting clean
     /// pages if the pool is pinned dry by in-flight reader handles.
+    ///
+    /// Must be called with NO shard lock held: the pool-dry fallback
+    /// locks `shard.inner` itself (and the shim mutex is non-reentrant),
+    /// and on a second failure walks every other shard shedding clean
+    /// pages — reclaimable memory elsewhere in the cache must not strand
+    /// this shard on the exhaustion panic.
     fn alloc_page(&self, shard: &Shard) -> BufHandle {
-        if let Some(mut h) = self.pool.alloc(PAGE_SIZE) {
-            h.write_with(|b| b.fill(0));
+        if let Some(h) = self.pool_page() {
             return h;
         }
         // Pool dry: shed clean pages from this shard to unpin slots.
         {
             let mut inner = shard.inner.lock();
-            while !inner.is_empty() {
-                match inner.pop_lru() {
-                    Some((k, p)) if p.dirty => {
-                        inner.insert(k, p);
-                        break;
-                    }
-                    Some(_) => {
-                        if let Some(mut h) = self.pool.alloc(PAGE_SIZE) {
-                            h.write_with(|b| b.fill(0));
-                            return h;
-                        }
-                    }
-                    None => break,
-                }
+            if let Some(h) = self.shed_clean(&mut inner) {
+                return h;
             }
         }
-        self.pool
-            .alloc(PAGE_SIZE)
-            .map(|mut h| {
-                h.write_with(|b| b.fill(0));
-                h
-            })
-            .expect("page-cache pool exhausted: too many pinned page handles")
-    }
-
-    /// Make `page` safely mutable: if readers share its buffer, swap in a
-    /// private copy first (copy-on-write) so their snapshots stay stable.
-    fn make_mut(&self, shard: &Shard, page: &mut Page) {
-        if page.data.is_unique() {
-            return;
+        // Still dry: clean pages resident in other shards pin pool slots
+        // too — shed those before giving up. One shard lock is held at a
+        // time, so there is no lock-order cycle.
+        for other in self.shards.iter() {
+            if std::ptr::eq(other, shard) {
+                continue;
+            }
+            let mut inner = other.inner.lock();
+            if let Some(h) = self.shed_clean(&mut inner) {
+                return h;
+            }
         }
-        let mut fresh = self.alloc_page(shard);
-        labstor_ipc::note_payload_copy(PAGE_SIZE);
-        // copy-ok: copy-on-write of a page pinned by reader handles; counted via note_payload_copy
-        let ok = fresh.fill(page.data.as_slice());
-        debug_assert!(ok, "fresh page is unique");
-        page.data = fresh;
+        self.pool_page()
+            .expect("page-cache pool exhausted: too many pinned page handles")
     }
 
     /// Evict down to the shard budget once it overshoots budget + slack,
@@ -379,22 +394,46 @@ impl PageCache {
             Self::charge_lock(shard, ctx);
             cost::copy(ctx, n);
             let mut inner = shard.inner.lock();
-            if inner.get(&key).is_none() {
-                let fresh = self.alloc_page(shard);
-                inner.insert(
-                    key,
-                    Page {
-                        data: fresh,
-                        dirty: false,
-                    },
-                );
+            let needs_fresh = match inner.get(&key) {
+                Some(page) => !page.data.is_unique(),
+                None => true,
+            };
+            if needs_fresh {
+                // The page is missing or pinned by reader snapshots.
+                // Release the shard lock before allocating — the pool-dry
+                // fallback in alloc_page takes shard locks itself — then
+                // re-look-up, since the world may have changed meanwhile.
+                drop(inner);
+                let mut fresh = self.alloc_page(shard);
+                inner = shard.inner.lock();
+                match inner.get(&key) {
+                    None => {
+                        inner.insert(
+                            key,
+                            Page {
+                                data: fresh,
+                                dirty: false,
+                            },
+                        );
+                    }
+                    Some(page) if !page.data.is_unique() => {
+                        // Copy-on-write: readers keep their snapshot.
+                        labstor_ipc::note_payload_copy(PAGE_SIZE);
+                        // copy-ok: copy-on-write of a page pinned by reader handles; counted via note_payload_copy
+                        let ok = fresh.fill(page.data.as_slice());
+                        debug_assert!(ok, "fresh page is unique");
+                        page.data = fresh;
+                    }
+                    // The last reader snapshot died while we were
+                    // unlocked; `fresh` drops back to the pool.
+                    Some(_) => {}
+                }
             }
-            let page = inner.get(&key).expect("just inserted");
-            self.make_mut(shard, page);
+            let page = inner.get(&key).expect("present under the held lock");
             let wrote = page
                 .data
                 .write_with(|b| b[pgoff..pgoff + n].copy_from_slice(&data[pos..pos + n]));
-            debug_assert!(wrote, "page unique after make_mut");
+            debug_assert!(wrote, "page unique under the held lock");
             page.dirty = true;
             self.evict_overflow(&mut inner, &mut evicted);
             drop(inner);
@@ -815,6 +854,47 @@ mod tests {
         assert!(h.as_slice().iter().all(|&b| b == 5));
         // The page is dirty and claimable for writeback.
         assert_eq!(pc.take_dirty(&mut ctx, Some(6)).len(), 1);
+    }
+
+    #[test]
+    fn write_sheds_clean_pages_when_pool_is_pinned_dry() {
+        // Regression: write() used to call alloc_page while holding the
+        // shard lock; the pool-dry fallback re-locked the same (non-
+        // reentrant) mutex and deadlocked exactly when the pool ran out.
+        let pc = PageCache::with_shards(8 * PAGE_SIZE, 4);
+        let mut ctx = Ctx::new();
+        for i in 0..8u64 {
+            pc.write(
+                &mut ctx,
+                1,
+                i * PAGE_SIZE as u64,
+                &[(i + 1) as u8; PAGE_SIZE],
+            );
+        }
+        // Mark everything clean (dropping the writeback snapshots).
+        drop(pc.take_dirty(&mut ctx, None));
+        // Pin a reader snapshot of page (1, 0) so re-writing it must CoW.
+        let (snap, hit) = pc
+            .read_page(&mut ctx, 1, 0, |_, _, _| panic!("resident"))
+            .unwrap();
+        assert!(hit);
+        // Drain the pool dry with directly held handles.
+        let mut pins = Vec::new();
+        while let Some(h) = pc.pool().alloc(PAGE_SIZE) {
+            pins.push(h);
+        }
+        assert_eq!(pc.pool().free_slots_for(PAGE_SIZE), 0);
+        // A write needing a fresh page (new key) must shed a clean page —
+        // from its own shard or any other — instead of deadlocking or
+        // panicking "pool exhausted".
+        assert!(pc.write(&mut ctx, 2, 0, &[0xAA; PAGE_SIZE]).is_empty());
+        // Copy-on-write of the snapshotted page under pool pressure too.
+        pc.write(&mut ctx, 1, 0, &[0xBB; PAGE_SIZE]);
+        assert!(snap.as_slice().iter().all(|&b| b == 1), "snapshot torn");
+        let mut out = vec![0u8; PAGE_SIZE];
+        pc.read(&mut ctx, 1, 0, &mut out, |_, _, _| panic!("resident"))
+            .unwrap();
+        assert!(out.iter().all(|&b| b == 0xBB));
     }
 
     #[test]

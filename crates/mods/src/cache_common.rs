@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use labstor_ipc::{note_payload_copy, BufHandle};
 
@@ -85,6 +85,10 @@ impl CacheData {
 #[derive(Default)]
 pub struct InflightSet {
     claimed: Mutex<HashSet<u64>>,
+    /// Signaled by [`InflightGuard`]'s drop so losers park instead of
+    /// burning a CPU spinning for the winner's (possibly slow, device-
+    /// bound) downstream fetch to finish.
+    released: Condvar,
 }
 
 impl InflightSet {
@@ -93,15 +97,14 @@ impl InflightSet {
         Self::default()
     }
 
-    /// Claim `lba`, waiting (yield-spin) while another miss holds it.
-    /// The returned guard releases the claim on drop.
+    /// Claim `lba`, parking on a condvar while another miss holds it.
+    /// The returned guard releases the claim (and wakes waiters) on drop.
     pub fn claim(&self, lba: u64) -> InflightGuard<'_> {
-        loop {
-            if self.claimed.lock().insert(lba) {
-                return InflightGuard { set: self, lba };
-            }
-            std::thread::yield_now();
+        let mut claimed = self.claimed.lock();
+        while !claimed.insert(lba) {
+            self.released.wait(&mut claimed);
         }
+        InflightGuard { set: self, lba }
     }
 }
 
@@ -114,6 +117,9 @@ pub struct InflightGuard<'a> {
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.set.claimed.lock().remove(&self.lba);
+        // Wake everyone: waiters on other lbas re-check and sleep again;
+        // waiters on this lba race to claim it (one wins, rest re-wait).
+        self.set.released.notify_all();
     }
 }
 
