@@ -10,8 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== labcheck (lints + interleaving model check)"
-cargo run -q -p labstor-labcheck
+echo "== labcheck (lints incl. lock discipline + interleaving model checks)"
+cargo run -q -p labstor-labcheck -- --report lockcheck-report.json
+test -s lockcheck-report.json
 
 echo "== cargo test"
 cargo test -q

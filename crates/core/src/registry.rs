@@ -136,7 +136,7 @@ impl ModuleManager {
     /// are untrusted unless root marks them otherwise. Enforces the
     /// configurable per-user repo limit.
     pub fn mount_repo(&self, name: &str, owner_uid: u32) -> Result<(), String> {
-        let mut repos = self.repos.write();
+        let mut repos = self.repos.write(); // lock-class: registry.repos
         if repos.contains_key(name) {
             return Err(format!("repo '{name}' already mounted"));
         }
@@ -162,7 +162,7 @@ impl ModuleManager {
 
     /// Unmount a repo (`unmount.repo`): only the owner or root.
     pub fn unmount_repo(&self, name: &str, uid: u32) -> Result<(), String> {
-        let mut repos = self.repos.write();
+        let mut repos = self.repos.write(); // lock-class: registry.repos
         let repo = repos
             .get(name)
             .ok_or_else(|| format!("repo '{name}' not mounted"))?;
@@ -175,7 +175,7 @@ impl ModuleManager {
 
     /// Look up a mounted repo.
     pub fn repo(&self, name: &str) -> Option<ModRepo> {
-        self.repos.read().get(name).cloned()
+        self.repos.read().get(name).cloned() // lock-class: registry.repos
     }
 
     /// Register a LabMod type as provided by `repo` (must be mounted).
@@ -185,14 +185,15 @@ impl ModuleManager {
         type_name: &str,
         factory: ModFactory,
     ) -> Result<(), String> {
+        // lock-class: registry.repos
         if !self.repos.read().contains_key(repo) {
             return Err(format!("repo '{repo}' not mounted"));
         }
         self.factory_repo
-            .write()
+            .write() // lock-class: registry.factories
             .insert(type_name.to_string(), repo.to_string());
         self.factories
-            .write()
+            .write() // lock-class: registry.factories
             .insert(type_name.to_string(), factory);
         Ok(())
     }
@@ -201,10 +202,11 @@ impl ModuleManager {
     /// the plain [`ModuleManager::register_factory`] count as built-in and
     /// trusted).
     pub fn type_is_trusted(&self, type_name: &str) -> bool {
+        // lock-class: registry.factories
         match self.factory_repo.read().get(type_name) {
             Some(repo) => self
                 .repos
-                .read()
+                .read() // lock-class: registry.repos
                 .get(repo)
                 .map(|r| r.trusted)
                 .unwrap_or(false),
@@ -218,13 +220,13 @@ impl ModuleManager {
     /// available).
     pub fn register_factory(&self, type_name: &str, factory: ModFactory) {
         self.factories
-            .write()
+            .write() // lock-class: registry.factories
             .insert(type_name.to_string(), factory);
     }
 
     /// True if a factory for `type_name` exists.
     pub fn has_factory(&self, type_name: &str) -> bool {
-        self.factories.read().contains_key(type_name)
+        self.factories.read().contains_key(type_name) // lock-class: registry.factories
     }
 
     /// Instantiate `type_name` under `uuid` unless that UUID already
@@ -241,31 +243,31 @@ impl ModuleManager {
         }
         let factory = self
             .factories
-            .read()
+            .read() // lock-class: registry.factories
             .get(type_name)
             .cloned()
             .ok_or_else(|| format!("no LabMod type '{type_name}' installed"))?;
         let instance = factory(params);
         self.registry
-            .write()
+            .write() // lock-class: registry.instances
             .insert(uuid.to_string(), instance.clone());
         Ok(instance)
     }
 
     /// Insert a pre-built instance (tests, in-process composition).
     pub fn insert_instance(&self, uuid: &str, instance: Arc<dyn LabMod>) {
-        self.registry.write().insert(uuid.to_string(), instance);
+        self.registry.write().insert(uuid.to_string(), instance); // lock-class: registry.instances
     }
 
     /// Look up an instance.
     pub fn get(&self, uuid: &str) -> Option<Arc<dyn LabMod>> {
-        self.registry.read().get(uuid).cloned()
+        self.registry.read().get(uuid).cloned() // lock-class: registry.instances
     }
 
     /// All `(uuid, instance)` pairs.
     pub fn instances(&self) -> Vec<(String, Arc<dyn LabMod>)> {
         self.registry
-            .read()
+            .read() // lock-class: registry.instances
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
@@ -283,12 +285,12 @@ impl ModuleManager {
 
     /// Queue an upgrade (the `modify.mods` API).
     pub fn request_upgrade(&self, req: UpgradeRequest) {
-        self.upgrades.lock().push(req);
+        self.upgrades.lock().push(req); // lock-class: registry.upgrades
     }
 
     /// Number of queued upgrades.
     pub fn pending_upgrades(&self) -> usize {
-        self.upgrades.lock().len()
+        self.upgrades.lock().len() // lock-class: registry.upgrades
     }
 
     /// Virtual time workers must fast-forward to after a pause.
@@ -309,7 +311,7 @@ impl ModuleManager {
         ipc: &IpcManager<Message>,
         workers_running: bool,
     ) -> usize {
-        let batch: Vec<UpgradeRequest> = std::mem::take(&mut *self.upgrades.lock());
+        let batch: Vec<UpgradeRequest> = std::mem::take(&mut *self.upgrades.lock()); // lock-class: registry.upgrades
         if batch.is_empty() {
             return 0;
         }
@@ -365,7 +367,7 @@ impl ModuleManager {
             // Build the replacement and pull state across.
             let built = self
                 .factories
-                .read()
+                .read() // lock-class: registry.factories
                 .get(&up.type_name)
                 .cloned()
                 .map(|f| f(&up.params));
@@ -374,7 +376,7 @@ impl ModuleManager {
                     new_instance.state_update(old.as_ref());
                     admin_ctx.advance(STATE_TRANSFER_NS);
                 }
-                self.registry.write().insert(up.uuid.clone(), new_instance);
+                self.registry.write().insert(up.uuid.clone(), new_instance); // lock-class: registry.instances
             }
             // Decentralized: propagate the swap to every connected client.
             if up.kind == UpgradeKind::Decentralized {

@@ -146,7 +146,7 @@ impl Runtime {
                 }
             })
             .expect("spawn admin thread");
-        *self.admin.lock() = Some(handle);
+        *self.admin.lock() = Some(handle); // lock-class: runtime.admin
     }
 
     /// One admin iteration: process queued upgrades, then rebalance.
@@ -161,12 +161,12 @@ impl Runtime {
     }
 
     fn workers_running(&self) -> bool {
-        !self.workers.lock().is_empty()
+        !self.workers.lock().is_empty() // lock-class: runtime.workers
     }
 
     /// Swap the orchestration policy live.
     pub fn set_policy(&self, policy: Arc<dyn OrchestratorPolicy>) {
-        *self.policy.lock() = policy;
+        *self.policy.lock() = policy; // lock-class: runtime.policy
         self.rebalance();
     }
 
@@ -189,7 +189,7 @@ impl Runtime {
     /// observes all workers current; paused means idle, never two
     /// consumers.
     pub fn rebalance(&self) {
-        let _coord = self.rebalance_coord.lock();
+        let _coord = self.rebalance_coord.lock(); // lock-class: runtime.coord
         self.rebalance_locked();
     }
 
@@ -198,14 +198,14 @@ impl Runtime {
     /// (callers must not start a new handoff underneath it).
     fn finish_pending_resume(&self) -> bool {
         let pending: Vec<Arc<QueuePair<Message>>> = {
-            let mut state = self.rebalance_state.lock();
+            let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
             std::mem::take(&mut state.pending_resume)
         };
         if pending.is_empty() {
             return true;
         }
         let all_current = {
-            let workers = self.workers.lock();
+            let workers = self.workers.lock(); // lock-class: runtime.workers
             workers.iter().all(|w| w.assignment_current())
         };
         if all_current {
@@ -214,7 +214,7 @@ impl Runtime {
             }
             true
         } else {
-            self.rebalance_state.lock().pending_resume = pending;
+            self.rebalance_state.lock().pending_resume = pending; // lock-class: runtime.state
             false
         }
     }
@@ -226,7 +226,7 @@ impl Runtime {
         }
         let queues = self.ipc.primary_queues();
         let wm = self.watermark.get();
-        let mut state = self.rebalance_state.lock();
+        let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
         let dt = wm.saturating_sub(state.last_wm);
         let loads: Vec<QueueLoad> = queues
             .iter()
@@ -269,7 +269,7 @@ impl Runtime {
         state.last_wm = wm;
         drop(state);
         let assignment = {
-            let policy = self.policy.lock();
+            let policy = self.policy.lock(); // lock-class: runtime.policy
             policy.rebalance(&loads, self.max_workers)
         };
         let shape: Vec<Vec<u64>> = assignment
@@ -281,7 +281,7 @@ impl Runtime {
             })
             .collect();
         let old_shape = {
-            let state = self.rebalance_state.lock();
+            let state = self.rebalance_state.lock(); // lock-class: runtime.state
             if state.last_shape == shape {
                 return; // sticky: identical grouping
             }
@@ -294,7 +294,7 @@ impl Runtime {
             .cloned()
             .collect();
         let all_current = {
-            let workers = self.workers.lock();
+            let workers = self.workers.lock(); // lock-class: runtime.workers
             if workers.is_empty() {
                 // Nobody to apply it: leave the shape uncommitted so the
                 // rebalance after `restart` re-derives the assignment.
@@ -347,7 +347,7 @@ impl Runtime {
         // 4. Commit, then resume the moved queues for their new
         //    consumers (or park them in `pending_resume` if a straggler
         //    worker still holds an old snapshot).
-        let mut state = self.rebalance_state.lock();
+        let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
         state.last_shape = shape;
         if all_current {
             for q in &moved_qs {
@@ -361,13 +361,13 @@ impl Runtime {
     /// Number of workers currently holding assignments (the "cores used"
     /// metric of Fig. 5a).
     pub fn active_workers(&self) -> usize {
-        self.workers.lock().iter().filter(|w| w.is_active()).count()
+        self.workers.lock().iter().filter(|w| w.is_active()).count() // lock-class: runtime.workers
     }
 
     /// Snapshot of per-worker `(virtual now, virtual busy)`.
     pub fn worker_clocks(&self) -> Vec<(u64, u64)> {
         self.workers
-            .lock()
+            .lock() // lock-class: runtime.workers
             .iter()
             .map(|w| (w.clock.now(), w.clock.busy()))
             .collect()
@@ -377,7 +377,7 @@ impl Runtime {
     pub fn total_processed(&self) -> u64 {
         // relaxed-ok: stat counter; readers tolerate lag
         self.workers
-            .lock()
+            .lock() // lock-class: runtime.workers
             .iter()
             .map(|w| w.processed.load(Ordering::Relaxed))
             .sum()
@@ -437,7 +437,7 @@ impl Runtime {
     pub fn crash(&self) {
         self.ipc.set_offline();
         {
-            let mut workers = self.workers.lock();
+            let mut workers = self.workers.lock(); // lock-class: runtime.workers
             for w in workers.iter_mut() {
                 w.stop();
             }
@@ -447,7 +447,7 @@ impl Runtime {
         // post-restart rebalance reassigns from scratch (no handoff — a
         // queue with no live consumer has nobody to quiesce), and
         // un-pause anything a timed-out handoff left parked.
-        let mut state = self.rebalance_state.lock();
+        let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
         state.last_shape.clear();
         for q in state.pending_resume.drain(..) {
             q.clear_update();
@@ -458,7 +458,7 @@ impl Runtime {
     /// back online.
     pub fn restart(&self) {
         {
-            let mut workers = self.workers.lock();
+            let mut workers = self.workers.lock(); // lock-class: runtime.workers
             if workers.is_empty() {
                 *workers = (0..self.max_workers)
                     .map(|i| {
@@ -475,10 +475,11 @@ impl Runtime {
     /// Stop everything.
     pub fn shutdown(&self) {
         self.admin_stop.store(true, Ordering::Release);
+        // lock-class: runtime.admin
         if let Some(h) = self.admin.lock().take() {
             let _ = h.join();
         }
-        let mut workers = self.workers.lock();
+        let mut workers = self.workers.lock(); // lock-class: runtime.workers
         for w in workers.iter_mut() {
             w.stop();
         }
@@ -495,6 +496,7 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.admin_stop.store(true, Ordering::Release);
+        // lock-class: runtime.admin
         if let Some(h) = self.admin.lock().take() {
             let _ = h.join();
         }

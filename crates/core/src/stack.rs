@@ -122,20 +122,20 @@ impl Namespace {
     /// an invalid DAG.
     pub fn mount(&self, mut stack: LabStack) -> Result<Arc<LabStack>, String> {
         stack.validate()?;
-        let mut by_mount = self.by_mount.write();
+        let mut by_mount = self.by_mount.write(); // lock-class: stack.mounts
         if by_mount.contains_key(&stack.mount) {
             return Err(format!("mount point {} already in use", stack.mount));
         }
         stack.id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let arc = Arc::new(stack);
         by_mount.insert(arc.mount.clone(), arc.clone());
-        self.by_id.write().insert(arc.id, arc.clone());
+        self.by_id.write().insert(arc.id, arc.clone()); // lock-class: stack.ids
         Ok(arc)
     }
 
     /// Unmount by mount point.
     pub fn unmount(&self, mount: &str, uid: u32) -> Result<(), String> {
-        let mut by_mount = self.by_mount.write();
+        let mut by_mount = self.by_mount.write(); // lock-class: stack.mounts
         let stack = by_mount
             .get(mount)
             .ok_or_else(|| format!("{mount} not mounted"))?;
@@ -144,25 +144,25 @@ impl Namespace {
         }
         let id = stack.id;
         by_mount.remove(mount);
-        self.by_id.write().remove(&id);
+        self.by_id.write().remove(&id); // lock-class: stack.ids
         Ok(())
     }
 
     /// Exact-mount lookup.
     pub fn get(&self, mount: &str) -> Option<Arc<LabStack>> {
-        self.by_mount.read().get(mount).cloned()
+        self.by_mount.read().get(mount).cloned() // lock-class: stack.mounts
     }
 
     /// Lookup by id.
     pub fn get_id(&self, id: StackId) -> Option<Arc<LabStack>> {
-        self.by_id.read().get(&id).cloned()
+        self.by_id.read().get(&id).cloned() // lock-class: stack.ids
     }
 
     /// GenericFS-style resolution: find the stack governing `path` by
     /// checking the path itself, then each ancestor. Returns the stack and
     /// the path remainder relative to the mount.
     pub fn resolve(&self, path: &str) -> Option<(Arc<LabStack>, String)> {
-        let by_mount = self.by_mount.read();
+        let by_mount = self.by_mount.read(); // lock-class: stack.mounts
         let mut probe = path.trim_end_matches('/');
         loop {
             if let Some(stack) = by_mount.get(probe) {
@@ -186,7 +186,7 @@ impl Namespace {
     /// Replace a mounted stack's DAG (the `modify_stack` command). The new
     /// DAG is validated; `uid` must be authorized.
     pub fn modify(&self, mount: &str, uid: u32, vertices: Vec<Vertex>) -> Result<(), String> {
-        let mut by_mount = self.by_mount.write();
+        let mut by_mount = self.by_mount.write(); // lock-class: stack.mounts
         let old = by_mount
             .get(mount)
             .ok_or_else(|| format!("{mount} not mounted"))?;
@@ -198,13 +198,13 @@ impl Namespace {
         new.validate()?;
         let arc = Arc::new(new);
         by_mount.insert(mount.to_string(), arc.clone());
-        self.by_id.write().insert(arc.id, arc);
+        self.by_id.write().insert(arc.id, arc); // lock-class: stack.ids
         Ok(())
     }
 
     /// All mounted stacks.
     pub fn stacks(&self) -> Vec<Arc<LabStack>> {
-        self.by_mount.read().values().cloned().collect()
+        self.by_mount.read().values().cloned().collect() // lock-class: stack.mounts
     }
 }
 

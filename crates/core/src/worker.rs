@@ -97,7 +97,7 @@ impl AssignmentCell {
     /// Publish a new assignment (orchestrator side) and bump the
     /// generation so the owning worker picks it up on its next pass.
     pub fn publish(&self, queues: Vec<Arc<QueuePair<Message>>>) {
-        *self.queues.write() = queues;
+        *self.queues.write() = queues; // lock-class: worker.queues
         self.generation.fetch_add(1, Ordering::Release);
     }
 
@@ -113,7 +113,7 @@ impl AssignmentCell {
 
     /// True when no queues are assigned.
     pub fn is_empty(&self) -> bool {
-        self.queues.read().is_empty()
+        self.queues.read().is_empty() // lock-class: worker.queues
     }
 
     /// Worker side: if the generation moved past `seen_gen`, replace
@@ -127,7 +127,7 @@ impl AssignmentCell {
             return false;
         }
         cache.clear();
-        cache.extend_from_slice(&self.queues.read());
+        cache.extend_from_slice(&self.queues.read()); // lock-class: worker.queues
         *seen_gen = g;
         self.seen.store(g, Ordering::Release);
         true

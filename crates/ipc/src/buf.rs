@@ -210,7 +210,7 @@ struct PoolInner {
     /// of two allocations onto one slot); free asserts it was present
     /// (free-exactly-once).
     #[cfg(debug_assertions)]
-    tracker: parking_lot::Mutex<std::collections::HashSet<(u16, u32)>>,
+    tracker: crate::lockwitness::OrderedMutex<std::collections::HashSet<(u16, u32)>>,
 }
 
 /// A size-classed, refcounted shared-memory buffer pool. Cheap to clone
@@ -241,7 +241,10 @@ impl BufferPool {
                 live: AtomicU64::new(0),
                 high_water: AtomicU64::new(0),
                 #[cfg(debug_assertions)]
-                tracker: parking_lot::Mutex::new(std::collections::HashSet::new()),
+                tracker: crate::lockwitness::OrderedMutex::new(
+                    &crate::lockwitness::POOL_TRACKER,
+                    std::collections::HashSet::new(),
+                ),
             }),
         }
     }
@@ -280,7 +283,7 @@ impl BufferPool {
                 self.inner.high_water.fetch_max(live, Ordering::Relaxed);
                 #[cfg(debug_assertions)]
                 {
-                    let fresh = self.inner.tracker.lock().insert((class_id, slot));
+                    let fresh = self.inner.tracker.lock().insert((class_id, slot)); // lock-class: pool.tracker
                     assert!(fresh, "buffer pool handed out an already-live slot");
                 }
                 return Some(BufHandle {
@@ -502,7 +505,7 @@ impl Drop for BufHandle {
             fence(Ordering::Acquire);
             #[cfg(debug_assertions)]
             {
-                let was_live = self.pool.tracker.lock().remove(&(self.class, self.slot));
+                let was_live = self.pool.tracker.lock().remove(&(self.class, self.slot)); // lock-class: pool.tracker
                 assert!(was_live, "buffer slot freed twice");
             }
             // relaxed-ok: stats counter

@@ -29,6 +29,7 @@
 pub mod buf;
 pub mod cost;
 pub mod credentials;
+pub mod lockwitness;
 pub mod manager;
 pub mod queue_pair;
 pub mod ring;
@@ -39,6 +40,7 @@ pub use buf::{
     PoolConfig,
 };
 pub use credentials::Credentials;
+pub use lockwitness::{LockClass, OrderedMutex, OrderedRwLock};
 pub use manager::{ClientConnection, IpcManager};
 pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};
 pub use ring::SpscRing;

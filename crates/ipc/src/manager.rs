@@ -71,7 +71,7 @@ impl<T> IpcManager<T> {
                 )
             })
             .collect();
-        self.connections.write().push((domain, creds));
+        self.connections.write().push((domain, creds)); // lock-class: ipc.conns
         ClientConnection {
             domain,
             creds,
@@ -92,7 +92,7 @@ impl<T> IpcManager<T> {
     pub fn alloc_queue_with_lane(&self, flags: QueueFlags, lane: LaneKind) -> Arc<QueuePair<T>> {
         let id = self.next_qid.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fresh-id allocation; atomicity alone suffices
         let qp = Arc::new(QueuePair::with_lane(id, self.depth, flags, lane));
-        self.qps.write().push(qp.clone());
+        self.qps.write().push(qp.clone()); // lock-class: ipc.qps
         qp
     }
 
@@ -100,7 +100,7 @@ impl<T> IpcManager<T> {
     /// on these).
     pub fn primary_queues(&self) -> Vec<Arc<QueuePair<T>>> {
         self.qps
-            .read()
+            .read() // lock-class: ipc.qps
             .iter()
             .filter(|q| q.flags().role == QueueRole::Primary)
             .cloned()
@@ -110,7 +110,7 @@ impl<T> IpcManager<T> {
     /// All intermediate queues.
     pub fn intermediate_queues(&self) -> Vec<Arc<QueuePair<T>>> {
         self.qps
-            .read()
+            .read() // lock-class: ipc.qps
             .iter()
             .filter(|q| q.flags().role == QueueRole::Intermediate)
             .cloned()
@@ -119,12 +119,12 @@ impl<T> IpcManager<T> {
 
     /// Every queue pair.
     pub fn all_queues(&self) -> Vec<Arc<QueuePair<T>>> {
-        self.qps.read().clone()
+        self.qps.read().clone() // lock-class: ipc.qps
     }
 
     /// Connected clients (domain, credentials).
     pub fn connections(&self) -> Vec<(u32, Credentials)> {
-        self.connections.read().clone()
+        self.connections.read().clone() // lock-class: ipc.conns
     }
 
     // ---- runtime liveness (crash recovery) --------------------------------

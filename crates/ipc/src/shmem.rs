@@ -16,6 +16,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::lockwitness::{OrderedRwLock, SHMEM_CHUNK};
+
 /// Errors from the shared-memory manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShmError {
@@ -76,7 +78,7 @@ struct Region {
     /// multi-chunk write stays atomic with respect to a concurrent read
     /// of the same span — the same guarantee the old region-wide RwLock
     /// gave, without serializing accesses to disjoint chunks.
-    chunks: Box<[RwLock<Box<[u8]>>]>,
+    chunks: Box<[OrderedRwLock<Box<[u8]>>]>,
     size: usize,
     grants: RwLock<HashSet<u32>>,
 }
@@ -84,10 +86,10 @@ struct Region {
 impl Region {
     fn with_size(size: usize) -> Self {
         let nchunks = size.div_ceil(CHUNK_BYTES).max(1);
-        let chunks: Box<[RwLock<Box<[u8]>>]> = (0..nchunks)
+        let chunks: Box<[OrderedRwLock<Box<[u8]>>]> = (0..nchunks)
             .map(|i| {
                 let len = (size - (i * CHUNK_BYTES).min(size)).min(CHUNK_BYTES);
-                RwLock::new(vec![0u8; len].into_boxed_slice())
+                OrderedRwLock::new(&SHMEM_CHUNK, vec![0u8; len].into_boxed_slice())
             })
             .collect();
         Region {
@@ -154,7 +156,7 @@ impl ShmRegionHandle {
         }
         let range = Self::chunk_range(offset, buf.len());
         let first = *range.start();
-        let guards: Vec<_> = range.map(|i| self.region.chunks[i].read()).collect();
+        let guards: Vec<_> = range.map(|i| self.region.chunks[i].read()).collect(); // lock-class: shmem.chunk
         let mut pos = offset;
         let mut copied = 0;
         while copied < buf.len() {
@@ -180,7 +182,7 @@ impl ShmRegionHandle {
         }
         let range = Self::chunk_range(offset, buf.len());
         let first = *range.start();
-        let mut guards: Vec<_> = range.map(|i| self.region.chunks[i].write()).collect();
+        let mut guards: Vec<_> = range.map(|i| self.region.chunks[i].write()).collect(); // lock-class: shmem.chunk
         let mut pos = offset;
         let mut copied = 0;
         while copied < buf.len() {
@@ -212,36 +214,37 @@ impl ShmManager {
     /// Allocate a region of `size` bytes, owned by (and granted to)
     /// `owner_pid`. Returns the region id.
     pub fn create_region(&self, size: usize, owner_pid: u32) -> u64 {
-        let mut next = self.next_id.write();
+        let mut next = self.next_id.write(); // lock-class: shmem.ids
         let id = *next;
         *next += 1;
         let region = Arc::new(Region::with_size(size));
-        region.grants.write().insert(owner_pid);
-        self.regions.write().insert(id, region);
+        region.grants.write().insert(owner_pid); // lock-class: shmem.grants
+        self.regions.write().insert(id, region); // lock-class: shmem.grants
         id
     }
 
     /// Grant `pid` the right to attach `region`.
     pub fn grant(&self, region: u64, pid: u32) -> Result<(), ShmError> {
-        let regions = self.regions.read();
+        let regions = self.regions.read(); // lock-class: shmem.regions
         let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
-        r.grants.write().insert(pid);
+        r.grants.write().insert(pid); // lock-class: shmem.grants
         Ok(())
     }
 
     /// Revoke `pid`'s grant. Existing handles stay valid (pages already
     /// mapped), future attaches fail.
     pub fn revoke(&self, region: u64, pid: u32) -> Result<(), ShmError> {
-        let regions = self.regions.read();
+        let regions = self.regions.read(); // lock-class: shmem.regions
         let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
-        r.grants.write().remove(&pid);
+        r.grants.write().remove(&pid); // lock-class: shmem.grants
         Ok(())
     }
 
     /// Map the region into `pid`'s address space.
     pub fn attach(&self, region: u64, pid: u32) -> Result<ShmRegionHandle, ShmError> {
-        let regions = self.regions.read();
+        let regions = self.regions.read(); // lock-class: shmem.regions
         let r = regions.get(&region).ok_or(ShmError::NoSuchRegion(region))?;
+        // lock-class: shmem.grants
         if !r.grants.read().contains(&pid) {
             return Err(ShmError::NotGranted { region, pid });
         }
@@ -255,7 +258,7 @@ impl ShmManager {
     /// id becomes invalid.
     pub fn destroy(&self, region: u64) -> Result<(), ShmError> {
         self.regions
-            .write()
+            .write() // lock-class: shmem.regions
             .remove(&region)
             .map(|_| ())
             .ok_or(ShmError::NoSuchRegion(region))
@@ -263,7 +266,7 @@ impl ShmManager {
 
     /// Number of live regions.
     pub fn region_count(&self) -> usize {
-        self.regions.read().len()
+        self.regions.read().len() // lock-class: shmem.regions
     }
 }
 

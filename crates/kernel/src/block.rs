@@ -75,12 +75,12 @@ impl BlockLayer {
     /// Swap the I/O scheduler (like writing to
     /// `/sys/block/<dev>/queue/scheduler`).
     pub fn set_sched(&self, sched: Arc<dyn KernelSched>) {
-        *self.sched.write() = sched;
+        *self.sched.write() = sched; // lock-class: block.sched
     }
 
     /// Name of the active scheduler.
     pub fn sched_name(&self) -> &'static str {
-        self.sched.read().name()
+        self.sched.read().name() // lock-class: block.sched
     }
 
     /// Allocate a unique request tag.
@@ -101,7 +101,7 @@ impl BlockLayer {
         ctx.advance(cost::BIO_ALLOC_NS + cost::BLOCK_LAYER_NS + cost::SCHED_DECIDE_NS);
         let qid = self
             .sched
-            .read()
+            .read() // lock-class: block.sched
             .select_queue(&self.dev, core, req.len, class);
         ctx.advance(cost::DRIVER_SUBMIT_NS);
         self.dev.submit_at(qid, req, ctx.now())?;
@@ -143,6 +143,7 @@ impl BlockLayer {
         mode: CompletionMode,
     ) -> Completion {
         loop {
+            // lock-class: block.stash
             if let Some(c) = self.stash.lock().remove(&tag) {
                 self.charge_completion(ctx, c.done_at, mode);
                 return c;
@@ -156,7 +157,7 @@ impl BlockLayer {
                     };
                     let batch = self.dev.poll(qid, ctx.now(), 64);
                     let mut found = None;
-                    let mut stash = self.stash.lock();
+                    let mut stash = self.stash.lock(); // lock-class: block.stash
                     for c in batch {
                         if c.tag == tag {
                             found = Some(c);

@@ -143,9 +143,9 @@ impl RawEngine {
             }
             IoEngineKind::IoUring => {
                 ctx.advance(SQE_WRITE_NS);
-                self.staged.lock().push((req, class, core));
-                // qid resolved at kick time; report the scheduler's static
-                // choice so wait() knows where to look.
+                self.staged.lock().push((req, class, core)); // lock-class: engines.staged
+                                                             // qid resolved at kick time; report the scheduler's static
+                                                             // choice so wait() knows where to look.
                 Ok(Token {
                     tag,
                     qid: usize::MAX,
@@ -160,7 +160,7 @@ impl RawEngine {
         if self.kind != IoEngineKind::IoUring {
             return Ok(Vec::new());
         }
-        let staged: Vec<_> = std::mem::take(&mut *self.staged.lock());
+        let staged: Vec<_> = std::mem::take(&mut *self.staged.lock()); // lock-class: engines.staged
         if staged.is_empty() {
             return Ok(Vec::new());
         }

@@ -254,7 +254,7 @@ impl KernelFs {
 
     /// Number of inodes (including the root).
     pub fn inode_count(&self) -> usize {
-        self.inodes.read().len()
+        self.inodes.read().len() // lock-class: fs.inodes
     }
 
     // ---- internal helpers ---------------------------------------------
@@ -265,25 +265,25 @@ impl KernelFs {
 
     /// Serialize on the metadata (journal/log) lock of a domain.
     fn take_meta_lock(&self, ctx: &mut Ctx, domain: usize) {
-        let (_, end) = self.meta_locks[domain].acquire(ctx.now(), self.profile.meta_hold_ns);
+        let (_, end) = self.meta_locks[domain].acquire(ctx.now(), self.profile.meta_hold_ns); // lock-class: fs.meta
         ctx.poll_until(end);
     }
 
     /// Serialize on the per-directory lock.
     fn take_dir_lock(&self, ctx: &mut Ctx, parent: u64) {
         let idx = (parent as usize) % self.dir_locks.len();
-        let (_, end) = self.dir_locks[idx].acquire(ctx.now(), 300);
+        let (_, end) = self.dir_locks[idx].acquire(ctx.now(), 300); // lock-class: fs.dir
         ctx.poll_until(end);
     }
 
     /// Append a journal record for one metadata operation.
     fn journal_append(&self, bytes: usize) {
-        self.journal.lock().pending_bytes += bytes;
+        self.journal.lock().pending_bytes += bytes; // lock-class: fs.journal
     }
 
     /// Allocate one data block in `domain`. Charges the allocator lock.
     fn alloc_block(&self, ctx: &mut Ctx, domain: usize) -> Result<u64, FsError> {
-        let (_, end) = self.alloc_locks[domain].acquire(ctx.now(), self.profile.alloc_hold_ns);
+        let (_, end) = self.alloc_locks[domain].acquire(ctx.now(), self.profile.alloc_hold_ns); // lock-class: fs.alloc
         ctx.poll_until(end);
         // Log-structured FSes allocate strictly sequentially from a single
         // head; in-place FSes allocate inside the inode's group.
@@ -303,7 +303,7 @@ impl KernelFs {
     fn resolve(&self, ctx: &mut Ctx, path: &str) -> Result<u64, FsError> {
         let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
         cost::path_walk(ctx, parts.len().max(1));
-        let inodes = self.inodes.read();
+        let inodes = self.inodes.read(); // lock-class: fs.inodes
         let mut cur = ROOT_INO;
         for part in parts {
             let node = inodes.get(&cur).ok_or(FsError::NotFound)?;
@@ -341,7 +341,7 @@ impl KernelFs {
         self.take_dir_lock(ctx, parent);
         self.take_meta_lock(ctx, self.domain_of(parent));
         ctx.advance(self.profile.create_cpu_ns);
-        let mut inodes = self.inodes.write();
+        let mut inodes = self.inodes.write(); // lock-class: fs.inodes
         let pnode = inodes.get(&parent).ok_or(FsError::NotFound)?;
         if pnode.kind != FileKind::Dir {
             return Err(FsError::NotDir);
@@ -377,7 +377,7 @@ impl KernelFs {
         // Resolve block numbers, dropping pages of unlinked inodes.
         let mut runs: Vec<(u64, Vec<u8>)> = Vec::new();
         {
-            let inodes = self.inodes.read();
+            let inodes = self.inodes.read(); // lock-class: fs.inodes
             let mut resolved: Vec<(u64, labstor_ipc::BufHandle)> = pages
                 .into_iter()
                 .filter_map(|p| {
@@ -409,7 +409,7 @@ impl KernelFs {
     /// Flush pending journal records sequentially into the journal region.
     fn journal_commit(&self, ctx: &mut Ctx, core: usize) -> Result<(), FsError> {
         let (bytes, start_block) = {
-            let mut j = self.journal.lock();
+            let mut j = self.journal.lock(); // lock-class: fs.journal
             let bytes = j.pending_bytes;
             j.pending_bytes = 0;
             let blocks = bytes.div_ceil(PAGE_SIZE) as u64;
@@ -486,7 +486,7 @@ impl Filesystem for KernelFs {
         {
             // Collect missing pages under the read lock, then allocate.
             let missing: Vec<u64> = {
-                let inodes = self.inodes.read();
+                let inodes = self.inodes.read(); // lock-class: fs.inodes
                 let node = inodes.get(&ino).ok_or(FsError::NotFound)?;
                 if node.kind == FileKind::Dir {
                     return Err(FsError::IsDir);
@@ -500,7 +500,7 @@ impl Filesystem for KernelFs {
                 for _ in &missing {
                     allocated.push(self.alloc_block(ctx, domain)?);
                 }
-                let mut inodes = self.inodes.write();
+                let mut inodes = self.inodes.write(); // lock-class: fs.inodes
                 let node = inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
                 for (p, b) in missing.into_iter().zip(allocated) {
                     node.blocks.entry(p).or_insert(b);
@@ -512,7 +512,7 @@ impl Filesystem for KernelFs {
         self.writeback(ctx, core, evicted)?;
         // Update size.
         {
-            let mut inodes = self.inodes.write();
+            let mut inodes = self.inodes.write(); // lock-class: fs.inodes
             let node = inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
             node.size = node.size.max(offset + data.len() as u64);
         }
@@ -533,7 +533,7 @@ impl Filesystem for KernelFs {
         buf: &mut [u8],
     ) -> Result<usize, FsError> {
         let size = {
-            let inodes = self.inodes.read();
+            let inodes = self.inodes.read(); // lock-class: fs.inodes
             let node = inodes.get(&ino).ok_or(FsError::NotFound)?;
             if node.kind == FileKind::Dir {
                 return Err(FsError::IsDir);
@@ -551,7 +551,7 @@ impl Filesystem for KernelFs {
             .cache
             .read(ctx, ino, offset, &mut buf[..n], |ctx, pgidx, page| {
                 let blockno = {
-                    let map = inodes.read();
+                    let map = inodes.read(); // lock-class: fs.inodes
                     map.get(&ino).and_then(|nd| nd.blocks.get(&pgidx)).copied()
                 };
                 match blockno {
@@ -592,7 +592,7 @@ impl Filesystem for KernelFs {
         self.take_dir_lock(ctx, parent);
         self.take_meta_lock(ctx, self.domain_of(parent));
         ctx.advance(self.profile.create_cpu_ns / 2);
-        let mut inodes = self.inodes.write();
+        let mut inodes = self.inodes.write(); // lock-class: fs.inodes
         let pnode = inodes.get(&parent).ok_or(FsError::NotFound)?;
         if !cred.allows(pnode.uid, pnode.gid, pnode.mode, 0o2) {
             return Err(FsError::Perm);
@@ -631,7 +631,7 @@ impl Filesystem for KernelFs {
         }
         self.take_meta_lock(ctx, self.domain_of(fparent));
         ctx.advance(self.profile.create_cpu_ns / 2);
-        let mut inodes = self.inodes.write();
+        let mut inodes = self.inodes.write(); // lock-class: fs.inodes
         for parent in [fparent, tparent] {
             let p = inodes.get(&parent).ok_or(FsError::NotFound)?;
             if !cred.allows(p.uid, p.gid, p.mode, 0o2) {
@@ -671,7 +671,7 @@ impl Filesystem for KernelFs {
     fn stat(&self, ctx: &mut Ctx, path: &str) -> Result<Stat, FsError> {
         let ino = self.resolve(ctx, path)?;
         ctx.advance(200);
-        let inodes = self.inodes.read();
+        let inodes = self.inodes.read(); // lock-class: fs.inodes
         let node = inodes.get(&ino).ok_or(FsError::NotFound)?;
         Ok(Stat {
             ino,
@@ -686,7 +686,7 @@ impl Filesystem for KernelFs {
 
     fn readdir(&self, ctx: &mut Ctx, path: &str) -> Result<Vec<String>, FsError> {
         let ino = self.resolve(ctx, path)?;
-        let inodes = self.inodes.read();
+        let inodes = self.inodes.read(); // lock-class: fs.inodes
         let node = inodes.get(&ino).ok_or(FsError::NotFound)?;
         if node.kind != FileKind::Dir {
             return Err(FsError::NotDir);
@@ -699,7 +699,7 @@ impl Filesystem for KernelFs {
         self.take_meta_lock(ctx, self.domain_of(ino));
         let old_size;
         {
-            let mut inodes = self.inodes.write();
+            let mut inodes = self.inodes.write(); // lock-class: fs.inodes
             let node = inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
             if node.kind == FileKind::Dir {
                 return Err(FsError::IsDir);

@@ -13,8 +13,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
-
+use labstor_ipc::lockwitness::{OrderedMutex, PAGECACHE_SHARD};
 use labstor_ipc::{BufHandle, BufferPool, PoolConfig};
 use labstor_sim::{Ctx, Resource};
 
@@ -194,7 +193,7 @@ pub struct Evicted {
 
 /// One cache shard: its own LRU, real mutex and virtual mapping lock.
 struct Shard {
-    inner: Mutex<LruMap<PageKey, Page>>,
+    inner: OrderedMutex<LruMap<PageKey, Page>>,
     /// Virtual-time serialization of tree/LRU manipulation (mapping lock).
     lock: Resource,
 }
@@ -246,7 +245,7 @@ impl PageCache {
         PageCache {
             shards: (0..shards)
                 .map(|_| Shard {
-                    inner: Mutex::new(LruMap::new()),
+                    inner: OrderedMutex::new(&PAGECACHE_SHARD, LruMap::new()),
                     lock: Resource::new(),
                 })
                 .collect(),
@@ -268,7 +267,7 @@ impl PageCache {
 
     /// Pages currently cached.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.inner.lock().len()).sum()
+        self.shards.iter().map(|s| s.inner.lock().len()).sum() // lock-class: pagecache.maplock
     }
 
     /// True when no pages are cached.
@@ -291,7 +290,7 @@ impl PageCache {
     /// Charge the per-page mapping-lock cost, serialized across threads
     /// *within a shard* (shards contend independently).
     fn charge_lock(shard: &Shard, ctx: &mut Ctx) {
-        let (_, end) = shard.lock.acquire(ctx.now(), cost::PAGE_LOOKUP_NS);
+        let (_, end) = shard.lock.acquire(ctx.now(), cost::PAGE_LOOKUP_NS); // lock-class: pagecache.maplock
         ctx.poll_until(end);
     }
 
@@ -338,7 +337,7 @@ impl PageCache {
         }
         // Pool dry: shed clean pages from this shard to unpin slots.
         {
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
             if let Some(h) = self.shed_clean(&mut inner) {
                 return h;
             }
@@ -350,7 +349,7 @@ impl PageCache {
             if std::ptr::eq(other, shard) {
                 continue;
             }
-            let mut inner = other.inner.lock();
+            let mut inner = other.inner.lock(); // lock-class: pagecache.maplock
             if let Some(h) = self.shed_clean(&mut inner) {
                 return h;
             }
@@ -393,7 +392,7 @@ impl PageCache {
             let shard = self.shard_of(&key);
             Self::charge_lock(shard, ctx);
             cost::copy(ctx, n);
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
             let needs_fresh = match inner.get(&key) {
                 Some(page) => !page.data.is_unique(),
                 None => true,
@@ -405,7 +404,7 @@ impl PageCache {
                 // re-look-up, since the world may have changed meanwhile.
                 drop(inner);
                 let mut fresh = self.alloc_page(shard);
-                inner = shard.inner.lock();
+                inner = shard.inner.lock(); // lock-class: pagecache.maplock
                 match inner.get(&key) {
                     None => {
                         inner.insert(
@@ -458,7 +457,7 @@ impl PageCache {
         let key = (ino, pgidx);
         let shard = self.shard_of(&key);
         Self::charge_lock(shard, ctx);
-        let mut inner = shard.inner.lock();
+        let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
         inner.insert(
             key,
             Page {
@@ -498,7 +497,7 @@ impl PageCache {
             let shard = self.shard_of(&key);
             Self::charge_lock(shard, ctx);
             let hit = {
-                let mut inner = shard.inner.lock();
+                let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
                 match inner.get(&key) {
                     Some(page) => {
                         labstor_ipc::note_payload_copy(n);
@@ -517,7 +516,7 @@ impl PageCache {
                     return Err(());
                 }
                 buf[pos..pos + n].copy_from_slice(&data.as_slice()[pgoff..pgoff + n]);
-                let mut inner = shard.inner.lock();
+                let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
                 inner.insert(key, Page { data, dirty: false });
                 while inner.len() > self.per_shard_pages {
                     // Dirty LRU victims must not be lost: push them back as
@@ -556,7 +555,7 @@ impl PageCache {
         let shard = self.shard_of(&key);
         Self::charge_lock(shard, ctx);
         {
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
             if let Some(page) = inner.get(&key) {
                 // copy-ok: BufHandle clone is a refcount bump, not a byte copy
                 return Ok((page.data.clone(), true));
@@ -570,7 +569,7 @@ impl PageCache {
         }
         // copy-ok: BufHandle clone is a refcount bump, not a byte copy
         let handle = data.clone();
-        let mut inner = shard.inner.lock();
+        let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
         inner.insert(key, Page { data, dirty: false });
         while inner.len() > self.per_shard_pages {
             match inner.pop_lru() {
@@ -595,7 +594,7 @@ impl PageCache {
         let mut out: Vec<Evicted> = Vec::new();
         for shard in &self.shards {
             Self::charge_lock(shard, ctx);
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
             let mut keys: Vec<PageKey> = inner
                 .iter()
                 .filter(|(k, p)| ino.is_none_or(|i| k.0 == i) && p.dirty)
@@ -620,7 +619,7 @@ impl PageCache {
     /// (truncate invalidation).
     pub fn invalidate_from(&self, ino: u64, from_page: u64) {
         for shard in &self.shards {
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
             let keys: Vec<PageKey> = inner
                 .iter()
                 .map(|(k, _)| *k)
@@ -641,7 +640,7 @@ impl PageCache {
     pub fn dirty_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.inner.lock().iter().filter(|(_, p)| p.dirty).count() * PAGE_SIZE)
+            .map(|s| s.inner.lock().iter().filter(|(_, p)| p.dirty).count() * PAGE_SIZE) // lock-class: pagecache.maplock
             .sum()
     }
 }
@@ -649,6 +648,29 @@ impl PageCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression harness for the PR 5 self-deadlock: `write`'s pool-dry
+    /// fallback used to call back into the shard while the caller still
+    /// held that shard's (non-reentrant) mutex. The shards now live on
+    /// `OrderedMutex`, so re-enacting the reverted shape — acquiring a
+    /// shard the thread already holds — panics in the witness instead of
+    /// deadlocking silently. If the fix is ever reverted, the cache tests
+    /// die here with both backtraces rather than hanging CI.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn witness_catches_reverted_pool_dry_shard_reentry() {
+        let cache = PageCache::new(4 * PAGE_SIZE);
+        let shard = &cache.shards[0];
+        let _held = shard.inner.lock(); // write()'s guard in the bug shape
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The reverted alloc_page fallback re-locking the same shard.
+            let _reacquired = shard.inner.lock();
+        }))
+        .expect_err("witness must catch the re-entrant shard acquisition");
+        let msg = err.downcast::<String>().map(|s| *s).unwrap_or_default();
+        assert!(msg.contains("self-deadlock"), "{msg}");
+        assert!(msg.contains("pagecache.shard"), "{msg}");
+    }
 
     #[test]
     fn lru_insert_get_evict() {

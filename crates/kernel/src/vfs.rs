@@ -210,14 +210,14 @@ impl Vfs {
 
     /// Mount `fs` at `prefix` (longest-prefix dispatch).
     pub fn mount(&self, prefix: &str, fs: Arc<dyn Filesystem>) {
-        let mut mounts = self.mounts.write();
+        let mut mounts = self.mounts.write(); // lock-class: vfs.mounts
         mounts.push((prefix.trim_end_matches('/').to_string(), fs));
         mounts.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
     }
 
     /// Resolve a path to `(filesystem, fs-relative path)`.
     fn route<'p>(&self, path: &'p str) -> Result<(Arc<dyn Filesystem>, &'p str), VfsError> {
-        let mounts = self.mounts.read();
+        let mounts = self.mounts.read(); // lock-class: vfs.mounts
         for (prefix, fs) in mounts.iter() {
             if let Some(rest) = path.strip_prefix(prefix.as_str()) {
                 if rest.is_empty() || rest.starts_with('/') || prefix.is_empty() {
@@ -235,7 +235,7 @@ impl Vfs {
         fd: i32,
         f: impl FnOnce(&mut OpenFile) -> R,
     ) -> Result<R, VfsError> {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write(); // lock-class: vfs.table
         let table = tables.get_mut(&pid).ok_or(VfsError::BadFd(fd))?;
         let file = table.open.get_mut(&fd).ok_or(VfsError::BadFd(fd))?;
         Ok(f(file))
@@ -270,7 +270,7 @@ impl Vfs {
         } else {
             0
         };
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write(); // lock-class: vfs.table
         let table = tables.entry(pid).or_default();
         table.next_fd += 1;
         let fd = table.next_fd;
@@ -289,7 +289,7 @@ impl Vfs {
     /// `close(2)`.
     pub fn close(&self, ctx: &mut Ctx, pid: u32, fd: i32) -> Result<(), VfsError> {
         cost::syscall(ctx);
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write(); // lock-class: vfs.table
         let table = tables.get_mut(&pid).ok_or(VfsError::BadFd(fd))?;
         table
             .open
@@ -454,7 +454,7 @@ impl Vfs {
     /// Duplicate a process's fd table into a child (fork/clone semantics;
     /// GenericFS intercepts the same calls on the LabStor side, §III-F).
     pub fn fork_fds(&self, parent: u32, child: u32) {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write(); // lock-class: vfs.table
         let copied: Option<FdTable> = tables.get(&parent).map(|t| FdTable {
             next_fd: t.next_fd,
             open: t
@@ -481,7 +481,7 @@ impl Vfs {
     /// Open fd count for a process.
     pub fn open_fds(&self, pid: u32) -> usize {
         self.tables
-            .read()
+            .read() // lock-class: vfs.table
             .get(&pid)
             .map(|t| t.open.len())
             .unwrap_or(0)

@@ -19,12 +19,16 @@
 //! `tests/labcheck_gate.rs` wire both halves into tier-1.
 
 pub mod lint;
+pub mod lockcheck;
 pub mod mc;
+pub mod mc_lock;
 pub mod mc_rc;
 pub mod scan;
 
 pub use lint::{lint_source, lint_workspace, render_json, render_text, Config, Diagnostic, Lint};
+pub use lockcheck::LockClassSpec;
 pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
+pub use mc_lock::{explore_lock, LockConfig, LockFailure, LockReport, LockVariant, LockViolation};
 pub use mc_rc::{explore_rc, RcConfig, RcFailure, RcReport, RcVariant, RcViolation};
 
 use std::path::PathBuf;
@@ -138,6 +142,36 @@ pub fn gate_rc_bug_configs() -> Vec<RcConfig> {
         RcConfig {
             clones: 2,
             variant: RcVariant::SubThenLoad,
+        },
+    ]
+}
+
+/// The lock-discipline configurations the binary and the tier-1 gate
+/// run: the fixed PR 5 protocols (pool-dry write, ascending chunk sweep)
+/// must pass every interleaving.
+pub fn gate_lock_configs() -> Vec<LockConfig> {
+    vec![
+        LockConfig {
+            variant: LockVariant::CorrectWrite,
+        },
+        LockConfig {
+            variant: LockVariant::CorrectChunks,
+        },
+    ]
+}
+
+/// Planted lock bugs the gate must catch: the PR 5 re-entrant shard, the
+/// pre-PR 5 descending chunk sweep, and shedding while holding a shard.
+pub fn gate_lock_bug_configs() -> Vec<LockConfig> {
+    vec![
+        LockConfig {
+            variant: LockVariant::ReentrantShard,
+        },
+        LockConfig {
+            variant: LockVariant::DescendingChunks,
+        },
+        LockConfig {
+            variant: LockVariant::HoldAcrossAlloc,
         },
     ]
 }

@@ -15,12 +15,16 @@
 //!   the default no-op `state_update`/`state_repair`
 //! - `// copy-ok: <reason>`           — permits a payload materialization
 //!   (`.to_vec()` / buffer `.clone()`) in a zero-copy data-path module
+//! - `// lock-class: <name>`          — names the registry class of a lock
+//!   acquisition (required on every acquisition in the governed crates;
+//!   see [`crate::lockcheck`])
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::lockcheck::{lint_lock_discipline, LockClassSpec};
 use crate::scan::SourceFile;
 
 /// Lint identifiers, stable across text and JSON output.
@@ -36,6 +40,12 @@ pub enum Lint {
     LabModContract,
     /// Payload materialization in a zero-copy data-path module.
     PayloadCopy,
+    /// Lock acquisition without a (valid) `lock-class` annotation.
+    LockAnnotation,
+    /// Nested acquisition violating the declared lock-class order.
+    LockOrder,
+    /// Re-acquisition of a held non-reentrant lock class.
+    LockReentry,
 }
 
 impl Lint {
@@ -47,6 +57,9 @@ impl Lint {
             Lint::UnsafeHygiene => "unsafe-hygiene",
             Lint::LabModContract => "labmod-contract",
             Lint::PayloadCopy => "payload-copy",
+            Lint::LockAnnotation => "lock-annotation",
+            Lint::LockOrder => "lock-order",
+            Lint::LockReentry => "lock-reentry",
         }
     }
 }
@@ -96,6 +109,12 @@ pub struct Config {
     /// Zero-copy data-path modules governed by the payload-copy lint
     /// (path suffixes, workspace-relative with `/` separators).
     pub copy_hot_paths: Vec<&'static str>,
+    /// The workspace lock-class registry: every lock acquisition in the
+    /// governed paths must name one of these classes, and nested
+    /// acquisitions must follow ascending rank (see `lockcheck`).
+    pub lock_classes: Vec<LockClassSpec>,
+    /// Path substrings selecting the crates governed by the lock lints.
+    pub lock_paths: Vec<&'static str>,
 }
 
 impl Config {
@@ -140,6 +159,62 @@ impl Config {
                 "crates/mods/src/compress.rs",
                 "crates/mods/src/drivers.rs",
             ],
+            // The lock-class registry (DESIGN.md §7 "Lock classes &
+            // ordering"). Ranks are acquired ascending; gaps leave room
+            // for new classes without renumbering. The order encodes the
+            // real nesting facts of the workspace: the Runtime rebalance
+            // holds its coordinator and worker-set locks while touching
+            // per-worker queues and rebalance state; the module stack
+            // holds `by_mount` while updating `by_id`; the filesystem
+            // appends to the journal under the inode table; the page
+            // cache may consult the pool's debug tracker under a shard;
+            // and ShMem's id counter is held while the region map and
+            // grant sets are updated.
+            lock_classes: vec![
+                LockClassSpec::lock("runtime.coord", 10),
+                LockClassSpec::lock("runtime.workers", 20),
+                LockClassSpec::lock("runtime.state", 30),
+                LockClassSpec::lock("runtime.policy", 32),
+                LockClassSpec::lock("runtime.admin", 34),
+                LockClassSpec::lock("registry.factories", 40),
+                LockClassSpec::lock("registry.repos", 42),
+                LockClassSpec::lock("registry.instances", 44),
+                LockClassSpec::lock("registry.upgrades", 46),
+                LockClassSpec::lock("stack.mounts", 48),
+                LockClassSpec::lock("stack.ids", 49),
+                LockClassSpec::lock("worker.queues", 50),
+                LockClassSpec::lock("vfs.mounts", 54),
+                LockClassSpec::lock("vfs.table", 56),
+                LockClassSpec::lock("ipc.conns", 58),
+                LockClassSpec::lock("ipc.qps", 59),
+                LockClassSpec::lock("fs.inodes", 60),
+                LockClassSpec::lock("fs.journal", 62),
+                LockClassSpec::lock("block.sched", 64),
+                LockClassSpec::lock("block.stash", 66),
+                LockClassSpec::lock("engines.staged", 68),
+                LockClassSpec::lock("pagecache.shard", 70),
+                LockClassSpec::lock("shmem.ids", 72),
+                LockClassSpec::lock("shmem.regions", 74),
+                LockClassSpec::lock("shmem.grants", 76),
+                LockClassSpec::ordered("shmem.chunk", 78),
+                LockClassSpec::lock("sim.queue", 80),
+                LockClassSpec::ordered("sim.chunk", 82),
+                LockClassSpec::lock("pool.tracker", 90),
+                // Virtual-time Resources: reservations return a time
+                // window, not a guard, so they participate in annotation
+                // coverage but never in hold tracking.
+                LockClassSpec::resource("pagecache.maplock"),
+                LockClassSpec::resource("fs.meta"),
+                LockClassSpec::resource("fs.dir"),
+                LockClassSpec::resource("fs.alloc"),
+                LockClassSpec::resource("sim.channel"),
+            ],
+            lock_paths: vec![
+                "crates/kernel/src/",
+                "crates/ipc/src/",
+                "crates/core/src/",
+                "crates/sim/src/",
+            ],
         }
     }
 }
@@ -152,6 +227,7 @@ pub fn lint_file(cfg: &Config, file: &SourceFile) -> Vec<Diagnostic> {
     lint_unsafe_hygiene(file, &mut diags);
     lint_labmod_contract(file, &mut diags);
     lint_payload_copy(cfg, file, &mut diags);
+    lint_lock_discipline(cfg, file, &mut diags);
     diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
     diags
 }
@@ -202,14 +278,13 @@ fn lint_hot_path_panic(cfg: &Config, file: &SourceFile, diags: &mut Vec<Diagnost
         if !file.name.ends_with(hp.file_suffix) {
             continue;
         }
-        let (start, end) = match hp.function {
-            Some(name) => match file.fn_extent(name) {
-                Some(extent) => extent,
-                None => continue,
-            },
-            None => (0, file.lines.len().saturating_sub(1)),
+        // A named function may occur several times (impl blocks for
+        // different types reusing a method name): lint every extent.
+        let extents = match hp.function {
+            Some(name) => file.fn_extents(name),
+            None => vec![(0, file.lines.len().saturating_sub(1))],
         };
-        for idx in start..=end {
+        for idx in extents.into_iter().flat_map(|(s, e)| s..=e) {
             let line = &file.lines[idx];
             let trimmed = line.code.trim_start();
             if line.in_test || trimmed.starts_with('#') {

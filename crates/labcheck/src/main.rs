@@ -1,31 +1,45 @@
-//! `labcheck` binary: lint the workspace, then model-check the SPSC ring.
+//! `labcheck` binary: lint the workspace, then model-check the SPSC ring,
+//! the refcount-release protocol, and the lock-acquisition discipline.
 //!
-//! Usage: `cargo run -p labstor-labcheck [--json] [--lints-only | --mc-only]`
+//! Usage: `cargo run -p labstor-labcheck [--json] [--report <path>]
+//! [--lints-only | --mc-only]`
 //!
 //! Exit status 0 means the workspace is clean and every model-checker run
 //! behaved (correct variants pass exhaustively, planted bugs are caught);
 //! anything else exits 1 with `file:line` diagnostics (or a JSON array
-//! with `--json`) and/or a counterexample schedule.
+//! with `--json`) and/or a counterexample schedule. `--report` writes the
+//! lint diagnostics as JSON to a file regardless of the console format —
+//! CI uploads it as the `lockcheck-report` artifact.
 
 use std::process::ExitCode;
 
 use labstor_labcheck::{
-    explore, explore_rc, gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs,
-    gate_rc_configs, lint_workspace, render_json, render_text, workspace_root, Config,
+    explore, explore_lock, explore_rc, gate_lock_bug_configs, gate_lock_configs,
+    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
+    render_json, render_text, workspace_root, Config,
 };
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut lints_only = false;
     let mut mc_only = false;
-    for arg in std::env::args().skip(1) {
+    let mut report: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--lints-only" => lints_only = true,
             "--mc-only" => mc_only = true,
+            "--report" => match args.next() {
+                Some(path) => report = Some(path),
+                None => {
+                    eprintln!("labcheck: --report needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("labcheck: unknown argument `{other}`");
-                eprintln!("usage: labcheck [--json] [--lints-only | --mc-only]");
+                eprintln!("usage: labcheck [--json] [--report <path>] [--lints-only | --mc-only]");
                 return ExitCode::from(2);
             }
         }
@@ -33,7 +47,7 @@ fn main() -> ExitCode {
 
     if lints_only && mc_only {
         eprintln!("labcheck: --lints-only and --mc-only are mutually exclusive");
-        eprintln!("usage: labcheck [--json] [--lints-only | --mc-only]");
+        eprintln!("usage: labcheck [--json] [--report <path>] [--lints-only | --mc-only]");
         return ExitCode::from(2);
     }
 
@@ -43,6 +57,12 @@ fn main() -> ExitCode {
         let root = workspace_root();
         match lint_workspace(&Config::labstor(), &root) {
             Ok(diags) => {
+                if let Some(path) = &report {
+                    if let Err(e) = std::fs::write(path, render_json(&diags)) {
+                        eprintln!("labcheck: cannot write report {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
                 if json {
                     print!("{}", render_json(&diags));
                 } else if diags.is_empty() {
@@ -118,6 +138,31 @@ fn main() -> ExitCode {
                 failed = true;
             } else if !json {
                 println!("labcheck: rc caught planted bug {:?}", cfg.variant);
+            }
+        }
+        // And for the lock-acquisition discipline (the PR 5 deadlock shape).
+        for cfg in gate_lock_configs() {
+            match explore_lock(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: lock ok  {:?} ({} states, {} transitions, {} terminals)",
+                            cfg.variant, report.states, report.transitions, report.terminals
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: lock FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        for cfg in gate_lock_bug_configs() {
+            if explore_lock(&cfg).is_ok() {
+                eprintln!("labcheck: lock MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: lock caught planted bug {:?}", cfg.variant);
             }
         }
     }

@@ -1,0 +1,458 @@
+//! Deterministic interleaving model checker for the lock-witness
+//! acquire/release state machine.
+//!
+//! The runtime lock witness (`labstor_ipc::lockwitness`) enforces, per
+//! thread, the registry discipline from DESIGN.md §7: classes are
+//! acquired in ascending rank, a non-reentrant class is never acquired
+//! while held (not even a different instance), and a `nest_within` class
+//! (the ShMem chunk sweep) may stack only in ascending instance order.
+//! This checker exercises those rules against exhaustive two-thread
+//! interleavings (visited-set BFS, same technique as [`crate::mc`] /
+//! [`crate::mc_rc`]) of small lock programs modeled on the real PR 5
+//! protocols:
+//!
+//! - [`LockVariant::CorrectWrite`] — the *fixed* `PageCache::write` on a
+//!   pool-dry cache: lock shard / unlock / shed own shard / shed the
+//!   other shard (one at a time) / re-lock / touch the pool tracker under
+//!   the shard. Never holds two shards; tracker nests ascending. Passes.
+//! - [`LockVariant::CorrectChunks`] — the fixed multi-chunk ShMem
+//!   access: both threads sweep chunk 0 → chunk 1 ascending. Passes.
+//! - [`LockVariant::ReentrantShard`] — the PR 5 bug: the pool-dry
+//!   fallback re-acquires the shard the caller already holds. The
+//!   witness rule catches it as a self-deadlock on every schedule.
+//! - [`LockVariant::DescendingChunks`] — the pre-PR 5 chunk sweep: one
+//!   thread locks chunk 1 → chunk 0. Instance order inverts (and the
+//!   ABBA deadlock exists); the witness flags the descending acquire.
+//! - [`LockVariant::HoldAcrossAlloc`] — shedding from another shard
+//!   *while still holding your own*: two threads on opposite shards
+//!   deadlock ABBA. The same-class double-hold rule flags it first.
+//!
+//! A deadlocked schedule (every unfinished thread blocked) is kept as a
+//! backstop violation, so the checker stays sound even for bugs the
+//! witness rules would miss.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One lock instance in the model: registry class plus instance index.
+#[derive(Debug, Clone, Copy)]
+struct LockSpec {
+    name: &'static str,
+    rank: u16,
+    /// Instance index within the class (the address order the runtime
+    /// witness compares for `nest_within` classes).
+    instance: u8,
+    nest_within: bool,
+}
+
+/// One atomic step of a thread's lock program.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Acq(usize),
+    Rel(usize),
+}
+
+/// Lock protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockVariant {
+    /// The fixed pool-dry `PageCache::write`: drop before alloc, shed one
+    /// shard at a time, tracker nests above the shard.
+    CorrectWrite,
+    /// The fixed ShMem span access: chunks acquired ascending up front.
+    CorrectChunks,
+    /// Planted PR 5 bug: re-acquire the held shard in the dry fallback.
+    ReentrantShard,
+    /// Planted bug: one thread sweeps chunks in descending order.
+    DescendingChunks,
+    /// Planted bug: shed another shard while holding your own.
+    HoldAcrossAlloc,
+}
+
+/// Model-checker configuration (the variant fixes both threads' programs).
+#[derive(Debug, Clone, Copy)]
+pub struct LockConfig {
+    /// Protocol under test.
+    pub variant: LockVariant,
+}
+
+/// Discipline violation detected mid-exploration or at quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockViolation {
+    /// A thread acquired a lock it already holds (non-reentrant mutex:
+    /// guaranteed deadlock).
+    SelfDeadlock {
+        /// The acquiring thread.
+        thread: usize,
+        /// The re-acquired lock.
+        lock: &'static str,
+    },
+    /// An acquisition inverted the declared class/instance order.
+    OrderViolation {
+        /// The acquiring thread.
+        thread: usize,
+        /// A lock it holds that outranks the new one.
+        held: &'static str,
+        /// The out-of-order acquisition.
+        acquiring: &'static str,
+    },
+    /// Every unfinished thread is blocked on a held lock.
+    Deadlock,
+    /// A thread finished its program still holding a lock.
+    HeldAtExit {
+        /// The finishing thread.
+        thread: usize,
+        /// The lock never released.
+        lock: &'static str,
+    },
+}
+
+/// A violation plus the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct LockFailure {
+    /// What went wrong.
+    pub violation: LockViolation,
+    /// Step labels from the initial state to the violating step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for LockFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {:?}", self.violation)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct LockReport {
+    /// Distinct joint states reached.
+    pub states: usize,
+    /// Scheduler transitions taken.
+    pub transitions: usize,
+    /// Number of distinct quiescent states.
+    pub terminals: usize,
+}
+
+const FREE: u8 = u8::MAX;
+const MAX_LOCKS: usize = 3;
+
+/// Joint state: lock owners (thread id or [`FREE`]) and per-thread pc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    owners: [u8; MAX_LOCKS],
+    pcs: [u8; 2],
+}
+
+/// The lock set and the two thread programs of a variant. The model's
+/// lock classes mirror the workspace registry: `pagecache.shard` rank 70
+/// (non-reentrant), `shmem.chunk` rank 78 (`nest_within`), `pool.tracker`
+/// rank 90.
+fn programs(variant: LockVariant) -> (Vec<LockSpec>, [Vec<Step>; 2]) {
+    let shard = |i: u8| LockSpec {
+        name: if i == 0 {
+            "pagecache.shard#0"
+        } else {
+            "pagecache.shard#1"
+        },
+        rank: 70,
+        instance: i,
+        nest_within: false,
+    };
+    let chunk = |i: u8| LockSpec {
+        name: if i == 0 {
+            "shmem.chunk#0"
+        } else {
+            "shmem.chunk#1"
+        },
+        rank: 78,
+        instance: i,
+        nest_within: true,
+    };
+    let tracker = LockSpec {
+        name: "pool.tracker",
+        rank: 90,
+        instance: 0,
+        nest_within: false,
+    };
+    use Step::{Acq, Rel};
+    match variant {
+        // Locks: [shard0, shard1, tracker]. Each thread writes a key in
+        // its own shard with the pool dry: lock / miss / unlock; shed own
+        // shard; shed the *other* shard; re-lock own; drop a BufHandle
+        // into the tracker under the shard; unlock.
+        LockVariant::CorrectWrite => (
+            vec![shard(0), shard(1), tracker],
+            [
+                vec![
+                    Acq(0),
+                    Rel(0),
+                    Acq(0),
+                    Rel(0),
+                    Acq(1),
+                    Rel(1),
+                    Acq(0),
+                    Acq(2),
+                    Rel(2),
+                    Rel(0),
+                ],
+                vec![
+                    Acq(1),
+                    Rel(1),
+                    Acq(1),
+                    Rel(1),
+                    Acq(0),
+                    Rel(0),
+                    Acq(1),
+                    Acq(2),
+                    Rel(2),
+                    Rel(1),
+                ],
+            ],
+        ),
+        // Locks: [chunk0, chunk1]. Both threads sweep a two-chunk span in
+        // ascending order — the fixed ShMem protocol.
+        LockVariant::CorrectChunks => (
+            vec![chunk(0), chunk(1)],
+            [
+                vec![Acq(0), Acq(1), Rel(1), Rel(0)],
+                vec![Acq(0), Acq(1), Rel(1), Rel(0)],
+            ],
+        ),
+        // The PR 5 shape: thread 0's dry fallback re-locks its own shard.
+        LockVariant::ReentrantShard => (
+            vec![shard(0), shard(1)],
+            [vec![Acq(0), Acq(0), Rel(0), Rel(0)], vec![Acq(1), Rel(1)]],
+        ),
+        // Thread 1 sweeps the same span descending: ABBA with thread 0.
+        LockVariant::DescendingChunks => (
+            vec![chunk(0), chunk(1)],
+            [
+                vec![Acq(0), Acq(1), Rel(1), Rel(0)],
+                vec![Acq(1), Acq(0), Rel(0), Rel(1)],
+            ],
+        ),
+        // Each thread holds its own shard while shedding the other: ABBA
+        // on the two shard instances of one non-reentrant class.
+        LockVariant::HoldAcrossAlloc => (
+            vec![shard(0), shard(1)],
+            [
+                vec![Acq(0), Acq(1), Rel(1), Rel(0)],
+                vec![Acq(1), Acq(0), Rel(0), Rel(1)],
+            ],
+        ),
+    }
+}
+
+/// Exhaustively explore all interleavings. `Ok` carries statistics;
+/// `Err` carries the first violation found plus its schedule.
+pub fn explore_lock(cfg: &LockConfig) -> Result<LockReport, LockFailure> {
+    let (locks, progs) = programs(cfg.variant);
+    assert!(locks.len() <= MAX_LOCKS);
+    let init = State {
+        owners: [FREE; MAX_LOCKS],
+        pcs: [0; 2],
+    };
+
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut parent: HashMap<State, (State, String)> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    visited.insert(init);
+    queue.push_back(init);
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    while let Some(state) = queue.pop_front() {
+        let done = |tid: usize| state.pcs[tid] as usize >= progs[tid].len();
+        if (0..2).all(done) {
+            terminals += 1;
+            for (li, &owner) in state.owners.iter().enumerate() {
+                if owner != FREE {
+                    return Err(fail(
+                        LockViolation::HeldAtExit {
+                            thread: owner as usize,
+                            lock: locks[li].name,
+                        },
+                        &state,
+                        None,
+                        &parent,
+                    ));
+                }
+            }
+            continue;
+        }
+        let mut any_step = false;
+        for tid in 0..2 {
+            if done(tid) {
+                continue;
+            }
+            match progs[tid][state.pcs[tid] as usize] {
+                Step::Acq(li) => {
+                    let lock = locks[li];
+                    // Witness checks run BEFORE blocking (the runtime
+                    // witness panics instead of deadlocking).
+                    for (hi, &owner) in state.owners.iter().enumerate() {
+                        if owner != tid as u8 {
+                            continue;
+                        }
+                        let held = locks[hi];
+                        if hi == li {
+                            return Err(fail(
+                                LockViolation::SelfDeadlock {
+                                    thread: tid,
+                                    lock: lock.name,
+                                },
+                                &state,
+                                Some(format!("t{tid}: acquire {} (held)", lock.name)),
+                                &parent,
+                            ));
+                        }
+                        let ok = if held.rank == lock.rank {
+                            held.nest_within && lock.nest_within && lock.instance > held.instance
+                        } else {
+                            lock.rank > held.rank
+                        };
+                        if !ok {
+                            return Err(fail(
+                                LockViolation::OrderViolation {
+                                    thread: tid,
+                                    held: held.name,
+                                    acquiring: lock.name,
+                                },
+                                &state,
+                                Some(format!(
+                                    "t{tid}: acquire {} while holding {}",
+                                    lock.name, held.name
+                                )),
+                                &parent,
+                            ));
+                        }
+                    }
+                    if state.owners[li] != FREE {
+                        continue; // blocked on the other thread
+                    }
+                    let mut n = state;
+                    n.owners[li] = tid as u8;
+                    n.pcs[tid] += 1;
+                    any_step = true;
+                    transitions += 1;
+                    if visited.insert(n) {
+                        parent.insert(n, (state, format!("t{tid}: acquire {}", lock.name)));
+                        queue.push_back(n);
+                    }
+                }
+                Step::Rel(li) => {
+                    debug_assert_eq!(state.owners[li], tid as u8, "release of unheld lock");
+                    let mut n = state;
+                    n.owners[li] = FREE;
+                    n.pcs[tid] += 1;
+                    any_step = true;
+                    transitions += 1;
+                    if visited.insert(n) {
+                        parent.insert(n, (state, format!("t{tid}: release {}", locks[li].name)));
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        if !any_step {
+            return Err(fail(LockViolation::Deadlock, &state, None, &parent));
+        }
+    }
+
+    Ok(LockReport {
+        states: visited.len(),
+        transitions,
+        terminals,
+    })
+}
+
+/// Reconstruct the schedule from the parent map and build a failure.
+fn fail(
+    violation: LockViolation,
+    at: &State,
+    last_label: Option<String>,
+    parent: &HashMap<State, (State, String)>,
+) -> LockFailure {
+    let mut trace = Vec::new();
+    if let Some(label) = last_label {
+        trace.push(label);
+    }
+    let mut cur = *at;
+    while let Some((prev, label)) = parent.get(&cur) {
+        trace.push(label.clone());
+        cur = *prev;
+    }
+    trace.reverse();
+    LockFailure { violation, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_write_protocol_passes() {
+        let report = explore_lock(&LockConfig {
+            variant: LockVariant::CorrectWrite,
+        })
+        .expect("the fixed write protocol holds at most one shard");
+        assert!(report.terminals >= 1);
+        assert!(report.states > 50, "got {} states", report.states);
+    }
+
+    #[test]
+    fn correct_chunk_sweep_passes() {
+        explore_lock(&LockConfig {
+            variant: LockVariant::CorrectChunks,
+        })
+        .expect("ascending chunk sweeps cannot deadlock");
+    }
+
+    #[test]
+    fn reentrant_shard_is_caught_as_self_deadlock() {
+        let failure = explore_lock(&LockConfig {
+            variant: LockVariant::ReentrantShard,
+        })
+        .expect_err("must catch the PR 5 re-entry");
+        assert!(
+            matches!(
+                failure.violation,
+                LockViolation::SelfDeadlock { thread: 0, .. }
+            ),
+            "expected SelfDeadlock, got {:?}",
+            failure.violation
+        );
+        assert!(!failure.trace.is_empty());
+    }
+
+    #[test]
+    fn descending_chunks_are_caught() {
+        let failure = explore_lock(&LockConfig {
+            variant: LockVariant::DescendingChunks,
+        })
+        .expect_err("must catch the inverted sweep");
+        assert!(
+            matches!(
+                failure.violation,
+                LockViolation::OrderViolation { .. } | LockViolation::Deadlock
+            ),
+            "got {:?}",
+            failure.violation
+        );
+    }
+
+    #[test]
+    fn hold_across_alloc_is_caught() {
+        let failure = explore_lock(&LockConfig {
+            variant: LockVariant::HoldAcrossAlloc,
+        })
+        .expect_err("must catch the shard ABBA");
+        assert!(
+            matches!(failure.violation, LockViolation::OrderViolation { .. }),
+            "got {:?}",
+            failure.violation
+        );
+    }
+}

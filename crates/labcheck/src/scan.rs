@@ -95,6 +95,48 @@ impl SourceFile {
         false
     }
 
+    /// The value of a `<marker> <value>` annotation covering line `idx`,
+    /// using the same coverage walk as [`SourceFile::annotated`]: same
+    /// line, an earlier line of the same statement, or the contiguous
+    /// comment block directly above. The value is the first
+    /// whitespace-delimited token after the marker (e.g.
+    /// `// lock-class: pagecache.shard` yields `pagecache.shard`).
+    pub fn annotation_value(&self, idx: usize, marker: &str) -> Option<String> {
+        let extract = |comment: &str| -> Option<String> {
+            let pos = comment.find(marker)?;
+            let rest = comment[pos + marker.len()..].trim_start();
+            let token: String = rest.chars().take_while(|c| !c.is_whitespace()).collect();
+            (!token.is_empty()).then_some(token)
+        };
+        if let Some(v) = extract(&self.lines[idx].comment) {
+            return Some(v);
+        }
+        let mut start = idx;
+        while start > 0 {
+            let prev = self.lines[start - 1].code.trim();
+            if prev.is_empty() || prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}')
+            {
+                break;
+            }
+            start -= 1;
+            if let Some(v) = extract(&self.lines[start].comment) {
+                return Some(v);
+            }
+        }
+        let mut i = start;
+        while i > 0 {
+            i -= 1;
+            let line = &self.lines[i];
+            if !line.code.trim().is_empty() || line.comment.is_empty() {
+                return None;
+            }
+            if let Some(v) = extract(&line.comment) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
     /// Extent of the item whose header is at line `start` (0-based): scans
     /// forward for the first `{` and returns the inclusive line range up
     /// to its matching `}`. Returns `None` if a `;` ends the item before
@@ -123,20 +165,68 @@ impl SourceFile {
         None
     }
 
-    /// Line range (inclusive, 0-based) of the body of the named function,
-    /// if present. Matches on `fn <name>` as a code substring.
-    pub fn fn_extent(&self, fn_name: &str) -> Option<(usize, usize)> {
+    /// Line ranges (inclusive, 0-based) of the bodies of *every*
+    /// occurrence of the named function. A file may define the same method
+    /// name in several impl blocks (`LruMap::len` vs `PageCache::len`);
+    /// extent-aware lints must attribute each body to its own occurrence,
+    /// not to whichever header happens to appear first.
+    pub fn fn_extents(&self, fn_name: &str) -> Vec<(usize, usize)> {
         let needle = format!("fn {fn_name}");
-        let start = self.lines.iter().position(|l| match l.code.find(&needle) {
-            // Require a non-identifier char after the name so
-            // `fn worker_loop` does not match `fn worker_loop_ext`.
-            Some(pos) => {
-                let rest = &l.code[pos + needle.len()..];
-                !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        let mut out = Vec::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            let matched = match l.code.find(&needle) {
+                // Require a non-identifier char after the name so
+                // `fn worker_loop` does not match `fn worker_loop_ext`.
+                Some(pos) => {
+                    let rest = &l.code[pos + needle.len()..];
+                    !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+                }
+                None => false,
+            };
+            if matched {
+                if let Some(extent) = self.item_extent(i) {
+                    out.push(extent);
+                }
             }
-            None => false,
-        })?;
-        self.item_extent(start)
+        }
+        out
+    }
+
+    /// Line range of the first occurrence of the named function (see
+    /// [`SourceFile::fn_extents`] for all occurrences).
+    pub fn fn_extent(&self, fn_name: &str) -> Option<(usize, usize)> {
+        self.fn_extents(fn_name).into_iter().next()
+    }
+
+    /// Every function item in the file: `(name, start, end)` with the
+    /// extent of each body. Declarations without a body (trait methods
+    /// ending in `;`) are skipped.
+    pub fn fn_items(&self) -> Vec<(String, usize, usize)> {
+        let mut out = Vec::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            let mut from = 0;
+            while let Some(pos) = l.code[from..].find("fn ") {
+                let abs = from + pos;
+                from = abs + 3;
+                // `fn` must be a standalone keyword (not `magic_fn `).
+                let before = l.code[..abs].chars().next_back();
+                if matches!(before, Some(c) if c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                let name: String = l.code[abs + 3..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.is_empty() {
+                    continue;
+                }
+                if let Some((start, end)) = self.item_extent(i) {
+                    out.push((name, start, end));
+                }
+                break; // one fn header per line in rustfmt'd code
+            }
+        }
+        out
     }
 }
 

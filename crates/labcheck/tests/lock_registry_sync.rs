@@ -1,0 +1,110 @@
+//! The two layers of the lock discipline must agree on the registry: the
+//! static lint's class table (`Config::labstor`) and the runtime witness's
+//! `LockClass` statics (`crates/ipc/src/lockwitness.rs`). A class renamed
+//! or re-ranked on one side silently weakens the other, so this test
+//! parses the witness source and cross-checks every declared class.
+
+use labstor_labcheck::{workspace_root, Config};
+
+/// A `LockClass { name: "...", rank: N, nest_within: B }` literal pulled
+/// out of the witness source.
+#[derive(Debug)]
+struct WitnessClass {
+    name: String,
+    rank: u16,
+    nest_within: bool,
+}
+
+fn parse_witness_classes(src: &str) -> Vec<WitnessClass> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    while let Some(i) = rest.find("LockClass {") {
+        let body = &rest[i..];
+        let end = body.find('}').expect("unterminated LockClass literal");
+        let body = &body[..end];
+        rest = &rest[i + end..];
+        // The struct *definition* has typed fields (`name: &'static str`),
+        // not a quoted value — only literals pass this probe.
+        let Some(name) = field_quoted(body, "name:") else {
+            continue;
+        };
+        let rank = field_str(body, "rank:")
+            .expect("literal missing rank")
+            .parse::<u16>()
+            .expect("rank is a u16 literal");
+        let nest_within = match field_str(body, "nest_within:").as_deref() {
+            Some("true") => true,
+            Some("false") => false,
+            other => panic!("nest_within must be a bool literal, got {other:?}"),
+        };
+        out.push(WitnessClass {
+            name,
+            rank,
+            nest_within,
+        });
+    }
+    out
+}
+
+/// The quoted string value after `key` in `body`, or `None` when the
+/// field is not a string literal (i.e. this is the struct definition).
+fn field_quoted(body: &str, key: &str) -> Option<String> {
+    let after = body[body.find(key)? + key.len()..].trim_start();
+    let stripped = after.strip_prefix('"')?;
+    Some(stripped[..stripped.find('"')?].to_string())
+}
+
+/// The bare value token after `key` in `body` (number or bool literal).
+fn field_str(body: &str, key: &str) -> Option<String> {
+    let after = body[body.find(key)? + key.len()..].trim_start();
+    Some(
+        after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect(),
+    )
+}
+
+#[test]
+fn lock_registry_matches_labcheck() {
+    let path = workspace_root().join("crates/ipc/src/lockwitness.rs");
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let witness = parse_witness_classes(&src);
+    assert!(
+        witness.len() >= 3,
+        "expected at least the shard/chunk/tracker classes in {}, found {witness:?}",
+        path.display()
+    );
+
+    let cfg = Config::labstor();
+    for w in &witness {
+        let spec = cfg
+            .lock_classes
+            .iter()
+            .find(|s| s.name == w.name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "witness class `{}` is not in labcheck's registry \
+                     (labcheck::lint::Config::labstor)",
+                    w.name
+                )
+            });
+        assert_eq!(
+            spec.rank, w.rank,
+            "class `{}`: witness rank {} != lint rank {}",
+            w.name, w.rank, spec.rank
+        );
+        assert_eq!(
+            spec.nest_within, w.nest_within,
+            "class `{}`: witness nest_within {} != lint nest_within {}",
+            w.name, w.nest_within, spec.nest_within
+        );
+        assert!(
+            !spec.virtual_only,
+            "class `{}` is virtual in the lint registry but has a real \
+             witness lock",
+            w.name
+        );
+    }
+}

@@ -166,12 +166,12 @@ impl SimDevice {
             let n = (CHUNK_BYTES - chunk_off).min(bytes - done);
             if write {
                 let src = &buf_w.expect("write buffer")[done..done + n];
-                let mut slot = self.chunks[chunk_idx].write();
+                let mut slot = self.chunks[chunk_idx].write(); // lock-class: sim.chunk
                 let chunk = slot.get_or_insert_with(|| vec![0u8; CHUNK_BYTES].into_boxed_slice());
                 chunk[chunk_off..chunk_off + n].copy_from_slice(src);
             } else {
                 let dst = &mut rbuf.as_mut().expect("read buffer")[done..done + n];
-                let slot = self.chunks[chunk_idx].read();
+                let slot = self.chunks[chunk_idx].read(); // lock-class: sim.chunk
                 match slot.as_ref() {
                     Some(chunk) => dst.copy_from_slice(&chunk[chunk_off..chunk_off + n]),
                     None => dst.fill(0),
@@ -288,7 +288,7 @@ impl BlockDevice for SimDevice {
             return Err(DeviceError::MediaError { lba });
         }
         let (ns, seeked) = self.service_ns(false, lba, buf.len());
-        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
         self.transfer(false, lba, None, Some(buf));
         self.stats.record(false, buf.len(), ns, seeked);
         ctx.idle_until(end);
@@ -302,7 +302,7 @@ impl BlockDevice for SimDevice {
             return Err(DeviceError::MediaError { lba });
         }
         let (ns, seeked) = self.service_ns(true, lba, buf.len());
-        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
         self.transfer(true, lba, Some(buf), None);
         self.stats.record(true, buf.len(), ns, seeked);
         ctx.idle_until(end);

@@ -86,7 +86,7 @@ impl PmemDevice {
         self.validate(offset, buf.len())?;
         self.copy(true, offset, Some(buf), None);
         let ns = self.model.transfer_ns(true, buf.len());
-        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
         ctx.poll_until(end);
         self.stats.record(true, buf.len(), ns, false);
         Ok(ns)
@@ -97,7 +97,7 @@ impl PmemDevice {
         self.validate(offset, buf.len())?;
         self.copy(false, offset, None, Some(buf));
         let ns = self.model.transfer_ns(false, buf.len());
-        let (_, end) = self.channels.acquire(ctx.now(), ns);
+        let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
         ctx.poll_until(end);
         self.stats.record(false, buf.len(), ns, false);
         Ok(ns)
@@ -125,12 +125,12 @@ impl PmemDevice {
             let n = (CHUNK_BYTES - coff).min(bytes - done);
             if write {
                 let s = &src.expect("store source")[done..done + n];
-                let mut slot = self.chunks[idx].write();
+                let mut slot = self.chunks[idx].write(); // lock-class: sim.chunk
                 let chunk = slot.get_or_insert_with(|| vec![0u8; CHUNK_BYTES].into_boxed_slice());
                 chunk[coff..coff + n].copy_from_slice(s);
             } else {
                 let d = &mut dst.as_mut().expect("load destination")[done..done + n];
-                let slot = self.chunks[idx].read();
+                let slot = self.chunks[idx].read(); // lock-class: sim.chunk
                 match slot.as_ref() {
                     Some(chunk) => d.copy_from_slice(&chunk[coff..coff + n]),
                     None => d.fill(0),

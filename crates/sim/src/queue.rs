@@ -117,12 +117,12 @@ pub struct HwQueue {
 
 impl HwQueue {
     pub(crate) fn push(&self, io: PendingIo) {
-        self.pending.lock().push_back(io);
+        self.pending.lock().push_back(io); // lock-class: sim.queue
     }
 
     /// Number of commands submitted but not yet reaped.
     pub fn depth(&self) -> usize {
-        self.pending.lock().len()
+        self.pending.lock().len() // lock-class: sim.queue
     }
 
     /// Reap up to `max` completions due at or before virtual time `now`.
@@ -132,7 +132,7 @@ impl HwQueue {
     /// which models in-order CQ consumption on one queue pair.
     pub fn poll(&self, now: u64, max: usize) -> Vec<Completion> {
         let mut out = Vec::new();
-        let mut q = self.pending.lock();
+        let mut q = self.pending.lock(); // lock-class: sim.queue
         while out.len() < max {
             match q.front() {
                 Some(p) if p.due <= now => {
@@ -147,13 +147,13 @@ impl HwQueue {
     /// Virtual time at which the *next* (oldest) pending command completes.
     /// A poller can `poll_until` this to model spin-polling for it.
     pub fn next_due(&self) -> Option<u64> {
-        self.pending.lock().front().map(|p| p.due)
+        self.pending.lock().front().map(|p| p.due) // lock-class: sim.queue
     }
 
     /// The latest deadline currently queued (used to implement flush
     /// barriers). `None` when the queue is empty.
     pub(crate) fn last_due(&self) -> Option<u64> {
-        self.pending.lock().iter().map(|p| p.due).max()
+        self.pending.lock().iter().map(|p| p.due).max() // lock-class: sim.queue
     }
 }
 

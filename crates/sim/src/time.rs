@@ -178,7 +178,7 @@ impl ChannelPool {
     /// queue's backlog not stall another queue's commands, as NVMe's
     /// round-robin SQ arbitration does.
     pub fn acquire_affine(&self, key: usize, at: u64, service_ns: u64) -> (u64, u64) {
-        self.channels[key % self.channels.len()].acquire(at, service_ns)
+        self.channels[key % self.channels.len()].acquire(at, service_ns) // lock-class: sim.channel
     }
 
     /// Reserve `service_ns` on the earliest-free channel from `at`.

@@ -7,8 +7,9 @@
 //! only the gate.
 
 use labstor_labcheck::{
-    explore, explore_rc, gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs,
-    gate_rc_configs, lint_workspace, render_text, workspace_root, Config,
+    explore, explore_lock, explore_rc, gate_lock_bug_configs, gate_lock_configs,
+    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
+    render_text, workspace_root, Config, LockViolation,
 };
 
 #[test]
@@ -33,6 +34,29 @@ fn spsc_ring_passes_interleaving_model_check() {
             "planted bug {:?} went undetected",
             cfg.variant
         );
+    }
+}
+
+#[test]
+fn lock_discipline_passes_model_check() {
+    // The fixed PR 5 protocols survive every interleaving…
+    for cfg in gate_lock_configs() {
+        explore_lock(&cfg).unwrap_or_else(|f| panic!("lock mc failed on {cfg:?}:\n{f}"));
+    }
+    // …and each planted bug is caught, with the violation kind the bug
+    // plants (a checker that flags the wrong thing is also broken).
+    for cfg in gate_lock_bug_configs() {
+        let failure = explore_lock(&cfg).expect_err(&format!(
+            "planted lock bug {:?} went undetected",
+            cfg.variant
+        ));
+        let ok = matches!(
+            failure.violation,
+            LockViolation::SelfDeadlock { .. }
+                | LockViolation::OrderViolation { .. }
+                | LockViolation::Deadlock
+        );
+        assert!(ok, "{:?} produced {:?}", cfg.variant, failure.violation);
     }
 }
 
