@@ -30,4 +30,8 @@ echo "== bench_datapath smoke (zero-copy + shard-scaling regression gate)"
 cargo run -q --release -p labstor-bench --bin bench_datapath -- --smoke
 test -s BENCH_datapath.json
 
+echo "== bench_tenants smoke (noisy-neighbor tenant isolation gate)"
+cargo run -q --release -p labstor-bench --bin bench_tenants -- --smoke
+test -s BENCH_tenants.json
+
 echo "ci: all gates passed"

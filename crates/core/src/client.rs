@@ -28,6 +28,13 @@ pub enum ClientError {
     NoStack(String),
     /// Submission queue stayed full past the timeout.
     Backpressure,
+    /// The tenant's token-bucket admission rejected the request: typed
+    /// backpressure, never a panic. `retry_after_ns` is the virtual delay
+    /// after which the same request would be admitted.
+    Throttled {
+        /// Earliest virtual-time delay (ns) after which a retry can pass.
+        retry_after_ns: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,6 +43,12 @@ impl std::fmt::Display for ClientError {
             ClientError::RuntimeDown => write!(f, "runtime offline"),
             ClientError::NoStack(p) => write!(f, "no LabStack governs {p}"),
             ClientError::Backpressure => write!(f, "submission queue full"),
+            ClientError::Throttled { retry_after_ns } => {
+                write!(
+                    f,
+                    "tenant rate limit: retry after {retry_after_ns} virtual ns"
+                )
+            }
         }
     }
 }
@@ -65,14 +78,20 @@ pub struct Client {
     /// How long `wait` tolerates an offline Runtime before giving up
     /// ("for a configurable period of time", §III-C3).
     pub offline_timeout: Duration,
+    /// Live QoS accounting for this connection's tenant (`None` for the
+    /// untenanted identity): token-bucket admission, counters, latency
+    /// histogram.
+    tenant: Option<Arc<labstor_qos::TenantState>>,
 }
 
 impl Client {
     pub(crate) fn new(conn: ClientConnection<Message>, runtime: Arc<Runtime>) -> Client {
+        let tenant = runtime.tenants.resolve(conn.creds.tenant);
         Client {
             conn,
             ctx: Ctx::new(),
             runtime,
+            tenant,
             next_id: 0,
             rr: 0,
             core: 0,
@@ -86,6 +105,31 @@ impl Client {
     /// The runtime this client is connected to.
     pub fn runtime(&self) -> &Arc<Runtime> {
         &self.runtime
+    }
+
+    /// This connection's live tenant accounting, if it bills to one.
+    pub fn tenant(&self) -> Option<&Arc<labstor_qos::TenantState>> {
+        self.tenant.as_ref()
+    }
+
+    /// Token-bucket admission for one request: charge its payload bytes
+    /// (min 1 token) against the tenant's bucket at the current virtual
+    /// time. Untenanted clients always pass.
+    fn admit(&self, cost_bytes: usize) -> Result<(), ClientError> {
+        let Some(tenant) = &self.tenant else {
+            return Ok(());
+        };
+        tenant
+            .try_admit(self.ctx.now(), (cost_bytes as u64).max(1))
+            .map_err(|retry_after_ns| ClientError::Throttled { retry_after_ns })
+    }
+
+    /// Record one completion latency into the tenant's histogram (the
+    /// per-tenant p99 the isolation gate watches).
+    fn observe_tenant_latency(&self, latency_ns: u64) {
+        if let Some(tenant) = &self.tenant {
+            tenant.observe_latency(latency_ns);
+        }
     }
 
     /// Allocate a zero-copy payload buffer from the shared pool and fill
@@ -126,6 +170,7 @@ impl Client {
     ) -> Result<(RespPayload, u64), ClientError> {
         self.next_id += 1;
         let req = Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
+        self.admit(req.payload_bytes())?;
         let start = self.ctx.now();
         match stack.exec {
             ExecMode::Sync => {
@@ -137,11 +182,15 @@ impl Client {
                     &self.runtime.mm,
                     self.conn.domain,
                 );
-                Ok((resp.payload, self.ctx.now() - start))
+                let latency = self.ctx.now() - start;
+                self.observe_tenant_latency(latency);
+                Ok((resp.payload, latency))
             }
             ExecMode::Async => {
                 let resp = self.roundtrip(req)?;
-                Ok((resp, self.ctx.now() - start))
+                let latency = self.ctx.now() - start;
+                self.observe_tenant_latency(latency);
+                Ok((resp, latency))
             }
         }
     }
@@ -255,6 +304,7 @@ impl Client {
         self.next_id += 1;
         let req = Request::on_core(self.next_id, stack.id, payload, self.conn.creds, self.core);
         let id = req.id;
+        self.admit(req.payload_bytes())?;
         match stack.exec {
             ExecMode::Sync => {
                 let resp = process_request(
@@ -331,11 +381,21 @@ impl Client {
         self.rr = (self.rr + 1) % self.conn.queues.len();
         let qi = self.rr;
         let qp = self.conn.queues[qi].clone();
-        let mut ids = Vec::with_capacity(payloads.len());
-        let mut msgs: Vec<Message> = Vec::with_capacity(payloads.len());
+        // Admission charges the whole burst atomically (one bucket
+        // operation per batch, matching the batched submit): either every
+        // request is admitted or none is queued.
+        let mut reqs: Vec<Request> = Vec::with_capacity(payloads.len());
+        let mut burst_bytes: usize = 0;
         for p in payloads {
             self.next_id += 1;
             let req = Request::on_core(self.next_id, stack.id, p, self.conn.creds, self.core);
+            burst_bytes = burst_bytes.saturating_add(req.payload_bytes().max(1));
+            reqs.push(req);
+        }
+        self.admit(burst_bytes)?;
+        let mut ids = Vec::with_capacity(reqs.len());
+        let mut msgs: Vec<Message> = Vec::with_capacity(reqs.len());
+        for req in reqs {
             let est = self.estimate(&req);
             qp.note_item_est(est);
             qp.add_load(est as i64);
@@ -406,6 +466,7 @@ impl Client {
                     let (submit_vt, _, stack_id) =
                         self.pending.remove(&resp.id).unwrap_or((0, 0, 0));
                     let latency = reap_vt.saturating_sub(submit_vt);
+                    self.observe_tenant_latency(latency);
                     if recording {
                         // Completion-queue crossing: from the worker's
                         // completion post to this envelope's reap.

@@ -82,6 +82,45 @@ pub fn moved_qids(old: &[Vec<u64>], new: &[Vec<u64>]) -> Vec<u64> {
     moved
 }
 
+/// Smoothing constant of the weighted-fair pass, in normalized-service
+/// milli-units. Small relative to steady-state service totals, so it only
+/// damps the scaling while tenants have consumed little service (startup),
+/// and prevents a zero-service tenant from zeroing everyone else out.
+const FAIR_SMOOTHING_MILLI: u64 = 1_000_000;
+
+/// Weighted-fair pass over queue demands, layered *before* the placement
+/// policy: scale each tenant-bound queue's `demand_milli` by how far its
+/// tenant's weight-normalized virtual service has run ahead of the
+/// least-served tenant — `(min + K) / (norm + K)`. A queue whose tenant
+/// has consumed 10× its fair share presents ~1/10 of its raw demand, so
+/// the knapsack gives it fewer workers; the floor (1/8 of raw, and never
+/// zero for a nonzero demand) guarantees deprioritization, not starvation.
+/// Queues with no tenant binding (absent from `norm_service_milli`) pass
+/// through untouched, as does everything when a single tenant (or none)
+/// is present — then all normalized services are equal.
+pub fn apply_weighted_fair(
+    loads: &mut [QueueLoad],
+    norm_service_milli: &std::collections::HashMap<u64, u64>,
+) {
+    let min_norm = loads
+        .iter()
+        .filter_map(|l| norm_service_milli.get(&l.qid).copied())
+        .min()
+        .unwrap_or(0);
+    let k = FAIR_SMOOTHING_MILLI;
+    for l in loads.iter_mut() {
+        let Some(&norm) = norm_service_milli.get(&l.qid) else {
+            continue;
+        };
+        if norm <= min_norm || l.demand_milli == 0 {
+            continue;
+        }
+        let scaled = ((l.demand_milli as u128).saturating_mul((min_norm + k) as u128)
+            / (norm.saturating_add(k)) as u128) as u64;
+        l.demand_milli = scaled.max(l.demand_milli / 8).max(1);
+    }
+}
+
 /// A pluggable rebalance policy.
 pub trait OrchestratorPolicy: Send + Sync {
     /// Policy name for reports.
@@ -236,6 +275,44 @@ mod tests {
             p50_item_ns: 0,
             p99_item_ns: 0,
         }
+    }
+
+    #[test]
+    fn weighted_fair_scales_overserved_tenant_down() {
+        let mut loads = vec![q(0, 1000, 10), q(1, 1000, 10)];
+        let norm = std::collections::HashMap::from([(0u64, 0u64), (1u64, 9_000_000u64)]);
+        apply_weighted_fair(&mut loads, &norm);
+        // Least-served queue untouched; the 9×-ahead tenant's demand is
+        // scaled toward (0 + K)/(9M + K) = 1/10, floored at 1/8.
+        assert_eq!(loads[0].demand_milli, 1000);
+        assert_eq!(loads[1].demand_milli, 125);
+    }
+
+    #[test]
+    fn weighted_fair_single_tenant_is_noop() {
+        let mut loads = vec![q(0, 700, 10), q(1, 300, 10)];
+        let norm = std::collections::HashMap::from([(0u64, 5_000u64), (1u64, 5_000u64)]);
+        apply_weighted_fair(&mut loads, &norm);
+        assert_eq!(loads[0].demand_milli, 700);
+        assert_eq!(loads[1].demand_milli, 300);
+    }
+
+    #[test]
+    fn weighted_fair_leaves_unbound_queues_alone() {
+        let mut loads = vec![q(0, 400, 10), q(1, 400, 10), q(2, 400, 10)];
+        let norm = std::collections::HashMap::from([(0u64, 0u64), (1u64, 50_000_000u64)]);
+        apply_weighted_fair(&mut loads, &norm);
+        assert_eq!(loads[0].demand_milli, 400);
+        assert!(loads[1].demand_milli < 400 && loads[1].demand_milli >= 50);
+        assert_eq!(loads[2].demand_milli, 400); // untenanted passthrough
+    }
+
+    #[test]
+    fn weighted_fair_never_zeroes_demand() {
+        let mut loads = vec![q(0, 1, 10), q(1, 1, 10)];
+        let norm = std::collections::HashMap::from([(0u64, 0u64), (1u64, u64::MAX / 2)]);
+        apply_weighted_fair(&mut loads, &norm);
+        assert_eq!(loads[1].demand_milli, 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use labstor_ipc::{Credentials, IpcManager, QueuePair, UpgradeFlag};
+use labstor_qos::{TenantPolicy, TenantTable};
 use labstor_sim::{Ctx, Watermark};
 
 use crate::client::Client;
@@ -62,6 +63,9 @@ pub struct Runtime {
     pub ns: Arc<Namespace>,
     /// Virtual-time high watermark across workers.
     pub watermark: Arc<Watermark>,
+    /// Tenant registry: per-tenant policies, live accounting, and the
+    /// qid→tenant binding the weighted-fair rebalance pass consults.
+    pub tenants: Arc<TenantTable>,
     workers: Mutex<Vec<Worker>>,
     policy: Mutex<Arc<dyn OrchestratorPolicy>>,
     max_workers: usize,
@@ -117,6 +121,7 @@ impl Runtime {
             mm,
             ns,
             watermark,
+            tenants: Arc::new(TenantTable::new()),
             workers: Mutex::new(workers),
             policy: Mutex::new(config.policy),
             max_workers: config.max_workers.max(1),
@@ -149,8 +154,11 @@ impl Runtime {
         *self.admin.lock() = Some(handle); // lock-class: runtime.admin
     }
 
-    /// One admin iteration: process queued upgrades, then rebalance.
+    /// One admin iteration: process queued upgrades and staged tenant
+    /// policy updates (hot updates ride the same asynchronous control
+    /// path as live LabMod upgrades), then rebalance.
     pub fn admin_tick(&self) {
+        self.tenants.apply_pending();
         if self.mm.pending_upgrades() > 0 {
             let mut admin_ctx = Ctx::at(self.watermark.get());
             self.mm
@@ -228,11 +236,15 @@ impl Runtime {
         let wm = self.watermark.get();
         let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
         let dt = wm.saturating_sub(state.last_wm);
-        let loads: Vec<QueueLoad> = queues
+        // Per-queue worker service consumed since the last pass, charged
+        // to the owning tenant below (after the state lock drops).
+        let mut service_deltas: Vec<(u64, u64)> = Vec::new();
+        let mut loads: Vec<QueueLoad> = queues
             .iter()
             .map(|q| {
                 let work = q.work_done_ns();
                 let last = state.last_work.insert(q.id, work).unwrap_or(0);
+                service_deltas.push((q.id, work.saturating_sub(last)));
                 let backlog = q.est_load_ns();
                 let mut demand_milli = if dt > 0 {
                     ((work - last + backlog).saturating_mul(1000)) / dt
@@ -268,6 +280,21 @@ impl Runtime {
             .collect();
         state.last_wm = wm;
         drop(state);
+        // Weighted fairness (the labtenant pass): charge each tenant the
+        // virtual service its queues consumed, then scale queue demands by
+        // how far each tenant has run ahead of the least-served one. The
+        // tenant table (qos.tenants, rank 36) is taken strictly between
+        // runtime.state (30, dropped above) and runtime.policy (32 — never
+        // held together with the table).
+        for &(qid, delta) in &service_deltas {
+            if delta > 0 {
+                self.tenants.note_qid_service(qid, delta);
+            }
+        }
+        crate::orchestrator::apply_weighted_fair(
+            &mut loads,
+            &self.tenants.qid_normalized_service(),
+        );
         let assignment = {
             let policy = self.policy.lock(); // lock-class: runtime.policy
             policy.rebalance(&loads, self.max_workers)
@@ -386,9 +413,52 @@ impl Runtime {
     // ---- clients ------------------------------------------------------------
 
     /// Connect a client (handshake + queue allocation + rebalance, as the
-    /// paper specifies rebalance runs "when a new client connects").
+    /// paper specifies rebalance runs "when a new client connects"). The
+    /// credentials' tenant is registered with the permissive default
+    /// policy (no rate limit, no quota, weight 1); see
+    /// [`Runtime::connect_with_policy`] to declare one.
     pub fn connect(self: &Arc<Self>, creds: Credentials, n_queues: usize) -> Client {
         let conn = self.ipc.connect(creds, n_queues);
+        let tenant = creds.tenant;
+        if !tenant.is_none() {
+            // Register-or-noop: an undeclared connection never overwrites
+            // a policy declared by an earlier `connect_with_policy`.
+            self.tenants.register(tenant, TenantPolicy::default());
+            for q in &conn.queues {
+                self.tenants.bind_queue(q.id, tenant);
+            }
+        }
+        self.rebalance();
+        Client::new(conn, self.clone())
+    }
+
+    /// Connect a client declaring a tenant QoS policy in the handshake.
+    ///
+    /// First connection wins the registration; a later connection with a
+    /// different policy stages a hot update (applied immediately here, and
+    /// otherwise by the next admin tick). Every connection queue is bound
+    /// to the tenant for weighted-fair attribution, and a buffer quota is
+    /// forwarded to the shared pool.
+    pub fn connect_with_policy(
+        self: &Arc<Self>,
+        creds: Credentials,
+        n_queues: usize,
+        policy: TenantPolicy,
+    ) -> Client {
+        let conn = self.ipc.connect(creds, n_queues);
+        let tenant = creds.tenant;
+        if !tenant.is_none() {
+            let existing = self.tenants.policy(tenant);
+            self.tenants.register(tenant, policy);
+            if existing.is_some_and(|p| p != policy) {
+                self.tenants.request_policy_update(tenant, policy);
+                self.tenants.apply_pending();
+            }
+            for q in &conn.queues {
+                self.tenants.bind_queue(q.id, tenant);
+            }
+            labstor_ipc::default_pool().set_tenant_quota(tenant, policy.buf_quota_bytes);
+        }
         self.rebalance();
         Client::new(conn, self.clone())
     }

@@ -39,7 +39,7 @@ pub use buf::{
     default_pool, note_payload_copy, payload_copies, payload_copy_bytes, BufHandle, BufferPool,
     PoolConfig,
 };
-pub use credentials::Credentials;
+pub use credentials::{Credentials, TenantId};
 pub use lockwitness::{LockClass, OrderedMutex, OrderedRwLock};
 pub use manager::{ClientConnection, IpcManager};
 pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};

@@ -33,6 +33,26 @@ pub struct LockClass {
     pub nest_within: bool,
 }
 
+/// Tenant policy/accounting table (`labstor_qos::TenantTable`). Acquired
+/// after the Runtime's rebalance locks (ranks 10–34) during the
+/// weighted-fair pass, and must be released before any pool or page-cache
+/// lock is taken — shed attribution in the pool-dry path runs on atomics,
+/// never back into the table.
+pub static TENANT_TABLE: LockClass = LockClass {
+    name: "qos.tenants",
+    rank: 36,
+    nest_within: false,
+};
+
+/// Per-tenant token-bucket state. Nests inside a `qos.tenants` read hold
+/// (admission resolves the tenant, then charges its bucket) and is a leaf
+/// with respect to the data-path locks below.
+pub static TENANT_BUCKET: LockClass = LockClass {
+    name: "qos.bucket",
+    rank: 38,
+    nest_within: false,
+};
+
 /// Page-cache shard locks (`PageCache` LRU shards).
 pub static PAGECACHE_SHARD: LockClass = LockClass {
     name: "pagecache.shard",

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use labstor_ipc::lockwitness::{OrderedMutex, PAGECACHE_SHARD};
-use labstor_ipc::{BufHandle, BufferPool, PoolConfig};
+use labstor_ipc::{BufHandle, BufferPool, PoolConfig, TenantId};
 use labstor_sim::{Ctx, Resource};
 
 use crate::cost;
@@ -294,26 +294,31 @@ impl PageCache {
         ctx.poll_until(end);
     }
 
-    /// Pop a zeroed full-page buffer straight off the pool, or `None`
-    /// when the pool is dry.
-    fn pool_page(&self) -> Option<BufHandle> {
-        let mut h = self.pool.alloc(PAGE_SIZE)?;
+    /// Pop a zeroed full-page buffer straight off the pool billed to
+    /// `tenant`, or `None` when the pool is dry (or the tenant is over
+    /// its byte quota — shedding its own clean pages uncharges it).
+    fn pool_page_for(&self, tenant: TenantId) -> Option<BufHandle> {
+        let mut h = self.pool.alloc_for(tenant, PAGE_SIZE)?;
         h.write_with(|b| b.fill(0));
         Some(h)
     }
 
-    /// Evict clean LRU pages from `inner` until a pool slot frees up.
-    /// Stops at the first dirty victim (pushed back as most-recent so it
-    /// is not lost) or when the shard runs out of pages.
-    fn shed_clean(&self, inner: &mut LruMap<PageKey, Page>) -> Option<BufHandle> {
+    /// Evict clean LRU pages from `inner` until a pool slot frees up,
+    /// attributing every victim to its owning tenant (pool-dry exhaustion
+    /// is no longer anonymous). Stops at the first dirty victim (pushed
+    /// back as most-recent so it is not lost) or when the shard runs out
+    /// of pages. The freed slot is re-allocated billed to `tenant`.
+    fn shed_clean(&self, inner: &mut LruMap<PageKey, Page>, tenant: TenantId) -> Option<BufHandle> {
         while !inner.is_empty() {
             match inner.pop_lru() {
                 Some((k, p)) if p.dirty => {
                     inner.insert(k, p);
                     return None;
                 }
-                Some(_) => {
-                    if let Some(h) = self.pool_page() {
+                Some((_, p)) => {
+                    self.pool.note_tenant_shed(p.data.tenant());
+                    drop(p);
+                    if let Some(h) = self.pool_page_for(tenant) {
                         return Some(h);
                     }
                 }
@@ -321,6 +326,36 @@ impl PageCache {
             }
         }
         None
+    }
+
+    /// The tenant-aware shed pass: evict the *offending* tenant's clean
+    /// pages first — the allocator whose pressure dried the pool gives up
+    /// its own cache before anyone else's (and, when it is over its byte
+    /// quota, shedding its own pages is the only thing that uncharges it).
+    /// Falls back to the global LRU pass when the offender has nothing
+    /// clean resident.
+    fn shed_offender_first(
+        &self,
+        inner: &mut LruMap<PageKey, Page>,
+        tenant: TenantId,
+    ) -> Option<BufHandle> {
+        if !tenant.is_none() {
+            let own: Vec<PageKey> = inner
+                .iter()
+                .filter(|(_, p)| !p.dirty && p.data.tenant() == tenant)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in own {
+                if let Some(p) = inner.remove(&k) {
+                    self.pool.note_tenant_shed(p.data.tenant());
+                    drop(p);
+                    if let Some(h) = self.pool_page_for(tenant) {
+                        return Some(h);
+                    }
+                }
+            }
+        }
+        self.shed_clean(inner, tenant)
     }
 
     /// Allocate a zeroed full-page buffer from the pool, evicting clean
@@ -331,14 +366,14 @@ impl PageCache {
     /// and on a second failure walks every other shard shedding clean
     /// pages — reclaimable memory elsewhere in the cache must not strand
     /// this shard on the exhaustion panic.
-    fn alloc_page(&self, shard: &Shard) -> BufHandle {
-        if let Some(h) = self.pool_page() {
+    fn alloc_page_for(&self, shard: &Shard, tenant: TenantId) -> BufHandle {
+        if let Some(h) = self.pool_page_for(tenant) {
             return h;
         }
         // Pool dry: shed clean pages from this shard to unpin slots.
         {
             let mut inner = shard.inner.lock(); // lock-class: pagecache.maplock
-            if let Some(h) = self.shed_clean(&mut inner) {
+            if let Some(h) = self.shed_offender_first(&mut inner, tenant) {
                 return h;
             }
         }
@@ -350,11 +385,11 @@ impl PageCache {
                 continue;
             }
             let mut inner = other.inner.lock(); // lock-class: pagecache.maplock
-            if let Some(h) = self.shed_clean(&mut inner) {
+            if let Some(h) = self.shed_offender_first(&mut inner, tenant) {
                 return h;
             }
         }
-        self.pool_page()
+        self.pool_page_for(tenant)
             .expect("page-cache pool exhausted: too many pinned page handles")
     }
 
@@ -379,8 +414,24 @@ impl PageCache {
 
     /// Copy `data` into the cache at byte `offset` of `ino`, marking pages
     /// dirty. Returns dirty pages evicted to make room (for writeback);
-    /// clean victims are silently dropped.
+    /// clean victims are silently dropped. Untenanted: see
+    /// [`PageCache::write_for`].
     pub fn write(&self, ctx: &mut Ctx, ino: u64, offset: u64, data: &[u8]) -> Vec<Evicted> {
+        self.write_for(ctx, TenantId::NONE, ino, offset, data)
+    }
+
+    /// [`PageCache::write`] billed to `tenant`: freshly allocated pages
+    /// (including copy-on-write replacements) are charged to the tenant's
+    /// pool accounting, and a pool-dry shed pass evicts the tenant's own
+    /// clean pages first.
+    pub fn write_for(
+        &self,
+        ctx: &mut Ctx,
+        tenant: TenantId,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Vec<Evicted> {
         let mut evicted = Vec::new();
         let mut pos = 0usize;
         while pos < data.len() {
@@ -403,7 +454,7 @@ impl PageCache {
                 // fallback in alloc_page takes shard locks itself — then
                 // re-look-up, since the world may have changed meanwhile.
                 drop(inner);
-                let mut fresh = self.alloc_page(shard);
+                let mut fresh = self.alloc_page_for(shard, tenant);
                 inner = shard.inner.lock(); // lock-class: pagecache.maplock
                 match inner.get(&key) {
                     None => {
@@ -484,6 +535,21 @@ impl PageCache {
         ino: u64,
         offset: u64,
         buf: &mut [u8],
+        fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
+    ) -> Result<usize, ()> {
+        self.read_for(ctx, TenantId::NONE, ino, offset, buf, fill)
+    }
+
+    /// [`PageCache::read`] billed to `tenant`: miss pages are charged to
+    /// the tenant's pool accounting (see [`PageCache::write_for`]).
+    #[allow(clippy::result_unit_err)]
+    pub fn read_for(
+        &self,
+        ctx: &mut Ctx,
+        tenant: TenantId,
+        ino: u64,
+        offset: u64,
+        buf: &mut [u8],
         mut fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
     ) -> Result<usize, ()> {
         let mut misses = 0usize;
@@ -509,7 +575,7 @@ impl PageCache {
             };
             if !hit {
                 misses += 1;
-                let mut data = self.alloc_page(shard);
+                let mut data = self.alloc_page_for(shard, tenant);
                 let mut filled = true;
                 data.write_with(|b| filled = fill(ctx, pgidx, b));
                 if !filled {
@@ -549,6 +615,20 @@ impl PageCache {
         ctx: &mut Ctx,
         ino: u64,
         pgidx: u64,
+        fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
+    ) -> Result<(BufHandle, bool), ()> {
+        self.read_page_for(ctx, TenantId::NONE, ino, pgidx, fill)
+    }
+
+    /// [`PageCache::read_page`] billed to `tenant` (see
+    /// [`PageCache::read_for`]).
+    #[allow(clippy::result_unit_err)]
+    pub fn read_page_for(
+        &self,
+        ctx: &mut Ctx,
+        tenant: TenantId,
+        ino: u64,
+        pgidx: u64,
         mut fill: impl FnMut(&mut Ctx, u64, &mut [u8]) -> bool,
     ) -> Result<(BufHandle, bool), ()> {
         let key = (ino, pgidx);
@@ -561,7 +641,7 @@ impl PageCache {
                 return Ok((page.data.clone(), true));
             }
         }
-        let mut data = self.alloc_page(shard);
+        let mut data = self.alloc_page_for(shard, tenant);
         let mut filled = true;
         data.write_with(|b| filled = fill(ctx, pgidx, b));
         if !filled {
@@ -917,6 +997,55 @@ mod tests {
         pc.read(&mut ctx, 1, 0, &mut out, |_, _, _| panic!("resident"))
             .unwrap();
         assert!(out.iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn pool_dry_shed_prefers_offending_tenant_and_attributes() {
+        let pc = PageCache::new(8 * PAGE_SIZE);
+        let mut ctx = Ctx::new();
+        let victim = TenantId(1);
+        let hog = TenantId(2);
+        // Two clean pages resident per tenant.
+        pc.write_for(&mut ctx, victim, 1, 0, &[1u8; PAGE_SIZE]);
+        pc.write_for(&mut ctx, victim, 1, PAGE_SIZE as u64, &[1u8; PAGE_SIZE]);
+        pc.write_for(&mut ctx, hog, 2, 0, &[2u8; PAGE_SIZE]);
+        pc.write_for(&mut ctx, hog, 2, PAGE_SIZE as u64, &[2u8; PAGE_SIZE]);
+        drop(pc.take_dirty(&mut ctx, None));
+        // Drain the pool dry with directly held handles.
+        let mut pins = Vec::new();
+        while let Some(h) = pc.pool().alloc(PAGE_SIZE) {
+            pins.push(h);
+        }
+        assert_eq!(pc.pool().free_slots_for(PAGE_SIZE), 0);
+        // The hog writes a new page: the shed pass must evict *its own*
+        // clean pages first — and attribute the shed — leaving the
+        // victim's pages resident.
+        pc.write_for(&mut ctx, hog, 2, 2 * PAGE_SIZE as u64, &[3u8; PAGE_SIZE]);
+        assert!(pc.pool().tenant_shed_pages(hog) >= 1);
+        assert_eq!(pc.pool().tenant_shed_pages(victim), 0);
+        let mut out = vec![0u8; PAGE_SIZE];
+        pc.read_for(&mut ctx, victim, 1, 0, &mut out, |_, _, _| {
+            panic!("victim page was shed")
+        })
+        .unwrap();
+        assert!(out.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn tenant_quota_recovers_by_shedding_own_pages() {
+        // A tenant capped at 2 pages of pool quota keeps writing: each new
+        // page sheds one of its own clean pages (uncharging the quota)
+        // instead of panicking or stealing from others.
+        let pc = PageCache::new(16 * PAGE_SIZE);
+        let mut ctx = Ctx::new();
+        let capped = TenantId(7);
+        pc.pool().set_tenant_quota(capped, 2 * PAGE_SIZE as u64);
+        for i in 0..6u64 {
+            pc.write_for(&mut ctx, capped, 3, i * PAGE_SIZE as u64, &[9u8; PAGE_SIZE]);
+            drop(pc.take_dirty(&mut ctx, Some(3)));
+        }
+        assert!(pc.pool().tenant_live_bytes(capped) <= 2 * PAGE_SIZE as u64);
+        assert!(pc.pool().tenant_shed_pages(capped) >= 4);
     }
 
     #[test]

@@ -148,7 +148,8 @@ pub fn gate_rc_bug_configs() -> Vec<RcConfig> {
 
 /// The lock-discipline configurations the binary and the tier-1 gate
 /// run: the fixed PR 5 protocols (pool-dry write, ascending chunk sweep)
-/// must pass every interleaving.
+/// and the labtenant charge path (table released before pool locks) must
+/// pass every interleaving.
 pub fn gate_lock_configs() -> Vec<LockConfig> {
     vec![
         LockConfig {
@@ -157,11 +158,15 @@ pub fn gate_lock_configs() -> Vec<LockConfig> {
         LockConfig {
             variant: LockVariant::CorrectChunks,
         },
+        LockConfig {
+            variant: LockVariant::CorrectTenantCharge,
+        },
     ]
 }
 
 /// Planted lock bugs the gate must catch: the PR 5 re-entrant shard, the
-/// pre-PR 5 descending chunk sweep, and shedding while holding a shard.
+/// pre-PR 5 descending chunk sweep, shedding while holding a shard, and
+/// acquiring the tenant table under a page-cache shard.
 pub fn gate_lock_bug_configs() -> Vec<LockConfig> {
     vec![
         LockConfig {
@@ -172,6 +177,9 @@ pub fn gate_lock_bug_configs() -> Vec<LockConfig> {
         },
         LockConfig {
             variant: LockVariant::HoldAcrossAlloc,
+        },
+        LockConfig {
+            variant: LockVariant::TenantTableAfterShard,
         },
     ]
 }

@@ -176,6 +176,8 @@ impl Config {
                 LockClassSpec::lock("runtime.state", 30),
                 LockClassSpec::lock("runtime.policy", 32),
                 LockClassSpec::lock("runtime.admin", 34),
+                LockClassSpec::lock("qos.tenants", 36),
+                LockClassSpec::lock("qos.bucket", 38),
                 LockClassSpec::lock("registry.factories", 40),
                 LockClassSpec::lock("registry.repos", 42),
                 LockClassSpec::lock("registry.instances", 44),
@@ -214,6 +216,7 @@ impl Config {
                 "crates/ipc/src/",
                 "crates/core/src/",
                 "crates/sim/src/",
+                "crates/qos/src/",
             ],
         }
     }

@@ -26,6 +26,14 @@
 //! - [`LockVariant::HoldAcrossAlloc`] — shedding from another shard
 //!   *while still holding your own*: two threads on opposite shards
 //!   deadlock ABBA. The same-class double-hold rule flags it first.
+//! - [`LockVariant::CorrectTenantCharge`] — the labtenant admission
+//!   path: resolve the tenant in the `TenantTable` (rank 36), release
+//!   it, then take the page-cache shard and pool tracker ascending.
+//!   The table is never held across pool locks. Passes.
+//! - [`LockVariant::TenantTableAfterShard`] — the inversion the QoS
+//!   design rules out: attributing a shed to the `TenantTable` from
+//!   *inside* the shard lock (36 < 70). The witness flags the
+//!   descending acquire on every schedule.
 //!
 //! A deadlocked schedule (every unfinished thread blocked) is kept as a
 //! backstop violation, so the checker stays sound even for bugs the
@@ -65,6 +73,12 @@ pub enum LockVariant {
     DescendingChunks,
     /// Planted bug: shed another shard while holding your own.
     HoldAcrossAlloc,
+    /// The labtenant admission path: tenant table released before any
+    /// pool lock; shard and tracker then nest ascending.
+    CorrectTenantCharge,
+    /// Planted bug: acquire the tenant table (rank 36) while holding a
+    /// page-cache shard (rank 70) — the shed-attribution inversion.
+    TenantTableAfterShard,
 }
 
 /// Model-checker configuration (the variant fixes both threads' programs).
@@ -176,6 +190,12 @@ fn programs(variant: LockVariant) -> (Vec<LockSpec>, [Vec<Step>; 2]) {
         instance: 0,
         nest_within: false,
     };
+    let table = LockSpec {
+        name: "qos.tenants",
+        rank: 36,
+        instance: 0,
+        nest_within: false,
+    };
     use Step::{Acq, Rel};
     match variant {
         // Locks: [shard0, shard1, tracker]. Each thread writes a key in
@@ -240,6 +260,26 @@ fn programs(variant: LockVariant) -> (Vec<LockSpec>, [Vec<Step>; 2]) {
             [
                 vec![Acq(0), Acq(1), Rel(1), Rel(0)],
                 vec![Acq(1), Acq(0), Rel(0), Rel(1)],
+            ],
+        ),
+        // Locks: [table, shard0, tracker]. Both threads resolve their
+        // tenant under the table, release it, then charge a page: shard
+        // → tracker ascending. The table never overlaps a pool lock.
+        LockVariant::CorrectTenantCharge => (
+            vec![table, shard(0), tracker],
+            [
+                vec![Acq(0), Rel(0), Acq(1), Acq(2), Rel(2), Rel(1)],
+                vec![Acq(0), Rel(0), Acq(1), Acq(2), Rel(2), Rel(1)],
+            ],
+        ),
+        // Thread 0 attributes a shed victim via the table while still
+        // inside the shard lock: rank 36 acquired under rank 70. Thread
+        // 1 runs the correct order, so the ABBA deadlock also exists.
+        LockVariant::TenantTableAfterShard => (
+            vec![table, shard(0)],
+            [
+                vec![Acq(1), Acq(0), Rel(0), Rel(1)],
+                vec![Acq(0), Acq(1), Rel(1), Rel(0)],
             ],
         ),
     }
@@ -438,6 +478,28 @@ mod tests {
                 failure.violation,
                 LockViolation::OrderViolation { .. } | LockViolation::Deadlock
             ),
+            "got {:?}",
+            failure.violation
+        );
+    }
+
+    #[test]
+    fn correct_tenant_charge_passes() {
+        let report = explore_lock(&LockConfig {
+            variant: LockVariant::CorrectTenantCharge,
+        })
+        .expect("table released before pool locks cannot invert");
+        assert!(report.terminals >= 1);
+    }
+
+    #[test]
+    fn tenant_table_after_shard_is_caught() {
+        let failure = explore_lock(&LockConfig {
+            variant: LockVariant::TenantTableAfterShard,
+        })
+        .expect_err("must catch the table-under-shard inversion");
+        assert!(
+            matches!(failure.violation, LockViolation::OrderViolation { .. }),
             "got {:?}",
             failure.violation
         );
