@@ -34,4 +34,9 @@ echo "== bench_tenants smoke (noisy-neighbor tenant isolation gate)"
 cargo run -q --release -p labstor-bench --bin bench_tenants -- --smoke
 test -s BENCH_tenants.json
 
+echo "== crash_fuzz smoke (crash-recovery prefix-consistency campaign)"
+cargo run -q --release -p labstor-bench --bin crash_fuzz -- --smoke
+test -s BENCH_crash_fuzz.json
+test -s results/crash_fuzz_failures.json
+
 echo "ci: all gates passed"

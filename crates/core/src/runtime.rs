@@ -515,11 +515,21 @@ impl Runtime {
         }
         // All consumers are gone: forget the applied shape so the
         // post-restart rebalance reassigns from scratch (no handoff — a
-        // queue with no live consumer has nobody to quiesce), and
-        // un-pause anything a timed-out handoff left parked.
-        let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
-        state.last_shape.clear();
-        for q in state.pending_resume.drain(..) {
+        // queue with no live consumer has nobody to quiesce).
+        {
+            let mut state = self.rebalance_state.lock(); // lock-class: runtime.state
+            state.last_shape.clear();
+            state.pending_resume.clear();
+        }
+        // Sweep the pause flags of *every* queue, not just the ones a
+        // timed-out handoff parked in `pending_resume`: a crash landing
+        // mid-handoff (queues marked UPDATE_PENDING / acked, new
+        // assignment never published) leaves the pause bits set in the
+        // shared-memory rings, and the dead consumers can never clear
+        // them. Un-pausing is safe — no consumer survives a crash, so
+        // there is nothing left to quiesce — and required, or the
+        // envelopes parked in those rings would never be drained.
+        for q in self.ipc.primary_queues() {
             q.clear_update();
         }
     }

@@ -21,6 +21,7 @@
 pub mod lint;
 pub mod lockcheck;
 pub mod mc;
+pub mod mc_journal;
 pub mod mc_lock;
 pub mod mc_rc;
 pub mod scan;
@@ -28,6 +29,9 @@ pub mod scan;
 pub use lint::{lint_source, lint_workspace, render_json, render_text, Config, Diagnostic, Lint};
 pub use lockcheck::LockClassSpec;
 pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
+pub use mc_journal::{
+    explore_journal, JournalConfig, JournalFailure, JournalReport, JournalVariant, JournalViolation,
+};
 pub use mc_lock::{explore_lock, LockConfig, LockFailure, LockReport, LockVariant, LockViolation};
 pub use mc_rc::{explore_rc, RcConfig, RcFailure, RcReport, RcVariant, RcViolation};
 
@@ -180,6 +184,42 @@ pub fn gate_lock_bug_configs() -> Vec<LockConfig> {
         },
         LockConfig {
             variant: LockVariant::TenantTableAfterShard,
+        },
+    ]
+}
+
+/// The journal-protocol configurations the binary and the tier-1 gate
+/// run: the shipped two-write commit protocol at 1–3 transactions, with
+/// and without the silent-tear device fault, must survive every crash
+/// point with a prefix-consistent, exactly-once, corruption-free
+/// recovery.
+pub fn gate_journal_configs() -> Vec<JournalConfig> {
+    vec![
+        JournalConfig::correct(1, false),
+        JournalConfig::correct(2, true),
+        JournalConfig::correct(3, true),
+    ]
+}
+
+/// Planted journal bugs the gate must catch: acking before the commit
+/// record lands, a replay loop without idempotence bookkeeping, and a
+/// recovery that skips the payload CRC on torn records.
+pub fn gate_journal_bug_configs() -> Vec<JournalConfig> {
+    vec![
+        JournalConfig {
+            txns: 2,
+            allow_silent_tear: false,
+            variant: JournalVariant::LostCommit,
+        },
+        JournalConfig {
+            txns: 2,
+            allow_silent_tear: false,
+            variant: JournalVariant::ReplayTwice,
+        },
+        JournalConfig {
+            txns: 2,
+            allow_silent_tear: true,
+            variant: JournalVariant::TornCrcAccept,
         },
     ]
 }

@@ -14,9 +14,10 @@
 use std::process::ExitCode;
 
 use labstor_labcheck::{
-    explore, explore_lock, explore_rc, gate_lock_bug_configs, gate_lock_configs,
-    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
-    render_json, render_text, workspace_root, Config,
+    explore, explore_journal, explore_lock, explore_rc, gate_journal_bug_configs,
+    gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
+    gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_json,
+    render_text, workspace_root, Config,
 };
 
 fn main() -> ExitCode {
@@ -163,6 +164,37 @@ fn main() -> ExitCode {
                 failed = true;
             } else if !json {
                 println!("labcheck: lock caught planted bug {:?}", cfg.variant);
+            }
+        }
+        // And for the journal commit protocol (the PR 8 crash-consistency
+        // shape).
+        for cfg in gate_journal_configs() {
+            match explore_journal(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: journal ok  txns={} tear={} \
+                             ({} states, {} transitions, {} recoveries)",
+                            cfg.txns,
+                            cfg.allow_silent_tear,
+                            report.states,
+                            report.transitions,
+                            report.recoveries_checked
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: journal FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        for cfg in gate_journal_bug_configs() {
+            if explore_journal(&cfg).is_ok() {
+                eprintln!("labcheck: journal MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: journal caught planted bug {:?}", cfg.variant);
             }
         }
     }

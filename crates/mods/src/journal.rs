@@ -1,0 +1,507 @@
+//! Journaled commit protocol shared by the LabFS metadata log and the
+//! LabKVS op log.
+//!
+//! A flush becomes a *transaction* framed for crash consistency:
+//!
+//! ```text
+//! block k   : [ header | payload ... ]   <- one device write
+//! block k+1…: [ payload continued    ]
+//! block k+n : [ commit record        ]   <- a second, separate write
+//! ```
+//!
+//! The header carries a monotonically increasing sequence number, the
+//! payload length and CRC32, and its own CRC32; the commit record repeats
+//! the sequence number and payload CRC under its own CRC32 and is written
+//! *after* the payload write returns — the classic write-ahead ordering
+//! (jbd2-style): a transaction is durable iff its commit record is intact.
+//!
+//! Recovery ([`replay_scan`]) discovers the log extent from media alone:
+//! it walks the region from the start, validating header → payload CRC →
+//! commit per transaction and *stops at the first invalid frame*. Whatever
+//! follows — a torn payload, a payload without its commit record, stale
+//! bytes from a previous era — is discarded, making replay
+//! prefix-consistent: the recovered state is exactly the first N committed
+//! transactions for some N, never a subset with holes.
+
+use std::fmt;
+
+/// Magic tag opening a transaction header.
+pub const TXN_MAGIC: u32 = 0x4C42_4A31; // "LBJ1"
+/// Magic tag opening a commit record.
+pub const COMMIT_MAGIC: u32 = 0x4C42_434D; // "LBCM"
+
+/// Encoded header size: magic, seq, payload_len, payload_crc, header_crc.
+pub const HEADER_SIZE: usize = 4 + 8 + 4 + 4 + 4;
+/// Encoded commit-record size: magic, seq, payload_crc, commit_crc.
+pub const COMMIT_SIZE: usize = 4 + 8 + 4 + 4;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — hand-rolled so the journal has no
+// dependency the build environment would have to download.
+// ---------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Frame encode / decode
+// ---------------------------------------------------------------------
+
+/// Encode one transaction: returns `(body, commit)` where `body` is the
+/// block-padded header + payload (one write) and `commit` is one
+/// block-padded commit record (a second write, issued only after the body
+/// write has been accepted).
+pub fn encode_txn(seq: u64, payload: &[u8], block_size: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut body = Vec::with_capacity(HEADER_SIZE + payload.len());
+    body.extend_from_slice(&TXN_MAGIC.to_le_bytes());
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(&crc32(payload).to_le_bytes());
+    let header_crc = crc32(&body);
+    body.extend_from_slice(&header_crc.to_le_bytes());
+    body.extend_from_slice(payload);
+    let body_blocks = body.len().div_ceil(block_size);
+    body.resize(body_blocks * block_size, 0);
+
+    let mut commit = Vec::with_capacity(COMMIT_SIZE);
+    commit.extend_from_slice(&COMMIT_MAGIC.to_le_bytes());
+    commit.extend_from_slice(&seq.to_le_bytes());
+    commit.extend_from_slice(&crc32(payload).to_le_bytes());
+    let commit_crc = crc32(&commit);
+    commit.extend_from_slice(&commit_crc.to_le_bytes());
+    commit.resize(block_size, 0);
+    (body, commit)
+}
+
+/// Blocks one transaction occupies on media: block-padded header+payload
+/// plus the commit block.
+pub fn txn_blocks(payload_len: usize, block_size: usize) -> u64 {
+    (HEADER_SIZE + payload_len).div_ceil(block_size) as u64 + 1
+}
+
+/// A validated transaction header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHeader {
+    /// Transaction sequence number.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// CRC32 of the payload.
+    pub payload_crc: u32,
+}
+
+/// Outcome of parsing a header block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderParse {
+    /// A well-formed header.
+    Valid(TxnHeader),
+    /// All-zero bytes: never-written region (clean end of log).
+    Empty,
+    /// Nonzero bytes that are not a valid header (torn or stale).
+    Corrupt,
+}
+
+/// Parse the transaction header at the start of `block`.
+pub fn parse_header(block: &[u8]) -> HeaderParse {
+    if block.len() < HEADER_SIZE {
+        return HeaderParse::Corrupt;
+    }
+    if block.iter().all(|&b| b == 0) {
+        return HeaderParse::Empty;
+    }
+    let magic = u32::from_le_bytes(block[0..4].try_into().expect("sized"));
+    if magic != TXN_MAGIC {
+        return HeaderParse::Corrupt;
+    }
+    let stored_crc = u32::from_le_bytes(block[20..24].try_into().expect("sized"));
+    if crc32(&block[0..20]) != stored_crc {
+        return HeaderParse::Corrupt;
+    }
+    HeaderParse::Valid(TxnHeader {
+        seq: u64::from_le_bytes(block[4..12].try_into().expect("sized")),
+        payload_len: u32::from_le_bytes(block[12..16].try_into().expect("sized")),
+        payload_crc: u32::from_le_bytes(block[16..20].try_into().expect("sized")),
+    })
+}
+
+/// Validate the commit record at the start of `block` against the header
+/// it should seal.
+pub fn commit_valid(block: &[u8], seq: u64, payload_crc: u32) -> bool {
+    if block.len() < COMMIT_SIZE {
+        return false;
+    }
+    let magic = u32::from_le_bytes(block[0..4].try_into().expect("sized"));
+    let rec_seq = u64::from_le_bytes(block[4..12].try_into().expect("sized"));
+    let rec_crc = u32::from_le_bytes(block[12..16].try_into().expect("sized"));
+    let stored = u32::from_le_bytes(block[16..20].try_into().expect("sized"));
+    magic == COMMIT_MAGIC
+        && rec_seq == seq
+        && rec_crc == payload_crc
+        && crc32(&block[0..16]) == stored
+}
+
+// ---------------------------------------------------------------------
+// Prefix-consistent region scan
+// ---------------------------------------------------------------------
+
+/// Result of scanning one log region.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Committed transactions in order: `(seq, payload)`.
+    pub txns: Vec<(u64, Vec<u8>)>,
+    /// First free block after the last committed transaction, relative to
+    /// the region start — the resume point for new appends.
+    pub next_block: u64,
+    /// Torn or uncommitted transactions discarded at the tail.
+    pub txns_discarded: u64,
+    /// Payloads of discarded transactions whose bytes were intact (header
+    /// and payload CRC valid, commit record missing or bad) — countable
+    /// but NOT replayable without violating the commit protocol.
+    pub discarded_payloads: Vec<Vec<u8>>,
+    /// True when the scan stopped on nonzero garbage rather than a clean
+    /// (all-zero) end of log.
+    pub torn_tail: bool,
+}
+
+/// Walk a log region transaction by transaction, validating each frame and
+/// stopping at the first invalid one.
+///
+/// `read` fetches raw bytes: `read(block_offset, n_blocks)` returns the
+/// bytes of `n_blocks` blocks starting `block_offset` blocks into the
+/// region, or `None` on device error (treated as end of scan). Reads are
+/// incremental — proportional to the actual log extent, not the region
+/// size — so recovery cost scales with what was written.
+pub fn replay_scan<F>(region_blocks: u64, block_size: usize, mut read: F) -> ScanOutcome
+where
+    F: FnMut(u64, u64) -> Option<Vec<u8>>,
+{
+    let mut out = ScanOutcome::default();
+    let mut block = 0u64;
+    let mut expected_seq = 1u64;
+    while block < region_blocks {
+        let Some(hdr_block) = read(block, 1) else {
+            break;
+        };
+        let header = match parse_header(&hdr_block) {
+            HeaderParse::Valid(h) => h,
+            HeaderParse::Empty => break, // clean end of log
+            HeaderParse::Corrupt => {
+                out.torn_tail = true;
+                out.txns_discarded += 1;
+                break;
+            }
+        };
+        // A stale sequence number means this frame predates the current
+        // log era (e.g. leftover bytes past a shorter newer log); it is
+        // not part of this log's prefix.
+        if header.seq != expected_seq {
+            out.torn_tail = true;
+            out.txns_discarded += 1;
+            break;
+        }
+        let body_blocks = (HEADER_SIZE + header.payload_len as usize).div_ceil(block_size) as u64;
+        if block + body_blocks + 1 > region_blocks {
+            // Payload claims to extend past the region: corrupt length.
+            out.torn_tail = true;
+            out.txns_discarded += 1;
+            break;
+        }
+        let Some(body) = read(block, body_blocks) else {
+            break;
+        };
+        let payload = &body[HEADER_SIZE..HEADER_SIZE + header.payload_len as usize];
+        if crc32(payload) != header.payload_crc {
+            // Torn payload: the header landed, the data did not.
+            out.torn_tail = true;
+            out.txns_discarded += 1;
+            break;
+        }
+        let Some(commit_block) = read(block + body_blocks, 1) else {
+            break;
+        };
+        if !commit_valid(&commit_block, header.seq, header.payload_crc) {
+            // Intact payload without its commit record: the crash hit
+            // between the two writes. The bytes are readable but the
+            // transaction never committed, so it is discarded — replaying
+            // it would admit states the client was never acked.
+            out.torn_tail = true;
+            out.txns_discarded += 1;
+            out.discarded_payloads.push(payload.to_vec());
+            break;
+        }
+        out.txns.push((header.seq, payload.to_vec()));
+        block += body_blocks + 1;
+        out.next_block = block;
+        expected_seq += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Repair report
+// ---------------------------------------------------------------------
+
+/// What `state_repair` found and did, aggregated across all log regions.
+/// Replaces the old behavior of silently swallowing malformed entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Committed transactions replayed.
+    pub txns_replayed: u64,
+    /// Log records applied from committed transactions.
+    pub records_replayed: u64,
+    /// Torn or uncommitted transactions discarded.
+    pub txns_discarded: u64,
+    /// Records counted inside discarded-but-intact payloads (a lower
+    /// bound: torn payloads cannot be counted reliably).
+    pub records_discarded: u64,
+    /// True if any log region ended in nonzero garbage (torn tail).
+    pub torn_tail: bool,
+}
+
+impl RepairReport {
+    /// Fold another region's findings into this report.
+    pub fn merge(&mut self, other: &RepairReport) {
+        self.txns_replayed += other.txns_replayed;
+        self.records_replayed += other.records_replayed;
+        self.txns_discarded += other.txns_discarded;
+        self.records_discarded += other.records_discarded;
+        self.torn_tail |= other.torn_tail;
+    }
+
+    /// True when the log replayed without discarding anything.
+    pub fn is_clean(&self) -> bool {
+        self.txns_discarded == 0 && !self.torn_tail
+    }
+}
+
+impl fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repair: {} txns ({} records) replayed, {} txns ({}+ records) discarded{}",
+            self.txns_replayed,
+            self.records_replayed,
+            self.txns_discarded,
+            self.records_discarded,
+            if self.torn_tail { ", torn tail" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: usize = 4096;
+
+    /// In-memory "region" the scan closures read from.
+    fn reader(region: Vec<u8>) -> impl FnMut(u64, u64) -> Option<Vec<u8>> {
+        move |block, n| {
+            let start = block as usize * BS;
+            let end = start + n as usize * BS;
+            region.get(start..end).map(|s| s.to_vec())
+        }
+    }
+
+    fn region_with(txns: &[&[u8]]) -> Vec<u8> {
+        let mut region = vec![0u8; 64 * BS];
+        let mut block = 0usize;
+        for (i, payload) in txns.iter().enumerate() {
+            let (body, commit) = encode_txn(i as u64 + 1, payload, BS);
+            region[block * BS..block * BS + body.len()].copy_from_slice(&body);
+            block += body.len() / BS;
+            region[block * BS..block * BS + commit.len()].copy_from_slice(&commit);
+            block += 1;
+        }
+        region
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_scan_recovers_all_txns() {
+        let region = region_with(&[b"alpha", b"beta-beta", b"gamma"]);
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 3);
+        assert_eq!(out.txns[0], (1, b"alpha".to_vec()));
+        assert_eq!(out.txns[2], (3, b"gamma".to_vec()));
+        assert_eq!(out.next_block, 6); // 3 × (1 body + 1 commit)
+        assert_eq!(out.txns_discarded, 0);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn multi_block_payload_roundtrips() {
+        let big = vec![0x5Au8; 3 * BS + 100];
+        let region = region_with(&[&big]);
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 1);
+        assert_eq!(out.txns[0].1, big);
+        assert_eq!(out.next_block, txn_blocks(big.len(), BS));
+    }
+
+    #[test]
+    fn missing_commit_record_discards_tail_txn() {
+        let mut region = region_with(&[b"first", b"second"]);
+        // Zero the second txn's commit block (blocks: body0, commit0,
+        // body1, commit1).
+        region[3 * BS..4 * BS].fill(0);
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 1);
+        assert_eq!(out.txns_discarded, 1);
+        assert_eq!(out.discarded_payloads, vec![b"second".to_vec()]);
+        assert!(out.torn_tail);
+        assert_eq!(out.next_block, 2, "appends resume after the last commit");
+    }
+
+    #[test]
+    fn torn_payload_fails_crc_and_is_discarded() {
+        let mut region = region_with(&[b"first", b"second"]);
+        // Corrupt one payload byte of the second txn.
+        region[2 * BS + HEADER_SIZE] ^= 0xFF;
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 1);
+        assert_eq!(out.txns_discarded, 1);
+        assert!(out.torn_tail);
+        assert!(
+            out.discarded_payloads.is_empty(),
+            "torn bytes are not countable"
+        );
+    }
+
+    #[test]
+    fn corrupt_header_stops_scan() {
+        let mut region = region_with(&[b"first", b"second"]);
+        region[2 * BS + 2] ^= 0x40; // flip a header byte of txn 2
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 1);
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn remnants_past_an_overwritten_torn_tail_are_ignored() {
+        // Era 1: txn 1 committed, then a big torn txn 2 (2 payload blocks,
+        // commit never written). Recovery resumes at block 2; era 2 writes
+        // a *shorter* txn 2 there, leaving era-1 payload fragments beyond
+        // it. Those fragments must not parse as log.
+        let mut region = vec![0u8; 64 * BS];
+        let (b1, c1) = encode_txn(1, b"one", BS);
+        region[..b1.len()].copy_from_slice(&b1);
+        region[BS..BS + c1.len()].copy_from_slice(&c1);
+        let torn = vec![0x77u8; 2 * BS]; // body spans blocks 2..5
+        let (b2, _never_written) = encode_txn(2, &torn, BS);
+        region[2 * BS..2 * BS + b2.len()].copy_from_slice(&b2);
+        // Era 2 overwrite: short txn 2 at blocks 2 (body) + 3 (commit).
+        let (nb, nc) = encode_txn(2, b"short", BS);
+        region[2 * BS..2 * BS + nb.len()].copy_from_slice(&nb);
+        region[3 * BS..3 * BS + nc.len()].copy_from_slice(&nc);
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 2);
+        assert_eq!(out.txns[1].1, b"short".to_vec());
+        assert_eq!(out.next_block, 4);
+        // Block 4 holds era-1 payload bytes (0x77…): flagged torn, not
+        // replayed.
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn seq_gap_stops_scan() {
+        // A frame whose seq does not chain is stale, not part of the
+        // prefix.
+        let mut region = vec![0u8; 64 * BS];
+        let (b1, c1) = encode_txn(1, b"one", BS);
+        region[..b1.len()].copy_from_slice(&b1);
+        region[BS..BS + c1.len()].copy_from_slice(&c1);
+        let (b3, c3) = encode_txn(3, b"three", BS); // gap: no seq 2
+        region[2 * BS..2 * BS + b3.len()].copy_from_slice(&b3);
+        region[3 * BS..3 * BS + c3.len()].copy_from_slice(&c3);
+        let out = replay_scan(64, BS, reader(region));
+        assert_eq!(out.txns.len(), 1);
+        assert_eq!(out.txns_discarded, 1);
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn empty_region_is_clean() {
+        let out = replay_scan(64, BS, reader(vec![0u8; 64 * BS]));
+        assert!(out.txns.is_empty());
+        assert_eq!(out.next_block, 0);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn oversized_payload_len_rejected() {
+        let mut region = vec![0u8; 4 * BS];
+        // Hand-craft a header claiming a payload beyond the region.
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&TXN_MAGIC.to_le_bytes());
+        hdr.extend_from_slice(&1u64.to_le_bytes());
+        hdr.extend_from_slice(&(100 * BS as u32).to_le_bytes());
+        hdr.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&hdr);
+        hdr.extend_from_slice(&crc.to_le_bytes());
+        region[..hdr.len()].copy_from_slice(&hdr);
+        let out = replay_scan(4, BS, reader(region));
+        assert!(out.txns.is_empty());
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn repair_report_merge_and_display() {
+        let mut a = RepairReport {
+            txns_replayed: 2,
+            records_replayed: 10,
+            ..Default::default()
+        };
+        let b = RepairReport {
+            txns_replayed: 1,
+            records_replayed: 3,
+            txns_discarded: 1,
+            records_discarded: 2,
+            torn_tail: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.txns_replayed, 3);
+        assert_eq!(a.records_replayed, 13);
+        assert!(a.torn_tail);
+        assert!(!a.is_clean());
+        assert!(a.to_string().contains("torn tail"));
+        assert!(RepairReport::default().is_clean());
+    }
+}

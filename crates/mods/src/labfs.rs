@@ -37,6 +37,7 @@ use labstor_sim::{BlockDevice, Ctx, SimDevice};
 use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
+use crate::journal::{self, RepairReport};
 
 /// Filesystem block size.
 pub const FS_BLOCK: usize = 4096;
@@ -216,7 +217,9 @@ impl LogRecord {
 }
 
 /// One worker's metadata log: an in-memory buffer of encoded records plus
-/// a cursor into its reserved device region.
+/// a cursor into its reserved device region. Each flush becomes one
+/// journal transaction (see [`crate::journal`]): a header+payload write
+/// followed by a separate commit-record write.
 struct MetaLog {
     /// Encoded-but-unflushed records.
     buffer: Vec<u8>,
@@ -226,6 +229,8 @@ struct MetaLog {
     next_block: u64,
     /// Region size in blocks.
     region_blocks: u64,
+    /// Sequence number of the next transaction (starts at 1).
+    next_seq: u64,
 }
 
 impl MetaLog {
@@ -396,6 +401,8 @@ pub struct LabFs {
     /// Busy time spent in downstream stages (subtracted so
     /// `est_total_time` reports LabFS-exclusive work).
     downstream_ns: AtomicU64,
+    /// What the most recent `state_repair` found (see [`RepairReport`]).
+    last_repair: Mutex<Option<RepairReport>>,
 }
 
 impl LabFs {
@@ -416,6 +423,7 @@ impl LabFs {
                         region_start: w * LOG_BLOCKS_PER_WORKER,
                         next_block: w * LOG_BLOCKS_PER_WORKER,
                         region_blocks: LOG_BLOCKS_PER_WORKER,
+                        next_seq: 1,
                     })
                 })
                 .collect(),
@@ -423,6 +431,7 @@ impl LabFs {
             next_ino: AtomicU64::new(1),
             perf: PerfCounters::new(),
             downstream_ns: AtomicU64::new(0),
+            last_repair: Mutex::new(None),
         }
     }
 
@@ -457,24 +466,33 @@ impl LabFs {
         self.logs[core % self.logs.len()].lock().append(rec);
     }
 
-    /// Flush every log's buffered records to its device region
-    /// (sequential writes via the direct handle).
+    /// Flush every log's buffered records to its device region as one
+    /// journal transaction each: header+payload first, the commit record
+    /// only after that write was accepted (write-ahead ordering). A crash
+    /// between the two writes leaves an uncommitted transaction that
+    /// recovery discards.
     fn flush_logs(&self, ctx: &mut Ctx) -> Result<(), String> {
         for log in &self.logs {
             let mut log = log.lock();
             if log.buffer.is_empty() {
                 continue;
             }
-            let mut data = std::mem::take(&mut log.buffer);
-            let blocks = data.len().div_ceil(FS_BLOCK) as u64;
+            let blocks = journal::txn_blocks(log.buffer.len(), FS_BLOCK);
             if log.next_block + blocks > log.region_start + log.region_blocks {
                 return Err("metadata log region full".to_string());
             }
-            data.resize((blocks as usize) * FS_BLOCK, 0);
+            let (body, commit) = journal::encode_txn(log.next_seq, &log.buffer, FS_BLOCK);
             self.log_device
-                .write(ctx, log.next_block * BLOCK_SECTORS, &data)
+                .write(ctx, log.next_block * BLOCK_SECTORS, &body)
                 .map_err(|e| e.to_string())?;
+            let commit_block = log.next_block + (body.len() / FS_BLOCK) as u64;
+            self.log_device
+                .write(ctx, commit_block * BLOCK_SECTORS, &commit)
+                .map_err(|e| e.to_string())?;
+            // Committed: only now does the buffer count as durable.
+            log.buffer.clear();
             log.next_block += blocks;
+            log.next_seq += 1;
         }
         Ok(())
     }
@@ -564,42 +582,77 @@ impl LabFs {
         }
     }
 
-    /// Drop all in-memory state and rebuild it by traversing the on-device
-    /// logs — the crash-recovery path behind `state_repair`.
-    pub fn replay_from_device(&self) {
+    /// Drop all in-memory state and rebuild it by scanning the on-device
+    /// journal regions — the crash-recovery path behind `state_repair`.
+    ///
+    /// The scan trusts media, not in-memory cursors: it walks each region
+    /// from its start, replays the longest prefix of committed
+    /// transactions, and discards any torn or uncommitted tail (see
+    /// [`crate::journal::replay_scan`]). Cursors are then reset so new
+    /// appends resume right after the last committed transaction.
+    pub fn replay_from_device(&self) -> RepairReport {
         for shard in &self.names {
             shard.write().clear();
         }
         for shard in &self.nodes {
             shard.write().clear();
         }
+        let mut report = RepairReport::default();
         let mut ctx = Ctx::new(); // recovery timeline; not client-visible
         for log in &self.logs {
-            let log = log.lock();
-            let blocks = log.next_block - log.region_start;
-            if blocks == 0 {
-                continue;
-            }
-            let mut buf = vec![0u8; (blocks as usize) * FS_BLOCK];
-            if self
-                .log_device
-                .read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf)
-                .is_err()
-            {
-                continue;
-            }
-            // Flush segments are block-padded with zeroes; a zero tag
-            // means "skip to the next block boundary", not end-of-log.
-            let mut pos = 0usize;
-            while pos < buf.len() {
-                match LogRecord::decode(&buf, &mut pos) {
-                    Some(rec) => self.apply(rec),
-                    None => {
-                        pos = (pos / FS_BLOCK + 1) * FS_BLOCK;
+            let mut log = log.lock();
+            let region_start = log.region_start;
+            let device = &self.log_device;
+            let outcome = journal::replay_scan(log.region_blocks, FS_BLOCK, |block, n| {
+                let mut buf = vec![0u8; n as usize * FS_BLOCK];
+                device
+                    .read(&mut ctx, (region_start + block) * BLOCK_SECTORS, &mut buf)
+                    .ok()
+                    .map(|_| buf)
+            });
+            for (_seq, payload) in &outcome.txns {
+                let mut pos = 0usize;
+                while pos < payload.len() {
+                    match LogRecord::decode(payload, &mut pos) {
+                        Some(rec) => {
+                            self.apply(rec);
+                            report.records_replayed += 1;
+                        }
+                        None => {
+                            // A committed payload should decode cleanly;
+                            // a malformed entry is surfaced, not
+                            // swallowed.
+                            report.records_discarded += 1;
+                            break;
+                        }
                     }
                 }
             }
+            for payload in &outcome.discarded_payloads {
+                let mut pos = 0usize;
+                while pos < payload.len() {
+                    match LogRecord::decode(payload, &mut pos) {
+                        Some(_) => report.records_discarded += 1,
+                        None => break,
+                    }
+                }
+            }
+            report.txns_replayed += outcome.txns.len() as u64;
+            report.txns_discarded += outcome.txns_discarded;
+            report.torn_tail |= outcome.torn_tail;
+            // Resume appends after the last committed transaction, and
+            // drop any unflushed buffer — it predates the crash.
+            log.next_block = region_start + outcome.next_block;
+            log.next_seq = outcome.txns.last().map(|(s, _)| s + 1).unwrap_or(1);
+            log.buffer.clear();
         }
+        *self.last_repair.lock() = Some(report);
+        report
+    }
+
+    /// What the most recent repair found, if one has run.
+    pub fn last_repair(&self) -> Option<RepairReport> {
+        *self.last_repair.lock()
     }
 
     /// Number of live files/directories.
@@ -1341,6 +1394,17 @@ impl LabMod for LabFs {
                     );
                 }
             }
+            // Carry the journal cursors over so the new instance appends
+            // after the old one's transactions instead of overwriting the
+            // log from the start (which would orphan pre-upgrade metadata
+            // on the next crash).
+            for (mine, theirs) in self.logs.iter().zip(prev.logs.iter()) {
+                let mut m = mine.lock();
+                let t = theirs.lock();
+                m.buffer = t.buffer.clone();
+                m.next_block = t.next_block;
+                m.next_seq = t.next_seq;
+            }
             // relaxed-ok: fresh-id allocation; atomicity alone suffices
             self.next_ino
                 .store(prev.next_ino.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -1771,6 +1835,128 @@ mod tests {
             matches!(r, RespPayload::Data(d) if d == data),
             "data blocks survive via replayed mappings"
         );
+    }
+
+    #[test]
+    fn repair_reports_clean_replay() {
+        let (h, _) = Harness::new();
+        let mut ctx = Ctx::new();
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/clean".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        assert!(h.exec(Payload::Fs(FsOp::Fsync { ino }), &mut ctx).is_ok());
+        let labfs = h.labfs();
+        let fs = labfs.as_any().downcast_ref::<LabFs>().unwrap();
+        assert!(fs.last_repair().is_none(), "no repair has run yet");
+        let rep = fs.replay_from_device();
+        assert_eq!(rep.txns_replayed, 1);
+        assert!(rep.records_replayed >= 1);
+        assert!(rep.is_clean());
+        assert_eq!(fs.last_repair(), Some(rep));
+    }
+
+    #[test]
+    fn uncommitted_tail_txn_is_discarded_and_reported() {
+        let (h, dev) = Harness::new();
+        let mut ctx = Ctx::new();
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/durable".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        assert!(h.exec(Payload::Fs(FsOp::Fsync { ino }), &mut ctx).is_ok());
+        let labfs = h.labfs();
+        let fs = labfs.as_any().downcast_ref::<LabFs>().unwrap();
+        // Simulate a crash between the payload write and the commit
+        // write: hand-write a valid seq-2 body frame with no commit
+        // record after transaction 1.
+        let mut payload = Vec::new();
+        LogRecord::Create {
+            path: "/lost".into(),
+            ino: 99,
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            is_dir: false,
+        }
+        .encode(&mut payload);
+        let (body, _commit_never_written) = crate::journal::encode_txn(2, &payload, FS_BLOCK);
+        let next = fs.logs[0].lock().next_block;
+        dev.write(&mut ctx, next * BLOCK_SECTORS, &body).unwrap();
+        let rep = fs.replay_from_device();
+        assert_eq!(rep.txns_replayed, 1);
+        assert_eq!(rep.txns_discarded, 1);
+        assert_eq!(rep.records_discarded, 1);
+        assert!(rep.torn_tail);
+        assert_eq!(
+            fs.file_count(),
+            1,
+            "/lost was never acked, so it must not appear"
+        );
+        // Appends resume after the committed prefix: the next fsync
+        // overwrites the torn tail.
+        let ino2 = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/after".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        assert!(h
+            .exec(Payload::Fs(FsOp::Fsync { ino: ino2 }), &mut ctx)
+            .is_ok());
+        assert!(fs.replay_from_device().is_clean());
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn silently_torn_flush_is_caught_by_crc_on_replay() {
+        // Find a seed whose first torn write lands zero sectors, so the
+        // flush's body write vanishes entirely while still being acked.
+        let seed = (1..256u64)
+            .find(|&s| {
+                let f = labstor_sim::FaultConfig::default();
+                f.set_seed(s);
+                f.set_torn(1, true);
+                f.torn_sectors(8) == Some(0)
+            })
+            .expect("some seed tears to zero sectors");
+        let (h, dev) = Harness::new();
+        let mut ctx = Ctx::new();
+        let ino = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/stays".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        assert!(h.exec(Payload::Fs(FsOp::Fsync { ino }), &mut ctx).is_ok());
+        dev.faults().set_seed(seed);
+        dev.faults().set_torn(1, true);
+        let ino2 = ino_of(h.exec(
+            Payload::Fs(FsOp::Create {
+                path: "/ghost".into(),
+                mode: 0o644,
+            }),
+            &mut ctx,
+        ));
+        // The fsync is acked — the device lies about the torn write.
+        assert!(h
+            .exec(Payload::Fs(FsOp::Fsync { ino: ino2 }), &mut ctx)
+            .is_ok());
+        dev.faults().set_torn(0, false);
+        let labfs = h.labfs();
+        let fs = labfs.as_any().downcast_ref::<LabFs>().unwrap();
+        let rep = fs.replay_from_device();
+        // The CRC chain catches what the ack hid: only txn 1 survives.
+        assert_eq!(rep.txns_replayed, 1);
+        assert_eq!(fs.file_count(), 1);
     }
 
     #[test]

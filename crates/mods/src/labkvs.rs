@@ -18,6 +18,7 @@ use labstor_sim::{BlockDevice, Ctx, SimDevice};
 use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
+use crate::journal::{self, RepairReport};
 use crate::labfs::BlockAllocator;
 
 const KV_BLOCK: usize = 4096;
@@ -100,11 +101,14 @@ impl KvRecord {
     }
 }
 
+/// One worker's op log. Like LabFS's `MetaLog`, each flush becomes a
+/// journal transaction (see [`crate::journal`]).
 struct KvLog {
     buffer: Vec<u8>,
     region_start: u64,
     next_block: u64,
     region_blocks: u64,
+    next_seq: u64,
 }
 
 /// The LabKVS LabMod.
@@ -114,6 +118,8 @@ pub struct LabKvs {
     logs: Vec<Mutex<KvLog>>,
     log_device: Arc<SimDevice>,
     perf: PerfCounters,
+    /// What the most recent `state_repair` found (see [`RepairReport`]).
+    last_repair: Mutex<Option<RepairReport>>,
 }
 
 impl LabKvs {
@@ -133,11 +139,13 @@ impl LabKvs {
                         region_start: w * LOG_BLOCKS_PER_WORKER,
                         next_block: w * LOG_BLOCKS_PER_WORKER,
                         region_blocks: LOG_BLOCKS_PER_WORKER,
+                        next_seq: 1,
                     })
                 })
                 .collect(),
             log_device: device,
             perf: PerfCounters::new(),
+            last_repair: Mutex::new(None),
         }
     }
 
@@ -154,71 +162,112 @@ impl LabKvs {
         rec.encode(&mut self.logs[core % self.logs.len()].lock().buffer);
     }
 
-    /// Persist buffered log records.
+    /// Persist buffered log records as one journal transaction per log:
+    /// header+payload first, the commit record only after that write was
+    /// accepted (write-ahead ordering).
     pub fn flush_logs(&self, ctx: &mut Ctx) -> Result<(), String> {
         for log in &self.logs {
             let mut log = log.lock();
             if log.buffer.is_empty() {
                 continue;
             }
-            let mut data = std::mem::take(&mut log.buffer);
-            let blocks = data.len().div_ceil(KV_BLOCK) as u64;
+            let blocks = journal::txn_blocks(log.buffer.len(), KV_BLOCK);
             if log.next_block + blocks > log.region_start + log.region_blocks {
                 return Err("kvs log region full".into());
             }
-            data.resize((blocks as usize) * KV_BLOCK, 0);
+            let (body, commit) = journal::encode_txn(log.next_seq, &log.buffer, KV_BLOCK);
             self.log_device
-                .write(ctx, log.next_block * BLOCK_SECTORS, &data)
+                .write(ctx, log.next_block * BLOCK_SECTORS, &body)
                 .map_err(|e| e.to_string())?;
+            let commit_block = log.next_block + (body.len() / KV_BLOCK) as u64;
+            self.log_device
+                .write(ctx, commit_block * BLOCK_SECTORS, &commit)
+                .map_err(|e| e.to_string())?;
+            log.buffer.clear();
             log.next_block += blocks;
+            log.next_seq += 1;
         }
         Ok(())
     }
 
-    /// Rebuild the key map from the persisted logs.
-    pub fn replay_from_device(&self) {
+    /// Apply one replayed record to the key map.
+    fn apply(&self, rec: KvRecord) {
+        match rec {
+            KvRecord::Put { key, len, blocks } => {
+                self.shard(&key).write().insert(
+                    key,
+                    ValueLoc {
+                        len: len as usize,
+                        blocks,
+                    },
+                );
+            }
+            KvRecord::Remove { key } => {
+                self.shard(&key).write().remove(&key);
+            }
+        }
+    }
+
+    /// Rebuild the key map by scanning the on-device journal regions,
+    /// replaying the longest prefix of committed transactions and
+    /// discarding any torn or uncommitted tail (see
+    /// [`crate::journal::replay_scan`]). The scan trusts media, not
+    /// in-memory cursors.
+    pub fn replay_from_device(&self) -> RepairReport {
         for shard in &self.shards {
             shard.write().clear();
         }
+        let mut report = RepairReport::default();
         let mut ctx = Ctx::new();
         for log in &self.logs {
-            let log = log.lock();
-            let blocks = log.next_block - log.region_start;
-            if blocks == 0 {
-                continue;
-            }
-            let mut buf = vec![0u8; (blocks as usize) * KV_BLOCK];
-            if self
-                .log_device
-                .read(&mut ctx, log.region_start * BLOCK_SECTORS, &mut buf)
-                .is_err()
-            {
-                continue;
-            }
-            // Flush segments are block-padded with zeroes; a zero tag
-            // means "skip to the next block boundary", not end-of-log.
-            let mut pos = 0usize;
-            while pos < buf.len() {
-                let Some(rec) = KvRecord::decode(&buf, &mut pos) else {
-                    pos = (pos / KV_BLOCK + 1) * KV_BLOCK;
-                    continue;
-                };
-                match rec {
-                    KvRecord::Put { key, len, blocks } => {
-                        self.shard(&key).write().insert(
-                            key,
-                            ValueLoc {
-                                len: len as usize,
-                                blocks,
-                            },
-                        );
-                    }
-                    KvRecord::Remove { key } => {
-                        self.shard(&key).write().remove(&key);
+            let mut log = log.lock();
+            let region_start = log.region_start;
+            let device = &self.log_device;
+            let outcome = journal::replay_scan(log.region_blocks, KV_BLOCK, |block, n| {
+                let mut buf = vec![0u8; n as usize * KV_BLOCK];
+                device
+                    .read(&mut ctx, (region_start + block) * BLOCK_SECTORS, &mut buf)
+                    .ok()
+                    .map(|_| buf)
+            });
+            for (_seq, payload) in &outcome.txns {
+                let mut pos = 0usize;
+                while pos < payload.len() {
+                    match KvRecord::decode(payload, &mut pos) {
+                        Some(rec) => {
+                            self.apply(rec);
+                            report.records_replayed += 1;
+                        }
+                        None => {
+                            report.records_discarded += 1;
+                            break;
+                        }
                     }
                 }
             }
+            for payload in &outcome.discarded_payloads {
+                let mut pos = 0usize;
+                while pos < payload.len() {
+                    match KvRecord::decode(payload, &mut pos) {
+                        Some(_) => report.records_discarded += 1,
+                        None => break,
+                    }
+                }
+            }
+            report.txns_replayed += outcome.txns.len() as u64;
+            report.txns_discarded += outcome.txns_discarded;
+            report.torn_tail |= outcome.torn_tail;
+            log.next_block = region_start + outcome.next_block;
+            log.next_seq = outcome.txns.last().map(|(s, _)| s + 1).unwrap_or(1);
+            log.buffer.clear();
         }
+        *self.last_repair.lock() = Some(report);
+        report
+    }
+
+    /// What the most recent repair found, if one has run.
+    pub fn last_repair(&self) -> Option<RepairReport> {
+        *self.last_repair.lock()
     }
 
     /// Number of live keys.
@@ -479,6 +528,16 @@ impl LabMod for LabKvs {
             self.perf.absorb(&prev.perf);
             for (mine, theirs) in self.shards.iter().zip(prev.shards.iter()) {
                 *mine.write() = theirs.read().clone();
+            }
+            // Carry journal cursors so post-upgrade flushes append after
+            // the old instance's transactions instead of restarting the
+            // log (which would orphan pre-upgrade entries on a crash).
+            for (mine, theirs) in self.logs.iter().zip(prev.logs.iter()) {
+                let mut m = mine.lock();
+                let t = theirs.lock();
+                m.buffer = t.buffer.clone();
+                m.next_block = t.next_block;
+                m.next_seq = t.next_seq;
             }
         }
     }
@@ -777,6 +836,45 @@ mod tests {
             &mut ctx,
         );
         assert!(matches!(r, RespPayload::Data(d) if d == value));
+    }
+
+    #[test]
+    fn uncommitted_kv_txn_is_discarded_and_reported() {
+        let (mm, stack) = setup();
+        let mut ctx = Ctx::new();
+        exec(
+            &mm,
+            &stack,
+            Payload::Kvs(KvsOp::Put {
+                key: "durable".into(),
+                value: vec![1u8; 64],
+            }),
+            &mut ctx,
+        );
+        let kv_mod = mm.get("kv").unwrap();
+        let kv = kv_mod.as_any().downcast_ref::<LabKvs>().unwrap();
+        kv.flush_logs(&mut ctx).unwrap();
+        // Crash between the payload and commit writes of a second
+        // transaction: a valid seq-2 body frame with no commit record.
+        let mut payload = Vec::new();
+        KvRecord::Put {
+            key: "ghost".into(),
+            len: 8,
+            blocks: vec![4242],
+        }
+        .encode(&mut payload);
+        let (body, _commit_never_written) = journal::encode_txn(2, &payload, KV_BLOCK);
+        let next = kv.logs[0].lock().next_block;
+        kv.log_device
+            .write(&mut ctx, next * BLOCK_SECTORS, &body)
+            .unwrap();
+        let rep = kv.replay_from_device();
+        assert_eq!(rep.txns_replayed, 1);
+        assert_eq!(rep.txns_discarded, 1);
+        assert_eq!(rep.records_discarded, 1);
+        assert!(rep.torn_tail);
+        assert_eq!(kv.key_count(), 1, "ghost was never acked");
+        assert_eq!(kv.last_repair(), Some(rep));
     }
 
     #[test]

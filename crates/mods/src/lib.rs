@@ -37,6 +37,7 @@ pub mod devices;
 pub mod drivers;
 pub mod dummy;
 pub mod generic;
+pub mod journal;
 pub mod labfs;
 pub mod labkvs;
 pub mod lru;
@@ -45,6 +46,7 @@ pub mod sched;
 
 pub use devices::DeviceRegistry;
 pub use generic::{GenericFs, GenericKvs};
+pub use journal::RepairReport;
 
 use labstor_core::ModuleManager;
 

@@ -150,6 +150,34 @@ impl SimDevice {
         (ns, seeked)
     }
 
+    /// Deliver an async completion, applying the drop/delay fault knobs.
+    /// Dropping models a lost CQ entry: the media work already happened,
+    /// the host just never hears; delaying slips the deadline, deferring
+    /// everything behind it on the same in-order queue.
+    fn deliver(
+        &self,
+        queue: &HwQueue,
+        tag: u64,
+        result: Result<Vec<u8>, DeviceError>,
+        service_ns: u64,
+        due: u64,
+    ) {
+        if self.faults.should_drop() {
+            self.stats.record_dropped();
+            return;
+        }
+        let due = due + self.faults.delay_for().unwrap_or(0);
+        queue.push(PendingIo {
+            due,
+            completion: Completion {
+                tag,
+                result,
+                service_ns,
+                done_at: due,
+            },
+        });
+    }
+
     /// Copy data to/from the sparse backing store. Unwritten chunks read
     /// as zeroes.
     fn transfer(&self, write: bool, lba: u64, buf_w: Option<&[u8]>, buf_r: Option<&mut [u8]>) {
@@ -197,76 +225,165 @@ impl BlockDevice for SimDevice {
             qid,
             hw_queues: self.queues.len(),
         })?;
+        // Power cut: from `crash_at` on the device is dead. The host's
+        // driver observes this immediately, so the command fails with a
+        // typed completion rather than hanging a poller.
+        if let Some(cut) = self.faults.crash_at() {
+            if at >= cut {
+                self.stats.record_error();
+                self.deliver(
+                    queue,
+                    req.tag,
+                    Err(DeviceError::PoweredOff { crash_at: cut }),
+                    0,
+                    at,
+                );
+                return Ok(());
+            }
+        }
         if self.faults.should_fail() {
+            // The media burns the command's modeled bus/transfer time
+            // before reporting failure, so the error completion is
+            // charged in virtual time like a success would be.
+            let service_ns = match req.op {
+                IoOp::Flush => 0,
+                IoOp::Write => self.model.transfer_ns(true, req.data.len()),
+                IoOp::Read => self.model.transfer_ns(false, req.len),
+            };
             self.stats.record_error();
-            queue.push(PendingIo {
-                due: at,
-                completion: Completion {
-                    tag: req.tag,
-                    result: Err(DeviceError::MediaError { lba: req.lba }),
-                    service_ns: 0,
-                    done_at: at,
-                },
-            });
+            let due = if service_ns > 0 {
+                self.channels.acquire_affine(qid, at, service_ns).1
+            } else {
+                at
+            };
+            self.deliver(
+                queue,
+                req.tag,
+                Err(DeviceError::MediaError { lba: req.lba }),
+                service_ns,
+                due,
+            );
             return Ok(());
         }
-        let (result, service_ns) = match req.op {
+        match req.op {
             IoOp::Flush => {
                 // Barrier: due when everything queued ahead of it is due.
                 let due = queue.last_due().unwrap_or(at).max(at);
-                queue.push(PendingIo {
-                    due,
-                    completion: Completion {
-                        tag: req.tag,
-                        result: Ok(Vec::new()),
-                        service_ns: 0,
-                        done_at: due,
-                    },
-                });
-                return Ok(());
+                if let Some(cut) = self.faults.crash_at() {
+                    if due > cut {
+                        // Power died before the barrier resolved: no
+                        // durability point was reached.
+                        self.stats.record_error();
+                        self.deliver(
+                            queue,
+                            req.tag,
+                            Err(DeviceError::PoweredOff { crash_at: cut }),
+                            0,
+                            due,
+                        );
+                        return Ok(());
+                    }
+                }
+                self.deliver(queue, req.tag, Ok(Vec::new()), 0, due);
             }
-            IoOp::Write => match self.validate(req.lba, req.data.len()) {
-                Ok(()) => {
-                    let (ns, seeked) = self.service_ns(true, req.lba, req.data.len());
-                    self.transfer(true, req.lba, Some(&req.data), None);
-                    self.stats.record(true, req.data.len(), ns, seeked);
-                    (Ok(Vec::new()), ns)
-                }
-                Err(e) => {
+            IoOp::Write => {
+                if let Err(e) = self.validate(req.lba, req.data.len()) {
                     self.stats.record_error();
-                    (Err(e), 0)
+                    self.deliver(queue, req.tag, Err(e), 0, at);
+                    return Ok(());
                 }
-            },
-            IoOp::Read => match self.validate(req.lba, req.len) {
-                Ok(()) => {
-                    let (ns, seeked) = self.service_ns(false, req.lba, req.len);
-                    let mut buf = vec![0u8; req.len];
-                    self.transfer(false, req.lba, None, Some(&mut buf));
-                    self.stats.record(false, req.len, ns, seeked);
-                    (Ok(buf), ns)
+                let (ns, seeked) = self.service_ns(true, req.lba, req.data.len());
+                let sectors = (req.data.len() / SECTOR_SIZE) as u64;
+                // Queue-affine channel: one queue's backlog does not block
+                // other queues' commands (NVMe round-robin SQ arbitration).
+                let due = self.channels.acquire_affine(qid, at, ns).1;
+                if let Some(cut) = self.faults.crash_at() {
+                    if due > cut {
+                        // The media work straddles the power cut: a seeded
+                        // prefix of sectors lands, the rest is lost, and
+                        // the host sees the typed error at the cut.
+                        let landed = self.faults.crash_torn_sectors(req.lba, sectors);
+                        if landed > 0 {
+                            self.transfer(
+                                true,
+                                req.lba,
+                                Some(&req.data[..landed as usize * SECTOR_SIZE]),
+                                None,
+                            );
+                        }
+                        self.stats.record_error();
+                        self.deliver(
+                            queue,
+                            req.tag,
+                            Err(DeviceError::PoweredOff { crash_at: cut }),
+                            ns,
+                            due.max(cut),
+                        );
+                        return Ok(());
+                    }
                 }
-                Err(e) => {
+                if let Some(landed) = self.faults.torn_sectors(sectors) {
+                    if landed > 0 {
+                        self.transfer(
+                            true,
+                            req.lba,
+                            Some(&req.data[..landed as usize * SECTOR_SIZE]),
+                            None,
+                        );
+                    }
+                    if self.faults.torn_silent() {
+                        // Silent tear: acked as a full success — only a
+                        // checksum on replay can tell the difference.
+                        self.stats.record(true, req.data.len(), ns, seeked);
+                        self.deliver(queue, req.tag, Ok(Vec::new()), ns, due);
+                    } else {
+                        self.stats.record_error();
+                        self.deliver(
+                            queue,
+                            req.tag,
+                            Err(DeviceError::TornWrite {
+                                lba: req.lba,
+                                sectors_written: landed,
+                                sectors_requested: sectors,
+                            }),
+                            ns,
+                            due,
+                        );
+                    }
+                    return Ok(());
+                }
+                self.transfer(true, req.lba, Some(&req.data), None);
+                self.stats.record(true, req.data.len(), ns, seeked);
+                self.deliver(queue, req.tag, Ok(Vec::new()), ns, due);
+            }
+            IoOp::Read => {
+                if let Err(e) = self.validate(req.lba, req.len) {
                     self.stats.record_error();
-                    (Err(e), 0)
+                    self.deliver(queue, req.tag, Err(e), 0, at);
+                    return Ok(());
                 }
-            },
-        };
-        // Queue-affine channel: one queue's backlog does not block other
-        // queues' commands (NVMe round-robin SQ arbitration).
-        let due = if result.is_ok() {
-            self.channels.acquire_affine(qid, at, service_ns).1
-        } else {
-            at
-        };
-        queue.push(PendingIo {
-            due,
-            completion: Completion {
-                tag: req.tag,
-                result,
-                service_ns,
-                done_at: due,
-            },
-        });
+                let (ns, seeked) = self.service_ns(false, req.lba, req.len);
+                let due = self.channels.acquire_affine(qid, at, ns).1;
+                if let Some(cut) = self.faults.crash_at() {
+                    if due > cut {
+                        // The device died before the data came back.
+                        self.stats.record_error();
+                        self.deliver(
+                            queue,
+                            req.tag,
+                            Err(DeviceError::PoweredOff { crash_at: cut }),
+                            ns,
+                            due.max(cut),
+                        );
+                        return Ok(());
+                    }
+                }
+                let mut buf = vec![0u8; req.len];
+                self.transfer(false, req.lba, None, Some(&mut buf));
+                self.stats.record(false, req.len, ns, seeked);
+                self.deliver(queue, req.tag, Ok(buf), ns, due);
+            }
+        }
         Ok(())
     }
 
@@ -283,12 +400,30 @@ impl BlockDevice for SimDevice {
 
     fn read(&self, ctx: &mut Ctx, lba: u64, buf: &mut [u8]) -> Result<u64, DeviceError> {
         self.validate(lba, buf.len())?;
+        if let Some(cut) = self.faults.crash_at() {
+            if ctx.now() >= cut {
+                self.stats.record_error();
+                return Err(DeviceError::PoweredOff { crash_at: cut });
+            }
+        }
         if self.faults.should_fail() {
+            // Charge the bus time the failed command consumed.
+            let ns = self.model.transfer_ns(false, buf.len());
+            let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
             self.stats.record_error();
+            ctx.idle_until(end);
             return Err(DeviceError::MediaError { lba });
         }
         let (ns, seeked) = self.service_ns(false, lba, buf.len());
         let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
+        if let Some(cut) = self.faults.crash_at() {
+            if end > cut {
+                // The device died before the data came back.
+                self.stats.record_error();
+                ctx.idle_until(cut);
+                return Err(DeviceError::PoweredOff { crash_at: cut });
+            }
+        }
         self.transfer(false, lba, None, Some(buf));
         self.stats.record(false, buf.len(), ns, seeked);
         ctx.idle_until(end);
@@ -297,12 +432,53 @@ impl BlockDevice for SimDevice {
 
     fn write(&self, ctx: &mut Ctx, lba: u64, buf: &[u8]) -> Result<u64, DeviceError> {
         self.validate(lba, buf.len())?;
+        if let Some(cut) = self.faults.crash_at() {
+            if ctx.now() >= cut {
+                self.stats.record_error();
+                return Err(DeviceError::PoweredOff { crash_at: cut });
+            }
+        }
         if self.faults.should_fail() {
+            // Charge the bus time the failed command consumed.
+            let ns = self.model.transfer_ns(true, buf.len());
+            let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
             self.stats.record_error();
+            ctx.idle_until(end);
             return Err(DeviceError::MediaError { lba });
         }
         let (ns, seeked) = self.service_ns(true, lba, buf.len());
         let (_, end) = self.channels.acquire(ctx.now(), ns); // lock-class: sim.channel
+        let sectors = (buf.len() / SECTOR_SIZE) as u64;
+        if let Some(cut) = self.faults.crash_at() {
+            if end > cut {
+                // Power loss mid-write: a seeded prefix of sectors lands,
+                // the rest is lost, and the caller never gets an ack.
+                let landed = self.faults.crash_torn_sectors(lba, sectors);
+                if landed > 0 {
+                    self.transfer(true, lba, Some(&buf[..landed as usize * SECTOR_SIZE]), None);
+                }
+                self.stats.record_error();
+                ctx.idle_until(cut);
+                return Err(DeviceError::PoweredOff { crash_at: cut });
+            }
+        }
+        if let Some(landed) = self.faults.torn_sectors(sectors) {
+            if landed > 0 {
+                self.transfer(true, lba, Some(&buf[..landed as usize * SECTOR_SIZE]), None);
+            }
+            ctx.idle_until(end);
+            if self.faults.torn_silent() {
+                // Silent tear: acked as a full success.
+                self.stats.record(true, buf.len(), ns, seeked);
+                return Ok(ns);
+            }
+            self.stats.record_error();
+            return Err(DeviceError::TornWrite {
+                lba,
+                sectors_written: landed,
+                sectors_requested: sectors,
+            });
+        }
         self.transfer(true, lba, Some(buf), None);
         self.stats.record(true, buf.len(), ns, seeked);
         ctx.idle_until(end);
@@ -424,6 +600,129 @@ mod tests {
             Err(DeviceError::MediaError { .. })
         ));
         assert_eq!(d.stats().snapshot().errors, 1);
+    }
+
+    #[test]
+    fn media_errors_are_charged_in_virtual_time() {
+        let d = dev(DeviceKind::Nvme);
+        d.faults().set_period(1);
+        // Sync: the failed read still advances the caller's clock.
+        let mut ctx = Ctx::new();
+        let mut buf = vec![0u8; 4096];
+        assert!(matches!(
+            d.read(&mut ctx, 0, &mut buf),
+            Err(DeviceError::MediaError { .. })
+        ));
+        assert_eq!(ctx.now(), d.model().transfer_ns(false, 4096));
+        // Async: the error completion's deadline reflects the bus time.
+        d.submit_at(0, IoRequest::write(0, vec![0u8; 4096], 1), 0)
+            .unwrap();
+        let c = d.poll(0, u64::MAX, 16);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c[0].result, Err(DeviceError::MediaError { .. })));
+        assert_eq!(c[0].service_ns, d.model().transfer_ns(true, 4096));
+        assert!(c[0].done_at >= c[0].service_ns);
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_and_surfaces_typed_error() {
+        let d = dev(DeviceKind::Nvme);
+        d.faults().set_seed(7);
+        d.faults().set_torn(1, false);
+        let mut ctx = Ctx::new();
+        let data = vec![0xABu8; 8 * 512];
+        let landed = match d.write(&mut ctx, 0, &data) {
+            Err(DeviceError::TornWrite {
+                sectors_written,
+                sectors_requested,
+                ..
+            }) => {
+                assert_eq!(sectors_requested, 8);
+                assert!(sectors_written < 8);
+                sectors_written
+            }
+            other => panic!("expected TornWrite, got {other:?}"),
+        };
+        d.faults().set_torn(0, false);
+        let mut out = vec![0u8; 8 * 512];
+        d.read(&mut ctx, 0, &mut out).unwrap();
+        let cut = landed as usize * 512;
+        assert!(out[..cut].iter().all(|&b| b == 0xAB));
+        assert!(out[cut..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn silent_torn_write_acks_success() {
+        let d = dev(DeviceKind::Nvme);
+        d.faults().set_seed(9);
+        d.faults().set_torn(1, true);
+        let mut ctx = Ctx::new();
+        let data = vec![0xCDu8; 4 * 512];
+        d.write(&mut ctx, 0, &data).expect("silent tear acks");
+        d.faults().set_torn(0, false);
+        let mut out = vec![0u8; 4 * 512];
+        d.read(&mut ctx, 0, &mut out).unwrap();
+        assert_ne!(out, data, "only a strict prefix landed");
+    }
+
+    #[test]
+    fn power_cut_kills_later_commands_and_tears_straddlers() {
+        let d = dev(DeviceKind::Nvme);
+        let mut ctx = Ctx::new();
+        d.write(&mut ctx, 0, &[1u8; 512]).unwrap();
+        // Cut power mid-way through the next write's service window.
+        d.faults().set_crash_at(ctx.now() + 1);
+        assert!(matches!(
+            d.write(&mut ctx, 8, &[2u8; 8 * 512]),
+            Err(DeviceError::PoweredOff { .. })
+        ));
+        // The device is now dead: even a zero-length-of-time op fails.
+        let mut buf = vec![0u8; 512];
+        assert!(matches!(
+            d.read(&mut ctx, 0, &mut buf),
+            Err(DeviceError::PoweredOff { .. })
+        ));
+        // Restore power: pre-cut data intact, straddler at most a prefix.
+        d.faults().clear_crash();
+        let mut ctx2 = Ctx::new();
+        d.read(&mut ctx2, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 512]);
+        let mut out = vec![0u8; 8 * 512];
+        d.read(&mut ctx2, 8, &mut out).unwrap();
+        let landed = out.iter().take_while(|&&b| b == 2).count();
+        assert!(landed < 8 * 512, "straddling write must not land fully");
+        assert!(out[landed..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dropped_completion_never_arrives() {
+        let d = dev(DeviceKind::Nvme);
+        d.faults().set_drop_period(1);
+        d.submit_at(0, IoRequest::write(0, vec![3u8; 512], 1), 0)
+            .unwrap();
+        assert!(d.poll(0, u64::MAX, 16).is_empty());
+        assert_eq!(d.stats().snapshot().dropped, 1);
+        // The media work still happened.
+        d.faults().set_drop_period(0);
+        let mut ctx = Ctx::new();
+        let mut buf = vec![0u8; 512];
+        d.read(&mut ctx, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![3u8; 512]);
+    }
+
+    #[test]
+    fn delayed_completion_slips_deadline() {
+        let d = dev(DeviceKind::Nvme);
+        d.submit_at(0, IoRequest::write(0, vec![0u8; 512], 1), 0)
+            .unwrap();
+        let base = d.next_due(0).unwrap();
+        let c = d.poll(0, base, 16);
+        assert_eq!(c.len(), 1);
+        d.faults().set_delay(1, 5_000);
+        d.submit_at(0, IoRequest::write(0, vec![0u8; 512], 2), base)
+            .unwrap();
+        let delayed = d.next_due(0).unwrap();
+        assert!(delayed >= base + 5_000);
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   kernel filesystem (through the simulated VFS) or a LabStor stack
 //!   (through GenericFS/GenericKVS).
 //! * [`stats`] — virtual-time latency recorders and percentile math.
+//! * [`crash`] — the crash-recovery fuzz campaign: seeded fio/filebench
+//!   mixes killed at randomized virtual times, restarted, repaired, and
+//!   checked for prefix consistency against the acked history.
 
+pub mod crash;
 pub mod filebench;
 pub mod fio;
 pub mod fxmark;

@@ -7,9 +7,10 @@
 //! only the gate.
 
 use labstor_labcheck::{
-    explore, explore_lock, explore_rc, gate_lock_bug_configs, gate_lock_configs,
-    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
-    render_text, workspace_root, Config, LockViolation,
+    explore, explore_journal, explore_lock, explore_rc, gate_journal_bug_configs,
+    gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
+    gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_text,
+    workspace_root, Config, JournalVariant, JournalViolation, LockViolation,
 };
 
 #[test]
@@ -56,6 +57,38 @@ fn lock_discipline_passes_model_check() {
                 | LockViolation::OrderViolation { .. }
                 | LockViolation::Deadlock
         );
+        assert!(ok, "{:?} produced {:?}", cfg.variant, failure.violation);
+    }
+}
+
+#[test]
+fn journal_commit_protocol_passes_model_check() {
+    // The shipped two-write commit protocol survives every crash point
+    // and device-tear choice…
+    for cfg in gate_journal_configs() {
+        explore_journal(&cfg).unwrap_or_else(|f| panic!("journal mc failed on {cfg:?}:\n{f}"));
+    }
+    // …and each planted bug is caught with the violation kind it plants.
+    for cfg in gate_journal_bug_configs() {
+        let failure = explore_journal(&cfg).expect_err(&format!(
+            "planted journal bug {:?} went undetected",
+            cfg.variant
+        ));
+        let ok = match cfg.variant {
+            JournalVariant::LostCommit => {
+                matches!(failure.violation, JournalViolation::AckedLost { .. })
+            }
+            JournalVariant::ReplayTwice => {
+                matches!(failure.violation, JournalViolation::AppliedTwice { .. })
+            }
+            JournalVariant::TornCrcAccept => {
+                matches!(
+                    failure.violation,
+                    JournalViolation::CorruptionAccepted { .. }
+                )
+            }
+            JournalVariant::Correct => false,
+        };
         assert!(ok, "{:?} produced {:?}", cfg.variant, failure.violation);
     }
 }

@@ -264,6 +264,106 @@ fn device_faults_surface_as_errors_not_hangs() {
 }
 
 #[test]
+fn crash_between_handoff_and_policy_apply_loses_no_envelopes() {
+    use labstor::ipc::UpgradeFlag;
+    use labstor::qos::TenantPolicy;
+    use std::collections::HashSet;
+
+    // Manual admin: the test plays the admin thread so it can kill the
+    // Runtime at an exact point of the admin sequence — after the
+    // rebalance drain-and-handoff paused the tenant's queues, before
+    // `apply_pending` applies the staged policy update.
+    let devices = DeviceRegistry::new();
+    devices.add_preset("nvme0", DeviceKind::Nvme);
+    let rt = Runtime::start(RuntimeConfig {
+        max_workers: 2,
+        auto_admin: false,
+        ..Default::default()
+    });
+    labstor::mods::install_all(&rt.mm, &devices);
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+
+    let creds = Credentials::new(9, 9, 9);
+    let mut client = rt.connect_with_policy(creds, 2, TenantPolicy::default().with_weight(1));
+    let m = rt.mm.get("ur_dummy").unwrap();
+    let dm = m.as_any().downcast_ref::<DummyMod>().unwrap();
+
+    // Warm-up traffic establishes an applied queue shape.
+    const WARM: u64 = 50;
+    for _ in 0..WARM {
+        client
+            .execute(&stack, Payload::Dummy { work_ns: 1000 })
+            .unwrap();
+    }
+    rt.admin_tick();
+    assert_eq!(dm.count(), WARM);
+
+    // The admin pauses the queues for a drain-and-handoff
+    // (UPDATE_PENDING) and the workers ack, parking the rings…
+    let queues = rt.ipc.primary_queues();
+    for q in &queues {
+        q.mark_update_pending();
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while queues
+        .iter()
+        .any(|q| q.upgrade_flag() == UpgradeFlag::UpdatePending)
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers never acked the pause"
+        );
+        std::thread::yield_now();
+    }
+
+    // …so a burst submitted now is genuinely in flight: admitted into
+    // the rings, consumed by nobody.
+    const BURST: usize = 48;
+    let ids = client
+        .submit_all(&stack, vec![Payload::Dummy { work_ns: 1000 }; BURST])
+        .unwrap();
+    assert_eq!(client.in_flight(), BURST);
+    assert_eq!(dm.count(), WARM, "paused queues must not be consumed");
+
+    // A tenant policy update is staged but not yet applied…
+    rt.tenants
+        .request_policy_update(creds.tenant, TenantPolicy::default().with_weight(4));
+    assert_eq!(rt.tenants.policy(creds.tenant).unwrap().weight, 1);
+
+    // …and the Runtime dies right there, between the handoff and
+    // `apply_pending`. The pause flags and the staged update both
+    // survive the crash (they live outside the workers).
+    rt.crash();
+    assert!(!rt.ipc.is_online());
+
+    // Restart; the next admin tick applies the staged policy.
+    rt.restart();
+    rt.admin_tick();
+    assert_eq!(rt.tenants.policy(creds.tenant).unwrap().weight, 4);
+
+    // Every parked envelope completes exactly once: none lost to the
+    // stale pause flags, none duplicated by a second consumer.
+    let mut seen = HashSet::new();
+    for _ in 0..BURST {
+        let (resp, _) = client.reap_one().expect("in-flight envelope lost");
+        assert!(resp.payload.is_ok());
+        assert!(seen.insert(resp.id), "envelope {} completed twice", resp.id);
+    }
+    let submitted: HashSet<u64> = ids.into_iter().collect();
+    assert_eq!(
+        seen, submitted,
+        "completions must match the submitted burst"
+    );
+    assert_eq!(
+        dm.count(),
+        WARM + BURST as u64,
+        "each envelope processed exactly once across the crash"
+    );
+    rt.shutdown();
+}
+
+#[test]
 fn repair_all_is_idempotent() {
     let (rt, _d) = platform();
     rt.mount_stack_json(DUMMY_SPEC).unwrap();
