@@ -34,6 +34,10 @@ echo "== bench_tenants smoke (noisy-neighbor tenant isolation gate)"
 cargo run -q --release -p labstor-bench --bin bench_tenants -- --smoke
 test -s BENCH_tenants.json
 
+echo "== bench_reactor smoke (idle-fleet doorbell vs polling gate)"
+cargo run -q --release -p labstor-bench --bin bench_reactor -- --smoke
+test -s BENCH_reactor.json
+
 echo "== crash_fuzz smoke (crash-recovery prefix-consistency campaign)"
 cargo run -q --release -p labstor-bench --bin crash_fuzz -- --smoke
 test -s BENCH_crash_fuzz.json

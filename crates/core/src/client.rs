@@ -84,6 +84,12 @@ pub struct Client {
     tenant: Option<Arc<labstor_qos::TenantState>>,
 }
 
+/// Cap on each park of a client `wait` on its completion doorbell. Every
+/// completion rings the bell, so the cap only bounds how long a crashed
+/// Runtime (whose dead workers never ring) can go unnoticed — the wait
+/// loops re-check liveness after each wakeup instead of spin-checking it.
+const WAIT_PARK: Duration = Duration::from_millis(5);
+
 impl Client {
     pub(crate) fn new(conn: ClientConnection<Message>, runtime: Arc<Runtime>) -> Client {
         let tenant = runtime.tenants.resolve(conn.creds.tenant);
@@ -236,9 +242,13 @@ impl Client {
             let now = self.ctx.now();
             rec.record(Stage::Submit, id, stack_id, 0, now, now);
         }
-        // Wait: poll the CQ; detect a crashed Runtime and wait for its
-        // restart, then repair state and resubmit the request (§III-C3).
+        // Wait: park on the CQ doorbell between reaps; detect a crashed
+        // Runtime and wait for its restart, then repair state and
+        // resubmit the request (§III-C3).
         loop {
+            // Capture before the reap: a completion posted after the scan
+            // rings the bell and aborts the park (doorbell protocol).
+            let epoch = self.conn.bell.epoch();
             if let Some(env) = qp.reap(&mut self.ctx, self.conn.domain) {
                 if let Message::Resp(resp) = env.payload {
                     if resp.id == id {
@@ -270,7 +280,9 @@ impl Client {
                 }
                 return Err(ClientError::RuntimeDown);
             }
-            std::thread::yield_now();
+            // Nothing reapable: park until a worker rings. The cap keeps
+            // the liveness check above live when the Runtime dies parked.
+            self.conn.bell.wait_past(epoch, WAIT_PARK);
         }
     }
 
@@ -504,6 +516,8 @@ impl Client {
         }
         let deadline = Instant::now() + self.offline_timeout;
         loop {
+            // Capture before the drain (doorbell protocol; see roundtrip).
+            let epoch = self.conn.bell.epoch();
             self.drain_completions();
             if let Some(r) = self.reaped.pop_front() {
                 return Ok(r);
@@ -520,7 +534,9 @@ impl Client {
             if Instant::now() > deadline {
                 return Err(ClientError::RuntimeDown);
             }
-            std::thread::yield_now();
+            // Park until a completion burst rings this connection's bell;
+            // the cap keeps the liveness and deadline checks live.
+            self.conn.bell.wait_past(epoch, WAIT_PARK);
         }
     }
 

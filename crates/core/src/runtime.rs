@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use labstor_ipc::{Credentials, IpcManager, QueuePair, UpgradeFlag};
+use labstor_ipc::{Credentials, Doorbell, IpcManager, QueuePair, UpgradeFlag};
 use labstor_qos::{TenantPolicy, TenantTable};
 use labstor_sim::{Ctx, Watermark};
 
@@ -70,6 +70,10 @@ pub struct Runtime {
     policy: Mutex<Arc<dyn OrchestratorPolicy>>,
     max_workers: usize,
     admin_stop: Arc<AtomicBool>,
+    /// Wakes the admin thread out of its deadline wait: rung by
+    /// `request_upgrade` (apply now, not after the poll interval) and by
+    /// `shutdown`/`Drop` (exit now).
+    admin_bell: Arc<Doorbell>,
     admin: Mutex<Option<JoinHandle<()>>>,
     auto_admin: bool,
     admin_interval: Duration,
@@ -126,6 +130,7 @@ impl Runtime {
             policy: Mutex::new(config.policy),
             max_workers: config.max_workers.max(1),
             admin_stop: Arc::new(AtomicBool::new(false)),
+            admin_bell: Arc::new(Doorbell::new()),
             admin: Mutex::new(None),
             auto_admin: config.auto_admin,
             admin_interval: config.admin_interval,
@@ -141,13 +146,26 @@ impl Runtime {
     fn spawn_admin(self: &Arc<Self>) {
         let rt = self.clone();
         let stop = self.admin_stop.clone();
+        let bell = self.admin_bell.clone();
         let interval = self.admin_interval;
         let handle = std::thread::Builder::new()
             .name("labstor-admin".into())
             .spawn(move || {
-                while !stop.load(Ordering::Acquire) {
+                // Deadline wait, not a fixed sleep: `request_upgrade` and
+                // `shutdown` ring the bell to cut the poll interval short.
+                // The epoch is captured before the stop check so a ring
+                // between check and park aborts the park (doorbell
+                // protocol).
+                loop {
+                    let epoch = bell.epoch();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
                     rt.admin_tick();
-                    std::thread::sleep(interval);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    bell.wait_past(epoch, interval);
                 }
             })
             .expect("spawn admin thread");
@@ -494,10 +512,12 @@ impl Runtime {
         self.mount_stack(&StackSpec::parse(json)?)
     }
 
-    /// Queue a module upgrade (`modify.mods`); the admin thread applies it
-    /// within one poll interval.
+    /// Queue a module upgrade (`modify.mods`). The admin bell wakes the
+    /// admin thread immediately instead of letting the request sit out the
+    /// remainder of the poll interval.
     pub fn request_upgrade(&self, req: UpgradeRequest) {
         self.mm.request_upgrade(req);
+        self.admin_bell.ring();
     }
 
     // ---- crash / restart -----------------------------------------------------
@@ -555,6 +575,7 @@ impl Runtime {
     /// Stop everything.
     pub fn shutdown(&self) {
         self.admin_stop.store(true, Ordering::Release);
+        self.admin_bell.ring();
         // lock-class: runtime.admin
         if let Some(h) = self.admin.lock().take() {
             let _ = h.join();
@@ -576,6 +597,7 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.admin_stop.store(true, Ordering::Release);
+        self.admin_bell.ring();
         // lock-class: runtime.admin
         if let Some(h) = self.admin.lock().take() {
             let _ = h.join();

@@ -1,19 +1,25 @@
-//! Runtime workers: threads that poll request queues and execute LabStack
-//! DAGs (paper §III-C "Workers").
+//! Runtime workers: completion-driven reactor threads that drain request
+//! queues and execute LabStack DAGs (paper §III-C "Workers").
 //!
-//! "Workers receive requests by polling request queues and process the
-//! requests by querying the LabStack Namespace and Module Manager for the
-//! required LabMods." Each worker owns a virtual-time [`Ctx`]; its
-//! busy/total split is the CPU-utilization signal Fig. 5a reports.
+//! The paper's workers "receive requests by polling request queues"; this
+//! runtime retires the poll loop (ROADMAP item 2): each worker is an
+//! event loop that sleeps on its [`labstor_ipc::Doorbell`] — rung by
+//! producers once per submit burst, by the upgrade handshake's flag
+//! edges, by assignment publication, and by shutdown — so a worker whose
+//! queues are all idle consumes ~zero host CPU (see `DESIGN.md` §13 and
+//! the idle-fleet bench `BENCH_reactor.json`). Each worker owns a
+//! virtual-time [`Ctx`]; its busy/total split is the CPU-utilization
+//! signal Fig. 5a reports.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::utils::Backoff;
 use parking_lot::RwLock;
 
-use labstor_ipc::{Envelope, QueuePair, UpgradeFlag};
+use labstor_ipc::{Doorbell, Envelope, QueuePair, UpgradeFlag};
 use labstor_sim::{Ctx, Watermark};
 use labstor_telemetry::{ClockCell, SpanEvent, Stage};
 
@@ -82,6 +88,12 @@ pub struct AssignmentCell {
     queues: RwLock<Vec<Arc<QueuePair<Message>>>>,
     generation: AtomicU64,
     seen: AtomicU64,
+    /// The owning worker's doorbell. Its wake-set is maintained by
+    /// [`AssignmentCell::refresh`], which registers this bell on every
+    /// queue of a new snapshot before the worker's first scan of it;
+    /// `publish` rings it directly so generation bumps wake a parked
+    /// worker.
+    bell: Arc<Doorbell>,
 }
 
 impl AssignmentCell {
@@ -91,14 +103,22 @@ impl AssignmentCell {
             queues: RwLock::new(Vec::new()),
             generation: AtomicU64::new(0),
             seen: AtomicU64::new(0),
+            bell: Arc::new(Doorbell::new()),
         }
     }
 
-    /// Publish a new assignment (orchestrator side) and bump the
-    /// generation so the owning worker picks it up on its next pass.
+    /// The owning worker's doorbell (park/wake word of its reactor loop).
+    pub fn bell(&self) -> &Arc<Doorbell> {
+        &self.bell
+    }
+
+    /// Publish a new assignment (orchestrator side), bump the generation,
+    /// and ring the worker's bell so a parked worker picks it up
+    /// immediately.
     pub fn publish(&self, queues: Vec<Arc<QueuePair<Message>>>) {
         *self.queues.write() = queues; // lock-class: worker.queues
         self.generation.fetch_add(1, Ordering::Release);
+        self.bell.ring();
     }
 
     /// Latest published generation.
@@ -128,6 +148,14 @@ impl AssignmentCell {
         }
         cache.clear();
         cache.extend_from_slice(&self.queues.read()); // lock-class: worker.queues
+                                                      // Wake-set maintenance: register the worker's bell on every queue
+                                                      // of the new snapshot *before* the caller scans it. Producers push
+                                                      // then read the slot to ring, so either our scan sees their push
+                                                      // or their ring lands on this bell and aborts our park — no
+                                                      // envelope is stranded across a handoff (DESIGN.md §13).
+        for q in cache.iter() {
+            q.register_sq_bell(&self.bell);
+        }
         *seen_gen = g;
         self.seen.store(g, Ordering::Release);
         true
@@ -152,6 +180,10 @@ pub struct Worker {
     pub clock: Arc<ClockCell>,
     /// Requests processed.
     pub processed: Arc<AtomicU64>,
+    /// Reactor passes completed (scan-everything rounds). A parked worker
+    /// does not accumulate passes — tests and the idle-fleet bench use
+    /// this to prove idleness costs no CPU.
+    pub passes: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
@@ -168,11 +200,13 @@ impl Worker {
         let stop = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(ClockCell::new());
         let processed = Arc::new(AtomicU64::new(0));
+        let passes = Arc::new(AtomicU64::new(0));
 
         let t_assigned = assigned.clone();
         let t_stop = stop.clone();
         let t_clock = clock.clone();
         let t_processed = processed.clone();
+        let t_passes = passes.clone();
         let join = std::thread::Builder::new()
             .name(format!("labstor-worker-{id}"))
             .spawn(move || {
@@ -184,6 +218,7 @@ impl Worker {
                     &t_stop,
                     &t_clock,
                     &t_processed,
+                    &t_passes,
                 );
             })
             .expect("spawn worker thread");
@@ -193,6 +228,7 @@ impl Worker {
             assigned,
             clock,
             processed,
+            passes,
             stop,
             join: Some(join),
         }
@@ -214,9 +250,12 @@ impl Worker {
         self.assigned.seen() == self.assigned.generation()
     }
 
-    /// Stop and join the worker.
+    /// Stop and join the worker. Rings the bell so a parked reactor
+    /// observes the stop flag immediately instead of at its next safety
+    /// wakeup.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.assigned.bell().ring();
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -229,6 +268,13 @@ impl Drop for Worker {
     }
 }
 
+/// Safety net on the reactor park. Every wake source rings the bell
+/// (submits, upgrade-flag edges, assignment publication, stop), so this
+/// bounds the damage of a wake-path bug rather than carrying liveness;
+/// one spurious scan per 25 ms is the reactor's whole idle cost.
+const PARK_SAFETY: Duration = Duration::from_millis(25);
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     assigned: &AssignmentCell,
     ns: &Namespace,
@@ -237,9 +283,9 @@ fn worker_loop(
     stop: &AtomicBool,
     clock: &ClockCell,
     processed: &AtomicU64,
+    passes: &AtomicU64,
 ) {
     let mut ctx = Ctx::new();
-    let backoff = Backoff::new();
     let rec = mm.telemetry().clone();
     /// Requests drained per queue per pass: bounds queue starvation.
     const BATCH: usize = 8;
@@ -253,6 +299,14 @@ fn worker_loop(
     let mut work_ns: Vec<u64> = Vec::with_capacity(BATCH);
     let mut spans: Vec<SpanEvent> = Vec::with_capacity(BATCH);
     while !stop.load(Ordering::Acquire) {
+        // Capture the doorbell epoch *before* refreshing and scanning:
+        // any ring landing after this point (a submit, an upgrade edge, a
+        // new assignment, stop) makes the park at the bottom return
+        // immediately instead of sleeping through it (doorbell protocol —
+        // see `labstor_ipc::doorbell` and DESIGN.md §13).
+        let epoch = assigned.bell().epoch();
+        passes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+
         // Fast-forward across any upgrade pause that completed.
         ctx.idle_until(mm.resume_vt());
         assigned.refresh(&mut queues, &mut seen_gen);
@@ -327,14 +381,12 @@ fn worker_loop(
         // ClockCell carries its own relaxed-ok justification).
         clock.publish(ctx.now(), ctx.busy());
         watermark.publish(ctx.now());
-        if did_work {
-            backoff.reset();
-        } else if queues.is_empty() {
-            // Decommissioned: park until reassigned.
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        } else {
-            // Empty queues: snooze (spins, then yields the host core).
-            backoff.snooze();
+        if !did_work && !stop.load(Ordering::Acquire) {
+            // Nothing to do anywhere (including the decommissioned,
+            // no-queues case): park until a doorbell rings. The epoch
+            // captured at the top of the pass guarantees no ring since
+            // then is missed.
+            assigned.bell().wait_past(epoch, PARK_SAFETY);
         }
     }
 }
@@ -437,6 +489,52 @@ mod tests {
         }
         assert_eq!(got, 10, "worker must complete all requests");
         assert!(worker.processed.load(Ordering::Relaxed) >= 10);
+        worker.stop();
+    }
+
+    #[test]
+    fn decommissioned_worker_parks_and_resumes_on_publish() {
+        let (ns, mm, sid) = setup();
+        let ipc: Arc<IpcManager<Message>> = IpcManager::new(64);
+        let conn = ipc.connect(Credentials::new(1, 0, 0), 1);
+        let watermark = Arc::new(Watermark::new());
+        let mut worker = Worker::spawn(0, ns, mm, watermark);
+
+        // No queues assigned: the reactor must park, not spin. Give it a
+        // beat to enter the park, then the pass counter must be bounded by
+        // the safety-timeout cadence (a polling loop would log millions).
+        std::thread::sleep(Duration::from_millis(40));
+        let p0 = worker.passes.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(120));
+        let parked_passes = worker.passes.load(Ordering::Relaxed) - p0;
+        assert!(
+            parked_passes <= 16,
+            "decommissioned worker must park, saw {parked_passes} passes in 120ms"
+        );
+
+        // Submit *before* assigning: the queue has no registered SQ bell
+        // for this worker yet, so only the publish ring can wake it — and
+        // the post-refresh scan must find the waiting envelope.
+        let q = &conn.queues[0];
+        let req = Request::new(1, sid, Payload::Dummy { work_ns: 100 }, Credentials::ROOT);
+        q.submit(Message::Req(req), 0, conn.domain).unwrap();
+        worker.assign(vec![q.clone()]);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut client = Ctx::new();
+        loop {
+            if let Some(env) = q.reap(&mut client, conn.domain) {
+                if let Message::Resp(r) = env.payload {
+                    assert!(r.payload.is_ok());
+                    break;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "publish must wake the parked worker"
+            );
+            std::thread::yield_now();
+        }
         worker.stop();
     }
 

@@ -29,6 +29,7 @@
 pub mod buf;
 pub mod cost;
 pub mod credentials;
+pub mod doorbell;
 pub mod lockwitness;
 pub mod manager;
 pub mod queue_pair;
@@ -40,6 +41,7 @@ pub use buf::{
     PoolConfig,
 };
 pub use credentials::{Credentials, TenantId};
+pub use doorbell::Doorbell;
 pub use lockwitness::{LockClass, OrderedMutex, OrderedRwLock};
 pub use manager::{ClientConnection, IpcManager};
 pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};

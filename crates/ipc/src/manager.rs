@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use crate::credentials::Credentials;
+use crate::doorbell::Doorbell;
 use crate::queue_pair::{LaneKind, QueueFlags, QueuePair, QueueRole};
 
 /// A client's connection to the Runtime: its domain id (address space) and
@@ -20,6 +21,10 @@ pub struct ClientConnection<T> {
     pub creds: Credentials,
     /// Primary queue pairs allocated for this client.
     pub queues: Vec<Arc<QueuePair<T>>>,
+    /// Completion doorbell: registered on every queue's CQ at connect
+    /// time, rung by workers posting completions. `Client::wait` parks on
+    /// it instead of spinning.
+    pub bell: Arc<Doorbell>,
 }
 
 /// The Runtime's IPC manager.
@@ -33,6 +38,9 @@ pub struct IpcManager<T> {
     next_qid: AtomicU64,
     next_domain: AtomicU32,
     online: AtomicBool,
+    /// Rung on every liveness transition so `wait_online` can park
+    /// instead of yield-spinning.
+    liveness: Doorbell,
     /// Depth of each allocated queue.
     depth: usize,
 }
@@ -46,6 +54,7 @@ impl<T> IpcManager<T> {
             next_qid: AtomicU64::new(0),
             next_domain: AtomicU32::new(1), // 0 is the Runtime
             online: AtomicBool::new(true),
+            liveness: Doorbell::new(),
             depth,
         })
     }
@@ -72,10 +81,17 @@ impl<T> IpcManager<T> {
             })
             .collect();
         self.connections.write().push((domain, creds)); // lock-class: ipc.conns
+                                                        // One completion bell per connection, registered before the client
+                                                        // can submit: workers ring it as they post completions.
+        let bell = Arc::new(Doorbell::new());
+        for q in &queues {
+            q.register_cq_bell(&bell);
+        }
         ClientConnection {
             domain,
             creds,
             queues,
+            bell,
         }
     }
 
@@ -137,11 +153,13 @@ impl<T> IpcManager<T> {
     /// Mark the Runtime crashed/offline. Client `wait` loops notice.
     pub fn set_offline(&self) {
         self.online.store(false, Ordering::Release);
+        self.liveness.ring();
     }
 
     /// Mark the Runtime restarted.
     pub fn set_online(&self) {
         self.online.store(true, Ordering::Release);
+        self.liveness.ring();
     }
 
     /// Block until the Runtime is online or `timeout` expires. Returns
@@ -150,13 +168,19 @@ impl<T> IpcManager<T> {
     /// administrator (for a configurable period of time)".
     pub fn wait_online(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while !self.is_online() {
-            if Instant::now() >= deadline {
+        loop {
+            // Capture-before-check: a transition after this capture makes
+            // the park below return immediately (doorbell protocol).
+            let epoch = self.liveness.epoch();
+            if self.is_online() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::yield_now();
+            self.liveness.wait_past(epoch, deadline - now);
         }
-        true
     }
 }
 

@@ -47,12 +47,15 @@
 #[cfg(debug_assertions)]
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
 use labstor_sim::Ctx;
 use labstor_telemetry::LogHistogram;
+use parking_lot::RwLock;
 
 use crate::cost;
+use crate::doorbell::Doorbell;
 use crate::ring::SpscRing;
 
 /// Whether a queue carries client-initiated or spawned requests.
@@ -277,6 +280,15 @@ pub struct QueuePair<T> {
     /// queues by its quantiles, falling back to [`QueuePair::max_item_ns`]
     /// while the histogram is still empty.
     item_hist: LogHistogram,
+    /// Doorbell of the consumer currently draining the SQ (the assigned
+    /// worker). Producers ring it once per successful burst; the worker
+    /// re-registers its own bell when an assignment snapshot hands it the
+    /// queue. `None` until a consumer registers (rings are dropped, which
+    /// is safe: an unregistered consumer is by definition not parked).
+    sq_bell: RwLock<Option<Arc<Doorbell>>>,
+    /// Doorbell of the completion consumer (the owning client
+    /// connection); registered once at connect time.
+    cq_bell: RwLock<Option<Arc<Doorbell>>>,
     #[cfg(debug_assertions)]
     claims: LaneClaims,
 }
@@ -318,8 +330,52 @@ impl<T> QueuePair<T> {
             work_done_ns: AtomicU64::new(0),
             wait_ema_ns: AtomicU64::new(0),
             item_hist: LogHistogram::new(),
+            sq_bell: RwLock::new(None),
+            cq_bell: RwLock::new(None),
             #[cfg(debug_assertions)]
             claims: LaneClaims::default(),
+        }
+    }
+
+    // ---- doorbells ---------------------------------------------------------
+    //
+    // Registration/ring race, resolved by the slot lock: a consumer
+    // registers its bell *before* scanning the queue; a producer pushes
+    // *before* reading the slot to ring. If the producer's slot read
+    // happens before the registration write, the consumer's subsequent
+    // scan observes the push (the write lock's release/acquire orders it);
+    // if it happens after, the ring lands on the registered bell and
+    // aborts the park. Either way no envelope is stranded.
+
+    /// Register the SQ consumer's doorbell (called by a worker when an
+    /// assignment snapshot hands it this queue, before it first scans).
+    pub fn register_sq_bell(&self, bell: &Arc<Doorbell>) {
+        let mut slot = self.sq_bell.write(); // lock-class: ipc.bellslot
+        *slot = Some(Arc::clone(bell));
+    }
+
+    /// Register the CQ consumer's doorbell (the owning client connection;
+    /// called once at connect time, before any submission).
+    pub fn register_cq_bell(&self, bell: &Arc<Doorbell>) {
+        let mut slot = self.cq_bell.write(); // lock-class: ipc.bellslot
+        *slot = Some(Arc::clone(bell));
+    }
+
+    /// Ring the SQ consumer's doorbell (once per successful submit burst,
+    /// and on upgrade-flag edges a parked worker must observe).
+    fn ring_sq(&self) {
+        let slot = self.sq_bell.read(); // lock-class: ipc.bellslot
+        if let Some(bell) = slot.as_ref() {
+            bell.ring();
+        }
+    }
+
+    /// Ring the CQ consumer's doorbell (once per successful completion
+    /// burst).
+    fn ring_cq(&self) {
+        let slot = self.cq_bell.read(); // lock-class: ipc.bellslot
+        if let Some(bell) = slot.as_ref() {
+            bell.ring();
         }
     }
 
@@ -368,6 +424,7 @@ impl<T> QueuePair<T> {
         match unsafe { self.sq.push(env) } {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                self.ring_sq();
                 Ok(())
             }
             Err(env) => Err(env.payload),
@@ -428,6 +485,7 @@ impl<T> QueuePair<T> {
         };
         if n > 0 {
             self.submitted.fetch_add(n as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            self.ring_sq(); // one doorbell per burst (PR 3 contract)
         }
         n
     }
@@ -516,6 +574,7 @@ impl<T> QueuePair<T> {
         match unsafe { self.cq.push(env) } {
             Ok(()) => {
                 self.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+                self.ring_cq();
                 Ok(())
             }
             Err(env) => Err(env.payload),
@@ -575,6 +634,7 @@ impl<T> QueuePair<T> {
         };
         if n > 0 {
             self.completed.fetch_add(n as u64, Ordering::Relaxed); // relaxed-ok: stat counter; readers tolerate lag
+            self.ring_cq(); // one doorbell per burst (PR 3 contract)
         }
         n
     }
@@ -663,10 +723,12 @@ impl<T> QueuePair<T> {
         }
     }
 
-    /// Module Manager: request quiescence on this queue.
+    /// Module Manager: request quiescence on this queue. Rings the SQ
+    /// doorbell so a parked worker wakes to acknowledge.
     pub fn mark_update_pending(&self) {
         self.upgrade
             .store(UpgradeFlag::UpdatePending as u8, Ordering::Release);
+        self.ring_sq();
     }
 
     /// Worker: acknowledge the pending update (pauses the queue).
@@ -683,9 +745,12 @@ impl<T> QueuePair<T> {
     }
 
     /// Module Manager: resume the queue after the upgrade completes.
+    /// Rings the SQ doorbell: requests may have accumulated while the
+    /// queue was paused and a parked worker must resume the drain.
     pub fn clear_update(&self) {
         self.upgrade
             .store(UpgradeFlag::None as u8, Ordering::Release);
+        self.ring_sq();
     }
 
     /// True while the queue must not be drained (update acked, upgrade in
@@ -948,6 +1013,55 @@ mod tests {
         }
         assert!(q.submit(9, 0, 0).is_err());
         assert_eq!(qp().lane(), LaneKind::Mpmc);
+    }
+
+    #[test]
+    fn doorbells_ring_once_per_burst() {
+        for q in [qp(), qp_spsc()] {
+            let worker_bell = Arc::new(Doorbell::new());
+            let client_bell = Arc::new(Doorbell::new());
+            q.register_sq_bell(&worker_bell);
+            q.register_cq_bell(&client_bell);
+            let (sq0, cq0) = (worker_bell.epoch(), client_bell.epoch());
+
+            // A 4-item burst rings the SQ bell exactly once.
+            let mut payloads: Vec<u32> = (0..4).collect();
+            assert_eq!(q.submit_batch(&mut payloads, 0, 0), 4);
+            assert_eq!(worker_bell.epoch(), sq0 + 1);
+            assert_eq!(client_bell.epoch(), cq0);
+
+            // Singles ring once each.
+            q.submit(9, 0, 0).unwrap();
+            assert_eq!(worker_bell.epoch(), sq0 + 2);
+
+            // Completions ring the CQ bell, once per burst.
+            let mut ctx = Ctx::new();
+            let mut inbox = Vec::new();
+            q.consume_batch(&mut ctx, 0, &mut inbox, 8);
+            let mut completions: Vec<(u32, u64)> =
+                inbox.iter().map(|e| (e.payload, e.dequeue_vt)).collect();
+            assert_eq!(q.complete_batch(&mut completions, 0), 5);
+            assert_eq!(client_bell.epoch(), cq0 + 1);
+            assert_eq!(worker_bell.epoch(), sq0 + 2);
+
+            // Upgrade edges ring the SQ bell so a parked worker reacts.
+            q.mark_update_pending();
+            assert_eq!(worker_bell.epoch(), sq0 + 3);
+            q.clear_update();
+            assert_eq!(worker_bell.epoch(), sq0 + 4);
+        }
+    }
+
+    #[test]
+    fn failed_submit_does_not_ring() {
+        let q = QueuePair::new(1, 2, QueueFlags::default());
+        let bell = Arc::new(Doorbell::new());
+        q.register_sq_bell(&bell);
+        q.submit(1, 0, 0).unwrap();
+        q.submit(2, 0, 0).unwrap();
+        let e = bell.epoch();
+        assert_eq!(q.submit(3, 0, 0), Err(3));
+        assert_eq!(bell.epoch(), e, "a rejected submit must not ring");
     }
 
     #[test]

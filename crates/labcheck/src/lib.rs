@@ -21,6 +21,7 @@
 pub mod lint;
 pub mod lockcheck;
 pub mod mc;
+pub mod mc_doorbell;
 pub mod mc_journal;
 pub mod mc_lock;
 pub mod mc_rc;
@@ -29,6 +30,10 @@ pub mod scan;
 pub use lint::{lint_source, lint_workspace, render_json, render_text, Config, Diagnostic, Lint};
 pub use lockcheck::LockClassSpec;
 pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
+pub use mc_doorbell::{
+    explore_doorbell, DoorbellConfig, DoorbellFailure, DoorbellReport, DoorbellVariant,
+    DoorbellViolation,
+};
 pub use mc_journal::{
     explore_journal, JournalConfig, JournalFailure, JournalReport, JournalVariant, JournalViolation,
 };
@@ -184,6 +189,46 @@ pub fn gate_lock_bug_configs() -> Vec<LockConfig> {
         },
         LockConfig {
             variant: LockVariant::TenantTableAfterShard,
+        },
+    ]
+}
+
+/// The doorbell park/wake configurations the binary and the tier-1 gate
+/// run: the shipped capture/recheck protocol (PR 9) must be lost-wakeup
+/// free on every interleaving, at single pushes and at one-ring-per-burst
+/// batch shapes.
+pub fn gate_doorbell_configs() -> Vec<DoorbellConfig> {
+    vec![
+        DoorbellConfig::correct(3, 1),
+        DoorbellConfig::correct(2, 2),
+        DoorbellConfig::correct(2, 3),
+    ]
+}
+
+/// Planted doorbell bugs the gate must catch: parking without the
+/// under-mutex epoch re-check (ring between "check empty" and "park" is
+/// lost) and ringing only on a stale empty->non-empty belief.
+pub fn gate_doorbell_bug_configs() -> Vec<DoorbellConfig> {
+    vec![
+        DoorbellConfig {
+            bursts: 2,
+            batch: 1,
+            variant: DoorbellVariant::ParkWithoutRecheck,
+        },
+        DoorbellConfig {
+            bursts: 3,
+            batch: 2,
+            variant: DoorbellVariant::ParkWithoutRecheck,
+        },
+        DoorbellConfig {
+            bursts: 2,
+            batch: 1,
+            variant: DoorbellVariant::EdgeOnlyRing,
+        },
+        DoorbellConfig {
+            bursts: 3,
+            batch: 2,
+            variant: DoorbellVariant::EdgeOnlyRing,
         },
     ]
 }

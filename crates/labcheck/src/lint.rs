@@ -141,6 +141,12 @@ impl Config {
                     file_suffix: "crates/telemetry/src/span.rs",
                     function: None,
                 },
+                // Doorbells ring on every submit/complete burst and the
+                // reactor parks on them; a panic here strands a waiter.
+                HotPath {
+                    file_suffix: "crates/ipc/src/doorbell.rs",
+                    function: None,
+                },
             ],
             // The simulator's virtual-clock counters are single-threaded
             // bookkeeping behind &mut self; auditing them adds noise, not
@@ -201,6 +207,14 @@ impl Config {
                 LockClassSpec::ordered("shmem.chunk", 78),
                 LockClassSpec::lock("sim.queue", 80),
                 LockClassSpec::ordered("sim.chunk", 82),
+                // Doorbell registration slots and the park/notify
+                // handshake: rung from producers that may hold any of the
+                // classes above (rebalance rings under runtime.workers), so
+                // they rank just below the leaf pool.tracker. A ring holds
+                // the slot (86) while taking the bell mutex (88); nothing
+                // is acquired while holding the bell.
+                LockClassSpec::lock("ipc.bellslot", 86),
+                LockClassSpec::lock("ipc.bell", 88),
                 LockClassSpec::lock("pool.tracker", 90),
                 // Virtual-time Resources: reservations return a time
                 // window, not a guard, so they participate in annotation

@@ -14,7 +14,8 @@
 use std::process::ExitCode;
 
 use labstor_labcheck::{
-    explore, explore_journal, explore_lock, explore_rc, gate_journal_bug_configs,
+    explore, explore_doorbell, explore_journal, explore_lock, explore_rc,
+    gate_doorbell_bug_configs, gate_doorbell_configs, gate_journal_bug_configs,
     gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
     gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_json,
     render_text, workspace_root, Config,
@@ -164,6 +165,37 @@ fn main() -> ExitCode {
                 failed = true;
             } else if !json {
                 println!("labcheck: lock caught planted bug {:?}", cfg.variant);
+            }
+        }
+        // And for the doorbell park/wake protocol (the PR 9 reactor's
+        // liveness spine).
+        for cfg in gate_doorbell_configs() {
+            match explore_doorbell(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: doorbell ok  bursts={} batch={} \
+                             ({} states, {} transitions, {} terminals)",
+                            cfg.bursts,
+                            cfg.batch,
+                            report.states,
+                            report.transitions,
+                            report.terminals
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: doorbell FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        for cfg in gate_doorbell_bug_configs() {
+            if explore_doorbell(&cfg).is_ok() {
+                eprintln!("labcheck: doorbell MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: doorbell caught planted bug {:?}", cfg.variant);
             }
         }
         // And for the journal commit protocol (the PR 8 crash-consistency

@@ -1,0 +1,419 @@
+//! Deterministic interleaving model checker for the doorbell park/wake
+//! protocol (`labstor_ipc::doorbell`).
+//!
+//! The reactor runtime lives or dies by one liveness property: **a
+//! producer's ring after an envelope is queued must eventually wake a
+//! consumer that decided to park**. The shipped protocol earns it with
+//! an epoch word and a capture/check/re-check dance:
+//!
+//! * Producer: push the burst, then `ring()` — bump the epoch, then
+//!   notify (under the bell mutex) if a waiter is registered. One ring
+//!   per burst (the PR 3 one-doorbell-per-burst contract).
+//! * Consumer: capture the epoch **before** scanning; scan; if idle,
+//!   register as a waiter and — *under the bell mutex* — re-check that
+//!   the epoch still equals the capture before sleeping. A ring that
+//!   landed anywhere between capture and park moves the epoch, the
+//!   re-check sees it, and the consumer retries instead of sleeping.
+//!
+//! This checker exhaustively explores producer/consumer interleavings
+//! (visited-set BFS, same technique as [`crate::mc`] / [`crate::mc_lock`])
+//! of that protocol and two planted bugs, with **no timeout in the
+//! model**: the real `wait_past` carries a safety-net timeout, but the
+//! protocol must not need it.
+//!
+//! - [`DoorbellVariant::Correct`] — the shipped protocol. Every schedule
+//!   drains every burst; no reachable state has the consumer parked with
+//!   work queued and no ring in flight.
+//! - [`DoorbellVariant::ParkWithoutRecheck`] — the classic lost wakeup:
+//!   the consumer parks after its idle scan *without* re-checking the
+//!   epoch under the mutex. A ring between "check empty" and "park"
+//!   already notified nobody, so the consumer sleeps on a non-empty
+//!   queue forever.
+//! - [`DoorbellVariant::EdgeOnlyRing`] — ring only on the producer's
+//!   *believed* empty→non-empty edge: read the queue depth, push, and
+//!   skip the ring if the pre-push read was non-zero. The belief is
+//!   stale the moment a consumer pops concurrently, so a push can land
+//!   on a queue the consumer just drained — no edge observed, no ring,
+//!   consumer parks forever. (This is why the real producers ring
+//!   unconditionally per successful burst.)
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Park/wake protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoorbellVariant {
+    /// The shipped protocol: capture before scan, re-check under the
+    /// mutex before sleeping, unconditional ring per burst.
+    Correct,
+    /// Planted bug: park after the idle scan without re-checking the
+    /// epoch (ring between "check empty" and "park" is lost).
+    ParkWithoutRecheck,
+    /// Planted bug: ring only when the producer's pre-push depth read
+    /// was zero — a stale emptiness belief skips the wake.
+    EdgeOnlyRing,
+}
+
+/// Model-checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DoorbellConfig {
+    /// Number of producer bursts.
+    pub bursts: u8,
+    /// Envelopes pushed per burst (one ring per burst regardless).
+    pub batch: u8,
+    /// Protocol under test.
+    pub variant: DoorbellVariant,
+}
+
+impl DoorbellConfig {
+    /// The shipped protocol at a given shape.
+    pub fn correct(bursts: u8, batch: u8) -> Self {
+        DoorbellConfig {
+            bursts,
+            batch,
+            variant: DoorbellVariant::Correct,
+        }
+    }
+}
+
+/// Liveness violation detected at a stuck state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DoorbellViolation {
+    /// The consumer is parked, envelopes are queued, and no ring is in
+    /// flight: nothing will ever wake it (the model has no timeout).
+    LostWakeup {
+        /// Envelopes stranded in the queue.
+        queued: u8,
+    },
+    /// Backstop: some other quiescent-but-unfinished state.
+    Stuck,
+}
+
+/// A violation plus the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct DoorbellFailure {
+    /// What went wrong.
+    pub violation: DoorbellViolation,
+    /// Step labels from the initial state to the stuck state.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for DoorbellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {:?}", self.violation)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct DoorbellReport {
+    /// Distinct joint states reached.
+    pub states: usize,
+    /// Scheduler transitions taken.
+    pub transitions: usize,
+    /// Number of distinct finished states (all bursts pushed and popped).
+    pub terminals: usize,
+}
+
+/// Producer position within the current burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PPhase {
+    /// `EdgeOnlyRing` only: read the queue depth (the stale belief).
+    ReadDepth,
+    /// Push the `i`-th envelope of the burst.
+    Push(u8),
+    /// Ring step 1: bump the epoch (SeqCst in the real bell).
+    RingEpoch,
+    /// Ring step 2: notify under the mutex if a waiter is registered.
+    RingNotify,
+}
+
+/// Consumer position. `Parked` has no self-transition — only a
+/// producer's `RingNotify` moves a parked consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CPhase {
+    /// Capture the epoch (before the scan — the protocol's key line).
+    Capture,
+    /// Scan: pop if non-empty, else fall through to the park sequence.
+    Scan,
+    /// Register as a waiter on the bell.
+    Register,
+    /// Decide to sleep. `Correct` re-checks the epoch against the
+    /// capture under the mutex; `ParkWithoutRecheck` does not.
+    ParkDecide,
+    /// Asleep on the condvar.
+    Parked,
+    /// Woken (or retreating): deregister, then rescan.
+    Deregister,
+    /// All envelopes popped.
+    Done,
+}
+
+/// Joint state of the two-thread model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Queue depth.
+    q: u8,
+    /// Doorbell epoch (bounded by the burst count).
+    epoch: u8,
+    /// Consumer's captured epoch.
+    capture: u8,
+    /// `EdgeOnlyRing` producer's pre-push depth read.
+    saw: u8,
+    /// A consumer registered on the bell.
+    waiters: bool,
+    pphase: PPhase,
+    /// Bursts fully issued.
+    burst: u8,
+    cphase: CPhase,
+    /// Envelopes popped so far.
+    popped: u8,
+}
+
+/// Exhaustively explore all interleavings. `Ok` carries statistics;
+/// `Err` carries the first stuck state found plus its schedule.
+pub fn explore_doorbell(cfg: &DoorbellConfig) -> Result<DoorbellReport, DoorbellFailure> {
+    let total = cfg.bursts * cfg.batch;
+    let first_p = if cfg.variant == DoorbellVariant::EdgeOnlyRing {
+        PPhase::ReadDepth
+    } else {
+        PPhase::Push(0)
+    };
+    let init = State {
+        q: 0,
+        epoch: 0,
+        capture: 0,
+        saw: 0,
+        waiters: false,
+        pphase: first_p,
+        burst: 0,
+        cphase: CPhase::Capture,
+        popped: 0,
+    };
+
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut parent: HashMap<State, (State, String)> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    visited.insert(init);
+    queue.push_back(init);
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    let visit = |n: State,
+                 from: State,
+                 label: String,
+                 visited: &mut HashSet<State>,
+                 parent: &mut HashMap<State, (State, String)>,
+                 queue: &mut VecDeque<State>| {
+        if visited.insert(n) {
+            parent.insert(n, (from, label));
+            queue.push_back(n);
+        }
+    };
+
+    while let Some(s) = queue.pop_front() {
+        let p_done = s.burst >= cfg.bursts;
+        let c_done = s.cphase == CPhase::Done;
+        if p_done && c_done {
+            terminals += 1;
+            continue;
+        }
+        let mut any_step = false;
+
+        // ---- producer ------------------------------------------------
+        if !p_done {
+            any_step = true;
+            transitions += 1;
+            let mut n = s;
+            let label = match s.pphase {
+                PPhase::ReadDepth => {
+                    n.saw = s.q;
+                    n.pphase = PPhase::Push(0);
+                    format!("prod: read depth = {}", s.q)
+                }
+                PPhase::Push(i) => {
+                    n.q += 1;
+                    n.pphase = if i + 1 < cfg.batch {
+                        PPhase::Push(i + 1)
+                    } else {
+                        PPhase::RingEpoch
+                    };
+                    format!("prod: push (q -> {})", n.q)
+                }
+                PPhase::RingEpoch => {
+                    if cfg.variant == DoorbellVariant::EdgeOnlyRing && s.saw != 0 {
+                        // Stale belief "already non-empty": skip the ring.
+                        n.burst += 1;
+                        n.pphase = if n.burst < cfg.bursts {
+                            PPhase::ReadDepth
+                        } else {
+                            s.pphase
+                        };
+                        "prod: skip ring (believed non-empty)".to_string()
+                    } else {
+                        n.epoch += 1;
+                        n.pphase = PPhase::RingNotify;
+                        format!("prod: ring epoch -> {}", n.epoch)
+                    }
+                }
+                PPhase::RingNotify => {
+                    if s.waiters && s.cphase == CPhase::Parked {
+                        n.cphase = CPhase::Deregister;
+                    }
+                    n.burst += 1;
+                    n.pphase = if cfg.variant == DoorbellVariant::EdgeOnlyRing {
+                        PPhase::ReadDepth
+                    } else {
+                        PPhase::Push(0)
+                    };
+                    "prod: notify".to_string()
+                }
+            };
+            visit(n, s, label, &mut visited, &mut parent, &mut queue);
+        }
+
+        // ---- consumer ------------------------------------------------
+        if !c_done && s.cphase != CPhase::Parked {
+            any_step = true;
+            transitions += 1;
+            let mut n = s;
+            let label = match s.cphase {
+                CPhase::Capture => {
+                    n.capture = s.epoch;
+                    n.cphase = CPhase::Scan;
+                    format!("cons: capture epoch {}", s.epoch)
+                }
+                CPhase::Scan => {
+                    if s.q > 0 {
+                        n.q -= 1;
+                        n.popped += 1;
+                        n.cphase = if n.popped == total {
+                            CPhase::Done
+                        } else {
+                            CPhase::Capture
+                        };
+                        format!("cons: pop (q -> {})", n.q)
+                    } else {
+                        n.cphase = CPhase::Register;
+                        "cons: scan idle".to_string()
+                    }
+                }
+                CPhase::Register => {
+                    n.waiters = true;
+                    n.cphase = CPhase::ParkDecide;
+                    "cons: register waiter".to_string()
+                }
+                CPhase::ParkDecide => {
+                    let recheck = cfg.variant != DoorbellVariant::ParkWithoutRecheck;
+                    if recheck && s.epoch != s.capture {
+                        n.cphase = CPhase::Deregister;
+                        "cons: recheck sees ring, retreat".to_string()
+                    } else {
+                        // Re-check and sleep are one atomic step: both
+                        // sides hold the bell mutex, and the condvar
+                        // releases it atomically with sleeping.
+                        n.cphase = CPhase::Parked;
+                        "cons: park".to_string()
+                    }
+                }
+                CPhase::Deregister => {
+                    n.waiters = false;
+                    n.cphase = CPhase::Capture;
+                    "cons: deregister".to_string()
+                }
+                CPhase::Parked | CPhase::Done => unreachable!(),
+            };
+            visit(n, s, label, &mut visited, &mut parent, &mut queue);
+        }
+
+        if !any_step {
+            let violation = if s.cphase == CPhase::Parked && s.q > 0 {
+                DoorbellViolation::LostWakeup { queued: s.q }
+            } else {
+                DoorbellViolation::Stuck
+            };
+            return Err(fail(violation, &s, &parent));
+        }
+    }
+
+    Ok(DoorbellReport {
+        states: visited.len(),
+        transitions,
+        terminals,
+    })
+}
+
+/// Reconstruct the schedule from the parent map and build a failure.
+fn fail(
+    violation: DoorbellViolation,
+    at: &State,
+    parent: &HashMap<State, (State, String)>,
+) -> DoorbellFailure {
+    let mut trace = Vec::new();
+    let mut cur = *at;
+    while let Some((prev, label)) = parent.get(&cur) {
+        trace.push(label.clone());
+        cur = *prev;
+    }
+    trace.reverse();
+    DoorbellFailure { violation, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_protocol_never_strands_a_parked_consumer() {
+        for (bursts, batch) in [(1, 1), (3, 1), (2, 2), (2, 3)] {
+            let report = explore_doorbell(&DoorbellConfig::correct(bursts, batch))
+                .expect("capture/recheck protocol is lost-wakeup free");
+            assert!(report.terminals >= 1);
+            assert!(report.states > 10, "got {} states", report.states);
+        }
+    }
+
+    #[test]
+    fn park_without_recheck_loses_the_wakeup() {
+        let failure = explore_doorbell(&DoorbellConfig {
+            bursts: 2,
+            batch: 1,
+            variant: DoorbellVariant::ParkWithoutRecheck,
+        })
+        .expect_err("must catch the planted ring-between-check-and-park bug");
+        assert!(
+            matches!(failure.violation, DoorbellViolation::LostWakeup { queued } if queued > 0),
+            "expected LostWakeup, got {:?}",
+            failure.violation
+        );
+        assert!(!failure.trace.is_empty());
+    }
+
+    #[test]
+    fn edge_only_ring_loses_the_wakeup() {
+        let failure = explore_doorbell(&DoorbellConfig {
+            bursts: 2,
+            batch: 1,
+            variant: DoorbellVariant::EdgeOnlyRing,
+        })
+        .expect_err("must catch the stale empty->non-empty edge belief");
+        assert!(
+            matches!(failure.violation, DoorbellViolation::LostWakeup { queued } if queued > 0),
+            "got {:?}",
+            failure.violation
+        );
+    }
+
+    #[test]
+    fn batched_bursts_ring_once_and_still_wake() {
+        // One ring per 3-push burst: the PR 3 contract carried to the
+        // doorbell. The single trailing ring must still cover a consumer
+        // that went idle mid-burst.
+        let report =
+            explore_doorbell(&DoorbellConfig::correct(2, 3)).expect("one ring per burst suffices");
+        assert!(report.terminals >= 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Double-buffered journal flush: a foreground buffer swap plus a
+//! background flush daemon.
+//!
+//! LabFS and LabKVS both append metadata records to per-worker in-memory
+//! log buffers and persist them as journal transactions (see
+//! [`crate::journal`]). Before this module the persist step wrote the
+//! device synchronously on the caller's clock, so an fsync stalled its
+//! worker for the full media time of every buffered transaction. The
+//! daemon splits that into two halves:
+//!
+//! * **Kick (foreground)** — the caller, holding its log's mutex, swaps
+//!   the buffer out, reserves the transaction's journal blocks and
+//!   sequence number, and hands the payload to the daemon. Appends can
+//!   keep filling the fresh buffer while the old one flushes.
+//! * **Flush (background)** — a single daemon thread encodes and writes
+//!   each transaction on its own virtual-time line: header+payload
+//!   first, the commit record only after that write was accepted, so the
+//!   write-ahead ordering a crash depends on is preserved per
+//!   transaction. Jobs run FIFO, which keeps each log's sequence chain
+//!   in submission order.
+//!
+//! # Virtual-time accounting
+//!
+//! The daemon's clock for a job starts at
+//! `max(durable_vt, submit_vt)` — a flush can neither begin before the
+//! foreground kicked it (`submit_vt`, causality) nor before the previous
+//! flush finished (`durable_vt`, the device work is serialized through
+//! one daemon). [`FlushDaemon::sync`] then charges the *waiter* with
+//! `idle_until(durable_vt)`: the caller's envelope pays exactly the
+//! wall-clock it would have waited for durability, but as idle time, not
+//! busy time — the device work itself is no longer billed to the
+//! envelope's busy counter.
+//!
+//! # Errors
+//!
+//! The foreground half still fails fast (region-full is detected before
+//! any cursor moves). Device errors happen on the daemon thread after the
+//! cursors already advanced, so they are *sticky*: the first one is
+//! latched and every subsequent [`FlushDaemon::sync`] reports it until
+//! crash recovery calls [`FlushDaemon::reset`]. That latch is what makes
+//! background kicks safe — a transaction that silently died in the
+//! background leaves a hole in the journal chain, and the latch
+//! guarantees no later durability point can report `Ok` past that hole.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use labstor_sim::{BlockDevice, Ctx, SimDevice, SECTOR_SIZE};
+
+use crate::journal;
+
+/// Buffer size at which [`LabFs`](crate::labfs::LabFs) / LabKVS kick a
+/// background flush from the append path, so a durability point usually
+/// finds most of the work already on (or past) the wire.
+pub(crate) const FLUSH_KICK_BYTES: usize = 32 * 1024;
+
+/// One reserved-but-unwritten journal transaction.
+struct FlushJob {
+    seq: u64,
+    payload: Vec<u8>,
+    start_block: u64,
+    /// Caller's virtual time at the kick; the flush cannot start earlier.
+    submit_vt: u64,
+}
+
+struct Shared {
+    device: Arc<SimDevice>,
+    block_size: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<FlushJob>,
+    /// A job has been popped but its device writes are still running.
+    in_flight: bool,
+    /// Virtual time at which everything flushed so far is durable.
+    durable_vt: u64,
+    /// First device error, latched until [`FlushDaemon::reset`].
+    first_err: Option<String>,
+    stop: bool,
+}
+
+/// Background flush daemon, one per module instance. See module docs.
+pub struct FlushDaemon {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl FlushDaemon {
+    /// Spawn the daemon for `device`, writing `block_size`-aligned
+    /// journal transactions.
+    pub fn new(device: Arc<SimDevice>, block_size: usize) -> Self {
+        let shared = Arc::new(Shared {
+            device,
+            block_size,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        });
+        let worker = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("labstor-flush".into())
+            .spawn(move || Self::run(&worker))
+            .expect("spawn flush daemon");
+        FlushDaemon {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Foreground half: enqueue one reserved transaction. The caller has
+    /// already swapped `payload` out of its log buffer and advanced the
+    /// log's block/sequence cursors — the daemon only does device work.
+    pub fn submit(&self, seq: u64, payload: Vec<u8>, start_block: u64, submit_vt: u64) {
+        let mut st = self.shared.state.lock();
+        st.queue.push_back(FlushJob {
+            seq,
+            payload,
+            start_block,
+            submit_vt,
+        });
+        self.shared.cv.notify_all();
+    }
+
+    /// Durability point: wait until every submitted transaction is on the
+    /// device, charge the waiter's clock up to the durable instant, and
+    /// surface any latched flush error.
+    pub fn sync(&self, ctx: &mut Ctx) -> Result<(), String> {
+        let mut st = self.shared.state.lock();
+        while st.in_flight || !st.queue.is_empty() {
+            self.shared.cv.wait(&mut st);
+        }
+        let durable = st.durable_vt;
+        let err = st.first_err.clone();
+        drop(st);
+        ctx.idle_until(durable);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Wait until the daemon is idle without touching anyone's clock
+    /// (upgrade/maintenance paths that need quiescence, not durability
+    /// accounting).
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock();
+        while st.in_flight || !st.queue.is_empty() {
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Crash-recovery reset: drop queued work (the crash beat it to the
+    /// device — replay trusts media, not these buffers), wait out any
+    /// in-flight write, clear the error latch, and rewind the durability
+    /// clock for the post-recovery timeline.
+    pub fn reset(&self) {
+        let mut st = self.shared.state.lock();
+        st.queue.clear();
+        while st.in_flight {
+            self.shared.cv.wait(&mut st);
+        }
+        st.queue.clear();
+        st.first_err = None;
+        st.durable_vt = 0;
+    }
+
+    /// Carry durability-clock and error-latch continuity from the
+    /// instance being replaced during an upgrade.
+    pub fn absorb(&self, prev: &FlushDaemon) {
+        prev.drain();
+        let (vt, err) = {
+            let st = prev.shared.state.lock();
+            (st.durable_vt, st.first_err.clone())
+        };
+        let mut st = self.shared.state.lock();
+        st.durable_vt = st.durable_vt.max(vt);
+        if st.first_err.is_none() {
+            st.first_err = err;
+        }
+    }
+
+    fn run(shared: &Shared) {
+        let block_sectors = (shared.block_size / SECTOR_SIZE) as u64;
+        loop {
+            let (job, durable_vt) = {
+                let mut st = shared.state.lock();
+                loop {
+                    if st.stop {
+                        return;
+                    }
+                    if let Some(job) = st.queue.pop_front() {
+                        st.in_flight = true;
+                        break (job, st.durable_vt);
+                    }
+                    shared.cv.wait(&mut st);
+                }
+            };
+            // Device work runs on the daemon's own timeline, outside the
+            // state lock so kicks never wait on media.
+            let mut ctx = Ctx::at(durable_vt.max(job.submit_vt));
+            let (body, commit) = journal::encode_txn(job.seq, &job.payload, shared.block_size);
+            let res = shared
+                .device
+                .write(&mut ctx, job.start_block * block_sectors, &body)
+                .map_err(|e| e.to_string())
+                .and_then(|_| {
+                    // Write-ahead ordering: the commit record goes out
+                    // only after the body write was accepted.
+                    let commit_block = job.start_block + (body.len() / shared.block_size) as u64;
+                    shared
+                        .device
+                        .write(&mut ctx, commit_block * block_sectors, &commit)
+                        .map_err(|e| e.to_string())
+                });
+            let mut st = shared.state.lock();
+            st.durable_vt = st.durable_vt.max(ctx.now());
+            if let Err(e) = res {
+                if st.first_err.is_none() {
+                    st.first_err = Some(e);
+                }
+            }
+            st.in_flight = false;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for FlushDaemon {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.stop = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::replay_scan;
+    use labstor_sim::DeviceKind;
+
+    const BLK: usize = 4096;
+    const SECTORS: u64 = (BLK / SECTOR_SIZE) as u64;
+
+    fn read_blocks(dev: &Arc<SimDevice>) -> impl Fn(u64, u64) -> Option<Vec<u8>> + '_ {
+        move |block, n| {
+            let mut ctx = Ctx::new();
+            let mut buf = vec![0u8; n as usize * BLK];
+            dev.read(&mut ctx, block * SECTORS, &mut buf)
+                .ok()
+                .map(|_| buf)
+        }
+    }
+
+    #[test]
+    fn flushes_are_replayable_and_sync_reports_durable_time() {
+        let dev = SimDevice::preset(DeviceKind::Nvme);
+        let daemon = FlushDaemon::new(dev.clone(), BLK);
+        let mut next_block = 0u64;
+        for seq in 1..=3u64 {
+            let payload = vec![seq as u8; 100];
+            daemon.submit(seq, payload, next_block, 0);
+            next_block += journal::txn_blocks(100, BLK);
+        }
+        let mut ctx = Ctx::new();
+        daemon.sync(&mut ctx).unwrap();
+        // The waiter's clock moved to the durable instant, as idle time.
+        assert!(ctx.now() > 0);
+        assert_eq!(ctx.busy(), 0);
+        let outcome = replay_scan(64, BLK, read_blocks(&dev));
+        assert_eq!(outcome.txns.len(), 3);
+        assert_eq!(outcome.txns[2].0, 3);
+        assert!(!outcome.torn_tail);
+    }
+
+    #[test]
+    fn device_error_is_sticky_until_reset() {
+        let dev = SimDevice::preset(DeviceKind::Nvme);
+        let daemon = FlushDaemon::new(dev.clone(), BLK);
+        // Out-of-range start block: the body write fails on the device.
+        let far = dev.model().capacity_sectors() / SECTORS + 10;
+        daemon.submit(1, vec![1u8; 10], far, 0);
+        let mut ctx = Ctx::new();
+        assert!(daemon.sync(&mut ctx).is_err());
+        // Still latched on a later, healthy flush.
+        daemon.submit(2, vec![2u8; 10], 0, 0);
+        assert!(daemon.sync(&mut ctx).is_err());
+        daemon.reset();
+        daemon.submit(3, vec![3u8; 10], 0, 0);
+        assert!(daemon.sync(&mut ctx).is_ok());
+    }
+
+    #[test]
+    fn sync_with_nothing_queued_is_cheap_and_ok() {
+        let dev = SimDevice::preset(DeviceKind::Nvme);
+        let daemon = FlushDaemon::new(dev, BLK);
+        let mut ctx = Ctx::new();
+        assert!(daemon.sync(&mut ctx).is_ok());
+        assert_eq!(ctx.now(), 0);
+    }
+}

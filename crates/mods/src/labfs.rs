@@ -37,6 +37,7 @@ use labstor_sim::{BlockDevice, Ctx, SimDevice};
 use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
+use crate::flush::{FlushDaemon, FLUSH_KICK_BYTES};
 use crate::journal::{self, RepairReport};
 
 /// Filesystem block size.
@@ -396,6 +397,9 @@ pub struct LabFs {
     logs: Vec<Mutex<MetaLog>>,
     /// Direct handle for log persistence and replay.
     log_device: Arc<SimDevice>,
+    /// Background half of the double-buffered log flush (see
+    /// [`crate::flush`]).
+    flush: FlushDaemon,
     next_ino: AtomicU64,
     perf: PerfCounters,
     /// Busy time spent in downstream stages (subtracted so
@@ -427,6 +431,7 @@ impl LabFs {
                     })
                 })
                 .collect(),
+            flush: FlushDaemon::new(device.clone(), FS_BLOCK),
             log_device: device,
             next_ino: AtomicU64::new(1),
             perf: PerfCounters::new(),
@@ -460,41 +465,51 @@ impl LabFs {
         &self.nodes[(ino as usize) % self.nodes.len()]
     }
 
-    /// Append a record to the originating worker's log.
+    /// Append a record to the originating worker's log. Once the buffer
+    /// crosses the kick threshold it is streamed to the flush daemon in
+    /// the background, so the append path never blocks on the device.
     fn log(&self, ctx: &mut Ctx, core: usize, rec: &LogRecord) {
         ctx.advance(LOG_APPEND_NS);
-        self.logs[core % self.logs.len()].lock().append(rec);
+        let mut log = self.logs[core % self.logs.len()].lock();
+        log.append(rec);
+        if log.buffer.len() >= FLUSH_KICK_BYTES {
+            // Region-full is not actionable here; the next fsync's kick
+            // surfaces it (the buffer just keeps accumulating).
+            let _ = self.kick_log(ctx.now(), &mut log);
+        }
+    }
+
+    /// Foreground half of the double-buffered flush: reserve this log's
+    /// next transaction (blocks + sequence number), swap the buffer out,
+    /// and hand it to the daemon. Cursors advance here, so appends keep
+    /// filling the fresh buffer while the old one flushes; a region-full
+    /// error leaves the log untouched.
+    fn kick_log(&self, now: u64, log: &mut MetaLog) -> Result<(), String> {
+        if log.buffer.is_empty() {
+            return Ok(());
+        }
+        let blocks = journal::txn_blocks(log.buffer.len(), FS_BLOCK);
+        if log.next_block + blocks > log.region_start + log.region_blocks {
+            return Err("metadata log region full".to_string());
+        }
+        let payload = std::mem::take(&mut log.buffer);
+        self.flush
+            .submit(log.next_seq, payload, log.next_block, now);
+        log.next_block += blocks;
+        log.next_seq += 1;
+        Ok(())
     }
 
     /// Flush every log's buffered records to its device region as one
-    /// journal transaction each: header+payload first, the commit record
-    /// only after that write was accepted (write-ahead ordering). A crash
-    /// between the two writes leaves an uncommitted transaction that
-    /// recovery discards.
+    /// journal transaction each, then wait for durability. The daemon
+    /// writes header+payload first and the commit record only after that
+    /// write was accepted (write-ahead ordering): a crash between the two
+    /// leaves an uncommitted transaction that recovery discards.
     fn flush_logs(&self, ctx: &mut Ctx) -> Result<(), String> {
         for log in &self.logs {
-            let mut log = log.lock();
-            if log.buffer.is_empty() {
-                continue;
-            }
-            let blocks = journal::txn_blocks(log.buffer.len(), FS_BLOCK);
-            if log.next_block + blocks > log.region_start + log.region_blocks {
-                return Err("metadata log region full".to_string());
-            }
-            let (body, commit) = journal::encode_txn(log.next_seq, &log.buffer, FS_BLOCK);
-            self.log_device
-                .write(ctx, log.next_block * BLOCK_SECTORS, &body)
-                .map_err(|e| e.to_string())?;
-            let commit_block = log.next_block + (body.len() / FS_BLOCK) as u64;
-            self.log_device
-                .write(ctx, commit_block * BLOCK_SECTORS, &commit)
-                .map_err(|e| e.to_string())?;
-            // Committed: only now does the buffer count as durable.
-            log.buffer.clear();
-            log.next_block += blocks;
-            log.next_seq += 1;
+            self.kick_log(ctx.now(), &mut log.lock())?;
         }
-        Ok(())
+        self.flush.sync(ctx)
     }
 
     /// Apply one log record to the in-memory maps (used by replay).
@@ -591,6 +606,9 @@ impl LabFs {
     /// [`crate::journal::replay_scan`]). Cursors are then reset so new
     /// appends resume right after the last committed transaction.
     pub fn replay_from_device(&self) -> RepairReport {
+        // Quiesce the flush daemon and clear its error latch: queued
+        // buffers predate the crash and the scan below trusts media.
+        self.flush.reset();
         for shard in &self.names {
             shard.write().clear();
         }
@@ -1397,7 +1415,10 @@ impl LabMod for LabFs {
             // Carry the journal cursors over so the new instance appends
             // after the old one's transactions instead of overwriting the
             // log from the start (which would orphan pre-upgrade metadata
-            // on the next crash).
+            // on the next crash). Absorb first: it drains the old
+            // instance's flush daemon, so the cursors copied below are
+            // final and its durability clock / error latch carry over.
+            self.flush.absorb(&prev.flush);
             for (mine, theirs) in self.logs.iter().zip(prev.logs.iter()) {
                 let mut m = mine.lock();
                 let t = theirs.lock();

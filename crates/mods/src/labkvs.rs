@@ -18,6 +18,7 @@ use labstor_sim::{BlockDevice, Ctx, SimDevice};
 use labstor_telemetry::PerfCounters;
 
 use crate::devices::{device_param, DeviceRegistry};
+use crate::flush::{FlushDaemon, FLUSH_KICK_BYTES};
 use crate::journal::{self, RepairReport};
 use crate::labfs::BlockAllocator;
 
@@ -117,6 +118,9 @@ pub struct LabKvs {
     allocator: BlockAllocator,
     logs: Vec<Mutex<KvLog>>,
     log_device: Arc<SimDevice>,
+    /// Background half of the double-buffered log flush (see
+    /// [`crate::flush`]).
+    flush: FlushDaemon,
     perf: PerfCounters,
     /// What the most recent `state_repair` found (see [`RepairReport`]).
     last_repair: Mutex<Option<RepairReport>>,
@@ -143,6 +147,7 @@ impl LabKvs {
                     })
                 })
                 .collect(),
+            flush: FlushDaemon::new(device.clone(), KV_BLOCK),
             log_device: device,
             perf: PerfCounters::new(),
             last_repair: Mutex::new(None),
@@ -157,37 +162,50 @@ impl LabKvs {
         &self.shards[(h as usize) % self.shards.len()]
     }
 
+    /// Append a record to the originating worker's log. Once the buffer
+    /// crosses the kick threshold it is streamed to the flush daemon in
+    /// the background, so the append path never blocks on the device.
     fn log(&self, ctx: &mut Ctx, core: usize, rec: &KvRecord) {
         ctx.advance(80);
-        rec.encode(&mut self.logs[core % self.logs.len()].lock().buffer);
+        let mut log = self.logs[core % self.logs.len()].lock();
+        rec.encode(&mut log.buffer);
+        if log.buffer.len() >= FLUSH_KICK_BYTES {
+            // Region-full is not actionable here; the next flush's kick
+            // surfaces it (the buffer just keeps accumulating).
+            let _ = self.kick_log(ctx.now(), &mut log);
+        }
     }
 
-    /// Persist buffered log records as one journal transaction per log:
-    /// header+payload first, the commit record only after that write was
-    /// accepted (write-ahead ordering).
+    /// Foreground half of the double-buffered flush: reserve this log's
+    /// next transaction (blocks + sequence number), swap the buffer out,
+    /// and hand it to the daemon. Cursors advance here, so appends keep
+    /// filling the fresh buffer while the old one flushes; a region-full
+    /// error leaves the log untouched.
+    fn kick_log(&self, now: u64, log: &mut KvLog) -> Result<(), String> {
+        if log.buffer.is_empty() {
+            return Ok(());
+        }
+        let blocks = journal::txn_blocks(log.buffer.len(), KV_BLOCK);
+        if log.next_block + blocks > log.region_start + log.region_blocks {
+            return Err("kvs log region full".into());
+        }
+        let payload = std::mem::take(&mut log.buffer);
+        self.flush
+            .submit(log.next_seq, payload, log.next_block, now);
+        log.next_block += blocks;
+        log.next_seq += 1;
+        Ok(())
+    }
+
+    /// Persist buffered log records as one journal transaction per log,
+    /// then wait for durability. The daemon writes header+payload first
+    /// and the commit record only after that write was accepted
+    /// (write-ahead ordering).
     pub fn flush_logs(&self, ctx: &mut Ctx) -> Result<(), String> {
         for log in &self.logs {
-            let mut log = log.lock();
-            if log.buffer.is_empty() {
-                continue;
-            }
-            let blocks = journal::txn_blocks(log.buffer.len(), KV_BLOCK);
-            if log.next_block + blocks > log.region_start + log.region_blocks {
-                return Err("kvs log region full".into());
-            }
-            let (body, commit) = journal::encode_txn(log.next_seq, &log.buffer, KV_BLOCK);
-            self.log_device
-                .write(ctx, log.next_block * BLOCK_SECTORS, &body)
-                .map_err(|e| e.to_string())?;
-            let commit_block = log.next_block + (body.len() / KV_BLOCK) as u64;
-            self.log_device
-                .write(ctx, commit_block * BLOCK_SECTORS, &commit)
-                .map_err(|e| e.to_string())?;
-            log.buffer.clear();
-            log.next_block += blocks;
-            log.next_seq += 1;
+            self.kick_log(ctx.now(), &mut log.lock())?;
         }
-        Ok(())
+        self.flush.sync(ctx)
     }
 
     /// Apply one replayed record to the key map.
@@ -214,6 +232,9 @@ impl LabKvs {
     /// [`crate::journal::replay_scan`]). The scan trusts media, not
     /// in-memory cursors.
     pub fn replay_from_device(&self) -> RepairReport {
+        // Quiesce the flush daemon and clear its error latch: queued
+        // buffers predate the crash and the scan below trusts media.
+        self.flush.reset();
         for shard in &self.shards {
             shard.write().clear();
         }
@@ -532,6 +553,10 @@ impl LabMod for LabKvs {
             // Carry journal cursors so post-upgrade flushes append after
             // the old instance's transactions instead of restarting the
             // log (which would orphan pre-upgrade entries on a crash).
+            // Absorb first: it drains the old instance's flush daemon, so
+            // the cursors copied below are final and its durability clock
+            // / error latch carry over.
+            self.flush.absorb(&prev.flush);
             for (mine, theirs) in self.logs.iter().zip(prev.logs.iter()) {
                 let mut m = mine.lock();
                 let t = theirs.lock();

@@ -36,6 +36,7 @@ pub mod consistency;
 pub mod devices;
 pub mod drivers;
 pub mod dummy;
+pub mod flush;
 pub mod generic;
 pub mod journal;
 pub mod labfs;

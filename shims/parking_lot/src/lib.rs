@@ -218,6 +218,22 @@ impl Condvar {
         });
     }
 
+    /// Block until notified or `timeout` elapses, atomically releasing the
+    /// guard's lock. Returns `true` if the wait timed out without a
+    /// notification (matching `parking_lot`'s `WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let mut timed_out = false;
+        take_mut(guard, |g| {
+            let (inner, res) = match self.inner.wait_timeout(g.inner, timeout) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            timed_out = res.timed_out();
+            MutexGuard { inner }
+        });
+        timed_out
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -238,8 +254,9 @@ impl Default for Condvar {
 /// Replace `*dest` through a by-value transform.
 ///
 /// `f` must not panic: the value has been moved out and a panic would
-/// abort via double-drop protection. The sole caller (`Condvar::wait`)
-/// only forwards to `std::sync::Condvar::wait`, which does not panic.
+/// abort via double-drop protection. The only callers (`Condvar::wait`
+/// and `Condvar::wait_for`) merely forward to the std condvar waits,
+/// which do not panic.
 fn take_mut<T, F: FnOnce(T) -> T>(dest: &mut T, f: F) {
     // SAFETY: we read `*dest` and unconditionally write a replacement
     // before returning; `f` is infallible per the contract above, so the
@@ -284,6 +301,34 @@ mod tests {
         // parking_lot semantics: no poison, the lock is usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: a short deadline wait must report the timeout.
+        {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            let timed_out = cv.wait_for(&mut ready, std::time::Duration::from_millis(5));
+            assert!(timed_out);
+            assert!(!*ready);
+        }
+        // With a notifier the waiter observes the flag before any timeout.
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                let _ = cv.wait_for(&mut ready, std::time::Duration::from_secs(30));
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]

@@ -127,6 +127,56 @@ fn handoff_under_live_reassignment_loses_nothing_and_keeps_fifo() {
     rt.shutdown();
 }
 
+#[test]
+fn doorbell_rings_during_handoff_strand_no_envelope() {
+    // Every rebalance here moves the client's queue to a new worker via
+    // the full drain-and-handoff protocol, while the client keeps
+    // submitting and *parking* on its completion doorbell (post-PR 9
+    // `wait` no longer spins). A submission doorbell that rings while
+    // the old worker is draining must either be seen by that worker's
+    // final scan or by the new worker's first scan after it registers on
+    // the queue — if neither happens the envelope is stranded and the
+    // roundtrip below times out.
+    let rt = platform(4);
+    rt.set_policy(Arc::new(ShiftPolicy {
+        calls: AtomicUsize::new(0),
+    }));
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flipper = {
+        let rt = rt.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                rt.rebalance();
+            }
+        })
+    };
+
+    const OPS: usize = 400;
+    let started = std::time::Instant::now();
+    for i in 0..OPS {
+        let (resp, _lat) = client
+            .execute(&stack, Payload::Dummy { work_ns: 100 })
+            .unwrap_or_else(|e| panic!("op {i} stranded during handoff: {e:?}"));
+        assert!(resp.is_ok(), "op {i} failed: {resp:?}");
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Release);
+    flipper.join().unwrap();
+
+    // Liveness must come from doorbells, not from the workers' 25 ms
+    // safety-net timeout: systematically lost wakeups would put every op
+    // through at least one safety sleep (400 × 25 ms = 10 s).
+    assert!(
+        elapsed < std::time::Duration::from_secs(6),
+        "roundtrips relied on the park safety net: {elapsed:?} for {OPS} ops"
+    );
+    rt.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // Batched verbs ≡ N single verbs
 // ---------------------------------------------------------------------

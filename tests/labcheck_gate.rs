@@ -7,10 +7,11 @@
 //! only the gate.
 
 use labstor_labcheck::{
-    explore, explore_journal, explore_lock, explore_rc, gate_journal_bug_configs,
+    explore, explore_doorbell, explore_journal, explore_lock, explore_rc,
+    gate_doorbell_bug_configs, gate_doorbell_configs, gate_journal_bug_configs,
     gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
     gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_text,
-    workspace_root, Config, JournalVariant, JournalViolation, LockViolation,
+    workspace_root, Config, DoorbellViolation, JournalVariant, JournalViolation, LockViolation,
 };
 
 #[test]
@@ -90,6 +91,30 @@ fn journal_commit_protocol_passes_model_check() {
             JournalVariant::Correct => false,
         };
         assert!(ok, "{:?} produced {:?}", cfg.variant, failure.violation);
+    }
+}
+
+#[test]
+fn doorbell_protocol_passes_model_check() {
+    // The reactor's capture/recheck park protocol is lost-wakeup free on
+    // every interleaving, including one-ring-per-burst batch shapes…
+    for cfg in gate_doorbell_configs() {
+        explore_doorbell(&cfg).unwrap_or_else(|f| panic!("doorbell mc failed on {cfg:?}:\n{f}"));
+    }
+    // …and both planted bugs — parking without the under-mutex epoch
+    // re-check, and ringing only on a stale empty→non-empty belief —
+    // are caught as the lost wakeup they cause.
+    for cfg in gate_doorbell_bug_configs() {
+        let failure = explore_doorbell(&cfg).expect_err(&format!(
+            "planted doorbell bug {:?} went undetected",
+            cfg.variant
+        ));
+        assert!(
+            matches!(failure.violation, DoorbellViolation::LostWakeup { queued } if queued > 0),
+            "{:?} produced {:?}",
+            cfg.variant,
+            failure.violation
+        );
     }
 }
 

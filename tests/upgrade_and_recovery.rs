@@ -227,6 +227,36 @@ fn client_sees_runtime_down_without_restart() {
 }
 
 #[test]
+fn runtime_down_detection_parks_and_honors_the_timeout() {
+    // Post-PR 9 the crashed-runtime wait parks on the liveness doorbell
+    // instead of spin-checking. A crash with no restart must still
+    // resolve: the client waits out `offline_timeout` (no bell ever
+    // rings "online") and returns the typed error — neither hanging on
+    // the park nor returning before the restart window has passed.
+    let (rt, _d) = platform();
+    rt.mount_stack_json(DUMMY_SPEC).unwrap();
+    let stack = rt.ns.get("dummy::/").unwrap();
+    let mut client = rt.connect(Credentials::new(1, 0, 0), 1);
+    client.offline_timeout = std::time::Duration::from_millis(200);
+    rt.crash();
+    let started = std::time::Instant::now();
+    let err = client
+        .execute(&stack, Payload::Dummy { work_ns: 0 })
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err, labstor::core::client::ClientError::RuntimeDown);
+    assert!(
+        elapsed >= std::time::Duration::from_millis(150),
+        "gave up before the restart window: {elapsed:?}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "parked wait failed to time out: {elapsed:?}"
+    );
+    rt.shutdown();
+}
+
+#[test]
 fn device_faults_surface_as_errors_not_hangs() {
     let (rt, d) = platform();
     rt.mount_stack_json(
