@@ -38,6 +38,10 @@ echo "== bench_reactor smoke (idle-fleet doorbell vs polling gate)"
 cargo run -q --release -p labstor-bench --bin bench_reactor -- --smoke
 test -s BENCH_reactor.json
 
+echo "== bench_pushdown smoke (bytes-over-IPC + modeled-speedup + zero-copy gate)"
+cargo run -q --release -p labstor-bench --bin bench_pushdown -- --smoke
+test -s BENCH_pushdown.json
+
 echo "== crash_fuzz smoke (crash-recovery prefix-consistency campaign)"
 cargo run -q --release -p labstor-bench --bin crash_fuzz -- --smoke
 test -s BENCH_crash_fuzz.json

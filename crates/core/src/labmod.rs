@@ -150,6 +150,35 @@ impl StackEnv<'_> {
         resp
     }
 
+    /// Bill `fuel` pushdown instruction units to the requesting tenant.
+    ///
+    /// Two charges keep the execution honest: virtual time advances by
+    /// [`labstor_pushdown::FUEL_NS`] per unit (the interpreter's modeled
+    /// cost — the worker timeline pays for the scan), and the tenant's
+    /// token bucket is debited the same units it would pay for payload
+    /// bytes, so a hostile program competes against its own bandwidth
+    /// budget instead of starving neighbors. Over-budget tenants get the
+    /// retry-after hint back (`Err(retry_vns)`); callers withhold the
+    /// result and return a throttled error. Standalone managers (unit
+    /// harnesses) have no tenant table: time is charged, admission is a
+    /// no-op.
+    pub fn charge_fuel(
+        &self,
+        ctx: &mut Ctx,
+        creds: &labstor_ipc::Credentials,
+        fuel: u64,
+    ) -> Result<(), u64> {
+        ctx.advance(fuel.saturating_mul(labstor_pushdown::FUEL_NS));
+        let Some(table) = self.registry.tenants() else {
+            return Ok(());
+        };
+        let Some(state) = table.resolve(creds.tenant) else {
+            return Ok(());
+        };
+        state.note_fuel(fuel);
+        state.try_admit(ctx.now(), fuel)
+    }
+
     /// Record a device service window (`[t0, t1]` in virtual ns) observed
     /// by this vertex — driver LabMods call this with the completion's
     /// `done_at - service_ns .. done_at`. No-op while the recorder is

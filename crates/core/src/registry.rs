@@ -99,6 +99,11 @@ pub struct ModuleManager {
     /// clients, LabMods via `StackEnv` — records into the same recorder,
     /// and separate Runtimes never share spans.
     telemetry: Arc<labstor_telemetry::FlightRecorder>,
+    /// The Runtime's tenant table, attached once at startup so
+    /// kernel-side LabMods can bill pushdown fuel to the requesting
+    /// tenant. Standalone managers (unit harnesses) leave it unset and
+    /// fuel is charged to virtual time only.
+    tenants: std::sync::OnceLock<Arc<labstor_qos::TenantTable>>,
 }
 
 impl Default for ModuleManager {
@@ -119,7 +124,19 @@ impl ModuleManager {
             upgrades: Mutex::new(Vec::new()),
             resume_vt: std::sync::atomic::AtomicU64::new(0),
             telemetry: Arc::new(labstor_telemetry::FlightRecorder::default()),
+            tenants: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the Runtime's tenant table (once, at startup). Later calls
+    /// are ignored — the first table wins, matching `OnceLock`.
+    pub fn attach_tenants(&self, tenants: Arc<labstor_qos::TenantTable>) {
+        let _ = self.tenants.set(tenants);
+    }
+
+    /// The attached tenant table, if this manager belongs to a Runtime.
+    pub fn tenants(&self) -> Option<&Arc<labstor_qos::TenantTable>> {
+        self.tenants.get()
     }
 
     /// The span flight recorder shared by everything attached to this

@@ -7,7 +7,9 @@
 //! hatch so third-party LabMods can define their own interfaces without
 //! touching the platform.
 
-use labstor_ipc::{BufHandle, Credentials};
+use labstor_ipc::{BufHandle, Credentials, InlineData};
+use labstor_pushdown::VerifiedProgram;
+use std::sync::Arc;
 
 /// POSIX-flavoured file operations (the GenericFS/LabFS interface).
 #[derive(Debug, Clone)]
@@ -73,6 +75,21 @@ pub enum FsOp {
         /// Bytes to read.
         len: usize,
     },
+    /// Pushdown read: run a verified bytecode program over `len` bytes
+    /// at `offset` inside the stack, shipping back only the result
+    /// (aggregate or matching records) instead of the pages. The program
+    /// attachment rides the envelope by `Arc` — verified once
+    /// client-side, trusted by type thereafter.
+    ReadFiltered {
+        /// Source inode.
+        ino: u64,
+        /// Byte offset (must be record-aligned).
+        offset: u64,
+        /// Bytes to scan.
+        len: usize,
+        /// The verified filter/aggregation program.
+        prog: Arc<VerifiedProgram>,
+    },
     /// Remove a file or empty directory.
     Unlink {
         /// Stack-relative path.
@@ -136,6 +153,25 @@ pub enum KvsOp {
         key: String,
         /// Shared-memory value bytes.
         buf: BufHandle,
+    },
+    /// Pushdown point-query: fetch `key`'s value only if the program
+    /// matches it. A miss at the first table level triggers the in-stack
+    /// resubmission hook (walk the next level) instead of a client
+    /// round trip.
+    GetWhere {
+        /// Key.
+        key: String,
+        /// The verified predicate program.
+        prog: Arc<VerifiedProgram>,
+    },
+    /// Pushdown scan: evaluate the program over every value whose key
+    /// starts with `prefix`, shipping back matching keys or an
+    /// aggregate instead of the values.
+    ScanWhere {
+        /// Key prefix selecting the scan range.
+        prefix: String,
+        /// The verified predicate/aggregation program.
+        prog: Arc<VerifiedProgram>,
     },
 }
 
@@ -268,7 +304,9 @@ impl Request {
     pub fn payload_bytes(&self) -> usize {
         match &self.payload {
             Payload::Fs(FsOp::Write { data, .. }) => data.len(),
-            Payload::Fs(FsOp::Read { len, .. } | FsOp::ReadBuf { len, .. }) => *len,
+            Payload::Fs(
+                FsOp::Read { len, .. } | FsOp::ReadBuf { len, .. } | FsOp::ReadFiltered { len, .. },
+            ) => *len,
             Payload::Fs(FsOp::WriteBuf { buf, .. }) => buf.len(),
             Payload::Kvs(KvsOp::Put { value, .. }) => value.len(),
             Payload::Kvs(KvsOp::PutBuf { buf, .. }) => buf.len(),
@@ -293,6 +331,10 @@ pub enum RespPayload {
     /// Zero-copy read result: a refcounted view of shared-memory bytes
     /// (a page-cache hit is a refcount bump, not a copy).
     DataBuf(BufHandle),
+    /// Small result (≤ 64 B) carried by value inside the response
+    /// envelope — no BufferPool round trip, zero counted payload
+    /// copies. Pushdown aggregates and short KVS values ride here.
+    Inline(InlineData),
     /// Bytes written.
     Len(usize),
     /// Stat result.
@@ -315,6 +357,7 @@ impl RespPayload {
         match self {
             RespPayload::Data(v) => Some(v),
             RespPayload::DataBuf(b) => Some(b.as_slice()),
+            RespPayload::Inline(d) => Some(d.as_slice()),
             _ => None,
         }
     }

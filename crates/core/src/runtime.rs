@@ -117,6 +117,10 @@ impl Runtime {
         let mm = Arc::new(ModuleManager::new());
         let ns = Namespace::new();
         let watermark = Arc::new(Watermark::new());
+        let tenants = Arc::new(TenantTable::new());
+        // Attached before any worker runs so LabMods can bill pushdown
+        // fuel to the requesting tenant from the first request.
+        mm.attach_tenants(tenants.clone());
         let workers = (0..config.max_workers.max(1))
             .map(|i| Worker::spawn(i, ns.clone(), mm.clone(), watermark.clone()))
             .collect();
@@ -125,7 +129,7 @@ impl Runtime {
             mm,
             ns,
             watermark,
-            tenants: Arc::new(TenantTable::new()),
+            tenants,
             workers: Mutex::new(workers),
             policy: Mutex::new(config.policy),
             max_workers: config.max_workers.max(1),

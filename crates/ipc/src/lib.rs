@@ -30,6 +30,7 @@ pub mod buf;
 pub mod cost;
 pub mod credentials;
 pub mod doorbell;
+pub mod inline;
 pub mod lockwitness;
 pub mod manager;
 pub mod queue_pair;
@@ -42,6 +43,7 @@ pub use buf::{
 };
 pub use credentials::{Credentials, TenantId};
 pub use doorbell::Doorbell;
+pub use inline::{InlineData, INLINE_MAX};
 pub use lockwitness::{LockClass, OrderedMutex, OrderedRwLock};
 pub use manager::{ClientConnection, IpcManager};
 pub use queue_pair::{Envelope, LaneKind, QueueFlags, QueuePair, QueueRole, UpgradeFlag};

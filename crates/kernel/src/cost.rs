@@ -44,6 +44,12 @@ pub const COPY_NS_PER_KB: u64 = 300;
 /// VFS path-walk cost per path component (dcache hash lookup + RCU walk).
 pub const PATH_COMPONENT_NS: u64 = 180;
 
+/// Client-side predicate scan over payload bytes, per KiB (branchy
+/// record-at-a-time compare loop, ≈1 GB/s — slower than straight memcpy
+/// because of the per-record control flow). This is the cost pushdown
+/// avoids by filtering in-stack and shipping bytes, not pages.
+pub const SCAN_NS_PER_KB: u64 = 1_000;
+
 /// Scheduler wakeup of a task blocked on I/O completion.
 pub const WAKEUP_NS: u64 = 900;
 
@@ -72,6 +78,16 @@ pub fn copy_ns(bytes: usize) -> u64 {
     (bytes as u64 * COPY_NS_PER_KB) / 1024
 }
 
+/// Modeled cost of a client-side predicate scan over `bytes` of payload.
+pub fn scan_ns(bytes: usize) -> u64 {
+    (bytes as u64 * SCAN_NS_PER_KB) / 1024
+}
+
+/// Charge a client-side predicate scan over `bytes`.
+pub fn scan(ctx: &mut Ctx, bytes: usize) {
+    ctx.advance(scan_ns(bytes));
+}
+
 /// Charge a VFS path resolution over `components` path elements.
 pub fn path_walk(ctx: &mut Ctx, components: usize) {
     ctx.advance(PATH_COMPONENT_NS * components.max(1) as u64);
@@ -97,6 +113,16 @@ mod tests {
         let mut ctx = Ctx::new();
         copy(&mut ctx, 2048);
         assert_eq!(ctx.now(), 2 * COPY_NS_PER_KB);
+    }
+
+    #[test]
+    fn scan_is_slower_than_copy() {
+        // The client-side scan the pushdown path displaces costs more
+        // per byte than a straight memcpy.
+        assert!(scan_ns(4096) > copy_ns(4096));
+        let mut ctx = Ctx::new();
+        scan(&mut ctx, 1024);
+        assert_eq!(ctx.now(), SCAN_NS_PER_KB);
     }
 
     #[test]

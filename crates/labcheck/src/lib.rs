@@ -22,6 +22,7 @@ pub mod lint;
 pub mod lockcheck;
 pub mod mc;
 pub mod mc_doorbell;
+pub mod mc_fuel;
 pub mod mc_journal;
 pub mod mc_lock;
 pub mod mc_rc;
@@ -33,6 +34,9 @@ pub use mc::{explore, McConfig, McFailure, Report, Variant, Violation};
 pub use mc_doorbell::{
     explore_doorbell, DoorbellConfig, DoorbellFailure, DoorbellReport, DoorbellVariant,
     DoorbellViolation,
+};
+pub use mc_fuel::{
+    explore_fuel, FuelConfig, FuelFailure, FuelInsn, FuelReport, FuelVariant, FuelViolation,
 };
 pub use mc_journal::{
     explore_journal, JournalConfig, JournalFailure, JournalReport, JournalVariant, JournalViolation,
@@ -229,6 +233,48 @@ pub fn gate_doorbell_bug_configs() -> Vec<DoorbellConfig> {
             bursts: 3,
             batch: 2,
             variant: DoorbellVariant::EdgeOnlyRing,
+        },
+    ]
+}
+
+/// The pushdown fuel/termination configurations the binary and the
+/// tier-1 gate run: the shipped verify-then-execute pipeline (PR 10)
+/// must terminate within budget with every retired instruction charged,
+/// over straight-line code, forward-branch chains, the `count_where`
+/// skeleton shape, tight budgets that run out mid-flight, and a
+/// backward-jump program the verifier must reject outright.
+pub fn gate_fuel_configs() -> Vec<FuelConfig> {
+    use FuelInsn::{Br, Fall, Halt};
+    vec![
+        FuelConfig::correct(vec![Fall, Fall, Fall, Halt], 8),
+        // The count_where_u32_eq skeleton: load, branch, two exits.
+        FuelConfig::correct(vec![Fall, Br(1), Halt, Fall, Halt], 8),
+        // Forward branch chain, including a zero-offset branch.
+        FuelConfig::correct(vec![Br(2), Fall, Fall, Br(0), Halt], 16),
+        // Tight fuel: the meter stops the program mid-flight, gracefully.
+        FuelConfig::correct(vec![Fall, Fall, Fall, Fall, Halt], 2),
+        // Backward jump under the correct pipeline: the verifier rejects
+        // it before execution — that *is* the safe outcome.
+        FuelConfig::correct(vec![Fall, Br(-2), Halt], 16),
+    ]
+}
+
+/// Planted pushdown bugs the gate must catch: a verifier that lets a
+/// backward jump through (forward progress lost) and an interpreter that
+/// skips the fuel charge on taken branches (tenant under-billed, budget
+/// no longer bounds work).
+pub fn gate_fuel_bug_configs() -> Vec<FuelConfig> {
+    use FuelInsn::{Br, Halt};
+    vec![
+        FuelConfig {
+            program: vec![Br(-1), Halt],
+            fuel: 16,
+            variant: FuelVariant::BackwardJumpAccepted,
+        },
+        FuelConfig {
+            program: vec![Br(1), Halt, Halt],
+            fuel: 8,
+            variant: FuelVariant::FuelNotChargedOnTakenBranch,
         },
     ]
 }

@@ -147,6 +147,14 @@ impl Config {
                     file_suffix: "crates/ipc/src/doorbell.rs",
                     function: None,
                 },
+                // The pushdown interpreter runs verified-but-untrusted
+                // bytecode inside kernel-side LabMods over raw handle
+                // slices; a panic here takes down a worker on behalf of
+                // a tenant-supplied program.
+                HotPath {
+                    file_suffix: "crates/pushdown/src/interp.rs",
+                    function: None,
+                },
             ],
             // The simulator's virtual-clock counters are single-threaded
             // bookkeeping behind &mut self; auditing them adds noise, not
@@ -164,6 +172,8 @@ impl Config {
                 "crates/mods/src/labkvs.rs",
                 "crates/mods/src/compress.rs",
                 "crates/mods/src/drivers.rs",
+                "crates/pushdown/src/interp.rs",
+                "crates/ipc/src/inline.rs",
             ],
             // The lock-class registry (DESIGN.md §7 "Lock classes &
             // ordering"). Ranks are acquired ascending; gaps leave room

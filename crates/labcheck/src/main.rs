@@ -14,11 +14,11 @@
 use std::process::ExitCode;
 
 use labstor_labcheck::{
-    explore, explore_doorbell, explore_journal, explore_lock, explore_rc,
-    gate_doorbell_bug_configs, gate_doorbell_configs, gate_journal_bug_configs,
-    gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
-    gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_json,
-    render_text, workspace_root, Config,
+    explore, explore_doorbell, explore_fuel, explore_journal, explore_lock, explore_rc,
+    gate_doorbell_bug_configs, gate_doorbell_configs, gate_fuel_bug_configs, gate_fuel_configs,
+    gate_journal_bug_configs, gate_journal_configs, gate_lock_bug_configs, gate_lock_configs,
+    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
+    render_json, render_text, workspace_root, Config,
 };
 
 fn main() -> ExitCode {
@@ -227,6 +227,38 @@ fn main() -> ExitCode {
                 failed = true;
             } else if !json {
                 println!("labcheck: journal caught planted bug {:?}", cfg.variant);
+            }
+        }
+        // And for the pushdown fuel/termination model (the PR 10
+        // in-stack bytecode interpreter's safety spine).
+        for cfg in gate_fuel_configs() {
+            match explore_fuel(&cfg) {
+                Ok(report) => {
+                    if !json {
+                        println!(
+                            "labcheck: fuel ok  insns={} fuel={} rejected={} \
+                             ({} states, {} transitions, {} terminals)",
+                            cfg.program.len(),
+                            cfg.fuel,
+                            report.rejected,
+                            report.states,
+                            report.transitions,
+                            report.terminals
+                        );
+                    }
+                }
+                Err(failure) => {
+                    eprintln!("labcheck: fuel FAILED on {cfg:?}\n{failure}");
+                    failed = true;
+                }
+            }
+        }
+        for cfg in gate_fuel_bug_configs() {
+            if explore_fuel(&cfg).is_ok() {
+                eprintln!("labcheck: fuel MISSED planted bug {:?}", cfg.variant);
+                failed = true;
+            } else if !json {
+                println!("labcheck: fuel caught planted bug {:?}", cfg.variant);
             }
         }
     }

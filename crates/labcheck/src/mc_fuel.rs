@@ -1,0 +1,384 @@
+//! Exhaustive model check for the pushdown execution model
+//! (`labstor_pushdown`): **every verified program terminates within its
+//! fuel budget, and every retired step is charged**.
+//!
+//! The real interpreter's safety argument has two independent legs:
+//!
+//! 1. **Forward-only jumps** — the verifier rejects negative offsets, so
+//!    `pc` strictly increases and a program of `n` instructions retires
+//!    at most `n` per record, fuel or no fuel.
+//! 2. **Fuel charged before every instruction** — including taken
+//!    branches, so `budget − fuel == steps` at all times and the tenant
+//!    token bucket bills exactly what executed.
+//!
+//! This checker abstracts the ISA to the three shapes that matter for
+//! control flow — fall-through, halt, and a *nondeterministic*
+//! conditional branch — and BFS-explores both outcomes of every branch.
+//! The model mirrors the shipped pipeline: a verifier step first (reject
+//! backward offsets), then exhaustive execution with two invariants
+//! checked on every transition. Two planted bugs prove the checker has
+//! teeth:
+//!
+//! - [`FuelVariant::BackwardJumpAccepted`] — the verifier lets a
+//!   negative offset through. A taken backward branch loops, `steps`
+//!   exceeds the program length, and the forward-progress invariant
+//!   ([`FuelViolation::Runaway`]) fires.
+//! - [`FuelVariant::FuelNotChargedOnTakenBranch`] — the interpreter
+//!   charges fall-throughs but skips the charge when a branch is taken
+//!   (the classic "charge at the top of the loop, branch out the
+//!   bottom" slip). The first taken branch desynchronizes `steps` from
+//!   `budget − fuel` and [`FuelViolation::FuelLeak`] fires.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Execution-model variant under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuelVariant {
+    /// The shipped pipeline: backward jumps rejected, every retired
+    /// instruction (taken branches included) charged one fuel unit.
+    Correct,
+    /// Planted bug: the verifier accepts a negative branch offset, so a
+    /// loop becomes expressible and forward progress is lost.
+    BackwardJumpAccepted,
+    /// Planted bug: taken branches retire without a fuel charge, so the
+    /// tenant is under-billed and the budget no longer bounds work.
+    FuelNotChargedOnTakenBranch,
+}
+
+/// Abstracted instruction: just the control-flow shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuelInsn {
+    /// Straight-line instruction (load/alu/mov): `pc + 1`.
+    Fall,
+    /// Conditional branch with a relative offset from the *next*
+    /// instruction; the model explores both taken and untaken outcomes.
+    Br(i8),
+    /// Return: execution ends.
+    Halt,
+}
+
+/// Model-checker configuration: a program, a fuel budget, a variant.
+#[derive(Debug, Clone)]
+pub struct FuelConfig {
+    /// The abstracted program.
+    pub program: Vec<FuelInsn>,
+    /// Fuel budget for one execution.
+    pub fuel: u8,
+    /// Pipeline variant under test.
+    pub variant: FuelVariant,
+}
+
+impl FuelConfig {
+    /// The shipped pipeline over a given program and budget.
+    pub fn correct(program: Vec<FuelInsn>, fuel: u8) -> Self {
+        FuelConfig {
+            program,
+            fuel,
+            variant: FuelVariant::Correct,
+        }
+    }
+}
+
+/// Invariant violation detected on a transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuelViolation {
+    /// Forward progress lost: more instructions retired than the program
+    /// has — only a backward jump can do that.
+    Runaway {
+        /// Instructions retired when the bound broke.
+        steps: u8,
+    },
+    /// Fuel accounting desynchronized from retirement: `budget − fuel`
+    /// no longer equals the instructions retired.
+    FuelLeak {
+        /// Instructions retired.
+        steps: u8,
+        /// Fuel units actually charged.
+        charged: u8,
+    },
+}
+
+/// A violation plus the execution path that reaches it.
+#[derive(Debug, Clone)]
+pub struct FuelFailure {
+    /// What went wrong.
+    pub violation: FuelViolation,
+    /// Step labels from the initial state to the violating state.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for FuelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {:?}", self.violation)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuelReport {
+    /// Distinct execution states reached.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// Distinct terminal states (program done or out of fuel — both
+    /// graceful).
+    pub terminals: usize,
+    /// The model verifier rejected the program before execution (a
+    /// correct outcome for programs with backward jumps).
+    pub rejected: bool,
+}
+
+/// One execution state. `charged` is tracked separately from `steps`
+/// precisely so the two can disagree under the planted charging bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Program counter.
+    pc: u8,
+    /// Fuel remaining.
+    fuel: u8,
+    /// Instructions retired.
+    steps: u8,
+}
+
+/// Run the model verifier, then exhaustively explore every execution
+/// (both outcomes of each branch). `Ok` carries statistics; `Err`
+/// carries the first invariant violation plus the path to it.
+pub fn explore_fuel(cfg: &FuelConfig) -> Result<FuelReport, FuelFailure> {
+    let len = cfg.program.len() as u8;
+
+    // ---- verifier step ---------------------------------------------------
+    // The shipped verifier rejects negative offsets; the planted
+    // BackwardJumpAccepted bug waves them through.
+    if cfg.variant != FuelVariant::BackwardJumpAccepted {
+        let backward = cfg
+            .program
+            .iter()
+            .any(|insn| matches!(insn, FuelInsn::Br(off) if *off < 0));
+        if backward {
+            return Ok(FuelReport {
+                states: 0,
+                transitions: 0,
+                terminals: 0,
+                rejected: true,
+            });
+        }
+    }
+
+    let init = State {
+        pc: 0,
+        fuel: cfg.fuel,
+        steps: 0,
+    };
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut parent: HashMap<State, (State, String)> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    visited.insert(init);
+    queue.push_back(init);
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+
+    let visit = |n: State,
+                 from: State,
+                 label: String,
+                 visited: &mut HashSet<State>,
+                 parent: &mut HashMap<State, (State, String)>,
+                 queue: &mut VecDeque<State>| {
+        if visited.insert(n) {
+            parent.insert(n, (from, label));
+            queue.push_back(n);
+        }
+    };
+
+    // Check both invariants on a candidate successor state.
+    let check = |n: &State| -> Option<FuelViolation> {
+        if n.steps > len {
+            // Forward-only jumps bound retirement by program length.
+            return Some(FuelViolation::Runaway { steps: n.steps });
+        }
+        let charged = cfg.fuel - n.fuel;
+        if charged != n.steps {
+            return Some(FuelViolation::FuelLeak {
+                steps: n.steps,
+                charged,
+            });
+        }
+        None
+    };
+
+    while let Some(s) = queue.pop_front() {
+        // Graceful terminals: fell off the end / explicit halt parked at
+        // pc == len, or the fuel meter stopped the program mid-flight.
+        if s.pc >= len || s.fuel == 0 {
+            terminals += 1;
+            continue;
+        }
+        let insn = cfg.program[s.pc as usize];
+        match insn {
+            FuelInsn::Fall | FuelInsn::Halt => {
+                transitions += 1;
+                let mut n = s;
+                n.fuel -= 1;
+                n.steps = n.steps.saturating_add(1);
+                n.pc = if insn == FuelInsn::Halt {
+                    len
+                } else {
+                    s.pc + 1
+                };
+                let label = format!(
+                    "pc {}: {} (fuel -> {})",
+                    s.pc,
+                    if insn == FuelInsn::Halt {
+                        "halt"
+                    } else {
+                        "fall"
+                    },
+                    n.fuel
+                );
+                if let Some(v) = check(&n) {
+                    return Err(fail(v, &n, s, label, &parent));
+                }
+                visit(n, s, label, &mut visited, &mut parent, &mut queue);
+            }
+            FuelInsn::Br(off) => {
+                // Untaken: ordinary retire.
+                transitions += 1;
+                let mut u = s;
+                u.fuel -= 1;
+                u.steps = u.steps.saturating_add(1);
+                u.pc = s.pc + 1;
+                let label = format!("pc {}: branch untaken (fuel -> {})", s.pc, u.fuel);
+                if let Some(v) = check(&u) {
+                    return Err(fail(v, &u, s, label, &parent));
+                }
+                visit(u, s, label, &mut visited, &mut parent, &mut queue);
+
+                // Taken: retire to the target. The planted charging bug
+                // skips the fuel debit on exactly this edge.
+                transitions += 1;
+                let mut t = s;
+                if cfg.variant != FuelVariant::FuelNotChargedOnTakenBranch {
+                    t.fuel -= 1;
+                }
+                t.steps = t.steps.saturating_add(1);
+                let target = i16::from(s.pc) + 1 + i16::from(off);
+                t.pc = target.clamp(0, i16::from(len)) as u8;
+                let label = format!("pc {}: branch taken -> {} (fuel -> {})", s.pc, t.pc, t.fuel);
+                if let Some(v) = check(&t) {
+                    return Err(fail(v, &t, s, label, &parent));
+                }
+                visit(t, s, label, &mut visited, &mut parent, &mut queue);
+            }
+        }
+    }
+
+    Ok(FuelReport {
+        states: visited.len(),
+        transitions,
+        terminals,
+        rejected: false,
+    })
+}
+
+/// Build a failure: the violating step plus the path reconstructed from
+/// the parent map.
+fn fail(
+    violation: FuelViolation,
+    _at: &State,
+    from: State,
+    last_label: String,
+    parent: &HashMap<State, (State, String)>,
+) -> FuelFailure {
+    let mut trace = vec![last_label];
+    let mut cur = from;
+    while let Some((prev, label)) = parent.get(&cur) {
+        trace.push(label.clone());
+        cur = *prev;
+    }
+    trace.reverse();
+    FuelFailure { violation, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FuelInsn::{Br, Fall, Halt};
+
+    #[test]
+    fn correct_programs_terminate_fully_charged() {
+        let shapes: Vec<(Vec<FuelInsn>, u8)> = vec![
+            (vec![Fall, Fall, Halt], 8),
+            // The count_where skeleton shape: load, branch, two exits.
+            (vec![Fall, Br(1), Halt, Fall, Halt], 8),
+            // Forward branch chains.
+            (vec![Br(2), Fall, Fall, Br(0), Halt], 16),
+            // Tight fuel: runs out mid-flight, still graceful + charged.
+            (vec![Fall, Fall, Fall, Fall, Halt], 2),
+        ];
+        for (program, fuel) in shapes {
+            let report = explore_fuel(&FuelConfig::correct(program.clone(), fuel))
+                .unwrap_or_else(|f| panic!("{program:?} must verify-and-terminate: {f}"));
+            assert!(!report.rejected);
+            assert!(report.terminals >= 1);
+            assert!(report.states > 1);
+        }
+    }
+
+    #[test]
+    fn backward_jump_is_rejected_by_the_verifier() {
+        let report = explore_fuel(&FuelConfig::correct(vec![Fall, Br(-2), Halt], 16))
+            .expect("rejection is the safe outcome");
+        assert!(report.rejected, "verifier must reject the negative offset");
+        assert_eq!(report.states, 0);
+    }
+
+    #[test]
+    fn accepted_backward_jump_breaks_forward_progress() {
+        let failure = explore_fuel(&FuelConfig {
+            program: vec![Br(-1), Halt],
+            fuel: 16,
+            variant: FuelVariant::BackwardJumpAccepted,
+        })
+        .expect_err("the loop must trip the retirement bound");
+        assert!(
+            matches!(failure.violation, FuelViolation::Runaway { steps } if steps > 2),
+            "expected Runaway, got {:?}",
+            failure.violation
+        );
+        assert!(!failure.trace.is_empty());
+    }
+
+    #[test]
+    fn uncharged_taken_branch_leaks_fuel() {
+        let failure = explore_fuel(&FuelConfig {
+            program: vec![Br(1), Halt, Halt],
+            fuel: 8,
+            variant: FuelVariant::FuelNotChargedOnTakenBranch,
+        })
+        .expect_err("the first taken branch must desynchronize the meter");
+        assert!(
+            matches!(
+                failure.violation,
+                FuelViolation::FuelLeak { steps, charged } if charged < steps
+            ),
+            "expected FuelLeak, got {:?}",
+            failure.violation
+        );
+    }
+
+    #[test]
+    fn fuel_bug_still_caught_when_loop_also_possible() {
+        // Both bugs planted at once: whichever invariant trips first
+        // must still be caught (the checker is not order-sensitive).
+        let failure = explore_fuel(&FuelConfig {
+            program: vec![Br(1), Fall, Halt],
+            fuel: 4,
+            variant: FuelVariant::FuelNotChargedOnTakenBranch,
+        })
+        .expect_err("must catch the leak");
+        assert!(matches!(failure.violation, FuelViolation::FuelLeak { .. }));
+    }
+}

@@ -15,9 +15,32 @@
 //! §III-F.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use labstor_core::client::{Client, ClientError};
 use labstor_core::{FileStat, FsOp, KvsOp, Payload, RespPayload};
+use labstor_pushdown::{AggReply, VerifiedProgram};
+
+/// What a pushdown read ships back: orders of magnitude fewer bytes
+/// than the pages it scanned.
+#[derive(Debug, Clone)]
+pub enum FilteredRead {
+    /// A 32-byte aggregate (count/sum) that rode inline in the envelope.
+    Agg(AggReply),
+    /// Matching records small enough to ride inline (≤ 64 B total).
+    Inline(Vec<u8>),
+    /// Matching records in a pooled buffer (selective but not tiny).
+    Buf(labstor_ipc::BufHandle),
+}
+
+/// What a pushdown KVS scan ships back.
+#[derive(Debug, Clone)]
+pub enum ScanReply {
+    /// A 32-byte aggregate over all scanned values.
+    Agg(AggReply),
+    /// The keys whose values matched the predicate.
+    Keys(Vec<String>),
+}
 
 /// A GenericFS error: either a client-level failure or an FS-level one.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,18 +185,29 @@ impl GenericFs {
     }
 
     /// `read(2)` at the fd's position.
+    ///
+    /// Delegates to the zero-copy `ReadBuf` path plus one copy-out:
+    /// the stack assembles the result without the legacy path's counted
+    /// server-side copy, and small results ride inline in the envelope
+    /// (zero counted copies end to end). Large results pay exactly the
+    /// one client-side copy-out an owned-`Vec` API requires.
     pub fn read(&mut self, fd: i32, len: usize) -> Result<Vec<u8>, GenericFsError> {
         let (sid, ino, pos) = self.entry(fd)?;
         let stack = self.stack_of(sid)?;
         let (resp, _) = self.client.execute(
             &stack,
-            Payload::Fs(FsOp::Read {
+            Payload::Fs(FsOp::ReadBuf {
                 ino,
                 offset: pos,
                 len,
             }),
         )?;
         match resp {
+            RespPayload::Inline(d) => {
+                let d = d.to_vec(); // copy-ok: inline envelope copy-out, uncounted by design
+                self.fds.get_mut(&fd).expect("entry checked").pos = pos + d.len() as u64;
+                Ok(d)
+            }
             RespPayload::Data(d) => {
                 self.fds.get_mut(&fd).expect("entry checked").pos = pos + d.len() as u64;
                 Ok(d)
@@ -236,6 +270,9 @@ impl GenericFs {
         )?;
         let h = match resp {
             RespPayload::DataBuf(h) => h,
+            RespPayload::Inline(d) => labstor_ipc::default_pool()
+                .alloc_from(d.as_slice())
+                .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into()))?,
             RespPayload::Data(d) => labstor_ipc::default_pool()
                 .alloc_from(&d)
                 .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into()))?,
@@ -243,6 +280,39 @@ impl GenericFs {
         };
         self.fds.get_mut(&fd).expect("entry checked").pos = pos + h.len() as u64;
         Ok(h)
+    }
+
+    /// Pushdown read at the fd's position (pread-style: the position
+    /// does **not** advance — the stack consumed the pages, not the
+    /// client). The verified program runs inside the filesystem LabMod
+    /// over cached/DMA'd pages in place; only the result ships back.
+    pub fn read_filtered(
+        &mut self,
+        fd: i32,
+        len: usize,
+        prog: Arc<VerifiedProgram>,
+    ) -> Result<FilteredRead, GenericFsError> {
+        let (sid, ino, pos) = self.entry(fd)?;
+        let stack = self.stack_of(sid)?;
+        let is_select = prog.action() == labstor_pushdown::Action::Select;
+        let (resp, _) = self.client.execute(
+            &stack,
+            Payload::Fs(FsOp::ReadFiltered {
+                ino,
+                offset: pos,
+                len,
+                prog,
+            }),
+        )?;
+        match resp {
+            RespPayload::Inline(d) if is_select => Ok(FilteredRead::Inline(d.to_vec())), // copy-ok: inline copy-out
+            RespPayload::Inline(d) => AggReply::decode(d.as_slice())
+                .map(FilteredRead::Agg)
+                .ok_or_else(|| GenericFsError::Fs("malformed pushdown aggregate".into())),
+            RespPayload::DataBuf(h) => Ok(FilteredRead::Buf(h)),
+            RespPayload::Data(d) => Ok(FilteredRead::Inline(d)),
+            other => Err(Self::fs_err(other)),
+        }
     }
 
     /// `lseek(2)` (SEEK_SET).
@@ -500,12 +570,18 @@ impl GenericKvs {
     }
 
     /// Fetch a value.
+    ///
+    /// Delegates to the zero-copy response path plus one copy-out:
+    /// small values ride inline in the envelope (zero counted copies),
+    /// larger ones arrive as a refcounted handle and pay exactly the
+    /// one client-side copy-out an owned-`Vec` API requires.
     pub fn get(&mut self, key: &str) -> Result<Vec<u8>, GenericFsError> {
         let (stack, rel) = self.route(key)?;
         let (resp, _) = self
             .client
             .execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
         match resp {
+            RespPayload::Inline(d) => Ok(d.to_vec()), // copy-ok: inline envelope copy-out, uncounted by design
             RespPayload::Data(d) => Ok(d),
             RespPayload::DataBuf(h) => Ok(h.to_vec()), // copy-ok: owned-Vec API; to_vec self-counts
             other => Err(GenericFs::fs_err(other)),
@@ -513,8 +589,8 @@ impl GenericKvs {
     }
 
     /// Zero-copy fetch: single-block values arrive as a refcounted view
-    /// of the driver's DMA buffer. Legacy `Vec` responses are pooled
-    /// (one counted copy) so the return type stays uniform.
+    /// of the driver's DMA buffer. Inline and legacy `Vec` responses are
+    /// pooled (one counted copy) so the return type stays uniform.
     pub fn get_buf(&mut self, key: &str) -> Result<labstor_ipc::BufHandle, GenericFsError> {
         let (stack, rel) = self.route(key)?;
         let (resp, _) = self
@@ -522,9 +598,55 @@ impl GenericKvs {
             .execute(&stack, Payload::Kvs(KvsOp::Get { key: rel }))?;
         match resp {
             RespPayload::DataBuf(h) => Ok(h),
+            RespPayload::Inline(d) => labstor_ipc::default_pool()
+                .alloc_from(d.as_slice())
+                .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into())),
             RespPayload::Data(d) => labstor_ipc::default_pool()
                 .alloc_from(&d)
                 .ok_or_else(|| GenericFsError::Fs("buffer pool exhausted".into())),
+            other => Err(GenericFs::fs_err(other)),
+        }
+    }
+
+    /// Pushdown point-query: fetch `key`'s value only if the verified
+    /// program matches it, walking deeper table levels in-stack on a
+    /// miss (no client round trip per level). `Ok(None)` means the key
+    /// exists but the predicate rejected its value.
+    pub fn get_where(
+        &mut self,
+        key: &str,
+        prog: Arc<VerifiedProgram>,
+    ) -> Result<Option<Vec<u8>>, GenericFsError> {
+        let (stack, rel) = self.route(key)?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::GetWhere { key: rel, prog }))?;
+        match resp {
+            RespPayload::Ok => Ok(None),
+            RespPayload::Inline(d) => Ok(Some(d.to_vec())), // copy-ok: inline envelope copy-out, uncounted by design
+            RespPayload::Data(d) => Ok(Some(d)),
+            RespPayload::DataBuf(h) => Ok(Some(h.to_vec())), // copy-ok: owned-Vec API; to_vec self-counts
+            other => Err(GenericFs::fs_err(other)),
+        }
+    }
+
+    /// Pushdown range scan: evaluate the verified program over every
+    /// value whose key starts with `prefix` — inside the KVS LabMod —
+    /// and ship back only matching keys or a 32-byte aggregate.
+    pub fn scan_where(
+        &mut self,
+        prefix: &str,
+        prog: Arc<VerifiedProgram>,
+    ) -> Result<ScanReply, GenericFsError> {
+        let (stack, rel) = self.route(prefix)?;
+        let (resp, _) = self
+            .client
+            .execute(&stack, Payload::Kvs(KvsOp::ScanWhere { prefix: rel, prog }))?;
+        match resp {
+            RespPayload::Names(keys) => Ok(ScanReply::Keys(keys)),
+            RespPayload::Inline(d) => AggReply::decode(d.as_slice())
+                .map(ScanReply::Agg)
+                .ok_or_else(|| GenericFsError::Fs("malformed pushdown aggregate".into())),
             other => Err(GenericFs::fs_err(other)),
         }
     }

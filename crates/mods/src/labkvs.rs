@@ -124,11 +124,32 @@ pub struct LabKvs {
     perf: PerfCounters,
     /// What the most recent `state_repair` found (see [`RepairReport`]).
     last_repair: Mutex<Option<RepairReport>>,
+    /// Table levels the `GetWhere` resubmission hook walks on a miss
+    /// (LSM-style: level 0 is the primary namespace, deeper levels are
+    /// probed in-stack instead of bouncing back to the client).
+    resub_levels: u32,
+}
+
+/// The key a value lives under at table `level` (level 0 is the key
+/// itself). Deeper levels use a reserved prefix so they never collide
+/// with user keys; `GetWhere` walks them in-stack on a miss.
+pub fn level_key(level: u32, key: &str) -> String {
+    if level == 0 {
+        key.to_string()
+    } else {
+        format!("~L{level}~{key}")
+    }
 }
 
 impl LabKvs {
-    /// Build LabKVS over `device` with `workers` allocator/log shards.
+    /// Build LabKVS over `device` with `workers` allocator/log shards
+    /// and the default two resubmission levels.
     pub fn new(device: Arc<SimDevice>, workers: usize) -> Self {
+        Self::with_levels(device, workers, 2)
+    }
+
+    /// Build LabKVS with an explicit number of `GetWhere` table levels.
+    pub fn with_levels(device: Arc<SimDevice>, workers: usize, levels: u32) -> Self {
         let workers = workers.max(1);
         let total_blocks = device.model().capacity_sectors() / BLOCK_SECTORS;
         let log_blocks = LOG_BLOCKS_PER_WORKER * workers as u64;
@@ -151,6 +172,7 @@ impl LabKvs {
             log_device: device,
             perf: PerfCounters::new(),
             last_repair: Mutex::new(None),
+            resub_levels: levels.max(1),
         }
     }
 
@@ -411,6 +433,14 @@ impl LabKvs {
             return match env.forward(ctx, fwd) {
                 RespPayload::DataBuf(h) => {
                     let want = loc.len.min(h.len());
+                    // Small values skip the BufferPool round trip and
+                    // ride by value in the envelope — the client-side
+                    // copy-out this saves is a counted one.
+                    if let Some(d) =
+                        labstor_ipc::InlineData::from_slice(h.as_slice().get(..want).unwrap_or(&[]))
+                    {
+                        return RespPayload::Inline(d);
+                    }
                     match h.slice(0, want) {
                         Some(s) => RespPayload::DataBuf(s),
                         None => RespPayload::Data(h.to_vec()), // copy-ok: unreachable slice failure; to_vec self-counts
@@ -454,6 +484,124 @@ impl LabKvs {
             }
         }
         RespPayload::Data(out)
+    }
+
+    /// Pushdown point-query with the in-stack resubmission hook: probe
+    /// the key at level 0 and, on a miss, walk the deeper table levels
+    /// right here instead of bouncing a "not found" back to the client
+    /// for each level. A found value is evaluated in place; only a
+    /// matching value ships. Returns [`RespPayload::Ok`] when the key
+    /// exists but the predicate rejects it.
+    fn do_get_where(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        key: &str,
+        prog: &labstor_pushdown::VerifiedProgram,
+    ) -> RespPayload {
+        for level in 0..self.resub_levels {
+            ctx.advance(KV_CPU_NS); // one key-map probe per level walked
+            let lkey = level_key(level, key);
+            let loc = self.shard(&lkey).read().get(&lkey).cloned();
+            let Some(loc) = loc else {
+                continue; // resubmission hook: try the next level in-stack
+            };
+            let resp = self.read_value(ctx, env, req, &loc);
+            let mut fuel = prog.fuel_budget();
+            let mut out = labstor_pushdown::ScanOut::default();
+            let scanned = match resp.data_bytes() {
+                Some(bytes) => labstor_pushdown::scan(prog, bytes, 0, &mut fuel, &mut out),
+                None => return resp, // downstream error; propagate as-is
+            };
+            let used = prog.fuel_budget() - fuel;
+            if let Err(retry_vns) = env.charge_fuel(ctx, &req.creds, used) {
+                return RespPayload::Err(format!(
+                    "pushdown: tenant {} over fuel budget, retry in {retry_vns} vns",
+                    req.creds.tenant.as_u32()
+                ));
+            }
+            if scanned.is_err() {
+                return RespPayload::Err("pushdown: out of fuel".into());
+            }
+            return if out.matches > 0 {
+                resp
+            } else {
+                // Key present, predicate rejected it: nothing ships.
+                RespPayload::Ok
+            };
+        }
+        RespPayload::Err(format!("no key '{key}'"))
+    }
+
+    /// Pushdown range scan: evaluate the program over every value whose
+    /// key starts with `prefix`, shipping back only matching keys
+    /// ([`labstor_pushdown::Action::Select`]) or a 32-byte aggregate.
+    fn do_scan_where(
+        &self,
+        ctx: &mut Ctx,
+        env: &StackEnv<'_>,
+        req: &Request,
+        prefix: &str,
+        prog: &labstor_pushdown::VerifiedProgram,
+    ) -> RespPayload {
+        use labstor_pushdown::Action;
+        // Deterministic scan order across the sharded map.
+        let mut entries: Vec<(String, ValueLoc)> = Vec::new();
+        for shard in &self.shards {
+            let m = shard.read();
+            for (k, loc) in m.iter() {
+                if k.starts_with(prefix) {
+                    entries.push((k.clone(), loc.clone()));
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut fuel = prog.fuel_budget();
+        let mut out = labstor_pushdown::ScanOut::default();
+        let mut matched_keys: Vec<String> = Vec::new();
+        for (k, loc) in &entries {
+            ctx.advance(KV_CPU_NS); // per-entry key-map touch
+            let resp = self.read_value(ctx, env, req, loc);
+            let Some(bytes) = resp.data_bytes() else {
+                return resp; // downstream error; propagate as-is
+            };
+            let before_matches = out.matches;
+            let scanned = labstor_pushdown::scan(prog, bytes, 0, &mut fuel, &mut out);
+            if scanned.is_err() {
+                let used = prog.fuel_budget() - fuel;
+                let _ = env.charge_fuel(ctx, &req.creds, used);
+                return RespPayload::Err(format!(
+                    "pushdown: out of fuel after {} values",
+                    out.records
+                ));
+            }
+            if out.matches > before_matches {
+                matched_keys.push(k.clone());
+            }
+        }
+        let used = prog.fuel_budget() - fuel;
+        if let Err(retry_vns) = env.charge_fuel(ctx, &req.creds, used) {
+            return RespPayload::Err(format!(
+                "pushdown: tenant {} over fuel budget, retry in {retry_vns} vns",
+                req.creds.tenant.as_u32()
+            ));
+        }
+        match prog.action() {
+            Action::Select => RespPayload::Names(matched_keys),
+            Action::Count | Action::Sum => {
+                let reply = labstor_pushdown::AggReply {
+                    records: out.records,
+                    matches: out.matches,
+                    agg: out.agg,
+                    fuel_used: used,
+                };
+                match labstor_ipc::InlineData::from_slice(&reply.encode()) {
+                    Some(d) => RespPayload::Inline(d),
+                    None => RespPayload::Err("pushdown: aggregate too large".into()),
+                }
+            }
+        }
     }
 }
 
@@ -519,6 +667,12 @@ impl LabMod for LabKvs {
                     None => RespPayload::Err(format!("no key '{key}'")),
                 }
             }
+            Payload::Kvs(KvsOp::GetWhere { key, prog }) => {
+                self.do_get_where(ctx, env, &req, key, prog)
+            }
+            Payload::Kvs(KvsOp::ScanWhere { prefix, prog }) => {
+                self.do_scan_where(ctx, env, &req, prefix, prog)
+            }
             Payload::Kvs(KvsOp::Remove { key }) => {
                 ctx.advance(KV_CPU_NS);
                 let removed = self.shard(key).write().remove(key);
@@ -576,7 +730,8 @@ impl LabMod for LabKvs {
     }
 }
 
-/// Register the factory. Params: `{"device": "<name>", "workers": <n>}`.
+/// Register the factory. Params: `{"device": "<name>", "workers": <n>,
+/// "levels": <n>}` (levels: `GetWhere` resubmission depth, default 2).
 pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
     let reg = devices.clone();
     mm.register_factory(
@@ -587,7 +742,8 @@ pub fn install(mm: &ModuleManager, devices: &Arc<DeviceRegistry>) {
                 .block(&name)
                 .unwrap_or_else(|| panic!("no block device '{name}'"));
             let workers = params.get("workers").and_then(|v| v.as_u64()).unwrap_or(8) as usize;
-            Arc::new(LabKvs::new(dev, workers)) as Arc<dyn LabMod>
+            let levels = params.get("levels").and_then(|v| v.as_u64()).unwrap_or(2) as u32;
+            Arc::new(LabKvs::with_levels(dev, workers, levels)) as Arc<dyn LabMod>
         }),
     );
 }

@@ -46,7 +46,7 @@ pub mod perms;
 pub mod sched;
 
 pub use devices::DeviceRegistry;
-pub use generic::{GenericFs, GenericKvs};
+pub use generic::{FilteredRead, GenericFs, GenericKvs, ScanReply};
 pub use journal::RepairReport;
 
 use labstor_core::ModuleManager;

@@ -239,6 +239,9 @@ pub struct TenantState {
     /// Virtual service consumed (worker-observed item-ns), the
     /// weighted-fair currency.
     service_vns: AtomicU64,
+    /// Pushdown fuel retired on behalf of this tenant (one unit per
+    /// bytecode instruction executed inside the stack).
+    fuel_used: AtomicU64,
     /// Completion latency histogram (virtual ns), the per-tenant p99.
     latency: LogHistogram,
 }
@@ -273,6 +276,7 @@ impl TenantState {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             service_vns: AtomicU64::new(0),
+            fuel_used: AtomicU64::new(0),
             latency: LogHistogram::new(),
         }
     }
@@ -329,6 +333,18 @@ impl TenantState {
     pub fn note_service(&self, vns: u64) {
         // relaxed-ok: service counter consumed by the rebalance pass, which tolerates slight staleness
         self.service_vns.fetch_add(vns, Ordering::Relaxed);
+    }
+
+    /// Charge `fuel` pushdown instruction units to this tenant.
+    pub fn note_fuel(&self, fuel: u64) {
+        // relaxed-ok: accounting counter consumed by exports/rebalance, tolerates staleness
+        self.fuel_used.fetch_add(fuel, Ordering::Relaxed);
+    }
+
+    /// Total pushdown fuel retired for this tenant so far.
+    pub fn fuel_used(&self) -> u64 {
+        // relaxed-ok: accounting counter read
+        self.fuel_used.load(Ordering::Relaxed)
     }
 
     /// Total virtual service consumed so far.
@@ -586,6 +602,7 @@ impl TenantTable {
                     "admitted": s.admitted(),
                     "rejected": s.rejected(),
                     "service_vns": s.service_vns(),
+                    "fuel_used": s.fuel_used(),
                     "completions": s.completions(),
                     "p50_ns": s.p50_ns(),
                     "p99_ns": s.p99_ns(),

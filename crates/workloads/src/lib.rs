@@ -19,6 +19,8 @@
 //! * [`targets`] — adapters giving every workload a uniform view of a
 //!   kernel filesystem (through the simulated VFS) or a LabStor stack
 //!   (through GenericFS/GenericKVS).
+//! * [`pushdown`] — fixed-width record datasets and host-side reference
+//!   scans for the pushdown-vs-client-side-filter comparison.
 //! * [`stats`] — virtual-time latency recorders and percentile math.
 //! * [`crash`] — the crash-recovery fuzz campaign: seeded fio/filebench
 //!   mixes killed at randomized virtual times, restarted, repaired, and
@@ -30,6 +32,7 @@ pub mod fio;
 pub mod fxmark;
 pub mod labios;
 pub mod pfs;
+pub mod pushdown;
 pub mod stats;
 pub mod targets;
 

@@ -47,6 +47,7 @@ pub use labstor_core as core;
 pub use labstor_ipc as ipc;
 pub use labstor_kernel as kernel;
 pub use labstor_mods as mods;
+pub use labstor_pushdown as pushdown;
 pub use labstor_qos as qos;
 pub use labstor_sim as sim;
 pub use labstor_telemetry as telemetry;

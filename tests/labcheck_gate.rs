@@ -7,11 +7,12 @@
 //! only the gate.
 
 use labstor_labcheck::{
-    explore, explore_doorbell, explore_journal, explore_lock, explore_rc,
-    gate_doorbell_bug_configs, gate_doorbell_configs, gate_journal_bug_configs,
-    gate_journal_configs, gate_lock_bug_configs, gate_lock_configs, gate_mc_bug_configs,
-    gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace, render_text,
-    workspace_root, Config, DoorbellViolation, JournalVariant, JournalViolation, LockViolation,
+    explore, explore_doorbell, explore_fuel, explore_journal, explore_lock, explore_rc,
+    gate_doorbell_bug_configs, gate_doorbell_configs, gate_fuel_bug_configs, gate_fuel_configs,
+    gate_journal_bug_configs, gate_journal_configs, gate_lock_bug_configs, gate_lock_configs,
+    gate_mc_bug_configs, gate_mc_configs, gate_rc_bug_configs, gate_rc_configs, lint_workspace,
+    render_text, workspace_root, Config, DoorbellViolation, FuelVariant, FuelViolation,
+    JournalVariant, JournalViolation, LockViolation,
 };
 
 #[test]
@@ -115,6 +116,43 @@ fn doorbell_protocol_passes_model_check() {
             cfg.variant,
             failure.violation
         );
+    }
+}
+
+#[test]
+fn pushdown_fuel_model_passes_model_check() {
+    // The verify-then-execute pipeline terminates within budget with
+    // every retired instruction charged, over every branch outcome —
+    // and the backward-jump program in the correct set is rejected by
+    // the model verifier before execution (that *is* the safe outcome).
+    for cfg in gate_fuel_configs() {
+        let report =
+            explore_fuel(&cfg).unwrap_or_else(|f| panic!("fuel mc failed on {cfg:?}:\n{f}"));
+        if !report.rejected {
+            assert!(report.terminals >= 1, "no terminal state for {cfg:?}");
+        }
+    }
+    // Each planted bug is caught with the violation kind it plants: an
+    // accepted backward jump breaks forward progress (Runaway), an
+    // uncharged taken branch desynchronizes the meter (FuelLeak).
+    for cfg in gate_fuel_bug_configs() {
+        let failure = explore_fuel(&cfg).expect_err(&format!(
+            "planted fuel bug {:?} went undetected",
+            cfg.variant
+        ));
+        let ok = match cfg.variant {
+            FuelVariant::BackwardJumpAccepted => {
+                matches!(failure.violation, FuelViolation::Runaway { .. })
+            }
+            FuelVariant::FuelNotChargedOnTakenBranch => {
+                matches!(
+                    failure.violation,
+                    FuelViolation::FuelLeak { steps, charged } if charged < steps
+                )
+            }
+            FuelVariant::Correct => false,
+        };
+        assert!(ok, "{:?} produced {:?}", cfg.variant, failure.violation);
     }
 }
 
